@@ -1,0 +1,387 @@
+// Package asdb is an accuracy-aware uncertain stream database: a Go
+// implementation of "Accuracy-Aware Uncertain Stream Databases" (Ge & Liu,
+// ICDE 2012).
+//
+// # Overview
+//
+// Uncertain stream databases model noisy readings (sensor values, traffic
+// delays, experiment measurements) as probability distributions. This
+// library additionally tracks how accurate those distributions are: every
+// learned distribution retains the sample size it came from, query
+// processing propagates de facto sample sizes through expressions, filters,
+// and window aggregates (Lemma 3 of the paper), and every query result
+// carries confidence intervals for its distribution parameters and for its
+// membership probability (Theorem 1). Two accuracy backends are available —
+// analytical (Lemmas 1–2: Wald/Wilson bin-height intervals, Student-t/normal
+// mean intervals, chi-square variance intervals) and bootstrap (the
+// BOOTSTRAP-ACCURACY-INFO algorithm). Decision making over low-accuracy
+// data uses significance predicates (mTest, mdTest, pTest) with the
+// COUPLED-TESTS algorithm bounding both false positive and false negative
+// rates.
+//
+// # Quick start
+//
+//	eng, _ := asdb.NewEngine(asdb.Config{Method: asdb.AccuracyAnalytical})
+//	schema, _ := asdb.NewSchema("traffic",
+//		asdb.Column{Name: "road_id"},
+//		asdb.Column{Name: "delay", Probabilistic: true},
+//	)
+//	eng.RegisterStream(schema)
+//
+//	// Learn a distribution from raw observations; the sample size rides
+//	// along for accuracy tracking.
+//	field, _ := asdb.Learn(asdb.GaussianLearner{},
+//		asdb.NewSample([]float64{71, 56, 82, 74, 69, 77, 65, 78, 59, 80}))
+//
+//	q, _ := eng.Compile("SELECT road_id, delay FROM traffic WHERE PROB(delay > 60) >= 0.5")
+//	t, _ := eng.NewTuple("traffic", []asdb.Field{asdb.Det(19), field})
+//	results, _ := q.Push(t)
+//	for _, r := range results {
+//		fmt.Println(r.Tuple, r.Fields["delay"].Mean) // value + confidence interval
+//	}
+//
+// The SQL dialect supports arithmetic over distribution-valued columns
+// (+, −, ×, /, SQRT, ABS, SQUARE), probability-threshold predicates
+// (PROB(x > c) >= τ), significance predicates
+// (MTEST(x, '>', c, α₁[, α₂]), MDTEST(x, y, '>', c, α₁[, α₂]),
+// PTEST(x > c, τ, α₁[, α₂])), and count-based sliding windows
+// (SELECT AVG(x) FROM s WINDOW 1000 ROWS).
+//
+// The subpackages are exported through this facade; power users can import
+// repro/internal/... equivalents directly within this module.
+package asdb
+
+import (
+	"repro/internal/accuracy"
+	"repro/internal/bootstrap"
+	"repro/internal/core"
+	"repro/internal/dist"
+	"repro/internal/hypothesis"
+	"repro/internal/learn"
+	"repro/internal/randvar"
+	"repro/internal/stream"
+)
+
+// --- Engine ---
+
+// Engine is an accuracy-aware uncertain stream database instance.
+type Engine = core.Engine
+
+// Config tunes an Engine; the zero value gives 90% analytical-free
+// defaults (set Method to enable accuracy computation).
+type Config = core.Config
+
+// Query is a compiled continuous query.
+type Query = core.Query
+
+// Result is a query output tuple plus its accuracy information.
+type Result = core.Result
+
+// QueryStats counts a query's activity.
+type QueryStats = core.QueryStats
+
+// AccuracyMethod selects the accuracy backend.
+type AccuracyMethod = core.AccuracyMethod
+
+// Accuracy backends.
+const (
+	// AccuracyNone disables accuracy computation.
+	AccuracyNone = core.AccuracyNone
+	// AccuracyAnalytical uses the paper's Lemmas 1–2 via Theorem 1.
+	AccuracyAnalytical = core.AccuracyAnalytical
+	// AccuracyBootstrap uses algorithm BOOTSTRAP-ACCURACY-INFO.
+	AccuracyBootstrap = core.AccuracyBootstrap
+)
+
+// NewEngine returns an engine with the given configuration.
+func NewEngine(cfg Config) (*Engine, error) { return core.NewEngine(cfg) }
+
+// DefaultConfig returns the engine defaults.
+func DefaultConfig() Config { return core.DefaultConfig() }
+
+// --- Streams and tuples ---
+
+// Schema describes a stream's columns.
+type Schema = stream.Schema
+
+// Column is one attribute; Probabilistic columns hold distributions.
+type Column = stream.Column
+
+// Tuple is one stream element with tuple and attribute uncertainty.
+type Tuple = stream.Tuple
+
+// Field is a random-variable-valued field: a distribution plus the sample
+// size it was learned from.
+type Field = randvar.Field
+
+// NewSchema builds a schema from columns.
+func NewSchema(name string, cols ...Column) (*Schema, error) {
+	return stream.NewSchema(name, cols...)
+}
+
+// NewTuple builds a tuple over a schema with membership probability 1.
+func NewTuple(schema *Schema, fields []Field) (*Tuple, error) {
+	return stream.NewTuple(schema, fields)
+}
+
+// Det returns a deterministic field holding v.
+func Det(v float64) Field { return randvar.Det(v) }
+
+// --- Distributions ---
+
+// Distribution is a univariate probability distribution (the value type of
+// probabilistic attributes).
+type Distribution = dist.Distribution
+
+// Rand is the deterministic random number generator used across the
+// library.
+type Rand = dist.Rand
+
+// NewRand returns a generator seeded from seed.
+func NewRand(seed uint64) *Rand { return dist.NewRand(seed) }
+
+// Distribution constructors (see repro/internal/dist for the full set).
+var (
+	// NewNormal returns a Gaussian with the given mean and variance.
+	NewNormal = dist.NewNormal
+	// NewExponential returns an exponential with rate λ.
+	NewExponential = dist.NewExponential
+	// NewGamma returns a gamma with shape k and scale θ.
+	NewGamma = dist.NewGamma
+	// NewUniform returns a uniform on [a, b].
+	NewUniform = dist.NewUniform
+	// NewWeibull returns a Weibull with scale λ and shape k.
+	NewWeibull = dist.NewWeibull
+	// NewLognormal returns a lognormal with log-mean and log-variance.
+	NewLognormal = dist.NewLognormal
+	// NewHistogram builds a histogram distribution from edges and
+	// probabilities.
+	NewHistogram = dist.NewHistogram
+	// HistogramFromCounts builds a histogram from raw bucket counts,
+	// retaining them for Lemma 1 accuracy.
+	HistogramFromCounts = dist.HistogramFromCounts
+)
+
+// Histogram is the paper's primary distribution representation.
+type Histogram = dist.Histogram
+
+// Point is the degenerate (deterministic) distribution.
+type Point = dist.Point
+
+// Beta is the beta distribution — the posterior family for probabilities.
+type Beta = dist.Beta
+
+// StudentT is the location-scale Student-t distribution — the sampling
+// distribution of a mean behind Lemma 2's small-sample interval.
+type StudentT = dist.StudentT
+
+// Posterior/extra-distribution constructors.
+var (
+	// NewBeta returns a beta distribution with shapes α, β.
+	NewBeta = dist.NewBeta
+	// NewStudentT returns a location-scale Student-t.
+	NewStudentT = dist.NewStudentT
+	// BetaPosterior returns Beta(k+1, n−k+1), the uniform-prior posterior
+	// of a proportion after k successes in n trials.
+	BetaPosterior = dist.BetaPosterior
+	// MeanPosterior returns the Student-t sampling distribution of a mean
+	// from (ȳ, s, n).
+	MeanPosterior = dist.MeanPosterior
+)
+
+// --- Learning ---
+
+// Sample is an iid set of observations of one random variable.
+type Sample = learn.Sample
+
+// Learner fits a distribution to a sample.
+type Learner = learn.Learner
+
+// GaussianLearner fits a normal distribution by maximum likelihood.
+type GaussianLearner = learn.GaussianLearner
+
+// EmpiricalLearner returns the sample's empirical distribution.
+type EmpiricalLearner = learn.EmpiricalLearner
+
+// KDELearner fits a Gaussian kernel density estimate.
+type KDELearner = learn.KDELearner
+
+// NewSample returns a sample over obs (copied).
+func NewSample(obs []float64) *Sample { return learn.NewSample(obs) }
+
+// NewHistogramLearner returns an auto-ranging histogram learner.
+func NewHistogramLearner(bins int) *learn.HistogramLearner {
+	return learn.NewHistogramLearner(bins)
+}
+
+// NewHistogramLearnerRange returns a fixed-range histogram learner.
+func NewHistogramLearnerRange(bins int, lo, hi float64) *learn.HistogramLearner {
+	return learn.NewHistogramLearnerRange(bins, lo, hi)
+}
+
+// Learn fits a distribution to a raw sample, retaining the sample size for
+// accuracy tracking.
+func Learn(l Learner, s *Sample) (Field, error) { return core.LearnField(l, s) }
+
+// LearnOp is the streaming learner: raw (key, value) observations in,
+// freshly learned (key, distribution) tuples out, with optional recency
+// decay (§VII future work).
+type LearnOp = stream.LearnOp
+
+// NewLearnOp builds a streaming learner over the raw input schema.
+func NewLearnOp(in *Schema, keyCol, valueCol string, bufferSize int) (*LearnOp, error) {
+	return stream.NewLearnOp(in, keyCol, valueCol, bufferSize)
+}
+
+// --- Accuracy ---
+
+// Interval is a confidence interval with its confidence level.
+type Interval = accuracy.Interval
+
+// AccuracyInfo is the accuracy information of a probabilistic field:
+// intervals for mean, variance, and (for histograms) every bin height.
+type AccuracyInfo = accuracy.Info
+
+// BinInterval pairs a histogram bucket with its height's interval.
+type BinInterval = accuracy.BinInterval
+
+// Analytical accuracy primitives (Lemmas 1–3 of the paper).
+var (
+	// BinHeightInterval is Lemma 1 for a single histogram bucket.
+	BinHeightInterval = accuracy.BinHeightInterval
+	// MeanInterval is Lemma 2 eq. (3)/(4).
+	MeanInterval = accuracy.MeanInterval
+	// VarianceInterval is Lemma 2 eq. (5).
+	VarianceInterval = accuracy.VarianceInterval
+	// TupleProbInterval treats a tuple probability as a one-bin
+	// histogram (Theorem 1).
+	TupleProbInterval = accuracy.TupleProbInterval
+	// DFSampleSize is Lemma 3: min over the input sample sizes.
+	DFSampleSize = accuracy.DFSampleSize
+	// AccuracyForDistribution is Theorem 1's analytical path.
+	AccuracyForDistribution = accuracy.ForDistribution
+	// BootstrapAccuracyInfo is algorithm BOOTSTRAP-ACCURACY-INFO.
+	BootstrapAccuracyInfo = bootstrap.AccuracyInfo
+	// QuantileInterval is a distribution-free confidence interval for a
+	// population quantile (order-statistic method; extension beyond the
+	// paper's three statistics).
+	QuantileInterval = accuracy.QuantileInterval
+	// MedianInterval is QuantileInterval at p = 0.5.
+	MedianInterval = accuracy.MedianInterval
+)
+
+// --- Online acquisition (§I's online computation) ---
+
+// AcquireRule configures the online-acquisition loop's stopping conditions.
+type AcquireRule = core.AcquireRule
+
+// AcquireTest is the optional decision rule inside an AcquireRule.
+type AcquireTest = core.AcquireTest
+
+// AcquireResult is the outcome of an Acquire run.
+type AcquireResult = core.AcquireResult
+
+// AcquireSource produces fresh observations on demand.
+type AcquireSource = core.Source
+
+// StopReason reports why acquisition ended.
+type StopReason = core.StopReason
+
+// Acquisition stop reasons.
+const (
+	// StopWidth: the mean interval reached the target width.
+	StopWidth = core.StopWidth
+	// StopDecided: the coupled test reached TRUE or FALSE.
+	StopDecided = core.StopDecided
+	// StopBudget: the observation budget ran out.
+	StopBudget = core.StopBudget
+)
+
+// Acquire drives a raw-observation source in batches and stops as soon as
+// the accuracy suffices — the paper's "stop acquiring raw data/samples"
+// use case (§I).
+func Acquire(source AcquireSource, rule AcquireRule) (*AcquireResult, error) {
+	return core.Acquire(source, rule)
+}
+
+// --- Weighted samples (the paper's §VII future work) ---
+
+// WeightedSample carries per-observation weights; accuracy follows the
+// effective sample size (Σw)²/Σw².
+type WeightedSample = learn.WeightedSample
+
+// Weighted-sample constructors.
+var (
+	// NewWeightedSample builds a weighted sample from parallel slices.
+	NewWeightedSample = learn.NewWeightedSample
+	// ExponentialDecay weights observations by exp(−ln2·age/halfLife) —
+	// "observations that are obtained more recently can have more
+	// weights" (§VII).
+	ExponentialDecay = learn.ExponentialDecay
+	// WeightedGaussian fits a normal distribution to a weighted sample,
+	// returning the effective sample size for accuracy tracking.
+	WeightedGaussian = learn.WeightedGaussianLearner
+	// WeightedHistogram bins a weighted sample, returning the histogram
+	// and effective sample size.
+	WeightedHistogram = learn.WeightedHistogramLearner
+)
+
+// --- Significance predicates ---
+
+// TestResult is the three-state answer of a coupled significance predicate.
+type TestResult = hypothesis.Result
+
+// Three-state results of coupled tests.
+const (
+	// TestTrue: the original test accepted H1 (false positive rate ≤ α₁).
+	TestTrue = hypothesis.True
+	// TestFalse: the inverse test accepted (false negative rate ≤ α₂).
+	TestFalse = hypothesis.False
+	// TestUnsure: no decision at the requested error rates.
+	TestUnsure = hypothesis.Unsure
+)
+
+// TestOp is the alternative-hypothesis operator of a significance
+// predicate.
+type TestOp = hypothesis.Op
+
+// Alternative-hypothesis operators.
+const (
+	// OpLess is "<".
+	OpLess = hypothesis.Less
+	// OpGreater is ">".
+	OpGreater = hypothesis.Greater
+	// OpNotEqual is "<>".
+	OpNotEqual = hypothesis.NotEqual
+)
+
+// TestStats summarizes a probabilistic field for hypothesis testing.
+type TestStats = hypothesis.Stats
+
+// Hypothesis-testing entry points (§IV of the paper).
+var (
+	// MTest is the basic mean test.
+	MTest = hypothesis.MTest
+	// MDTest is the basic mean difference test (Welch).
+	MDTest = hypothesis.MDTest
+	// PTest is the basic probability (population proportion) test.
+	PTest = hypothesis.PTest
+	// CoupledMTest bounds both error rates via COUPLED-TESTS.
+	CoupledMTest = hypothesis.CoupledMTest
+	// CoupledMDTest is the coupled mean difference test.
+	CoupledMDTest = hypothesis.CoupledMDTest
+	// CoupledPTest is the coupled probability test.
+	CoupledPTest = hypothesis.CoupledPTest
+	// StatsFromSample extracts test statistics from a raw sample.
+	StatsFromSample = hypothesis.StatsFromSample
+	// StatsFromDistribution extracts test statistics from a learned
+	// distribution and its (d.f.) sample size.
+	StatsFromDistribution = hypothesis.StatsFromDistribution
+	// KSTest compares two learned distributions wholesale
+	// (Kolmogorov–Smirnov; extension beyond the paper's predicates).
+	KSTest = hypothesis.KSTest
+	// CoupledKSTest is the three-state form of KSTest.
+	CoupledKSTest = hypothesis.CoupledKSTest
+	// KSStatistic computes D = sup |F₁ − F₂|.
+	KSStatistic = hypothesis.KSStatistic
+)

@@ -1,0 +1,89 @@
+package asdb
+
+import (
+	"math"
+	"testing"
+)
+
+// TestFacadeEndToEnd exercises the public API exactly as the package doc's
+// quick start does: register a stream, learn a field from raw observations,
+// run a probability-threshold query, and read back accuracy information.
+func TestFacadeEndToEnd(t *testing.T) {
+	eng, err := NewEngine(Config{Method: AccuracyAnalytical})
+	if err != nil {
+		t.Fatal(err)
+	}
+	schema, err := NewSchema("traffic",
+		Column{Name: "road_id"},
+		Column{Name: "delay", Probabilistic: true},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.RegisterStream(schema); err != nil {
+		t.Fatal(err)
+	}
+	// Example 3's raw observations.
+	field, err := Learn(GaussianLearner{}, NewSample([]float64{71, 56, 82, 74, 69, 77, 65, 78, 59, 80}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := eng.Compile("SELECT road_id, delay FROM traffic WHERE PROB(delay > 60) >= 0.5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tup, err := eng.NewTuple("traffic", []Field{Det(19), field})
+	if err != nil {
+		t.Fatal(err)
+	}
+	results, err := q.Push(tup)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 1 {
+		t.Fatalf("results = %d, want 1", len(results))
+	}
+	info := results[0].Fields["delay"]
+	if info == nil {
+		t.Fatal("missing accuracy info for delay")
+	}
+	// Example 3's 90% mean interval: [65.97, 76.23].
+	if math.Abs(info.Mean.Lo-65.97) > 0.02 || math.Abs(info.Mean.Hi-76.23) > 0.02 {
+		t.Errorf("mean interval = %v, want ≈[65.97, 76.23]", info.Mean)
+	}
+}
+
+// TestFacadeSignificance exercises the coupled-test surface through the
+// facade aliases.
+func TestFacadeSignificance(t *testing.T) {
+	s, err := StatsFromSample(NewSample([]float64{82, 86, 105, 110, 119}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := CoupledMTest(s, OpGreater, 97, 0.05, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res != TestUnsure {
+		t.Errorf("X (n=5) coupled mTest = %v, want UNSURE", res)
+	}
+	ok, err := PTest(0.6, 100, OpGreater, 0.5, 0.05)
+	if err != nil || !ok {
+		t.Errorf("PTest(Y) = %v, %v; want true", ok, err)
+	}
+}
+
+// TestFacadeAccuracyPrimitives spot-checks the re-exported Lemma functions.
+func TestFacadeAccuracyPrimitives(t *testing.T) {
+	iv, err := TupleProbInterval(0.6, 20, 0.9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(iv.Lo-0.42) > 0.005 || math.Abs(iv.Hi-0.78) > 0.005 {
+		t.Errorf("Example 5 interval = %v", iv)
+	}
+	n, err := DFSampleSize(15, 10, 20)
+	if err != nil || n != 10 {
+		t.Errorf("DFSampleSize = %d, %v", n, err)
+	}
+}

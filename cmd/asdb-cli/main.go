@@ -1,0 +1,81 @@
+// Command asdb-cli is an interactive client for asdbd: it forwards protocol
+// lines typed on stdin to the server and prints replies and asynchronous
+// DATA results.
+//
+// Usage:
+//
+//	asdb-cli [-addr 127.0.0.1:7433]
+//
+// Example session:
+//
+//	> STREAM traffic road_id delay:dist
+//	OK stream traffic
+//	> QUERY q1 SELECT road_id, delay FROM traffic WHERE delay > 50
+//	OK query q1
+//	> INSERT traffic 19 S(56;38;97)
+//	DATA q1 {"fields":{...},"prob":0.66,...}
+//	OK inserted results=1
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"sync"
+	"time"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:7433", "server address")
+	flag.Parse()
+
+	conn, err := net.DialTimeout("tcp", *addr, 5*time.Second)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "asdb-cli: %v\n", err)
+		os.Exit(1)
+	}
+	defer conn.Close()
+	fmt.Fprintf(os.Stderr, "connected to %s; type protocol commands (QUIT to exit)\n", *addr)
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		scanner := bufio.NewScanner(conn)
+		scanner.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+		for scanner.Scan() {
+			fmt.Println(scanner.Text())
+		}
+	}()
+
+	in := bufio.NewScanner(os.Stdin)
+	in.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	w := bufio.NewWriter(conn)
+	for {
+		fmt.Fprint(os.Stderr, "> ")
+		if !in.Scan() {
+			break
+		}
+		line := in.Text()
+		if line == "" {
+			continue
+		}
+		if _, err := w.WriteString(line + "\n"); err != nil {
+			fmt.Fprintf(os.Stderr, "asdb-cli: %v\n", err)
+			break
+		}
+		if err := w.Flush(); err != nil {
+			fmt.Fprintf(os.Stderr, "asdb-cli: %v\n", err)
+			break
+		}
+		if line == "QUIT" || line == "quit" {
+			break
+		}
+		// Give the reply a moment to land before the next prompt.
+		time.Sleep(30 * time.Millisecond)
+	}
+	conn.Close()
+	wg.Wait()
+}

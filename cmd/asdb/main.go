@@ -1,0 +1,84 @@
+// Command asdb is a local REPL over an embedded accuracy-aware uncertain
+// stream database — no server needed. It accepts the same STREAM / QUERY /
+// INSERT / LOAD / STATS / EXPLAIN / CLOSE commands as the network protocol,
+// executes them against an in-process engine, and prints results (with
+// accuracy information) immediately.
+//
+// Usage:
+//
+//	asdb [-level 0.9] [-method analytical] [-seed 1] [-f script.asdb] [-batch]
+//
+// With -f, commands are read from the file before the interactive prompt
+// starts; -batch exits after the script.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/repl"
+)
+
+func main() {
+	level := flag.Float64("level", 0.9, "confidence level")
+	method := flag.String("method", "analytical", "accuracy method: none | analytical | bootstrap")
+	seed := flag.Uint64("seed", 1, "engine RNG seed")
+	script := flag.String("f", "", "script file to execute before the prompt")
+	batch := flag.Bool("batch", false, "exit after the script (no interactive prompt)")
+	flag.Parse()
+
+	var m core.AccuracyMethod
+	switch *method {
+	case "none":
+		m = core.AccuracyNone
+	case "analytical":
+		m = core.AccuracyAnalytical
+	case "bootstrap":
+		m = core.AccuracyBootstrap
+	default:
+		fmt.Fprintf(os.Stderr, "asdb: unknown method %q\n", *method)
+		os.Exit(2)
+	}
+	r, err := repl.New(core.Config{Level: *level, Method: m, Seed: *seed}, os.Stdout)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "asdb: %v\n", err)
+		os.Exit(1)
+	}
+	if *script != "" {
+		f, err := os.Open(*script)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "asdb: %v\n", err)
+			os.Exit(1)
+		}
+		scanner := bufio.NewScanner(f)
+		scanner.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+		lineNo := 0
+		for scanner.Scan() {
+			lineNo++
+			if err := r.Exec(scanner.Text()); err != nil {
+				fmt.Fprintf(os.Stderr, "asdb: %s:%d: %v\n", *script, lineNo, err)
+				f.Close()
+				os.Exit(1)
+			}
+		}
+		f.Close()
+	}
+	if *batch {
+		return
+	}
+	fmt.Fprintln(os.Stderr, "asdb — accuracy-aware uncertain stream database (HELP for commands, ctrl-D to exit)")
+	in := bufio.NewScanner(os.Stdin)
+	in.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	for {
+		fmt.Fprint(os.Stderr, "asdb> ")
+		if !in.Scan() {
+			break
+		}
+		if err := r.Exec(in.Text()); err != nil {
+			fmt.Fprintf(os.Stderr, "error: %v\n", err)
+		}
+	}
+}

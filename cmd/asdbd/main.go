@@ -1,0 +1,64 @@
+// Command asdbd is the accuracy-aware uncertain stream database daemon: it
+// hosts one engine and serves the line protocol of repro/internal/server
+// over TCP.
+//
+// Usage:
+//
+//	asdbd [-addr 127.0.0.1:7433] [-level 0.9] [-method analytical] [-seed 1]
+//
+// Methods: none, analytical, bootstrap.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/server"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:7433", "listen address")
+	level := flag.Float64("level", 0.9, "confidence level for accuracy intervals")
+	method := flag.String("method", "analytical", "accuracy method: none | analytical | bootstrap")
+	seed := flag.Uint64("seed", 1, "engine RNG seed")
+	dropUnsure := flag.Bool("drop-unsure", false, "drop tuples whose coupled significance test is UNSURE")
+	flag.Parse()
+
+	var m core.AccuracyMethod
+	switch *method {
+	case "none":
+		m = core.AccuracyNone
+	case "analytical":
+		m = core.AccuracyAnalytical
+	case "bootstrap":
+		m = core.AccuracyBootstrap
+	default:
+		fmt.Fprintf(os.Stderr, "asdbd: unknown method %q\n", *method)
+		os.Exit(2)
+	}
+	eng, err := core.NewEngine(core.Config{
+		Level:      *level,
+		Method:     m,
+		Seed:       *seed,
+		DropUnsure: *dropUnsure,
+	})
+	if err != nil {
+		log.Fatalf("asdbd: %v", err)
+	}
+	logger := log.New(os.Stderr, "asdbd: ", log.LstdFlags)
+	srv, err := server.New(eng, logger)
+	if err != nil {
+		log.Fatalf("asdbd: %v", err)
+	}
+	bound, err := srv.Listen(*addr)
+	if err != nil {
+		log.Fatalf("asdbd: %v", err)
+	}
+	logger.Printf("listening on %s (method=%s level=%g)", bound, m, *level)
+	if err := srv.Serve(); err != nil {
+		log.Fatalf("asdbd: %v", err)
+	}
+}

@@ -1,0 +1,63 @@
+// Command experiments regenerates the paper's evaluation figures
+// (Fig 4a–4d, 5a–5h) as aligned text tables and, optionally, CSV files.
+//
+// Usage:
+//
+//	experiments [flags] [figure-ids...]
+//
+//	experiments                 # all figures, full size
+//	experiments -quick 4a 5e    # two figures, reduced trial counts
+//	experiments -csv out/ all   # also write out/fig<id>.csv
+//
+// Flags:
+//
+//	-quick        ~10× fewer trials (CI-friendly)
+//	-seed N       RNG seed (default 42)
+//	-segments N   simulated road-network size (default 300)
+//	-csv DIR      also write fig<id>.csv files into DIR
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	quick := flag.Bool("quick", false, "reduced trial counts")
+	seed := flag.Uint64("seed", 42, "RNG seed")
+	segments := flag.Int("segments", 300, "simulated road-network size")
+	csvDir := flag.String("csv", "", "directory for CSV output (created if missing)")
+	flag.Parse()
+
+	cfg := experiments.Config{Quick: *quick, Seed: *seed, Segments: *segments}
+	ids := flag.Args()
+	if len(ids) == 0 || (len(ids) == 1 && ids[0] == "all") {
+		ids = experiments.IDs()
+	}
+	if *csvDir != "" {
+		if err := os.MkdirAll(*csvDir, 0o755); err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	for _, id := range ids {
+		fig, err := experiments.Run(id, cfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Println(fig.Render())
+		if *csvDir != "" {
+			path := filepath.Join(*csvDir, "fig"+fig.ID+".csv")
+			if err := os.WriteFile(path, []byte(fig.CSV()), 0o644); err != nil {
+				fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+				os.Exit(1)
+			}
+			fmt.Printf("wrote %s\n\n", path)
+		}
+	}
+}

@@ -1,0 +1,123 @@
+package asdb_test
+
+import (
+	"fmt"
+	"log"
+
+	asdb "repro"
+)
+
+// Example reproduces the paper's Example 3: ten traffic-delay observations
+// yield a learned distribution whose 90% mean interval is [65.97, 76.23].
+func Example() {
+	raw := []float64{71, 56, 82, 74, 69, 77, 65, 78, 59, 80}
+	field, err := asdb.Learn(asdb.GaussianLearner{}, asdb.NewSample(raw))
+	if err != nil {
+		log.Fatal(err)
+	}
+	info, err := asdb.AccuracyForDistribution(field.Dist, field.N, 0.9)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("mean interval [%.2f, %.2f]\n", info.Mean.Lo, info.Mean.Hi)
+	fmt.Printf("variance interval [%.2f, %.2f]\n", info.Variance.Lo, info.Variance.Hi)
+	// Output:
+	// mean interval [65.97, 76.23]
+	// variance interval [41.66, 211.99]
+}
+
+// ExampleBinHeightInterval reproduces the paper's Example 2: the second
+// bucket (4 of 20 observations) gets the Wald interval 0.2 ± 0.15.
+func ExampleBinHeightInterval() {
+	iv, err := asdb.BinHeightInterval(0.2, 20, 0.9)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("[%.2f, %.2f]\n", iv.Lo, iv.Hi)
+	// Output:
+	// [0.05, 0.35]
+}
+
+// ExampleTupleProbInterval reproduces the paper's Example 5: a tuple
+// probability of 0.6 backed by 20 observations carries the 90% interval
+// [0.42, 0.78].
+func ExampleTupleProbInterval() {
+	iv, err := asdb.TupleProbInterval(0.6, 20, 0.9)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("[%.2f, %.2f]\n", iv.Lo, iv.Hi)
+	// Output:
+	// [0.42, 0.78]
+}
+
+// ExampleCoupledMTest shows the three-state significance predicate: the
+// same question answered from a small and a large sample.
+func ExampleCoupledMTest() {
+	small := asdb.TestStats{Mean: 100.4, SD: 15.85, N: 5}
+	large := asdb.TestStats{Mean: 100.4, SD: 7.7, N: 100}
+	r1, err := asdb.CoupledMTest(small, asdb.OpGreater, 97, 0.05, 0.05)
+	if err != nil {
+		log.Fatal(err)
+	}
+	r2, err := asdb.CoupledMTest(large, asdb.OpGreater, 97, 0.05, 0.05)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("n=5:  ", r1)
+	fmt.Println("n=100:", r2)
+	// Output:
+	// n=5:   UNSURE
+	// n=100: TRUE
+}
+
+// ExampleEngine_Compile runs a probability-threshold query end to end.
+func ExampleEngine_Compile() {
+	eng, err := asdb.NewEngine(asdb.Config{Method: asdb.AccuracyAnalytical})
+	if err != nil {
+		log.Fatal(err)
+	}
+	schema, err := asdb.NewSchema("traffic",
+		asdb.Column{Name: "road_id"},
+		asdb.Column{Name: "delay", Probabilistic: true},
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := eng.RegisterStream(schema); err != nil {
+		log.Fatal(err)
+	}
+	q, err := eng.Compile("SELECT road_id FROM traffic WHERE delay > 50")
+	if err != nil {
+		log.Fatal(err)
+	}
+	delay, err := asdb.NewNormal(60, 100)
+	if err != nil {
+		log.Fatal(err)
+	}
+	tup, err := eng.NewTuple("traffic", []asdb.Field{asdb.Det(19), {Dist: delay, N: 20}})
+	if err != nil {
+		log.Fatal(err)
+	}
+	results, err := q.Push(tup)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, r := range results {
+		fmt.Printf("road %.0f: P(in result) = %.3f, interval [%.2f, %.2f]\n",
+			r.Tuple.Fields[0].Dist.Mean(), r.Tuple.Prob, r.TupleProb.Lo, r.TupleProb.Hi)
+	}
+	// Output:
+	// road 19: P(in result) = 0.841, interval [0.67, 0.93]
+}
+
+// ExampleDFSampleSize shows Lemma 3 on the paper's Example 4.
+func ExampleDFSampleSize() {
+	n, err := asdb.DFSampleSize(15, 10) // (A+B)/2 with |A|=15, |B|=10
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(n)
+	// Output:
+	// 10
+}

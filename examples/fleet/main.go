@@ -1,0 +1,163 @@
+// Fleet: monitoring a vehicle fleet with grouped windows and stream joins.
+//
+// Two uncertain streams arrive continuously:
+//
+//	telemetry(vehicle_id, speed)   — speed distributions learned from GPS bursts
+//	loads(vehicle_id, weight)      — cargo weight estimates from axle sensors
+//
+// The example runs three continuous queries at once:
+//
+//  1. per-vehicle rolling average speed (GROUP BY + count window),
+//  2. fleet-wide average over the last 30 seconds (time window),
+//  3. an accuracy-aware join: vehicles whose speed is significantly above
+//     80 km/h *while* carrying a heavy load — the mTest keeps noisy,
+//     under-sampled readings from triggering alerts.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	asdb "repro"
+)
+
+func main() {
+	eng, err := asdb.NewEngine(asdb.Config{Method: asdb.AccuracyAnalytical, Seed: 11})
+	if err != nil {
+		log.Fatal(err)
+	}
+	telemetry, err := asdb.NewSchema("telemetry",
+		asdb.Column{Name: "vehicle_id"},
+		asdb.Column{Name: "speed", Probabilistic: true},
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	loads, err := asdb.NewSchema("loads",
+		asdb.Column{Name: "vehicle_id"},
+		asdb.Column{Name: "weight", Probabilistic: true},
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, s := range []*asdb.Schema{telemetry, loads} {
+		if err := eng.RegisterStream(s); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	perVehicle, err := eng.Compile(
+		"SELECT vehicle_id, AVG(speed) FROM telemetry GROUP BY vehicle_id WINDOW 3 ROWS")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fleetWide, err := eng.Compile(
+		"SELECT AVG(speed) AS fleet_speed FROM telemetry WINDOW 30 SECONDS")
+	if err != nil {
+		log.Fatal(err)
+	}
+	alerts, err := eng.Compile(
+		"SELECT telemetry.speed, loads.weight FROM telemetry JOIN loads ON vehicle_id = vehicle_id " +
+			"WHERE MTEST(telemetry.speed, '>', 80, 0.05) AND loads.weight > 900 WINDOW 16 ROWS")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	rng := asdb.NewRand(3)
+	// Per-vehicle true speeds; vehicle 3 speeds and is heavily loaded.
+	speeds := map[int]float64{1: 62, 2: 75, 3: 95}
+	weights := map[int]float64{1: 400, 2: 950, 3: 1000}
+
+	makeSpeed := func(vid int, n int) *asdb.Tuple {
+		truth, err := asdb.NewNormal(speeds[vid], 64)
+		if err != nil {
+			log.Fatal(err)
+		}
+		burst := asdb.NewSample(nil)
+		for i := 0; i < n; i++ {
+			burst.Add(truth.Sample(rng))
+		}
+		f, err := asdb.Learn(asdb.GaussianLearner{}, burst)
+		if err != nil {
+			log.Fatal(err)
+		}
+		t, err := eng.NewTuple("telemetry", []asdb.Field{asdb.Det(float64(vid)), f})
+		if err != nil {
+			log.Fatal(err)
+		}
+		return t
+	}
+	makeLoad := func(vid int) *asdb.Tuple {
+		truth, err := asdb.NewNormal(weights[vid], 2500)
+		if err != nil {
+			log.Fatal(err)
+		}
+		f := asdb.Field{Dist: truth, N: 12}
+		t, err := eng.NewTuple("loads", []asdb.Field{asdb.Det(float64(vid)), f})
+		if err != nil {
+			log.Fatal(err)
+		}
+		return t
+	}
+
+	fmt.Println("=== per-vehicle rolling averages (GROUP BY, 3-row windows) ===")
+	clock := int64(0)
+	for round := 0; round < 4; round++ {
+		for vid := 1; vid <= 3; vid++ {
+			clock += 2
+			// Vehicle 1 reports rich bursts (n=30); vehicle 3 sparse (n=4).
+			n := 30
+			if vid == 3 {
+				n = 4
+			}
+			tup := makeSpeed(vid, n)
+			tup.Time = clock
+			res, err := perVehicle.Push(tup)
+			if err != nil {
+				log.Fatal(err)
+			}
+			for _, r := range res {
+				info := r.Fields["avg_speed"]
+				fmt.Printf("  vehicle %.0f: avg speed %5.1f  90%% interval %v (n=%d)\n",
+					r.Tuple.Fields[0].Dist.Mean(), r.Tuple.Fields[1].Dist.Mean(),
+					info.Mean, info.N)
+			}
+			if _, err := fleetWide.Push(tup); err != nil {
+				log.Fatal(err)
+			}
+		}
+	}
+
+	fmt.Println("\n=== fleet-wide 30-second average ===")
+	tup := makeSpeed(2, 30)
+	tup.Time = clock + 1
+	res, err := fleetWide.Push(tup)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, r := range res {
+		fmt.Printf("  fleet speed %5.1f  interval %v\n",
+			r.Tuple.Fields[0].Dist.Mean(), r.Fields["fleet_speed"].Mean)
+	}
+
+	fmt.Println("\n=== speeding-while-loaded alerts (join + mTest) ===")
+	for vid := 1; vid <= 3; vid++ {
+		if _, err := alerts.Push(makeLoad(vid)); err != nil {
+			log.Fatal(err)
+		}
+	}
+	for vid := 1; vid <= 3; vid++ {
+		res, err := alerts.Push(makeSpeed(vid, 25))
+		if err != nil {
+			log.Fatal(err)
+		}
+		for _, r := range res {
+			fmt.Printf("  ALERT: speed %5.1f (interval %v), weight %6.1f, P(match) = %.2f\n",
+				r.Tuple.Fields[0].Dist.Mean(), r.Fields["telemetry.speed"].Mean,
+				r.Tuple.Fields[1].Dist.Mean(), r.Tuple.Prob)
+		}
+	}
+	st := alerts.Stats()
+	fmt.Printf("  (join stats: %d pushes, %d matches, %d alerts, %d dropped)\n",
+		st.In, st.Joined, st.Out, st.Dropped)
+}

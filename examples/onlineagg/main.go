@@ -1,0 +1,77 @@
+// Onlineagg: the paper's online-computation use case (§I): "When the
+// intervals are sufficiently narrow to make a decision with enough
+// confidence, we can stop acquiring raw data/samples, which is a slow or
+// expensive process."
+//
+// A scientific instrument produces expensive measurements one batch at a
+// time. asdb.Acquire drives the instrument, re-learning the distribution
+// after each batch, and stops at the earliest of: the mean interval
+// reaching a target width, the coupled mTest deciding the question at the
+// requested error rates, or the measurement budget running out.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	asdb "repro"
+)
+
+func main() {
+	// The (hidden) ground truth: measurements are N(52, 6²). The
+	// question: is the true mean above the safety threshold 50?
+	rng := asdb.NewRand(7)
+	truth, err := asdb.NewNormal(52, 36)
+	if err != nil {
+		log.Fatal(err)
+	}
+	calls := 0
+	instrument := func(n int) ([]float64, error) {
+		calls++
+		out := make([]float64, n)
+		for i := range out {
+			out[i] = truth.Sample(rng)
+		}
+		return out, nil
+	}
+
+	fmt.Println("question: is E(measurement) > 50?  (truth: mean 52, unknown to the system)")
+
+	// Stop when the coupled test decides at 5%/5% error rates, when the
+	// 90% mean interval is narrower than 2.0, or after 400 measurements.
+	res, err := asdb.Acquire(instrument, asdb.AcquireRule{
+		Level:    0.9,
+		MaxWidth: 2.0,
+		Test:     &asdb.AcquireTest{Op: asdb.OpGreater, C: 50, Alpha1: 0.05, Alpha2: 0.05},
+		Batch:    5,
+		MaxN:     400,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	mean, _ := res.Sample.Mean()
+	fmt.Printf("\nstopped: %s after %d measurements (%d instrument calls)\n",
+		res.Reason, res.Sample.Size(), calls)
+	fmt.Printf("  sample mean     %.2f\n", mean)
+	fmt.Printf("  mean interval   %v (width %.2f)\n", res.Mean, res.Mean.Length())
+	fmt.Printf("  coupled mTest   %v\n", res.Decision)
+	if res.Reason == asdb.StopDecided {
+		fmt.Printf("\ndecision %v — acquisition stopped early, saving %d of the budgeted 400 measurements\n",
+			res.Decision, 400-res.Sample.Size())
+	}
+
+	// Contrast: a pure width-based rule needs many more measurements for
+	// the same question.
+	res2, err := asdb.Acquire(instrument, asdb.AcquireRule{
+		Level:    0.9,
+		MaxWidth: 2.0,
+		MaxN:     400,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nwidth-only rule for comparison: %s after %d measurements (interval %v)\n",
+		res2.Reason, res2.Sample.Size(), res2.Mean)
+	fmt.Println("the decision rule stops as soon as the *question* is answered, not when the estimate is pretty")
+}

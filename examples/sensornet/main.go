@@ -1,0 +1,123 @@
+// Sensornet: the paper's Examples 8 and 9 — why plain probabilistic
+// predicates mislead and how significance predicates fix them.
+//
+// Two temperature sensors report the same estimated distribution shape, but
+// X was learned from 5 readings and Y from 100. A probability-threshold
+// query treats them identically; pTest and mTest (run through the SQL
+// WHERE clause) admit only the well-supported one.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	asdb "repro"
+)
+
+func main() {
+	eng, err := asdb.NewEngine(asdb.Config{Method: asdb.AccuracyAnalytical})
+	if err != nil {
+		log.Fatal(err)
+	}
+	schema, err := asdb.NewSchema("sensors",
+		asdb.Column{Name: "sensor_id"},
+		asdb.Column{Name: "temperature", Probabilistic: true},
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := eng.RegisterStream(schema); err != nil {
+		log.Fatal(err)
+	}
+
+	// Example 8's field X: five raw readings. The empirical learner keeps
+	// the observed proportions exactly ("distributions learned by the
+	// database should be faithful to their raw samples", Example 8).
+	xField, err := asdb.Learn(asdb.EmpiricalLearner{},
+		asdb.NewSample([]float64{82, 86, 105, 110, 119}))
+	if err != nil {
+		log.Fatal(err)
+	}
+	// Field Y: same mean (100.4), but 100 readings — 40 below 100 and 60
+	// above, as in the paper.
+	yObs := make([]float64, 100)
+	for i := 0; i < 40; i++ {
+		yObs[i] = 91
+	}
+	for i := 40; i < 100; i++ {
+		yObs[i] = 106.66666666666667
+	}
+	yField, err := asdb.Learn(asdb.EmpiricalLearner{}, asdb.NewSample(yObs))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	tupleX, err := eng.NewTuple("sensors", []asdb.Field{asdb.Det(1), xField})
+	if err != nil {
+		log.Fatal(err)
+	}
+	tupleY, err := eng.NewTuple("sensors", []asdb.Field{asdb.Det(2), yField})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	run := func(label, sqlText string) {
+		q, err := eng.Compile(sqlText)
+		if err != nil {
+			log.Fatal(err)
+		}
+		var passed []float64
+		for _, t := range []*asdb.Tuple{tupleX, tupleY} {
+			results, err := q.Push(t)
+			if err != nil {
+				log.Fatal(err)
+			}
+			for _, r := range results {
+				passed = append(passed, r.Tuple.Fields[0].Dist.Mean())
+			}
+		}
+		fmt.Printf("%-60s -> sensors %v\n", label, passed)
+	}
+
+	fmt.Println("sensor 1: mean 100.4 from n=5     sensor 2: mean 100.4 from n=100")
+	fmt.Println()
+
+	// P1 (Example 8): the probability-threshold predicate passes both —
+	// it cannot tell 5 readings from 100.
+	run("P1: PROB(temperature > 100) >= 0.5",
+		"SELECT sensor_id FROM sensors WHERE PROB(temperature > 100) >= 0.5")
+
+	// P2: comparing expectations directly also passes both (possible-world
+	// filtering keeps each with probability > 0; shown via mean test
+	// instead below).
+
+	// Example 9: pTest with a 5% significance level admits only sensor 2.
+	run("pTest(temperature > 100, τ=0.5, α=0.05)",
+		"SELECT sensor_id FROM sensors WHERE PTEST(temperature > 100, 0.5, 0.05)")
+
+	// Example 9's mTest: E(temperature) > 97 at 5% significance.
+	run("mTest(temperature, '>', 97, α=0.05)",
+		"SELECT sensor_id FROM sensors WHERE MTEST(temperature, '>', 97, 0.05)")
+
+	// Coupled tests bound both error rates; UNSURE tuples can be kept and
+	// flagged instead of dropped.
+	q, err := eng.Compile("SELECT sensor_id FROM sensors WHERE MTEST(temperature, '>', 97, 0.05, 0.05)")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println()
+	for _, t := range []*asdb.Tuple{tupleX, tupleY} {
+		results, err := q.Push(t)
+		if err != nil {
+			log.Fatal(err)
+		}
+		for _, r := range results {
+			state := "TRUE"
+			if r.Unsure {
+				state = "UNSURE (keep collecting readings)"
+			}
+			fmt.Printf("coupled mTest: sensor %.0f -> %s\n",
+				r.Tuple.Fields[0].Dist.Mean(), state)
+		}
+	}
+}

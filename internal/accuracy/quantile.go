@@ -1,0 +1,120 @@
+package accuracy
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/stat"
+)
+
+// QuantileInterval returns a distribution-free confidence interval for the
+// population p-quantile from raw observations, using order statistics: the
+// interval [x₍l₎, x₍u₎] where l and u are chosen so that the binomial
+// probability P(l ≤ K < u) ≥ c for K ~ Binomial(n, p) — the classic
+// nonparametric quantile interval.
+//
+// This extends the paper's accuracy information (bin heights, mean,
+// variance) with medians and tail quantiles, which matter for
+// latency-style attributes; like Lemma 1 it makes no distributional
+// assumption. The achieved confidence is at least c (it can exceed c
+// because order statistics are discrete) and is returned in the interval's
+// Level.
+func QuantileInterval(obs []float64, p, c float64) (Interval, error) {
+	n := len(obs)
+	if n < 2 {
+		return Interval{}, fmt.Errorf("%w: quantile interval needs n ≥ 2, have %d", ErrSampleSize, n)
+	}
+	if p <= 0 || p >= 1 || math.IsNaN(p) {
+		return Interval{}, fmt.Errorf("accuracy: quantile p=%v outside (0,1)", p)
+	}
+	if err := stat.CheckLevel(c); err != nil {
+		return Interval{}, fmt.Errorf("accuracy: confidence level %v: %w", c, err)
+	}
+	sorted := append([]float64(nil), obs...)
+	sort.Float64s(sorted)
+	// Choose l as the largest index with P(K < l) ≤ (1−c)/2 and u as the
+	// smallest index with P(K ≥ u) ≤ (1−c)/2, K ~ Binomial(n, p) counting
+	// observations below the true quantile.
+	alpha := (1 - c) / 2
+	l := 0
+	for k := 1; k <= n; k++ {
+		cdf, err := binomialCDF(k-1, n, p)
+		if err != nil {
+			return Interval{}, err
+		}
+		if cdf <= alpha {
+			l = k
+		} else {
+			break
+		}
+	}
+	u := n + 1
+	for k := n; k >= 1; k-- {
+		cdf, err := binomialCDF(k-1, n, p)
+		if err != nil {
+			return Interval{}, err
+		}
+		if 1-cdf <= alpha {
+			u = k
+		} else {
+			break
+		}
+	}
+	// Convert order-statistic ranks (1-based) to slice indices, clamping
+	// to the sample range when the requested coverage cannot be met in a
+	// tail (small n, extreme p).
+	loIdx := l - 1
+	if loIdx < 0 {
+		loIdx = 0
+	}
+	if loIdx > n-1 {
+		loIdx = n - 1
+	}
+	hiIdx := u - 1
+	if hiIdx > n-1 {
+		hiIdx = n - 1
+	}
+	if hiIdx < loIdx {
+		hiIdx = loIdx
+	}
+	// Achieved confidence: P(l ≤ K < u).
+	lowCDF := 0.0
+	if l >= 1 {
+		v, err := binomialCDF(l-1, n, p)
+		if err != nil {
+			return Interval{}, err
+		}
+		lowCDF = v
+	}
+	highCDF := 1.0
+	if u <= n {
+		v, err := binomialCDF(u-1, n, p)
+		if err != nil {
+			return Interval{}, err
+		}
+		highCDF = v
+	}
+	achieved := highCDF - lowCDF
+	if achieved > 1 {
+		achieved = 1
+	}
+	return Interval{Lo: sorted[loIdx], Hi: sorted[hiIdx], Level: achieved}, nil
+}
+
+// MedianInterval is QuantileInterval at p = 0.5.
+func MedianInterval(obs []float64, c float64) (Interval, error) {
+	return QuantileInterval(obs, 0.5, c)
+}
+
+// binomialCDF returns P(K ≤ k) for K ~ Binomial(n, p), via the regularized
+// incomplete beta function: P(K ≤ k) = I_{1−p}(n−k, k+1).
+func binomialCDF(k, n int, p float64) (float64, error) {
+	if k < 0 {
+		return 0, nil
+	}
+	if k >= n {
+		return 1, nil
+	}
+	return stat.BetaInc(float64(n-k), float64(k+1), 1-p)
+}

@@ -1,0 +1,172 @@
+package accuracy
+
+import (
+	"math"
+	"sort"
+	"testing"
+
+	"repro/internal/dist"
+)
+
+func TestBinomialCDF(t *testing.T) {
+	// Binomial(4, 0.5): CDF = 1/16, 5/16, 11/16, 15/16, 1.
+	want := []float64{1.0 / 16, 5.0 / 16, 11.0 / 16, 15.0 / 16, 1}
+	for k, w := range want {
+		got, err := binomialCDF(k, 4, 0.5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		approx(t, "binomCDF", got, w, 1e-12)
+	}
+	if v, _ := binomialCDF(-1, 4, 0.5); v != 0 {
+		t.Errorf("CDF(-1) = %v", v)
+	}
+	if v, _ := binomialCDF(4, 4, 0.5); v != 1 {
+		t.Errorf("CDF(n) = %v", v)
+	}
+}
+
+func TestQuantileIntervalValidation(t *testing.T) {
+	obs := []float64{1, 2, 3, 4, 5}
+	if _, err := QuantileInterval(obs[:1], 0.5, 0.9); err == nil {
+		t.Error("n=1: want error")
+	}
+	for _, p := range []float64{0, 1, -0.5, math.NaN()} {
+		if _, err := QuantileInterval(obs, p, 0.9); err == nil {
+			t.Errorf("p=%v: want error", p)
+		}
+	}
+	if _, err := QuantileInterval(obs, 0.5, 1.5); err == nil {
+		t.Error("c>1: want error")
+	}
+}
+
+func TestQuantileIntervalBasics(t *testing.T) {
+	obs := make([]float64, 100)
+	for i := range obs {
+		obs[i] = float64(i + 1) // 1..100
+	}
+	iv, err := MedianInterval(obs, 0.9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The interval must bracket the sample median and be reasonably tight.
+	if !(iv.Lo <= 50.5 && 50.5 <= iv.Hi) {
+		t.Errorf("median interval %v does not bracket 50.5", iv)
+	}
+	if iv.Length() > 25 {
+		t.Errorf("median interval %v too wide for n=100", iv)
+	}
+	if iv.Level < 0.9 {
+		t.Errorf("achieved level %v below requested 0.9", iv.Level)
+	}
+	// Input must not be mutated.
+	if obs[0] != 1 || obs[99] != 100 {
+		t.Error("QuantileInterval mutated its input")
+	}
+	shuffled := []float64{5, 1, 4, 2, 3}
+	if _, err := QuantileInterval(shuffled, 0.5, 0.9); err != nil {
+		t.Fatal(err)
+	}
+	if shuffled[0] != 5 {
+		t.Error("input order changed")
+	}
+}
+
+// TestQuantileIntervalCoverage: the empirical coverage of the 90% median
+// interval meets its nominal level (it is conservative by construction).
+func TestQuantileIntervalCoverage(t *testing.T) {
+	rng := dist.NewRand(44)
+	exp, _ := dist.NewExponential(1)
+	trueMedian := exp.Quantile(0.5)
+	const trials = 3000
+	misses := 0
+	for i := 0; i < trials; i++ {
+		obs := dist.SampleN(exp, 25, rng)
+		iv, err := MedianInterval(obs, 0.9)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !iv.Contains(trueMedian) {
+			misses++
+		}
+	}
+	rate := float64(misses) / trials
+	if rate > 0.1 {
+		t.Errorf("median interval miss rate %g exceeds nominal 0.10", rate)
+	}
+}
+
+// TestQuantileIntervalTail: a 95th-percentile interval on skewed data still
+// covers, clamped to the sample when the upper tail lacks coverage.
+func TestQuantileIntervalTail(t *testing.T) {
+	rng := dist.NewRand(45)
+	ln, _ := dist.NewLognormal(0, 1)
+	trueQ := ln.Quantile(0.95)
+	const trials = 1500
+	misses := 0
+	for i := 0; i < trials; i++ {
+		obs := dist.SampleN(ln, 100, rng)
+		iv, err := QuantileInterval(obs, 0.95, 0.9)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !iv.Contains(trueQ) {
+			misses++
+		}
+	}
+	rate := float64(misses) / trials
+	// The upper tail of the interval is clamped at the sample maximum, so
+	// allow a modest exceedance of the nominal rate.
+	if rate > 0.15 {
+		t.Errorf("tail quantile miss rate %g too high", rate)
+	}
+}
+
+// TestQuantileIntervalShrinksWithN mirrors the 1/√n law for quantiles.
+func TestQuantileIntervalShrinksWithN(t *testing.T) {
+	rng := dist.NewRand(46)
+	nd, _ := dist.NewNormal(0, 1)
+	avgLen := func(n int) float64 {
+		total := 0.0
+		const reps = 200
+		for i := 0; i < reps; i++ {
+			obs := dist.SampleN(nd, n, rng)
+			iv, err := MedianInterval(obs, 0.9)
+			if err != nil {
+				t.Fatal(err)
+			}
+			total += iv.Length()
+		}
+		return total / reps
+	}
+	l25, l400 := avgLen(25), avgLen(400)
+	if l400 >= l25 {
+		t.Errorf("interval did not shrink: n=25 → %g, n=400 → %g", l25, l400)
+	}
+	ratio := l25 / l400
+	if ratio < 2.5 || ratio > 6.5 { // √16 = 4 expected
+		t.Errorf("shrink ratio %g implausible for 1/√n", ratio)
+	}
+}
+
+func TestQuantileIntervalEndpointsAreOrderStats(t *testing.T) {
+	obs := []float64{9, 3, 7, 1, 5}
+	iv, err := QuantileInterval(obs, 0.5, 0.8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sorted := append([]float64(nil), obs...)
+	sort.Float64s(sorted)
+	found := func(v float64) bool {
+		for _, x := range sorted {
+			if x == v {
+				return true
+			}
+		}
+		return false
+	}
+	if !found(iv.Lo) || !found(iv.Hi) {
+		t.Errorf("interval %v endpoints are not order statistics of %v", iv, sorted)
+	}
+}

@@ -1,0 +1,232 @@
+// Package bootstrap implements the paper's §III: obtaining accuracy
+// information via bootstraps instead of the analytical formulas.
+//
+// The central algorithm is BOOTSTRAP-ACCURACY-INFO: given a sequence of m
+// values of an output random variable Y (produced either by a Monte Carlo
+// query path or by sampling the result distribution directly), and Y's de
+// facto sample size n, it groups the values into r = ⌊m/n⌋ d.f. resamples,
+// computes the statistics of interest (bin heights, sample mean, sample
+// variance) within each resample, and reports percentile intervals of each
+// statistic over the r resamples (Theorem 2 establishes correctness via
+// Lemma 4's concurrent-bootstrap argument).
+//
+// The package also provides the classic single-sample bootstrap
+// (resampling with replacement, §III-A) used to cross-check the d.f.
+// variant and to bootstrap source-data samples directly.
+package bootstrap
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/accuracy"
+	"repro/internal/dist"
+	"repro/internal/learn"
+)
+
+// ErrTooFewValues reports that the value sequence cannot form enough d.f.
+// resamples for percentile intervals to be meaningful.
+var ErrTooFewValues = errors.New("bootstrap: too few values for requested resamples")
+
+// DefaultResamples is the resample count the engine aims for when it
+// controls m (the paper's Example 7 uses r = 20; convergence benches in
+// bench_test.go justify the default).
+const DefaultResamples = 40
+
+// PercentileInterval returns the level-α percentile interval of values:
+// the span between the 100·(1−α)/2-th and 100·(1+α)/2-th percentiles
+// (lines 12–15 of BOOTSTRAP-ACCURACY-INFO). values is not modified.
+func PercentileInterval(values []float64, alpha float64) (accuracy.Interval, error) {
+	if len(values) < 2 {
+		return accuracy.Interval{}, fmt.Errorf("%w: have %d values, need ≥ 2", ErrTooFewValues, len(values))
+	}
+	if alpha <= 0 || alpha >= 1 || math.IsNaN(alpha) {
+		return accuracy.Interval{}, fmt.Errorf("bootstrap: confidence level %v outside (0,1)", alpha)
+	}
+	sorted := append([]float64(nil), values...)
+	sort.Float64s(sorted)
+	lo := percentile(sorted, (1-alpha)/2)
+	hi := percentile(sorted, (1+alpha)/2)
+	return accuracy.Interval{Lo: lo, Hi: hi, Level: alpha}, nil
+}
+
+// percentile returns the p-th quantile of sorted values with linear
+// interpolation (type-7).
+func percentile(sorted []float64, p float64) float64 {
+	if len(sorted) == 1 {
+		return sorted[0]
+	}
+	h := p * float64(len(sorted)-1)
+	lo := int(math.Floor(h))
+	if lo >= len(sorted)-1 {
+		return sorted[len(sorted)-1]
+	}
+	frac := h - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[lo+1]*frac
+}
+
+// AccuracyInfo is algorithm BOOTSTRAP-ACCURACY-INFO.
+//
+// v is the sequence of output-variable values from query processing, n the
+// d.f. sample size of the output variable (Lemma 3), and alpha the
+// confidence level of the intervals. hist optionally supplies histogram
+// bucket edges: when non-nil, per-bucket bin-height intervals are computed
+// over the resamples exactly as lines 6–8 and 12–14 of the algorithm; when
+// nil only mean and variance intervals are produced.
+//
+// It returns an error when fewer than 2 complete resamples fit in v
+// (r = ⌊m/n⌋ < 2); the paper assumes "m is sufficiently large so that the
+// confidence intervals ... converge".
+func AccuracyInfo(v []float64, n int, alpha float64, hist *dist.Histogram) (*accuracy.Info, error) {
+	if n < 2 {
+		return nil, fmt.Errorf("bootstrap: d.f. sample size %d, need ≥ 2", n)
+	}
+	r := len(v) / n // line 1: number of d.f. resamples
+	if r < 2 {
+		return nil, fmt.Errorf("%w: m=%d values, n=%d gives r=%d resamples",
+			ErrTooFewValues, len(v), n, r)
+	}
+	var (
+		means     = make([]float64, r)
+		variances = make([]float64, r)
+		binProbs  [][]float64 // [bucket][resample]
+	)
+	if hist != nil {
+		binProbs = make([][]float64, hist.NumBuckets())
+		for k := range binProbs {
+			binProbs[k] = make([]float64, r)
+		}
+	}
+	for i := 0; i < r; i++ { // lines 2–11: one pass per resample
+		o := v[i*n : (i+1)*n]
+		sum := 0.0
+		for _, x := range o {
+			sum += x
+		}
+		mean := sum / float64(n)
+		ss := 0.0
+		for _, x := range o {
+			d := x - mean
+			ss += d * d
+		}
+		means[i] = mean
+		variances[i] = ss / float64(n-1)
+		if hist != nil {
+			for _, x := range o {
+				if k := hist.BucketIndex(x); k >= 0 {
+					binProbs[k][i] += 1 / float64(n)
+				}
+			}
+		}
+	}
+	meanIv, err := PercentileInterval(means, alpha)
+	if err != nil {
+		return nil, err
+	}
+	varIv, err := PercentileInterval(variances, alpha)
+	if err != nil {
+		return nil, err
+	}
+	info := &accuracy.Info{
+		N:        n,
+		Level:    alpha,
+		Mean:     meanIv,
+		Variance: varIv,
+		Method:   "bootstrap",
+	}
+	if hist != nil {
+		info.Bins = make([]accuracy.BinInterval, hist.NumBuckets())
+		for k := range info.Bins {
+			iv, err := PercentileInterval(binProbs[k], alpha)
+			if err != nil {
+				return nil, err
+			}
+			lo, hi := hist.Bucket(k)
+			est := hist.BucketProb(k)
+			info.Bins[k] = accuracy.BinInterval{
+				Bucket:   k,
+				Lo:       lo,
+				Hi:       hi,
+				Estimate: est,
+				Interval: iv.Clamp(0, 1),
+			}
+		}
+	}
+	return info, nil
+}
+
+// FromDistribution covers the paper's second query-processing category
+// (§III-B): the query produced a result distribution directly (no Monte
+// Carlo value sequence), so we "sample from this distribution and also get
+// a sequence of values", then run BOOTSTRAP-ACCURACY-INFO on it. r controls
+// the number of d.f. resamples drawn (m = r·n values are sampled).
+func FromDistribution(d dist.Distribution, n, r int, alpha float64, rng *dist.Rand) (*accuracy.Info, error) {
+	if d == nil {
+		return nil, errors.New("bootstrap: nil distribution")
+	}
+	if r < 2 {
+		return nil, fmt.Errorf("bootstrap: resample count %d, need ≥ 2", r)
+	}
+	if n < 2 {
+		return nil, fmt.Errorf("bootstrap: d.f. sample size %d, need ≥ 2", n)
+	}
+	v := dist.SampleN(d, n*r, rng)
+	hist, _ := d.(*dist.Histogram)
+	return AccuracyInfo(v, n, alpha, hist)
+}
+
+// Statistic is a function of a sample, e.g. the sample mean (Definition 1:
+// "any function T of the sample is called a statistic").
+type Statistic func(*learn.Sample) (float64, error)
+
+// Mean is the sample-mean statistic.
+func Mean(s *learn.Sample) (float64, error) { return s.Mean() }
+
+// Variance is the unbiased sample-variance statistic.
+func Variance(s *learn.Sample) (float64, error) { return s.Variance() }
+
+// ProportionAbove returns the statistic measuring the fraction of
+// observations exceeding v.
+func ProportionAbove(v float64) Statistic {
+	return func(s *learn.Sample) (float64, error) {
+		return s.Proportion(func(x float64) bool { return x > v })
+	}
+}
+
+// Classic performs the textbook single-sample bootstrap (§III-A): b
+// resamples with replacement from s, computing stat on each, returning the
+// bootstrap distribution of the statistic. Use PercentileInterval on the
+// result for a confidence interval.
+func Classic(s *learn.Sample, stat Statistic, b int, rng *dist.Rand) ([]float64, error) {
+	if s == nil || s.Size() == 0 {
+		return nil, learn.ErrEmptySample
+	}
+	if b < 1 {
+		return nil, fmt.Errorf("bootstrap: resample count %d, need ≥ 1", b)
+	}
+	out := make([]float64, b)
+	for i := range out {
+		rs, err := s.Resample(rng)
+		if err != nil {
+			return nil, err
+		}
+		v, err := stat(rs)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = v
+	}
+	return out, nil
+}
+
+// ClassicInterval is a convenience wrapper: bootstrap s with b resamples and
+// return the level-alpha percentile interval of stat.
+func ClassicInterval(s *learn.Sample, stat Statistic, b int, alpha float64, rng *dist.Rand) (accuracy.Interval, error) {
+	boot, err := Classic(s, stat, b, rng)
+	if err != nil {
+		return accuracy.Interval{}, err
+	}
+	return PercentileInterval(boot, alpha)
+}

@@ -1,0 +1,180 @@
+// Package codec serializes distributions and fields losslessly to JSON, so
+// that learned state can cross process boundaries (the network protocol,
+// checkpoints, logs) without degrading to moment approximations.
+//
+// Every dist type round-trips: point, normal, exponential, gamma, uniform,
+// weibull, lognormal, beta, studentt, histogram (with retained counts),
+// discrete, and mixture (recursively).
+package codec
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+
+	"repro/internal/dist"
+	"repro/internal/randvar"
+)
+
+// wire is the tagged union carrying any distribution.
+type wire struct {
+	Type string `json:"type"`
+
+	// Scalar parameters (meaning depends on Type).
+	A float64 `json:"a,omitempty"`
+	B float64 `json:"b,omitempty"`
+	C float64 `json:"c,omitempty"`
+
+	// Histogram / discrete payloads.
+	Edges  []float64 `json:"edges,omitempty"`
+	Probs  []float64 `json:"probs,omitempty"`
+	Counts []int     `json:"counts,omitempty"`
+	Xs     []float64 `json:"xs,omitempty"`
+	Ps     []float64 `json:"ps,omitempty"`
+
+	// Mixture payload.
+	Components []json.RawMessage `json:"components,omitempty"`
+	Weights    []float64         `json:"weights,omitempty"`
+}
+
+// ErrUnsupported reports a distribution type the codec cannot encode.
+var ErrUnsupported = errors.New("codec: unsupported distribution type")
+
+// EncodeDistribution renders d as compact JSON.
+func EncodeDistribution(d dist.Distribution) ([]byte, error) {
+	w, err := toWire(d)
+	if err != nil {
+		return nil, err
+	}
+	return json.Marshal(w)
+}
+
+func toWire(d dist.Distribution) (*wire, error) {
+	switch v := d.(type) {
+	case dist.Point:
+		return &wire{Type: "point", A: v.V}, nil
+	case dist.Normal:
+		return &wire{Type: "normal", A: v.Mu, B: v.Sigma2}, nil
+	case dist.Exponential:
+		return &wire{Type: "exponential", A: v.Lambda}, nil
+	case dist.Gamma:
+		return &wire{Type: "gamma", A: v.K, B: v.Theta}, nil
+	case dist.Uniform:
+		return &wire{Type: "uniform", A: v.A, B: v.B}, nil
+	case dist.Weibull:
+		return &wire{Type: "weibull", A: v.Lambda, B: v.K}, nil
+	case dist.Lognormal:
+		return &wire{Type: "lognormal", A: v.MuLog, B: v.Sigma2Log}, nil
+	case dist.Beta:
+		return &wire{Type: "beta", A: v.Alpha, B: v.BetaP}, nil
+	case dist.StudentT:
+		return &wire{Type: "studentt", A: v.Nu, B: v.Loc, C: v.Scale}, nil
+	case *dist.Histogram:
+		return &wire{
+			Type:   "histogram",
+			Edges:  v.Edges,
+			Probs:  v.Probs,
+			Counts: v.Counts,
+		}, nil
+	case *dist.Discrete:
+		xs := v.Support()
+		ps := make([]float64, len(xs))
+		for i, x := range xs {
+			ps[i] = v.Prob(x)
+		}
+		return &wire{Type: "discrete", Xs: xs, Ps: ps}, nil
+	case *dist.Mixture:
+		comps := make([]json.RawMessage, len(v.Components))
+		for i, c := range v.Components {
+			enc, err := EncodeDistribution(c)
+			if err != nil {
+				return nil, err
+			}
+			comps[i] = enc
+		}
+		return &wire{Type: "mixture", Components: comps, Weights: v.Weights}, nil
+	}
+	return nil, fmt.Errorf("%w: %T", ErrUnsupported, d)
+}
+
+// DecodeDistribution parses codec JSON back into a distribution,
+// re-validating every parameter through the dist constructors.
+func DecodeDistribution(data []byte) (dist.Distribution, error) {
+	var w wire
+	if err := json.Unmarshal(data, &w); err != nil {
+		return nil, fmt.Errorf("codec: %w", err)
+	}
+	return fromWire(&w)
+}
+
+func fromWire(w *wire) (dist.Distribution, error) {
+	switch w.Type {
+	case "point":
+		return dist.Point{V: w.A}, nil
+	case "normal":
+		return dist.NewNormal(w.A, w.B)
+	case "exponential":
+		return dist.NewExponential(w.A)
+	case "gamma":
+		return dist.NewGamma(w.A, w.B)
+	case "uniform":
+		return dist.NewUniform(w.A, w.B)
+	case "weibull":
+		return dist.NewWeibull(w.A, w.B)
+	case "lognormal":
+		return dist.NewLognormal(w.A, w.B)
+	case "beta":
+		return dist.NewBeta(w.A, w.B)
+	case "studentt":
+		return dist.NewStudentT(w.A, w.B, w.C)
+	case "histogram":
+		if w.Counts != nil {
+			return dist.HistogramFromCounts(w.Edges, w.Counts)
+		}
+		return dist.NewHistogram(w.Edges, w.Probs)
+	case "discrete":
+		return dist.NewDiscrete(w.Xs, w.Ps)
+	case "mixture":
+		comps := make([]dist.Distribution, len(w.Components))
+		for i, raw := range w.Components {
+			c, err := DecodeDistribution(raw)
+			if err != nil {
+				return nil, err
+			}
+			comps[i] = c
+		}
+		return dist.NewMixture(comps, w.Weights)
+	}
+	return nil, fmt.Errorf("codec: unknown distribution type %q", w.Type)
+}
+
+// fieldWire carries a field: its distribution plus sample size.
+type fieldWire struct {
+	Dist json.RawMessage `json:"dist"`
+	N    int             `json:"n,omitempty"`
+}
+
+// EncodeField renders a field (distribution + sample size) as compact JSON.
+func EncodeField(f randvar.Field) ([]byte, error) {
+	d, err := EncodeDistribution(f.Dist)
+	if err != nil {
+		return nil, err
+	}
+	return json.Marshal(fieldWire{Dist: d, N: f.N})
+}
+
+// DecodeField parses field JSON.
+func DecodeField(data []byte) (randvar.Field, error) {
+	var w fieldWire
+	if err := json.Unmarshal(data, &w); err != nil {
+		return randvar.Field{}, fmt.Errorf("codec: %w", err)
+	}
+	if w.N < 0 {
+		return randvar.Field{}, errors.New("codec: negative sample size")
+	}
+	d, err := DecodeDistribution(w.Dist)
+	if err != nil {
+		return randvar.Field{}, err
+	}
+	return randvar.Field{Dist: d, N: w.N}, nil
+}

@@ -1,0 +1,173 @@
+package codec
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/dist"
+	"repro/internal/randvar"
+)
+
+// allEncodable returns one instance of every supported distribution type.
+func allEncodable(t *testing.T) []dist.Distribution {
+	t.Helper()
+	n, _ := dist.NewNormal(1, 2)
+	e, _ := dist.NewExponential(0.5)
+	g, _ := dist.NewGamma(2, 3)
+	u, _ := dist.NewUniform(-1, 4)
+	w, _ := dist.NewWeibull(2, 1.5)
+	ln, _ := dist.NewLognormal(0.3, 0.7)
+	b, _ := dist.NewBeta(2, 5)
+	st, _ := dist.NewStudentT(9, 71.1, 2.8)
+	h, err := dist.HistogramFromCounts([]float64{0, 10, 20, 30}, []int{2, 5, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hp, err := dist.NewHistogram([]float64{0, 1, 2}, []float64{0.25, 0.75})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := dist.NewDiscrete([]float64{1, 2, 5}, []float64{0.2, 0.3, 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := dist.NewMixture([]dist.Distribution{n, e}, []float64{0.4, 0.6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return []dist.Distribution{
+		dist.Point{V: 3.5}, n, e, g, u, w, ln, b, st, h, hp, d, m,
+	}
+}
+
+func TestRoundTripAllTypes(t *testing.T) {
+	for _, d := range allEncodable(t) {
+		data, err := EncodeDistribution(d)
+		if err != nil {
+			t.Fatalf("%T: %v", d, err)
+		}
+		back, err := DecodeDistribution(data)
+		if err != nil {
+			t.Fatalf("%T: decode: %v (json %s)", d, err, data)
+		}
+		// Moments and a few CDF probes must match exactly.
+		if math.Abs(back.Mean()-d.Mean()) > 1e-12*(1+math.Abs(d.Mean())) {
+			t.Errorf("%T: mean %g vs %g", d, back.Mean(), d.Mean())
+		}
+		if math.Abs(back.Variance()-d.Variance()) > 1e-9*(1+d.Variance()) {
+			t.Errorf("%T: variance %g vs %g", d, back.Variance(), d.Variance())
+		}
+		for _, p := range []float64{0.2, 0.5, 0.8} {
+			x := d.Quantile(p)
+			if math.Abs(back.CDF(x)-d.CDF(x)) > 1e-9 {
+				t.Errorf("%T: CDF(%g) %g vs %g", d, x, back.CDF(x), d.CDF(x))
+			}
+		}
+	}
+}
+
+func TestHistogramCountsSurvive(t *testing.T) {
+	h, _ := dist.HistogramFromCounts([]float64{0, 1, 2}, []int{3, 7})
+	data, err := EncodeDistribution(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := DecodeDistribution(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bh, ok := back.(*dist.Histogram)
+	if !ok || bh.SampleSize() != 10 {
+		t.Errorf("counts lost: %T sample size %d", back, bh.SampleSize())
+	}
+}
+
+func TestStudentTUndefinedMean(t *testing.T) {
+	// StudentT with ν=1 has NaN mean; the moment comparison in the
+	// round-trip test would trip on NaN, so check it separately.
+	st, _ := dist.NewStudentT(1, 0, 1)
+	data, err := EncodeDistribution(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := DecodeDistribution(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsNaN(back.Mean()) {
+		t.Error("ν=1 mean should stay NaN")
+	}
+}
+
+func TestFieldRoundTrip(t *testing.T) {
+	n, _ := dist.NewNormal(60, 100)
+	f := randvar.Field{Dist: n, N: 20}
+	data, err := EncodeField(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := DecodeField(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.N != 20 || back.Dist.Mean() != 60 {
+		t.Errorf("field = %+v", back)
+	}
+	// Deterministic fields keep N = 0.
+	det := randvar.Det(5)
+	data, _ = EncodeField(det)
+	back, err = DecodeField(data)
+	if err != nil || !back.IsDet() {
+		t.Errorf("det round trip: %+v, %v", back, err)
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	bad := []string{
+		``,
+		`{`,
+		`{"type":"martian"}`,
+		`{"type":"normal","a":0,"b":-1}`,     // invalid variance
+		`{"type":"histogram","edges":[0,1]}`, // no probs/counts
+		`{"type":"discrete"}`,                // empty support
+		`{"type":"mixture","components":[{"type":"martian"}],"weights":[1]}`,
+	}
+	for _, s := range bad {
+		if _, err := DecodeDistribution([]byte(s)); err == nil {
+			t.Errorf("DecodeDistribution(%q): want error", s)
+		}
+	}
+	if _, err := DecodeField([]byte(`{"dist":{"type":"normal","a":0,"b":1},"n":-1}`)); err == nil {
+		t.Error("negative n: want error")
+	}
+	if _, err := DecodeField([]byte(`nonsense`)); err == nil {
+		t.Error("bad field json: want error")
+	}
+}
+
+func TestEncodeUnsupported(t *testing.T) {
+	if _, err := EncodeDistribution(fakeDist{}); err == nil {
+		t.Error("unsupported type: want error")
+	}
+	if _, err := EncodeField(randvar.Field{Dist: fakeDist{}}); err == nil {
+		t.Error("unsupported field: want error")
+	}
+}
+
+type fakeDist struct{}
+
+func (fakeDist) Mean() float64             { return 0 }
+func (fakeDist) Variance() float64         { return 1 }
+func (fakeDist) CDF(float64) float64       { return 0.5 }
+func (fakeDist) Quantile(float64) float64  { return 0 }
+func (fakeDist) Sample(*dist.Rand) float64 { return 0 }
+func (fakeDist) String() string            { return "fake" }
+
+func TestCompactJSON(t *testing.T) {
+	n, _ := dist.NewNormal(1, 2)
+	data, _ := EncodeDistribution(n)
+	if strings.ContainsAny(string(data), " \n") {
+		t.Errorf("encoding not compact: %s", data)
+	}
+}

@@ -1,0 +1,244 @@
+// Package core is the accuracy-aware uncertain stream database engine —
+// the paper's primary contribution assembled over the substrates:
+//
+//   - learned distributions retain their sample sizes (package learn),
+//   - query processing propagates de facto sample sizes (Lemma 3, package
+//     randvar) through expressions, filters, and window aggregates
+//     (package stream),
+//   - every query result carries accuracy information — confidence
+//     intervals on distribution parameters and on tuple membership
+//     probabilities — computed analytically (Theorem 1, package accuracy)
+//     or via bootstraps (package bootstrap),
+//   - significance predicates with coupled tests gate decisions at
+//     user-specified error rates (package hypothesis).
+//
+// The Engine hosts named streams; Compile turns a SQL statement (package
+// sql) into a continuous Query that consumes tuples and emits Results.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"repro/internal/dist"
+	"repro/internal/learn"
+	"repro/internal/randvar"
+	"repro/internal/stream"
+)
+
+// AccuracyMethod selects how query-result accuracy information is obtained
+// (§II analytical vs §III bootstrap).
+type AccuracyMethod int
+
+const (
+	// AccuracyNone disables accuracy computation (the accuracy-oblivious
+	// baseline; used to measure pure query-processing throughput).
+	AccuracyNone AccuracyMethod = iota
+	// AccuracyAnalytical uses Lemmas 1–2 via Theorem 1.
+	AccuracyAnalytical
+	// AccuracyBootstrap uses algorithm BOOTSTRAP-ACCURACY-INFO.
+	AccuracyBootstrap
+)
+
+func (m AccuracyMethod) String() string {
+	switch m {
+	case AccuracyNone:
+		return "none"
+	case AccuracyAnalytical:
+		return "analytical"
+	case AccuracyBootstrap:
+		return "bootstrap"
+	}
+	return fmt.Sprintf("AccuracyMethod(%d)", int(m))
+}
+
+// Config tunes an Engine. The zero value is usable after Normalize.
+type Config struct {
+	// Level is the confidence level of reported intervals (default 0.9,
+	// the level used throughout the paper's experiments).
+	Level float64
+	// Method selects the accuracy backend (default analytical).
+	Method AccuracyMethod
+	// Seed seeds the engine's deterministic RNG (default 1).
+	Seed uint64
+	// MonteCarloValues is the value-sequence length m for Monte Carlo
+	// expression evaluation and bootstrap accuracy (default
+	// randvar.DefaultMonteCarloValues).
+	MonteCarloValues int
+	// HistogramBins is the bucket count for learned result histograms
+	// (default randvar.DefaultHistogramBins).
+	HistogramBins int
+	// BootstrapResamples is the d.f. resample count r when the bootstrap
+	// backend must draw its own values (default
+	// bootstrap.DefaultResamples).
+	BootstrapResamples int
+	// DropUnsure controls significance predicates: when true (default),
+	// tuples whose coupled test returns UNSURE are dropped; when false
+	// they are kept and flagged in the Result.
+	DropUnsure bool
+	// MinProb drops result tuples whose membership probability falls
+	// below it (0 keeps everything).
+	MinProb float64
+}
+
+// Normalize fills defaults and validates ranges.
+func (c Config) Normalize() (Config, error) {
+	if c.Level == 0 {
+		c.Level = 0.9
+	}
+	if c.Level <= 0 || c.Level >= 1 {
+		return c, fmt.Errorf("core: confidence level %v outside (0,1)", c.Level)
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if c.MonteCarloValues == 0 {
+		c.MonteCarloValues = randvar.DefaultMonteCarloValues
+	}
+	if c.MonteCarloValues < 2 {
+		return c, fmt.Errorf("core: MonteCarloValues %d too small", c.MonteCarloValues)
+	}
+	if c.HistogramBins == 0 {
+		c.HistogramBins = randvar.DefaultHistogramBins
+	}
+	if c.HistogramBins < 1 {
+		return c, fmt.Errorf("core: HistogramBins %d too small", c.HistogramBins)
+	}
+	if c.BootstrapResamples == 0 {
+		c.BootstrapResamples = 20 // paper Example 7
+	}
+	if c.BootstrapResamples < 2 {
+		return c, fmt.Errorf("core: BootstrapResamples %d too small", c.BootstrapResamples)
+	}
+	if c.MinProb < 0 || c.MinProb > 1 {
+		return c, fmt.Errorf("core: MinProb %v outside [0,1]", c.MinProb)
+	}
+	return c, nil
+}
+
+// DefaultConfig returns the engine defaults used across the examples and
+// experiments.
+func DefaultConfig() Config {
+	c, _ := Config{}.Normalize()
+	return c
+}
+
+// Engine is an accuracy-aware uncertain stream database instance.
+// Stream registration and query compilation are safe for concurrent use;
+// each compiled Query must be driven from a single goroutine.
+type Engine struct {
+	cfg Config
+
+	mu      sync.RWMutex
+	streams map[string]*streamDef
+	seq     uint64
+}
+
+type streamDef struct {
+	schema *stream.Schema
+}
+
+// NewEngine returns an engine with the given configuration.
+func NewEngine(cfg Config) (*Engine, error) {
+	norm, err := cfg.Normalize()
+	if err != nil {
+		return nil, err
+	}
+	return &Engine{cfg: norm, streams: make(map[string]*streamDef)}, nil
+}
+
+// Config returns the engine's normalized configuration.
+func (e *Engine) Config() Config { return e.cfg }
+
+// RegisterStream declares a stream with the given schema.
+func (e *Engine) RegisterStream(schema *stream.Schema) error {
+	if schema == nil {
+		return errors.New("core: nil schema")
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if _, dup := e.streams[keyOf(schema.Name)]; dup {
+		return fmt.Errorf("core: stream %q already registered", schema.Name)
+	}
+	e.streams[keyOf(schema.Name)] = &streamDef{schema: schema}
+	return nil
+}
+
+// Schema returns the schema of a registered stream.
+func (e *Engine) Schema(name string) (*stream.Schema, error) {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	def, ok := e.streams[keyOf(name)]
+	if !ok {
+		return nil, fmt.Errorf("core: unknown stream %q", name)
+	}
+	return def.schema, nil
+}
+
+// Streams returns the registered stream names.
+func (e *Engine) Streams() []string {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	out := make([]string, 0, len(e.streams))
+	for _, def := range e.streams {
+		out = append(out, def.schema.Name)
+	}
+	return out
+}
+
+// NewTuple builds a tuple for a registered stream, assigning it the next
+// sequence number.
+func (e *Engine) NewTuple(streamName string, fields []randvar.Field) (*stream.Tuple, error) {
+	schema, err := e.Schema(streamName)
+	if err != nil {
+		return nil, err
+	}
+	t, err := stream.NewTuple(schema, fields)
+	if err != nil {
+		return nil, err
+	}
+	e.mu.Lock()
+	e.seq++
+	t.Seq = e.seq
+	e.mu.Unlock()
+	return t, nil
+}
+
+// LearnField turns a raw sample into a probabilistic field using the given
+// learner, retaining the sample size for accuracy tracking — the paper's
+// transformation of raw records into a single record with a distribution
+// (§I, Figure 1).
+func LearnField(l learn.Learner, s *learn.Sample) (randvar.Field, error) {
+	if l == nil {
+		return randvar.Field{}, errors.New("core: nil learner")
+	}
+	d, err := l.Learn(s)
+	if err != nil {
+		return randvar.Field{}, err
+	}
+	return randvar.Field{Dist: d, N: s.Size()}, nil
+}
+
+// newEvaluator builds a per-query expression evaluator with an independent
+// RNG stream.
+func (e *Engine) newEvaluator() *randvar.Evaluator {
+	e.mu.Lock()
+	e.seq++
+	seed := e.cfg.Seed + e.seq*0x9e3779b97f4a7c15
+	e.mu.Unlock()
+	ev := randvar.NewEvaluator(dist.NewRand(seed))
+	ev.Values = e.cfg.MonteCarloValues
+	ev.Bins = e.cfg.HistogramBins
+	return ev
+}
+
+func keyOf(name string) string {
+	b := []byte(name)
+	for i, c := range b {
+		if c >= 'A' && c <= 'Z' {
+			b[i] = c + 'a' - 'A'
+		}
+	}
+	return string(b)
+}

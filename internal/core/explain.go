@@ -1,0 +1,76 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/stream"
+)
+
+// Explain renders a human-readable description of the compiled plan: the
+// execution mode, windows, join shape, filter presence, and — central to
+// this system — where accuracy information comes from.
+func (q *Query) Explain() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Query: %s\n", q.stmt)
+	if q.join != nil {
+		fmt.Fprintf(&b, "  join: symmetric window equi-join %s ⋈ %s on key columns %q = %q (window %d rows per side)\n",
+			q.join.leftSchema.Name, q.join.rightSchema.Name,
+			q.join.leftSchema.Columns[q.join.leftKey].Name,
+			q.join.rightSchema.Columns[q.join.rightKey].Name,
+			q.join.leftWin.Cap())
+	} else {
+		fmt.Fprintf(&b, "  source: stream %s\n", q.in.Name)
+	}
+	if q.where != nil {
+		fmt.Fprintf(&b, "  filter: %s (possible-world semantics; membership probability multiplied, d.f. size per Lemma 3)\n",
+			q.stmt.Where)
+	}
+	switch q.mode {
+	case modeAggregate:
+		var windowDesc string
+		switch {
+		case q.stmt.Window.Seconds > 0:
+			windowDesc = fmt.Sprintf("time window of %d seconds", q.stmt.Window.Seconds)
+		default:
+			windowDesc = fmt.Sprintf("count window of %d rows", q.stmt.Window.Rows)
+		}
+		if q.groupIdx >= 0 {
+			fmt.Fprintf(&b, "  aggregate: grouped by %s, %s per group\n",
+				q.in.Columns[q.groupIdx].Name, windowDesc)
+		} else {
+			fmt.Fprintf(&b, "  aggregate: %s\n", windowDesc)
+		}
+		for _, a := range q.aggs {
+			fmt.Fprintf(&b, "    %s(%s) AS %s", a.kind, q.in.Columns[a.colIdx].Name, a.label)
+			if a.kind == stream.Avg || a.kind == stream.Sum {
+				b.WriteString("  [Gaussian closed form when inputs allow]")
+			}
+			b.WriteByte('\n')
+		}
+	default:
+		fmt.Fprintf(&b, "  project: %d columns\n", len(q.scalars))
+		for _, s := range q.scalars {
+			if s.passthrough >= 0 {
+				fmt.Fprintf(&b, "    %s (passthrough)\n", s.label)
+				continue
+			}
+			path := "Monte Carlo"
+			if s.expr.linOK {
+				path = "linear: Gaussian closed form when inputs allow, else Monte Carlo"
+			}
+			fmt.Fprintf(&b, "    %s = %s  [%s]\n", s.label, s.expr.label, path)
+		}
+	}
+	fmt.Fprintf(&b, "  accuracy: %s", q.eng.cfg.Method)
+	if q.eng.cfg.Method != AccuracyNone {
+		fmt.Fprintf(&b, " at %g%% confidence", q.eng.cfg.Level*100)
+		if q.eng.cfg.Method == AccuracyBootstrap {
+			fmt.Fprintf(&b, " (value sequences when Monte Carlo ran, else %d d.f. resamples)",
+				q.eng.cfg.BootstrapResamples)
+		}
+	}
+	b.WriteByte('\n')
+	fmt.Fprintf(&b, "  output: %s\n", q.out)
+	return b.String()
+}

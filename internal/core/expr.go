@@ -1,0 +1,314 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"repro/internal/randvar"
+	"repro/internal/sql"
+	"repro/internal/stream"
+)
+
+// compiledExpr is a scalar expression compiled against a schema: it
+// evaluates to one random-variable field per input tuple, propagating d.f.
+// sample sizes (Lemma 3) and using the Gaussian closed form when the
+// expression is linear and the inputs allow it.
+type compiledExpr struct {
+	label   string
+	cols    []int // referenced column indices, in argument order
+	fn      randvar.Func
+	linear  []float64 // per-cols weights when the expression is linear
+	linOK   bool
+	linC    float64
+	probCol bool // at least one referenced column is probabilistic
+}
+
+// compileScalarExpr compiles expr against schema. Aggregate and predicate
+// functions are rejected here; they are handled by the query planner.
+func compileScalarExpr(schema *stream.Schema, expr sql.Expr) (*compiledExpr, error) {
+	ce := &compiledExpr{label: expr.String()}
+	colPos := map[int]int{} // column index -> argument position
+	argOf := func(idx int) int {
+		if pos, ok := colPos[idx]; ok {
+			return pos
+		}
+		pos := len(ce.cols)
+		colPos[idx] = pos
+		ce.cols = append(ce.cols, idx)
+		return pos
+	}
+	fn, err := buildScalarFn(schema, expr, argOf)
+	if err != nil {
+		return nil, err
+	}
+	ce.fn = fn
+	for _, idx := range ce.cols {
+		if schema.Columns[idx].Probabilistic {
+			ce.probCol = true
+		}
+	}
+	// Linearity detection enables the Gaussian fast path.
+	weights, c, ok := linearCombination(schema, expr, argOf)
+	if ok {
+		ce.linear = make([]float64, len(ce.cols))
+		for pos, w := range weights {
+			ce.linear[pos] = w
+		}
+		ce.linC = c
+		ce.linOK = true
+	}
+	return ce, nil
+}
+
+// buildScalarFn recursively compiles expr into a function over the argument
+// vector. argOf interns column indices into argument positions.
+func buildScalarFn(schema *stream.Schema, expr sql.Expr, argOf func(int) int) (randvar.Func, error) {
+	switch e := expr.(type) {
+	case *sql.NumberLit:
+		v := e.Value
+		return func([]float64) (float64, error) { return v, nil }, nil
+	case *sql.ColumnRef:
+		idx, ok := schema.Index(e.Name)
+		if !ok {
+			return nil, fmt.Errorf("core: unknown column %q in %q", e.Name, schema.Name)
+		}
+		pos := argOf(idx)
+		return func(a []float64) (float64, error) { return a[pos], nil }, nil
+	case *sql.UnaryExpr:
+		x, err := buildScalarFn(schema, e.X, argOf)
+		if err != nil {
+			return nil, err
+		}
+		return func(a []float64) (float64, error) {
+			v, err := x(a)
+			return -v, err
+		}, nil
+	case *sql.BinaryExpr:
+		l, err := buildScalarFn(schema, e.L, argOf)
+		if err != nil {
+			return nil, err
+		}
+		r, err := buildScalarFn(schema, e.R, argOf)
+		if err != nil {
+			return nil, err
+		}
+		switch e.Op {
+		case "+":
+			return func(a []float64) (float64, error) {
+				lv, err := l(a)
+				if err != nil {
+					return 0, err
+				}
+				rv, err := r(a)
+				return lv + rv, err
+			}, nil
+		case "-":
+			return func(a []float64) (float64, error) {
+				lv, err := l(a)
+				if err != nil {
+					return 0, err
+				}
+				rv, err := r(a)
+				return lv - rv, err
+			}, nil
+		case "*":
+			return func(a []float64) (float64, error) {
+				lv, err := l(a)
+				if err != nil {
+					return 0, err
+				}
+				rv, err := r(a)
+				return lv * rv, err
+			}, nil
+		case "/":
+			return func(a []float64) (float64, error) {
+				lv, err := l(a)
+				if err != nil {
+					return 0, err
+				}
+				rv, err := r(a)
+				if err != nil {
+					return 0, err
+				}
+				if rv == 0 {
+					return math.NaN(), nil // dropped by the Monte Carlo loop
+				}
+				return lv / rv, nil
+			}, nil
+		}
+		return nil, fmt.Errorf("core: unsupported arithmetic operator %q", e.Op)
+	case *sql.CallExpr:
+		if isAggregate(e.Func) {
+			return nil, fmt.Errorf("core: aggregate %s not allowed in a scalar expression", e.Func)
+		}
+		unary := func(f func(float64) float64) (randvar.Func, error) {
+			if len(e.Args) != 1 {
+				return nil, fmt.Errorf("core: %s takes 1 argument, got %d", e.Func, len(e.Args))
+			}
+			x, err := buildScalarFn(schema, e.Args[0], argOf)
+			if err != nil {
+				return nil, err
+			}
+			return func(a []float64) (float64, error) {
+				v, err := x(a)
+				return f(v), err
+			}, nil
+		}
+		switch e.Func {
+		case "SQRT":
+			return unary(func(v float64) float64 {
+				if v < 0 {
+					return math.NaN()
+				}
+				return math.Sqrt(v)
+			})
+		case "ABS":
+			return unary(math.Abs)
+		case "SQUARE":
+			return unary(func(v float64) float64 { return v * v })
+		case "EXP":
+			return unary(math.Exp)
+		case "LN":
+			return unary(func(v float64) float64 {
+				if v <= 0 {
+					return math.NaN()
+				}
+				return math.Log(v)
+			})
+		}
+		return nil, fmt.Errorf("core: unknown function %s", e.Func)
+	case *sql.StringLit:
+		return nil, fmt.Errorf("core: string literal %s in scalar expression", e)
+	case *sql.Star:
+		return nil, fmt.Errorf("core: '*' not allowed inside an expression")
+	}
+	return nil, fmt.Errorf("core: %s is not a scalar expression", expr)
+}
+
+// linearCombination detects expressions of the form Σ wᵢ·colᵢ + c. It
+// returns per-argument-position weights; ok is false for any non-linear
+// construct.
+func linearCombination(schema *stream.Schema, expr sql.Expr, argOf func(int) int) (map[int]float64, float64, bool) {
+	switch e := expr.(type) {
+	case *sql.NumberLit:
+		return map[int]float64{}, e.Value, true
+	case *sql.ColumnRef:
+		idx, ok := schema.Index(e.Name)
+		if !ok {
+			return nil, 0, false
+		}
+		return map[int]float64{argOf(idx): 1}, 0, true
+	case *sql.UnaryExpr:
+		w, c, ok := linearCombination(schema, e.X, argOf)
+		if !ok {
+			return nil, 0, false
+		}
+		for k := range w {
+			w[k] = -w[k]
+		}
+		return w, -c, true
+	case *sql.BinaryExpr:
+		lw, lc, lok := linearCombination(schema, e.L, argOf)
+		rw, rc, rok := linearCombination(schema, e.R, argOf)
+		if !lok || !rok {
+			return nil, 0, false
+		}
+		switch e.Op {
+		case "+", "-":
+			sign := 1.0
+			if e.Op == "-" {
+				sign = -1
+			}
+			for k, v := range rw {
+				lw[k] += sign * v
+			}
+			return lw, lc + sign*rc, true
+		case "*":
+			// One side must be a pure constant.
+			if len(lw) == 0 {
+				for k := range rw {
+					rw[k] *= lc
+				}
+				return rw, lc * rc, true
+			}
+			if len(rw) == 0 {
+				for k := range lw {
+					lw[k] *= rc
+				}
+				return lw, lc * rc, true
+			}
+			return nil, 0, false
+		case "/":
+			if len(rw) == 0 && rc != 0 {
+				for k := range lw {
+					lw[k] /= rc
+				}
+				return lw, lc / rc, true
+			}
+			return nil, 0, false
+		}
+		return nil, 0, false
+	}
+	return nil, 0, false
+}
+
+// eval evaluates the compiled expression over one tuple.
+func (ce *compiledExpr) eval(ev *randvar.Evaluator, t *stream.Tuple) (randvar.Result, error) {
+	if len(ce.cols) == 0 {
+		// Constant expression.
+		v, err := ce.fn(nil)
+		if err != nil {
+			return randvar.Result{}, err
+		}
+		return randvar.Result{Field: randvar.Det(v)}, nil
+	}
+	fields := make([]randvar.Field, len(ce.cols))
+	for i, idx := range ce.cols {
+		fields[i] = t.Fields[idx]
+	}
+	if ce.linOK {
+		if f, ok, err := randvar.LinearGaussian(ce.linear, ce.linC, fields...); err != nil {
+			return randvar.Result{}, err
+		} else if ok {
+			return randvar.Result{Field: f}, nil
+		}
+	}
+	return ev.Apply(ce.fn, fields...)
+}
+
+// isAggregate reports whether the (upper-cased) function name is a window
+// aggregate.
+func isAggregate(name string) bool {
+	switch name {
+	case "AVG", "SUM", "COUNT", "MIN", "MAX":
+		return true
+	}
+	return false
+}
+
+// isPredicateFunc reports whether the name is a significance predicate or
+// the probability function — boolean-valued calls only legal in WHERE.
+func isPredicateFunc(name string) bool {
+	switch name {
+	case "MTEST", "MDTEST", "PTEST", "KSTEST", "PROB":
+		return true
+	}
+	return false
+}
+
+// defaultLabel derives an output column name from a select item.
+func defaultLabel(item sql.SelectItem, pos int) string {
+	if item.Alias != "" {
+		return item.Alias
+	}
+	if c, ok := item.Expr.(*sql.ColumnRef); ok {
+		return c.Name
+	}
+	if c, ok := item.Expr.(*sql.CallExpr); ok && len(c.Args) == 1 {
+		if col, ok := c.Args[0].(*sql.ColumnRef); ok {
+			return strings.ToLower(c.Func) + "_" + col.Name
+		}
+	}
+	return fmt.Sprintf("expr%d", pos+1)
+}

@@ -1,0 +1,714 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+
+	"repro/internal/accuracy"
+	"repro/internal/bootstrap"
+	"repro/internal/dist"
+	"repro/internal/randvar"
+	"repro/internal/sql"
+	"repro/internal/stream"
+)
+
+// Result is one output tuple of a continuous query, decorated with the
+// accuracy information the paper proposes (§II-B): per-field confidence
+// intervals (mean, variance, bin heights) and an interval for the tuple's
+// membership probability.
+type Result struct {
+	// Tuple is the output tuple (fields carry distributions and d.f.
+	// sample sizes).
+	Tuple *stream.Tuple
+	// Fields maps output column names to their accuracy information;
+	// entries exist only for probabilistic fields with a known sample
+	// size and only when the engine's accuracy method is not None.
+	Fields map[string]*accuracy.Info
+	// TupleProb is the confidence interval of the tuple's membership
+	// probability (nil when the probability is exact).
+	TupleProb *accuracy.Interval
+	// Unsure is set when a coupled significance predicate answered
+	// UNSURE and the engine is configured to keep such tuples.
+	Unsure bool
+}
+
+// QueryStats counts a query's activity.
+type QueryStats struct {
+	In      uint64 // tuples pushed
+	Out     uint64 // results emitted
+	Dropped uint64 // tuples eliminated by WHERE
+	Unsure  uint64 // tuples whose significance predicate was UNSURE
+	Joined  uint64 // join matches produced (join queries only)
+}
+
+// queryMode distinguishes the execution strategies.
+type queryMode int
+
+const (
+	modeScalar queryMode = iota
+	modeAggregate
+)
+
+// scalarItem is one output column of a scalar query.
+type scalarItem struct {
+	label string
+	// passthrough ≥ 0 selects an input column unchanged; otherwise expr
+	// is evaluated.
+	passthrough int
+	expr        *compiledExpr
+}
+
+// aggItem is one output column of an aggregate query.
+type aggItem struct {
+	label  string
+	kind   stream.AggKind
+	colIdx int
+}
+
+// groupState is the window of one GROUP BY key.
+type groupState struct {
+	count *stream.CountWindow
+	time  *stream.TimeWindow
+}
+
+// joinState executes a symmetric window equi-join: each side retains a
+// count window; an arriving tuple probes the opposite window for equal
+// (deterministic) keys and emits one combined tuple per match, with
+// membership probabilities multiplied under the possible-world
+// independence assumption.
+type joinState struct {
+	leftName, rightName string
+	leftSchema          *stream.Schema
+	rightSchema         *stream.Schema
+	leftKey, rightKey   int
+	leftWin, rightWin   *stream.CountWindow
+	combined            *stream.Schema // columns "<stream>.<col>"
+}
+
+// Query is a compiled continuous query. Push tuples in; Results come out.
+// A Query is not safe for concurrent use.
+type Query struct {
+	eng   *Engine
+	stmt  *sql.SelectStmt
+	in    *stream.Schema // combined schema for joins
+	out   *stream.Schema
+	where compiledPred
+	ev    *randvar.Evaluator
+	rng   *dist.Rand // bootstrap accuracy sampling
+
+	mode    queryMode
+	scalars []scalarItem
+	aggs    []aggItem
+
+	// Aggregate windows: exactly one of window/timeWindow is set for
+	// ungrouped aggregates; groups is used with GROUP BY.
+	window     *stream.CountWindow
+	timeWindow *stream.TimeWindow
+	groupIdx   int // index of the GROUP BY column, -1 when absent
+	groups     map[float64]*groupState
+
+	join *joinState
+
+	stats QueryStats
+}
+
+// Compile parses and plans a SQL statement against the engine's registered
+// streams.
+func (e *Engine) Compile(query string) (*Query, error) {
+	stmt, err := sql.Parse(query)
+	if err != nil {
+		return nil, err
+	}
+	return e.CompileStmt(stmt)
+}
+
+// CompileStmt plans an already-parsed statement.
+func (e *Engine) CompileStmt(stmt *sql.SelectStmt) (*Query, error) {
+	if stmt == nil {
+		return nil, errors.New("core: nil statement")
+	}
+	q := &Query{
+		eng:      e,
+		stmt:     stmt,
+		ev:       e.newEvaluator(),
+		rng:      dist.NewRand(e.cfg.Seed ^ 0xabcdef123456789),
+		groupIdx: -1,
+	}
+	if stmt.Join != nil {
+		if err := q.planJoin(); err != nil {
+			return nil, err
+		}
+	} else {
+		in, err := e.Schema(stmt.From)
+		if err != nil {
+			return nil, err
+		}
+		q.in = in
+	}
+	if stmt.Where != nil {
+		var err error
+		q.where, err = compilePredicate(q.in, stmt.Where, e.cfg)
+		if err != nil {
+			return nil, err
+		}
+	}
+	if err := q.planSelect(); err != nil {
+		return nil, err
+	}
+	return q, nil
+}
+
+// planJoin resolves both sides and builds the combined qualified schema.
+func (q *Query) planJoin() error {
+	stmt := q.stmt
+	left, err := q.eng.Schema(stmt.From)
+	if err != nil {
+		return err
+	}
+	right, err := q.eng.Schema(stmt.Join.Right)
+	if err != nil {
+		return err
+	}
+	if strings.EqualFold(left.Name, right.Name) {
+		return errors.New("core: self-joins are not supported")
+	}
+	if stmt.GroupBy != "" {
+		return errors.New("core: GROUP BY over a join is not supported")
+	}
+	lk, err := resolveKey(left, stmt.Join.LeftKey)
+	if err != nil {
+		return err
+	}
+	rk, err := resolveKey(right, stmt.Join.RightKey)
+	if err != nil {
+		return err
+	}
+	if left.Columns[lk].Probabilistic || right.Columns[rk].Probabilistic {
+		return errors.New("core: join keys must be deterministic columns")
+	}
+	winSize := 128 // default symmetric window per side
+	if stmt.Window != nil {
+		if stmt.Window.Seconds > 0 {
+			return errors.New("core: time-windowed joins are not supported; use WINDOW n ROWS")
+		}
+		winSize = stmt.Window.Rows
+	}
+	lw, err := stream.NewCountWindow(winSize)
+	if err != nil {
+		return err
+	}
+	rw, err := stream.NewCountWindow(winSize)
+	if err != nil {
+		return err
+	}
+	cols := make([]stream.Column, 0, left.Arity()+right.Arity())
+	for _, c := range left.Columns {
+		cols = append(cols, stream.Column{Name: left.Name + "." + c.Name, Probabilistic: c.Probabilistic})
+	}
+	for _, c := range right.Columns {
+		cols = append(cols, stream.Column{Name: right.Name + "." + c.Name, Probabilistic: c.Probabilistic})
+	}
+	combined, err := stream.NewSchema(left.Name+"_join_"+right.Name, cols...)
+	if err != nil {
+		return err
+	}
+	q.join = &joinState{
+		leftName:    strings.ToLower(left.Name),
+		rightName:   strings.ToLower(right.Name),
+		leftSchema:  left,
+		rightSchema: right,
+		leftKey:     lk,
+		rightKey:    rk,
+		leftWin:     lw,
+		rightWin:    rw,
+		combined:    combined,
+	}
+	q.in = combined
+	return nil
+}
+
+// resolveKey resolves a join key column that may be qualified with the
+// stream name ("a.k") or bare ("k") against one side's schema.
+func resolveKey(schema *stream.Schema, key string) (int, error) {
+	name := key
+	prefix := strings.ToLower(schema.Name) + "."
+	if strings.HasPrefix(strings.ToLower(key), prefix) {
+		name = key[len(prefix):]
+	}
+	idx, ok := schema.Index(name)
+	if !ok {
+		return 0, fmt.Errorf("core: join key %q not in stream %q", key, schema.Name)
+	}
+	return idx, nil
+}
+
+// planSelect classifies the select list and builds the output schema.
+func (q *Query) planSelect() error {
+	stmt := q.stmt
+	// SELECT * — passthrough of every column.
+	if len(stmt.Items) == 1 {
+		if _, ok := stmt.Items[0].Expr.(*sql.Star); ok {
+			if stmt.Window != nil && q.join == nil {
+				return errors.New("core: SELECT * cannot be combined with WINDOW")
+			}
+			if stmt.GroupBy != "" {
+				return errors.New("core: SELECT * cannot be combined with GROUP BY")
+			}
+			q.mode = modeScalar
+			for i, col := range q.in.Columns {
+				q.scalars = append(q.scalars, scalarItem{label: col.Name, passthrough: i})
+			}
+			q.out = q.in
+			return nil
+		}
+	}
+	nAgg := 0
+	for _, it := range stmt.Items {
+		if call, ok := it.Expr.(*sql.CallExpr); ok && isAggregate(call.Func) {
+			nAgg++
+		}
+		if _, ok := it.Expr.(*sql.Star); ok {
+			return errors.New("core: '*' must be the only select item")
+		}
+	}
+	if nAgg > 0 {
+		return q.planAggregates()
+	}
+	// Scalar projection.
+	if stmt.Window != nil && q.join == nil {
+		return errors.New("core: WINDOW requires aggregate select items")
+	}
+	if stmt.GroupBy != "" {
+		return errors.New("core: GROUP BY requires aggregate select items")
+	}
+	q.mode = modeScalar
+	cols := make([]stream.Column, 0, len(stmt.Items))
+	for i, it := range stmt.Items {
+		label := defaultLabel(it, i)
+		if call, ok := it.Expr.(*sql.CallExpr); ok && isPredicateFunc(call.Func) {
+			return fmt.Errorf("core: %s is only allowed in WHERE", call.Func)
+		}
+		if col, ok := it.Expr.(*sql.ColumnRef); ok {
+			idx, okc := q.in.Index(col.Name)
+			if !okc {
+				return fmt.Errorf("core: unknown column %q", col.Name)
+			}
+			q.scalars = append(q.scalars, scalarItem{label: label, passthrough: idx})
+			cols = append(cols, stream.Column{Name: label, Probabilistic: q.in.Columns[idx].Probabilistic})
+			continue
+		}
+		ce, err := compileScalarExpr(q.in, it.Expr)
+		if err != nil {
+			return err
+		}
+		q.scalars = append(q.scalars, scalarItem{label: label, passthrough: -1, expr: ce})
+		cols = append(cols, stream.Column{Name: label, Probabilistic: ce.probCol})
+	}
+	out, err := stream.NewSchema(q.in.Name+"_out", cols...)
+	if err != nil {
+		return err
+	}
+	q.out = out
+	return nil
+}
+
+// planAggregates plans aggregate queries: plain, grouped, count- or
+// time-windowed.
+func (q *Query) planAggregates() error {
+	stmt := q.stmt
+	if q.join != nil {
+		return errors.New("core: aggregates over a join are not supported")
+	}
+	if stmt.Window == nil {
+		return errors.New("core: aggregates require a WINDOW clause")
+	}
+	q.mode = modeAggregate
+	var cols []stream.Column
+
+	// Non-aggregate select items are only legal when they name the GROUP
+	// BY column.
+	for i, it := range stmt.Items {
+		call, isCall := it.Expr.(*sql.CallExpr)
+		if isCall && isAggregate(call.Func) {
+			kind, err := stream.ParseAggKind(call.Func)
+			if err != nil {
+				return err
+			}
+			if len(call.Args) != 1 {
+				return fmt.Errorf("core: %s takes 1 argument, got %d", call.Func, len(call.Args))
+			}
+			idx, err := columnArg(q.in, call.Args[0], call.Func+" argument")
+			if err != nil {
+				return err
+			}
+			label := defaultLabel(it, i)
+			q.aggs = append(q.aggs, aggItem{label: label, kind: kind, colIdx: idx})
+			cols = append(cols, stream.Column{Name: label, Probabilistic: kind != stream.Count})
+			continue
+		}
+		col, isCol := it.Expr.(*sql.ColumnRef)
+		if !isCol || stmt.GroupBy == "" || !strings.EqualFold(col.Name, stmt.GroupBy) {
+			return errors.New("core: cannot mix aggregates and scalar expressions without GROUP BY on that column")
+		}
+		idx, ok := q.in.Index(col.Name)
+		if !ok {
+			return fmt.Errorf("core: unknown column %q", col.Name)
+		}
+		label := defaultLabel(it, i)
+		// Recorded as a passthrough of the group key.
+		q.scalars = append(q.scalars, scalarItem{label: label, passthrough: idx})
+		cols = append(cols, stream.Column{Name: label, Probabilistic: q.in.Columns[idx].Probabilistic})
+	}
+
+	if stmt.GroupBy != "" {
+		idx, ok := q.in.Index(stmt.GroupBy)
+		if !ok {
+			return fmt.Errorf("core: unknown GROUP BY column %q", stmt.GroupBy)
+		}
+		if q.in.Columns[idx].Probabilistic {
+			return fmt.Errorf("core: GROUP BY column %q must be deterministic", stmt.GroupBy)
+		}
+		q.groupIdx = idx
+		q.groups = make(map[float64]*groupState)
+	} else {
+		if len(q.scalars) > 0 {
+			return errors.New("core: scalar select items require GROUP BY")
+		}
+		switch {
+		case stmt.Window.Seconds > 0:
+			tw, err := stream.NewTimeWindow(stmt.Window.Seconds)
+			if err != nil {
+				return err
+			}
+			q.timeWindow = tw
+		default:
+			w, err := stream.NewCountWindow(stmt.Window.Rows)
+			if err != nil {
+				return err
+			}
+			q.window = w
+		}
+	}
+	out, err := stream.NewSchema(q.in.Name+"_agg", cols...)
+	if err != nil {
+		return err
+	}
+	q.out = out
+	return nil
+}
+
+// OutSchema returns the schema of emitted results.
+func (q *Query) OutSchema() *stream.Schema { return q.out }
+
+// Stats returns a snapshot of the query's counters.
+func (q *Query) Stats() QueryStats { return q.stats }
+
+// String renders the compiled statement.
+func (q *Query) String() string { return q.stmt.String() }
+
+// Push feeds one tuple through the query, returning zero or more results.
+// For join queries the tuple may belong to either input stream.
+func (q *Query) Push(t *stream.Tuple) ([]Result, error) {
+	if t == nil {
+		return nil, errors.New("core: nil tuple")
+	}
+	q.stats.In++
+	if q.join != nil {
+		return q.pushJoin(t)
+	}
+	if !strings.EqualFold(t.Schema.Name, q.in.Name) || t.Schema.Arity() != q.in.Arity() {
+		return nil, fmt.Errorf("core: tuple of stream %q pushed into query over %q",
+			t.Schema.Name, q.in.Name)
+	}
+	return q.pushFiltered(t)
+}
+
+// pushFiltered applies WHERE and routes to the scalar or aggregate path.
+func (q *Query) pushFiltered(t *stream.Tuple) ([]Result, error) {
+	prob, probN := t.Prob, t.ProbN
+	unsure := false
+	if q.where != nil {
+		o, err := q.where(q.ev, t)
+		if err != nil {
+			return nil, err
+		}
+		if o.Unsure {
+			q.stats.Unsure++
+			if q.eng.cfg.DropUnsure {
+				q.stats.Dropped++
+				return nil, nil
+			}
+			unsure = true
+		}
+		prob *= o.Prob
+		probN = combineN(probN, o.N)
+		if prob == 0 || prob < q.eng.cfg.MinProb {
+			q.stats.Dropped++
+			return nil, nil
+		}
+	}
+	switch q.mode {
+	case modeAggregate:
+		return q.pushAggregate(t, prob, probN, unsure)
+	default:
+		return q.pushScalar(t, prob, probN, unsure)
+	}
+}
+
+// pushJoin inserts the tuple into its side's window, probes the other
+// side, and runs every combined match through the filter/select pipeline.
+func (q *Query) pushJoin(t *stream.Tuple) ([]Result, error) {
+	js := q.join
+	name := strings.ToLower(t.Schema.Name)
+	var (
+		myKey, otherKey int
+		otherWin        *stream.CountWindow
+		leftSide        bool
+	)
+	switch name {
+	case js.leftName:
+		js.leftWin.Push(t)
+		myKey, otherKey = js.leftKey, js.rightKey
+		otherWin = js.rightWin
+		leftSide = true
+	case js.rightName:
+		js.rightWin.Push(t)
+		myKey, otherKey = js.rightKey, js.leftKey
+		otherWin = js.leftWin
+		leftSide = false
+	default:
+		return nil, fmt.Errorf("core: tuple of stream %q pushed into join over %q and %q",
+			t.Schema.Name, js.leftSchema.Name, js.rightSchema.Name)
+	}
+	key := t.Fields[myKey].Dist.Mean()
+	var out []Result
+	var probeErr error
+	otherWin.Do(func(ot *stream.Tuple) {
+		if probeErr != nil {
+			return
+		}
+		if ot.Fields[otherKey].Dist.Mean() != key {
+			return
+		}
+		var lt, rt *stream.Tuple
+		if leftSide {
+			lt, rt = t, ot
+		} else {
+			lt, rt = ot, t
+		}
+		combined := &stream.Tuple{
+			Schema: js.combined,
+			Fields: append(append([]randvar.Field(nil), lt.Fields...), rt.Fields...),
+			Prob:   lt.Prob * rt.Prob,
+			ProbN:  combineN(lt.ProbN, rt.ProbN),
+			Seq:    t.Seq,
+			Time:   maxInt64(lt.Time, rt.Time),
+		}
+		q.stats.Joined++
+		results, err := q.pushFiltered(combined)
+		if err != nil {
+			probeErr = err
+			return
+		}
+		out = append(out, results...)
+	})
+	if probeErr != nil {
+		return nil, probeErr
+	}
+	return out, nil
+}
+
+func maxInt64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func (q *Query) pushScalar(t *stream.Tuple, prob float64, probN int, unsure bool) ([]Result, error) {
+	fields := make([]randvar.Field, len(q.scalars))
+	values := make([][]float64, len(q.scalars))
+	for i, item := range q.scalars {
+		if item.passthrough >= 0 {
+			fields[i] = t.Fields[item.passthrough]
+			continue
+		}
+		res, err := item.expr.eval(q.ev, t)
+		if err != nil {
+			return nil, fmt.Errorf("core: evaluating %s: %w", item.label, err)
+		}
+		fields[i] = res.Field
+		values[i] = res.Values
+	}
+	out := &stream.Tuple{
+		Schema: q.out,
+		Fields: fields,
+		Prob:   prob,
+		ProbN:  probN,
+		Seq:    t.Seq,
+		Time:   t.Time,
+	}
+	res, err := q.decorate(out, values, unsure)
+	if err != nil {
+		return nil, err
+	}
+	q.stats.Out++
+	return []Result{res}, nil
+}
+
+// windowFor returns the window the tuple belongs to, creating per-group
+// windows on demand.
+func (q *Query) windowFor(t *stream.Tuple) (*groupState, error) {
+	if q.groupIdx < 0 {
+		return &groupState{count: q.window, time: q.timeWindow}, nil
+	}
+	key := t.Fields[q.groupIdx].Dist.Mean()
+	g, ok := q.groups[key]
+	if !ok {
+		g = &groupState{}
+		var err error
+		if q.stmt.Window.Seconds > 0 {
+			g.time, err = stream.NewTimeWindow(q.stmt.Window.Seconds)
+		} else {
+			g.count, err = stream.NewCountWindow(q.stmt.Window.Rows)
+		}
+		if err != nil {
+			return nil, err
+		}
+		q.groups[key] = g
+	}
+	return g, nil
+}
+
+func (q *Query) pushAggregate(t *stream.Tuple, prob float64, probN int, unsure bool) ([]Result, error) {
+	g, err := q.windowFor(t)
+	if err != nil {
+		return nil, err
+	}
+	var winTuples []*stream.Tuple
+	switch {
+	case g.time != nil:
+		// Time windows emit on every arrival over the live contents.
+		if _, err := g.time.Push(t); err != nil {
+			return nil, err
+		}
+		winTuples = g.time.Tuples()
+	default:
+		g.count.Push(t)
+		if !g.count.Full() {
+			return nil, nil
+		}
+		winTuples = g.count.Tuples()
+	}
+	fields := make([]randvar.Field, 0, len(q.scalars)+len(q.aggs))
+	values := make([][]float64, 0, len(q.scalars)+len(q.aggs))
+	// Output columns appear in the select-list order: group-key
+	// passthroughs first is not guaranteed, so rebuild by out schema.
+	aggByLabel := make(map[string]aggItem, len(q.aggs))
+	for _, a := range q.aggs {
+		aggByLabel[a.label] = a
+	}
+	scalarByLabel := make(map[string]scalarItem, len(q.scalars))
+	for _, s := range q.scalars {
+		scalarByLabel[s.label] = s
+	}
+	for _, col := range q.out.Columns {
+		if item, ok := scalarByLabel[col.Name]; ok {
+			fields = append(fields, t.Fields[item.passthrough])
+			values = append(values, nil)
+			continue
+		}
+		item := aggByLabel[col.Name]
+		inputs := make([]randvar.Field, len(winTuples))
+		for j, wt := range winTuples {
+			inputs[j] = wt.Fields[item.colIdx]
+		}
+		res, err := stream.Aggregate(q.ev, item.kind, inputs)
+		if err != nil {
+			return nil, fmt.Errorf("core: aggregate %s: %w", item.label, err)
+		}
+		fields = append(fields, res.Field)
+		values = append(values, res.Values)
+	}
+	out := &stream.Tuple{
+		Schema: q.out,
+		Fields: fields,
+		Prob:   prob,
+		ProbN:  probN,
+		Seq:    t.Seq,
+		Time:   t.Time,
+	}
+	res, err := q.decorate(out, values, unsure)
+	if err != nil {
+		return nil, err
+	}
+	q.stats.Out++
+	return []Result{res}, nil
+}
+
+// decorate attaches accuracy information per the engine configuration.
+// mcValues holds per-field Monte Carlo value sequences when expression
+// evaluation produced them (the preferred bootstrap input, §III-B category
+// 1).
+func (q *Query) decorate(t *stream.Tuple, mcValues [][]float64, unsure bool) (Result, error) {
+	res := Result{Tuple: t, Unsure: unsure}
+	cfg := q.eng.cfg
+	if cfg.Method != AccuracyNone {
+		for i, f := range t.Fields {
+			if !t.Schema.Columns[i].Probabilistic || f.N < 2 {
+				continue
+			}
+			info, err := q.fieldAccuracy(f, mcValues[i])
+			if err != nil {
+				return Result{}, fmt.Errorf("core: accuracy for %s: %w", t.Schema.Columns[i].Name, err)
+			}
+			if res.Fields == nil {
+				res.Fields = make(map[string]*accuracy.Info)
+			}
+			res.Fields[t.Schema.Columns[i].Name] = info
+		}
+		if t.Prob < 1 && t.ProbN >= 1 {
+			iv, err := accuracy.TupleProbInterval(t.Prob, t.ProbN, cfg.Level)
+			if err != nil {
+				return Result{}, err
+			}
+			res.TupleProb = &iv
+		}
+	}
+	return res, nil
+}
+
+// fieldAccuracy computes one field's accuracy info with the configured
+// backend.
+func (q *Query) fieldAccuracy(f randvar.Field, values []float64) (*accuracy.Info, error) {
+	cfg := q.eng.cfg
+	switch cfg.Method {
+	case AccuracyAnalytical:
+		return accuracy.ForDistribution(f.Dist, f.N, cfg.Level)
+	case AccuracyBootstrap:
+		hist, _ := f.Dist.(*dist.Histogram)
+		if len(values) >= 2*f.N {
+			// §III-B category 1: the Monte Carlo path already produced
+			// a value sequence.
+			return bootstrap.AccuracyInfo(values, f.N, cfg.Level, hist)
+		}
+		// Category 2: sample from the result distribution.
+		return bootstrap.FromDistribution(f.Dist, f.N, cfg.BootstrapResamples, cfg.Level, q.rng)
+	}
+	return nil, fmt.Errorf("core: accuracy method %v", cfg.Method)
+}
+
+// Run pushes a batch of tuples and collects all results — a convenience
+// wrapper for examples, tests, and the CLI.
+func (q *Query) Run(tuples []*stream.Tuple) ([]Result, error) {
+	var out []Result
+	for _, t := range tuples {
+		res, err := q.Push(t)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, res...)
+	}
+	return out, nil
+}

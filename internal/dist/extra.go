@@ -1,0 +1,165 @@
+package dist
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/stat"
+)
+
+// Beta is the beta distribution on [0, 1] with shape parameters Alpha and
+// BetaP. It is the natural prior/posterior family for the probabilities
+// this database manipulates (bin heights, tuple membership probabilities):
+// a Beta(k+1, n−k+1) posterior over a bucket probability complements the
+// frequentist intervals of Lemma 1.
+type Beta struct {
+	Alpha float64
+	BetaP float64
+}
+
+// NewBeta returns a Beta distribution, validating both shapes > 0.
+func NewBeta(alpha, beta float64) (Beta, error) {
+	if alpha <= 0 || beta <= 0 || math.IsNaN(alpha) || math.IsNaN(beta) {
+		return Beta{}, fmt.Errorf("%w: Beta(α=%v, β=%v)", ErrInvalidParam, alpha, beta)
+	}
+	return Beta{Alpha: alpha, BetaP: beta}, nil
+}
+
+func (d Beta) Mean() float64 { return d.Alpha / (d.Alpha + d.BetaP) }
+
+func (d Beta) Variance() float64 {
+	s := d.Alpha + d.BetaP
+	return d.Alpha * d.BetaP / (s * s * (s + 1))
+}
+
+func (d Beta) CDF(x float64) float64 {
+	switch {
+	case x <= 0:
+		return 0
+	case x >= 1:
+		return 1
+	}
+	v, err := stat.BetaInc(d.Alpha, d.BetaP, x)
+	if err != nil {
+		return math.NaN()
+	}
+	return v
+}
+
+func (d Beta) Quantile(p float64) float64 {
+	checkProbPanic(p)
+	return invertCDF(d.CDF, p, 0, 1, 0)
+}
+
+// Sample draws X/(X+Y) with X ~ Gamma(α, 1), Y ~ Gamma(β, 1).
+func (d Beta) Sample(r *Rand) float64 {
+	gx := Gamma{K: d.Alpha, Theta: 1}
+	gy := Gamma{K: d.BetaP, Theta: 1}
+	x := gx.Sample(r)
+	y := gy.Sample(r)
+	if x+y == 0 {
+		return 0.5
+	}
+	return x / (x + y)
+}
+
+func (d Beta) String() string {
+	return fmt.Sprintf("Beta(α=%g, β=%g)", d.Alpha, d.BetaP)
+}
+
+// StudentT is the location-scale Student-t distribution: Loc + Scale·T_ν.
+// With ν = n−1, Loc = ȳ, Scale = s/√n it is exactly the sampling
+// distribution of the mean behind Lemma 2's small-sample interval, making
+// it useful for representing "the mean, with its uncertainty" as a
+// first-class distribution.
+type StudentT struct {
+	Nu    float64 // degrees of freedom
+	Loc   float64
+	Scale float64
+}
+
+// NewStudentT returns a StudentT distribution, validating Nu > 0 and
+// Scale > 0.
+func NewStudentT(nu, loc, scale float64) (StudentT, error) {
+	if nu <= 0 || scale <= 0 || math.IsNaN(nu) || math.IsNaN(loc) || math.IsNaN(scale) {
+		return StudentT{}, fmt.Errorf("%w: StudentT(ν=%v, loc=%v, scale=%v)", ErrInvalidParam, nu, loc, scale)
+	}
+	return StudentT{Nu: nu, Loc: loc, Scale: scale}, nil
+}
+
+// Mean returns Loc for ν > 1 and NaN otherwise (undefined).
+func (d StudentT) Mean() float64 {
+	if d.Nu <= 1 {
+		return math.NaN()
+	}
+	return d.Loc
+}
+
+// Variance returns Scale²·ν/(ν−2) for ν > 2, +Inf for 1 < ν ≤ 2, and NaN
+// otherwise.
+func (d StudentT) Variance() float64 {
+	switch {
+	case d.Nu > 2:
+		return d.Scale * d.Scale * d.Nu / (d.Nu - 2)
+	case d.Nu > 1:
+		return math.Inf(1)
+	default:
+		return math.NaN()
+	}
+}
+
+func (d StudentT) CDF(x float64) float64 {
+	v, err := stat.TCDF((x-d.Loc)/d.Scale, d.Nu)
+	if err != nil {
+		return math.NaN()
+	}
+	return v
+}
+
+func (d StudentT) Quantile(p float64) float64 {
+	checkProbPanic(p)
+	q, err := stat.TQuantile(p, d.Nu)
+	if err != nil {
+		return math.NaN()
+	}
+	return d.Loc + d.Scale*q
+}
+
+// Sample draws Z/sqrt(V/ν) with Z standard normal and V ~ χ²_ν
+// (as Gamma(ν/2, 2)).
+func (d StudentT) Sample(r *Rand) float64 {
+	z := r.NormFloat64()
+	chi := Gamma{K: d.Nu / 2, Theta: 2}.Sample(r)
+	if chi <= 0 {
+		return d.Loc
+	}
+	return d.Loc + d.Scale*z/math.Sqrt(chi/d.Nu)
+}
+
+func (d StudentT) String() string {
+	return fmt.Sprintf("StudentT(ν=%g, loc=%g, scale=%g)", d.Nu, d.Loc, d.Scale)
+}
+
+// MeanPosterior returns the location-scale Student-t sampling distribution
+// of the mean for a sample with statistics (ȳ = mean, s = sd, n):
+// StudentT(n−1, ȳ, s/√n). This is the distribution whose quantiles are the
+// endpoints of Lemma 2's small-sample interval.
+func MeanPosterior(mean, sd float64, n int) (StudentT, error) {
+	if n < 2 {
+		return StudentT{}, fmt.Errorf("%w: mean posterior needs n ≥ 2, have %d", ErrInvalidParam, n)
+	}
+	if sd <= 0 || math.IsNaN(sd) || math.IsNaN(mean) {
+		return StudentT{}, fmt.Errorf("%w: mean posterior with mean=%v sd=%v", ErrInvalidParam, mean, sd)
+	}
+	return NewStudentT(float64(n-1), mean, sd/math.Sqrt(float64(n)))
+}
+
+// BetaPosterior returns Beta(k+1, n−k+1), the uniform-prior posterior of a
+// proportion after observing k successes in n trials — the Bayesian
+// counterpart of Lemma 1's bin-height interval.
+func BetaPosterior(k, n int) (Beta, error) {
+	if n < 1 || k < 0 || k > n {
+		return Beta{}, fmt.Errorf("%w: Beta posterior with k=%d, n=%d", ErrInvalidParam, k, n)
+	}
+	return NewBeta(float64(k)+1, float64(n-k)+1)
+}

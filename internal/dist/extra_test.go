@@ -1,0 +1,127 @@
+package dist
+
+import (
+	"math"
+	"testing"
+)
+
+func TestBetaValidationAndMoments(t *testing.T) {
+	if _, err := NewBeta(0, 1); err == nil {
+		t.Error("α=0: want error")
+	}
+	if _, err := NewBeta(1, -1); err == nil {
+		t.Error("β<0: want error")
+	}
+	b, err := NewBeta(2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	approx(t, "Beta mean", b.Mean(), 0.4, 1e-12)
+	approx(t, "Beta var", b.Variance(), 2.0*3/(25*6), 1e-12)
+	// Beta(1,1) is Uniform(0,1).
+	u, _ := NewBeta(1, 1)
+	for _, x := range []float64{0.1, 0.5, 0.9} {
+		approx(t, "Beta(1,1) CDF", u.CDF(x), x, 1e-9)
+	}
+	if u.CDF(-1) != 0 || u.CDF(2) != 1 {
+		t.Error("Beta CDF boundaries wrong")
+	}
+}
+
+func TestBetaQuantileAndSample(t *testing.T) {
+	b, _ := NewBeta(2, 5)
+	for _, p := range []float64{0.05, 0.5, 0.95} {
+		x := b.Quantile(p)
+		approx(t, "Beta roundtrip", b.CDF(x), p, 1e-8)
+	}
+	r := NewRand(21)
+	const n = 100000
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		x := b.Sample(r)
+		if x < 0 || x > 1 {
+			t.Fatalf("Beta sample %v outside [0,1]", x)
+		}
+		sum += x
+	}
+	approx(t, "Beta sample mean", sum/n, b.Mean(), 0.01)
+}
+
+func TestBetaPosterior(t *testing.T) {
+	// 8 successes in 20 trials → Beta(9, 13); mean 9/22.
+	b, err := BetaPosterior(8, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	approx(t, "posterior mean", b.Mean(), 9.0/22, 1e-12)
+	// The central 90% credible interval roughly matches Lemma 1's Wald
+	// interval for p̂ = 0.4, n = 20 (both ≈ [0.22, 0.58], Example 2).
+	lo, hi := b.Quantile(0.05), b.Quantile(0.95)
+	if lo < 0.15 || lo > 0.3 || hi < 0.5 || hi > 0.65 {
+		t.Errorf("credible interval [%g, %g] far from Example 2's [0.22, 0.58]", lo, hi)
+	}
+	if _, err := BetaPosterior(-1, 5); err == nil {
+		t.Error("k<0: want error")
+	}
+	if _, err := BetaPosterior(6, 5); err == nil {
+		t.Error("k>n: want error")
+	}
+}
+
+func TestStudentTValidationAndMoments(t *testing.T) {
+	if _, err := NewStudentT(0, 0, 1); err == nil {
+		t.Error("ν=0: want error")
+	}
+	if _, err := NewStudentT(5, 0, 0); err == nil {
+		t.Error("scale=0: want error")
+	}
+	st, err := NewStudentT(5, 10, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	approx(t, "t mean", st.Mean(), 10, 1e-12)
+	approx(t, "t var", st.Variance(), 4*5.0/3, 1e-12)
+	// Undefined moments.
+	heavy, _ := NewStudentT(1, 0, 1)
+	if !math.IsNaN(heavy.Mean()) {
+		t.Error("ν=1 mean should be NaN")
+	}
+	mid, _ := NewStudentT(1.5, 0, 1)
+	if !math.IsInf(mid.Variance(), 1) {
+		t.Error("1<ν≤2 variance should be +Inf")
+	}
+}
+
+func TestStudentTQuantileAndSample(t *testing.T) {
+	st, _ := NewStudentT(9, 71.1, 2.7986)
+	// Lemma 2 / Example 3: the 5th and 95th percentiles are the paper's
+	// interval endpoints [65.97, 76.23].
+	approx(t, "t q05", st.Quantile(0.05), 65.97, 0.01)
+	approx(t, "t q95", st.Quantile(0.95), 76.23, 0.01)
+	for _, p := range []float64{0.1, 0.5, 0.9} {
+		approx(t, "t roundtrip", st.CDF(st.Quantile(p)), p, 1e-9)
+	}
+	r := NewRand(22)
+	const n = 200000
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		sum += st.Sample(r)
+	}
+	approx(t, "t sample mean", sum/n, 71.1, 0.05)
+}
+
+func TestMeanPosterior(t *testing.T) {
+	// Example 3's statistics.
+	st, err := MeanPosterior(71.1, 8.85, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	approx(t, "posterior q05", st.Quantile(0.05), 65.97, 0.02)
+	approx(t, "posterior q95", st.Quantile(0.95), 76.23, 0.02)
+	if _, err := MeanPosterior(0, 1, 1); err == nil {
+		t.Error("n=1: want error")
+	}
+	if _, err := MeanPosterior(0, 0, 10); err == nil {
+		t.Error("sd=0: want error")
+	}
+}

@@ -1,0 +1,452 @@
+package hypothesis
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/dist"
+	"repro/internal/learn"
+)
+
+func approx(t *testing.T, name string, got, want, tol float64) {
+	t.Helper()
+	if math.IsNaN(got) || math.Abs(got-want) > tol {
+		t.Errorf("%s = %g, want %g (±%g)", name, got, want, tol)
+	}
+}
+
+// exampleX is the paper's Example 8 field X: a raw sample of size 5.
+func exampleX(t *testing.T) Stats {
+	t.Helper()
+	s, err := StatsFromSample(learn.NewSample([]float64{82, 86, 105, 110, 119}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// exampleY builds Example 8's field Y: same mean as X (100.4), n = 100,
+// with 40 observations below 100 and 60 above.
+func exampleY(t *testing.T) (Stats, *learn.Sample) {
+	t.Helper()
+	obs := make([]float64, 100)
+	for i := 0; i < 40; i++ {
+		obs[i] = 91.0 // below 100
+	}
+	for i := 40; i < 100; i++ {
+		obs[i] = 106.66666666666667 // above 100; overall mean 100.4
+	}
+	sample := learn.NewSample(obs)
+	s, err := StatsFromSample(sample)
+	if err != nil {
+		t.Fatal(err)
+	}
+	approx(t, "Y mean", s.Mean, 100.4, 1e-9)
+	return s, sample
+}
+
+// TestExample9MTest verifies the paper's Example 9: with
+// mTest(temperature, ">", 97, 0.05), only Y satisfies the predicate.
+func TestExample9MTest(t *testing.T) {
+	x := exampleX(t)
+	y, _ := exampleY(t)
+	gotX, err := MTest(x, Greater, 97, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotX {
+		t.Error("X (n=5) should NOT pass mTest at α=0.05")
+	}
+	gotY, err := MTest(y, Greater, 97, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !gotY {
+		t.Error("Y (n=100) should pass mTest at α=0.05")
+	}
+}
+
+// TestExample9PTest verifies pTest("temperature > 100", 0.5, 0.05): X's
+// proportion 0.6 of 5 observations is not significant; Y's 0.6 of 100 is.
+func TestExample9PTest(t *testing.T) {
+	gotX, err := PTest(0.6, 5, Greater, 0.5, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotX {
+		t.Error("X (n=5) should NOT pass pTest")
+	}
+	gotY, err := PTest(0.6, 100, Greater, 0.5, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !gotY {
+		t.Error("Y (n=100) should pass pTest")
+	}
+}
+
+func TestParseOp(t *testing.T) {
+	cases := map[string]Op{"<": Less, ">": Greater, "<>": NotEqual, "!=": NotEqual}
+	for s, want := range cases {
+		got, err := ParseOp(s)
+		if err != nil || got != want {
+			t.Errorf("ParseOp(%q) = %v, %v; want %v", s, got, err, want)
+		}
+	}
+	if _, err := ParseOp(">="); err == nil {
+		t.Error("ParseOp(>=): want error")
+	}
+}
+
+func TestOpInverse(t *testing.T) {
+	if inv, err := Greater.Inverse(); err != nil || inv != Less {
+		t.Errorf("Greater.Inverse() = %v, %v", inv, err)
+	}
+	if inv, err := Less.Inverse(); err != nil || inv != Greater {
+		t.Errorf("Less.Inverse() = %v, %v", inv, err)
+	}
+	if _, err := NotEqual.Inverse(); err == nil {
+		t.Error("NotEqual.Inverse(): want error")
+	}
+}
+
+func TestStringers(t *testing.T) {
+	if Less.String() != "<" || Greater.String() != ">" || NotEqual.String() != "<>" {
+		t.Error("Op.String wrong")
+	}
+	if True.String() != "TRUE" || False.String() != "FALSE" || Unsure.String() != "UNSURE" {
+		t.Error("Result.String wrong")
+	}
+	if Op(9).String() == "" || Result(9).String() == "" {
+		t.Error("out-of-range stringers must not be empty")
+	}
+}
+
+func TestMTestValidation(t *testing.T) {
+	good := Stats{Mean: 0, SD: 1, N: 10}
+	if _, err := MTest(Stats{Mean: 0, SD: 1, N: 1}, Greater, 0, 0.05); err == nil {
+		t.Error("n=1: want error")
+	}
+	if _, err := MTest(Stats{Mean: 0, SD: -1, N: 10}, Greater, 0, 0.05); err == nil {
+		t.Error("sd<0: want error")
+	}
+	if _, err := MTest(good, Greater, 0, 0); err == nil {
+		t.Error("alpha=0: want error")
+	}
+	if _, err := MTest(good, Op(9), 0, 0.05); err == nil {
+		t.Error("bad op: want error")
+	}
+}
+
+func TestMTestDegenerateSD(t *testing.T) {
+	x := Stats{Mean: 5, SD: 0, N: 10}
+	for _, c := range []struct {
+		op   Op
+		c    float64
+		want bool
+	}{
+		{Greater, 4, true}, {Greater, 6, false},
+		{Less, 6, true}, {Less, 4, false},
+		{NotEqual, 4, true}, {NotEqual, 5, false},
+	} {
+		got, err := MTest(x, c.op, c.c, 0.05)
+		if err != nil || got != c.want {
+			t.Errorf("MTest(sd=0, %v, %v) = %v, %v; want %v", c.op, c.c, got, err, c.want)
+		}
+	}
+}
+
+func TestMTestTwoSided(t *testing.T) {
+	// Strong evidence the mean differs from 0 in either direction.
+	x := Stats{Mean: 3, SD: 1, N: 25}
+	got, err := MTest(x, NotEqual, 0, 0.05)
+	if err != nil || !got {
+		t.Errorf("two-sided test should reject: %v, %v", got, err)
+	}
+	got, err = MTest(Stats{Mean: 0.01, SD: 1, N: 25}, NotEqual, 0, 0.05)
+	if err != nil || got {
+		t.Errorf("two-sided test should not reject near H0: %v, %v", got, err)
+	}
+}
+
+// TestMTestFalsePositiveRate simulates H0-true data and verifies the
+// empirical type I error stays at or below α (the guarantee of §IV-A).
+func TestMTestFalsePositiveRate(t *testing.T) {
+	r := dist.NewRand(55)
+	nd, _ := dist.NewNormal(50, 25)
+	const trials = 4000
+	fp := 0
+	for i := 0; i < trials; i++ {
+		s, err := StatsFromSample(learn.NewSample(dist.SampleN(nd, 20, r)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		reject, err := MTest(s, Greater, 50, 0.05) // H0 is exactly true
+		if err != nil {
+			t.Fatal(err)
+		}
+		if reject {
+			fp++
+		}
+	}
+	rate := float64(fp) / trials
+	if rate > 0.065 {
+		t.Errorf("false positive rate %g exceeds α=0.05", rate)
+	}
+}
+
+func TestMDTestWelch(t *testing.T) {
+	// Clearly separated means with ample data.
+	x := Stats{Mean: 10, SD: 2, N: 50}
+	y := Stats{Mean: 8, SD: 2, N: 50}
+	got, err := MDTest(x, y, Greater, 0, 0.05)
+	if err != nil || !got {
+		t.Errorf("MDTest separated means = %v, %v; want true", got, err)
+	}
+	// Same means: should not reject.
+	got, err = MDTest(x, x, Greater, 0, 0.05)
+	if err != nil || got {
+		t.Errorf("MDTest equal means = %v, %v; want false", got, err)
+	}
+	// c shifts the null: E(X)−E(Y) = 2, test "> 3" must fail.
+	got, err = MDTest(x, y, Greater, 3, 0.05)
+	if err != nil || got {
+		t.Errorf("MDTest with c=3 = %v, %v; want false", got, err)
+	}
+	// Degenerate zero-variance pair decides deterministically.
+	got, err = MDTest(Stats{Mean: 4, SD: 0, N: 5}, Stats{Mean: 3, SD: 0, N: 5}, Greater, 0, 0.05)
+	if err != nil || !got {
+		t.Errorf("degenerate MDTest = %v, %v; want true", got, err)
+	}
+}
+
+func TestMDTestValidation(t *testing.T) {
+	good := Stats{Mean: 0, SD: 1, N: 10}
+	bad := Stats{Mean: 0, SD: 1, N: 0}
+	if _, err := MDTest(bad, good, Greater, 0, 0.05); err == nil {
+		t.Error("bad x: want error")
+	}
+	if _, err := MDTest(good, bad, Greater, 0, 0.05); err == nil {
+		t.Error("bad y: want error")
+	}
+	if _, err := MDTest(good, good, Greater, 0, 2); err == nil {
+		t.Error("alpha=2: want error")
+	}
+}
+
+func TestPTestValidation(t *testing.T) {
+	if _, err := PTest(0.5, 0, Greater, 0.5, 0.05); err == nil {
+		t.Error("n=0: want error")
+	}
+	if _, err := PTest(1.5, 10, Greater, 0.5, 0.05); err == nil {
+		t.Error("phat>1: want error")
+	}
+	if _, err := PTest(0.5, 10, Greater, 0, 0.05); err == nil {
+		t.Error("tau=0: want error")
+	}
+	if _, err := PTest(0.5, 10, Greater, 0.5, 0); err == nil {
+		t.Error("alpha=0: want error")
+	}
+	if _, err := PTest(0.5, 10, Op(9), 0.5, 0.05); err == nil {
+		t.Error("bad op: want error")
+	}
+}
+
+func TestPTestDirections(t *testing.T) {
+	// phat far below τ: Less accepts, Greater doesn't, NotEqual accepts.
+	if got, _ := PTest(0.1, 100, Less, 0.5, 0.05); !got {
+		t.Error("Less should accept for phat=0.1, τ=0.5")
+	}
+	if got, _ := PTest(0.1, 100, Greater, 0.5, 0.05); got {
+		t.Error("Greater should reject for phat=0.1, τ=0.5")
+	}
+	if got, _ := PTest(0.1, 100, NotEqual, 0.5, 0.05); !got {
+		t.Error("NotEqual should accept for phat=0.1, τ=0.5")
+	}
+}
+
+func TestCoupledBasic(t *testing.T) {
+	// Strong positive evidence → True.
+	x := Stats{Mean: 10, SD: 1, N: 30}
+	res, err := CoupledMTest(x, Greater, 5, 0.05, 0.05)
+	if err != nil || res != True {
+		t.Errorf("coupled strong positive = %v, %v; want TRUE", res, err)
+	}
+	// Strong negative evidence → False.
+	res, err = CoupledMTest(x, Greater, 15, 0.05, 0.05)
+	if err != nil || res != False {
+		t.Errorf("coupled strong negative = %v, %v; want FALSE", res, err)
+	}
+	// Borderline evidence → Unsure.
+	weak := Stats{Mean: 10.1, SD: 5, N: 5}
+	res, err = CoupledMTest(weak, Greater, 10, 0.05, 0.05)
+	if err != nil || res != Unsure {
+		t.Errorf("coupled weak = %v, %v; want UNSURE", res, err)
+	}
+}
+
+func TestCoupledTwoSided(t *testing.T) {
+	// '<>' never returns False (Theorem 3: false negative rate 0).
+	far := Stats{Mean: 10, SD: 1, N: 30}
+	res, err := CoupledMTest(far, NotEqual, 5, 0.05, 0.05)
+	if err != nil || res != True {
+		t.Errorf("two-sided far = %v, %v; want TRUE", res, err)
+	}
+	near := Stats{Mean: 5.01, SD: 1, N: 5}
+	res, err = CoupledMTest(near, NotEqual, 5, 0.05, 0.05)
+	if err != nil || res != Unsure {
+		t.Errorf("two-sided near = %v, %v; want UNSURE (never FALSE)", res, err)
+	}
+}
+
+func TestCoupledValidation(t *testing.T) {
+	x := Stats{Mean: 0, SD: 1, N: 10}
+	if _, err := CoupledMTest(x, Greater, 0, 0, 0.05); err == nil {
+		t.Error("alpha1=0: want error")
+	}
+	if _, err := CoupledMTest(x, Greater, 0, 0.05, 1); err == nil {
+		t.Error("alpha2=1: want error")
+	}
+}
+
+// TestCoupledErrorRates reproduces the Fig 5(e) guarantee in miniature:
+// with α₁ = α₂ = 0.05, both empirical error rates stay below their bounds,
+// with hard decisions replaced by Unsure when the data is insufficient.
+func TestCoupledErrorRates(t *testing.T) {
+	r := dist.NewRand(88)
+	base, _ := dist.NewNormal(100, 100)
+	const trials = 2000
+	const n = 20
+	fp, fn, unsure := 0, 0, 0
+	for i := 0; i < trials; i++ {
+		s, err := StatsFromSample(learn.NewSample(dist.SampleN(base, n, r)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		// H0 true case: true mean is exactly 100, predicate "mean > 100".
+		res, err := CoupledMTest(s, Greater, 100, 0.05, 0.05)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res == True {
+			fp++
+		}
+		// H1 true case: true mean 100 > 95.
+		res, err = CoupledMTest(s, Greater, 95, 0.05, 0.05)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res == False {
+			fn++
+		}
+		if res == Unsure {
+			unsure++
+		}
+	}
+	if rate := float64(fp) / trials; rate > 0.065 {
+		t.Errorf("coupled false positive rate %g exceeds 0.05", rate)
+	}
+	if rate := float64(fn) / trials; rate > 0.065 {
+		t.Errorf("coupled false negative rate %g exceeds 0.05", rate)
+	}
+	t.Logf("unsure rate on H1-true: %g", float64(unsure)/trials)
+}
+
+// TestUnsureShrinksWithN mirrors Fig 5(e): the number of Unsure answers
+// decreases as the sample size grows.
+func TestUnsureShrinksWithN(t *testing.T) {
+	r := dist.NewRand(13)
+	base, _ := dist.NewNormal(100, 100)
+	unsureAt := func(n int) int {
+		count := 0
+		const trials = 800
+		for i := 0; i < trials; i++ {
+			s, err := StatsFromSample(learn.NewSample(dist.SampleN(base, n, r)))
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := CoupledMTest(s, Greater, 97, 0.05, 0.05)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res == Unsure {
+				count++
+			}
+		}
+		return count
+	}
+	u10, u80 := unsureAt(10), unsureAt(80)
+	if u80 >= u10 {
+		t.Errorf("unsure count did not shrink: n=10 → %d, n=80 → %d", u10, u80)
+	}
+}
+
+func TestMTestPower(t *testing.T) {
+	// Power at the null is ≈ α; power grows with effect size and n.
+	p0, err := MTestPower(100, 10, 100, 30, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	approx(t, "power at null", p0, 0.05, 0.01)
+	p1, _ := MTestPower(105, 10, 100, 30, 0.05)
+	p2, _ := MTestPower(110, 10, 100, 30, 0.05)
+	if !(p0 < p1 && p1 < p2) {
+		t.Errorf("power not increasing: %g, %g, %g", p0, p1, p2)
+	}
+	p3, _ := MTestPower(105, 10, 100, 120, 0.05)
+	if p3 <= p1 {
+		t.Errorf("power should grow with n: n=30 → %g, n=120 → %g", p1, p3)
+	}
+	if _, err := MTestPower(0, 0, 0, 30, 0.05); err == nil {
+		t.Error("σ=0: want error")
+	}
+	if _, err := MTestPower(0, 1, 0, 1, 0.05); err == nil {
+		t.Error("n=1: want error")
+	}
+}
+
+// TestMTestPowerMatchesSimulation cross-checks the analytic power function
+// against Monte Carlo (the Fig 5(g) machinery).
+func TestMTestPowerMatchesSimulation(t *testing.T) {
+	r := dist.NewRand(31)
+	const n = 30
+	const mu, sigma, c = 104.0, 10.0, 100.0
+	want, err := MTestPower(mu, sigma, c, n, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nd, _ := dist.NewNormal(mu, sigma*sigma)
+	accept := 0
+	const trials = 4000
+	for i := 0; i < trials; i++ {
+		s, err := StatsFromSample(learn.NewSample(dist.SampleN(nd, n, r)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := MTest(s, Greater, c, 0.05)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got {
+			accept++
+		}
+	}
+	approx(t, "simulated power", float64(accept)/trials, want, 0.03)
+}
+
+func TestStatsFromDistribution(t *testing.T) {
+	nd, _ := dist.NewNormal(3, 16)
+	s, err := StatsFromDistribution(nd, 25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Mean != 3 || s.SD != 4 || s.N != 25 {
+		t.Errorf("stats = %+v", s)
+	}
+	if _, err := StatsFromDistribution(nil, 25); err == nil {
+		t.Error("nil distribution: want error")
+	}
+	if _, err := StatsFromDistribution(nd, 1); err == nil {
+		t.Error("n=1: want error")
+	}
+}

@@ -1,0 +1,121 @@
+package hypothesis
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/dist"
+	"repro/internal/stat"
+)
+
+// This file extends the paper's significance predicates with a
+// Kolmogorov–Smirnov test over whole distributions: where mTest compares
+// means and pTest compares one probability, ksTest asks whether two learned
+// distributions differ *anywhere* — the natural change-detection predicate
+// for uncertain streams (e.g. "has this road's delay profile shifted since
+// the last window?").
+//
+// The test statistic is D = sup_x |F₁(x) − F₂(x)| evaluated over a merged
+// grid of both distributions' quantiles, with the effective sample size
+// n_e = n₁n₂/(n₁+n₂) of the two-sample KS test and the classic asymptotic
+// p-value Q_KS((√n_e + 0.12 + 0.11/√n_e)·D). When the fields hold empirical
+// or histogram distributions this matches the textbook two-sample test; for
+// parametric fits it compares the fitted CDFs, which is the information the
+// stream system retained.
+
+// ksGridSize is the number of probe points per distribution when locating
+// the supremum.
+const ksGridSize = 257
+
+// KSStatistic returns D = sup |F₁ − F₂| over a merged quantile grid.
+func KSStatistic(d1, d2 dist.Distribution) (float64, error) {
+	if d1 == nil || d2 == nil {
+		return 0, errors.New("hypothesis: nil distribution in KS statistic")
+	}
+	// Probe at both distributions' quantiles so atoms and steep regions
+	// of either CDF are represented.
+	probes := make([]float64, 0, 2*ksGridSize)
+	for i := 1; i < ksGridSize; i++ {
+		p := float64(i) / ksGridSize
+		probes = append(probes, d1.Quantile(p), d2.Quantile(p))
+	}
+	sort.Float64s(probes)
+	maxD := 0.0
+	for _, x := range probes {
+		d := math.Abs(d1.CDF(x) - d2.CDF(x))
+		if d > maxD {
+			maxD = d
+		}
+		// Evaluate just below x as well: CDF steps (discrete atoms) can
+		// have their supremum on the left side of a probe.
+		xl := math.Nextafter(x, math.Inf(-1))
+		d = math.Abs(d1.CDF(xl) - d2.CDF(xl))
+		if d > maxD {
+			maxD = d
+		}
+	}
+	return maxD, nil
+}
+
+// KSTest reports whether the distributions behind two probabilistic fields
+// differ significantly at level alpha: H0 is F₁ = F₂, H1 is F₁ ≠ F₂, and
+// n1, n2 are the (d.f.) sample sizes the distributions were learned from.
+// It returns the decision along with the statistic and p-value.
+func KSTest(d1 dist.Distribution, n1 int, d2 dist.Distribution, n2 int, alpha float64) (reject bool, statistic, pValue float64, err error) {
+	if n1 < 2 || n2 < 2 {
+		return false, 0, 0, fmt.Errorf("hypothesis: KS test needs both sample sizes ≥ 2, have %d and %d", n1, n2)
+	}
+	if err := checkAlpha(alpha); err != nil {
+		return false, 0, 0, err
+	}
+	d, err := KSStatistic(d1, d2)
+	if err != nil {
+		return false, 0, 0, err
+	}
+	ne := float64(n1) * float64(n2) / float64(n1+n2)
+	p := stat.KolmogorovQ(stat.KolmogorovLambda(d, ne))
+	return p < alpha, d, p, nil
+}
+
+// CoupledKSTest wraps KSTest in a three-state answer analogous to
+// COUPLED-TESTS: True when the difference is significant at alpha1, False
+// when the data had enough power to see a difference of at least
+// minEffect (a D value) and none was found, Unsure otherwise.
+//
+// The power heuristic: with effective size n_e, differences below
+// ~λ*/√n_e are invisible, where λ* solves Q_KS(λ*) = alpha2. If the
+// observed D plus that resolution is still below minEffect, the test had
+// the power to detect minEffect and answers False.
+func CoupledKSTest(d1 dist.Distribution, n1 int, d2 dist.Distribution, n2 int, minEffect, alpha1, alpha2 float64) (Result, error) {
+	if minEffect <= 0 || minEffect >= 1 {
+		return Unsure, fmt.Errorf("hypothesis: minEffect %v outside (0,1)", minEffect)
+	}
+	if err := checkAlpha(alpha2); err != nil {
+		return Unsure, err
+	}
+	reject, d, _, err := KSTest(d1, n1, d2, n2, alpha1)
+	if err != nil {
+		return Unsure, err
+	}
+	if reject {
+		return True, nil
+	}
+	ne := float64(n1) * float64(n2) / float64(n1+n2)
+	// Find λ* with Q_KS(λ*) = alpha2 by bisection (Q is monotone).
+	lo, hi := 0.0, 4.0
+	for i := 0; i < 60; i++ {
+		mid := (lo + hi) / 2
+		if stat.KolmogorovQ(mid) > alpha2 {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	resolution := hi / math.Sqrt(ne)
+	if d+resolution < minEffect {
+		return False, nil
+	}
+	return Unsure, nil
+}

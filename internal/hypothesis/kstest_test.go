@@ -1,0 +1,187 @@
+package hypothesis
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/dist"
+	"repro/internal/learn"
+	"repro/internal/stat"
+)
+
+func TestKolmogorovQ(t *testing.T) {
+	// Boundary behaviour and classic table values.
+	if stat.KolmogorovQ(0) != 1 || stat.KolmogorovQ(-1) != 1 {
+		t.Error("Q(≤0) must be 1")
+	}
+	// Q(1.36) ≈ 0.049 (the familiar 5% critical value).
+	q := stat.KolmogorovQ(1.36)
+	if math.Abs(q-0.049) > 0.003 {
+		t.Errorf("Q(1.36) = %g, want ≈0.049", q)
+	}
+	// Q(1.63) ≈ 0.010.
+	q = stat.KolmogorovQ(1.63)
+	if math.Abs(q-0.010) > 0.002 {
+		t.Errorf("Q(1.63) = %g, want ≈0.010", q)
+	}
+	// Monotone decreasing.
+	prev := 1.0
+	for l := 0.2; l < 3; l += 0.2 {
+		q := stat.KolmogorovQ(l)
+		if q > prev {
+			t.Fatalf("Q not monotone at λ=%g", l)
+		}
+		prev = q
+	}
+	if !math.IsNaN(stat.KolmogorovQ(math.NaN())) {
+		t.Error("Q(NaN) should be NaN")
+	}
+}
+
+func TestKSStatisticExact(t *testing.T) {
+	// Two uniforms offset by half their width: D = 0.5.
+	u1, _ := dist.NewUniform(0, 1)
+	u2, _ := dist.NewUniform(0.5, 1.5)
+	d, err := KSStatistic(u1, u2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(d-0.5) > 0.01 {
+		t.Errorf("D = %g, want 0.5", d)
+	}
+	// Identical distributions: D = 0.
+	d, err = KSStatistic(u1, u1)
+	if err != nil || d > 1e-12 {
+		t.Errorf("identical D = %g, %v", d, err)
+	}
+	// Discrete vs itself shifted: supremum at the step.
+	d1, _ := dist.NewDiscrete([]float64{0, 1}, []float64{0.5, 0.5})
+	d2, _ := dist.NewDiscrete([]float64{0, 1}, []float64{0.1, 0.9})
+	d, err = KSStatistic(d1, d2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(d-0.4) > 0.01 {
+		t.Errorf("discrete D = %g, want 0.4", d)
+	}
+	if _, err := KSStatistic(nil, u1); err == nil {
+		t.Error("nil distribution: want error")
+	}
+}
+
+func TestKSTestValidation(t *testing.T) {
+	u, _ := dist.NewUniform(0, 1)
+	if _, _, _, err := KSTest(u, 1, u, 10, 0.05); err == nil {
+		t.Error("n1=1: want error")
+	}
+	if _, _, _, err := KSTest(u, 10, u, 10, 0); err == nil {
+		t.Error("alpha=0: want error")
+	}
+}
+
+// TestKSTestFalsePositiveRate: empirical distributions of same-source
+// samples must rarely be declared different.
+func TestKSTestFalsePositiveRate(t *testing.T) {
+	rng := dist.NewRand(71)
+	nd, _ := dist.NewNormal(0, 1)
+	const trials = 600
+	const n = 40
+	rejects := 0
+	for i := 0; i < trials; i++ {
+		e1, err := dist.Empirical(dist.SampleN(nd, n, rng))
+		if err != nil {
+			t.Fatal(err)
+		}
+		e2, err := dist.Empirical(dist.SampleN(nd, n, rng))
+		if err != nil {
+			t.Fatal(err)
+		}
+		reject, _, _, err := KSTest(e1, n, e2, n, 0.05)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if reject {
+			rejects++
+		}
+	}
+	rate := float64(rejects) / trials
+	if rate > 0.08 {
+		t.Errorf("KS false positive rate %g exceeds 0.05", rate)
+	}
+}
+
+// TestKSTestPower: clearly different distributions are detected once the
+// samples are big enough.
+func TestKSTestPower(t *testing.T) {
+	rng := dist.NewRand(72)
+	a, _ := dist.NewNormal(0, 1)
+	b, _ := dist.NewNormal(1, 1)
+	const trials = 300
+	const n = 60
+	detected := 0
+	for i := 0; i < trials; i++ {
+		e1, _ := dist.Empirical(dist.SampleN(a, n, rng))
+		e2, _ := dist.Empirical(dist.SampleN(b, n, rng))
+		reject, _, _, err := KSTest(e1, n, e2, n, 0.05)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if reject {
+			detected++
+		}
+	}
+	if rate := float64(detected) / trials; rate < 0.9 {
+		t.Errorf("KS power %g too low for a full-σ shift at n=60", rate)
+	}
+}
+
+func TestCoupledKSTest(t *testing.T) {
+	// Clearly different: True.
+	a, _ := dist.NewNormal(0, 1)
+	b, _ := dist.NewNormal(2, 1)
+	res, err := CoupledKSTest(a, 100, b, 100, 0.2, 0.05, 0.05)
+	if err != nil || res != True {
+		t.Errorf("different dists = %v, %v; want TRUE", res, err)
+	}
+	// Identical with large samples: the resolution beats minEffect → False.
+	res, err = CoupledKSTest(a, 2000, a, 2000, 0.2, 0.05, 0.05)
+	if err != nil || res != False {
+		t.Errorf("identical big-sample = %v, %v; want FALSE", res, err)
+	}
+	// Identical with tiny samples: not enough power → Unsure.
+	res, err = CoupledKSTest(a, 5, a, 5, 0.05, 0.05, 0.05)
+	if err != nil || res != Unsure {
+		t.Errorf("identical small-sample = %v, %v; want UNSURE", res, err)
+	}
+	if _, err := CoupledKSTest(a, 10, b, 10, 0, 0.05, 0.05); err == nil {
+		t.Error("minEffect=0: want error")
+	}
+	if _, err := CoupledKSTest(a, 10, b, 10, 0.2, 0.05, 1); err == nil {
+		t.Error("alpha2=1: want error")
+	}
+}
+
+// TestKSTestOnLearnedHistograms exercises the realistic path: histograms
+// learned from raw windows, compared wholesale.
+func TestKSTestOnLearnedHistograms(t *testing.T) {
+	rng := dist.NewRand(73)
+	before, _ := dist.NewLognormal(3, 0.25)
+	after, _ := dist.NewLognormal(3.4, 0.25) // delay profile shifted up
+	learner := learn.NewHistogramLearner(12)
+	const n = 80
+	h1, err := learner.Learn(learn.NewSample(dist.SampleN(before, n, rng)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	h2, err := learner.Learn(learn.NewSample(dist.SampleN(after, n, rng)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	reject, d, p, err := KSTest(h1, n, h2, n, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reject {
+		t.Errorf("shifted delay profile undetected: D=%g p=%g", d, p)
+	}
+}

@@ -1,0 +1,317 @@
+// Package randvar implements arithmetic over random variables — the
+// machinery behind query expressions such as (A+B)/2 or SQRT(ABS(A−B))
+// over distribution-valued fields (paper §II-C, §V-C).
+//
+// A Field couples a probability distribution with the sample size it was
+// learned from; the de facto sample size of any derived variable follows
+// Lemma 3 (the minimum of the input sizes, with deterministic inputs not
+// constraining the minimum).
+//
+// Two evaluation paths exist, mirroring §III-B's two query-processing
+// categories:
+//
+//   - Closed form: sums/differences/scalings of independent Gaussians stay
+//     Gaussian; point values fold arithmetically. Used when every input is
+//     exactly representable.
+//   - Monte Carlo: the general path. Inputs are sampled, the expression is
+//     applied per draw, and the output is both a value sequence (ready for
+//     BOOTSTRAP-ACCURACY-INFO) and a histogram distribution learned from
+//     it.
+package randvar
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/dist"
+	"repro/internal/learn"
+)
+
+// Field is a random-variable-valued field: a distribution plus the sample
+// size behind it. N = 0 marks an exact (deterministic) value that does not
+// constrain the d.f. sample size of derived variables.
+type Field struct {
+	Dist dist.Distribution
+	N    int
+}
+
+// Det returns a deterministic field holding v.
+func Det(v float64) Field {
+	return Field{Dist: dist.Point{V: v}, N: 0}
+}
+
+// IsDet reports whether the field is an exact value.
+func (f Field) IsDet() bool {
+	_, ok := f.Dist.(dist.Point)
+	return ok && f.N == 0
+}
+
+// Validate reports structural problems with the field.
+func (f Field) Validate() error {
+	if f.Dist == nil {
+		return errors.New("randvar: field with nil distribution")
+	}
+	if f.N < 0 {
+		return fmt.Errorf("randvar: negative sample size %d", f.N)
+	}
+	return nil
+}
+
+// DFSampleSize applies Lemma 3 across the fields: the minimum sample size
+// among non-deterministic inputs, or 0 when every input is deterministic.
+func DFSampleSize(fields ...Field) int {
+	n := 0
+	for _, f := range fields {
+		if f.N == 0 {
+			continue
+		}
+		if n == 0 || f.N < n {
+			n = f.N
+		}
+	}
+	return n
+}
+
+// DefaultMonteCarloValues is the value-sequence length m the Monte Carlo
+// path generates when the caller does not specify one. With typical d.f.
+// sample sizes of 10–100, this yields tens of d.f. resamples for
+// BOOTSTRAP-ACCURACY-INFO.
+const DefaultMonteCarloValues = 1000
+
+// DefaultHistogramBins is the bucket count for result distributions learned
+// from Monte Carlo value sequences.
+const DefaultHistogramBins = 20
+
+// Evaluator evaluates expressions over fields. It owns an RNG (Monte Carlo
+// path) and configuration for the result representation. Not safe for
+// concurrent use; give each stream/worker its own.
+type Evaluator struct {
+	rng *dist.Rand
+	// Values is the Monte Carlo sequence length m.
+	Values int
+	// Bins is the bucket count of learned result histograms.
+	Bins int
+}
+
+// NewEvaluator returns an evaluator drawing from rng.
+func NewEvaluator(rng *dist.Rand) *Evaluator {
+	return &Evaluator{rng: rng, Values: DefaultMonteCarloValues, Bins: DefaultHistogramBins}
+}
+
+// Result is the outcome of evaluating an expression: the output field
+// (distribution + d.f. sample size) and, when the Monte Carlo path ran, the
+// raw value sequence for bootstrap accuracy.
+type Result struct {
+	Field Field
+	// Values is the Monte Carlo value sequence (nil on the closed-form
+	// path). Its length is the m fed to BOOTSTRAP-ACCURACY-INFO.
+	Values []float64
+}
+
+// Func is a scalar function applied pointwise to one draw of each input.
+type Func func(args []float64) (float64, error)
+
+// Apply evaluates y = f(X₁, …, X_d) over the input fields.
+//
+// If every input is deterministic, f is applied once and the result is
+// deterministic. Otherwise the Monte Carlo path draws e.Values joint
+// samples (inputs are treated as independent, per Definition 2), applies f
+// to each, learns a histogram distribution from the outputs, and returns
+// the value sequence alongside. The output d.f. sample size follows
+// Lemma 3.
+func (e *Evaluator) Apply(f Func, fields ...Field) (Result, error) {
+	if f == nil {
+		return Result{}, errors.New("randvar: nil function")
+	}
+	if len(fields) == 0 {
+		return Result{}, errors.New("randvar: no input fields")
+	}
+	args := make([]float64, len(fields))
+	allDet := true
+	for _, fl := range fields {
+		if err := fl.Validate(); err != nil {
+			return Result{}, err
+		}
+		if !fl.IsDet() {
+			allDet = false
+		}
+	}
+	if allDet {
+		for i, fl := range fields {
+			args[i] = fl.Dist.Mean()
+		}
+		v, err := f(args)
+		if err != nil {
+			return Result{}, err
+		}
+		return Result{Field: Det(v)}, nil
+	}
+	m := e.Values
+	if m < 2 {
+		m = DefaultMonteCarloValues
+	}
+	values := make([]float64, 0, m)
+	for k := 0; k < m; k++ {
+		for i, fl := range fields {
+			args[i] = fl.Dist.Sample(e.rng)
+		}
+		v, err := f(args)
+		if err != nil {
+			return Result{}, err
+		}
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			// Domain failures of f (e.g. division by a draw near 0)
+			// are skipped rather than poisoning the sequence.
+			continue
+		}
+		values = append(values, v)
+	}
+	if len(values) < 2 {
+		return Result{}, errors.New("randvar: expression produced fewer than 2 finite values")
+	}
+	outDist, err := learn.NewHistogramLearner(e.Bins).Learn(learn.NewSample(values))
+	if err != nil {
+		return Result{}, err
+	}
+	n := DFSampleSize(fields...)
+	return Result{
+		Field:  Field{Dist: outDist, N: n},
+		Values: values,
+	}, nil
+}
+
+// --- Closed-form Gaussian arithmetic ---
+
+// gaussianOf extracts (μ, σ²) when the field is Gaussian or a point.
+func gaussianOf(f Field) (mu, sigma2 float64, ok bool) {
+	switch d := f.Dist.(type) {
+	case dist.Normal:
+		return d.Mu, d.Sigma2, true
+	case dist.Point:
+		return d.V, 0, true
+	}
+	return 0, 0, false
+}
+
+// LinearGaussian computes Σ wᵢ·Xᵢ + c in closed form when every input is
+// Gaussian or deterministic (independent inputs): the result is
+// N(Σ wᵢμᵢ + c, Σ wᵢ²σᵢ²). ok is false when any input is not Gaussian, in
+// which case the caller should fall back to Apply.
+//
+// This is the fast path of the paper's throughput experiment: "Since the
+// inputs are Gaussians, the query processor can compute the AVG result as a
+// Gaussian distribution" (§V-C).
+func LinearGaussian(weights []float64, c float64, fields ...Field) (Field, bool, error) {
+	if len(weights) != len(fields) {
+		return Field{}, false, fmt.Errorf("randvar: %d weights for %d fields", len(weights), len(fields))
+	}
+	mu, sigma2 := c, 0.0
+	for i, f := range fields {
+		if err := f.Validate(); err != nil {
+			return Field{}, false, err
+		}
+		m, s2, ok := gaussianOf(f)
+		if !ok {
+			return Field{}, false, nil
+		}
+		mu += weights[i] * m
+		sigma2 += weights[i] * weights[i] * s2
+	}
+	n := DFSampleSize(fields...)
+	if sigma2 == 0 {
+		return Field{Dist: dist.Point{V: mu}, N: n}, true, nil
+	}
+	nd, err := dist.NewNormal(mu, sigma2)
+	if err != nil {
+		return Field{}, false, err
+	}
+	return Field{Dist: nd, N: n}, true, nil
+}
+
+// --- The paper's six random-query operators (§V-C) ---
+
+// BinaryOp names one of the paper's expression operators.
+type BinaryOp int
+
+const (
+	Add BinaryOp = iota
+	Sub
+	Mul
+	Div
+)
+
+func (op BinaryOp) String() string {
+	switch op {
+	case Add:
+		return "+"
+	case Sub:
+		return "-"
+	case Mul:
+		return "*"
+	case Div:
+		return "/"
+	}
+	return fmt.Sprintf("BinaryOp(%d)", int(op))
+}
+
+// Binary evaluates X op Y. For Add/Sub over Gaussian/point inputs the
+// closed form is used; otherwise Monte Carlo.
+func (e *Evaluator) Binary(op BinaryOp, x, y Field) (Result, error) {
+	switch op {
+	case Add, Sub:
+		w := 1.0
+		if op == Sub {
+			w = -1
+		}
+		if f, ok, err := LinearGaussian([]float64{1, w}, 0, x, y); err != nil {
+			return Result{}, err
+		} else if ok {
+			return Result{Field: f}, nil
+		}
+	}
+	var fn Func
+	switch op {
+	case Add:
+		fn = func(a []float64) (float64, error) { return a[0] + a[1], nil }
+	case Sub:
+		fn = func(a []float64) (float64, error) { return a[0] - a[1], nil }
+	case Mul:
+		fn = func(a []float64) (float64, error) { return a[0] * a[1], nil }
+	case Div:
+		fn = func(a []float64) (float64, error) {
+			if a[1] == 0 {
+				return math.NaN(), nil // skipped by Apply
+			}
+			return a[0] / a[1], nil
+		}
+	default:
+		return Result{}, fmt.Errorf("randvar: unknown operator %v", op)
+	}
+	return e.Apply(fn, x, y)
+}
+
+// SqrtAbs evaluates SQRT(ABS(X)), one of the paper's random-query unary
+// operators.
+func (e *Evaluator) SqrtAbs(x Field) (Result, error) {
+	return e.Apply(func(a []float64) (float64, error) {
+		return math.Sqrt(math.Abs(a[0])), nil
+	}, x)
+}
+
+// Square evaluates X², the paper's SQUARE operator.
+func (e *Evaluator) Square(x Field) (Result, error) {
+	return e.Apply(func(a []float64) (float64, error) {
+		return a[0] * a[0], nil
+	}, x)
+}
+
+// ProbGreater returns P(X > v) for the field's distribution together with
+// the field's sample size — the inputs a probability-threshold predicate
+// and pTest need.
+func ProbGreater(f Field, v float64) (p float64, n int, err error) {
+	if err := f.Validate(); err != nil {
+		return 0, 0, err
+	}
+	return 1 - f.Dist.CDF(v), f.N, nil
+}

@@ -1,0 +1,247 @@
+// Package repl implements the interactive shell over an embedded engine —
+// the logic behind cmd/asdb, factored out so it can be tested. It accepts
+// the same STREAM / QUERY / INSERT / LOAD / STATS / EXPLAIN / CLOSE
+// commands as the network protocol and prints results (with accuracy
+// information) to its output writer.
+package repl
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/ingest"
+	"repro/internal/randvar"
+	"repro/internal/server"
+	"repro/internal/sql"
+)
+
+// REPL owns the embedded engine and registered queries. Not safe for
+// concurrent use.
+type REPL struct {
+	eng     *core.Engine
+	queries map[string]*replQuery
+	out     io.Writer
+	// OpenFile loads CSVs for the LOAD command; defaults to os.Open and
+	// is injectable for tests.
+	OpenFile func(string) (io.ReadCloser, error)
+}
+
+type replQuery struct {
+	query   *core.Query
+	streams map[string]bool // lower-cased input streams (2 for joins)
+}
+
+// New builds a REPL over a fresh engine.
+func New(cfg core.Config, out io.Writer) (*REPL, error) {
+	eng, err := core.NewEngine(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &REPL{
+		eng:      eng,
+		queries:  make(map[string]*replQuery),
+		out:      out,
+		OpenFile: func(path string) (io.ReadCloser, error) { return os.Open(path) },
+	}, nil
+}
+
+// Engine exposes the underlying engine (examples and tests).
+func (r *REPL) Engine() *core.Engine { return r.eng }
+
+// HelpText describes the commands.
+const HelpText = `commands:
+  STREAM  <name> <col>[:dist] ...   register a stream
+  QUERY   <id> <sql>                compile a continuous query
+  INSERT  <stream> <field> ...      push a tuple (fields: 12.5 | N(mu,s2,n) | S(v;v;...) | H(e,e|c,c))
+  LOAD    <stream> <file> KEY <col> VALUE <col> [TIME <col>]
+                                    learn per-key distributions from a CSV and insert them
+  EXPLAIN <id>                      show a query's compiled plan
+  STATS   <id>                      query counters
+  CLOSE   <id>                      drop a query
+  HELP                              this text
+`
+
+// Exec executes one command line and prints its effects.
+func (r *REPL) Exec(line string) error {
+	line = strings.TrimSpace(line)
+	if line == "" || strings.HasPrefix(line, "#") {
+		return nil
+	}
+	cmd, rest := line, ""
+	if idx := strings.IndexByte(line, ' '); idx >= 0 {
+		cmd, rest = line[:idx], strings.TrimSpace(line[idx+1:])
+	}
+	switch strings.ToUpper(cmd) {
+	case "STREAM":
+		return r.cmdStream(rest)
+	case "QUERY":
+		return r.cmdQuery(rest)
+	case "INSERT":
+		return r.cmdInsert(rest)
+	case "LOAD":
+		return r.cmdLoad(rest)
+	case "EXPLAIN":
+		return r.cmdExplain(rest)
+	case "STATS":
+		return r.cmdStats(rest)
+	case "CLOSE":
+		return r.cmdClose(rest)
+	case "HELP":
+		fmt.Fprint(r.out, HelpText)
+		return nil
+	}
+	return fmt.Errorf("unknown command %q (try HELP)", cmd)
+}
+
+func (r *REPL) cmdStream(rest string) error {
+	fields := strings.Fields(rest)
+	if len(fields) < 2 {
+		return fmt.Errorf("usage: STREAM <name> <col>[:dist] ...")
+	}
+	schema, err := server.ParseStreamDef(fields[0], fields[1:])
+	if err != nil {
+		return err
+	}
+	if err := r.eng.RegisterStream(schema); err != nil {
+		return err
+	}
+	fmt.Fprintf(r.out, "stream %s registered: %s\n", schema.Name, schema)
+	return nil
+}
+
+func (r *REPL) cmdQuery(rest string) error {
+	idx := strings.IndexByte(rest, ' ')
+	if idx < 0 {
+		return fmt.Errorf("usage: QUERY <id> <sql>")
+	}
+	id, sqlText := rest[:idx], strings.TrimSpace(rest[idx+1:])
+	if _, dup := r.queries[id]; dup {
+		return fmt.Errorf("query id %q already in use", id)
+	}
+	q, err := r.eng.Compile(sqlText)
+	if err != nil {
+		return err
+	}
+	stmt, err := sql.Parse(sqlText)
+	if err != nil {
+		return err
+	}
+	streams := map[string]bool{strings.ToLower(stmt.From): true}
+	if stmt.Join != nil {
+		streams[strings.ToLower(stmt.Join.Right)] = true
+	}
+	r.queries[id] = &replQuery{query: q, streams: streams}
+	fmt.Fprintf(r.out, "query %s: %s\n", id, q)
+	return nil
+}
+
+// pushTuple routes a tuple to every query reading the stream, printing
+// results as JSON lines.
+func (r *REPL) pushTuple(streamName string, vals []randvar.Field, ts int64) (int, error) {
+	t, err := r.eng.NewTuple(streamName, vals)
+	if err != nil {
+		return 0, err
+	}
+	t.Time = ts
+	want := strings.ToLower(streamName)
+	emitted := 0
+	for id, rq := range r.queries {
+		if !rq.streams[want] {
+			continue
+		}
+		results, err := rq.query.Push(t)
+		if err != nil {
+			return emitted, fmt.Errorf("query %s: %w", id, err)
+		}
+		for _, res := range results {
+			payload, err := json.Marshal(server.EncodeResult(res))
+			if err != nil {
+				return emitted, err
+			}
+			fmt.Fprintf(r.out, "%s => %s\n", id, payload)
+			emitted++
+		}
+	}
+	return emitted, nil
+}
+
+func (r *REPL) cmdInsert(rest string) error {
+	fields := strings.Fields(rest)
+	if len(fields) < 2 {
+		return fmt.Errorf("usage: INSERT <stream> <field> ...")
+	}
+	vals := make([]randvar.Field, 0, len(fields)-1)
+	for _, spec := range fields[1:] {
+		f, err := server.ParseFieldSpec(spec)
+		if err != nil {
+			return err
+		}
+		vals = append(vals, f)
+	}
+	_, err := r.pushTuple(fields[0], vals, 0)
+	return err
+}
+
+func (r *REPL) cmdLoad(rest string) error {
+	fields := strings.Fields(rest)
+	if len(fields) < 6 || !strings.EqualFold(fields[2], "KEY") || !strings.EqualFold(fields[4], "VALUE") {
+		return fmt.Errorf("usage: LOAD <stream> <file> KEY <col> VALUE <col> [TIME <col>]")
+	}
+	spec := ingest.Spec{KeyColumn: fields[3], ValueColumn: fields[5]}
+	if len(fields) >= 8 && strings.EqualFold(fields[6], "TIME") {
+		spec.TimeColumn = fields[7]
+	}
+	f, err := r.OpenFile(fields[1])
+	if err != nil {
+		return err
+	}
+	tuples, err := ingest.Read(f, spec)
+	f.Close()
+	if err != nil {
+		return err
+	}
+	inserted, emitted := 0, 0
+	for _, lt := range tuples {
+		n, err := r.pushTuple(fields[0], []randvar.Field{randvar.Det(lt.Key), lt.Field}, lt.Time)
+		emitted += n
+		if err != nil {
+			return err
+		}
+		inserted++
+	}
+	fmt.Fprintf(r.out, "loaded %d tuples (%d results)\n", inserted, emitted)
+	return nil
+}
+
+func (r *REPL) cmdExplain(rest string) error {
+	rq, ok := r.queries[strings.TrimSpace(rest)]
+	if !ok {
+		return fmt.Errorf("unknown query %q", rest)
+	}
+	fmt.Fprint(r.out, rq.query.Explain())
+	return nil
+}
+
+func (r *REPL) cmdStats(rest string) error {
+	rq, ok := r.queries[rest]
+	if !ok {
+		return fmt.Errorf("unknown query %q", rest)
+	}
+	st := rq.query.Stats()
+	fmt.Fprintf(r.out, "in=%d out=%d dropped=%d unsure=%d joined=%d\n",
+		st.In, st.Out, st.Dropped, st.Unsure, st.Joined)
+	return nil
+}
+
+func (r *REPL) cmdClose(rest string) error {
+	if _, ok := r.queries[rest]; !ok {
+		return fmt.Errorf("unknown query %q", rest)
+	}
+	delete(r.queries, rest)
+	fmt.Fprintf(r.out, "closed %s\n", rest)
+	return nil
+}

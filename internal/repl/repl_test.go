@@ -1,0 +1,147 @@
+package repl
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+)
+
+// newTestREPL builds a REPL writing to a buffer.
+func newTestREPL(t *testing.T) (*REPL, *bytes.Buffer) {
+	t.Helper()
+	var buf bytes.Buffer
+	r, err := New(core.Config{Method: core.AccuracyAnalytical}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r, &buf
+}
+
+// exec runs a command and fails the test on error.
+func exec(t *testing.T, r *REPL, line string) {
+	t.Helper()
+	if err := r.Exec(line); err != nil {
+		t.Fatalf("%s: %v", line, err)
+	}
+}
+
+func TestREPLEndToEnd(t *testing.T) {
+	r, buf := newTestREPL(t)
+	exec(t, r, "STREAM traffic road_id delay:dist")
+	exec(t, r, "QUERY q1 SELECT road_id, delay FROM traffic WHERE PROB(delay > 50) >= 0.66")
+	exec(t, r, "INSERT traffic 19 S(56;38;97)")
+	exec(t, r, "INSERT traffic 20 N(62,120,50)")
+	exec(t, r, "STATS q1")
+	out := buf.String()
+	for _, want := range []string{
+		"stream traffic registered",
+		"query q1:",
+		`"mean":63.66`, // road 19's learned mean
+		`"n":50`,       // road 20's sample size
+		"in=2 out=2 dropped=0 unsure=0",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestREPLExplain(t *testing.T) {
+	r, buf := newTestREPL(t)
+	exec(t, r, "STREAM s k x:dist")
+	exec(t, r, "QUERY agg SELECT k, AVG(x) FROM s GROUP BY k WINDOW 4 ROWS")
+	exec(t, r, "EXPLAIN agg")
+	out := buf.String()
+	if !strings.Contains(out, "grouped by k") || !strings.Contains(out, "count window of 4 rows") {
+		t.Errorf("explain output:\n%s", out)
+	}
+	if err := r.Exec("EXPLAIN nosuch"); err == nil {
+		t.Error("EXPLAIN of unknown query: want error")
+	}
+}
+
+func TestREPLLoad(t *testing.T) {
+	r, buf := newTestREPL(t)
+	csv := `segment_id,time_sec,delay_sec
+19,50,56
+19,51,38
+19,51,97
+20,49,72
+20,51,59
+`
+	r.OpenFile = func(path string) (io.ReadCloser, error) {
+		if path != "test.csv" {
+			return nil, errors.New("unexpected path")
+		}
+		return io.NopCloser(strings.NewReader(csv)), nil
+	}
+	exec(t, r, "STREAM roads segment_id delay:dist")
+	exec(t, r, "QUERY all SELECT segment_id, delay FROM roads")
+	exec(t, r, "LOAD roads test.csv KEY segment_id VALUE delay_sec TIME time_sec")
+	out := buf.String()
+	if !strings.Contains(out, "loaded 2 tuples (2 results)") {
+		t.Errorf("load output:\n%s", out)
+	}
+	// File errors propagate.
+	r.OpenFile = func(string) (io.ReadCloser, error) { return nil, errors.New("no such file") }
+	if err := r.Exec("LOAD roads gone.csv KEY a VALUE b"); err == nil {
+		t.Error("missing file: want error")
+	}
+}
+
+func TestREPLJoinRouting(t *testing.T) {
+	r, buf := newTestREPL(t)
+	exec(t, r, "STREAM a k x:dist")
+	exec(t, r, "STREAM b k y:dist")
+	exec(t, r, "QUERY j SELECT a.x, b.y FROM a JOIN b ON k = k")
+	exec(t, r, "INSERT a 5 N(10,4,20)")
+	exec(t, r, "INSERT b 5 N(3,1,20)")
+	exec(t, r, "STATS j")
+	out := buf.String()
+	if !strings.Contains(out, `"a.x"`) {
+		t.Errorf("join result missing:\n%s", out)
+	}
+	if !strings.Contains(out, "joined=1") {
+		t.Errorf("join stats missing:\n%s", out)
+	}
+}
+
+func TestREPLErrorsAndHelp(t *testing.T) {
+	r, buf := newTestREPL(t)
+	bad := []string{
+		"FROB",
+		"STREAM",
+		"STREAM solo",
+		"QUERY nospace",
+		"QUERY q SELECT x FROM nosuch",
+		"INSERT",
+		"INSERT nosuch 1",
+		"STATS nosuch",
+		"CLOSE nosuch",
+		"LOAD a b KEY",
+	}
+	for _, line := range bad {
+		if err := r.Exec(line); err == nil {
+			t.Errorf("%q: want error", line)
+		}
+	}
+	// Comments and blanks are no-ops.
+	exec(t, r, "# a comment")
+	exec(t, r, "   ")
+	exec(t, r, "HELP")
+	if !strings.Contains(buf.String(), "EXPLAIN") {
+		t.Error("HELP output missing commands")
+	}
+	// Duplicate query ids rejected; CLOSE then reuse works.
+	exec(t, r, "STREAM s x:dist")
+	exec(t, r, "QUERY q SELECT x FROM s")
+	if err := r.Exec("QUERY q SELECT x FROM s"); err == nil {
+		t.Error("duplicate id: want error")
+	}
+	exec(t, r, "CLOSE q")
+	exec(t, r, "QUERY q SELECT x FROM s")
+}

@@ -1,0 +1,229 @@
+package server
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/randvar"
+	"repro/internal/stream"
+)
+
+// Data is one asynchronous query result delivered to a client.
+type Data struct {
+	QueryID string
+	Result  ResultJSON
+}
+
+// Client is a Go client for the line protocol. Safe for concurrent use;
+// requests are serialized and DATA lines are delivered on the Data channel.
+type Client struct {
+	c    net.Conn
+	w    *bufio.Writer
+	data chan Data
+
+	mu      sync.Mutex // serializes request/response exchanges
+	replies chan reply
+	closed  chan struct{}
+	once    sync.Once
+	readErr error
+}
+
+type reply struct {
+	ok      bool
+	payload string
+}
+
+// Dial connects to a server.
+func Dial(addr string, timeout time.Duration) (*Client, error) {
+	nc, err := net.DialTimeout("tcp", addr, timeout)
+	if err != nil {
+		return nil, err
+	}
+	cl := &Client{
+		c:       nc,
+		w:       bufio.NewWriter(nc),
+		data:    make(chan Data, 1024),
+		replies: make(chan reply, 1),
+		closed:  make(chan struct{}),
+	}
+	go cl.readLoop()
+	return cl, nil
+}
+
+// Data returns the channel of asynchronous query results. It is closed
+// when the connection ends; results are dropped if the channel backs up.
+func (cl *Client) Data() <-chan Data { return cl.data }
+
+// Close terminates the connection.
+func (cl *Client) Close() error {
+	var err error
+	cl.once.Do(func() {
+		err = cl.c.Close()
+	})
+	return err
+}
+
+// Err returns the terminal read error, if the connection has failed.
+func (cl *Client) Err() error {
+	select {
+	case <-cl.closed:
+		return cl.readErr
+	default:
+		return nil
+	}
+}
+
+func (cl *Client) readLoop() {
+	scanner := bufio.NewScanner(cl.c)
+	scanner.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	for scanner.Scan() {
+		line := scanner.Text()
+		switch {
+		case strings.HasPrefix(line, "DATA "):
+			rest := line[len("DATA "):]
+			idx := strings.IndexByte(rest, ' ')
+			if idx < 0 {
+				continue
+			}
+			var rj ResultJSON
+			if err := json.Unmarshal([]byte(rest[idx+1:]), &rj); err != nil {
+				continue
+			}
+			select {
+			case cl.data <- Data{QueryID: rest[:idx], Result: rj}:
+			default: // drop on backpressure rather than deadlock
+			}
+		case strings.HasPrefix(line, "OK"):
+			payload := strings.TrimSpace(strings.TrimPrefix(line, "OK"))
+			cl.replies <- reply{ok: true, payload: payload}
+		case strings.HasPrefix(line, "ERR "):
+			cl.replies <- reply{ok: false, payload: line[len("ERR "):]}
+		}
+	}
+	cl.readErr = scanner.Err()
+	close(cl.closed)
+	close(cl.data)
+}
+
+// roundTrip sends one request line and waits for its OK/ERR reply.
+func (cl *Client) roundTrip(line string) (string, error) {
+	cl.mu.Lock()
+	defer cl.mu.Unlock()
+	if _, err := cl.w.WriteString(line + "\n"); err != nil {
+		return "", err
+	}
+	if err := cl.w.Flush(); err != nil {
+		return "", err
+	}
+	select {
+	case r := <-cl.replies:
+		if !r.ok {
+			return "", errors.New(r.payload)
+		}
+		return r.payload, nil
+	case <-cl.closed:
+		if cl.readErr != nil {
+			return "", cl.readErr
+		}
+		return "", errors.New("server: connection closed")
+	case <-time.After(30 * time.Second):
+		return "", errors.New("server: request timed out")
+	}
+}
+
+// Ping checks liveness.
+func (cl *Client) Ping() error {
+	_, err := cl.roundTrip("PING")
+	return err
+}
+
+// RegisterStream declares a stream schema.
+func (cl *Client) RegisterStream(schema *stream.Schema) error {
+	parts := make([]string, 0, schema.Arity()+2)
+	parts = append(parts, "STREAM", schema.Name)
+	for _, col := range schema.Columns {
+		if col.Probabilistic {
+			parts = append(parts, col.Name+":dist")
+		} else {
+			parts = append(parts, col.Name)
+		}
+	}
+	_, err := cl.roundTrip(strings.Join(parts, " "))
+	return err
+}
+
+// Query registers a continuous query under the given id; results arrive on
+// Data().
+func (cl *Client) Query(id, sqlText string) error {
+	if strings.ContainsAny(id, " \n") {
+		return fmt.Errorf("server: query id %q contains whitespace", id)
+	}
+	_, err := cl.roundTrip("QUERY " + id + " " + sqlText)
+	return err
+}
+
+// Insert pushes one tuple; the returned count is the number of query
+// results the insert produced server-side.
+func (cl *Client) Insert(streamName string, fields ...randvar.Field) (int, error) {
+	parts := make([]string, 0, len(fields)+2)
+	parts = append(parts, "INSERT", streamName)
+	for _, f := range fields {
+		parts = append(parts, FormatFieldSpec(f))
+	}
+	payload, err := cl.roundTrip(strings.Join(parts, " "))
+	if err != nil {
+		return 0, err
+	}
+	n := 0
+	fmt.Sscanf(payload, "inserted results=%d", &n)
+	return n, nil
+}
+
+// Stats fetches a query's counters.
+func (cl *Client) Stats(id string) (core.QueryStats, error) {
+	payload, err := cl.roundTrip("STATS " + id)
+	if err != nil {
+		return core.QueryStats{}, err
+	}
+	var st core.QueryStats
+	if err := json.Unmarshal([]byte(payload), &st); err != nil {
+		return core.QueryStats{}, err
+	}
+	return st, nil
+}
+
+// Explain fetches a query's compiled plan.
+func (cl *Client) Explain(id string) (string, error) {
+	payload, err := cl.roundTrip("EXPLAIN " + id)
+	if err != nil {
+		return "", err
+	}
+	plan, err := strconv.Unquote(payload)
+	if err != nil {
+		return "", fmt.Errorf("server: malformed EXPLAIN payload: %w", err)
+	}
+	return plan, nil
+}
+
+// CloseQuery drops a continuous query.
+func (cl *Client) CloseQuery(id string) error {
+	_, err := cl.roundTrip("CLOSE " + id)
+	return err
+}
+
+// Quit asks the server to close the connection gracefully.
+func (cl *Client) Quit() error {
+	_, err := cl.roundTrip("QUIT")
+	if err == nil {
+		return cl.Close()
+	}
+	return err
+}

@@ -1,0 +1,276 @@
+// Package server exposes the accuracy-aware uncertain stream database over
+// a TCP line protocol, plus a matching Go client. One server process hosts
+// one Engine; any number of clients may register streams, compile
+// continuous queries, and insert tuples. Query results are delivered
+// asynchronously to the connection that registered the query as DATA lines.
+//
+// # Protocol
+//
+// Requests are single lines; fields are space-separated except the SQL
+// text, which runs to the end of the line:
+//
+//	STREAM <name> <col>[:dist] ...      register a stream schema
+//	QUERY  <id> <sql>                   compile a continuous query
+//	INSERT <stream> <field> ...         push one tuple
+//	STATS  <id>                         query counters
+//	EXPLAIN <id>                        compiled plan (quoted string)
+//	CLOSE  <id>                         drop a query
+//	PING                                liveness check
+//	QUIT                                close the connection
+//
+// Field syntax for INSERT:
+//
+//	12.5                 deterministic value
+//	N(mu,sigma2,n)       Gaussian learned from n observations
+//	S(v1;v2;...)         raw sample; the server learns a Gaussian (n = count)
+//	H(e0,e1,...|c1,...)  histogram from bucket edges and raw counts
+//	J{...}               any distribution as compact codec JSON (lossless)
+//
+// Responses are "OK[ payload]" or "ERR <message>". Asynchronous result
+// lines have the form "DATA <queryID> <json>"; the JSON shape is
+// server.ResultJSON.
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/accuracy"
+	"repro/internal/codec"
+	"repro/internal/core"
+	"repro/internal/dist"
+	"repro/internal/learn"
+	"repro/internal/randvar"
+	"repro/internal/stream"
+)
+
+// ParseFieldSpec parses one INSERT field.
+func ParseFieldSpec(spec string) (randvar.Field, error) {
+	switch {
+	case strings.HasPrefix(spec, "J{"):
+		return codec.DecodeField([]byte(spec[1:]))
+	case strings.HasPrefix(spec, "N(") && strings.HasSuffix(spec, ")"):
+		body := spec[2 : len(spec)-1]
+		parts := strings.Split(body, ",")
+		if len(parts) != 3 {
+			return randvar.Field{}, fmt.Errorf("server: N() takes (mu,sigma2,n), got %q", spec)
+		}
+		mu, err := strconv.ParseFloat(parts[0], 64)
+		if err != nil {
+			return randvar.Field{}, fmt.Errorf("server: bad mu in %q: %w", spec, err)
+		}
+		sigma2, err := strconv.ParseFloat(parts[1], 64)
+		if err != nil {
+			return randvar.Field{}, fmt.Errorf("server: bad sigma2 in %q: %w", spec, err)
+		}
+		n, err := strconv.Atoi(parts[2])
+		if err != nil || n < 0 {
+			return randvar.Field{}, fmt.Errorf("server: bad n in %q", spec)
+		}
+		nd, err := dist.NewNormal(mu, sigma2)
+		if err != nil {
+			return randvar.Field{}, err
+		}
+		return randvar.Field{Dist: nd, N: n}, nil
+	case strings.HasPrefix(spec, "S(") && strings.HasSuffix(spec, ")"):
+		body := spec[2 : len(spec)-1]
+		parts := strings.Split(body, ";")
+		obs := make([]float64, 0, len(parts))
+		for _, p := range parts {
+			if p == "" {
+				continue
+			}
+			v, err := strconv.ParseFloat(p, 64)
+			if err != nil {
+				return randvar.Field{}, fmt.Errorf("server: bad observation %q in %q", p, spec)
+			}
+			obs = append(obs, v)
+		}
+		if len(obs) < 2 {
+			return randvar.Field{}, fmt.Errorf("server: S() needs ≥ 2 observations, got %d", len(obs))
+		}
+		return core.LearnField(learn.GaussianLearner{}, learn.NewSample(obs))
+	case strings.HasPrefix(spec, "H(") && strings.HasSuffix(spec, ")"):
+		body := spec[2 : len(spec)-1]
+		halves := strings.SplitN(body, "|", 2)
+		if len(halves) != 2 {
+			return randvar.Field{}, fmt.Errorf("server: H() takes edges|counts, got %q", spec)
+		}
+		edgeStrs := strings.Split(halves[0], ",")
+		countStrs := strings.Split(halves[1], ",")
+		edges := make([]float64, 0, len(edgeStrs))
+		for _, s := range edgeStrs {
+			v, err := strconv.ParseFloat(s, 64)
+			if err != nil {
+				return randvar.Field{}, fmt.Errorf("server: bad edge %q in %q", s, spec)
+			}
+			edges = append(edges, v)
+		}
+		counts := make([]int, 0, len(countStrs))
+		total := 0
+		for _, s := range countStrs {
+			v, err := strconv.Atoi(s)
+			if err != nil {
+				return randvar.Field{}, fmt.Errorf("server: bad count %q in %q", s, spec)
+			}
+			counts = append(counts, v)
+			total += v
+		}
+		h, err := dist.HistogramFromCounts(edges, counts)
+		if err != nil {
+			return randvar.Field{}, err
+		}
+		return randvar.Field{Dist: h, N: total}, nil
+	default:
+		v, err := strconv.ParseFloat(spec, 64)
+		if err != nil {
+			return randvar.Field{}, fmt.Errorf("server: unrecognized field %q", spec)
+		}
+		return randvar.Det(v), nil
+	}
+}
+
+// FormatFieldSpec renders a field in the protocol's INSERT syntax (inverse
+// of ParseFieldSpec for the supported kinds).
+func FormatFieldSpec(f randvar.Field) string {
+	switch d := f.Dist.(type) {
+	case dist.Point:
+		return strconv.FormatFloat(d.V, 'g', -1, 64)
+	case dist.Normal:
+		return fmt.Sprintf("N(%g,%g,%d)", d.Mu, d.Sigma2, f.N)
+	case *dist.Histogram:
+		edges := make([]string, len(d.Edges))
+		for i, e := range d.Edges {
+			edges[i] = strconv.FormatFloat(e, 'g', -1, 64)
+		}
+		counts := make([]string, len(d.Probs))
+		if d.Counts != nil {
+			for i, c := range d.Counts {
+				counts[i] = strconv.Itoa(c)
+			}
+		} else {
+			// Approximate with scaled probabilities.
+			for i, p := range d.Probs {
+				counts[i] = strconv.Itoa(int(p*1000 + 0.5))
+			}
+		}
+		return fmt.Sprintf("H(%s|%s)", strings.Join(edges, ","), strings.Join(counts, ","))
+	default:
+		// Arbitrary distributions travel losslessly as codec JSON
+		// (compact, so it stays a single space-free token).
+		if data, err := codec.EncodeField(f); err == nil {
+			return "J" + string(data)
+		}
+		return fmt.Sprintf("N(%g,%g,%d)", f.Dist.Mean(), f.Dist.Variance(), f.N)
+	}
+}
+
+// IntervalJSON is a confidence interval in wire form.
+type IntervalJSON struct {
+	Lo    float64 `json:"lo"`
+	Hi    float64 `json:"hi"`
+	Level float64 `json:"level"`
+}
+
+func intervalJSON(iv accuracy.Interval) IntervalJSON {
+	return IntervalJSON{Lo: iv.Lo, Hi: iv.Hi, Level: iv.Level}
+}
+
+// FieldJSON is one result field in wire form. Repr carries the full
+// distribution in codec JSON so clients can reconstruct it losslessly;
+// Dist remains the human-readable summary.
+type FieldJSON struct {
+	Mean     float64         `json:"mean"`
+	Variance float64         `json:"variance"`
+	N        int             `json:"n,omitempty"`
+	Dist     string          `json:"dist"`
+	Repr     json.RawMessage `json:"repr,omitempty"`
+	MeanIv   *IntervalJSON   `json:"mean_interval,omitempty"`
+	VarIv    *IntervalJSON   `json:"variance_interval,omitempty"`
+	Bins     []BinJSON       `json:"bins,omitempty"`
+}
+
+// BinJSON is one histogram bucket's accuracy in wire form.
+type BinJSON struct {
+	Lo       float64      `json:"lo"`
+	Hi       float64      `json:"hi"`
+	Estimate float64      `json:"estimate"`
+	Interval IntervalJSON `json:"interval"`
+}
+
+// ResultJSON is one query result in wire form.
+type ResultJSON struct {
+	Fields map[string]FieldJSON `json:"fields"`
+	Prob   float64              `json:"prob"`
+	ProbN  int                  `json:"prob_n,omitempty"`
+	ProbIv *IntervalJSON        `json:"prob_interval,omitempty"`
+	Unsure bool                 `json:"unsure,omitempty"`
+	Seq    uint64               `json:"seq"`
+	Time   int64                `json:"time,omitempty"`
+}
+
+// EncodeResult converts a core.Result into wire form.
+func EncodeResult(r core.Result) ResultJSON {
+	out := ResultJSON{
+		Fields: make(map[string]FieldJSON, len(r.Tuple.Fields)),
+		Prob:   r.Tuple.Prob,
+		ProbN:  r.Tuple.ProbN,
+		Unsure: r.Unsure,
+		Seq:    r.Tuple.Seq,
+		Time:   r.Tuple.Time,
+	}
+	for i, f := range r.Tuple.Fields {
+		name := r.Tuple.Schema.Columns[i].Name
+		fj := FieldJSON{
+			Mean:     f.Dist.Mean(),
+			Variance: f.Dist.Variance(),
+			N:        f.N,
+			Dist:     f.Dist.String(),
+		}
+		if repr, err := codec.EncodeDistribution(f.Dist); err == nil {
+			fj.Repr = repr
+		}
+		if info := r.Fields[name]; info != nil {
+			miv := intervalJSON(info.Mean)
+			viv := intervalJSON(info.Variance)
+			fj.MeanIv = &miv
+			fj.VarIv = &viv
+			for _, b := range info.Bins {
+				fj.Bins = append(fj.Bins, BinJSON{
+					Lo: b.Lo, Hi: b.Hi, Estimate: b.Estimate,
+					Interval: intervalJSON(b.Interval),
+				})
+			}
+		}
+		out.Fields[name] = fj
+	}
+	if r.TupleProb != nil {
+		iv := intervalJSON(*r.TupleProb)
+		out.ProbIv = &iv
+	}
+	return out
+}
+
+// ParseStreamDef parses the STREAM command's column definitions.
+func ParseStreamDef(name string, colSpecs []string) (*stream.Schema, error) {
+	cols := make([]stream.Column, 0, len(colSpecs))
+	for _, spec := range colSpecs {
+		probabilistic := false
+		colName := spec
+		if idx := strings.IndexByte(spec, ':'); idx >= 0 {
+			colName = spec[:idx]
+			kind := strings.ToLower(spec[idx+1:])
+			switch kind {
+			case "dist", "prob":
+				probabilistic = true
+			case "det", "":
+			default:
+				return nil, fmt.Errorf("server: unknown column kind %q in %q", kind, spec)
+			}
+		}
+		cols = append(cols, stream.Column{Name: colName, Probabilistic: probabilistic})
+	}
+	return stream.NewSchema(name, cols...)
+}

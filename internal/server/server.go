@@ -1,0 +1,361 @@
+package server
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"log"
+	"net"
+	"strconv"
+	"strings"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/randvar"
+	"repro/internal/sql"
+)
+
+// Server hosts one Engine over TCP. Safe for concurrent connections:
+// stream/query registries are guarded by mu, and tuple pushes are
+// serialized (the single-writer model of a stream engine).
+type Server struct {
+	engine *core.Engine
+	logger *log.Logger
+
+	mu       sync.Mutex
+	ln       net.Listener
+	queries  map[string]*registeredQuery
+	closed   bool
+	connWG   sync.WaitGroup
+	nextConn uint64
+}
+
+type registeredQuery struct {
+	id      string
+	query   *core.Query
+	streams map[string]bool // lower-cased source stream names (2 for joins)
+	owner   *conn
+}
+
+// New returns a server over the given engine. logger may be nil (logging
+// disabled).
+func New(engine *core.Engine, logger *log.Logger) (*Server, error) {
+	if engine == nil {
+		return nil, errors.New("server: nil engine")
+	}
+	return &Server{
+		engine:  engine,
+		logger:  logger,
+		queries: make(map[string]*registeredQuery),
+	}, nil
+}
+
+// Listen binds addr (e.g. "127.0.0.1:7433"; port 0 picks a free port) and
+// returns the bound address.
+func (s *Server) Listen(addr string) (net.Addr, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	s.ln = ln
+	s.mu.Unlock()
+	return ln.Addr(), nil
+}
+
+// Serve accepts connections until Close. Call after Listen.
+func (s *Server) Serve() error {
+	s.mu.Lock()
+	ln := s.ln
+	s.mu.Unlock()
+	if ln == nil {
+		return errors.New("server: Serve before Listen")
+	}
+	for {
+		c, err := ln.Accept()
+		if err != nil {
+			s.mu.Lock()
+			closed := s.closed
+			s.mu.Unlock()
+			if closed {
+				return nil
+			}
+			return err
+		}
+		s.connWG.Add(1)
+		go func() {
+			defer s.connWG.Done()
+			s.handle(c)
+		}()
+	}
+}
+
+// Close stops accepting, closes the listener, and waits for connections to
+// finish.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	s.closed = true
+	ln := s.ln
+	s.mu.Unlock()
+	var err error
+	if ln != nil {
+		err = ln.Close()
+	}
+	s.connWG.Wait()
+	return err
+}
+
+func (s *Server) logf(format string, args ...any) {
+	if s.logger != nil {
+		s.logger.Printf(format, args...)
+	}
+}
+
+// conn is one client connection. Writes are serialized by wmu because the
+// handler goroutine (command responses) and insert paths of other
+// connections (DATA pushes) both write.
+type conn struct {
+	id  uint64
+	c   net.Conn
+	wmu sync.Mutex
+	w   *bufio.Writer
+}
+
+func (c *conn) writeLine(line string) error {
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
+	if _, err := c.w.WriteString(line); err != nil {
+		return err
+	}
+	if err := c.w.WriteByte('\n'); err != nil {
+		return err
+	}
+	return c.w.Flush()
+}
+
+func (s *Server) handle(nc net.Conn) {
+	defer nc.Close()
+	s.mu.Lock()
+	s.nextConn++
+	c := &conn{id: s.nextConn, c: nc, w: bufio.NewWriter(nc)}
+	s.mu.Unlock()
+	s.logf("conn %d: open from %s", c.id, nc.RemoteAddr())
+	defer s.dropConnQueries(c)
+	scanner := bufio.NewScanner(nc)
+	scanner.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	for scanner.Scan() {
+		line := strings.TrimSpace(scanner.Text())
+		if line == "" {
+			continue
+		}
+		quit, err := s.dispatch(c, line)
+		if err != nil {
+			if werr := c.writeLine("ERR " + err.Error()); werr != nil {
+				s.logf("conn %d: write: %v", c.id, werr)
+				return
+			}
+			continue
+		}
+		if quit {
+			return
+		}
+	}
+	s.logf("conn %d: closed", c.id)
+}
+
+// dispatch executes one request line; returns quit=true for QUIT.
+func (s *Server) dispatch(c *conn, line string) (bool, error) {
+	cmd := line
+	rest := ""
+	if idx := strings.IndexByte(line, ' '); idx >= 0 {
+		cmd, rest = line[:idx], strings.TrimSpace(line[idx+1:])
+	}
+	switch strings.ToUpper(cmd) {
+	case "PING":
+		return false, c.writeLine("OK pong")
+	case "QUIT":
+		_ = c.writeLine("OK bye")
+		return true, nil
+	case "STREAM":
+		return false, s.cmdStream(c, rest)
+	case "QUERY":
+		return false, s.cmdQuery(c, rest)
+	case "INSERT":
+		return false, s.cmdInsert(c, rest)
+	case "STATS":
+		return false, s.cmdStats(c, rest)
+	case "EXPLAIN":
+		return false, s.cmdExplain(c, rest)
+	case "CLOSE":
+		return false, s.cmdClose(c, rest)
+	}
+	return false, fmt.Errorf("unknown command %q", cmd)
+}
+
+func (s *Server) cmdStream(c *conn, rest string) error {
+	fields := strings.Fields(rest)
+	if len(fields) < 2 {
+		return errors.New("usage: STREAM <name> <col>[:dist] ...")
+	}
+	schema, err := ParseStreamDef(fields[0], fields[1:])
+	if err != nil {
+		return err
+	}
+	if err := s.engine.RegisterStream(schema); err != nil {
+		return err
+	}
+	s.logf("stream %s registered (%d columns)", schema.Name, schema.Arity())
+	return c.writeLine("OK stream " + schema.Name)
+}
+
+func (s *Server) cmdQuery(c *conn, rest string) error {
+	idx := strings.IndexByte(rest, ' ')
+	if idx < 0 {
+		return errors.New("usage: QUERY <id> <sql>")
+	}
+	id, sqlText := rest[:idx], strings.TrimSpace(rest[idx+1:])
+	if sqlText == "" {
+		return errors.New("usage: QUERY <id> <sql>")
+	}
+	q, err := s.engine.Compile(sqlText)
+	if err != nil {
+		return err
+	}
+	streams, err := sourceStreams(sqlText)
+	if err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, dup := s.queries[id]; dup {
+		return fmt.Errorf("query id %q already in use", id)
+	}
+	s.queries[id] = &registeredQuery{id: id, query: q, streams: streams, owner: c}
+	s.logf("query %s registered: %s", id, sqlText)
+	return c.writeLine("OK query " + id)
+}
+
+// sourceStreams returns the lower-cased input stream names of a statement
+// (one for plain queries, two for joins). The statement already compiled,
+// so parsing cannot fail in practice.
+func sourceStreams(sqlText string) (map[string]bool, error) {
+	stmt, err := sql.Parse(sqlText)
+	if err != nil {
+		return nil, err
+	}
+	out := map[string]bool{strings.ToLower(stmt.From): true}
+	if stmt.Join != nil {
+		out[strings.ToLower(stmt.Join.Right)] = true
+	}
+	return out, nil
+}
+
+func (s *Server) cmdInsert(c *conn, rest string) error {
+	fields := strings.Fields(rest)
+	if len(fields) < 2 {
+		return errors.New("usage: INSERT <stream> <field> ...")
+	}
+	streamName := fields[0]
+	vals := make([]randvar.Field, 0, len(fields)-1)
+	for _, spec := range fields[1:] {
+		f, err := ParseFieldSpec(spec)
+		if err != nil {
+			return err
+		}
+		vals = append(vals, f)
+	}
+	t, err := s.engine.NewTuple(streamName, vals)
+	if err != nil {
+		return err
+	}
+	// Push through every query on this stream under the server lock
+	// (single-writer execution).
+	s.mu.Lock()
+	var deliveries []func() error
+	want := strings.ToLower(streamName)
+	emitted := 0
+	for _, rq := range s.queries {
+		if !rq.streams[want] {
+			continue
+		}
+		results, err := rq.query.Push(t)
+		if err != nil {
+			s.mu.Unlock()
+			return fmt.Errorf("query %s: %w", rq.id, err)
+		}
+		for _, r := range results {
+			payload, err := json.Marshal(EncodeResult(r))
+			if err != nil {
+				s.mu.Unlock()
+				return err
+			}
+			owner, qid := rq.owner, rq.id
+			deliveries = append(deliveries, func() error {
+				return owner.writeLine("DATA " + qid + " " + string(payload))
+			})
+			emitted++
+		}
+	}
+	s.mu.Unlock()
+	for _, deliver := range deliveries {
+		if err := deliver(); err != nil {
+			s.logf("deliver: %v", err)
+		}
+	}
+	return c.writeLine(fmt.Sprintf("OK inserted results=%d", emitted))
+}
+
+func (s *Server) cmdStats(c *conn, rest string) error {
+	id := strings.TrimSpace(rest)
+	s.mu.Lock()
+	rq, ok := s.queries[id]
+	s.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("unknown query %q", id)
+	}
+	st := rq.query.Stats()
+	payload, err := json.Marshal(st)
+	if err != nil {
+		return err
+	}
+	return c.writeLine("OK " + string(payload))
+}
+
+// cmdExplain returns the compiled plan as a quoted string (the protocol is
+// line-based; clients unquote to recover the multi-line plan).
+func (s *Server) cmdExplain(c *conn, rest string) error {
+	id := strings.TrimSpace(rest)
+	s.mu.Lock()
+	rq, ok := s.queries[id]
+	s.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("unknown query %q", id)
+	}
+	return c.writeLine("OK " + strconv.Quote(rq.query.Explain()))
+}
+
+func (s *Server) cmdClose(c *conn, rest string) error {
+	id := strings.TrimSpace(rest)
+	s.mu.Lock()
+	_, ok := s.queries[id]
+	if ok {
+		delete(s.queries, id)
+	}
+	s.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("unknown query %q", id)
+	}
+	return c.writeLine("OK closed " + id)
+}
+
+// dropConnQueries removes queries owned by a departing connection.
+func (s *Server) dropConnQueries(c *conn) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for id, rq := range s.queries {
+		if rq.owner == c {
+			delete(s.queries, id)
+		}
+	}
+}

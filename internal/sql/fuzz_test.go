@@ -1,0 +1,41 @@
+package sql
+
+import "testing"
+
+// FuzzParse is a native fuzz target for the statement parser: any input
+// must return a statement or an error without panicking, and any statement
+// that parses must re-parse from its own rendering.
+//
+// Run with: go test -fuzz=FuzzParse ./internal/sql
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		"SELECT Road_ID FROM t WHERE Delay > 50",
+		"SELECT (A+B)/2 AS h FROM S WHERE C > 80 WINDOW 10 ROWS",
+		"SELECT x FROM s WHERE PROB(x > 5) >= 0.8",
+		"SELECT x FROM s WHERE MTEST(x, '>', 97, 0.05, 0.05)",
+		"SELECT a.x FROM a JOIN b ON a.k = b.k GROUP BY g WINDOW 5 SECONDS",
+		"SELECT SQRT(ABS(a - b)) FROM s",
+		"SELECT * FROM s;",
+		"SELECT 'it''s' FROM s",
+		"SELECT -1.5e-3 FROM s WHERE NOT a <> 2 AND b = 3 OR c <= 4",
+		"SELECT 温度 FROM ストリーム",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, input string) {
+		stmt, err := Parse(input)
+		if err != nil {
+			return
+		}
+		rendered := stmt.String()
+		stmt2, err := Parse(rendered)
+		if err != nil {
+			t.Fatalf("rendering of valid statement failed to parse:\ninput:    %q\nrendered: %q\nerr: %v",
+				input, rendered, err)
+		}
+		if stmt2.String() != rendered {
+			t.Fatalf("rendering not a fixed point:\nfirst:  %q\nsecond: %q", rendered, stmt2.String())
+		}
+	})
+}

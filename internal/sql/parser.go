@@ -1,0 +1,379 @@
+package sql
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Parse parses a single SELECT statement (a trailing ';' is allowed).
+func Parse(input string) (*SelectStmt, error) {
+	toks, err := Lex(input)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	stmt, err := p.parseSelect()
+	if err != nil {
+		return nil, err
+	}
+	if p.peek().Kind == TokOp && p.peek().Text == ";" {
+		p.next()
+	}
+	if p.peek().Kind != TokEOF {
+		return nil, p.errorf("unexpected %s after statement", p.peek())
+	}
+	return stmt, nil
+}
+
+// ParseExpr parses a standalone expression — used by tools and tests.
+func ParseExpr(input string) (Expr, error) {
+	toks, err := Lex(input)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	e, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if p.peek().Kind != TokEOF {
+		return nil, p.errorf("unexpected %s after expression", p.peek())
+	}
+	return e, nil
+}
+
+type parser struct {
+	toks []Token
+	pos  int
+}
+
+func (p *parser) peek() Token { return p.toks[p.pos] }
+
+func (p *parser) next() Token {
+	t := p.toks[p.pos]
+	if t.Kind != TokEOF {
+		p.pos++
+	}
+	return t
+}
+
+func (p *parser) errorf(format string, args ...any) error {
+	return &SyntaxError{Pos: p.peek().Pos, Msg: fmt.Sprintf(format, args...)}
+}
+
+// isKeyword reports whether the next token is the given keyword
+// (case-insensitive identifier match).
+func (p *parser) isKeyword(kw string) bool {
+	t := p.peek()
+	return t.Kind == TokIdent && strings.EqualFold(t.Text, kw)
+}
+
+func (p *parser) expectKeyword(kw string) error {
+	if !p.isKeyword(kw) {
+		return p.errorf("expected %s, got %s", kw, p.peek())
+	}
+	p.next()
+	return nil
+}
+
+func (p *parser) expectOp(op string) error {
+	t := p.peek()
+	if t.Kind != TokOp || t.Text != op {
+		return p.errorf("expected %q, got %s", op, t)
+	}
+	p.next()
+	return nil
+}
+
+// reserved keywords cannot be used as bare column references.
+var reserved = map[string]bool{
+	"select": true, "from": true, "where": true, "window": true,
+	"rows": true, "seconds": true, "as": true, "and": true, "or": true,
+	"not": true, "join": true, "on": true, "group": true, "by": true,
+}
+
+func (p *parser) parseSelect() (*SelectStmt, error) {
+	if err := p.expectKeyword("SELECT"); err != nil {
+		return nil, err
+	}
+	stmt := &SelectStmt{}
+	// Select list.
+	if p.peek().Kind == TokOp && p.peek().Text == "*" {
+		p.next()
+		stmt.Items = []SelectItem{{Expr: &Star{}}}
+	} else {
+		for {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			item := SelectItem{Expr: e}
+			if p.isKeyword("AS") {
+				p.next()
+				t := p.peek()
+				if t.Kind != TokIdent || reserved[strings.ToLower(t.Text)] {
+					return nil, p.errorf("expected alias name, got %s", t)
+				}
+				item.Alias = p.next().Text
+			}
+			stmt.Items = append(stmt.Items, item)
+			if p.peek().Kind == TokOp && p.peek().Text == "," {
+				p.next()
+				continue
+			}
+			break
+		}
+	}
+	if err := p.expectKeyword("FROM"); err != nil {
+		return nil, err
+	}
+	t := p.peek()
+	if t.Kind != TokIdent || reserved[strings.ToLower(t.Text)] {
+		return nil, p.errorf("expected stream name, got %s", t)
+	}
+	stmt.From = p.next().Text
+	if p.isKeyword("JOIN") {
+		p.next()
+		t = p.peek()
+		if t.Kind != TokIdent || reserved[strings.ToLower(t.Text)] {
+			return nil, p.errorf("expected joined stream name, got %s", t)
+		}
+		join := &JoinSpec{Right: p.next().Text}
+		if err := p.expectKeyword("ON"); err != nil {
+			return nil, err
+		}
+		lk := p.peek()
+		if lk.Kind != TokIdent || reserved[strings.ToLower(lk.Text)] {
+			return nil, p.errorf("expected join key column, got %s", lk)
+		}
+		join.LeftKey = p.next().Text
+		if err := p.expectOp("="); err != nil {
+			return nil, err
+		}
+		rk := p.peek()
+		if rk.Kind != TokIdent || reserved[strings.ToLower(rk.Text)] {
+			return nil, p.errorf("expected join key column, got %s", rk)
+		}
+		join.RightKey = p.next().Text
+		stmt.Join = join
+	}
+	if p.isKeyword("WHERE") {
+		p.next()
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		stmt.Where = e
+	}
+	if p.isKeyword("GROUP") {
+		p.next()
+		if err := p.expectKeyword("BY"); err != nil {
+			return nil, err
+		}
+		t = p.peek()
+		if t.Kind != TokIdent || reserved[strings.ToLower(t.Text)] {
+			return nil, p.errorf("expected GROUP BY column, got %s", t)
+		}
+		stmt.GroupBy = p.next().Text
+	}
+	if p.isKeyword("WINDOW") {
+		p.next()
+		t := p.peek()
+		if t.Kind != TokNumber {
+			return nil, p.errorf("expected window size, got %s", t)
+		}
+		n, err := strconv.Atoi(p.next().Text)
+		if err != nil || n < 1 {
+			return nil, p.errorf("invalid window size %q", t.Text)
+		}
+		switch {
+		case p.isKeyword("ROWS"):
+			p.next()
+			stmt.Window = &WindowSpec{Rows: n}
+		case p.isKeyword("SECONDS"):
+			p.next()
+			stmt.Window = &WindowSpec{Seconds: int64(n)}
+		default:
+			return nil, p.errorf("expected ROWS or SECONDS, got %s", p.peek())
+		}
+	}
+	return stmt, nil
+}
+
+func (p *parser) parseExpr() (Expr, error) { return p.parseOr() }
+
+func (p *parser) parseOr() (Expr, error) {
+	l, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	for p.isKeyword("OR") {
+		p.next()
+		r, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		l = &LogicalExpr{Op: "OR", L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *parser) parseAnd() (Expr, error) {
+	l, err := p.parseNot()
+	if err != nil {
+		return nil, err
+	}
+	for p.isKeyword("AND") {
+		p.next()
+		r, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		l = &LogicalExpr{Op: "AND", L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *parser) parseNot() (Expr, error) {
+	if p.isKeyword("NOT") {
+		p.next()
+		x, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		return &NotExpr{X: x}, nil
+	}
+	return p.parseCmp()
+}
+
+var cmpOps = map[string]bool{">": true, "<": true, ">=": true, "<=": true, "=": true, "<>": true}
+
+func (p *parser) parseCmp() (Expr, error) {
+	l, err := p.parseAdd()
+	if err != nil {
+		return nil, err
+	}
+	t := p.peek()
+	if t.Kind == TokOp && cmpOps[t.Text] {
+		op := p.next().Text
+		r, err := p.parseAdd()
+		if err != nil {
+			return nil, err
+		}
+		return &CmpExpr{Op: op, L: l, R: r}, nil
+	}
+	return l, nil
+}
+
+func (p *parser) parseAdd() (Expr, error) {
+	l, err := p.parseMul()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		t := p.peek()
+		if t.Kind == TokOp && (t.Text == "+" || t.Text == "-") {
+			op := p.next().Text
+			r, err := p.parseMul()
+			if err != nil {
+				return nil, err
+			}
+			l = &BinaryExpr{Op: op, L: l, R: r}
+			continue
+		}
+		return l, nil
+	}
+}
+
+func (p *parser) parseMul() (Expr, error) {
+	l, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		t := p.peek()
+		if t.Kind == TokOp && (t.Text == "*" || t.Text == "/") {
+			op := p.next().Text
+			r, err := p.parseUnary()
+			if err != nil {
+				return nil, err
+			}
+			l = &BinaryExpr{Op: op, L: l, R: r}
+			continue
+		}
+		return l, nil
+	}
+}
+
+func (p *parser) parseUnary() (Expr, error) {
+	t := p.peek()
+	if t.Kind == TokOp && t.Text == "-" {
+		p.next()
+		x, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		// Fold negation of literals immediately.
+		if num, ok := x.(*NumberLit); ok {
+			return &NumberLit{Value: -num.Value}, nil
+		}
+		return &UnaryExpr{Op: "-", X: x}, nil
+	}
+	return p.parsePrimary()
+}
+
+func (p *parser) parsePrimary() (Expr, error) {
+	t := p.peek()
+	switch {
+	case t.Kind == TokNumber:
+		p.next()
+		v, err := strconv.ParseFloat(t.Text, 64)
+		if err != nil {
+			return nil, p.errorf("invalid number %q", t.Text)
+		}
+		return &NumberLit{Value: v}, nil
+	case t.Kind == TokString:
+		p.next()
+		return &StringLit{Value: t.Text}, nil
+	case t.Kind == TokIdent:
+		if reserved[strings.ToLower(t.Text)] {
+			return nil, p.errorf("unexpected keyword %s", t)
+		}
+		name := p.next().Text
+		if p.peek().Kind == TokOp && p.peek().Text == "(" {
+			p.next()
+			call := &CallExpr{Func: strings.ToUpper(name)}
+			if !(p.peek().Kind == TokOp && p.peek().Text == ")") {
+				for {
+					arg, err := p.parseExpr()
+					if err != nil {
+						return nil, err
+					}
+					call.Args = append(call.Args, arg)
+					if p.peek().Kind == TokOp && p.peek().Text == "," {
+						p.next()
+						continue
+					}
+					break
+				}
+			}
+			if err := p.expectOp(")"); err != nil {
+				return nil, err
+			}
+			return call, nil
+		}
+		return &ColumnRef{Name: name}, nil
+	case t.Kind == TokOp && t.Text == "(":
+		p.next()
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectOp(")"); err != nil {
+			return nil, err
+		}
+		return e, nil
+	}
+	return nil, p.errorf("unexpected %s", t)
+}

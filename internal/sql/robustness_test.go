@@ -1,0 +1,107 @@
+package sql
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// TestLexParseNeverPanics feeds arbitrary strings through the lexer and
+// parser; any input must produce a value or an error, never a panic. This
+// is the property a network-facing query parser must hold.
+func TestLexParseNeverPanics(t *testing.T) {
+	f := func(s string) bool {
+		defer func() {
+			if r := recover(); r != nil {
+				t.Fatalf("panic on %q: %v", s, r)
+			}
+		}()
+		_, _ = Parse(s)
+		_, _ = ParseExpr(s)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestParseMutatedQueries mutates valid queries at every byte position —
+// deletions and substitutions — and requires graceful handling.
+func TestParseMutatedQueries(t *testing.T) {
+	bases := []string{
+		"SELECT (a + b) / 2 AS h FROM s WHERE PROB(c > 80) >= 0.5 WINDOW 10 ROWS",
+		"SELECT x FROM s WHERE MTEST(x, '>', 97, 0.05, 0.05)",
+		"SELECT a.x FROM a JOIN b ON a.k = b.k GROUP BY g WINDOW 5 SECONDS",
+	}
+	subs := []byte{'(', ')', '\'', ',', ' ', '>', '0', 'Z', ';', '.'}
+	for _, base := range bases {
+		for i := range base {
+			// Deletion.
+			mutated := base[:i] + base[i+1:]
+			_, _ = Parse(mutated)
+			// Substitutions.
+			for _, c := range subs {
+				b := []byte(base)
+				b[i] = c
+				_, _ = Parse(string(b))
+			}
+		}
+	}
+}
+
+// TestDeepNestingDoesNotOverflow guards the recursive-descent parser
+// against pathological nesting within reasonable input sizes.
+func TestDeepNestingDoesNotOverflow(t *testing.T) {
+	depth := 2000
+	expr := strings.Repeat("(", depth) + "1" + strings.Repeat(")", depth)
+	if _, err := ParseExpr(expr); err != nil {
+		t.Fatalf("deep nesting should parse: %v", err)
+	}
+	// NOT chains recurse too.
+	nots := strings.Repeat("NOT ", 2000) + "a > 1"
+	if _, err := ParseExpr(nots); err != nil {
+		t.Fatalf("NOT chain should parse: %v", err)
+	}
+}
+
+// TestLongIdentifiersAndNumbers exercises token-boundary handling.
+func TestLongIdentifiersAndNumbers(t *testing.T) {
+	longIdent := strings.Repeat("a", 10000)
+	stmt, err := Parse("SELECT " + longIdent + " FROM s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if col := stmt.Items[0].Expr.(*ColumnRef); len(col.Name) != 10000 {
+		t.Error("long identifier truncated")
+	}
+	// A 100-digit literal still fits in float64's range.
+	if _, err := ParseExpr("1" + strings.Repeat("0", 99)); err != nil {
+		t.Fatalf("long number: %v", err)
+	}
+	// A 400-digit literal overflows float64 and is rejected cleanly.
+	if _, err := ParseExpr("1" + strings.Repeat("0", 400)); err == nil {
+		t.Fatal("overflowing literal should error")
+	}
+	// Exponent float forms.
+	for _, s := range []string{"1e10", "1E-10", "1.5e+3", ".5", "0.5e2"} {
+		e, err := ParseExpr(s)
+		if err != nil {
+			t.Errorf("ParseExpr(%q): %v", s, err)
+			continue
+		}
+		if _, ok := e.(*NumberLit); !ok {
+			t.Errorf("ParseExpr(%q) = %T", s, e)
+		}
+	}
+}
+
+// TestUnicodeIdentifiers: the lexer accepts letter categories beyond ASCII.
+func TestUnicodeIdentifiers(t *testing.T) {
+	stmt, err := Parse("SELECT 温度 FROM ストリーム WHERE 温度 > 30")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stmt.From != "ストリーム" {
+		t.Errorf("From = %q", stmt.From)
+	}
+}

@@ -1,0 +1,204 @@
+// Package sql implements the query language of the accuracy-aware uncertain
+// stream database: a small SQL dialect with the paper's extensions —
+// probability-threshold predicates (the introduction's "Delay >{2/3} 50" is
+// spelled PROB(Delay > 50) >= 2/3) and the three significance predicates
+// MTEST, MDTEST, and PTEST (§IV-B), plus arithmetic expressions over
+// distribution-valued columns and count-based sliding windows.
+//
+// Grammar (informal):
+//
+//	select   := SELECT items FROM source [WHERE expr] [GROUP BY ident] [WINDOW n (ROWS | SECONDS)]
+//	source   := ident [JOIN ident ON ident '=' ident]
+//	items    := item {',' item} | '*'
+//	item     := expr [AS ident]
+//	expr     := or
+//	or       := and {OR and}
+//	and      := not {AND not}
+//	not      := [NOT] cmp
+//	cmp      := add [cmpop add]
+//	add      := mul {('+'|'-') mul}
+//	mul      := unary {('*'|'/') unary}
+//	unary    := ['-'] primary
+//	primary  := number | string | ident | ident '(' args ')' | '(' expr ')'
+//	cmpop    := '>' | '<' | '>=' | '<=' | '=' | '<>'
+//
+// The package only parses; planning and execution live in internal/core.
+package sql
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+	"unicode/utf8"
+)
+
+// TokenKind classifies lexer output.
+type TokenKind int
+
+const (
+	// TokEOF marks the end of input.
+	TokEOF TokenKind = iota
+	// TokIdent is an identifier or keyword.
+	TokIdent
+	// TokNumber is a numeric literal.
+	TokNumber
+	// TokString is a single-quoted string literal.
+	TokString
+	// TokOp is an operator or punctuation token.
+	TokOp
+)
+
+func (k TokenKind) String() string {
+	switch k {
+	case TokEOF:
+		return "EOF"
+	case TokIdent:
+		return "identifier"
+	case TokNumber:
+		return "number"
+	case TokString:
+		return "string"
+	case TokOp:
+		return "operator"
+	}
+	return fmt.Sprintf("TokenKind(%d)", int(k))
+}
+
+// Token is one lexical unit with its source position (byte offset).
+type Token struct {
+	Kind TokenKind
+	Text string
+	Pos  int
+}
+
+func (t Token) String() string {
+	if t.Kind == TokEOF {
+		return "end of input"
+	}
+	return fmt.Sprintf("%q", t.Text)
+}
+
+// SyntaxError describes a lexing or parsing failure with its position.
+type SyntaxError struct {
+	Pos int
+	Msg string
+}
+
+func (e *SyntaxError) Error() string {
+	return fmt.Sprintf("sql: syntax error at offset %d: %s", e.Pos, e.Msg)
+}
+
+// Lex tokenizes input. Keywords are returned as TokIdent; the parser
+// compares case-insensitively.
+func Lex(input string) ([]Token, error) {
+	var toks []Token
+	i := 0
+	n := len(input)
+	for i < n {
+		c := input[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			i++
+		case isDigit(c) || (c == '.' && i+1 < n && isDigit(input[i+1])):
+			start := i
+			seenDot, seenExp := false, false
+			for i < n {
+				ch := input[i]
+				if isDigit(ch) {
+					i++
+					continue
+				}
+				if ch == '.' && !seenDot && !seenExp {
+					seenDot = true
+					i++
+					continue
+				}
+				if (ch == 'e' || ch == 'E') && !seenExp && i > start {
+					seenExp = true
+					i++
+					if i < n && (input[i] == '+' || input[i] == '-') {
+						i++
+					}
+					continue
+				}
+				break
+			}
+			toks = append(toks, Token{Kind: TokNumber, Text: input[start:i], Pos: start})
+		case isIdentStartAt(input, i):
+			start := i
+			for i < n {
+				r, size := utf8.DecodeRuneInString(input[i:])
+				if !isIdentPart(r) {
+					break
+				}
+				i += size
+			}
+			toks = append(toks, Token{Kind: TokIdent, Text: input[start:i], Pos: start})
+		case c == '\'':
+			start := i
+			i++
+			var sb strings.Builder
+			closed := false
+			for i < n {
+				if input[i] == '\'' {
+					if i+1 < n && input[i+1] == '\'' { // escaped quote
+						sb.WriteByte('\'')
+						i += 2
+						continue
+					}
+					closed = true
+					i++
+					break
+				}
+				sb.WriteByte(input[i])
+				i++
+			}
+			if !closed {
+				return nil, &SyntaxError{Pos: start, Msg: "unterminated string literal"}
+			}
+			toks = append(toks, Token{Kind: TokString, Text: sb.String(), Pos: start})
+		case strings.ContainsRune("+-*/(),;=", rune(c)):
+			toks = append(toks, Token{Kind: TokOp, Text: string(c), Pos: i})
+			i++
+		case c == '<':
+			start := i
+			i++
+			if i < n && (input[i] == '=' || input[i] == '>') {
+				i++
+			}
+			toks = append(toks, Token{Kind: TokOp, Text: input[start:i], Pos: start})
+		case c == '>':
+			start := i
+			i++
+			if i < n && input[i] == '=' {
+				i++
+			}
+			toks = append(toks, Token{Kind: TokOp, Text: input[start:i], Pos: start})
+		case c == '!':
+			start := i
+			if i+1 < n && input[i+1] == '=' {
+				toks = append(toks, Token{Kind: TokOp, Text: "<>", Pos: start})
+				i += 2
+			} else {
+				return nil, &SyntaxError{Pos: i, Msg: "unexpected '!'"}
+			}
+		default:
+			return nil, &SyntaxError{Pos: i, Msg: fmt.Sprintf("unexpected character %q", c)}
+		}
+	}
+	toks = append(toks, Token{Kind: TokEOF, Pos: n})
+	return toks, nil
+}
+
+func isDigit(c byte) bool { return c >= '0' && c <= '9' }
+
+// isIdentStartAt reports whether an identifier begins at byte offset i,
+// decoding a full rune (identifiers may be non-ASCII letters).
+func isIdentStartAt(s string, i int) bool {
+	r, _ := utf8.DecodeRuneInString(s[i:])
+	return r == '_' || unicode.IsLetter(r)
+}
+
+func isIdentPart(r rune) bool {
+	return r == '_' || r == '.' || unicode.IsLetter(r) || unicode.IsDigit(r)
+}

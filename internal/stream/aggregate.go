@@ -1,0 +1,141 @@
+package stream
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/randvar"
+)
+
+// AggKind names a window aggregate function.
+type AggKind int
+
+const (
+	// Avg is the mean of the aggregated fields.
+	Avg AggKind = iota
+	// Sum is the total of the aggregated fields.
+	Sum
+	// Count is the number of aggregated tuples (deterministic), or the
+	// expected count when tuples carry membership probabilities.
+	Count
+	// Min is the minimum of the aggregated fields.
+	Min
+	// Max is the maximum of the aggregated fields.
+	Max
+)
+
+// ParseAggKind converts the SQL spelling of an aggregate into an AggKind.
+func ParseAggKind(s string) (AggKind, error) {
+	switch s {
+	case "AVG", "avg":
+		return Avg, nil
+	case "SUM", "sum":
+		return Sum, nil
+	case "COUNT", "count":
+		return Count, nil
+	case "MIN", "min":
+		return Min, nil
+	case "MAX", "max":
+		return Max, nil
+	}
+	return 0, fmt.Errorf("stream: unknown aggregate %q", s)
+}
+
+func (k AggKind) String() string {
+	switch k {
+	case Avg:
+		return "AVG"
+	case Sum:
+		return "SUM"
+	case Count:
+		return "COUNT"
+	case Min:
+		return "MIN"
+	case Max:
+		return "MAX"
+	}
+	return fmt.Sprintf("AggKind(%d)", int(k))
+}
+
+// Aggregate computes the aggregate of the given distribution-valued fields
+// under the independence assumption.
+//
+// Avg and Sum take the Gaussian closed form when every input is Gaussian or
+// deterministic — the paper's fast path ("the query processor can compute
+// the AVG result as a Gaussian distribution", §V-C) — and fall back to
+// Monte Carlo otherwise. Min and Max always use Monte Carlo. The result's
+// d.f. sample size follows Lemma 3.
+func Aggregate(e *randvar.Evaluator, kind AggKind, fields []randvar.Field) (randvar.Result, error) {
+	if len(fields) == 0 {
+		return randvar.Result{}, errors.New("stream: aggregate over zero fields")
+	}
+	switch kind {
+	case Count:
+		return randvar.Result{Field: randvar.Det(float64(len(fields)))}, nil
+	case Avg, Sum:
+		w := 1.0
+		if kind == Avg {
+			w = 1 / float64(len(fields))
+		}
+		weights := make([]float64, len(fields))
+		for i := range weights {
+			weights[i] = w
+		}
+		if f, ok, err := randvar.LinearGaussian(weights, 0, fields...); err != nil {
+			return randvar.Result{}, err
+		} else if ok {
+			return randvar.Result{Field: f}, nil
+		}
+		return e.Apply(func(a []float64) (float64, error) {
+			s := 0.0
+			for _, v := range a {
+				s += v
+			}
+			return s * w, nil
+		}, fields...)
+	case Min:
+		return e.Apply(func(a []float64) (float64, error) {
+			m := a[0]
+			for _, v := range a[1:] {
+				m = math.Min(m, v)
+			}
+			return m, nil
+		}, fields...)
+	case Max:
+		return e.Apply(func(a []float64) (float64, error) {
+			m := a[0]
+			for _, v := range a[1:] {
+				m = math.Max(m, v)
+			}
+			return m, nil
+		}, fields...)
+	}
+	return randvar.Result{}, fmt.Errorf("stream: unknown aggregate %v", kind)
+}
+
+// ExpectedCount returns the expected number of existing tuples under the
+// possible-world semantics: Σ Prob over the tuples.
+func ExpectedCount(tuples []*Tuple) float64 {
+	total := 0.0
+	for _, t := range tuples {
+		total += t.Prob
+	}
+	return total
+}
+
+// ColumnFields extracts the named column's field from each tuple, in order.
+func ColumnFields(tuples []*Tuple, col string) ([]randvar.Field, error) {
+	if len(tuples) == 0 {
+		return nil, nil
+	}
+	idx, ok := tuples[0].Schema.Index(col)
+	if !ok {
+		return nil, fmt.Errorf("stream: no column %q", col)
+	}
+	out := make([]randvar.Field, len(tuples))
+	for i, t := range tuples {
+		out[i] = t.Fields[idx]
+	}
+	return out, nil
+}

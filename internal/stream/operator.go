@@ -1,0 +1,414 @@
+package stream
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/accuracy"
+	"repro/internal/randvar"
+)
+
+// Operator is a push-based stream operator: each input tuple may produce
+// zero or more output tuples. Operators are single-stream and not safe for
+// concurrent use; the engine runs each continuous query on one goroutine.
+type Operator interface {
+	// Process consumes one tuple and returns the tuples it emits.
+	Process(t *Tuple) ([]*Tuple, error)
+	// OutSchema returns the schema of emitted tuples.
+	OutSchema() *Schema
+	// Name identifies the operator in plans and errors.
+	Name() string
+}
+
+// Pipeline chains operators: the output of each feeds the next.
+type Pipeline struct {
+	ops []Operator
+}
+
+// NewPipeline builds a pipeline from the given operators (at least one).
+func NewPipeline(ops ...Operator) (*Pipeline, error) {
+	if len(ops) == 0 {
+		return nil, errors.New("stream: empty pipeline")
+	}
+	for i, op := range ops {
+		if op == nil {
+			return nil, fmt.Errorf("stream: pipeline operator %d is nil", i)
+		}
+	}
+	return &Pipeline{ops: append([]Operator(nil), ops...)}, nil
+}
+
+// Process pushes t through every stage and returns the final outputs.
+func (p *Pipeline) Process(t *Tuple) ([]*Tuple, error) {
+	batch := []*Tuple{t}
+	for _, op := range p.ops {
+		var next []*Tuple
+		for _, in := range batch {
+			out, err := op.Process(in)
+			if err != nil {
+				return nil, fmt.Errorf("stream: operator %s: %w", op.Name(), err)
+			}
+			next = append(next, out...)
+		}
+		if len(next) == 0 {
+			return nil, nil
+		}
+		batch = next
+	}
+	return batch, nil
+}
+
+// OutSchema returns the schema of the final stage.
+func (p *Pipeline) OutSchema() *Schema { return p.ops[len(p.ops)-1].OutSchema() }
+
+// Name implements Operator, so pipelines nest.
+func (p *Pipeline) Name() string { return "pipeline" }
+
+// --- Filter operators ---
+
+// CmpOp is a scalar comparison inside predicates.
+type CmpOp int
+
+const (
+	// CmpGT is ">".
+	CmpGT CmpOp = iota
+	// CmpLT is "<".
+	CmpLT
+	// CmpGE is ">=".
+	CmpGE
+	// CmpLE is "<=".
+	CmpLE
+)
+
+func (c CmpOp) String() string {
+	switch c {
+	case CmpGT:
+		return ">"
+	case CmpLT:
+		return "<"
+	case CmpGE:
+		return ">="
+	case CmpLE:
+		return "<="
+	}
+	return fmt.Sprintf("CmpOp(%d)", int(c))
+}
+
+// predProb returns P(field cmp value) under the field's distribution.
+func predProb(f randvar.Field, cmp CmpOp, value float64) float64 {
+	switch cmp {
+	case CmpGT, CmpGE: // continuous distributions: GT and GE coincide
+		return 1 - f.Dist.CDF(value)
+	default:
+		return f.Dist.CDF(value)
+	}
+}
+
+// ProbFilter implements the possible-world filter (§II-A): for predicate
+// "Col cmp Value", each tuple's membership probability is multiplied by
+// P(pred) under the field's distribution, and the d.f. sample size of the
+// result probability follows Lemma 3 over the field's sample size and the
+// incoming ProbN. Tuples whose resulting probability is 0 are dropped;
+// MinProb optionally drops low-probability tuples early.
+type ProbFilter struct {
+	Col     string
+	Cmp     CmpOp
+	Value   float64
+	MinProb float64 // drop outputs with Prob < MinProb (0 keeps all)
+	schema  *Schema
+	colIdx  int
+}
+
+// NewProbFilter builds a ProbFilter over the given input schema.
+func NewProbFilter(in *Schema, col string, cmp CmpOp, value, minProb float64) (*ProbFilter, error) {
+	idx, ok := in.Index(col)
+	if !ok {
+		return nil, fmt.Errorf("stream: filter column %q not in schema %q", col, in.Name)
+	}
+	if minProb < 0 || minProb > 1 || math.IsNaN(minProb) {
+		return nil, fmt.Errorf("stream: MinProb %v outside [0,1]", minProb)
+	}
+	return &ProbFilter{Col: col, Cmp: cmp, Value: value, MinProb: minProb, schema: in, colIdx: idx}, nil
+}
+
+func (f *ProbFilter) Name() string {
+	return fmt.Sprintf("prob-filter(%s %s %g)", f.Col, f.Cmp, f.Value)
+}
+func (f *ProbFilter) OutSchema() *Schema { return f.schema }
+
+func (f *ProbFilter) Process(t *Tuple) ([]*Tuple, error) {
+	p := predProb(t.Fields[f.colIdx], f.Cmp, f.Value)
+	newProb := t.Prob * p
+	if newProb == 0 || newProb < f.MinProb {
+		return nil, nil
+	}
+	out := t.Clone()
+	out.Prob = newProb
+	// Lemma 3: the existence variable now depends on the filter column
+	// too.
+	fieldN := t.Fields[f.colIdx].N
+	switch {
+	case out.ProbN == 0:
+		out.ProbN = fieldN
+	case fieldN != 0 && fieldN < out.ProbN:
+		out.ProbN = fieldN
+	}
+	return []*Tuple{out}, nil
+}
+
+// ThresholdFilter implements the probability-threshold predicate of the
+// paper's introduction ("Delay >{2/3} 50"): a tuple passes if and only if
+// P(Col cmp Value) ≥ Tau. The decision is boolean, oblivious to accuracy —
+// exactly the behaviour significance predicates improve on (§IV).
+type ThresholdFilter struct {
+	Col    string
+	Cmp    CmpOp
+	Value  float64
+	Tau    float64
+	schema *Schema
+	colIdx int
+}
+
+// NewThresholdFilter builds a ThresholdFilter over the given input schema.
+func NewThresholdFilter(in *Schema, col string, cmp CmpOp, value, tau float64) (*ThresholdFilter, error) {
+	idx, ok := in.Index(col)
+	if !ok {
+		return nil, fmt.Errorf("stream: filter column %q not in schema %q", col, in.Name)
+	}
+	if tau < 0 || tau > 1 || math.IsNaN(tau) {
+		return nil, fmt.Errorf("stream: threshold τ=%v outside [0,1]", tau)
+	}
+	return &ThresholdFilter{Col: col, Cmp: cmp, Value: value, Tau: tau, schema: in, colIdx: idx}, nil
+}
+
+func (f *ThresholdFilter) Name() string {
+	return fmt.Sprintf("threshold-filter(%s %s{%g} %g)", f.Col, f.Cmp, f.Tau, f.Value)
+}
+func (f *ThresholdFilter) OutSchema() *Schema { return f.schema }
+
+func (f *ThresholdFilter) Process(t *Tuple) ([]*Tuple, error) {
+	if predProb(t.Fields[f.colIdx], f.Cmp, f.Value) >= f.Tau {
+		return []*Tuple{t}, nil
+	}
+	return nil, nil
+}
+
+// FuncFilter filters with an arbitrary predicate on the whole tuple; the
+// escape hatch for predicates the typed filters do not cover.
+type FuncFilter struct {
+	Pred   func(*Tuple) (bool, error)
+	Label  string
+	schema *Schema
+}
+
+// NewFuncFilter builds a FuncFilter.
+func NewFuncFilter(in *Schema, label string, pred func(*Tuple) (bool, error)) (*FuncFilter, error) {
+	if pred == nil {
+		return nil, errors.New("stream: nil predicate")
+	}
+	return &FuncFilter{Pred: pred, Label: label, schema: in}, nil
+}
+
+func (f *FuncFilter) Name() string       { return "filter(" + f.Label + ")" }
+func (f *FuncFilter) OutSchema() *Schema { return f.schema }
+
+func (f *FuncFilter) Process(t *Tuple) ([]*Tuple, error) {
+	ok, err := f.Pred(t)
+	if err != nil {
+		return nil, err
+	}
+	if !ok {
+		return nil, nil
+	}
+	return []*Tuple{t}, nil
+}
+
+// --- Projection and mapping ---
+
+// Project emits tuples restricted to a subset of columns.
+type Project struct {
+	cols    []string
+	indices []int
+	out     *Schema
+}
+
+// NewProject builds a projection of the named columns.
+func NewProject(in *Schema, cols ...string) (*Project, error) {
+	out, err := in.Project(in.Name, cols...)
+	if err != nil {
+		return nil, err
+	}
+	indices := make([]int, len(cols))
+	for i, c := range cols {
+		idx, _ := in.Index(c)
+		indices[i] = idx
+	}
+	return &Project{cols: cols, indices: indices, out: out}, nil
+}
+
+func (p *Project) Name() string       { return fmt.Sprintf("project%v", p.cols) }
+func (p *Project) OutSchema() *Schema { return p.out }
+
+func (p *Project) Process(t *Tuple) ([]*Tuple, error) {
+	fields := make([]randvar.Field, len(p.indices))
+	for i, idx := range p.indices {
+		fields[i] = t.Fields[idx]
+	}
+	out := &Tuple{Schema: p.out, Fields: fields, Prob: t.Prob, ProbN: t.ProbN, Seq: t.Seq, Time: t.Time}
+	return []*Tuple{out}, nil
+}
+
+// MapOp appends a computed column. The expression receives the input tuple
+// and returns the new field; d.f. sample-size propagation is the
+// expression's responsibility (randvar.Evaluator handles it for arithmetic).
+type MapOp struct {
+	Expr  func(*Tuple) (randvar.Field, error)
+	label string
+	out   *Schema
+}
+
+// NewMapOp builds a MapOp producing column outCol.
+func NewMapOp(in *Schema, outCol string, probabilistic bool, expr func(*Tuple) (randvar.Field, error)) (*MapOp, error) {
+	if expr == nil {
+		return nil, errors.New("stream: nil map expression")
+	}
+	out, err := in.Extend(in.Name, Column{Name: outCol, Probabilistic: probabilistic})
+	if err != nil {
+		return nil, err
+	}
+	return &MapOp{Expr: expr, label: outCol, out: out}, nil
+}
+
+func (m *MapOp) Name() string       { return "map(" + m.label + ")" }
+func (m *MapOp) OutSchema() *Schema { return m.out }
+
+func (m *MapOp) Process(t *Tuple) ([]*Tuple, error) {
+	f, err := m.Expr(t)
+	if err != nil {
+		return nil, err
+	}
+	if err := f.Validate(); err != nil {
+		return nil, err
+	}
+	out := t.Clone()
+	out.Schema = m.out
+	out.Fields = append(out.Fields, f)
+	return []*Tuple{out}, nil
+}
+
+// --- Window aggregation ---
+
+// WindowAgg maintains a count-based sliding window over one column and
+// emits, for every input tuple once the window is full, a tuple holding the
+// aggregate of the window contents — the shape of the paper's §V-C
+// throughput query.
+type WindowAgg struct {
+	Kind   AggKind
+	Col    string
+	window *CountWindow
+	eval   *randvar.Evaluator
+	out    *Schema
+	colIdx int
+	// EmitPartial, when true, emits aggregates while the window is still
+	// filling (some queries want warm-up output).
+	EmitPartial bool
+	// lastValues retains the Monte Carlo value sequence of the most
+	// recent aggregate for bootstrap accuracy (nil on closed-form paths).
+	lastValues []float64
+	seq        uint64
+}
+
+// NewWindowAgg builds a sliding-window aggregate over column col.
+func NewWindowAgg(in *Schema, kind AggKind, col string, size int, eval *randvar.Evaluator) (*WindowAgg, error) {
+	idx, ok := in.Index(col)
+	if !ok {
+		return nil, fmt.Errorf("stream: aggregate column %q not in schema %q", col, in.Name)
+	}
+	w, err := NewCountWindow(size)
+	if err != nil {
+		return nil, err
+	}
+	if eval == nil {
+		return nil, errors.New("stream: nil evaluator")
+	}
+	outName := fmt.Sprintf("%s_%s", kind, col)
+	out, err := NewSchema(in.Name+"_agg", Column{Name: outName, Probabilistic: true})
+	if err != nil {
+		return nil, err
+	}
+	return &WindowAgg{Kind: kind, Col: col, window: w, eval: eval, out: out, colIdx: idx}, nil
+}
+
+func (a *WindowAgg) Name() string {
+	return fmt.Sprintf("window-%s(%s, size=%d)", a.Kind, a.Col, a.window.Cap())
+}
+func (a *WindowAgg) OutSchema() *Schema { return a.out }
+
+// LastValues returns the Monte Carlo value sequence behind the most recent
+// emitted aggregate, or nil when the closed form was used.
+func (a *WindowAgg) LastValues() []float64 { return a.lastValues }
+
+func (a *WindowAgg) Process(t *Tuple) ([]*Tuple, error) {
+	a.window.Push(t)
+	if !a.window.Full() && !a.EmitPartial {
+		return nil, nil
+	}
+	fields := make([]randvar.Field, 0, a.window.Len())
+	a.window.Do(func(wt *Tuple) {
+		fields = append(fields, wt.Fields[a.colIdx])
+	})
+	res, err := Aggregate(a.eval, a.Kind, fields)
+	if err != nil {
+		return nil, err
+	}
+	a.lastValues = res.Values
+	a.seq++
+	out := &Tuple{
+		Schema: a.out,
+		Fields: []randvar.Field{res.Field},
+		Prob:   1,
+		Seq:    a.seq,
+		Time:   t.Time,
+	}
+	return []*Tuple{out}, nil
+}
+
+// AttachAccuracy decorates tuples with analytical accuracy information for
+// one column, returning the accuracy.Info for each processed tuple via the
+// callback; it passes tuples through unchanged. The paper's engine returns
+// accuracy info alongside results; this operator is the plumbing.
+type AttachAccuracy struct {
+	Col    string
+	Level  float64
+	OnInfo func(*Tuple, *accuracy.Info)
+	schema *Schema
+	colIdx int
+}
+
+// NewAttachAccuracy builds the operator at the given confidence level.
+func NewAttachAccuracy(in *Schema, col string, level float64, onInfo func(*Tuple, *accuracy.Info)) (*AttachAccuracy, error) {
+	idx, ok := in.Index(col)
+	if !ok {
+		return nil, fmt.Errorf("stream: accuracy column %q not in schema %q", col, in.Name)
+	}
+	if onInfo == nil {
+		return nil, errors.New("stream: nil accuracy callback")
+	}
+	return &AttachAccuracy{Col: col, Level: level, OnInfo: onInfo, schema: in, colIdx: idx}, nil
+}
+
+func (a *AttachAccuracy) Name() string       { return "accuracy(" + a.Col + ")" }
+func (a *AttachAccuracy) OutSchema() *Schema { return a.schema }
+
+func (a *AttachAccuracy) Process(t *Tuple) ([]*Tuple, error) {
+	f := t.Fields[a.colIdx]
+	if f.N >= 2 {
+		info, err := accuracy.ForDistribution(f.Dist, f.N, a.Level)
+		if err != nil {
+			return nil, err
+		}
+		a.OnInfo(t, info)
+	}
+	return []*Tuple{t}, nil
+}

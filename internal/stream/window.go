@@ -1,0 +1,113 @@
+package stream
+
+import (
+	"fmt"
+)
+
+// CountWindow is a count-based sliding window of fixed capacity: pushing a
+// tuple evicts the oldest once the window is full. It is the window of the
+// paper's throughput experiment ("a simple count-based sliding window AVG
+// query with a window size of 1000", §V-C).
+//
+// The implementation is a ring buffer: Push is O(1) and Tuples materializes
+// the window in arrival order on demand.
+type CountWindow struct {
+	buf   []*Tuple
+	head  int // index of the oldest tuple
+	count int
+}
+
+// NewCountWindow returns a window holding the most recent size tuples.
+func NewCountWindow(size int) (*CountWindow, error) {
+	if size < 1 {
+		return nil, fmt.Errorf("stream: count window size %d, need ≥ 1", size)
+	}
+	return &CountWindow{buf: make([]*Tuple, size)}, nil
+}
+
+// Push adds t, returning the evicted tuple (nil while the window is
+// filling).
+func (w *CountWindow) Push(t *Tuple) *Tuple {
+	if w.count < len(w.buf) {
+		w.buf[(w.head+w.count)%len(w.buf)] = t
+		w.count++
+		return nil
+	}
+	old := w.buf[w.head]
+	w.buf[w.head] = t
+	w.head = (w.head + 1) % len(w.buf)
+	return old
+}
+
+// Len returns the number of tuples currently in the window.
+func (w *CountWindow) Len() int { return w.count }
+
+// Full reports whether the window has reached capacity.
+func (w *CountWindow) Full() bool { return w.count == len(w.buf) }
+
+// Cap returns the window capacity.
+func (w *CountWindow) Cap() int { return len(w.buf) }
+
+// Tuples returns the window contents oldest-first.
+func (w *CountWindow) Tuples() []*Tuple {
+	out := make([]*Tuple, w.count)
+	for i := 0; i < w.count; i++ {
+		out[i] = w.buf[(w.head+i)%len(w.buf)]
+	}
+	return out
+}
+
+// Do calls fn for each tuple oldest-first without allocating.
+func (w *CountWindow) Do(fn func(*Tuple)) {
+	for i := 0; i < w.count; i++ {
+		fn(w.buf[(w.head+i)%len(w.buf)])
+	}
+}
+
+// TimeWindow is a time-based sliding window: it retains tuples whose Time
+// is within Span of the most recently pushed tuple's Time. Tuples must be
+// pushed in non-decreasing Time order.
+type TimeWindow struct {
+	span int64
+	buf  []*Tuple
+}
+
+// NewTimeWindow returns a window spanning span time units.
+func NewTimeWindow(span int64) (*TimeWindow, error) {
+	if span <= 0 {
+		return nil, fmt.Errorf("stream: time window span %d, need > 0", span)
+	}
+	return &TimeWindow{span: span}, nil
+}
+
+// Push adds t and returns the tuples evicted because they fell out of the
+// span. It returns an error if t is older than the newest tuple already in
+// the window (out-of-order arrival).
+func (w *TimeWindow) Push(t *Tuple) ([]*Tuple, error) {
+	if n := len(w.buf); n > 0 && t.Time < w.buf[n-1].Time {
+		return nil, fmt.Errorf("stream: out-of-order tuple: time %d after %d",
+			t.Time, w.buf[n-1].Time)
+	}
+	w.buf = append(w.buf, t)
+	// Tuples with age strictly greater than the span are evicted; a tuple
+	// exactly span old is still in the window.
+	cutoff := t.Time - w.span
+	i := 0
+	for i < len(w.buf) && w.buf[i].Time < cutoff {
+		i++
+	}
+	if i == 0 {
+		return nil, nil
+	}
+	evicted := append([]*Tuple(nil), w.buf[:i]...)
+	w.buf = append(w.buf[:0], w.buf[i:]...)
+	return evicted, nil
+}
+
+// Len returns the number of tuples currently in the window.
+func (w *TimeWindow) Len() int { return len(w.buf) }
+
+// Tuples returns the window contents oldest-first.
+func (w *TimeWindow) Tuples() []*Tuple {
+	return append([]*Tuple(nil), w.buf...)
+}

@@ -1,0 +1,71 @@
+// Package synthgen generates the paper's synthetic datasets (§V-A),
+// replacing its use of the R statistical package: five common distributions
+// with the paper's exact parameters — exponential(λ=1), Gamma(k=2, θ=2),
+// normal(μ=1, σ²=1), uniform(0, 1), and Weibull(λ=1, k=1).
+package synthgen
+
+import (
+	"fmt"
+
+	"repro/internal/dist"
+	"repro/internal/learn"
+)
+
+// Name identifies one of the paper's five synthetic distributions.
+type Name string
+
+// The five distribution names, in the paper's Figure 4(d) order.
+const (
+	Exponential Name = "exponential"
+	Gamma       Name = "gamma"
+	Normal      Name = "normal"
+	Uniform     Name = "uniform"
+	Weibull     Name = "weibull"
+)
+
+// Names returns the five distribution names in presentation order.
+func Names() []Name {
+	return []Name{Exponential, Gamma, Normal, Uniform, Weibull}
+}
+
+// New returns the named distribution with the paper's parameters.
+func New(n Name) (dist.Distribution, error) {
+	switch n {
+	case Exponential:
+		return dist.NewExponential(1)
+	case Gamma:
+		return dist.NewGamma(2, 2)
+	case Normal:
+		return dist.NewNormal(1, 1)
+	case Uniform:
+		return dist.NewUniform(0, 1)
+	case Weibull:
+		return dist.NewWeibull(1, 1)
+	}
+	return nil, fmt.Errorf("synthgen: unknown distribution %q", n)
+}
+
+// All returns all five distributions keyed by name.
+func All() (map[Name]dist.Distribution, error) {
+	out := make(map[Name]dist.Distribution, 5)
+	for _, n := range Names() {
+		d, err := New(n)
+		if err != nil {
+			return nil, err
+		}
+		out[n] = d
+	}
+	return out, nil
+}
+
+// Sample draws an iid sample of the named distribution.
+func Sample(n Name, size int, rng *dist.Rand) (*learn.Sample, error) {
+	d, err := New(n)
+	if err != nil {
+		return nil, err
+	}
+	if size < 0 {
+		return nil, fmt.Errorf("synthgen: negative sample size %d", size)
+	}
+	return learn.NewSample(dist.SampleN(d, size, rng)), nil
+}

@@ -1,0 +1,76 @@
+package synthgen
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/dist"
+)
+
+func TestNamesAndAll(t *testing.T) {
+	names := Names()
+	if len(names) != 5 {
+		t.Fatalf("names = %v", names)
+	}
+	all, err := All()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all) != 5 {
+		t.Fatalf("All() returned %d distributions", len(all))
+	}
+	for _, n := range names {
+		if all[n] == nil {
+			t.Errorf("missing %s", n)
+		}
+	}
+}
+
+func TestPaperParameters(t *testing.T) {
+	cases := []struct {
+		name     Name
+		mean, sd float64
+	}{
+		{Exponential, 1, 1},                 // λ=1
+		{Gamma, 4, math.Sqrt(8)},            // k=2, θ=2
+		{Normal, 1, 1},                      // μ=1, σ²=1
+		{Uniform, 0.5, math.Sqrt(1.0 / 12)}, // [0,1]
+		{Weibull, 1, 1},                     // λ=1, k=1 == Exp(1)
+	}
+	for _, c := range cases {
+		d, err := New(c.name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(d.Mean()-c.mean) > 1e-9 {
+			t.Errorf("%s mean = %g, want %g", c.name, d.Mean(), c.mean)
+		}
+		if math.Abs(math.Sqrt(d.Variance())-c.sd) > 1e-9 {
+			t.Errorf("%s sd = %g, want %g", c.name, math.Sqrt(d.Variance()), c.sd)
+		}
+	}
+	if _, err := New("cauchy"); err == nil {
+		t.Error("unknown name: want error")
+	}
+}
+
+func TestSample(t *testing.T) {
+	rng := dist.NewRand(5)
+	s, err := Sample(Gamma, 1000, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Size() != 1000 {
+		t.Fatalf("size = %d", s.Size())
+	}
+	mean, _ := s.Mean()
+	if math.Abs(mean-4) > 0.5 {
+		t.Errorf("gamma sample mean %g, want ≈4", mean)
+	}
+	if _, err := Sample(Gamma, -1, rng); err == nil {
+		t.Error("negative size: want error")
+	}
+	if _, err := Sample("nope", 10, rng); err == nil {
+		t.Error("unknown name: want error")
+	}
+}
