@@ -1,0 +1,33 @@
+GO ?= go
+
+.PHONY: tier1 build test vet race bench clean
+
+# tier1 is the gate every change must pass: vet, build, and the full test
+# suite under the race detector.
+tier1: vet build race
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# bench runs the accuracy-kernel benchmarks (the Fig 5(c) throughput
+# pipelines and the BOOTSTRAP-ACCURACY-INFO microbench) with allocation
+# stats and records the run, plus the environment it ran on, in
+# BENCH_1.json.
+bench:
+	$(GO) test -run '^$$' -bench 'BenchmarkFig5c|BenchmarkBootstrapAccuracyInfo' \
+		-benchmem -count 1 . | tee bench.out
+	$(GO) run ./cmd/benchjson -in bench.out -out BENCH_1.json \
+		-notes "Pre-change baseline (same host): Fig5cBootstrap 30045 ns/op, 44581 B/op, 21 allocs/op; BootstrapAccuracyInfo 1124 ns/op, 752 B/op, 5 allocs/op. This container exposes a single CPU (GOMAXPROCS=1), so the parallel speedup of the worker pool is not measurable here; determinism across worker counts is asserted by tests instead (internal/bootstrap/parallel_test.go)."
+	rm -f bench.out
+
+clean:
+	rm -f bench.out

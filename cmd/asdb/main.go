@@ -28,6 +28,7 @@ func main() {
 	seed := flag.Uint64("seed", 1, "engine RNG seed")
 	script := flag.String("f", "", "script file to execute before the prompt")
 	batch := flag.Bool("batch", false, "exit after the script (no interactive prompt)")
+	workers := flag.Int("workers", 0, "accuracy-kernel parallelism (0 = GOMAXPROCS); results are identical at any setting")
 	flag.Parse()
 
 	var m core.AccuracyMethod
@@ -42,7 +43,7 @@ func main() {
 		fmt.Fprintf(os.Stderr, "asdb: unknown method %q\n", *method)
 		os.Exit(2)
 	}
-	r, err := repl.New(core.Config{Level: *level, Method: m, Seed: *seed}, os.Stdout)
+	r, err := repl.New(core.Config{Level: *level, Method: m, Seed: *seed, Workers: *workers}, os.Stdout)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "asdb: %v\n", err)
 		os.Exit(1)

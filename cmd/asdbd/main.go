@@ -25,6 +25,7 @@ func main() {
 	method := flag.String("method", "analytical", "accuracy method: none | analytical | bootstrap")
 	seed := flag.Uint64("seed", 1, "engine RNG seed")
 	dropUnsure := flag.Bool("drop-unsure", false, "drop tuples whose coupled significance test is UNSURE")
+	workers := flag.Int("workers", 0, "accuracy-kernel parallelism (0 = GOMAXPROCS); results are identical at any setting")
 	flag.Parse()
 
 	var m core.AccuracyMethod
@@ -44,6 +45,7 @@ func main() {
 		Method:     m,
 		Seed:       *seed,
 		DropUnsure: *dropUnsure,
+		Workers:    *workers,
 	})
 	if err != nil {
 		log.Fatalf("asdbd: %v", err)

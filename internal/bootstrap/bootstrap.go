@@ -13,17 +13,33 @@
 // The package also provides the classic single-sample bootstrap
 // (resampling with replacement, §III-A) used to cross-check the d.f.
 // variant and to bootstrap source-data samples directly.
+//
+// # Parallel accuracy kernel
+//
+// Lemma 4's resamples are independent by construction, so every hot loop
+// here — per-resample statistics, classic bootstrap resamples, Monte Carlo
+// draws in FromDistribution — runs over internal/parallel with one RNG
+// substream per work item (dist.DeriveSeed). Output is bit-identical for
+// every worker count, including workers=1, which executes the plain serial
+// loop. The *Workers variants take an explicit worker bound (the engine
+// passes core.Config.Workers); the original entry points default to
+// runtime.GOMAXPROCS(0). Per-resample statistics use single-pass
+// Welford accumulation and pooled flat scratch buffers, so the steady-state
+// hot path allocates only the returned accuracy.Info.
 package bootstrap
 
 import (
 	"errors"
 	"fmt"
 	"math"
-	"sort"
+	"runtime"
+	"slices"
+	"sync"
 
 	"repro/internal/accuracy"
 	"repro/internal/dist"
 	"repro/internal/learn"
+	"repro/internal/parallel"
 )
 
 // ErrTooFewValues reports that the value sequence cannot form enough d.f.
@@ -35,9 +51,39 @@ var ErrTooFewValues = errors.New("bootstrap: too few values for requested resamp
 // bench_test.go justify the default).
 const DefaultResamples = 40
 
+// serialCutoff is the total number of scalar work units (values scanned or
+// variates drawn) below which the parallel loops run serially: under it,
+// goroutine dispatch costs more than the loop body. Results are identical
+// either way — the cutoff only picks the execution strategy.
+const serialCutoff = 4096
+
+// scratchPool recycles the flat float64 scratch buffers of the hot paths
+// (resample statistics, sampled value sequences) across calls.
+var scratchPool = sync.Pool{
+	New: func() any {
+		b := make([]float64, 0, 1024)
+		return &b
+	},
+}
+
+// getScratch returns a pooled buffer resized to n (contents undefined).
+func getScratch(n int) *[]float64 {
+	p := scratchPool.Get().(*[]float64)
+	if cap(*p) < n {
+		*p = make([]float64, n)
+	} else {
+		*p = (*p)[:n]
+	}
+	return p
+}
+
+func putScratch(p *[]float64) { scratchPool.Put(p) }
+
 // PercentileInterval returns the level-α percentile interval of values:
 // the span between the 100·(1−α)/2-th and 100·(1+α)/2-th percentiles
-// (lines 12–15 of BOOTSTRAP-ACCURACY-INFO). values is not modified.
+// (lines 12–15 of BOOTSTRAP-ACCURACY-INFO). values is not modified. NaN
+// values are rejected: a NaN has no rank, so any percentile over it would
+// be meaningless.
 func PercentileInterval(values []float64, alpha float64) (accuracy.Interval, error) {
 	if len(values) < 2 {
 		return accuracy.Interval{}, fmt.Errorf("%w: have %d values, need ≥ 2", ErrTooFewValues, len(values))
@@ -45,16 +91,33 @@ func PercentileInterval(values []float64, alpha float64) (accuracy.Interval, err
 	if alpha <= 0 || alpha >= 1 || math.IsNaN(alpha) {
 		return accuracy.Interval{}, fmt.Errorf("bootstrap: confidence level %v outside (0,1)", alpha)
 	}
+	for i, x := range values {
+		if math.IsNaN(x) {
+			return accuracy.Interval{}, fmt.Errorf("bootstrap: NaN at index %d in percentile-interval input", i)
+		}
+	}
 	sorted := append([]float64(nil), values...)
-	sort.Float64s(sorted)
-	lo := percentile(sorted, (1-alpha)/2)
-	hi := percentile(sorted, (1+alpha)/2)
-	return accuracy.Interval{Lo: lo, Hi: hi, Level: alpha}, nil
+	return percentileIntervalInPlace(sorted, alpha), nil
+}
+
+// percentileIntervalInPlace is the hot-path variant: it sorts values in
+// place (no copy) and assumes the caller has already validated alpha and
+// owns the buffer. AccuracyInfo and Classic route their per-statistic
+// interval extraction through it so the public copy-on-call contract of
+// PercentileInterval costs nothing on the engine's steady-state path.
+func percentileIntervalInPlace(values []float64, alpha float64) accuracy.Interval {
+	slices.Sort(values)
+	lo := percentile(values, (1-alpha)/2)
+	hi := percentile(values, (1+alpha)/2)
+	return accuracy.Interval{Lo: lo, Hi: hi, Level: alpha}
 }
 
 // percentile returns the p-th quantile of sorted values with linear
-// interpolation (type-7).
+// interpolation (type-7). An empty input yields NaN rather than a panic.
 func percentile(sorted []float64, p float64) float64 {
+	if len(sorted) == 0 {
+		return math.NaN()
+	}
 	if len(sorted) == 1 {
 		return sorted[0]
 	}
@@ -79,7 +142,19 @@ func percentile(sorted []float64, p float64) float64 {
 // It returns an error when fewer than 2 complete resamples fit in v
 // (r = ⌊m/n⌋ < 2); the paper assumes "m is sufficiently large so that the
 // confidence intervals ... converge".
+//
+// Resamples are processed with up to runtime.GOMAXPROCS(0) workers; see
+// AccuracyInfoWorkers for an explicit bound. The result does not depend on
+// the worker count.
 func AccuracyInfo(v []float64, n int, alpha float64, hist *dist.Histogram) (*accuracy.Info, error) {
+	return AccuracyInfoWorkers(v, n, alpha, hist, runtime.GOMAXPROCS(0))
+}
+
+// AccuracyInfoWorkers is AccuracyInfo with an explicit worker bound
+// (workers <= 1 runs the serial loop inline). Per Lemma 4 the r resamples
+// are independent, and each one writes only its own output slot, so the
+// returned accuracy.Info is bit-identical for every worker count.
+func AccuracyInfoWorkers(v []float64, n int, alpha float64, hist *dist.Histogram, workers int) (*accuracy.Info, error) {
 	if n < 2 {
 		return nil, fmt.Errorf("bootstrap: d.f. sample size %d, need ≥ 2", n)
 	}
@@ -88,61 +163,57 @@ func AccuracyInfo(v []float64, n int, alpha float64, hist *dist.Histogram) (*acc
 		return nil, fmt.Errorf("%w: m=%d values, n=%d gives r=%d resamples",
 			ErrTooFewValues, len(v), n, r)
 	}
-	var (
-		means     = make([]float64, r)
-		variances = make([]float64, r)
-		binProbs  [][]float64 // [bucket][resample]
-	)
+	if alpha <= 0 || alpha >= 1 || math.IsNaN(alpha) {
+		return nil, fmt.Errorf("bootstrap: confidence level %v outside (0,1)", alpha)
+	}
+	if r*n < serialCutoff {
+		workers = 1
+	}
+	buckets := 0
 	if hist != nil {
-		binProbs = make([][]float64, hist.NumBuckets())
-		for k := range binProbs {
-			binProbs[k] = make([]float64, r)
-		}
+		buckets = hist.NumBuckets()
 	}
-	for i := 0; i < r; i++ { // lines 2–11: one pass per resample
-		o := v[i*n : (i+1)*n]
-		sum := 0.0
-		for _, x := range o {
-			sum += x
-		}
-		mean := sum / float64(n)
-		ss := 0.0
-		for _, x := range o {
-			d := x - mean
-			ss += d * d
-		}
-		means[i] = mean
-		variances[i] = ss / float64(n-1)
-		if hist != nil {
-			for _, x := range o {
-				if k := hist.BucketIndex(x); k >= 0 {
-					binProbs[k][i] += 1 / float64(n)
-				}
-			}
-		}
+	// One flat scratch buffer backs every per-resample statistic:
+	// [0,n) Welford reciprocals, then [_,r) resample means, [_,r)
+	// resample variances, then `buckets` rows of r bin heights each
+	// (row k holds bucket k across resamples, contiguous so its
+	// percentile interval sorts in place without a gather). Resample i
+	// writes column i of each region — disjoint slots, so the parallel
+	// loop needs no synchronization.
+	scratch := getScratch(n + r*(2+buckets))
+	defer putScratch(scratch)
+	buf := *scratch
+	inv := buf[:n]
+	for j := range inv {
+		// Welford's update divides by the running count; precomputing
+		// the reciprocals turns a loop-carried division into a multiply.
+		inv[j] = 1 / float64(j+1)
 	}
-	meanIv, err := PercentileInterval(means, alpha)
-	if err != nil {
-		return nil, err
+	means := buf[n : n+r]
+	variances := buf[n+r : n+2*r]
+	bins := buf[n+2*r:]
+	for i := range bins {
+		bins[i] = 0
 	}
-	varIv, err := PercentileInterval(variances, alpha)
-	if err != nil {
-		return nil, err
+	if workers <= 1 {
+		// Direct call: no closure materializes on the serial hot path.
+		resampleStats(v, n, r, 0, r, means, variances, bins, inv, hist)
+	} else {
+		parallel.ForChunks(workers, r, func(lo, hi int) {
+			resampleStats(v, n, r, lo, hi, means, variances, bins, inv, hist)
+		})
 	}
 	info := &accuracy.Info{
 		N:        n,
 		Level:    alpha,
-		Mean:     meanIv,
-		Variance: varIv,
+		Mean:     percentileIntervalInPlace(means, alpha),
+		Variance: percentileIntervalInPlace(variances, alpha),
 		Method:   "bootstrap",
 	}
 	if hist != nil {
-		info.Bins = make([]accuracy.BinInterval, hist.NumBuckets())
+		info.Bins = make([]accuracy.BinInterval, buckets)
 		for k := range info.Bins {
-			iv, err := PercentileInterval(binProbs[k], alpha)
-			if err != nil {
-				return nil, err
-			}
+			iv := percentileIntervalInPlace(bins[k*r:(k+1)*r], alpha)
 			lo, hi := hist.Bucket(k)
 			est := hist.BucketProb(k)
 			info.Bins[k] = accuracy.BinInterval{
@@ -157,12 +228,79 @@ func AccuracyInfo(v []float64, n int, alpha float64, hist *dist.Histogram) (*acc
 	return info, nil
 }
 
+// resampleStats computes the statistics of resamples [lo, hi) — lines 2–11
+// of BOOTSTRAP-ACCURACY-INFO. Resample i reads v[i*n:(i+1)*n] and writes
+// only means[i], variances[i], and column i of each bucket row in bins, so
+// disjoint ranges may run concurrently with no synchronization and the
+// output is independent of how [0, r) is partitioned.
+//
+// Moments use single-pass Welford accumulation in two interleaved blocks
+// merged with Chan et al.'s pairwise formula: one sweep over the data (the
+// textbook two-pass form reads it twice), the numerical robustness of
+// Welford's update, and half the loop-carried latency of a single
+// accumulator. inv holds precomputed reciprocals 1/(j+1) so the update
+// multiplies instead of divides.
+func resampleStats(v []float64, n, r, lo, hi int, means, variances, bins, inv []float64, hist *dist.Histogram) {
+	buckets := 0
+	if hist != nil {
+		buckets = hist.NumBuckets()
+	}
+	invN := 1 / float64(n)
+	for i := lo; i < hi; i++ {
+		o := v[i*n : (i+1)*n]
+		h := n / 2
+		a, b := o[:h], o[h:]
+		mA, sA := 0.0, 0.0
+		mB, sB := 0.0, 0.0
+		for j := range a {
+			dA := a[j] - mA
+			mA += dA * inv[j]
+			sA += dA * (a[j] - mA)
+			dB := b[j] - mB
+			mB += dB * inv[j]
+			sB += dB * (b[j] - mB)
+		}
+		if len(b) > h { // odd n: fold the leftover element into block B
+			x := b[h]
+			dB := x - mB
+			mB += dB * inv[h]
+			sB += dB * (x - mB)
+		}
+		nA, nB := float64(h), float64(n-h)
+		d := mB - mA
+		means[i] = mA + d*nB*invN
+		variances[i] = (sA + sB + d*d*nA*nB*invN) / float64(n-1)
+		if hist != nil {
+			for _, x := range o {
+				if k := hist.BucketIndex(x); k >= 0 {
+					bins[k*r+i]++
+				}
+			}
+			for k := 0; k < buckets; k++ {
+				bins[k*r+i] *= invN
+			}
+		}
+	}
+}
+
 // FromDistribution covers the paper's second query-processing category
 // (§III-B): the query produced a result distribution directly (no Monte
 // Carlo value sequence), so we "sample from this distribution and also get
 // a sequence of values", then run BOOTSTRAP-ACCURACY-INFO on it. r controls
 // the number of d.f. resamples drawn (m = r·n values are sampled).
+//
+// Sampling and resample statistics run with up to runtime.GOMAXPROCS(0)
+// workers; see FromDistributionWorkers.
 func FromDistribution(d dist.Distribution, n, r int, alpha float64, rng *dist.Rand) (*accuracy.Info, error) {
+	return FromDistributionWorkers(d, n, r, alpha, rng, runtime.GOMAXPROCS(0))
+}
+
+// FromDistributionWorkers is FromDistribution with an explicit worker
+// bound. Each of the r resamples draws its n variates from its own RNG
+// substream derived from one value consumed off rng (dist.DeriveSeed), so
+// the value sequence — and hence the returned accuracy.Info — is identical
+// for every worker count and every scheduling of the workers.
+func FromDistributionWorkers(d dist.Distribution, n, r int, alpha float64, rng *dist.Rand, workers int) (*accuracy.Info, error) {
 	if d == nil {
 		return nil, errors.New("bootstrap: nil distribution")
 	}
@@ -172,9 +310,38 @@ func FromDistribution(d dist.Distribution, n, r int, alpha float64, rng *dist.Ra
 	if n < 2 {
 		return nil, fmt.Errorf("bootstrap: d.f. sample size %d, need ≥ 2", n)
 	}
-	v := dist.SampleN(d, n*r, rng)
+	root := rng.Uint64()
+	scratch := getScratch(n * r)
+	defer putScratch(scratch)
+	v := *scratch
+	sampleWorkers := workers
+	if n*r < serialCutoff {
+		sampleWorkers = 1
+	}
+	if sampleWorkers <= 1 {
+		sampleChunk(d, v, n, root, 0, r)
+	} else {
+		parallel.ForChunks(sampleWorkers, r, func(lo, hi int) {
+			sampleChunk(d, v, n, root, lo, hi)
+		})
+	}
 	hist, _ := d.(*dist.Histogram)
-	return AccuracyInfo(v, n, alpha, hist)
+	return AccuracyInfoWorkers(v, n, alpha, hist, workers)
+}
+
+// sampleChunk draws resamples [lo, hi) of the FromDistribution value
+// sequence. Resample i fills v[i*n:(i+1)*n] from RNG substream i of root,
+// reusing one generator struct per chunk, so the values depend only on
+// (d, root, n) — never on chunking or scheduling.
+func sampleChunk(d dist.Distribution, v []float64, n int, root uint64, lo, hi int) {
+	var sub dist.Rand
+	for i := lo; i < hi; i++ {
+		sub.Reseed(dist.DeriveSeed(root, uint64(i)))
+		o := v[i*n : (i+1)*n]
+		for j := range o {
+			o[j] = d.Sample(&sub)
+		}
+	}
 }
 
 // Statistic is a function of a sample, e.g. the sample mean (Definition 1:
@@ -199,26 +366,77 @@ func ProportionAbove(v float64) Statistic {
 // resamples with replacement from s, computing stat on each, returning the
 // bootstrap distribution of the statistic. Use PercentileInterval on the
 // result for a confidence interval.
+//
+// Resamples run with up to runtime.GOMAXPROCS(0) workers; see
+// ClassicWorkers.
 func Classic(s *learn.Sample, stat Statistic, b int, rng *dist.Rand) ([]float64, error) {
+	return ClassicWorkers(s, stat, b, rng, runtime.GOMAXPROCS(0))
+}
+
+// ClassicWorkers is Classic with an explicit worker bound. Resample i draws
+// from RNG substream i of one value consumed off rng, so the bootstrap
+// distribution is identical for every worker count. stat must be safe for
+// concurrent calls on distinct samples (the built-in statistics are pure).
+// Each worker reuses one scratch Sample across its whole chunk of
+// resamples (learn.Sample.ResampleInto), so the loop does not allocate per
+// resample.
+func ClassicWorkers(s *learn.Sample, stat Statistic, b int, rng *dist.Rand, workers int) ([]float64, error) {
 	if s == nil || s.Size() == 0 {
 		return nil, learn.ErrEmptySample
 	}
 	if b < 1 {
 		return nil, fmt.Errorf("bootstrap: resample count %d, need ≥ 1", b)
 	}
+	root := rng.Uint64()
+	if b*s.Size() < serialCutoff {
+		workers = 1
+	}
 	out := make([]float64, b)
-	for i := range out {
-		rs, err := s.Resample(rng)
-		if err != nil {
+	if workers <= 1 {
+		if err := classicChunk(s, stat, root, 0, b, out); err != nil {
 			return nil, err
 		}
-		v, err := stat(rs)
+		return out, nil
+	}
+	var (
+		errMu    sync.Mutex
+		firstErr error
+	)
+	parallel.ForChunks(workers, b, func(lo, hi int) {
+		if err := classicChunk(s, stat, root, lo, hi, out); err != nil {
+			errMu.Lock()
+			if firstErr == nil {
+				firstErr = err
+			}
+			errMu.Unlock()
+		}
+	})
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return out, nil
+}
+
+// classicChunk computes classic-bootstrap resamples [lo, hi): resample i
+// draws from RNG substream i of root into a scratch sample reused across
+// the whole chunk, then evaluates stat on it into out[i].
+func classicChunk(s *learn.Sample, stat Statistic, root uint64, lo, hi int, out []float64) error {
+	var (
+		scratch learn.Sample
+		sub     dist.Rand
+	)
+	for i := lo; i < hi; i++ {
+		sub.Reseed(dist.DeriveSeed(root, uint64(i)))
+		if err := s.ResampleInto(&scratch, &sub); err != nil {
+			return err
+		}
+		v, err := stat(&scratch)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		out[i] = v
 	}
-	return out, nil
+	return nil
 }
 
 // ClassicInterval is a convenience wrapper: bootstrap s with b resamples and
@@ -228,5 +446,8 @@ func ClassicInterval(s *learn.Sample, stat Statistic, b int, alpha float64, rng 
 	if err != nil {
 		return accuracy.Interval{}, err
 	}
-	return PercentileInterval(boot, alpha)
+	if alpha <= 0 || alpha >= 1 || math.IsNaN(alpha) {
+		return accuracy.Interval{}, fmt.Errorf("bootstrap: confidence level %v outside (0,1)", alpha)
+	}
+	return percentileIntervalInPlace(boot, alpha), nil
 }

@@ -1,0 +1,151 @@
+package bootstrap
+
+import (
+	"math"
+	"reflect"
+	"runtime"
+	"testing"
+
+	"repro/internal/dist"
+	"repro/internal/learn"
+)
+
+// workerCounts are the parallelism levels every determinism test sweeps.
+// 1 exercises the inline serial path, 4 forces the goroutine fan-out even
+// on a single-core machine, and GOMAXPROCS matches the production default.
+func workerCounts() []int {
+	counts := []int{1, 4}
+	if p := runtime.GOMAXPROCS(0); p != 1 && p != 4 {
+		counts = append(counts, p)
+	}
+	return counts
+}
+
+// TestAccuracyInfoWorkersDeterministic asserts that the parallel resample
+// kernel is bit-identical at every worker count: same value sequence in,
+// byte-for-byte equal accuracy.Info out.
+func TestAccuracyInfoWorkersDeterministic(t *testing.T) {
+	rng := dist.NewRand(42)
+	// Large enough to clear serialCutoff so the parallel path really runs.
+	n := 64
+	r := 128
+	v := make([]float64, n*r)
+	for i := range v {
+		v[i] = rng.NormFloat64()*3 + 10
+	}
+	hist, err := learn.NewHistogramLearner(12).Learn(learn.NewSample(v))
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := hist.(*dist.Histogram)
+
+	ref, err := AccuracyInfoWorkers(v, n, 0.9, h, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range workerCounts()[1:] {
+		got, err := AccuracyInfoWorkers(v, n, 0.9, h, w)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", w, err)
+		}
+		if !reflect.DeepEqual(ref, got) {
+			t.Errorf("workers=%d: accuracy info differs from workers=1\nref: %+v\ngot: %+v", w, ref, got)
+		}
+	}
+}
+
+// TestFromDistributionWorkersDeterministic asserts that Monte Carlo
+// sampling from a distribution produces bit-identical accuracy info at
+// every worker count under the same seed: each resample draws from its own
+// seed-derived substream, so the schedule of goroutines cannot matter.
+func TestFromDistributionWorkersDeterministic(t *testing.T) {
+	d, err := dist.NewNormal(5, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// n*r = 50*100 clears serialCutoff.
+	n, r := 50, 100
+
+	ref, err := FromDistributionWorkers(d, n, r, 0.9, dist.NewRand(7), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range workerCounts()[1:] {
+		got, err := FromDistributionWorkers(d, n, r, 0.9, dist.NewRand(7), w)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", w, err)
+		}
+		if !reflect.DeepEqual(ref, got) {
+			t.Errorf("workers=%d: accuracy info differs from workers=1\nref: %+v\ngot: %+v", w, ref, got)
+		}
+	}
+}
+
+// TestClassicWorkersDeterministic asserts that the classic bootstrap
+// produces the identical statistic sequence at every worker count under
+// the same seed.
+func TestClassicWorkersDeterministic(t *testing.T) {
+	rng := dist.NewRand(3)
+	obs := make([]float64, 200)
+	for i := range obs {
+		obs[i] = rng.Float64() * 100
+	}
+	s := learn.NewSample(obs)
+	mean := func(s *learn.Sample) (float64, error) { return s.Mean() }
+	b := 400 // b*n = 80000 clears serialCutoff
+
+	ref, err := ClassicWorkers(s, mean, b, dist.NewRand(11), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range workerCounts()[1:] {
+		got, err := ClassicWorkers(s, mean, b, dist.NewRand(11), w)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", w, err)
+		}
+		if !reflect.DeepEqual(ref, got) {
+			t.Errorf("workers=%d: bootstrap statistics differ from workers=1", w)
+		}
+	}
+}
+
+// TestWorkersBelowCutoffStillDeterministic checks the serial-cutoff branch:
+// tiny inputs run serially at every worker count, and the result must still
+// match, because substream derivation is applied regardless of execution
+// strategy.
+func TestWorkersBelowCutoffStillDeterministic(t *testing.T) {
+	d, err := dist.NewNormal(0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := FromDistributionWorkers(d, 10, 10, 0.9, dist.NewRand(9), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := FromDistributionWorkers(d, 10, 10, 0.9, dist.NewRand(9), 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(ref, got) {
+		t.Error("below-cutoff results differ across worker counts")
+	}
+}
+
+// TestPercentileIntervalRejectsNaN covers the hardening satellite: a NaN in
+// the value sequence must produce a clear error, not a silently wrong
+// interval from NaN-poisoned sorting.
+func TestPercentileIntervalRejectsNaN(t *testing.T) {
+	v := []float64{1, 2, math.NaN(), 4}
+	if _, err := PercentileInterval(v, 0.9); err == nil {
+		t.Error("PercentileInterval accepted NaN input")
+	}
+}
+
+// TestPercentileEmptyGuard covers the empty-slice guard added to the
+// internal percentile helper via the public path: an empty value sequence
+// must error, not panic.
+func TestPercentileEmptyGuard(t *testing.T) {
+	if _, err := PercentileInterval(nil, 0.9); err == nil {
+		t.Error("PercentileInterval accepted empty input")
+	}
+}

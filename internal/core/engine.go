@@ -19,6 +19,7 @@ package core
 import (
 	"errors"
 	"fmt"
+	"runtime"
 	"sync"
 
 	"repro/internal/dist"
@@ -80,6 +81,13 @@ type Config struct {
 	// MinProb drops result tuples whose membership probability falls
 	// below it (0 keeps everything).
 	MinProb float64
+	// Workers bounds the parallelism of the accuracy kernel (bootstrap
+	// resample statistics and Monte Carlo draws). Default
+	// runtime.GOMAXPROCS(0); 1 runs every accuracy loop serially on the
+	// query's goroutine. Results are bit-identical for every value — each
+	// work item derives its own RNG substream from the query seed
+	// (dist.DeriveSeed), so Workers trades only latency, never output.
+	Workers int
 }
 
 // Normalize fills defaults and validates ranges.
@@ -113,6 +121,12 @@ func (c Config) Normalize() (Config, error) {
 	}
 	if c.MinProb < 0 || c.MinProb > 1 {
 		return c, fmt.Errorf("core: MinProb %v outside [0,1]", c.MinProb)
+	}
+	if c.Workers == 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.Workers < 1 {
+		return c, fmt.Errorf("core: Workers %d, need ≥ 1", c.Workers)
 	}
 	return c, nil
 }

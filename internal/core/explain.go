@@ -66,8 +66,8 @@ func (q *Query) Explain() string {
 	if q.eng.cfg.Method != AccuracyNone {
 		fmt.Fprintf(&b, " at %g%% confidence", q.eng.cfg.Level*100)
 		if q.eng.cfg.Method == AccuracyBootstrap {
-			fmt.Fprintf(&b, " (value sequences when Monte Carlo ran, else %d d.f. resamples)",
-				q.eng.cfg.BootstrapResamples)
+			fmt.Fprintf(&b, " (value sequences when Monte Carlo ran, else %d d.f. resamples; up to %d workers, deterministic)",
+				q.eng.cfg.BootstrapResamples, q.eng.cfg.Workers)
 		}
 	}
 	b.WriteByte('\n')

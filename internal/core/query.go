@@ -66,6 +66,14 @@ type aggItem struct {
 	colIdx int
 }
 
+// aggOutCol is one output column of an aggregate query in out-schema order:
+// either a passthrough of the GROUP BY key (passthrough >= 0) or an
+// aggregate item.
+type aggOutCol struct {
+	passthrough int
+	agg         aggItem
+}
+
 // groupState is the window of one GROUP BY key.
 type groupState struct {
 	count *stream.CountWindow
@@ -100,6 +108,15 @@ type Query struct {
 	mode    queryMode
 	scalars []scalarItem
 	aggs    []aggItem
+	// outPlan maps each aggregate-output column to its source, resolved
+	// once at plan time so pushAggregate does no per-push label lookups.
+	outPlan []aggOutCol
+
+	// Per-push scratch reused across pushes (a Query is single-goroutine
+	// by contract); holds only references consumed within the push.
+	winBuf    []*stream.Tuple
+	aggInputs []randvar.Field
+	valuesBuf [][]float64
 
 	// Aggregate windows: exactly one of window/timeWindow is set for
 	// ungrouped aggregates; groups is used with GROUP BY.
@@ -395,6 +412,24 @@ func (q *Query) planAggregates() error {
 		return err
 	}
 	q.out = out
+	// Resolve each output column to its source now, replacing the label
+	// maps the push path used to rebuild on every tuple.
+	aggByLabel := make(map[string]aggItem, len(q.aggs))
+	for _, a := range q.aggs {
+		aggByLabel[a.label] = a
+	}
+	scalarByLabel := make(map[string]scalarItem, len(q.scalars))
+	for _, s := range q.scalars {
+		scalarByLabel[s.label] = s
+	}
+	q.outPlan = make([]aggOutCol, 0, len(q.out.Columns))
+	for _, col := range q.out.Columns {
+		if item, ok := scalarByLabel[col.Name]; ok {
+			q.outPlan = append(q.outPlan, aggOutCol{passthrough: item.passthrough})
+			continue
+		}
+		q.outPlan = append(q.outPlan, aggOutCol{passthrough: -1, agg: aggByLabel[col.Name]})
+	}
 	return nil
 }
 
@@ -528,7 +563,18 @@ func maxInt64(a, b int64) int64 {
 
 func (q *Query) pushScalar(t *stream.Tuple, prob float64, probN int, unsure bool) ([]Result, error) {
 	fields := make([]randvar.Field, len(q.scalars))
-	values := make([][]float64, len(q.scalars))
+	// The value-sequence container is consumed by decorate within this
+	// push, so it reuses a Query-owned buffer.
+	values := q.valuesBuf
+	if cap(values) < len(q.scalars) {
+		values = make([][]float64, len(q.scalars))
+	} else {
+		values = values[:len(q.scalars)]
+		for i := range values {
+			values[i] = nil
+		}
+	}
+	q.valuesBuf = values
 	for i, item := range q.scalars {
 		if item.passthrough >= 0 {
 			fields[i] = t.Fields[item.passthrough]
@@ -586,51 +632,48 @@ func (q *Query) pushAggregate(t *stream.Tuple, prob float64, probN int, unsure b
 	if err != nil {
 		return nil, err
 	}
-	var winTuples []*stream.Tuple
+	// The window snapshot and aggregate-input gather reuse Query-owned
+	// buffers: stream.Aggregate consumes its inputs within the call, so
+	// nothing here outlives the push.
+	q.winBuf = q.winBuf[:0]
 	switch {
 	case g.time != nil:
 		// Time windows emit on every arrival over the live contents.
 		if _, err := g.time.Push(t); err != nil {
 			return nil, err
 		}
-		winTuples = g.time.Tuples()
+		q.winBuf = g.time.AppendTuples(q.winBuf)
 	default:
 		g.count.Push(t)
 		if !g.count.Full() {
 			return nil, nil
 		}
-		winTuples = g.count.Tuples()
+		q.winBuf = g.count.AppendTuples(q.winBuf)
 	}
-	fields := make([]randvar.Field, 0, len(q.scalars)+len(q.aggs))
-	values := make([][]float64, 0, len(q.scalars)+len(q.aggs))
-	// Output columns appear in the select-list order: group-key
-	// passthroughs first is not guaranteed, so rebuild by out schema.
-	aggByLabel := make(map[string]aggItem, len(q.aggs))
-	for _, a := range q.aggs {
-		aggByLabel[a.label] = a
-	}
-	scalarByLabel := make(map[string]scalarItem, len(q.scalars))
-	for _, s := range q.scalars {
-		scalarByLabel[s.label] = s
-	}
-	for _, col := range q.out.Columns {
-		if item, ok := scalarByLabel[col.Name]; ok {
-			fields = append(fields, t.Fields[item.passthrough])
+	winTuples := q.winBuf
+	fields := make([]randvar.Field, 0, len(q.outPlan))
+	values := q.valuesBuf[:0]
+	// Output columns appear in out-schema order per the plan resolved in
+	// planAggregates.
+	for _, oc := range q.outPlan {
+		if oc.passthrough >= 0 {
+			fields = append(fields, t.Fields[oc.passthrough])
 			values = append(values, nil)
 			continue
 		}
-		item := aggByLabel[col.Name]
-		inputs := make([]randvar.Field, len(winTuples))
-		for j, wt := range winTuples {
-			inputs[j] = wt.Fields[item.colIdx]
+		inputs := q.aggInputs[:0]
+		for _, wt := range winTuples {
+			inputs = append(inputs, wt.Fields[oc.agg.colIdx])
 		}
-		res, err := stream.Aggregate(q.ev, item.kind, inputs)
+		q.aggInputs = inputs
+		res, err := stream.Aggregate(q.ev, oc.agg.kind, inputs)
 		if err != nil {
-			return nil, fmt.Errorf("core: aggregate %s: %w", item.label, err)
+			return nil, fmt.Errorf("core: aggregate %s: %w", oc.agg.label, err)
 		}
 		fields = append(fields, res.Field)
 		values = append(values, res.Values)
 	}
+	q.valuesBuf = values
 	out := &stream.Tuple{
 		Schema: q.out,
 		Fields: fields,
@@ -691,10 +734,10 @@ func (q *Query) fieldAccuracy(f randvar.Field, values []float64) (*accuracy.Info
 		if len(values) >= 2*f.N {
 			// §III-B category 1: the Monte Carlo path already produced
 			// a value sequence.
-			return bootstrap.AccuracyInfo(values, f.N, cfg.Level, hist)
+			return bootstrap.AccuracyInfoWorkers(values, f.N, cfg.Level, hist, cfg.Workers)
 		}
 		// Category 2: sample from the result distribution.
-		return bootstrap.FromDistribution(f.Dist, f.N, cfg.BootstrapResamples, cfg.Level, q.rng)
+		return bootstrap.FromDistributionWorkers(f.Dist, f.N, cfg.BootstrapResamples, cfg.Level, q.rng, cfg.Workers)
 	}
 	return nil, fmt.Errorf("core: accuracy method %v", cfg.Method)
 }

@@ -1,0 +1,111 @@
+package core
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"testing"
+
+	"repro/internal/dist"
+	"repro/internal/randvar"
+	"repro/internal/stream"
+)
+
+// raceTuple builds a traffic tuple without t.Fatal, so it is safe to call
+// from spawned goroutines (which may only use t.Error).
+func raceTuple(e *Engine, road, mu float64, n int) (*stream.Tuple, error) {
+	d1, err := dist.NewNormal(mu, 100)
+	if err != nil {
+		return nil, err
+	}
+	d2, err := dist.NewNormal(mu+5, 100)
+	if err != nil {
+		return nil, err
+	}
+	return e.NewTuple("traffic", []randvar.Field{
+		randvar.Det(road),
+		{Dist: d1, N: n},
+		{Dist: d2, N: n},
+	})
+}
+
+// TestEngineConcurrentQueries drives one shared Engine from several
+// goroutines under the race detector. The engine's documented contract is
+// that stream registration, tuple creation, and query compilation are
+// concurrent-safe while each compiled Query is single-goroutine; here every
+// goroutine compiles its own bootstrap-method query and pushes its own
+// tuples through it, sharing only the engine (and its sequence counter).
+func TestEngineConcurrentQueries(t *testing.T) {
+	e := newTestEngine(t, Config{
+		Method:           AccuracyBootstrap,
+		MonteCarloValues: 200,
+		Workers:          4, // force the parallel kernel under -race
+	})
+
+	goroutines := 4
+	if p := runtime.GOMAXPROCS(0); p > goroutines {
+		goroutines = p
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			// SQRT forces the Monte Carlo path, so every push runs
+			// BOOTSTRAP-ACCURACY-INFO on a fresh value sequence.
+			q, err := e.Compile("SELECT SQRT(delay) AS s FROM traffic")
+			if err != nil {
+				errs <- fmt.Errorf("goroutine %d: compile: %v", g, err)
+				return
+			}
+			for i := 0; i < 20; i++ {
+				tp, err := raceTuple(e, float64(g), 25+float64(i), 40)
+				if err != nil {
+					errs <- fmt.Errorf("goroutine %d: tuple %d: %v", g, i, err)
+					return
+				}
+				res, err := q.Push(tp)
+				if err != nil {
+					errs <- fmt.Errorf("goroutine %d: push %d: %v", g, i, err)
+					return
+				}
+				for _, r := range res {
+					if info := r.Fields["s"]; info == nil {
+						errs <- fmt.Errorf("goroutine %d: missing accuracy info for s", g)
+						return
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}
+
+// TestEngineConcurrentRegistration hammers schema lookup and tuple creation
+// from many goroutines — the engine's shared map under its RWMutex.
+func TestEngineConcurrentRegistration(t *testing.T) {
+	e := newTestEngine(t, Config{})
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				if _, err := e.Schema("traffic"); err != nil {
+					t.Errorf("goroutine %d: %v", g, err)
+					return
+				}
+				if _, err := raceTuple(e, 1, 20, 30); err != nil {
+					t.Errorf("goroutine %d: %v", g, err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}

@@ -29,14 +29,7 @@ type Rand struct {
 func NewRand(seed uint64) *Rand {
 	r := &Rand{}
 	// splitmix64 expands the single word into four non-zero state words.
-	x := seed
-	for i := range r.s {
-		x += 0x9e3779b97f4a7c15
-		z := x
-		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
-		z = (z ^ (z >> 27)) * 0x94d049bb133111eb
-		r.s[i] = z ^ (z >> 31)
-	}
+	r.Reseed(seed)
 	return r
 }
 
@@ -45,6 +38,41 @@ func NewRand(seed uint64) *Rand {
 // worker goroutine its own source.
 func (r *Rand) Split() *Rand {
 	return NewRand(r.Uint64() ^ 0xd1342543de82ef95)
+}
+
+// DeriveSeed deterministically derives the seed of substream i from a root
+// seed (SplitMix-style: golden-ratio stride through the seed space followed
+// by a splitmix64 finalizer). It is a pure function — no generator state is
+// consumed — so the parallel accuracy kernel can hand work item i its own
+// independent stream and produce bit-identical output regardless of how
+// items are scheduled across workers.
+func DeriveSeed(root, i uint64) uint64 {
+	z := root + (i+1)*0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// NewRandStream returns a generator for substream i of root — shorthand for
+// NewRand(DeriveSeed(root, i)).
+func NewRandStream(root, i uint64) *Rand {
+	return NewRand(DeriveSeed(root, i))
+}
+
+// Reseed resets r to the state NewRand(seed) would produce, reusing the
+// allocation. It lets pooled per-worker generators step through substreams
+// without churning the heap.
+func (r *Rand) Reseed(seed uint64) {
+	x := seed
+	for i := range r.s {
+		x += 0x9e3779b97f4a7c15
+		z := x
+		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+		z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+		r.s[i] = z ^ (z >> 31)
+	}
+	r.spare = 0
+	r.haveSpare = false
 }
 
 func rotl(x uint64, k uint) uint64 { return (x << k) | (x >> (64 - k)) }

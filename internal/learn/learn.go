@@ -180,11 +180,32 @@ func (s *Sample) Resample(r *dist.Rand) (*Sample, error) {
 	if len(s.obs) == 0 {
 		return nil, ErrEmptySample
 	}
-	out := make([]float64, len(s.obs))
-	for i := range out {
-		out[i] = s.obs[r.Intn(len(s.obs))]
+	dst := &Sample{}
+	if err := s.ResampleInto(dst, r); err != nil {
+		return nil, err
 	}
-	return &Sample{obs: out}, nil
+	return dst, nil
+}
+
+// ResampleInto draws a bootstrap resample into dst, reusing dst's backing
+// array when it is large enough. It draws exactly the same observations as
+// Resample for the same generator state, so the two paths produce identical
+// statistics; the engine's bootstrap hot loop uses this variant to avoid a
+// Sample allocation per resample. dst must not alias s.
+func (s *Sample) ResampleInto(dst *Sample, r *dist.Rand) error {
+	if len(s.obs) == 0 {
+		return ErrEmptySample
+	}
+	n := len(s.obs)
+	if cap(dst.obs) < n {
+		dst.obs = make([]float64, n)
+	} else {
+		dst.obs = dst.obs[:n]
+	}
+	for i := range dst.obs {
+		dst.obs[i] = s.obs[r.Intn(n)]
+	}
+	return nil
 }
 
 // --- Learners ---

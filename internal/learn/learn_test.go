@@ -338,3 +338,64 @@ func TestSampleMeanVarianceProperties(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// TestResampleIntoMatchesResample checks the buffer-reuse path draws exactly
+// the same resample — and therefore exactly the same statistics — as the
+// allocating path given identical generator state.
+func TestResampleIntoMatchesResample(t *testing.T) {
+	s := NewSample([]float64{3.12, 0, 1.57, 19.67, 0.22, 2.20})
+	rA := dist.NewRand(77)
+	rB := dist.NewRand(77)
+	var buf Sample
+	for trial := 0; trial < 50; trial++ {
+		alloc, err := s.Resample(rA)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := s.ResampleInto(&buf, rB); err != nil {
+			t.Fatal(err)
+		}
+		if buf.Size() != alloc.Size() {
+			t.Fatalf("trial %d: sizes %d vs %d", trial, buf.Size(), alloc.Size())
+		}
+		for i := 0; i < buf.Size(); i++ {
+			if buf.At(i) != alloc.At(i) {
+				t.Fatalf("trial %d: obs %d = %v, want %v", trial, i, buf.At(i), alloc.At(i))
+			}
+		}
+		mA, _ := alloc.Mean()
+		mB, _ := buf.Mean()
+		vA, _ := alloc.Variance()
+		vB, _ := buf.Variance()
+		if mA != mB || vA != vB {
+			t.Fatalf("trial %d: statistics diverge: mean %v vs %v, var %v vs %v", trial, mA, mB, vA, vB)
+		}
+	}
+}
+
+// TestResampleIntoReusesBuffer checks no growth happens once the buffer fits.
+func TestResampleIntoReusesBuffer(t *testing.T) {
+	s := NewSample([]float64{1, 2, 3, 4, 5})
+	r := dist.NewRand(3)
+	var buf Sample
+	if err := s.ResampleInto(&buf, r); err != nil {
+		t.Fatal(err)
+	}
+	first := &buf.obs[0]
+	for i := 0; i < 10; i++ {
+		if err := s.ResampleInto(&buf, r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if &buf.obs[0] != first {
+		t.Error("ResampleInto reallocated a buffer that already fit")
+	}
+}
+
+// TestResampleIntoEmpty checks the error contract.
+func TestResampleIntoEmpty(t *testing.T) {
+	var empty, dst Sample
+	if err := empty.ResampleInto(&dst, dist.NewRand(1)); err != ErrEmptySample {
+		t.Errorf("err = %v, want ErrEmptySample", err)
+	}
+}

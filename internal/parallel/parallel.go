@@ -1,0 +1,106 @@
+// Package parallel provides the bounded worker pool behind the engine's
+// accuracy hot paths (BOOTSTRAP-ACCURACY-INFO resamples, classic bootstrap
+// resamples, Monte Carlo draws from result distributions).
+//
+// The paper's Lemma 4 establishes that the d.f. resamples of
+// BOOTSTRAP-ACCURACY-INFO are independent by construction, so per-resample
+// statistics can be computed in any order — including concurrently — without
+// changing the result. The helpers here exploit exactly that structure: work
+// items are identified by index, each item writes only to its own output
+// slot, and the partition of [0, n) into contiguous chunks is a pure
+// function of (workers, n). Combined with per-item RNG substreams
+// (dist.NewRandStream), results are bit-identical for every worker count,
+// and Workers=1 degenerates to a plain inline loop with no goroutines.
+package parallel
+
+import (
+	"runtime"
+	"sync"
+)
+
+// Pool is a bounded degree of parallelism. It is stateless (no persistent
+// goroutines), so a Pool is safe for concurrent use by multiple queries and
+// costs nothing while idle.
+type Pool struct {
+	workers int
+}
+
+// New returns a pool running at most workers goroutines per call.
+// workers < 1 selects runtime.GOMAXPROCS(0).
+func New(workers int) *Pool {
+	if workers < 1 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	return &Pool{workers: workers}
+}
+
+// Workers returns the pool's parallelism bound.
+func (p *Pool) Workers() int { return p.workers }
+
+// For runs fn(i) for every i in [0, n).
+func (p *Pool) For(n int, fn func(i int)) { For(p.workers, n, fn) }
+
+// ForChunks partitions [0, n) into at most Workers contiguous chunks and
+// runs fn(lo, hi) once per chunk.
+func (p *Pool) ForChunks(n int, fn func(lo, hi int)) { ForChunks(p.workers, n, fn) }
+
+// For runs fn(i) for every i in [0, n) using at most workers goroutines.
+// With workers <= 1 (or n <= 1) the loop runs inline on the calling
+// goroutine — exactly the serial code path, no goroutines, no channels.
+//
+// fn must be safe to call concurrently for distinct i; the usual pattern is
+// that fn(i) writes only to the i-th slot of a pre-sized output slice.
+func For(workers, n int, fn func(i int)) {
+	ForChunks(workers, n, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			fn(i)
+		}
+	})
+}
+
+// ForChunks partitions [0, n) into at most workers contiguous chunks of
+// near-equal size and runs fn(lo, hi) once per chunk, concurrently. The
+// chunk boundaries depend only on (workers, n), never on scheduling. The
+// calling goroutine executes the last chunk itself, so workers <= 1 (or a
+// single chunk) performs no goroutine spawn at all.
+//
+// Chunked dispatch lets callers hoist per-worker scratch state (resample
+// buffers, RNG structs) out of the inner loop: allocate once per chunk, use
+// for every item in [lo, hi).
+func ForChunks(workers, n int, fn func(lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		fn(0, n)
+		return
+	}
+	var wg sync.WaitGroup
+	wg.Add(workers - 1)
+	for c := 0; c < workers-1; c++ {
+		lo, hi := chunkBounds(c, workers, n)
+		go func() {
+			defer wg.Done()
+			fn(lo, hi)
+		}()
+	}
+	lo, hi := chunkBounds(workers-1, workers, n)
+	fn(lo, hi)
+	wg.Wait()
+}
+
+// chunkBounds returns the half-open range of chunk c when [0, n) is split
+// into `chunks` near-equal contiguous pieces (the first n%chunks pieces are
+// one element longer).
+func chunkBounds(c, chunks, n int) (lo, hi int) {
+	size, rem := n/chunks, n%chunks
+	lo = c*size + min(c, rem)
+	hi = lo + size
+	if c < rem {
+		hi++
+	}
+	return lo, hi
+}

@@ -1,0 +1,118 @@
+package parallel
+
+import (
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+// TestForCoversEveryIndexOnce checks that each index is visited exactly once
+// for a spread of worker counts and sizes, including the degenerate ones.
+func TestForCoversEveryIndexOnce(t *testing.T) {
+	for _, workers := range []int{1, 2, 3, 4, 7, 16} {
+		for _, n := range []int{0, 1, 2, 3, 5, 16, 100, 1000} {
+			counts := make([]int32, n)
+			For(workers, n, func(i int) {
+				atomic.AddInt32(&counts[i], 1)
+			})
+			for i, c := range counts {
+				if c != 1 {
+					t.Fatalf("workers=%d n=%d: index %d visited %d times", workers, n, i, c)
+				}
+			}
+		}
+	}
+}
+
+// TestForChunksPartition checks the chunks form a disjoint cover of [0, n)
+// in order, with at most `workers` chunks.
+func TestForChunksPartition(t *testing.T) {
+	for _, workers := range []int{1, 2, 3, 5, 8} {
+		for _, n := range []int{1, 2, 7, 8, 9, 64, 101} {
+			seen := make([]int32, n)
+			var chunks int32
+			ForChunks(workers, n, func(lo, hi int) {
+				atomic.AddInt32(&chunks, 1)
+				if lo >= hi {
+					t.Errorf("workers=%d n=%d: empty chunk [%d,%d)", workers, n, lo, hi)
+				}
+				for i := lo; i < hi; i++ {
+					atomic.AddInt32(&seen[i], 1)
+				}
+			})
+			if int(chunks) > workers {
+				t.Errorf("workers=%d n=%d: %d chunks", workers, n, chunks)
+			}
+			for i, c := range seen {
+				if c != 1 {
+					t.Fatalf("workers=%d n=%d: index %d covered %d times", workers, n, i, c)
+				}
+			}
+		}
+	}
+}
+
+// TestChunkBoundsDeterministic checks the partition is a pure function of
+// (workers, n) and balanced to within one element.
+func TestChunkBoundsDeterministic(t *testing.T) {
+	for _, chunks := range []int{1, 2, 3, 7} {
+		for _, n := range []int{7, 20, 21, 1000} {
+			if chunks > n {
+				continue
+			}
+			prev := 0
+			minSize, maxSize := n, 0
+			for c := 0; c < chunks; c++ {
+				lo, hi := chunkBounds(c, chunks, n)
+				if lo != prev {
+					t.Fatalf("chunks=%d n=%d: chunk %d starts at %d, want %d", chunks, n, c, lo, prev)
+				}
+				size := hi - lo
+				if size < minSize {
+					minSize = size
+				}
+				if size > maxSize {
+					maxSize = size
+				}
+				prev = hi
+			}
+			if prev != n {
+				t.Fatalf("chunks=%d n=%d: cover ends at %d", chunks, n, prev)
+			}
+			if maxSize-minSize > 1 {
+				t.Errorf("chunks=%d n=%d: unbalanced sizes [%d, %d]", chunks, n, minSize, maxSize)
+			}
+		}
+	}
+}
+
+// TestSerialIsInline checks Workers<=1 runs on the calling goroutine (the
+// documented "exact serial behavior" contract): writes need no
+// synchronization and happen in index order.
+func TestSerialIsInline(t *testing.T) {
+	var order []int
+	For(1, 5, func(i int) { order = append(order, i) })
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("serial order %v", order)
+		}
+	}
+}
+
+func TestPoolDefaults(t *testing.T) {
+	if got := New(0).Workers(); got != runtime.GOMAXPROCS(0) {
+		t.Errorf("New(0).Workers() = %d, want GOMAXPROCS %d", got, runtime.GOMAXPROCS(0))
+	}
+	if got := New(-3).Workers(); got != runtime.GOMAXPROCS(0) {
+		t.Errorf("New(-3).Workers() = %d", got)
+	}
+	if got := New(6).Workers(); got != 6 {
+		t.Errorf("New(6).Workers() = %d", got)
+	}
+	sum := 0
+	New(4).For(10, func(i int) { /* concurrent */ })
+	New(1).ForChunks(10, func(lo, hi int) { sum += hi - lo })
+	if sum != 10 {
+		t.Errorf("pool ForChunks covered %d of 10", sum)
+	}
+}

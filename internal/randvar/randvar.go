@@ -218,6 +218,30 @@ func LinearGaussian(weights []float64, c float64, fields ...Field) (Field, bool,
 		mu += weights[i] * m
 		sigma2 += weights[i] * weights[i] * s2
 	}
+	return linearGaussianResult(mu, sigma2, fields)
+}
+
+// LinearGaussianUniform is LinearGaussian with every weight equal to w —
+// the AVG/SUM shape — without materializing a weight vector. The window
+// aggregate path calls it once per push with the window as fields, so the
+// saved allocation is one slice of window-size floats per tuple.
+func LinearGaussianUniform(w, c float64, fields ...Field) (Field, bool, error) {
+	mu, sigma2 := c, 0.0
+	for _, f := range fields {
+		if err := f.Validate(); err != nil {
+			return Field{}, false, err
+		}
+		m, s2, ok := gaussianOf(f)
+		if !ok {
+			return Field{}, false, nil
+		}
+		mu += w * m
+		sigma2 += w * w * s2
+	}
+	return linearGaussianResult(mu, sigma2, fields)
+}
+
+func linearGaussianResult(mu, sigma2 float64, fields []Field) (Field, bool, error) {
 	n := DFSampleSize(fields...)
 	if sigma2 == 0 {
 		return Field{Dist: dist.Point{V: mu}, N: n}, true, nil

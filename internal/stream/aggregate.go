@@ -78,11 +78,7 @@ func Aggregate(e *randvar.Evaluator, kind AggKind, fields []randvar.Field) (rand
 		if kind == Avg {
 			w = 1 / float64(len(fields))
 		}
-		weights := make([]float64, len(fields))
-		for i := range weights {
-			weights[i] = w
-		}
-		if f, ok, err := randvar.LinearGaussian(weights, 0, fields...); err != nil {
+		if f, ok, err := randvar.LinearGaussianUniform(w, 0, fields...); err != nil {
 			return randvar.Result{}, err
 		} else if ok {
 			return randvar.Result{Field: f}, nil

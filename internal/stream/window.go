@@ -50,11 +50,17 @@ func (w *CountWindow) Cap() int { return len(w.buf) }
 
 // Tuples returns the window contents oldest-first.
 func (w *CountWindow) Tuples() []*Tuple {
-	out := make([]*Tuple, w.count)
+	return w.AppendTuples(nil)
+}
+
+// AppendTuples appends the window contents oldest-first to dst and returns
+// the extended slice. Passing a reused dst[:0] lets per-push hot paths read
+// the window without allocating a fresh slice each time.
+func (w *CountWindow) AppendTuples(dst []*Tuple) []*Tuple {
 	for i := 0; i < w.count; i++ {
-		out[i] = w.buf[(w.head+i)%len(w.buf)]
+		dst = append(dst, w.buf[(w.head+i)%len(w.buf)])
 	}
-	return out
+	return dst
 }
 
 // Do calls fn for each tuple oldest-first without allocating.
@@ -110,4 +116,10 @@ func (w *TimeWindow) Len() int { return len(w.buf) }
 // Tuples returns the window contents oldest-first.
 func (w *TimeWindow) Tuples() []*Tuple {
 	return append([]*Tuple(nil), w.buf...)
+}
+
+// AppendTuples appends the window contents oldest-first to dst and returns
+// the extended slice.
+func (w *TimeWindow) AppendTuples(dst []*Tuple) []*Tuple {
+	return append(dst, w.buf...)
 }
