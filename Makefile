@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: tier1 build test vet race bench clean
+.PHONY: tier1 build test vet race bench bench2 clean
 
 # tier1 is the gate every change must pass: vet, build, and the full test
 # suite under the race detector.
@@ -27,6 +27,18 @@ bench:
 		-benchmem -count 1 . | tee bench.out
 	$(GO) run ./cmd/benchjson -in bench.out -out BENCH_1.json \
 		-notes "Pre-change baseline (same host): Fig5cBootstrap 30045 ns/op, 44581 B/op, 21 allocs/op; BootstrapAccuracyInfo 1124 ns/op, 752 B/op, 5 allocs/op. This container exposes a single CPU (GOMAXPROCS=1), so the parallel speedup of the worker pool is not measurable here; determinism across worker counts is asserted by tests instead (internal/bootstrap/parallel_test.go)."
+	rm -f bench.out
+
+# bench2 runs the durability benchmarks (WAL append under each fsync
+# policy, raw WAL replay, and end-to-end crash-recovery replay through the
+# server) and records the run in BENCH_2.json.
+bench2:
+	$(GO) test -run '^$$' -bench 'BenchmarkWALAppend|BenchmarkWALReplay' \
+		-benchmem -count 1 ./internal/wal/ | tee bench.out
+	$(GO) test -run '^$$' -bench 'BenchmarkRecoveryReplay' \
+		-benchmem -count 1 ./internal/server/ | tee -a bench.out
+	$(GO) run ./cmd/benchjson -in bench.out -out BENCH_2.json \
+		-notes "Durability subsystem benchmarks. WAL appends are ~53-byte INSERT payloads; always-fsync pays one fdatasync per append, interval/none amortize it. WALReplay is raw frame scan + CRC32C verification (SetBytes counts framed bytes). RecoveryReplay is full NewDurable boot: open WAL, replay N journaled inserts through a 3-row AVG window query with bootstrap accuracy - engine work, not I/O, dominates."
 	rm -f bench.out
 
 clean:

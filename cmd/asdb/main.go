@@ -7,9 +7,15 @@
 // Usage:
 //
 //	asdb [-level 0.9] [-method analytical] [-seed 1] [-f script.asdb] [-batch]
+//	     [-data-dir DIR] [-fsync always|interval|none] [-checkpoint-every N]
 //
 // With -f, commands are read from the file before the interactive prompt
 // starts; -batch exits after the script.
+//
+// With -data-dir the session is durable: commands are journaled to a
+// write-ahead log and the engine is checkpointed, so a later asdb run with
+// the same -data-dir (and same engine flags) resumes exactly where this
+// one stopped — windows, learned distributions, and RNG states included.
 package main
 
 import (
@@ -29,6 +35,9 @@ func main() {
 	script := flag.String("f", "", "script file to execute before the prompt")
 	batch := flag.Bool("batch", false, "exit after the script (no interactive prompt)")
 	workers := flag.Int("workers", 0, "accuracy-kernel parallelism (0 = GOMAXPROCS); results are identical at any setting")
+	dataDir := flag.String("data-dir", "", "durability directory (empty = in-memory only)")
+	fsyncPolicy := flag.String("fsync", "interval", "WAL fsync policy: always | interval | none")
+	ckEvery := flag.Int("checkpoint-every", 1024, "checkpoint after this many journaled commands")
 	flag.Parse()
 
 	var m core.AccuracyMethod
@@ -43,16 +52,26 @@ func main() {
 		fmt.Fprintf(os.Stderr, "asdb: unknown method %q\n", *method)
 		os.Exit(2)
 	}
-	r, err := repl.New(core.Config{Level: *level, Method: m, Seed: *seed, Workers: *workers}, os.Stdout)
+	r, err := repl.New(core.Config{
+		Level: *level, Method: m, Seed: *seed, Workers: *workers,
+		DataDir: *dataDir, FsyncPolicy: *fsyncPolicy, CheckpointEvery: *ckEvery,
+	}, os.Stdout)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "asdb: %v\n", err)
+		os.Exit(1)
+	}
+	// fail flushes durable state before exiting (os.Exit skips defers).
+	fail := func(format string, args ...any) {
+		if cerr := r.Close(); cerr != nil {
+			fmt.Fprintf(os.Stderr, "asdb: close: %v\n", cerr)
+		}
+		fmt.Fprintf(os.Stderr, format, args...)
 		os.Exit(1)
 	}
 	if *script != "" {
 		f, err := os.Open(*script)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "asdb: %v\n", err)
-			os.Exit(1)
+			fail("asdb: %v\n", err)
 		}
 		scanner := bufio.NewScanner(f)
 		scanner.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
@@ -60,26 +79,28 @@ func main() {
 		for scanner.Scan() {
 			lineNo++
 			if err := r.Exec(scanner.Text()); err != nil {
-				fmt.Fprintf(os.Stderr, "asdb: %s:%d: %v\n", *script, lineNo, err)
 				f.Close()
-				os.Exit(1)
+				fail("asdb: %s:%d: %v\n", *script, lineNo, err)
 			}
 		}
 		f.Close()
 	}
-	if *batch {
-		return
+	if !*batch {
+		fmt.Fprintln(os.Stderr, "asdb — accuracy-aware uncertain stream database (HELP for commands, ctrl-D to exit)")
+		in := bufio.NewScanner(os.Stdin)
+		in.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+		for {
+			fmt.Fprint(os.Stderr, "asdb> ")
+			if !in.Scan() {
+				break
+			}
+			if err := r.Exec(in.Text()); err != nil {
+				fmt.Fprintf(os.Stderr, "error: %v\n", err)
+			}
+		}
 	}
-	fmt.Fprintln(os.Stderr, "asdb — accuracy-aware uncertain stream database (HELP for commands, ctrl-D to exit)")
-	in := bufio.NewScanner(os.Stdin)
-	in.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
-	for {
-		fmt.Fprint(os.Stderr, "asdb> ")
-		if !in.Scan() {
-			break
-		}
-		if err := r.Exec(in.Text()); err != nil {
-			fmt.Fprintf(os.Stderr, "error: %v\n", err)
-		}
+	if err := r.Close(); err != nil {
+		fmt.Fprintf(os.Stderr, "asdb: close: %v\n", err)
+		os.Exit(1)
 	}
 }

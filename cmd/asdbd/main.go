@@ -5,8 +5,18 @@
 // Usage:
 //
 //	asdbd [-addr 127.0.0.1:7433] [-level 0.9] [-method analytical] [-seed 1]
+//	      [-data-dir DIR] [-fsync always|interval|none] [-checkpoint-every N]
 //
 // Methods: none, analytical, bootstrap.
+//
+// With -data-dir set the daemon is durable: every state-changing command
+// (STREAM, QUERY, INSERT, CLOSE) is journaled to a write-ahead log under
+// DIR/wal and the engine state is checkpointed to DIR/checkpoints every N
+// journaled commands. On startup the daemon recovers from the latest valid
+// checkpoint plus the WAL suffix; recovery is deterministic, so the
+// restarted daemon computes bit-identical results to one that never
+// stopped. SIGINT/SIGTERM trigger a graceful shutdown: connections are
+// closed, a final checkpoint is written, and the WAL is fsynced.
 package main
 
 import (
@@ -14,6 +24,8 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"os/signal"
+	"syscall"
 
 	"repro/internal/core"
 	"repro/internal/server"
@@ -26,6 +38,9 @@ func main() {
 	seed := flag.Uint64("seed", 1, "engine RNG seed")
 	dropUnsure := flag.Bool("drop-unsure", false, "drop tuples whose coupled significance test is UNSURE")
 	workers := flag.Int("workers", 0, "accuracy-kernel parallelism (0 = GOMAXPROCS); results are identical at any setting")
+	dataDir := flag.String("data-dir", "", "durability directory (empty = in-memory only)")
+	fsyncPolicy := flag.String("fsync", "interval", "WAL fsync policy: always | interval | none")
+	ckEvery := flag.Int("checkpoint-every", 1024, "checkpoint after this many journaled commands")
 	flag.Parse()
 
 	var m core.AccuracyMethod
@@ -41,17 +56,20 @@ func main() {
 		os.Exit(2)
 	}
 	eng, err := core.NewEngine(core.Config{
-		Level:      *level,
-		Method:     m,
-		Seed:       *seed,
-		DropUnsure: *dropUnsure,
-		Workers:    *workers,
+		Level:           *level,
+		Method:          m,
+		Seed:            *seed,
+		DropUnsure:      *dropUnsure,
+		Workers:         *workers,
+		DataDir:         *dataDir,
+		FsyncPolicy:     *fsyncPolicy,
+		CheckpointEvery: *ckEvery,
 	})
 	if err != nil {
 		log.Fatalf("asdbd: %v", err)
 	}
 	logger := log.New(os.Stderr, "asdbd: ", log.LstdFlags)
-	srv, err := server.New(eng, logger)
+	srv, err := server.NewDurable(eng, logger)
 	if err != nil {
 		log.Fatalf("asdbd: %v", err)
 	}
@@ -59,8 +77,27 @@ func main() {
 	if err != nil {
 		log.Fatalf("asdbd: %v", err)
 	}
-	logger.Printf("listening on %s (method=%s level=%g)", bound, m, *level)
-	if err := srv.Serve(); err != nil {
-		log.Fatalf("asdbd: %v", err)
+	if *dataDir != "" {
+		logger.Printf("listening on %s (method=%s level=%g data-dir=%s fsync=%s)",
+			bound, m, *level, *dataDir, *fsyncPolicy)
+	} else {
+		logger.Printf("listening on %s (method=%s level=%g)", bound, m, *level)
+	}
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, syscall.SIGINT, syscall.SIGTERM)
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve() }()
+	select {
+	case sig := <-sigc:
+		logger.Printf("%s: shutting down", sig)
+		if err := srv.Shutdown(); err != nil {
+			log.Fatalf("asdbd: shutdown: %v", err)
+		}
+		<-done // Serve returns nil once the listener closes under s.closed.
+	case err := <-done:
+		if err != nil {
+			log.Fatalf("asdbd: %v", err)
+		}
 	}
 }

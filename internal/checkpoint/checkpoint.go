@@ -1,0 +1,437 @@
+// Package checkpoint implements the snapshot half of the durability
+// subsystem: periodic captures of complete engine state — registered
+// schemas, continuous queries (SQL text plus runtime state: window
+// contents, per-group and join windows, RNG states, counters), and the
+// engine sequence counter — serialized losslessly via internal/codec.
+//
+// A checkpoint file carries the LSN of the last write-ahead-log record it
+// reflects; recovery loads the latest valid checkpoint and replays the WAL
+// suffix, yielding an engine bit-identical to one that never crashed: the
+// restored RNG states resume every Monte Carlo and bootstrap stream
+// mid-sequence, and the restored sequence counter preserves tuple numbering
+// and future evaluator seeds.
+//
+// # On-disk format
+//
+//	+---------------+----------+----------+====================+
+//	| magic (8B)    | len u32  | crc u32  | JSON payload       |
+//	+---------------+----------+----------+====================+
+//
+// magic is "ASDBCKP1"; crc is CRC-32C over the payload. Files are written
+// to a temporary name, fsynced, and renamed, so a crash mid-snapshot
+// leaves either the previous checkpoint set intact or a stray temp file —
+// never a half-written checkpoint under a valid name. LoadLatest skips
+// unreadable or corrupt files and falls back to the newest valid one.
+package checkpoint
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/codec"
+	"repro/internal/core"
+	"repro/internal/dist"
+	"repro/internal/randvar"
+	"repro/internal/stream"
+)
+
+const (
+	magic     = "ASDBCKP1"
+	headerLen = len(magic) + 8 // magic + u32 len + u32 crc
+	filePref  = "ckpt-"
+	fileSuf   = ".ck"
+	keepFiles = 2
+)
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// ErrCorrupt reports an unreadable checkpoint file.
+var ErrCorrupt = errors.New("checkpoint: corrupt file")
+
+// ColumnState mirrors stream.Column.
+type ColumnState struct {
+	Name          string `json:"name"`
+	Probabilistic bool   `json:"probabilistic,omitempty"`
+}
+
+// StreamState is one registered stream schema.
+type StreamState struct {
+	Name    string        `json:"name"`
+	Columns []ColumnState `json:"columns"`
+}
+
+// tupleState is one windowed tuple; fields are codec JSON (lossless).
+type tupleState struct {
+	Fields []json.RawMessage `json:"fields"`
+	Prob   float64           `json:"prob"`
+	ProbN  int               `json:"prob_n,omitempty"`
+	Seq    uint64            `json:"seq"`
+	Time   int64             `json:"time,omitempty"`
+}
+
+type windowState struct {
+	Tuples []tupleState `json:"tuples"`
+}
+
+type groupState struct {
+	Key    float64     `json:"key"`
+	Window windowState `json:"window"`
+}
+
+// QueryState is one registered continuous query: its identity, SQL, and
+// serialized runtime state.
+type QueryState struct {
+	ID        string          `json:"id"`
+	SQL       string          `json:"sql"`
+	Eval      dist.RandState  `json:"eval_rng"`
+	Boot      dist.RandState  `json:"boot_rng"`
+	Stats     core.QueryStats `json:"stats"`
+	Window    *windowState    `json:"window,omitempty"`
+	Groups    []groupState    `json:"groups,omitempty"`
+	JoinLeft  *windowState    `json:"join_left,omitempty"`
+	JoinRight *windowState    `json:"join_right,omitempty"`
+}
+
+// Snapshot is a complete engine checkpoint.
+type Snapshot struct {
+	// Version guards the format; readers reject unknown versions.
+	Version int `json:"version"`
+	// LSN is the last WAL record reflected in this snapshot; recovery
+	// replays from LSN+1.
+	LSN uint64 `json:"lsn"`
+	// Seq is the engine sequence counter at capture time.
+	Seq     uint64        `json:"seq"`
+	Streams []StreamState `json:"streams,omitempty"`
+	Queries []QueryState  `json:"queries,omitempty"`
+}
+
+// QueryDef names one live query for Capture.
+type QueryDef struct {
+	ID    string
+	SQL   string
+	Query *core.Query
+}
+
+// Capture snapshots the engine and the given queries. The caller must
+// ensure no pushes run concurrently (the server holds its command mutex).
+// Pass defs in a deterministic order (e.g. sorted by ID) so checkpoint
+// bytes are reproducible.
+func Capture(eng *core.Engine, lsn uint64, defs []QueryDef) (*Snapshot, error) {
+	snap := &Snapshot{Version: 1, LSN: lsn, Seq: eng.Seq()}
+	names := eng.Streams()
+	sort.Strings(names)
+	for _, name := range names {
+		schema, err := eng.Schema(name)
+		if err != nil {
+			return nil, err
+		}
+		ss := StreamState{Name: schema.Name, Columns: make([]ColumnState, 0, schema.Arity())}
+		for _, c := range schema.Columns {
+			ss.Columns = append(ss.Columns, ColumnState{Name: c.Name, Probabilistic: c.Probabilistic})
+		}
+		snap.Streams = append(snap.Streams, ss)
+	}
+	for _, def := range defs {
+		st := def.Query.State()
+		qs := QueryState{
+			ID:    def.ID,
+			SQL:   def.SQL,
+			Eval:  st.Eval,
+			Boot:  st.Boot,
+			Stats: st.Stats,
+		}
+		var err error
+		if qs.Window, err = encodeWindow(st.Window); err != nil {
+			return nil, fmt.Errorf("checkpoint: query %s: %w", def.ID, err)
+		}
+		for _, g := range st.Groups {
+			gw, err := encodeWindow(&g.Window)
+			if err != nil {
+				return nil, fmt.Errorf("checkpoint: query %s group %g: %w", def.ID, g.Key, err)
+			}
+			qs.Groups = append(qs.Groups, groupState{Key: g.Key, Window: *gw})
+		}
+		if qs.JoinLeft, err = encodeWindow(st.JoinLeft); err != nil {
+			return nil, fmt.Errorf("checkpoint: query %s: %w", def.ID, err)
+		}
+		if qs.JoinRight, err = encodeWindow(st.JoinRight); err != nil {
+			return nil, fmt.Errorf("checkpoint: query %s: %w", def.ID, err)
+		}
+		snap.Queries = append(snap.Queries, qs)
+	}
+	return snap, nil
+}
+
+func encodeWindow(ws *core.WindowState) (*windowState, error) {
+	if ws == nil {
+		return nil, nil
+	}
+	out := &windowState{Tuples: make([]tupleState, len(ws.Tuples))}
+	for i, t := range ws.Tuples {
+		ts := tupleState{
+			Fields: make([]json.RawMessage, len(t.Fields)),
+			Prob:   t.Prob,
+			ProbN:  t.ProbN,
+			Seq:    t.Seq,
+			Time:   t.Time,
+		}
+		for j, f := range t.Fields {
+			enc, err := codec.EncodeField(f)
+			if err != nil {
+				return nil, err
+			}
+			ts.Fields[j] = enc
+		}
+		out.Tuples[i] = ts
+	}
+	return out, nil
+}
+
+func decodeWindow(ws *windowState) (*core.WindowState, error) {
+	if ws == nil {
+		return nil, nil
+	}
+	out := &core.WindowState{Tuples: make([]core.TupleState, len(ws.Tuples))}
+	for i, t := range ws.Tuples {
+		ts := core.TupleState{
+			Fields: make([]randvar.Field, len(t.Fields)),
+			Prob:   t.Prob,
+			ProbN:  t.ProbN,
+			Seq:    t.Seq,
+			Time:   t.Time,
+		}
+		for j, raw := range t.Fields {
+			f, err := codec.DecodeField(raw)
+			if err != nil {
+				return nil, err
+			}
+			ts.Fields[j] = f
+		}
+		out.Tuples[i] = ts
+	}
+	return out, nil
+}
+
+// RestoredQuery is one query rebuilt by Restore.
+type RestoredQuery struct {
+	ID    string
+	SQL   string
+	Query *core.Query
+}
+
+// Restore rebuilds snapshot state into a fresh engine: registers every
+// schema, recompiles every query and loads its runtime state, and finally
+// restores the engine sequence counter. The engine must be newly created
+// with the same configuration (Seed in particular) as the captured one.
+func Restore(eng *core.Engine, snap *Snapshot) ([]RestoredQuery, error) {
+	if snap == nil {
+		return nil, errors.New("checkpoint: nil snapshot")
+	}
+	if snap.Version != 1 {
+		return nil, fmt.Errorf("checkpoint: unsupported version %d", snap.Version)
+	}
+	for _, ss := range snap.Streams {
+		cols := make([]stream.Column, len(ss.Columns))
+		for i, c := range ss.Columns {
+			cols[i] = stream.Column{Name: c.Name, Probabilistic: c.Probabilistic}
+		}
+		schema, err := stream.NewSchema(ss.Name, cols...)
+		if err != nil {
+			return nil, fmt.Errorf("checkpoint: stream %s: %w", ss.Name, err)
+		}
+		if err := eng.RegisterStream(schema); err != nil {
+			return nil, fmt.Errorf("checkpoint: stream %s: %w", ss.Name, err)
+		}
+	}
+	out := make([]RestoredQuery, 0, len(snap.Queries))
+	for _, qs := range snap.Queries {
+		q, err := eng.Compile(qs.SQL)
+		if err != nil {
+			return nil, fmt.Errorf("checkpoint: recompiling query %s: %w", qs.ID, err)
+		}
+		st := &core.QueryState{Eval: qs.Eval, Boot: qs.Boot, Stats: qs.Stats}
+		if st.Window, err = decodeWindow(qs.Window); err != nil {
+			return nil, fmt.Errorf("checkpoint: query %s: %w", qs.ID, err)
+		}
+		for _, g := range qs.Groups {
+			gw, err := decodeWindow(&g.Window)
+			if err != nil {
+				return nil, fmt.Errorf("checkpoint: query %s group %g: %w", qs.ID, g.Key, err)
+			}
+			st.Groups = append(st.Groups, core.GroupWindowState{Key: g.Key, Window: *gw})
+		}
+		if st.JoinLeft, err = decodeWindow(qs.JoinLeft); err != nil {
+			return nil, fmt.Errorf("checkpoint: query %s: %w", qs.ID, err)
+		}
+		if st.JoinRight, err = decodeWindow(qs.JoinRight); err != nil {
+			return nil, fmt.Errorf("checkpoint: query %s: %w", qs.ID, err)
+		}
+		if err := q.SetState(st); err != nil {
+			return nil, fmt.Errorf("checkpoint: query %s: %w", qs.ID, err)
+		}
+		out = append(out, RestoredQuery{ID: qs.ID, SQL: qs.SQL, Query: q})
+	}
+	eng.RestoreSeq(snap.Seq)
+	return out, nil
+}
+
+// Encode renders the snapshot in the framed on-disk format.
+func (s *Snapshot) Encode() ([]byte, error) {
+	payload, err := json.Marshal(s)
+	if err != nil {
+		return nil, err
+	}
+	buf := make([]byte, headerLen+len(payload))
+	copy(buf, magic)
+	binary.LittleEndian.PutUint32(buf[len(magic):], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(buf[len(magic)+4:], crc32.Checksum(payload, castagnoli))
+	copy(buf[headerLen:], payload)
+	return buf, nil
+}
+
+// Decode parses and validates a framed snapshot.
+func Decode(data []byte) (*Snapshot, error) {
+	if len(data) < headerLen || string(data[:len(magic)]) != magic {
+		return nil, fmt.Errorf("%w: bad magic", ErrCorrupt)
+	}
+	length := binary.LittleEndian.Uint32(data[len(magic):])
+	crc := binary.LittleEndian.Uint32(data[len(magic)+4:])
+	payload := data[headerLen:]
+	if uint32(len(payload)) != length {
+		return nil, fmt.Errorf("%w: payload %d bytes, header says %d", ErrCorrupt, len(payload), length)
+	}
+	if crc32.Checksum(payload, castagnoli) != crc {
+		return nil, fmt.Errorf("%w: bad crc", ErrCorrupt)
+	}
+	var snap Snapshot
+	if err := json.Unmarshal(payload, &snap); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
+	}
+	return &snap, nil
+}
+
+// Manager stores checkpoints in a directory, keeping the newest few.
+type Manager struct {
+	dir string
+}
+
+// NewManager opens (creating if needed) a checkpoint directory.
+func NewManager(dir string) (*Manager, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("checkpoint: %w", err)
+	}
+	return &Manager{dir: dir}, nil
+}
+
+// Save writes the snapshot atomically (temp file + fsync + rename + dir
+// fsync) and prunes all but the newest checkpoints.
+func (m *Manager) Save(s *Snapshot) error {
+	data, err := s.Encode()
+	if err != nil {
+		return fmt.Errorf("checkpoint: %w", err)
+	}
+	tmp, err := os.CreateTemp(m.dir, "tmp-*")
+	if err != nil {
+		return fmt.Errorf("checkpoint: %w", err)
+	}
+	tmpName := tmp.Name()
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmpName)
+		return fmt.Errorf("checkpoint: %w", err)
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		os.Remove(tmpName)
+		return fmt.Errorf("checkpoint: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("checkpoint: %w", err)
+	}
+	final := filepath.Join(m.dir, fmt.Sprintf("%s%016x%s", filePref, s.LSN, fileSuf))
+	if err := os.Rename(tmpName, final); err != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("checkpoint: %w", err)
+	}
+	if err := syncDir(m.dir); err != nil {
+		return err
+	}
+	m.prune()
+	return nil
+}
+
+// LoadLatest returns the newest valid checkpoint, skipping corrupt or
+// unreadable files (a crash mid-snapshot must never block recovery). It
+// returns (nil, nil) when no valid checkpoint exists.
+func (m *Manager) LoadLatest() (*Snapshot, error) {
+	files, err := m.list()
+	if err != nil {
+		return nil, err
+	}
+	for i := len(files) - 1; i >= 0; i-- {
+		data, err := os.ReadFile(files[i])
+		if err != nil {
+			continue
+		}
+		snap, err := Decode(data)
+		if err != nil {
+			continue
+		}
+		return snap, nil
+	}
+	return nil, nil
+}
+
+// list returns checkpoint paths sorted oldest-first (names embed the LSN
+// in fixed-width hex, so lexical order is LSN order).
+func (m *Manager) list() ([]string, error) {
+	entries, err := os.ReadDir(m.dir)
+	if err != nil {
+		return nil, fmt.Errorf("checkpoint: %w", err)
+	}
+	var out []string
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasPrefix(name, filePref) || !strings.HasSuffix(name, fileSuf) {
+			continue
+		}
+		if _, err := strconv.ParseUint(strings.TrimSuffix(strings.TrimPrefix(name, filePref), fileSuf), 16, 64); err != nil {
+			continue
+		}
+		out = append(out, filepath.Join(m.dir, name))
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+func (m *Manager) prune() {
+	files, err := m.list()
+	if err != nil {
+		return
+	}
+	for len(files) > keepFiles {
+		os.Remove(files[0])
+		files = files[1:]
+	}
+}
+
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return fmt.Errorf("checkpoint: %w", err)
+	}
+	defer d.Close()
+	if err := d.Sync(); err != nil {
+		return fmt.Errorf("checkpoint: sync dir: %w", err)
+	}
+	return nil
+}

@@ -131,9 +131,13 @@ func fromWire(w *wire) (dist.Distribution, error) {
 		if w.Counts != nil {
 			return dist.HistogramFromCounts(w.Edges, w.Counts)
 		}
-		return dist.NewHistogram(w.Edges, w.Probs)
+		// Restore* constructors keep the encoded (already-normalized)
+		// probabilities bit-for-bit; the New* constructors would
+		// renormalize and perturb them by an ulp, so a decoded
+		// distribution would not be the one that was encoded.
+		return dist.RestoreHistogram(w.Edges, w.Probs)
 	case "discrete":
-		return dist.NewDiscrete(w.Xs, w.Ps)
+		return dist.RestoreDiscrete(w.Xs, w.Ps)
 	case "mixture":
 		comps := make([]dist.Distribution, len(w.Components))
 		for i, raw := range w.Components {
@@ -143,7 +147,7 @@ func fromWire(w *wire) (dist.Distribution, error) {
 			}
 			comps[i] = c
 		}
-		return dist.NewMixture(comps, w.Weights)
+		return dist.RestoreMixture(comps, w.Weights)
 	}
 	return nil, fmt.Errorf("codec: unknown distribution type %q", w.Type)
 }

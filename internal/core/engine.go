@@ -88,6 +88,20 @@ type Config struct {
 	// work item derives its own RNG substream from the query seed
 	// (dist.DeriveSeed), so Workers trades only latency, never output.
 	Workers int
+	// DataDir enables the durability layer: a write-ahead log of ingested
+	// tuples and DDL/query registrations plus periodic engine checkpoints
+	// live under it, and a daemon started over a non-empty DataDir
+	// recovers its pre-crash state deterministically. Empty (the default)
+	// disables durability.
+	DataDir string
+	// FsyncPolicy controls when WAL appends reach stable storage:
+	// "always" (fsync per record), "interval" (background fsync, default),
+	// or "none" (rely on the OS). Only meaningful with DataDir set.
+	FsyncPolicy string
+	// CheckpointEvery writes an engine checkpoint after that many WAL
+	// records (default 1024), bounding recovery replay time. Only
+	// meaningful with DataDir set.
+	CheckpointEvery int
 }
 
 // Normalize fills defaults and validates ranges.
@@ -127,6 +141,20 @@ func (c Config) Normalize() (Config, error) {
 	}
 	if c.Workers < 1 {
 		return c, fmt.Errorf("core: Workers %d, need ≥ 1", c.Workers)
+	}
+	if c.FsyncPolicy == "" {
+		c.FsyncPolicy = "interval"
+	}
+	switch c.FsyncPolicy {
+	case "always", "interval", "none":
+	default:
+		return c, fmt.Errorf("core: FsyncPolicy %q, want always | interval | none", c.FsyncPolicy)
+	}
+	if c.CheckpointEvery == 0 {
+		c.CheckpointEvery = 1024
+	}
+	if c.CheckpointEvery < 1 {
+		return c, fmt.Errorf("core: CheckpointEvery %d, need ≥ 1", c.CheckpointEvery)
 	}
 	return c, nil
 }
@@ -217,6 +245,25 @@ func (e *Engine) NewTuple(streamName string, fields []randvar.Field) (*stream.Tu
 	t.Seq = e.seq
 	e.mu.Unlock()
 	return t, nil
+}
+
+// Seq returns the engine's sequence counter — the number of tuples and
+// query evaluators created so far. The durability layer records it in
+// checkpoints so a recovered engine continues the exact numbering (and thus
+// the exact per-query evaluator seeds) of the pre-crash run.
+func (e *Engine) Seq() uint64 {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.seq
+}
+
+// RestoreSeq forces the sequence counter during crash recovery. Call only
+// after every checkpointed query has been recompiled, so that compilation's
+// own seq consumption is overwritten by the checkpointed value.
+func (e *Engine) RestoreSeq(seq uint64) {
+	e.mu.Lock()
+	e.seq = seq
+	e.mu.Unlock()
 }
 
 // LearnField turns a raw sample into a probabilistic field using the given

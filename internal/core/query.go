@@ -148,7 +148,6 @@ func (e *Engine) CompileStmt(stmt *sql.SelectStmt) (*Query, error) {
 	q := &Query{
 		eng:      e,
 		stmt:     stmt,
-		ev:       e.newEvaluator(),
 		rng:      dist.NewRand(e.cfg.Seed ^ 0xabcdef123456789),
 		groupIdx: -1,
 	}
@@ -173,6 +172,10 @@ func (e *Engine) CompileStmt(stmt *sql.SelectStmt) (*Query, error) {
 	if err := q.planSelect(); err != nil {
 		return nil, err
 	}
+	// The evaluator is created last so a failed compile consumes no engine
+	// sequence number: WAL replay re-runs only the successful statements,
+	// and seq (hence every evaluator seed) must evolve identically.
+	q.ev = e.newEvaluator()
 	return q, nil
 }
 

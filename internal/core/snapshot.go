@@ -1,0 +1,228 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"repro/internal/dist"
+	"repro/internal/randvar"
+	"repro/internal/stream"
+)
+
+// This file is the engine half of the durability subsystem: it exposes the
+// complete runtime state of a compiled Query — window contents, per-group
+// windows, join windows, RNG states, counters — as plain serializable
+// structs, and restores them into a freshly compiled query. The checkpoint
+// package handles the on-disk encoding (distributions travel through
+// internal/codec); this layer guarantees that a restored query is
+// observationally identical to the captured one: every subsequent Push
+// draws the same variates and emits the same results bit-for-bit.
+
+// TupleState is the serializable state of one windowed tuple.
+type TupleState struct {
+	Fields []randvar.Field
+	Prob   float64
+	ProbN  int
+	Seq    uint64
+	Time   int64
+}
+
+// WindowState is the serializable contents of one sliding window,
+// oldest-first.
+type WindowState struct {
+	Tuples []TupleState
+}
+
+// GroupWindowState is the window of one GROUP BY key.
+type GroupWindowState struct {
+	Key    float64
+	Window WindowState
+}
+
+// QueryState is the complete mutable state of a compiled Query. Everything
+// else about a query (plan, predicates, output schema) is a pure function
+// of its SQL text and the engine configuration, so SQL + QueryState fully
+// determine future behavior.
+type QueryState struct {
+	// Eval is the state of the expression evaluator's Monte Carlo RNG.
+	Eval dist.RandState
+	// Boot is the state of the bootstrap accuracy sampler's RNG.
+	Boot dist.RandState
+	// Stats are the query counters.
+	Stats QueryStats
+	// Window holds the ungrouped aggregate window (count- or time-based),
+	// nil when the query has none.
+	Window *WindowState
+	// Groups holds per-key windows of GROUP BY queries, sorted by key.
+	Groups []GroupWindowState
+	// JoinLeft and JoinRight hold the symmetric join windows.
+	JoinLeft  *WindowState
+	JoinRight *WindowState
+}
+
+// State captures the query's complete mutable state. The returned structs
+// reference the query's live tuples and must be consumed (serialized)
+// before the query is pushed again.
+func (q *Query) State() *QueryState {
+	st := &QueryState{
+		Eval:  q.ev.RNG().State(),
+		Boot:  q.rng.State(),
+		Stats: q.stats,
+	}
+	switch {
+	case q.window != nil:
+		st.Window = windowState(q.window.Tuples())
+	case q.timeWindow != nil:
+		st.Window = windowState(q.timeWindow.Tuples())
+	}
+	if q.groups != nil {
+		keys := make([]float64, 0, len(q.groups))
+		for k := range q.groups {
+			keys = append(keys, k)
+		}
+		sort.Float64s(keys)
+		for _, k := range keys {
+			g := q.groups[k]
+			var ws *WindowState
+			if g.count != nil {
+				ws = windowState(g.count.Tuples())
+			} else {
+				ws = windowState(g.time.Tuples())
+			}
+			st.Groups = append(st.Groups, GroupWindowState{Key: k, Window: *ws})
+		}
+	}
+	if q.join != nil {
+		st.JoinLeft = windowState(q.join.leftWin.Tuples())
+		st.JoinRight = windowState(q.join.rightWin.Tuples())
+	}
+	return st
+}
+
+func windowState(tuples []*stream.Tuple) *WindowState {
+	ws := &WindowState{Tuples: make([]TupleState, len(tuples))}
+	for i, t := range tuples {
+		ws.Tuples[i] = TupleState{
+			Fields: t.Fields,
+			Prob:   t.Prob,
+			ProbN:  t.ProbN,
+			Seq:    t.Seq,
+			Time:   t.Time,
+		}
+	}
+	return ws
+}
+
+// SetState restores a state captured with State into a freshly compiled
+// query over the same SQL and engine configuration.
+func (q *Query) SetState(st *QueryState) error {
+	if st == nil {
+		return errors.New("core: nil query state")
+	}
+	if err := q.ev.RNG().SetState(st.Eval); err != nil {
+		return fmt.Errorf("core: evaluator RNG: %w", err)
+	}
+	if err := q.rng.SetState(st.Boot); err != nil {
+		return fmt.Errorf("core: bootstrap RNG: %w", err)
+	}
+	q.stats = st.Stats
+	if st.Window != nil {
+		tuples, err := restoreTuples(q.in, st.Window)
+		if err != nil {
+			return err
+		}
+		switch {
+		case q.window != nil:
+			if err := q.window.RestoreTuples(tuples); err != nil {
+				return err
+			}
+		case q.timeWindow != nil:
+			if err := q.timeWindow.RestoreTuples(tuples); err != nil {
+				return err
+			}
+		default:
+			return errors.New("core: window state for a query without an ungrouped window")
+		}
+	}
+	if len(st.Groups) > 0 {
+		if q.groups == nil {
+			return errors.New("core: group state for a query without GROUP BY")
+		}
+		for _, gs := range st.Groups {
+			tuples, err := restoreTuples(q.in, &gs.Window)
+			if err != nil {
+				return err
+			}
+			g := &groupState{}
+			if q.stmt.Window.Seconds > 0 {
+				tw, err := stream.NewTimeWindow(q.stmt.Window.Seconds)
+				if err != nil {
+					return err
+				}
+				if err := tw.RestoreTuples(tuples); err != nil {
+					return err
+				}
+				g.time = tw
+			} else {
+				cw, err := stream.NewCountWindow(q.stmt.Window.Rows)
+				if err != nil {
+					return err
+				}
+				if err := cw.RestoreTuples(tuples); err != nil {
+					return err
+				}
+				g.count = cw
+			}
+			q.groups[gs.Key] = g
+		}
+	}
+	if st.JoinLeft != nil || st.JoinRight != nil {
+		if q.join == nil {
+			return errors.New("core: join state for a non-join query")
+		}
+		if st.JoinLeft != nil {
+			tuples, err := restoreTuples(q.join.leftSchema, st.JoinLeft)
+			if err != nil {
+				return err
+			}
+			if err := q.join.leftWin.RestoreTuples(tuples); err != nil {
+				return err
+			}
+		}
+		if st.JoinRight != nil {
+			tuples, err := restoreTuples(q.join.rightSchema, st.JoinRight)
+			if err != nil {
+				return err
+			}
+			if err := q.join.rightWin.RestoreTuples(tuples); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// restoreTuples rebuilds window tuples against schema, revalidating each.
+func restoreTuples(schema *stream.Schema, ws *WindowState) ([]*stream.Tuple, error) {
+	out := make([]*stream.Tuple, len(ws.Tuples))
+	for i, ts := range ws.Tuples {
+		t := &stream.Tuple{
+			Schema: schema,
+			Fields: ts.Fields,
+			Prob:   ts.Prob,
+			ProbN:  ts.ProbN,
+			Seq:    ts.Seq,
+			Time:   ts.Time,
+		}
+		if err := t.Validate(); err != nil {
+			return nil, fmt.Errorf("core: restoring window tuple %d: %w", i, err)
+		}
+		out[i] = t
+	}
+	return out, nil
+}
+
+// SQL returns the query's statement text as compiled (used by checkpoints
+// to recompile the plan on recovery).
+func (q *Query) SQL() string { return q.stmt.String() }

@@ -48,6 +48,34 @@ func NewDiscrete(values, probs []float64) (*Discrete, error) {
 	return d, nil
 }
 
+// RestoreDiscrete rebuilds a serialized discrete distribution from its
+// exact normalized form: values must be strictly increasing and probs must
+// already sum to 1 (within rounding). Unlike NewDiscrete it never divides
+// by the total, so the probabilities are preserved bit-for-bit — required
+// for the durability subsystem's bit-identical recovery guarantee.
+func RestoreDiscrete(values, probs []float64) (*Discrete, error) {
+	if len(values) != len(probs) || len(values) == 0 {
+		return nil, fmt.Errorf("%w: discrete needs equal-length non-empty values/probs", ErrInvalidParam)
+	}
+	total := 0.0
+	for i := range values {
+		if probs[i] < 0 || math.IsNaN(probs[i]) || math.IsNaN(values[i]) {
+			return nil, fmt.Errorf("%w: discrete entry %d = (%v, %v)", ErrInvalidParam, i, values[i], probs[i])
+		}
+		if i > 0 && !(values[i-1] < values[i]) {
+			return nil, fmt.Errorf("%w: restored discrete values not strictly increasing at %d", ErrInvalidParam, i)
+		}
+		total += probs[i]
+	}
+	if math.Abs(total-1) > 1e-9 {
+		return nil, fmt.Errorf("%w: restored discrete mass %v, want 1", ErrInvalidParam, total)
+	}
+	return &Discrete{
+		xs: append([]float64(nil), values...),
+		ps: append([]float64(nil), probs...),
+	}, nil
+}
+
 // Empirical builds the empirical distribution of a raw sample: each
 // observation carries mass 1/n. This is the distribution a Monte Carlo query
 // path samples from when no parametric form is assumed.
@@ -192,6 +220,33 @@ func NewMixture(components []Distribution, weights []float64) (*Mixture, error) 
 		m.Weights[i] = w / total
 	}
 	return m, nil
+}
+
+// RestoreMixture rebuilds a serialized mixture from its exact normalized
+// weights: they must already sum to 1 (within rounding) and are preserved
+// bit-for-bit (NewMixture's renormalization would perturb them by an ulp,
+// breaking bit-identical recovery).
+func RestoreMixture(components []Distribution, weights []float64) (*Mixture, error) {
+	if len(components) != len(weights) || len(components) == 0 {
+		return nil, fmt.Errorf("%w: mixture needs equal-length non-empty components/weights", ErrInvalidParam)
+	}
+	total := 0.0
+	for i, w := range weights {
+		if w < 0 || math.IsNaN(w) {
+			return nil, fmt.Errorf("%w: mixture weight %d = %v", ErrInvalidParam, i, w)
+		}
+		if components[i] == nil {
+			return nil, fmt.Errorf("%w: mixture component %d is nil", ErrInvalidParam, i)
+		}
+		total += w
+	}
+	if math.Abs(total-1) > 1e-9 {
+		return nil, fmt.Errorf("%w: restored mixture weight %v, want 1", ErrInvalidParam, total)
+	}
+	return &Mixture{
+		Components: append([]Distribution(nil), components...),
+		Weights:    append([]float64(nil), weights...),
+	}, nil
 }
 
 func (m *Mixture) Mean() float64 {

@@ -55,6 +55,36 @@ func NewHistogram(edges, probs []float64) (*Histogram, error) {
 	return h, nil
 }
 
+// RestoreHistogram rebuilds a serialized histogram from its exact
+// normalized probabilities: they must already sum to 1 (within rounding)
+// and are preserved bit-for-bit (NewHistogram's renormalization would
+// perturb them by an ulp, breaking bit-identical recovery).
+func RestoreHistogram(edges, probs []float64) (*Histogram, error) {
+	if len(edges) != len(probs)+1 || len(probs) == 0 {
+		return nil, fmt.Errorf("%w: histogram needs len(edges) == len(probs)+1 ≥ 2, got %d and %d",
+			ErrInvalidParam, len(edges), len(probs))
+	}
+	total := 0.0
+	for i, p := range probs {
+		if p < 0 || math.IsNaN(p) {
+			return nil, fmt.Errorf("%w: histogram bucket %d has probability %v", ErrInvalidParam, i, p)
+		}
+		total += p
+	}
+	if math.Abs(total-1) > 1e-9 {
+		return nil, fmt.Errorf("%w: restored histogram mass %v, want 1", ErrInvalidParam, total)
+	}
+	for i := 0; i+1 < len(edges); i++ {
+		if !(edges[i] < edges[i+1]) {
+			return nil, fmt.Errorf("%w: histogram edges not strictly increasing at %d", ErrInvalidParam, i)
+		}
+	}
+	return &Histogram{
+		Edges: append([]float64(nil), edges...),
+		Probs: append([]float64(nil), probs...),
+	}, nil
+}
+
 // HistogramFromCounts builds a histogram whose bucket probabilities are the
 // empirical frequencies counts[i]/n; this is how the database learns a
 // histogram distribution from a raw sample (§I). The counts are retained so

@@ -10,7 +10,10 @@
 // that experiments and tests are reproducible from a seed.
 package dist
 
-import "math"
+import (
+	"errors"
+	"math"
+)
 
 // Rand is a small, fast, seedable pseudo-random generator
 // (xoshiro256** seeded via splitmix64). It is deliberately independent of
@@ -73,6 +76,33 @@ func (r *Rand) Reseed(seed uint64) {
 	}
 	r.spare = 0
 	r.haveSpare = false
+}
+
+// RandState is the complete serializable state of a Rand. Capturing it and
+// later restoring it via SetState resumes the stream exactly where it left
+// off — the durability layer checkpoints per-query generators this way so a
+// recovered engine draws the same variates a never-crashed one would.
+type RandState struct {
+	S         [4]uint64 `json:"s"`
+	Spare     float64   `json:"spare,omitempty"`
+	HaveSpare bool      `json:"have_spare,omitempty"`
+}
+
+// State returns a snapshot of r's full state.
+func (r *Rand) State() RandState {
+	return RandState{S: r.s, Spare: r.spare, HaveSpare: r.haveSpare}
+}
+
+// SetState restores a snapshot taken with State. The all-zero xoshiro state
+// is degenerate (the generator would emit zeros forever) and is rejected.
+func (r *Rand) SetState(st RandState) error {
+	if st.S[0]|st.S[1]|st.S[2]|st.S[3] == 0 {
+		return errors.New("dist: all-zero generator state")
+	}
+	r.s = st.S
+	r.spare = st.Spare
+	r.haveSpare = st.HaveSpare
+	return nil
 }
 
 func rotl(x uint64, k uint) uint64 { return (x << k) | (x >> (64 - k)) }

@@ -6,6 +6,12 @@
 //
 // The CSV must have a header row; columns are referenced by header name
 // (case-insensitive). cmd/datagen produces compatible files.
+//
+// Determinism: the pipeline is a pure function of the CSV bytes and the
+// Spec — groups are emitted sorted by key and learners see observations in
+// file order, so repeated Reads yield identical tuples in identical order.
+// The durability layer relies on this: a journaled LOAD replays as the
+// same per-tuple insert sequence the original run produced.
 package ingest
 
 import (

@@ -99,6 +99,11 @@ func NewEvaluator(rng *dist.Rand) *Evaluator {
 	return &Evaluator{rng: rng, Values: DefaultMonteCarloValues, Bins: DefaultHistogramBins}
 }
 
+// RNG exposes the evaluator's generator so its state can be checkpointed
+// and restored (the durability layer's determinism guarantee depends on
+// resuming Monte Carlo streams mid-sequence).
+func (e *Evaluator) RNG() *dist.Rand { return e.rng }
+
 // Result is the outcome of evaluating an expression: the output field
 // (distribution + d.f. sample size) and, when the Monte Carlo path ran, the
 // raw value sequence for bootstrap accuracy.

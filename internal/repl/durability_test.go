@@ -1,0 +1,104 @@
+package repl
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+)
+
+func durableREPL(t *testing.T, dir string, ckEvery int) (*REPL, *bytes.Buffer) {
+	t.Helper()
+	var buf bytes.Buffer
+	r, err := New(core.Config{
+		Method:          core.AccuracyBootstrap,
+		Level:           0.9,
+		Seed:            11,
+		DataDir:         dir,
+		FsyncPolicy:     "none",
+		CheckpointEvery: ckEvery,
+	}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r, &buf
+}
+
+func durInsert(i int) string {
+	return fmt.Sprintf("INSERT temps %d N(%d.5,2.25,%d)", i, 10+i, 20+i)
+}
+
+// dataLines extracts the query-result lines ("q1 => {...}") from REPL output.
+func dataLines(out string) []string {
+	var lines []string
+	for _, l := range strings.Split(out, "\n") {
+		if strings.Contains(l, " => ") {
+			lines = append(lines, l)
+		}
+	}
+	return lines
+}
+
+// TestREPLDurableResume splits one session across two REPL processes and
+// checks the second half's results are byte-identical to an uninterrupted
+// reference session — for both recovery paths (checkpoint+suffix, WAL-only).
+func TestREPLDurableResume(t *testing.T) {
+	const phase1, total = 5, 10
+
+	ref, refBuf := newTestREPLBootstrap(t)
+	exec(t, ref, "STREAM temps key val:dist")
+	exec(t, ref, "QUERY q1 SELECT AVG(val) FROM temps WINDOW 3 ROWS")
+	for i := 0; i < total; i++ {
+		exec(t, ref, durInsert(i))
+	}
+	refData := dataLines(refBuf.String())
+	if len(refData) != total-2 {
+		t.Fatalf("reference emitted %d results, want %d", len(refData), total-2)
+	}
+
+	for _, ckEvery := range []int{3, 1024} {
+		t.Run(fmt.Sprintf("ckEvery=%d", ckEvery), func(t *testing.T) {
+			dir := t.TempDir()
+			r1, _ := durableREPL(t, dir, ckEvery)
+			exec(t, r1, "STREAM temps key val:dist")
+			exec(t, r1, "QUERY q1 SELECT AVG(val) FROM temps WINDOW 3 ROWS")
+			for i := 0; i < phase1; i++ {
+				exec(t, r1, durInsert(i))
+			}
+			if err := r1.Close(); err != nil {
+				t.Fatalf("Close: %v", err)
+			}
+
+			r2, buf2 := durableREPL(t, dir, ckEvery)
+			defer r2.Close()
+			for i := phase1; i < total; i++ {
+				exec(t, r2, durInsert(i))
+			}
+			got := dataLines(buf2.String())
+			want := refData[len(refData)-len(got):]
+			if len(got) != total-phase1 {
+				t.Fatalf("resumed session emitted %d results, want %d", len(got), total-phase1)
+			}
+			for i := range got {
+				if got[i] != want[i] {
+					t.Fatalf("result %d diverged after resume:\nreference: %s\nresumed:   %s",
+						i, want[i], got[i])
+				}
+			}
+		})
+	}
+}
+
+// newTestREPLBootstrap matches durableREPL's engine config minus durability,
+// so its output is the in-memory reference for resume comparisons.
+func newTestREPLBootstrap(t *testing.T) (*REPL, *bytes.Buffer) {
+	t.Helper()
+	var buf bytes.Buffer
+	r, err := New(core.Config{Method: core.AccuracyBootstrap, Level: 0.9, Seed: 11}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r, &buf
+}

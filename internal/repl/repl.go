@@ -3,6 +3,14 @@
 // the same STREAM / QUERY / INSERT / LOAD / STATS / EXPLAIN / CLOSE
 // commands as the network protocol and prints results (with accuracy
 // information) to its output writer.
+//
+// With Config.DataDir set the REPL is durable: state-changing commands are
+// journaled to a write-ahead log and the engine is checkpointed
+// periodically, exactly like the network daemon. On startup the REPL
+// recovers the latest checkpoint plus the WAL suffix (replay output is
+// suppressed — those results were already printed by the previous run).
+// LOAD is journaled per learned tuple, so replaying a LOAD does not need
+// the source CSV to still exist.
 package repl
 
 import (
@@ -10,13 +18,19 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
 	"strings"
 
+	"repro/internal/checkpoint"
 	"repro/internal/core"
 	"repro/internal/ingest"
 	"repro/internal/randvar"
 	"repro/internal/server"
 	"repro/internal/sql"
+	"repro/internal/stream"
+	"repro/internal/wal"
 )
 
 // REPL owns the embedded engine and registered queries. Not safe for
@@ -28,25 +42,117 @@ type REPL struct {
 	// OpenFile loads CSVs for the LOAD command; defaults to os.Open and
 	// is injectable for tests.
 	OpenFile func(string) (io.ReadCloser, error)
+
+	wal     *wal.Log
+	ck      *checkpoint.Manager
+	ckEvery int
+	sinceCk int
 }
 
 type replQuery struct {
 	query   *core.Query
+	sqlText string
 	streams map[string]bool // lower-cased input streams (2 for joins)
 }
 
-// New builds a REPL over a fresh engine.
+// New builds a REPL over a fresh engine, recovering durable state when the
+// configuration names a data directory.
 func New(cfg core.Config, out io.Writer) (*REPL, error) {
 	eng, err := core.NewEngine(cfg)
 	if err != nil {
 		return nil, err
 	}
-	return &REPL{
+	r := &REPL{
 		eng:      eng,
 		queries:  make(map[string]*replQuery),
 		out:      out,
 		OpenFile: func(path string) (io.ReadCloser, error) { return os.Open(path) },
-	}, nil
+	}
+	cfg = eng.Config()
+	if cfg.DataDir == "" {
+		return r, nil
+	}
+	policy, err := wal.ParseFsyncPolicy(cfg.FsyncPolicy)
+	if err != nil {
+		return nil, err
+	}
+	ckm, err := checkpoint.NewManager(filepath.Join(cfg.DataDir, "checkpoints"))
+	if err != nil {
+		return nil, err
+	}
+	snap, err := ckm.LoadLatest()
+	if err != nil {
+		return nil, err
+	}
+	from := uint64(1)
+	if snap != nil {
+		restored, err := checkpoint.Restore(eng, snap)
+		if err != nil {
+			return nil, fmt.Errorf("repl: restoring checkpoint (lsn %d): %w", snap.LSN, err)
+		}
+		for _, q := range restored {
+			streams, err := sourceStreams(q.SQL)
+			if err != nil {
+				return nil, fmt.Errorf("repl: restored query %s: %w", q.ID, err)
+			}
+			r.queries[q.ID] = &replQuery{query: q.Query, sqlText: q.SQL, streams: streams}
+		}
+		from = snap.LSN + 1
+	}
+	wlog, err := wal.Open(filepath.Join(cfg.DataDir, "wal"), wal.Options{Policy: policy})
+	if err != nil {
+		return nil, err
+	}
+	// Replay with output suppressed: the previous run already printed
+	// these results, and recovery must be silent besides its summary.
+	liveOut := r.out
+	r.out = io.Discard
+	replayErr := wlog.Replay(from, r.applyRecord)
+	r.out = liveOut
+	if replayErr != nil {
+		wlog.Close()
+		return nil, fmt.Errorf("repl: wal replay: %w", replayErr)
+	}
+	r.wal = wlog
+	r.ck = ckm
+	r.ckEvery = cfg.CheckpointEvery
+	if snap != nil || wlog.LastLSN() >= from {
+		fmt.Fprintf(r.out, "recovered %d queries, %d streams (wal lsn %d)\n",
+			len(r.queries), len(eng.Streams()), wlog.LastLSN())
+	}
+	return r, nil
+}
+
+func sourceStreams(sqlText string) (map[string]bool, error) {
+	stmt, err := sql.Parse(sqlText)
+	if err != nil {
+		return nil, err
+	}
+	streams := map[string]bool{strings.ToLower(stmt.From): true}
+	if stmt.Join != nil {
+		streams[strings.ToLower(stmt.Join.Right)] = true
+	}
+	return streams, nil
+}
+
+// Close writes a final checkpoint and closes the WAL. Safe to call on a
+// non-durable REPL and more than once.
+func (r *REPL) Close() error {
+	if r.wal == nil {
+		return nil
+	}
+	var err error
+	if lsn := r.wal.LastLSN(); lsn > 0 {
+		err = r.checkpointNow(lsn)
+	}
+	if serr := r.wal.Sync(); err == nil {
+		err = serr
+	}
+	if cerr := r.wal.Close(); err == nil {
+		err = cerr
+	}
+	r.wal = nil
+	return err
 }
 
 // Engine exposes the underlying engine (examples and tests).
@@ -97,7 +203,81 @@ func (r *REPL) Exec(line string) error {
 	return fmt.Errorf("unknown command %q (try HELP)", cmd)
 }
 
-func (r *REPL) cmdStream(rest string) error {
+// journal appends one record and checkpoints when due. No-op while
+// non-durable (including during replay, before r.wal is set).
+func (r *REPL) journal(typ wal.RecordType, payload string) error {
+	if r.wal == nil {
+		return nil
+	}
+	lsn, err := r.wal.Append(typ, []byte(payload))
+	if err != nil {
+		return fmt.Errorf("wal append failed: %w", err)
+	}
+	r.sinceCk++
+	if r.ckEvery > 0 && r.sinceCk >= r.ckEvery {
+		if err := r.checkpointNow(lsn); err != nil {
+			// Non-fatal: the WAL still covers everything since the last
+			// successful checkpoint.
+			fmt.Fprintf(r.out, "checkpoint at lsn %d failed: %v\n", lsn, err)
+		} else {
+			r.sinceCk = 0
+		}
+	}
+	return nil
+}
+
+func (r *REPL) checkpointNow(lsn uint64) error {
+	defs := make([]checkpoint.QueryDef, 0, len(r.queries))
+	for id, rq := range r.queries {
+		defs = append(defs, checkpoint.QueryDef{ID: id, SQL: rq.sqlText, Query: rq.query})
+	}
+	sort.Slice(defs, func(i, j int) bool { return defs[i].ID < defs[j].ID })
+	snap, err := checkpoint.Capture(r.eng, lsn, defs)
+	if err != nil {
+		return err
+	}
+	if err := r.ck.Save(snap); err != nil {
+		return err
+	}
+	if err := r.wal.TruncateThrough(lsn); err != nil {
+		fmt.Fprintf(r.out, "wal truncate through %d failed: %v\n", lsn, err)
+	}
+	return nil
+}
+
+// applyRecord re-executes one journaled command during recovery.
+func (r *REPL) applyRecord(rec wal.Record) error {
+	payload := string(rec.Payload)
+	var err error
+	switch rec.Type {
+	case wal.RecStream:
+		err = r.applyStream(payload)
+	case wal.RecQuery:
+		id, sqlText := payload, ""
+		if idx := strings.IndexByte(payload, ' '); idx >= 0 {
+			id, sqlText = payload[:idx], payload[idx+1:]
+		}
+		err = r.applyQuery(id, sqlText)
+	case wal.RecInsert:
+		// Per-query push errors were already reported by the live run and
+		// leave deterministic state; only pre-state failures abort replay.
+		var hard bool
+		hard, err = r.applyInsertRecord(payload)
+		if !hard {
+			err = nil
+		}
+	case wal.RecClose:
+		err = r.applyClose(payload)
+	default:
+		err = fmt.Errorf("unknown record type %d", rec.Type)
+	}
+	if err != nil {
+		return fmt.Errorf("lsn %d: %w", rec.LSN, err)
+	}
+	return nil
+}
+
+func (r *REPL) applyStream(rest string) error {
 	fields := strings.Fields(rest)
 	if len(fields) < 2 {
 		return fmt.Errorf("usage: STREAM <name> <col>[:dist] ...")
@@ -113,49 +293,66 @@ func (r *REPL) cmdStream(rest string) error {
 	return nil
 }
 
+func (r *REPL) cmdStream(rest string) error {
+	if err := r.applyStream(rest); err != nil {
+		return err
+	}
+	return r.journal(wal.RecStream, rest)
+}
+
+func (r *REPL) applyQuery(id, sqlText string) error {
+	if id == "" || sqlText == "" {
+		return fmt.Errorf("usage: QUERY <id> <sql>")
+	}
+	if _, dup := r.queries[id]; dup {
+		return fmt.Errorf("query id %q already in use", id)
+	}
+	streams, err := sourceStreams(sqlText)
+	if err != nil {
+		return err
+	}
+	q, err := r.eng.Compile(sqlText)
+	if err != nil {
+		return err
+	}
+	r.queries[id] = &replQuery{query: q, sqlText: q.SQL(), streams: streams}
+	fmt.Fprintf(r.out, "query %s: %s\n", id, q)
+	return nil
+}
+
 func (r *REPL) cmdQuery(rest string) error {
 	idx := strings.IndexByte(rest, ' ')
 	if idx < 0 {
 		return fmt.Errorf("usage: QUERY <id> <sql>")
 	}
 	id, sqlText := rest[:idx], strings.TrimSpace(rest[idx+1:])
-	if _, dup := r.queries[id]; dup {
-		return fmt.Errorf("query id %q already in use", id)
-	}
-	q, err := r.eng.Compile(sqlText)
-	if err != nil {
+	if err := r.applyQuery(id, sqlText); err != nil {
 		return err
 	}
-	stmt, err := sql.Parse(sqlText)
-	if err != nil {
-		return err
-	}
-	streams := map[string]bool{strings.ToLower(stmt.From): true}
-	if stmt.Join != nil {
-		streams[strings.ToLower(stmt.Join.Right)] = true
-	}
-	r.queries[id] = &replQuery{query: q, streams: streams}
-	fmt.Fprintf(r.out, "query %s: %s\n", id, q)
-	return nil
+	// Journal the normalized statement so replay compiles the exact text
+	// the checkpoint will reference.
+	return r.journal(wal.RecQuery, id+" "+r.queries[id].sqlText)
 }
 
-// pushTuple routes a tuple to every query reading the stream, printing
-// results as JSON lines.
-func (r *REPL) pushTuple(streamName string, vals []randvar.Field, ts int64) (int, error) {
-	t, err := r.eng.NewTuple(streamName, vals)
-	if err != nil {
-		return 0, err
-	}
-	t.Time = ts
+// deliver pushes a built tuple to every query reading its stream (in
+// query-id order, so partial effects of a failing push are deterministic)
+// and prints results as JSON lines. The first push error is returned after
+// every query has been offered the tuple.
+func (r *REPL) deliver(streamName string, t *stream.Tuple) (int, error) {
 	want := strings.ToLower(streamName)
-	emitted := 0
+	ids := make([]string, 0, len(r.queries))
 	for id, rq := range r.queries {
-		if !rq.streams[want] {
-			continue
+		if rq.streams[want] {
+			ids = append(ids, id)
 		}
-		results, err := rq.query.Push(t)
-		if err != nil {
-			return emitted, fmt.Errorf("query %s: %w", id, err)
+	}
+	sort.Strings(ids)
+	emitted := 0
+	var firstErr error
+	for _, id := range ids {
+		results, err := r.queries[id].query.Push(t)
+		if err != nil && firstErr == nil {
+			firstErr = fmt.Errorf("query %s: %w", id, err)
 		}
 		for _, res := range results {
 			payload, err := json.Marshal(server.EncodeResult(res))
@@ -166,7 +363,57 @@ func (r *REPL) pushTuple(streamName string, vals []randvar.Field, ts int64) (int
 			emitted++
 		}
 	}
-	return emitted, nil
+	return emitted, firstErr
+}
+
+// pushTuple builds a tuple, delivers it, then journals the insert.
+func (r *REPL) pushTuple(streamName string, vals []randvar.Field, ts int64) (int, error) {
+	t, err := r.eng.NewTuple(streamName, vals)
+	if err != nil {
+		return 0, err
+	}
+	t.Time = ts
+	emitted, firstErr := r.deliver(streamName, t)
+	// The tuple consumed engine state (sequence number, query pushes), so
+	// journal even when a query errored — replay must repeat the effects.
+	specs := make([]string, len(vals))
+	for i, f := range vals {
+		specs[i] = server.FormatFieldSpec(f)
+	}
+	payload := streamName + " " + strconv.FormatInt(ts, 10) + " " + strings.Join(specs, " ")
+	if jerr := r.journal(wal.RecInsert, payload); jerr != nil && firstErr == nil {
+		firstErr = jerr
+	}
+	return emitted, firstErr
+}
+
+// applyInsertRecord replays one journaled insert ("<stream> <ts> <spec>
+// ..."). hard reports whether the failure happened before engine state
+// changed (those abort recovery; per-query push errors do not).
+func (r *REPL) applyInsertRecord(payload string) (hard bool, err error) {
+	fields := strings.Fields(payload)
+	if len(fields) < 3 {
+		return true, fmt.Errorf("malformed insert record %q", payload)
+	}
+	ts, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return true, fmt.Errorf("malformed insert timestamp %q", fields[1])
+	}
+	vals := make([]randvar.Field, 0, len(fields)-2)
+	for _, spec := range fields[2:] {
+		f, err := server.ParseFieldSpec(spec)
+		if err != nil {
+			return true, err
+		}
+		vals = append(vals, f)
+	}
+	t, err := r.eng.NewTuple(fields[0], vals)
+	if err != nil {
+		return true, err
+	}
+	t.Time = ts
+	_, err = r.deliver(fields[0], t)
+	return false, err
 }
 
 func (r *REPL) cmdInsert(rest string) error {
@@ -206,6 +453,8 @@ func (r *REPL) cmdLoad(rest string) error {
 	}
 	inserted, emitted := 0, 0
 	for _, lt := range tuples {
+		// pushTuple journals each learned tuple individually, so replay
+		// never re-reads (or depends on) the CSV.
 		n, err := r.pushTuple(fields[0], []randvar.Field{randvar.Det(lt.Key), lt.Field}, lt.Time)
 		emitted += n
 		if err != nil {
@@ -237,11 +486,18 @@ func (r *REPL) cmdStats(rest string) error {
 	return nil
 }
 
-func (r *REPL) cmdClose(rest string) error {
-	if _, ok := r.queries[rest]; !ok {
-		return fmt.Errorf("unknown query %q", rest)
+func (r *REPL) applyClose(id string) error {
+	if _, ok := r.queries[id]; !ok {
+		return fmt.Errorf("unknown query %q", id)
 	}
-	delete(r.queries, rest)
-	fmt.Fprintf(r.out, "closed %s\n", rest)
+	delete(r.queries, id)
+	fmt.Fprintf(r.out, "closed %s\n", id)
 	return nil
+}
+
+func (r *REPL) cmdClose(rest string) error {
+	if err := r.applyClose(rest); err != nil {
+		return err
+	}
+	return r.journal(wal.RecClose, rest)
 }

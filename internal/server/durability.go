@@ -1,0 +1,207 @@
+package server
+
+// Durability wiring: NewDurable opens the engine's DataDir, loads the
+// latest valid checkpoint, deterministically replays the write-ahead-log
+// suffix through the same apply paths live commands use, and then turns on
+// journaling. Because the engine RNGs are seeded from the engine
+// configuration and every consumer of randomness is restored (checkpointed
+// RNG states) or re-executed (WAL replay), a recovered server is
+// bit-identical to one that never crashed: the same inserts produce the
+// same results at any Workers setting.
+
+import (
+	"fmt"
+	"log"
+	"path/filepath"
+	"sort"
+
+	"repro/internal/checkpoint"
+	"repro/internal/core"
+	"repro/internal/wal"
+)
+
+// NewDurable returns a server honoring the engine's durability
+// configuration. With Config.DataDir empty it behaves exactly like New;
+// otherwise it recovers state from <DataDir>/checkpoints and <DataDir>/wal
+// and journals every subsequent state-changing command. Recovered queries
+// are detached (no owning connection); clients re-acquire result delivery
+// with ATTACH <id>.
+func NewDurable(engine *core.Engine, logger *log.Logger) (*Server, error) {
+	s, err := New(engine, logger)
+	if err != nil {
+		return nil, err
+	}
+	cfg := engine.Config()
+	if cfg.DataDir == "" {
+		return s, nil
+	}
+	policy, err := wal.ParseFsyncPolicy(cfg.FsyncPolicy)
+	if err != nil {
+		return nil, err
+	}
+	ckm, err := checkpoint.NewManager(filepath.Join(cfg.DataDir, "checkpoints"))
+	if err != nil {
+		return nil, err
+	}
+	snap, err := ckm.LoadLatest()
+	if err != nil {
+		return nil, err
+	}
+	from := uint64(1)
+	if snap != nil {
+		restored, err := checkpoint.Restore(engine, snap)
+		if err != nil {
+			return nil, fmt.Errorf("server: restoring checkpoint (lsn %d): %w", snap.LSN, err)
+		}
+		for _, r := range restored {
+			streams, err := sourceStreams(r.SQL)
+			if err != nil {
+				return nil, fmt.Errorf("server: restored query %s: %w", r.ID, err)
+			}
+			s.queries[r.ID] = &registeredQuery{
+				id: r.ID, sqlText: r.SQL, query: r.Query, streams: streams,
+			}
+		}
+		from = snap.LSN + 1
+		s.logf("recovery: checkpoint lsn=%d (%d streams, %d queries)",
+			snap.LSN, len(snap.Streams), len(snap.Queries))
+	}
+	wlog, err := wal.Open(filepath.Join(cfg.DataDir, "wal"), wal.Options{Policy: policy})
+	if err != nil {
+		return nil, err
+	}
+	if n := wlog.TruncatedBytes(); n > 0 {
+		s.logf("recovery: truncated %d torn-tail bytes from the WAL", n)
+	}
+	replayed := 0
+	if err := wlog.Replay(from, func(rec wal.Record) error {
+		replayed++
+		return s.applyRecord(rec)
+	}); err != nil {
+		wlog.Close()
+		return nil, fmt.Errorf("server: wal replay: %w", err)
+	}
+	s.logf("recovery: replayed %d wal records (lsn %d..%d)", replayed, from, wlog.LastLSN())
+	s.mu.Lock()
+	s.wal = wlog
+	s.ck = ckm
+	s.ckEvery = cfg.CheckpointEvery
+	s.mu.Unlock()
+	return s, nil
+}
+
+// applyRecord re-executes one journaled command during recovery, through
+// the same code paths live commands use.
+func (s *Server) applyRecord(rec wal.Record) error {
+	payload := string(rec.Payload)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	switch rec.Type {
+	case wal.RecStream:
+		if _, err := s.applyStreamLocked(payload); err != nil {
+			return fmt.Errorf("lsn %d (STREAM): %w", rec.LSN, err)
+		}
+	case wal.RecQuery:
+		id, sqlText := payload, ""
+		if idx := indexByteSpace(payload); idx >= 0 {
+			id, sqlText = payload[:idx], payload[idx+1:]
+		}
+		if err := s.applyQueryLocked(id, sqlText, nil); err != nil {
+			return fmt.Errorf("lsn %d (QUERY %s): %w", rec.LSN, id, err)
+		}
+	case wal.RecInsert:
+		_, _, pushErr, err := s.applyInsertLocked(payload, false)
+		if err != nil {
+			return fmt.Errorf("lsn %d (INSERT): %w", rec.LSN, err)
+		}
+		if pushErr != nil {
+			// The live run hit (and reported) the same per-query error;
+			// the partial effects are deterministic, so replay continues.
+			s.logf("replay lsn %d: %v", rec.LSN, pushErr)
+		}
+	case wal.RecClose:
+		if err := s.applyCloseLocked(payload); err != nil {
+			return fmt.Errorf("lsn %d (CLOSE): %w", rec.LSN, err)
+		}
+	default:
+		return fmt.Errorf("lsn %d: unknown record type %d", rec.LSN, rec.Type)
+	}
+	return nil
+}
+
+func indexByteSpace(s string) int {
+	for i := 0; i < len(s); i++ {
+		if s[i] == ' ' {
+			return i
+		}
+	}
+	return -1
+}
+
+// journalLocked appends one record to the WAL and checkpoints when the
+// cadence is due. No-op without durability. Caller holds s.mu.
+func (s *Server) journalLocked(typ wal.RecordType, payload string) error {
+	if s.wal == nil {
+		return nil
+	}
+	lsn, err := s.wal.Append(typ, []byte(payload))
+	if err != nil {
+		s.logf("wal append: %v", err)
+		return fmt.Errorf("wal append failed: %w", err)
+	}
+	s.sinceCk++
+	if s.ckEvery > 0 && s.sinceCk >= s.ckEvery {
+		if err := s.checkpointLocked(lsn); err != nil {
+			// A failed checkpoint is not fatal: the WAL still holds the
+			// full suffix after the previous checkpoint.
+			s.logf("checkpoint at lsn %d: %v", lsn, err)
+		} else {
+			s.sinceCk = 0
+		}
+	}
+	return nil
+}
+
+// checkpointLocked captures engine + query state as of lsn, persists it,
+// and drops WAL segments the snapshot covers. Caller holds s.mu.
+func (s *Server) checkpointLocked(lsn uint64) error {
+	defs := make([]checkpoint.QueryDef, 0, len(s.queries))
+	for _, rq := range s.queries {
+		defs = append(defs, checkpoint.QueryDef{ID: rq.id, SQL: rq.sqlText, Query: rq.query})
+	}
+	sort.Slice(defs, func(i, j int) bool { return defs[i].ID < defs[j].ID })
+	snap, err := checkpoint.Capture(s.engine, lsn, defs)
+	if err != nil {
+		return err
+	}
+	if err := s.ck.Save(snap); err != nil {
+		return err
+	}
+	if err := s.wal.TruncateThrough(lsn); err != nil {
+		s.logf("wal truncate through %d: %v", lsn, err)
+	}
+	s.logf("checkpoint: lsn=%d queries=%d", lsn, len(defs))
+	return nil
+}
+
+// finalizeDurable writes a shutdown checkpoint and closes the WAL. Safe to
+// call more than once.
+func (s *Server) finalizeDurable() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.wal == nil {
+		return nil
+	}
+	var err error
+	if lsn := s.wal.LastLSN(); lsn > 0 {
+		err = s.checkpointLocked(lsn)
+	}
+	if serr := s.wal.Sync(); err == nil {
+		err = serr
+	}
+	if cerr := s.wal.Close(); err == nil {
+		err = cerr
+	}
+	s.wal = nil
+	return err
+}

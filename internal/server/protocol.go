@@ -15,8 +15,17 @@
 //	STATS  <id>                         query counters
 //	EXPLAIN <id>                        compiled plan (quoted string)
 //	CLOSE  <id>                         drop a query
+//	ATTACH <id>                         claim delivery of a detached query
 //	PING                                liveness check
 //	QUIT                                close the connection
+//
+// ATTACH exists for durability: after crash recovery the server rebuilds
+// every checkpointed/journaled query, but the TCP connections that owned
+// them are gone, so recovered queries are "detached" — they keep consuming
+// inserts and updating state, with no DATA delivery. A client issues
+// ATTACH <id> to become the delivery target. Attaching to a query owned by
+// another live connection is an error. Attachment is transport state, not
+// database state: it is never journaled and does not survive a restart.
 //
 // Field syntax for INSERT:
 //
@@ -141,30 +150,27 @@ func FormatFieldSpec(f randvar.Field) string {
 	case dist.Normal:
 		return fmt.Sprintf("N(%g,%g,%d)", d.Mu, d.Sigma2, f.N)
 	case *dist.Histogram:
+		if d.Counts == nil {
+			// Without raw counts the H() syntax can't render the exact
+			// probabilities; fall through to the lossless codec form.
+			break
+		}
 		edges := make([]string, len(d.Edges))
 		for i, e := range d.Edges {
 			edges[i] = strconv.FormatFloat(e, 'g', -1, 64)
 		}
-		counts := make([]string, len(d.Probs))
-		if d.Counts != nil {
-			for i, c := range d.Counts {
-				counts[i] = strconv.Itoa(c)
-			}
-		} else {
-			// Approximate with scaled probabilities.
-			for i, p := range d.Probs {
-				counts[i] = strconv.Itoa(int(p*1000 + 0.5))
-			}
+		counts := make([]string, len(d.Counts))
+		for i, c := range d.Counts {
+			counts[i] = strconv.Itoa(c)
 		}
 		return fmt.Sprintf("H(%s|%s)", strings.Join(edges, ","), strings.Join(counts, ","))
-	default:
-		// Arbitrary distributions travel losslessly as codec JSON
-		// (compact, so it stays a single space-free token).
-		if data, err := codec.EncodeField(f); err == nil {
-			return "J" + string(data)
-		}
-		return fmt.Sprintf("N(%g,%g,%d)", f.Dist.Mean(), f.Dist.Variance(), f.N)
 	}
+	// Arbitrary distributions (and histograms without raw counts) travel
+	// losslessly as codec JSON (compact, so it stays a space-free token).
+	if data, err := codec.EncodeField(f); err == nil {
+		return "J" + string(data)
+	}
+	return fmt.Sprintf("N(%g,%g,%d)", f.Dist.Mean(), f.Dist.Variance(), f.N)
 }
 
 // IntervalJSON is a confidence interval in wire form.

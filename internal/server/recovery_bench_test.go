@@ -1,0 +1,49 @@
+package server
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/core"
+)
+
+// BenchmarkRecoveryReplay measures end-to-end crash recovery: NewDurable
+// on a data directory holding one stream, one windowed aggregate query,
+// and a WAL of journaled inserts. The seeding server is crashed (no final
+// checkpoint), so every insert replays through the engine.
+func BenchmarkRecoveryReplay(b *testing.B) {
+	for _, inserts := range []int{100, 1000} {
+		b.Run(fmt.Sprintf("inserts=%d", inserts), func(b *testing.B) {
+			dir := b.TempDir()
+			cfg := durableConfig(dir, 1, 1<<30) // never checkpoint: pure replay
+			cfg.FsyncPolicy = "none"
+			s, addr := startDurableServer(b, cfg)
+			tc := dialServer(b, addr)
+			tc.mustOK(crashStreamCmd)
+			tc.mustOK(crashQueryCmd)
+			for i := 0; i < inserts; i++ {
+				tc.mustOK(crashInsertCmd(i))
+			}
+			crash(s)
+			tc.c.Close()
+
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				eng, err := core.NewEngine(cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				rs, err := NewDurable(eng, nil)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.StopTimer()
+				rs.mu.Lock()
+				rs.wal.Close()
+				rs.wal = nil // skip the final checkpoint: keep the WAL replayable
+				rs.mu.Unlock()
+				b.StartTimer()
+			}
+		})
+	}
+}

@@ -7,18 +7,26 @@ import (
 	"fmt"
 	"log"
 	"net"
+	"sort"
 	"strconv"
 	"strings"
 	"sync"
 
+	"repro/internal/checkpoint"
 	"repro/internal/core"
 	"repro/internal/randvar"
 	"repro/internal/sql"
+	"repro/internal/wal"
 )
 
 // Server hosts one Engine over TCP. Safe for concurrent connections:
 // stream/query registries are guarded by mu, and tuple pushes are
 // serialized (the single-writer model of a stream engine).
+//
+// With durability enabled (see NewDurable), every state-changing command —
+// STREAM, QUERY, INSERT, CLOSE, and implicit query drops on disconnect —
+// is applied and journaled to the write-ahead log under the same mutex, so
+// the WAL order equals the apply order and replay is deterministic.
 type Server struct {
 	engine *core.Engine
 	logger *log.Logger
@@ -26,20 +34,31 @@ type Server struct {
 	mu       sync.Mutex
 	ln       net.Listener
 	queries  map[string]*registeredQuery
+	conns    map[uint64]net.Conn
 	closed   bool
 	connWG   sync.WaitGroup
 	nextConn uint64
+
+	// Durability (nil wal disables). sinceCk counts WAL records since the
+	// last checkpoint; at ckEvery a new checkpoint is captured inline.
+	wal     *wal.Log
+	ck      *checkpoint.Manager
+	ckEvery int
+	sinceCk int
 }
 
 type registeredQuery struct {
 	id      string
+	sqlText string
 	query   *core.Query
 	streams map[string]bool // lower-cased source stream names (2 for joins)
-	owner   *conn
+	// owner is the connection results are delivered to; nil for detached
+	// queries (recovered after a crash, until a client ATTACHes).
+	owner *conn
 }
 
 // New returns a server over the given engine. logger may be nil (logging
-// disabled).
+// disabled). Durability is off; use NewDurable to honor Config.DataDir.
 func New(engine *core.Engine, logger *log.Logger) (*Server, error) {
 	if engine == nil {
 		return nil, errors.New("server: nil engine")
@@ -48,6 +67,7 @@ func New(engine *core.Engine, logger *log.Logger) (*Server, error) {
 		engine:  engine,
 		logger:  logger,
 		queries: make(map[string]*registeredQuery),
+		conns:   make(map[uint64]net.Conn),
 	}, nil
 }
 
@@ -91,8 +111,8 @@ func (s *Server) Serve() error {
 	}
 }
 
-// Close stops accepting, closes the listener, and waits for connections to
-// finish.
+// Close stops accepting, closes the listener, waits for connections to
+// finish, and finalizes durability (final checkpoint, WAL sync+close).
 func (s *Server) Close() error {
 	s.mu.Lock()
 	s.closed = true
@@ -103,6 +123,37 @@ func (s *Server) Close() error {
 		err = ln.Close()
 	}
 	s.connWG.Wait()
+	if derr := s.finalizeDurable(); err == nil {
+		err = derr
+	}
+	return err
+}
+
+// Shutdown is the graceful-stop used on SIGINT/SIGTERM: it stops
+// accepting, closes every live connection (in-flight commands finish —
+// command dispatch is synchronous — but idle readers unblock), drains the
+// handler goroutines, writes a final checkpoint, and fsyncs and closes the
+// WAL.
+func (s *Server) Shutdown() error {
+	s.mu.Lock()
+	s.closed = true
+	ln := s.ln
+	conns := make([]net.Conn, 0, len(s.conns))
+	for _, nc := range s.conns {
+		conns = append(conns, nc)
+	}
+	s.mu.Unlock()
+	var err error
+	if ln != nil {
+		err = ln.Close()
+	}
+	for _, nc := range conns {
+		nc.Close()
+	}
+	s.connWG.Wait()
+	if derr := s.finalizeDurable(); err == nil {
+		err = derr
+	}
 	return err
 }
 
@@ -139,9 +190,15 @@ func (s *Server) handle(nc net.Conn) {
 	s.mu.Lock()
 	s.nextConn++
 	c := &conn{id: s.nextConn, c: nc, w: bufio.NewWriter(nc)}
+	s.conns[c.id] = nc
 	s.mu.Unlock()
 	s.logf("conn %d: open from %s", c.id, nc.RemoteAddr())
-	defer s.dropConnQueries(c)
+	defer func() {
+		s.dropConnQueries(c)
+		s.mu.Lock()
+		delete(s.conns, c.id)
+		s.mu.Unlock()
+	}()
 	scanner := bufio.NewScanner(nc)
 	scanner.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
 	for scanner.Scan() {
@@ -187,26 +244,67 @@ func (s *Server) dispatch(c *conn, line string) (bool, error) {
 		return false, s.cmdStats(c, rest)
 	case "EXPLAIN":
 		return false, s.cmdExplain(c, rest)
+	case "ATTACH":
+		return false, s.cmdAttach(c, rest)
 	case "CLOSE":
 		return false, s.cmdClose(c, rest)
 	}
 	return false, fmt.Errorf("unknown command %q", cmd)
 }
 
-func (s *Server) cmdStream(c *conn, rest string) error {
+// applyStreamLocked registers a stream from a STREAM command payload.
+// Caller holds s.mu.
+func (s *Server) applyStreamLocked(rest string) (string, error) {
 	fields := strings.Fields(rest)
 	if len(fields) < 2 {
-		return errors.New("usage: STREAM <name> <col>[:dist] ...")
+		return "", errors.New("usage: STREAM <name> <col>[:dist] ...")
 	}
 	schema, err := ParseStreamDef(fields[0], fields[1:])
 	if err != nil {
-		return err
+		return "", err
 	}
 	if err := s.engine.RegisterStream(schema); err != nil {
-		return err
+		return "", err
 	}
 	s.logf("stream %s registered (%d columns)", schema.Name, schema.Arity())
-	return c.writeLine("OK stream " + schema.Name)
+	return schema.Name, nil
+}
+
+func (s *Server) cmdStream(c *conn, rest string) error {
+	s.mu.Lock()
+	name, err := s.applyStreamLocked(rest)
+	if err == nil {
+		err = s.journalLocked(wal.RecStream, rest)
+	}
+	s.mu.Unlock()
+	if err != nil {
+		return err
+	}
+	return c.writeLine("OK stream " + name)
+}
+
+// applyQueryLocked compiles and registers a query. The duplicate-id check
+// runs before compilation so a rejected registration consumes no engine
+// sequence number (WAL replay must see identical seq evolution). Caller
+// holds s.mu.
+func (s *Server) applyQueryLocked(id, sqlText string, owner *conn) error {
+	if id == "" || sqlText == "" {
+		return errors.New("usage: QUERY <id> <sql>")
+	}
+	if _, dup := s.queries[id]; dup {
+		return fmt.Errorf("query id %q already in use", id)
+	}
+	streams, err := sourceStreams(sqlText)
+	if err != nil {
+		return err
+	}
+	q, err := s.engine.Compile(sqlText)
+	if err != nil {
+		return err
+	}
+	s.queries[id] = &registeredQuery{id: id, sqlText: sqlText, query: q, streams: streams, owner: owner}
+	s.logf("query %s registered: %s", id, sqlText)
+	return nil
 }
 
 func (s *Server) cmdQuery(c *conn, rest string) error {
@@ -215,30 +313,20 @@ func (s *Server) cmdQuery(c *conn, rest string) error {
 		return errors.New("usage: QUERY <id> <sql>")
 	}
 	id, sqlText := rest[:idx], strings.TrimSpace(rest[idx+1:])
-	if sqlText == "" {
-		return errors.New("usage: QUERY <id> <sql>")
-	}
-	q, err := s.engine.Compile(sqlText)
-	if err != nil {
-		return err
-	}
-	streams, err := sourceStreams(sqlText)
-	if err != nil {
-		return err
-	}
 	s.mu.Lock()
-	defer s.mu.Unlock()
-	if _, dup := s.queries[id]; dup {
-		return fmt.Errorf("query id %q already in use", id)
+	err := s.applyQueryLocked(id, sqlText, c)
+	if err == nil {
+		err = s.journalLocked(wal.RecQuery, id+" "+sqlText)
 	}
-	s.queries[id] = &registeredQuery{id: id, query: q, streams: streams, owner: c}
-	s.logf("query %s registered: %s", id, sqlText)
+	s.mu.Unlock()
+	if err != nil {
+		return err
+	}
 	return c.writeLine("OK query " + id)
 }
 
 // sourceStreams returns the lower-cased input stream names of a statement
-// (one for plain queries, two for joins). The statement already compiled,
-// so parsing cannot fail in practice.
+// (one for plain queries, two for joins).
 func sourceStreams(sqlText string) (map[string]bool, error) {
 	stmt, err := sql.Parse(sqlText)
 	if err != nil {
@@ -251,44 +339,51 @@ func sourceStreams(sqlText string) (map[string]bool, error) {
 	return out, nil
 }
 
-func (s *Server) cmdInsert(c *conn, rest string) error {
+// applyInsertLocked parses and pushes one tuple through every query on the
+// stream. err reports failures before any state changed (bad field spec,
+// unknown stream); pushErr reports per-query push failures after the tuple
+// entered the engine — the push loop continues through the remaining
+// queries so the applied state is independent of map iteration order,
+// which WAL replay determinism requires. Deliveries are built only when
+// wantDeliveries (replay discards results). Caller holds s.mu.
+func (s *Server) applyInsertLocked(rest string, wantDeliveries bool) (deliveries []func() error, emitted int, pushErr, err error) {
 	fields := strings.Fields(rest)
 	if len(fields) < 2 {
-		return errors.New("usage: INSERT <stream> <field> ...")
+		return nil, 0, nil, errors.New("usage: INSERT <stream> <field> ...")
 	}
 	streamName := fields[0]
 	vals := make([]randvar.Field, 0, len(fields)-1)
 	for _, spec := range fields[1:] {
-		f, err := ParseFieldSpec(spec)
-		if err != nil {
-			return err
+		f, perr := ParseFieldSpec(spec)
+		if perr != nil {
+			return nil, 0, nil, perr
 		}
 		vals = append(vals, f)
 	}
 	t, err := s.engine.NewTuple(streamName, vals)
 	if err != nil {
-		return err
+		return nil, 0, nil, err
 	}
-	// Push through every query on this stream under the server lock
-	// (single-writer execution).
-	s.mu.Lock()
-	var deliveries []func() error
 	want := strings.ToLower(streamName)
-	emitted := 0
+	var pushErrs []string
 	for _, rq := range s.queries {
 		if !rq.streams[want] {
 			continue
 		}
-		results, err := rq.query.Push(t)
-		if err != nil {
-			s.mu.Unlock()
-			return fmt.Errorf("query %s: %w", rq.id, err)
+		results, perr := rq.query.Push(t)
+		if perr != nil {
+			pushErrs = append(pushErrs, fmt.Sprintf("query %s: %v", rq.id, perr))
+			continue
+		}
+		if !wantDeliveries || rq.owner == nil {
+			emitted += len(results)
+			continue
 		}
 		for _, r := range results {
-			payload, err := json.Marshal(EncodeResult(r))
-			if err != nil {
-				s.mu.Unlock()
-				return err
+			payload, merr := json.Marshal(EncodeResult(r))
+			if merr != nil {
+				pushErrs = append(pushErrs, fmt.Sprintf("query %s: %v", rq.id, merr))
+				continue
 			}
 			owner, qid := rq.owner, rq.id
 			deliveries = append(deliveries, func() error {
@@ -297,11 +392,35 @@ func (s *Server) cmdInsert(c *conn, rest string) error {
 			emitted++
 		}
 	}
+	if len(pushErrs) > 0 {
+		sort.Strings(pushErrs)
+		pushErr = errors.New(strings.Join(pushErrs, "; "))
+	}
+	return deliveries, emitted, pushErr, nil
+}
+
+func (s *Server) cmdInsert(c *conn, rest string) error {
+	s.mu.Lock()
+	deliveries, emitted, pushErr, err := s.applyInsertLocked(rest, true)
+	if err != nil {
+		s.mu.Unlock()
+		return err
+	}
+	// The tuple entered the engine (and possibly some windows), so it is
+	// journaled even when a query's push failed: replay reproduces the
+	// same partial effects deterministically.
+	jerr := s.journalLocked(wal.RecInsert, rest)
 	s.mu.Unlock()
 	for _, deliver := range deliveries {
-		if err := deliver(); err != nil {
-			s.logf("deliver: %v", err)
+		if derr := deliver(); derr != nil {
+			s.logf("deliver: %v", derr)
 		}
+	}
+	if pushErr != nil {
+		return pushErr
+	}
+	if jerr != nil {
+		return jerr
 	}
 	return c.writeLine(fmt.Sprintf("OK inserted results=%d", emitted))
 }
@@ -335,27 +454,64 @@ func (s *Server) cmdExplain(c *conn, rest string) error {
 	return c.writeLine("OK " + strconv.Quote(rq.query.Explain()))
 }
 
+// cmdAttach takes delivery ownership of a detached query — one recovered
+// from a checkpoint/WAL after a crash, whose results would otherwise be
+// computed but not delivered. Ownership is transport state, not engine
+// state, so ATTACH is not journaled.
+func (s *Server) cmdAttach(c *conn, rest string) error {
+	id := strings.TrimSpace(rest)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	rq, ok := s.queries[id]
+	if !ok {
+		return fmt.Errorf("unknown query %q", id)
+	}
+	if rq.owner != nil && rq.owner != c {
+		return fmt.Errorf("query %q is owned by another connection", id)
+	}
+	rq.owner = c
+	return c.writeLine("OK attached " + id)
+}
+
+// applyCloseLocked drops a query. Caller holds s.mu.
+func (s *Server) applyCloseLocked(id string) error {
+	if _, ok := s.queries[id]; !ok {
+		return fmt.Errorf("unknown query %q", id)
+	}
+	delete(s.queries, id)
+	return nil
+}
+
 func (s *Server) cmdClose(c *conn, rest string) error {
 	id := strings.TrimSpace(rest)
 	s.mu.Lock()
-	_, ok := s.queries[id]
-	if ok {
-		delete(s.queries, id)
+	err := s.applyCloseLocked(id)
+	if err == nil {
+		err = s.journalLocked(wal.RecClose, id)
 	}
 	s.mu.Unlock()
-	if !ok {
-		return fmt.Errorf("unknown query %q", id)
+	if err != nil {
+		return err
 	}
 	return c.writeLine("OK closed " + id)
 }
 
-// dropConnQueries removes queries owned by a departing connection.
+// dropConnQueries removes queries owned by a departing connection,
+// journaling each removal so WAL replay reproduces the registry exactly.
 func (s *Server) dropConnQueries(c *conn) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	var dropped []string
 	for id, rq := range s.queries {
 		if rq.owner == c {
-			delete(s.queries, id)
+			dropped = append(dropped, id)
+		}
+	}
+	sort.Strings(dropped)
+	for _, id := range dropped {
+		delete(s.queries, id)
+		if err := s.journalLocked(wal.RecClose, id); err != nil {
+			s.logf("journal close %s: %v", id, err)
 		}
 	}
 }

@@ -70,6 +70,23 @@ func (w *CountWindow) Do(fn func(*Tuple)) {
 	}
 }
 
+// RestoreTuples replaces the window contents with tuples (oldest-first),
+// e.g. when a checkpointed window is reloaded during crash recovery. It
+// fails if tuples exceed the window capacity.
+func (w *CountWindow) RestoreTuples(tuples []*Tuple) error {
+	if len(tuples) > len(w.buf) {
+		return fmt.Errorf("stream: restoring %d tuples into count window of %d",
+			len(tuples), len(w.buf))
+	}
+	for i := range w.buf {
+		w.buf[i] = nil
+	}
+	copy(w.buf, tuples)
+	w.head = 0
+	w.count = len(tuples)
+	return nil
+}
+
 // TimeWindow is a time-based sliding window: it retains tuples whose Time
 // is within Span of the most recently pushed tuple's Time. Tuples must be
 // pushed in non-decreasing Time order.
@@ -122,4 +139,19 @@ func (w *TimeWindow) Tuples() []*Tuple {
 // the extended slice.
 func (w *TimeWindow) AppendTuples(dst []*Tuple) []*Tuple {
 	return append(dst, w.buf...)
+}
+
+// RestoreTuples replaces the window contents with tuples (oldest-first, in
+// non-decreasing Time order), e.g. when a checkpointed window is reloaded
+// during crash recovery. No span-based eviction is applied: the contents
+// are restored exactly as captured.
+func (w *TimeWindow) RestoreTuples(tuples []*Tuple) error {
+	for i := 1; i < len(tuples); i++ {
+		if tuples[i].Time < tuples[i-1].Time {
+			return fmt.Errorf("stream: restoring out-of-order tuples: time %d after %d",
+				tuples[i].Time, tuples[i-1].Time)
+		}
+	}
+	w.buf = append(w.buf[:0], tuples...)
+	return nil
 }

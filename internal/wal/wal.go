@@ -1,0 +1,571 @@
+// Package wal implements the write-ahead log of the durability subsystem:
+// an append-only, CRC32-framed, segment-rotated journal of engine commands
+// (tuple inserts, stream DDL, query registrations and closes).
+//
+// # On-disk format
+//
+// A log is a directory of segment files named by the LSN of their first
+// record:
+//
+//	0000000000000001.wal
+//	00000000000003e9.wal
+//	...
+//
+// Each segment is a sequence of frames:
+//
+//	+----------+----------+===========================+
+//	| len u32  | crc u32  | payload (len bytes)       |
+//	+----------+----------+===========================+
+//	payload = | lsn u64 | type u8 | data ... |
+//
+// All integers are little-endian; crc is CRC-32C (Castagnoli) over the
+// payload. LSNs start at 1 and increase by exactly 1 per record across
+// segment boundaries, so replay can detect missing segments.
+//
+// # Failure semantics
+//
+// Open truncates a torn tail: scanning the last segment, the first frame
+// that is short, oversized, CRC-corrupt, or LSN-discontinuous ends the
+// valid region, and the file is truncated there (a crash mid-append leaves
+// at most one partial frame). Corruption anywhere else — an earlier
+// segment, or a gap in the LSN sequence — is reported as ErrCorrupt by
+// Replay, never a panic: the operator must intervene rather than silently
+// losing interior history.
+//
+// # Fsync policy
+//
+// FsyncAlways syncs after every append (group-commit durability),
+// FsyncInterval syncs from a background goroutine every SyncInterval
+// (bounded data loss, default 100ms), FsyncNone leaves syncing to the OS.
+// Every append is flushed to the OS immediately regardless of policy; the
+// policy only governs fsync.
+package wal
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+const (
+	headerSize = 8 // u32 length + u32 crc
+	metaSize   = 9 // u64 lsn + u8 type inside the payload
+
+	// MaxRecordBytes bounds a single record; larger length fields are
+	// treated as corruption (they would otherwise force huge allocations).
+	MaxRecordBytes = 16 << 20
+
+	// DefaultSegmentBytes is the rotation threshold.
+	DefaultSegmentBytes = 4 << 20
+
+	// DefaultSyncInterval is the FsyncInterval cadence.
+	DefaultSyncInterval = 100 * time.Millisecond
+
+	segSuffix = ".wal"
+)
+
+// ErrCorrupt reports an invalid frame (bad CRC, short frame, absurd
+// length, or LSN discontinuity) outside the truncatable tail.
+var ErrCorrupt = errors.New("wal: corrupt record")
+
+// ErrClosed reports use of a closed log.
+var ErrClosed = errors.New("wal: log closed")
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// FsyncPolicy selects when appends reach stable storage.
+type FsyncPolicy int
+
+const (
+	// FsyncAlways syncs after every append.
+	FsyncAlways FsyncPolicy = iota
+	// FsyncInterval syncs on a background timer.
+	FsyncInterval
+	// FsyncNone never syncs explicitly.
+	FsyncNone
+)
+
+// ParseFsyncPolicy parses "always", "interval", or "none".
+func ParseFsyncPolicy(s string) (FsyncPolicy, error) {
+	switch strings.ToLower(s) {
+	case "always":
+		return FsyncAlways, nil
+	case "interval":
+		return FsyncInterval, nil
+	case "none":
+		return FsyncNone, nil
+	}
+	return 0, fmt.Errorf("wal: unknown fsync policy %q (want always | interval | none)", s)
+}
+
+func (p FsyncPolicy) String() string {
+	switch p {
+	case FsyncAlways:
+		return "always"
+	case FsyncInterval:
+		return "interval"
+	case FsyncNone:
+		return "none"
+	}
+	return fmt.Sprintf("FsyncPolicy(%d)", int(p))
+}
+
+// RecordType tags what a record carries.
+type RecordType uint8
+
+const (
+	// RecInsert is one ingested tuple (INSERT command payload).
+	RecInsert RecordType = 1
+	// RecStream is a stream DDL registration (STREAM command payload).
+	RecStream RecordType = 2
+	// RecQuery is a continuous-query registration ("id sql").
+	RecQuery RecordType = 3
+	// RecClose is a query deregistration ("id").
+	RecClose RecordType = 4
+)
+
+// Record is one journaled command.
+type Record struct {
+	LSN     uint64
+	Type    RecordType
+	Payload []byte
+}
+
+// Options tunes a Log. The zero value is usable: FsyncAlways policy,
+// default segment size and sync interval.
+type Options struct {
+	Policy       FsyncPolicy
+	SyncInterval time.Duration
+	SegmentBytes int64
+}
+
+func (o Options) normalize() Options {
+	if o.SyncInterval <= 0 {
+		o.SyncInterval = DefaultSyncInterval
+	}
+	if o.SegmentBytes <= 0 {
+		o.SegmentBytes = DefaultSegmentBytes
+	}
+	return o
+}
+
+// Log is an append-only write-ahead log. Safe for concurrent use.
+type Log struct {
+	dir  string
+	opts Options
+
+	mu        sync.Mutex
+	f         *os.File
+	w         *bufio.Writer
+	segFirst  uint64 // LSN of the current segment's first record
+	size      int64  // bytes written to the current segment
+	nextLSN   uint64
+	dirty     bool // bytes flushed to the OS but not fsynced
+	closed    bool
+	truncated int64 // torn-tail bytes dropped at Open
+
+	stop chan struct{}
+	done chan struct{}
+}
+
+// Open opens (creating if needed) the log directory, truncates any torn
+// tail of the last segment, and positions the log for appending.
+func Open(dir string, opts Options) (*Log, error) {
+	opts = opts.normalize()
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("wal: %w", err)
+	}
+	segs, err := listSegments(dir)
+	if err != nil {
+		return nil, err
+	}
+	l := &Log{dir: dir, opts: opts}
+	if len(segs) == 0 {
+		if err := l.openSegment(1); err != nil {
+			return nil, err
+		}
+		l.nextLSN = 1
+	} else {
+		last := segs[len(segs)-1]
+		validLen, lastLSN, _, err := scanSegment(last.path, last.first)
+		if err != nil {
+			return nil, err
+		}
+		fi, err := os.Stat(last.path)
+		if err != nil {
+			return nil, fmt.Errorf("wal: %w", err)
+		}
+		if fi.Size() > validLen {
+			l.truncated = fi.Size() - validLen
+			if err := os.Truncate(last.path, validLen); err != nil {
+				return nil, fmt.Errorf("wal: truncating torn tail: %w", err)
+			}
+		}
+		f, err := os.OpenFile(last.path, os.O_WRONLY, 0)
+		if err != nil {
+			return nil, fmt.Errorf("wal: %w", err)
+		}
+		if _, err := f.Seek(validLen, io.SeekStart); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("wal: %w", err)
+		}
+		l.f = f
+		l.w = bufio.NewWriter(f)
+		l.segFirst = last.first
+		l.size = validLen
+		l.nextLSN = lastLSN + 1
+	}
+	if opts.Policy == FsyncInterval {
+		l.stop = make(chan struct{})
+		l.done = make(chan struct{})
+		go l.syncLoop()
+	}
+	return l, nil
+}
+
+func (l *Log) syncLoop() {
+	defer close(l.done)
+	t := time.NewTicker(l.opts.SyncInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-t.C:
+			l.Sync()
+		case <-l.stop:
+			return
+		}
+	}
+}
+
+// Append journals one record and returns its LSN.
+func (l *Log) Append(typ RecordType, payload []byte) (uint64, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return 0, ErrClosed
+	}
+	frameLen := int64(headerSize + metaSize + len(payload))
+	if frameLen > MaxRecordBytes {
+		return 0, fmt.Errorf("wal: record of %d bytes exceeds MaxRecordBytes", len(payload))
+	}
+	if l.size > 0 && l.size+frameLen > l.opts.SegmentBytes {
+		if err := l.rotateLocked(); err != nil {
+			return 0, err
+		}
+	}
+	lsn := l.nextLSN
+	var hdr [headerSize + metaSize]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], uint32(metaSize+len(payload)))
+	binary.LittleEndian.PutUint64(hdr[8:16], lsn)
+	hdr[16] = byte(typ)
+	crc := crc32.Update(0, castagnoli, hdr[8:])
+	crc = crc32.Update(crc, castagnoli, payload)
+	binary.LittleEndian.PutUint32(hdr[4:8], crc)
+	if _, err := l.w.Write(hdr[:]); err != nil {
+		return 0, fmt.Errorf("wal: %w", err)
+	}
+	if _, err := l.w.Write(payload); err != nil {
+		return 0, fmt.Errorf("wal: %w", err)
+	}
+	if err := l.w.Flush(); err != nil {
+		return 0, fmt.Errorf("wal: %w", err)
+	}
+	l.size += frameLen
+	l.nextLSN++
+	l.dirty = true
+	if l.opts.Policy == FsyncAlways {
+		if err := l.f.Sync(); err != nil {
+			return 0, fmt.Errorf("wal: %w", err)
+		}
+		l.dirty = false
+	}
+	return lsn, nil
+}
+
+// rotateLocked finalizes the current segment and starts one at nextLSN.
+func (l *Log) rotateLocked() error {
+	if err := l.w.Flush(); err != nil {
+		return fmt.Errorf("wal: %w", err)
+	}
+	if err := l.f.Sync(); err != nil {
+		return fmt.Errorf("wal: %w", err)
+	}
+	if err := l.f.Close(); err != nil {
+		return fmt.Errorf("wal: %w", err)
+	}
+	return l.openSegment(l.nextLSN)
+}
+
+// openSegment creates the segment whose first record will be first.
+func (l *Log) openSegment(first uint64) error {
+	path := filepath.Join(l.dir, segName(first))
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return fmt.Errorf("wal: %w", err)
+	}
+	l.f = f
+	l.w = bufio.NewWriter(f)
+	l.segFirst = first
+	l.size = 0
+	l.dirty = false
+	return syncDir(l.dir)
+}
+
+// Sync flushes buffered appends and fsyncs the current segment.
+func (l *Log) Sync() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.syncLocked()
+}
+
+func (l *Log) syncLocked() error {
+	if l.closed {
+		return ErrClosed
+	}
+	if err := l.w.Flush(); err != nil {
+		return fmt.Errorf("wal: %w", err)
+	}
+	if !l.dirty {
+		return nil
+	}
+	if err := l.f.Sync(); err != nil {
+		return fmt.Errorf("wal: %w", err)
+	}
+	l.dirty = false
+	return nil
+}
+
+// Close syncs and closes the log. Further operations return ErrClosed.
+func (l *Log) Close() error {
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		return nil
+	}
+	err := l.syncLocked()
+	l.closed = true
+	if cerr := l.f.Close(); err == nil && cerr != nil {
+		err = fmt.Errorf("wal: %w", cerr)
+	}
+	stop := l.stop
+	l.mu.Unlock()
+	if stop != nil {
+		close(stop)
+		<-l.done
+	}
+	return err
+}
+
+// LastLSN returns the LSN of the most recent record (0 when empty).
+func (l *Log) LastLSN() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.nextLSN - 1
+}
+
+// TruncatedBytes reports how many torn-tail bytes Open discarded.
+func (l *Log) TruncatedBytes() int64 { return l.truncated }
+
+// Replay calls fn for every record with LSN ≥ from, in order, verifying
+// frame integrity and LSN continuity. It returns ErrCorrupt (wrapped with
+// detail) on any invalid interior frame or missing segment; an error from
+// fn aborts the replay.
+func (l *Log) Replay(from uint64, fn func(Record) error) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return ErrClosed
+	}
+	if err := l.w.Flush(); err != nil {
+		return fmt.Errorf("wal: %w", err)
+	}
+	segs, err := listSegments(l.dir)
+	if err != nil {
+		return err
+	}
+	expect := uint64(0) // next LSN expected; 0 = take from first segment
+	for i, seg := range segs {
+		if expect != 0 && seg.first != expect {
+			return fmt.Errorf("%w: segment %s starts at lsn %d, want %d (missing segment?)",
+				ErrCorrupt, filepath.Base(seg.path), seg.first, expect)
+		}
+		// Skip segments entirely below the replay point (their last
+		// record is first(next)-1).
+		if i+1 < len(segs) && segs[i+1].first <= from {
+			expect = segs[i+1].first
+			continue
+		}
+		last, err := replaySegment(seg.path, seg.first, from, fn)
+		if err != nil {
+			return err
+		}
+		expect = last + 1
+	}
+	return nil
+}
+
+// TruncateThrough removes segments whose records all have LSN ≤ lsn. The
+// current segment is never removed. Call after a checkpoint at lsn: the
+// remaining suffix is exactly what recovery must replay.
+func (l *Log) TruncateThrough(lsn uint64) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return ErrClosed
+	}
+	segs, err := listSegments(l.dir)
+	if err != nil {
+		return err
+	}
+	for i, seg := range segs {
+		if i+1 >= len(segs) || seg.first == l.segFirst {
+			break // never the last/current segment
+		}
+		if segs[i+1].first-1 > lsn {
+			break // segment holds records beyond lsn
+		}
+		if err := os.Remove(seg.path); err != nil {
+			return fmt.Errorf("wal: %w", err)
+		}
+	}
+	return syncDir(l.dir)
+}
+
+type segment struct {
+	first uint64
+	path  string
+}
+
+func segName(first uint64) string {
+	return fmt.Sprintf("%016x%s", first, segSuffix)
+}
+
+func listSegments(dir string) ([]segment, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("wal: %w", err)
+	}
+	var segs []segment
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, segSuffix) {
+			continue
+		}
+		first, err := strconv.ParseUint(strings.TrimSuffix(name, segSuffix), 16, 64)
+		if err != nil || first == 0 {
+			continue // foreign file; ignore
+		}
+		segs = append(segs, segment{first: first, path: filepath.Join(dir, name)})
+	}
+	sort.Slice(segs, func(i, j int) bool { return segs[i].first < segs[j].first })
+	return segs, nil
+}
+
+// scanSegment validates frames sequentially and returns the length of the
+// valid prefix and the last valid LSN (first-1 when the segment holds no
+// valid record). Invalid tails are expected (torn appends) and simply end
+// the scan; only I/O errors are returned.
+func scanSegment(path string, first uint64) (validLen int64, lastLSN uint64, nrec int, err error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return 0, 0, 0, fmt.Errorf("wal: %w", err)
+	}
+	defer f.Close()
+	r := bufio.NewReader(f)
+	lastLSN = first - 1
+	for {
+		_, frameLen, ferr := readFrame(r, lastLSN+1)
+		if ferr != nil {
+			return validLen, lastLSN, nrec, nil // torn/corrupt tail ends the valid prefix
+		}
+		validLen += frameLen
+		lastLSN++
+		nrec++
+	}
+}
+
+// replaySegment reads a fully-valid segment, calling fn for records with
+// LSN ≥ from; any invalid frame is ErrCorrupt (Open already truncated the
+// legitimate torn tail).
+func replaySegment(path string, first, from uint64, fn func(Record) error) (lastLSN uint64, err error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return 0, fmt.Errorf("wal: %w", err)
+	}
+	defer f.Close()
+	r := bufio.NewReader(f)
+	lastLSN = first - 1
+	for {
+		rec, _, ferr := readFrame(r, lastLSN+1)
+		if ferr == io.EOF {
+			return lastLSN, nil
+		}
+		if ferr != nil {
+			return lastLSN, fmt.Errorf("%w: %s at lsn %d: %v",
+				ErrCorrupt, filepath.Base(path), lastLSN+1, ferr)
+		}
+		lastLSN++
+		if rec.LSN >= from {
+			if err := fn(rec); err != nil {
+				return lastLSN, err
+			}
+		}
+	}
+}
+
+// readFrame decodes one frame, verifying length sanity, CRC, and that the
+// record carries wantLSN. io.EOF means a clean end; any other error means
+// the frame is invalid.
+func readFrame(r *bufio.Reader, wantLSN uint64) (Record, int64, error) {
+	var hdr [headerSize]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		if err == io.EOF {
+			return Record{}, 0, io.EOF
+		}
+		return Record{}, 0, fmt.Errorf("short header: %v", err)
+	}
+	length := binary.LittleEndian.Uint32(hdr[0:4])
+	crc := binary.LittleEndian.Uint32(hdr[4:8])
+	if length < metaSize || int64(length) > MaxRecordBytes-headerSize {
+		return Record{}, 0, fmt.Errorf("bad length %d", length)
+	}
+	payload := make([]byte, length)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return Record{}, 0, fmt.Errorf("short frame: %v", err)
+	}
+	if crc32.Checksum(payload, castagnoli) != crc {
+		return Record{}, 0, errors.New("bad crc")
+	}
+	lsn := binary.LittleEndian.Uint64(payload[0:8])
+	if lsn != wantLSN {
+		return Record{}, 0, fmt.Errorf("lsn %d, want %d", lsn, wantLSN)
+	}
+	return Record{
+		LSN:     lsn,
+		Type:    RecordType(payload[8]),
+		Payload: payload[metaSize:],
+	}, int64(headerSize) + int64(length), nil
+}
+
+// syncDir fsyncs a directory so renames/creates/removes are durable.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return fmt.Errorf("wal: %w", err)
+	}
+	defer d.Close()
+	if err := d.Sync(); err != nil {
+		return fmt.Errorf("wal: sync dir: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,419 @@
+package wal
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+func mustOpen(t *testing.T, dir string, opts Options) *Log {
+	t.Helper()
+	l, err := Open(dir, opts)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	return l
+}
+
+func appendN(t *testing.T, l *Log, n int, prefix string) {
+	t.Helper()
+	for i := 0; i < n; i++ {
+		typ := RecordType(i%4 + 1)
+		if _, err := l.Append(typ, []byte(fmt.Sprintf("%s-%d", prefix, i))); err != nil {
+			t.Fatalf("Append %d: %v", i, err)
+		}
+	}
+}
+
+func collect(t *testing.T, l *Log, from uint64) []Record {
+	t.Helper()
+	var recs []Record
+	if err := l.Replay(from, func(r Record) error {
+		recs = append(recs, r)
+		return nil
+	}); err != nil {
+		t.Fatalf("Replay(%d): %v", from, err)
+	}
+	return recs
+}
+
+func TestAppendReplayRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	l := mustOpen(t, dir, Options{})
+	defer l.Close()
+
+	payloads := [][]byte{[]byte("a"), []byte(""), []byte("hello world"), bytes.Repeat([]byte("x"), 10000)}
+	types := []RecordType{RecInsert, RecStream, RecQuery, RecClose}
+	for i := range payloads {
+		lsn, err := l.Append(types[i], payloads[i])
+		if err != nil {
+			t.Fatalf("Append: %v", err)
+		}
+		if want := uint64(i + 1); lsn != want {
+			t.Fatalf("lsn = %d, want %d", lsn, want)
+		}
+	}
+	if got := l.LastLSN(); got != 4 {
+		t.Fatalf("LastLSN = %d, want 4", got)
+	}
+	recs := collect(t, l, 1)
+	if len(recs) != 4 {
+		t.Fatalf("replayed %d records, want 4", len(recs))
+	}
+	for i, r := range recs {
+		if r.LSN != uint64(i+1) || r.Type != types[i] || !bytes.Equal(r.Payload, payloads[i]) {
+			t.Fatalf("record %d = {%d %d %q}, want {%d %d %q}",
+				i, r.LSN, r.Type, r.Payload, i+1, types[i], payloads[i])
+		}
+	}
+	if recs := collect(t, l, 3); len(recs) != 2 || recs[0].LSN != 3 {
+		t.Fatalf("Replay(3) = %v, want records 3..4", recs)
+	}
+	if recs := collect(t, l, 99); len(recs) != 0 {
+		t.Fatalf("Replay(99) = %v, want none", recs)
+	}
+}
+
+func TestRotationAndReopen(t *testing.T) {
+	dir := t.TempDir()
+	// Tiny segments force rotation every few records.
+	opts := Options{SegmentBytes: 64}
+	l := mustOpen(t, dir, opts)
+	appendN(t, l, 20, "rec")
+	if err := l.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	segs, err := listSegments(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(segs) < 3 {
+		t.Fatalf("got %d segments, want rotation to produce ≥ 3", len(segs))
+	}
+
+	l = mustOpen(t, dir, opts)
+	defer l.Close()
+	if got := l.LastLSN(); got != 20 {
+		t.Fatalf("LastLSN after reopen = %d, want 20", got)
+	}
+	appendN(t, l, 5, "more")
+	recs := collect(t, l, 1)
+	if len(recs) != 25 {
+		t.Fatalf("replayed %d records across segments, want 25", len(recs))
+	}
+	for i, r := range recs {
+		if r.LSN != uint64(i+1) {
+			t.Fatalf("record %d has lsn %d, want contiguous %d", i, r.LSN, i+1)
+		}
+	}
+}
+
+// lastSegPath returns the path of the newest segment.
+func lastSegPath(t *testing.T, dir string) string {
+	t.Helper()
+	segs, err := listSegments(dir)
+	if err != nil || len(segs) == 0 {
+		t.Fatalf("listSegments: %v (%d segments)", err, len(segs))
+	}
+	return segs[len(segs)-1].path
+}
+
+func TestTornTailTruncation(t *testing.T) {
+	cases := []struct {
+		name string
+		tear func(t *testing.T, path string)
+	}{
+		{"partial header", func(t *testing.T, path string) {
+			appendRaw(t, path, []byte{0x01, 0x02, 0x03})
+		}},
+		{"header without payload", func(t *testing.T, path string) {
+			// Claims 100 payload bytes that never made it to disk.
+			appendRaw(t, path, []byte{100, 0, 0, 0, 0xde, 0xad, 0xbe, 0xef})
+		}},
+		{"bad crc tail", func(t *testing.T, path string) {
+			// A structurally complete frame whose CRC doesn't match.
+			frame := make([]byte, headerSize+metaSize+3)
+			frame[0] = metaSize + 3
+			appendRaw(t, path, frame)
+		}},
+		{"garbage tail", func(t *testing.T, path string) {
+			appendRaw(t, path, bytes.Repeat([]byte{0xff}, 50))
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			dir := t.TempDir()
+			l := mustOpen(t, dir, Options{})
+			appendN(t, l, 3, "ok")
+			if err := l.Close(); err != nil {
+				t.Fatal(err)
+			}
+			tc.tear(t, lastSegPath(t, dir))
+
+			l = mustOpen(t, dir, Options{})
+			defer l.Close()
+			if l.TruncatedBytes() == 0 {
+				t.Fatal("TruncatedBytes = 0, want the torn tail dropped")
+			}
+			if got := l.LastLSN(); got != 3 {
+				t.Fatalf("LastLSN = %d, want 3 (valid prefix)", got)
+			}
+			// The log must accept appends cleanly after truncation.
+			if lsn, err := l.Append(RecInsert, []byte("after")); err != nil || lsn != 4 {
+				t.Fatalf("Append after truncation = (%d, %v), want (4, nil)", lsn, err)
+			}
+			recs := collect(t, l, 1)
+			if len(recs) != 4 || string(recs[3].Payload) != "after" {
+				t.Fatalf("replayed %d records, want 4 ending in %q", len(recs), "after")
+			}
+		})
+	}
+}
+
+func appendRaw(t *testing.T, path string, data []byte) {
+	t.Helper()
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write(data); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// corruptAt flips one byte of the file at offset.
+func corruptAt(t *testing.T, path string, off int64) {
+	t.Helper()
+	f, err := os.OpenFile(path, os.O_RDWR, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b [1]byte
+	if _, err := f.ReadAt(b[:], off); err != nil {
+		t.Fatal(err)
+	}
+	b[0] ^= 0xff
+	if _, err := f.WriteAt(b[:], off); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// multiSegLog builds a log with several sealed segments and returns the
+// open log plus the sorted segment list (≥ 3 segments).
+func multiSegLog(t *testing.T) (*Log, string, []segment) {
+	t.Helper()
+	dir := t.TempDir()
+	l := mustOpen(t, dir, Options{SegmentBytes: 64})
+	appendN(t, l, 20, "rec")
+	segs, err := listSegments(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(segs) < 3 {
+		t.Fatalf("want ≥ 3 segments, got %d", len(segs))
+	}
+	return l, dir, segs
+}
+
+func TestInteriorCorruptionIsErrCorrupt(t *testing.T) {
+	t.Run("bad crc in sealed segment", func(t *testing.T) {
+		l, _, segs := multiSegLog(t)
+		defer l.Close()
+		// Flip a payload byte of the first record in the first segment.
+		corruptAt(t, segs[0].path, headerSize+metaSize)
+		err := l.Replay(1, func(Record) error { return nil })
+		if !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("Replay = %v, want ErrCorrupt", err)
+		}
+	})
+	t.Run("absurd length in sealed segment", func(t *testing.T) {
+		l, _, segs := multiSegLog(t)
+		defer l.Close()
+		f, err := os.OpenFile(segs[0].path, os.O_RDWR, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := f.WriteAt([]byte{0xff, 0xff, 0xff, 0xff}, 0); err != nil {
+			t.Fatal(err)
+		}
+		f.Close()
+		err = l.Replay(1, func(Record) error { return nil })
+		if !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("Replay = %v, want ErrCorrupt", err)
+		}
+	})
+	t.Run("truncated sealed segment", func(t *testing.T) {
+		l, _, segs := multiSegLog(t)
+		defer l.Close()
+		fi, err := os.Stat(segs[0].path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.Truncate(segs[0].path, fi.Size()-3); err != nil {
+			t.Fatal(err)
+		}
+		err = l.Replay(1, func(Record) error { return nil })
+		if !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("Replay = %v, want ErrCorrupt", err)
+		}
+	})
+	t.Run("missing segment", func(t *testing.T) {
+		l, _, segs := multiSegLog(t)
+		defer l.Close()
+		if err := os.Remove(segs[1].path); err != nil {
+			t.Fatal(err)
+		}
+		err := l.Replay(1, func(Record) error { return nil })
+		if !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("Replay = %v, want ErrCorrupt", err)
+		}
+	})
+}
+
+func TestReplayCallbackErrorAborts(t *testing.T) {
+	dir := t.TempDir()
+	l := mustOpen(t, dir, Options{})
+	defer l.Close()
+	appendN(t, l, 5, "rec")
+	boom := errors.New("boom")
+	n := 0
+	err := l.Replay(1, func(Record) error {
+		n++
+		if n == 3 {
+			return boom
+		}
+		return nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("Replay = %v, want the callback error", err)
+	}
+	if n != 3 {
+		t.Fatalf("callback ran %d times, want replay to stop at 3", n)
+	}
+}
+
+func TestTruncateThrough(t *testing.T) {
+	l, dir, segs := multiSegLog(t)
+	defer l.Close()
+	// Checkpoint "covers" everything through the last record of the
+	// second-to-last segment.
+	ckLSN := segs[len(segs)-1].first - 1
+	if err := l.TruncateThrough(ckLSN); err != nil {
+		t.Fatalf("TruncateThrough: %v", err)
+	}
+	remaining, err := listSegments(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(remaining) != 1 {
+		t.Fatalf("%d segments remain, want 1 (current)", len(remaining))
+	}
+	// The suffix after the checkpoint must still replay.
+	recs := collect(t, l, ckLSN+1)
+	if len(recs) == 0 || recs[0].LSN != ckLSN+1 {
+		t.Fatalf("suffix replay = %v, want records from %d", recs, ckLSN+1)
+	}
+	// And appends continue.
+	if _, err := l.Append(RecInsert, []byte("post")); err != nil {
+		t.Fatalf("Append after truncate: %v", err)
+	}
+}
+
+func TestClosedLogRejectsOperations(t *testing.T) {
+	dir := t.TempDir()
+	l := mustOpen(t, dir, Options{})
+	appendN(t, l, 1, "rec")
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil { // idempotent
+		t.Fatalf("second Close: %v", err)
+	}
+	if _, err := l.Append(RecInsert, []byte("x")); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Append on closed = %v, want ErrClosed", err)
+	}
+	if err := l.Sync(); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Sync on closed = %v, want ErrClosed", err)
+	}
+	if err := l.Replay(1, func(Record) error { return nil }); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Replay on closed = %v, want ErrClosed", err)
+	}
+}
+
+func TestOversizedRecordRejected(t *testing.T) {
+	dir := t.TempDir()
+	l := mustOpen(t, dir, Options{})
+	defer l.Close()
+	if _, err := l.Append(RecInsert, make([]byte, MaxRecordBytes)); err == nil {
+		t.Fatal("Append accepted a record above MaxRecordBytes")
+	}
+	if _, err := l.Append(RecInsert, []byte("fine")); err != nil {
+		t.Fatalf("normal append after rejection: %v", err)
+	}
+}
+
+func TestFsyncPolicies(t *testing.T) {
+	for _, policy := range []FsyncPolicy{FsyncAlways, FsyncInterval, FsyncNone} {
+		t.Run(policy.String(), func(t *testing.T) {
+			dir := t.TempDir()
+			l := mustOpen(t, dir, Options{Policy: policy, SyncInterval: 5 * time.Millisecond})
+			appendN(t, l, 10, "rec")
+			if policy == FsyncInterval {
+				time.Sleep(20 * time.Millisecond) // let the sync loop tick
+			}
+			if err := l.Sync(); err != nil {
+				t.Fatalf("Sync: %v", err)
+			}
+			if err := l.Close(); err != nil {
+				t.Fatalf("Close: %v", err)
+			}
+			l = mustOpen(t, dir, Options{Policy: policy})
+			defer l.Close()
+			if got := len(collect(t, l, 1)); got != 10 {
+				t.Fatalf("replayed %d, want 10", got)
+			}
+		})
+	}
+}
+
+func TestParseFsyncPolicy(t *testing.T) {
+	for in, want := range map[string]FsyncPolicy{
+		"always": FsyncAlways, "Interval": FsyncInterval, "NONE": FsyncNone,
+	} {
+		got, err := ParseFsyncPolicy(in)
+		if err != nil || got != want {
+			t.Fatalf("ParseFsyncPolicy(%q) = (%v, %v), want %v", in, got, err, want)
+		}
+	}
+	if _, err := ParseFsyncPolicy("sometimes"); err == nil {
+		t.Fatal("ParseFsyncPolicy accepted an unknown policy")
+	}
+}
+
+func TestForeignFilesIgnored(t *testing.T) {
+	dir := t.TempDir()
+	l := mustOpen(t, dir, Options{})
+	appendN(t, l, 3, "rec")
+	l.Close()
+	// Files that are not hex-named segments must not confuse recovery.
+	for _, name := range []string{"notes.txt", "zzzz.wal", "0000000000000000.wal"} {
+		if err := os.WriteFile(filepath.Join(dir, name), []byte("junk"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	l = mustOpen(t, dir, Options{})
+	defer l.Close()
+	if got := len(collect(t, l, 1)); got != 3 {
+		t.Fatalf("replayed %d, want 3", got)
+	}
+}
