@@ -22,9 +22,12 @@ import (
 	"bufio"
 	"flag"
 	"fmt"
+	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof on the default mux
 	"os"
 
 	"repro/internal/core"
+	"repro/internal/metrics"
 	"repro/internal/repl"
 )
 
@@ -38,7 +41,18 @@ func main() {
 	dataDir := flag.String("data-dir", "", "durability directory (empty = in-memory only)")
 	fsyncPolicy := flag.String("fsync", "interval", "WAL fsync policy: always | interval | none")
 	ckEvery := flag.Int("checkpoint-every", 1024, "checkpoint after this many journaled commands")
+	debugAddr := flag.String("debug-addr", "", "HTTP observability listener (/debug/metrics, /debug/vars, /debug/pprof); empty disables")
 	flag.Parse()
+
+	if *debugAddr != "" {
+		metrics.Default.PublishExpvar("asdb")
+		http.Handle("/debug/metrics", metrics.Default.Handler())
+		go func() {
+			if err := http.ListenAndServe(*debugAddr, nil); err != nil {
+				fmt.Fprintf(os.Stderr, "asdb: debug listener: %v\n", err)
+			}
+		}()
+	}
 
 	var m core.AccuracyMethod
 	switch *method {

@@ -6,8 +6,15 @@
 //
 //	asdbd [-addr 127.0.0.1:7433] [-level 0.9] [-method analytical] [-seed 1]
 //	      [-data-dir DIR] [-fsync always|interval|none] [-checkpoint-every N]
+//	      [-debug-addr 127.0.0.1:7434]
 //
 // Methods: none, analytical, bootstrap.
+//
+// With -debug-addr set the daemon serves an HTTP observability listener:
+// /debug/metrics (Prometheus text format), /debug/vars (expvar, including
+// the metrics registry under "asdb"), and /debug/pprof (net/http/pprof).
+// All instrumentation is observation-only — engine results stay
+// bit-identical with or without the listener.
 //
 // With -data-dir set the daemon is durable: every state-changing command
 // (STREAM, QUERY, INSERT, CLOSE) is journaled to a write-ahead log under
@@ -23,11 +30,14 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof on the default mux
 	"os"
 	"os/signal"
 	"syscall"
 
 	"repro/internal/core"
+	"repro/internal/metrics"
 	"repro/internal/server"
 )
 
@@ -41,6 +51,7 @@ func main() {
 	dataDir := flag.String("data-dir", "", "durability directory (empty = in-memory only)")
 	fsyncPolicy := flag.String("fsync", "interval", "WAL fsync policy: always | interval | none")
 	ckEvery := flag.Int("checkpoint-every", 1024, "checkpoint after this many journaled commands")
+	debugAddr := flag.String("debug-addr", "", "HTTP observability listener (/debug/metrics, /debug/vars, /debug/pprof); empty disables")
 	flag.Parse()
 
 	var m core.AccuracyMethod
@@ -69,6 +80,19 @@ func main() {
 		log.Fatalf("asdbd: %v", err)
 	}
 	logger := log.New(os.Stderr, "asdbd: ", log.LstdFlags)
+	if *debugAddr != "" {
+		// expvar and pprof register themselves on the default mux; the
+		// Prometheus page joins them. The listener shares nothing with the
+		// engine beyond reading atomic instruments.
+		metrics.Default.PublishExpvar("asdb")
+		http.Handle("/debug/metrics", metrics.Default.Handler())
+		go func() {
+			if err := http.ListenAndServe(*debugAddr, nil); err != nil {
+				logger.Printf("debug listener: %v", err)
+			}
+		}()
+		logger.Printf("debug listener on http://%s/debug/metrics", *debugAddr)
+	}
 	srv, err := server.NewDurable(eng, logger)
 	if err != nil {
 		log.Fatalf("asdbd: %v", err)

@@ -1,0 +1,239 @@
+package accuracy
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/dist"
+	"repro/internal/stat"
+)
+
+// Statistical calibration of the paper's Lemma 1 and Lemma 2 intervals:
+// with a seeded RNG, the empirical coverage over many independent trials
+// must match the interval's true coverage probability within a 3σ binomial
+// tolerance.
+//
+// For the proportion intervals (Wald, Wilson) the comparison target is the
+// *exact* coverage Σ_k Binom(k; n, p)·1[CI(k/n, n) ∋ p], not the nominal
+// level — finite-n proportion coverage oscillates around nominal (the
+// classic Brown–Cai–DasGupta sawtooth), so comparing against nominal would
+// either flake or need tolerances loose enough to hide real bugs. For the
+// Gaussian mean and variance intervals the t and χ² constructions are
+// exactly nominal, so nominal is the target.
+
+const calibTrials = 4000
+
+// tol3Sigma is the 3σ binomial standard error of an empirical coverage
+// estimate around its true value.
+func tol3Sigma(cov float64, trials int) float64 {
+	return 3 * math.Sqrt(cov*(1-cov)/float64(trials))
+}
+
+// logBinomPMF returns log Pr[K = k] for K ~ Binom(n, p) via log-gamma,
+// stable for the n used here.
+func logBinomPMF(k, n int, p float64) float64 {
+	lg := func(x float64) float64 {
+		v, _ := math.Lgamma(x)
+		return v
+	}
+	return lg(float64(n+1)) - lg(float64(k+1)) - lg(float64(n-k+1)) +
+		float64(k)*math.Log(p) + float64(n-k)*math.Log(1-p)
+}
+
+// exactProportionCoverage sums the binomial pmf over the k whose interval
+// contains the true p.
+func exactProportionCoverage(t *testing.T, interval func(phat float64, n int, c float64) (Interval, error),
+	n int, p, level float64) float64 {
+	t.Helper()
+	cov := 0.0
+	for k := 0; k <= n; k++ {
+		iv, err := interval(float64(k)/float64(n), n, level)
+		if err != nil {
+			t.Fatalf("interval(k=%d/n=%d): %v", k, n, err)
+		}
+		if iv.Contains(p) {
+			cov += math.Exp(logBinomPMF(k, n, p))
+		}
+	}
+	return cov
+}
+
+// empiricalProportionCoverage simulates binomial draws and measures how
+// often the interval covers p.
+func empiricalProportionCoverage(t *testing.T, interval func(phat float64, n int, c float64) (Interval, error),
+	rng *dist.Rand, n int, p, level float64) float64 {
+	t.Helper()
+	hits := 0
+	for trial := 0; trial < calibTrials; trial++ {
+		k := 0
+		for i := 0; i < n; i++ {
+			if rng.Float64() < p {
+				k++
+			}
+		}
+		iv, err := interval(float64(k)/float64(n), n, level)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if iv.Contains(p) {
+			hits++
+		}
+	}
+	return float64(hits) / calibTrials
+}
+
+var calibLevels = []float64{0.90, 0.95, 0.99}
+
+// TestWaldCoverage checks the Lemma 1 Wald interval (paper eq. 1) in its
+// validity regime n·p ≥ 4, n·(1−p) ≥ 4.
+func TestWaldCoverage(t *testing.T) {
+	const n, p = 200, 0.3
+	rng := dist.NewRand(101)
+	for _, level := range calibLevels {
+		exact := exactProportionCoverage(t, WaldInterval, n, p, level)
+		emp := empiricalProportionCoverage(t, WaldInterval, rng, n, p, level)
+		if d := math.Abs(emp - exact); d > tol3Sigma(exact, calibTrials) {
+			t.Errorf("Wald level %g: empirical coverage %.4f vs exact %.4f (Δ=%.4f > 3σ=%.4f)",
+				level, emp, exact, d, tol3Sigma(exact, calibTrials))
+		}
+		// The exact coverage itself must sit near nominal in the Wald
+		// validity regime (within 2.5 points — eq. 1's own approximation).
+		if math.Abs(exact-level) > 0.025 {
+			t.Errorf("Wald level %g: exact coverage %.4f strays from nominal", level, exact)
+		}
+	}
+}
+
+// TestWilsonCoverage checks the Lemma 1 Wilson interval (paper eq. 2) in
+// the small-count regime that triggers it (n·p = 2 < 4 here), where Wald
+// would break down.
+func TestWilsonCoverage(t *testing.T) {
+	const n, p = 40, 0.05
+	rng := dist.NewRand(202)
+	for _, level := range calibLevels {
+		exact := exactProportionCoverage(t, WilsonInterval, n, p, level)
+		emp := empiricalProportionCoverage(t, WilsonInterval, rng, n, p, level)
+		if d := math.Abs(emp - exact); d > tol3Sigma(exact, calibTrials) {
+			t.Errorf("Wilson level %g: empirical coverage %.4f vs exact %.4f (Δ=%.4f > 3σ=%.4f)",
+				level, emp, exact, d, tol3Sigma(exact, calibTrials))
+		}
+	}
+}
+
+// TestBinHeightSwitchMatchesRegime pins the Lemma 1 switch rule: the
+// combined BinHeightInterval must agree with Wald when n·p and n·(1−p) are
+// both ≥ 4 and with Wilson otherwise.
+func TestBinHeightSwitchMatchesRegime(t *testing.T) {
+	cases := []struct {
+		p    float64
+		n    int
+		wald bool
+	}{
+		{0.3, 200, true},
+		{0.5, 16, true},
+		{0.05, 40, false}, // n·p = 2
+		{0.98, 100, false},
+	}
+	for _, tc := range cases {
+		got, err := BinHeightInterval(tc.p, tc.n, 0.95)
+		if err != nil {
+			t.Fatalf("BinHeightInterval(%v, %d): %v", tc.p, tc.n, err)
+		}
+		var want Interval
+		if tc.wald {
+			want, err = WaldInterval(tc.p, tc.n, 0.95)
+		} else {
+			want, err = WilsonInterval(tc.p, tc.n, 0.95)
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Errorf("BinHeightInterval(%v, %d) = %v, want %v branch %v",
+				tc.p, tc.n, got, want, map[bool]string{true: "Wald", false: "Wilson"}[tc.wald])
+		}
+	}
+}
+
+// sampleStats returns the sample mean and standard deviation of n Gaussian
+// draws.
+func sampleStats(rng *dist.Rand, mu, sigma float64, n int) (mean, sd float64) {
+	sum, sum2 := 0.0, 0.0
+	for i := 0; i < n; i++ {
+		v := mu + sigma*rng.NormFloat64()
+		sum += v
+		sum2 += v * v
+	}
+	mean = sum / float64(n)
+	s2 := (sum2 - float64(n)*mean*mean) / float64(n-1)
+	if s2 < 0 {
+		s2 = 0
+	}
+	return mean, math.Sqrt(s2)
+}
+
+// TestMeanIntervalCalibration checks Lemma 2 eq. (3)/(4) under Gaussian
+// sampling: the t construction (n < 30) is exactly nominal; the z
+// construction (n ≥ 30) is nominal up to the t-vs-z bias, which at n = 100
+// is ~1.3·10⁻³ — far inside the 3σ tolerance.
+func TestMeanIntervalCalibration(t *testing.T) {
+	const mu, sigma = 5.0, 2.0
+	for _, n := range []int{20, 100} {
+		rng := dist.NewRand(uint64(303 + n))
+		for _, level := range calibLevels {
+			hits := 0
+			for trial := 0; trial < calibTrials; trial++ {
+				mean, sd := sampleStats(rng, mu, sigma, n)
+				iv, err := MeanInterval(mean, sd, n, level)
+				if err != nil {
+					t.Fatalf("n=%d trial %d: %v", n, trial, err)
+				}
+				if iv.Contains(mu) {
+					hits++
+				}
+			}
+			emp := float64(hits) / calibTrials
+			if d := math.Abs(emp - level); d > tol3Sigma(level, calibTrials) {
+				t.Errorf("mean CI n=%d level %g: coverage %.4f (Δ=%.4f > 3σ=%.4f)",
+					n, level, emp, d, tol3Sigma(level, calibTrials))
+			}
+		}
+	}
+}
+
+// TestVarianceIntervalCalibration checks Lemma 2 eq. (5): the χ² interval is
+// exactly nominal under Gaussian sampling.
+func TestVarianceIntervalCalibration(t *testing.T) {
+	const mu, sigma = -1.0, 3.0
+	const n = 25
+	rng := dist.NewRand(404)
+	for _, level := range calibLevels {
+		hits := 0
+		for trial := 0; trial < calibTrials; trial++ {
+			_, sd := sampleStats(rng, mu, sigma, n)
+			iv, err := VarianceInterval(sd*sd, n, level)
+			if err != nil {
+				t.Fatalf("trial %d: %v", trial, err)
+			}
+			if iv.Contains(sigma * sigma) {
+				hits++
+			}
+		}
+		emp := float64(hits) / calibTrials
+		if d := math.Abs(emp - level); d > tol3Sigma(level, calibTrials) {
+			t.Errorf("variance CI level %g: coverage %.4f (Δ=%.4f > 3σ=%.4f)",
+				level, emp, d, tol3Sigma(level, calibTrials))
+		}
+	}
+}
+
+// TestNormCDFConsistency anchors the calibration suite's statistical
+// machinery: the z quantiles used by the intervals invert NormCDF.
+func TestNormCDFConsistency(t *testing.T) {
+	for _, a := range []float64{0.005, 0.025, 0.05} {
+		z := stat.ZUpper(a)
+		if got := 1 - stat.NormCDF(z); math.Abs(got-a) > 1e-9 {
+			t.Errorf("1-NormCDF(ZUpper(%g)) = %g, want %g", a, got, a)
+		}
+	}
+}

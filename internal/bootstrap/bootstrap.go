@@ -35,11 +35,31 @@ import (
 	"runtime"
 	"slices"
 	"sync"
+	"time"
 
 	"repro/internal/accuracy"
 	"repro/internal/dist"
 	"repro/internal/learn"
+	"repro/internal/metrics"
 	"repro/internal/parallel"
+)
+
+// Kernel observability: resample/draw volume and kernel wall time. One
+// timer pair and a few atomic adds per kernel invocation — observation
+// only, far below the per-call work the counters measure.
+var (
+	mResamples = metrics.Default.Counter("asdb_bootstrap_resamples_total",
+		"d.f. resamples processed by BOOTSTRAP-ACCURACY-INFO")
+	mValues = metrics.Default.Counter("asdb_bootstrap_values_total",
+		"output-variable values scanned by BOOTSTRAP-ACCURACY-INFO")
+	mDraws = metrics.Default.Counter("asdb_bootstrap_mc_draws_total",
+		"Monte Carlo variates drawn by FromDistribution")
+	mClassic = metrics.Default.Counter("asdb_bootstrap_classic_resamples_total",
+		"classic (single-sample) bootstrap resamples computed")
+	hKernel = metrics.Default.Histogram("asdb_bootstrap_kernel_seconds",
+		"wall time of one BOOTSTRAP-ACCURACY-INFO invocation", metrics.DefBuckets)
+	hSample = metrics.Default.Histogram("asdb_bootstrap_sample_seconds",
+		"wall time of FromDistribution's Monte Carlo sampling phase", metrics.DefBuckets)
 )
 
 // ErrTooFewValues reports that the value sequence cannot form enough d.f.
@@ -169,6 +189,9 @@ func AccuracyInfoWorkers(v []float64, n int, alpha float64, hist *dist.Histogram
 	if r*n < serialCutoff {
 		workers = 1
 	}
+	mResamples.Add(uint64(r))
+	mValues.Add(uint64(r * n))
+	defer hKernel.ObserveSince(time.Now())
 	buckets := 0
 	if hist != nil {
 		buckets = hist.NumBuckets()
@@ -318,6 +341,8 @@ func FromDistributionWorkers(d dist.Distribution, n, r int, alpha float64, rng *
 	if n*r < serialCutoff {
 		sampleWorkers = 1
 	}
+	mDraws.Add(uint64(n * r))
+	t0 := time.Now()
 	if sampleWorkers <= 1 {
 		sampleChunk(d, v, n, root, 0, r)
 	} else {
@@ -325,6 +350,7 @@ func FromDistributionWorkers(d dist.Distribution, n, r int, alpha float64, rng *
 			sampleChunk(d, v, n, root, lo, hi)
 		})
 	}
+	hSample.ObserveSince(t0)
 	hist, _ := d.(*dist.Histogram)
 	return AccuracyInfoWorkers(v, n, alpha, hist, workers)
 }
@@ -391,6 +417,7 @@ func ClassicWorkers(s *learn.Sample, stat Statistic, b int, rng *dist.Rand, work
 	if b*s.Size() < serialCutoff {
 		workers = 1
 	}
+	mClassic.Add(uint64(b))
 	out := make([]float64, b)
 	if workers <= 1 {
 		if err := classicChunk(s, stat, root, 0, b, out); err != nil {

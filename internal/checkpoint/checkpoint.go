@@ -35,12 +35,30 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+	"time"
 
 	"repro/internal/codec"
 	"repro/internal/core"
 	"repro/internal/dist"
+	"repro/internal/metrics"
 	"repro/internal/randvar"
 	"repro/internal/stream"
+)
+
+// Checkpoint observability: snapshot cadence, size, and write latency, plus
+// recovery-side load outcomes (valid loads vs files skipped as corrupt or
+// unreadable). Observation-only — never changes what gets saved or loaded.
+var (
+	mSaves = metrics.Default.Counter("asdb_checkpoint_saves_total",
+		"checkpoints written successfully")
+	mSaveBytes = metrics.Default.Counter("asdb_checkpoint_save_bytes_total",
+		"bytes of encoded checkpoint payloads written")
+	hSave = metrics.Default.Histogram("asdb_checkpoint_save_seconds",
+		"wall time of one atomic checkpoint save", metrics.DefBuckets)
+	mLoads = metrics.Default.Counter("asdb_checkpoint_loads_total",
+		"checkpoints loaded successfully during recovery")
+	mLoadSkips = metrics.Default.Counter("asdb_checkpoint_load_skips_total",
+		"checkpoint files skipped as unreadable or corrupt during recovery")
 )
 
 const (
@@ -334,6 +352,7 @@ func NewManager(dir string) (*Manager, error) {
 // Save writes the snapshot atomically (temp file + fsync + rename + dir
 // fsync) and prunes all but the newest checkpoints.
 func (m *Manager) Save(s *Snapshot) error {
+	t0 := time.Now()
 	data, err := s.Encode()
 	if err != nil {
 		return fmt.Errorf("checkpoint: %w", err)
@@ -366,6 +385,9 @@ func (m *Manager) Save(s *Snapshot) error {
 		return err
 	}
 	m.prune()
+	mSaves.Inc()
+	mSaveBytes.Add(uint64(len(data)))
+	hSave.ObserveSince(t0)
 	return nil
 }
 
@@ -380,12 +402,15 @@ func (m *Manager) LoadLatest() (*Snapshot, error) {
 	for i := len(files) - 1; i >= 0; i-- {
 		data, err := os.ReadFile(files[i])
 		if err != nil {
+			mLoadSkips.Inc()
 			continue
 		}
 		snap, err := Decode(data)
 		if err != nil {
+			mLoadSkips.Inc()
 			continue
 		}
+		mLoads.Inc()
 		return snap, nil
 	}
 	return nil, nil

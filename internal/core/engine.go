@@ -204,6 +204,7 @@ func (e *Engine) RegisterStream(schema *stream.Schema) error {
 		return fmt.Errorf("core: stream %q already registered", schema.Name)
 	}
 	e.streams[keyOf(schema.Name)] = &streamDef{schema: schema}
+	mStreams.Inc()
 	return nil
 }
 
@@ -244,6 +245,7 @@ func (e *Engine) NewTuple(streamName string, fields []randvar.Field) (*stream.Tu
 	e.seq++
 	t.Seq = e.seq
 	e.mu.Unlock()
+	mTuples.Inc()
 	return t, nil
 }
 

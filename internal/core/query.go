@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"strings"
+	"time"
 
 	"repro/internal/accuracy"
 	"repro/internal/bootstrap"
@@ -128,6 +129,7 @@ type Query struct {
 	join *joinState
 
 	stats QueryStats
+	telem queryTelemetry
 }
 
 // Compile parses and plans a SQL statement against the engine's registered
@@ -176,6 +178,7 @@ func (e *Engine) CompileStmt(stmt *sql.SelectStmt) (*Query, error) {
 	// sequence number: WAL replay re-runs only the successful statements,
 	// and seq (hence every evaluator seed) must evolve identically.
 	q.ev = e.newEvaluator()
+	mCompiled.Inc()
 	return q, nil
 }
 
@@ -451,15 +454,26 @@ func (q *Query) Push(t *stream.Tuple) ([]Result, error) {
 	if t == nil {
 		return nil, errors.New("core: nil tuple")
 	}
+	t0 := time.Now()
 	q.stats.In++
+	mPushes.Inc()
+	var (
+		out []Result
+		err error
+	)
 	if q.join != nil {
-		return q.pushJoin(t)
-	}
-	if !strings.EqualFold(t.Schema.Name, q.in.Name) || t.Schema.Arity() != q.in.Arity() {
-		return nil, fmt.Errorf("core: tuple of stream %q pushed into query over %q",
+		out, err = q.pushJoin(t)
+	} else if !strings.EqualFold(t.Schema.Name, q.in.Name) || t.Schema.Arity() != q.in.Arity() {
+		err = fmt.Errorf("core: tuple of stream %q pushed into query over %q",
 			t.Schema.Name, q.in.Name)
+	} else {
+		out, err = q.pushFiltered(t)
 	}
-	return q.pushFiltered(t)
+	hPush.ObserveSince(t0)
+	if err == nil {
+		mResults.Add(uint64(len(out)))
+	}
+	return out, err
 }
 
 // pushFiltered applies WHERE and routes to the scalar or aggregate path.
@@ -713,6 +727,7 @@ func (q *Query) decorate(t *stream.Tuple, mcValues [][]float64, unsure bool) (Re
 				res.Fields = make(map[string]*accuracy.Info)
 			}
 			res.Fields[t.Schema.Columns[i].Name] = info
+			q.telem.observeField(info)
 		}
 		if t.Prob < 1 && t.ProbN >= 1 {
 			iv, err := accuracy.TupleProbInterval(t.Prob, t.ProbN, cfg.Level)
@@ -720,6 +735,7 @@ func (q *Query) decorate(t *stream.Tuple, mcValues [][]float64, unsure bool) (Re
 				return Result{}, err
 			}
 			res.TupleProb = &iv
+			q.telem.observeTupleProb(iv)
 		}
 	}
 	return res, nil

@@ -430,3 +430,55 @@ func MTestPower(mu, sigma, c float64, n int, alpha float64) (float64, error) {
 	shift := (mu - c) / (sigma / math.Sqrt(float64(n)))
 	return 1 - stat.NormCDF(crit-shift), nil
 }
+
+// MDTestPower returns the (approximate, normal-theory) power of the
+// one-sided mdTest(X, Y, >, c, α) when the true parameters are
+// (mux, sigmax, nx) and (muy, sigmay, ny): the probability the Welch test
+// accepts H1: E(X) − E(Y) > c. The critical value uses the
+// Welch–Satterthwaite degrees of freedom evaluated at the true variances —
+// the same approximation MDTest itself makes with sample variances.
+func MDTestPower(mux, sigmax float64, nx int, muy, sigmay float64, ny int, c, alpha float64) (float64, error) {
+	if nx < 2 || ny < 2 {
+		return 0, fmt.Errorf("hypothesis: power needs n ≥ 2, have %d and %d", nx, ny)
+	}
+	if sigmax <= 0 || sigmay <= 0 {
+		return 0, errors.New("hypothesis: power needs σ > 0")
+	}
+	if err := checkAlpha(alpha); err != nil {
+		return 0, err
+	}
+	vx := sigmax * sigmax / float64(nx)
+	vy := sigmay * sigmay / float64(ny)
+	se := math.Sqrt(vx + vy)
+	df := (vx + vy) * (vx + vy) /
+		(vx*vx/float64(nx-1) + vy*vy/float64(ny-1))
+	n := int(math.Max(2, math.Round(df+1))) // mirror MDTest's df handling
+	crit, err := tCritical(alpha, n)
+	if err != nil {
+		return 0, err
+	}
+	shift := (mux - muy - c) / se
+	return 1 - stat.NormCDF(crit-shift), nil
+}
+
+// PTestPower returns the (approximate, normal-theory) power of the
+// one-sided pTest(pred, >, τ, α) when the true proportion is p: the test
+// rejects when p̂ > τ + z_α·sqrt(τ(1−τ)/n), and p̂ ≈ N(p, p(1−p)/n).
+func PTestPower(p float64, n int, tau, alpha float64) (float64, error) {
+	if n < 1 {
+		return 0, fmt.Errorf("hypothesis: power needs n ≥ 1, have %d", n)
+	}
+	if p <= 0 || p >= 1 || math.IsNaN(p) {
+		return 0, fmt.Errorf("hypothesis: true proportion %v outside (0,1)", p)
+	}
+	if tau <= 0 || tau >= 1 || math.IsNaN(tau) {
+		return 0, fmt.Errorf("hypothesis: threshold τ=%v outside (0,1)", tau)
+	}
+	if err := checkAlpha(alpha); err != nil {
+		return 0, err
+	}
+	seH0 := math.Sqrt(tau * (1 - tau) / float64(n))
+	seTrue := math.Sqrt(p * (1 - p) / float64(n))
+	crit := tau + stat.ZUpper(alpha)*seH0
+	return 1 - stat.NormCDF((crit-p)/seTrue), nil
+}

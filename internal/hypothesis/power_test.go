@@ -1,0 +1,297 @@
+package hypothesis
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/dist"
+)
+
+// Power conformance for the §IV significance predicates: seeded Monte
+// Carlo rejection rates of mTest, mdTest, and pTest must match the
+// analytic power functions within a 3σ binomial tolerance, and the
+// COUPLED-TESTS outcome probabilities must decompose into the powers of
+// the two component tests (their rejection regions are disjoint, so
+// P(True) = power of T₁, P(False) = power of T₂, P(Unsure) = remainder).
+
+const powerTrials = 4000
+
+func powerTol(p float64) float64 {
+	return 3 * math.Sqrt(p*(1-p)/float64(powerTrials))
+}
+
+// drawStats samples n Gaussian observations and summarizes them for the
+// tests.
+func drawStats(rng *dist.Rand, mu, sigma float64, n int) Stats {
+	sum, sum2 := 0.0, 0.0
+	for i := 0; i < n; i++ {
+		v := mu + sigma*rng.NormFloat64()
+		sum += v
+		sum2 += v * v
+	}
+	mean := sum / float64(n)
+	s2 := (sum2 - float64(n)*mean*mean) / float64(n-1)
+	if s2 < 0 {
+		s2 = 0
+	}
+	return Stats{Mean: mean, SD: math.Sqrt(s2), N: n}
+}
+
+// TestMTestPowerConformance sweeps the true mean across H0 and
+// progressively stronger alternatives — the shape of Fig 5(g)'s power
+// curves. MTestPower assumes σ known; the empirical test estimates s from
+// the sample, so the tolerance adds a small allowance for that extra
+// variability.
+func TestMTestPowerConformance(t *testing.T) {
+	const c, sigma, n, alpha = 10.0, 2.0, 40, 0.05
+	rng := dist.NewRand(11)
+	for _, mu := range []float64{10.0, 10.3, 10.6, 11.0} {
+		analytic, err := MTestPower(mu, sigma, c, n, alpha)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rejects := 0
+		for trial := 0; trial < powerTrials; trial++ {
+			st := drawStats(rng, mu, sigma, n)
+			ok, err := MTest(st, Greater, c, alpha)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if ok {
+				rejects++
+			}
+		}
+		emp := float64(rejects) / powerTrials
+		tol := powerTol(analytic) + 0.015 // estimated-s vs known-σ slack
+		if d := math.Abs(emp - analytic); d > tol {
+			t.Errorf("mTest power at µ=%g: empirical %.4f vs analytic %.4f (Δ=%.4f > %.4f)",
+				mu, emp, analytic, d, tol)
+		}
+		// Under H0 (µ = c) the rejection rate is the type I error: ≤ α
+		// within tolerance.
+		if mu == c && emp > alpha+powerTol(alpha) {
+			t.Errorf("mTest type I rate %.4f exceeds α=%g", emp, alpha)
+		}
+	}
+}
+
+// TestMDTestPowerConformance checks the Welch mean-difference test against
+// MDTestPower with unequal variances and sizes.
+func TestMDTestPowerConformance(t *testing.T) {
+	const (
+		sigmax, nx = 2.0, 50
+		sigmay, ny = 3.0, 35
+		c, alpha   = 0.0, 0.05
+	)
+	rng := dist.NewRand(22)
+	for _, delta := range []float64{0.0, 0.5, 1.0, 1.8} {
+		mux, muy := 5.0+delta, 5.0
+		analytic, err := MDTestPower(mux, sigmax, nx, muy, sigmay, ny, c, alpha)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rejects := 0
+		for trial := 0; trial < powerTrials; trial++ {
+			x := drawStats(rng, mux, sigmax, nx)
+			y := drawStats(rng, muy, sigmay, ny)
+			ok, err := MDTest(x, y, Greater, c, alpha)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if ok {
+				rejects++
+			}
+		}
+		emp := float64(rejects) / powerTrials
+		tol := powerTol(analytic) + 0.015
+		if d := math.Abs(emp - analytic); d > tol {
+			t.Errorf("mdTest power at Δµ=%g: empirical %.4f vs analytic %.4f (Δ=%.4f > %.4f)",
+				delta, emp, analytic, d, tol)
+		}
+	}
+}
+
+// TestPTestPowerConformance checks the population proportion test against
+// PTestPower across true proportions straddling the threshold.
+func TestPTestPowerConformance(t *testing.T) {
+	const tau, n, alpha = 0.5, 100, 0.05
+	rng := dist.NewRand(33)
+	for _, p := range []float64{0.5, 0.55, 0.62, 0.7} {
+		analytic, err := PTestPower(p, n, tau, alpha)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rejects := 0
+		for trial := 0; trial < powerTrials; trial++ {
+			k := 0
+			for i := 0; i < n; i++ {
+				if rng.Float64() < p {
+					k++
+				}
+			}
+			ok, err := PTest(float64(k)/n, n, Greater, tau, alpha)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if ok {
+				rejects++
+			}
+		}
+		emp := float64(rejects) / powerTrials
+		// The analytic power uses a continuous normal for the discrete
+		// binomial p̂; allow continuity slack on top of 3σ.
+		tol := powerTol(analytic) + 0.03
+		if d := math.Abs(emp - analytic); d > tol {
+			t.Errorf("pTest power at p=%g: empirical %.4f vs analytic %.4f (Δ=%.4f > %.4f)",
+				p, emp, analytic, d, tol)
+		}
+	}
+}
+
+// TestCoupledMTestOutcomeProbabilities verifies Theorem 3's decomposition
+// for COUPLED-TESTS over mTest: the three outcomes' empirical frequencies
+// match P(True) = power of T₁ = (>, α₁), P(False) = power of T₂ = (<, α₂)
+// (computed as the mirrored one-sided power), and P(Unsure) = the rest. The
+// rejection regions are disjoint (t > crit₁ vs t < −crit₂), so the
+// probabilities add to one exactly.
+func TestCoupledMTestOutcomeProbabilities(t *testing.T) {
+	const c, sigma, n = 10.0, 2.0, 40
+	const alpha1, alpha2 = 0.05, 0.10
+	rng := dist.NewRand(44)
+	for _, mu := range []float64{9.7, 10.0, 10.4} {
+		pTrue, err := MTestPower(mu, sigma, c, n, alpha1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Power of T₂ = mTest(<, α₂): by symmetry of the Gaussian, equal to
+		// the (>) power with the roles of µ and c mirrored.
+		pFalse, err := MTestPower(2*c-mu, sigma, c, n, alpha2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var gotTrue, gotFalse, gotUnsure int
+		for trial := 0; trial < powerTrials; trial++ {
+			st := drawStats(rng, mu, sigma, n)
+			res, err := CoupledMTest(st, Greater, c, alpha1, alpha2)
+			if err != nil {
+				t.Fatal(err)
+			}
+			switch res {
+			case True:
+				gotTrue++
+			case False:
+				gotFalse++
+			default:
+				gotUnsure++
+			}
+		}
+		empTrue := float64(gotTrue) / powerTrials
+		empFalse := float64(gotFalse) / powerTrials
+		empUnsure := float64(gotUnsure) / powerTrials
+		tolT := powerTol(pTrue) + 0.015
+		tolF := powerTol(pFalse) + 0.015
+		if d := math.Abs(empTrue - pTrue); d > tolT {
+			t.Errorf("coupled mTest µ=%g: P(True) %.4f vs analytic %.4f (Δ=%.4f > %.4f)",
+				mu, empTrue, pTrue, d, tolT)
+		}
+		if d := math.Abs(empFalse - pFalse); d > tolF {
+			t.Errorf("coupled mTest µ=%g: P(False) %.4f vs analytic %.4f (Δ=%.4f > %.4f)",
+				mu, empFalse, pFalse, d, tolF)
+		}
+		wantUnsure := 1 - pTrue - pFalse
+		if d := math.Abs(empUnsure - wantUnsure); d > tolT+tolF {
+			t.Errorf("coupled mTest µ=%g: P(Unsure) %.4f vs analytic %.4f", mu, empUnsure, wantUnsure)
+		}
+		// Theorem 3's error-rate guarantees at the boundary µ = c: reporting
+		// True is a false positive (rate ≤ α₁), reporting False a false
+		// negative (rate ≤ α₂).
+		if mu == c {
+			if empTrue > alpha1+powerTol(alpha1)+0.01 {
+				t.Errorf("coupled mTest at H0: false positive rate %.4f exceeds α₁=%g", empTrue, alpha1)
+			}
+			if empFalse > alpha2+powerTol(alpha2)+0.01 {
+				t.Errorf("coupled mTest at H0: false negative rate %.4f exceeds α₂=%g", empFalse, alpha2)
+			}
+		}
+	}
+}
+
+// TestCoupledPTestOutcomeProbabilities runs the same decomposition for
+// COUPLED-TESTS over pTest.
+func TestCoupledPTestOutcomeProbabilities(t *testing.T) {
+	const tau, n = 0.5, 100
+	const alpha1, alpha2 = 0.05, 0.05
+	rng := dist.NewRand(55)
+	for _, p := range []float64{0.4, 0.5, 0.62} {
+		pTrue, err := PTestPower(p, n, tau, alpha1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// T₂ = pTest(<, α₂) rejects when p̂ < τ − z·seH0; by the mirror
+		// p ↦ 1−p, τ ↦ 1−τ this is the (>) power at those parameters.
+		pFalse, err := PTestPower(1-p, n, 1-tau, alpha2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var gotTrue, gotFalse int
+		for trial := 0; trial < powerTrials; trial++ {
+			k := 0
+			for i := 0; i < n; i++ {
+				if rng.Float64() < p {
+					k++
+				}
+			}
+			res, err := CoupledPTest(float64(k)/n, n, Greater, tau, alpha1, alpha2)
+			if err != nil {
+				t.Fatal(err)
+			}
+			switch res {
+			case True:
+				gotTrue++
+			case False:
+				gotFalse++
+			}
+		}
+		empTrue := float64(gotTrue) / powerTrials
+		empFalse := float64(gotFalse) / powerTrials
+		tolT := powerTol(pTrue) + 0.03 // binomial continuity slack
+		tolF := powerTol(pFalse) + 0.03
+		if d := math.Abs(empTrue - pTrue); d > tolT {
+			t.Errorf("coupled pTest p=%g: P(True) %.4f vs analytic %.4f (Δ=%.4f > %.4f)",
+				p, empTrue, pTrue, d, tolT)
+		}
+		if d := math.Abs(empFalse - pFalse); d > tolF {
+			t.Errorf("coupled pTest p=%g: P(False) %.4f vs analytic %.4f (Δ=%.4f > %.4f)",
+				p, empFalse, pFalse, d, tolF)
+		}
+	}
+}
+
+// TestPowerFunctionValidation pins the new power helpers' argument
+// validation.
+func TestPowerFunctionValidation(t *testing.T) {
+	if _, err := MDTestPower(0, 1, 1, 0, 1, 10, 0, 0.05); err == nil {
+		t.Error("MDTestPower accepted nx < 2")
+	}
+	if _, err := MDTestPower(0, 0, 10, 0, 1, 10, 0, 0.05); err == nil {
+		t.Error("MDTestPower accepted σx = 0")
+	}
+	if _, err := PTestPower(0, 10, 0.5, 0.05); err == nil {
+		t.Error("PTestPower accepted p = 0")
+	}
+	if _, err := PTestPower(0.5, 10, 0.5, 1.5); err == nil {
+		t.Error("PTestPower accepted α > 1")
+	}
+	// Monotonicity: power grows with effect size and with n.
+	p1, _ := PTestPower(0.55, 100, 0.5, 0.05)
+	p2, _ := PTestPower(0.65, 100, 0.5, 0.05)
+	p3, _ := PTestPower(0.55, 400, 0.5, 0.05)
+	if !(p2 > p1) || !(p3 > p1) {
+		t.Errorf("PTestPower not monotone: p1=%.4f p2=%.4f p3=%.4f", p1, p2, p3)
+	}
+	m1, _ := MDTestPower(5.5, 2, 50, 5, 2, 50, 0, 0.05)
+	m2, _ := MDTestPower(6.0, 2, 50, 5, 2, 50, 0, 0.05)
+	if !(m2 > m1) {
+		t.Errorf("MDTestPower not monotone: %v then %v", m1, m2)
+	}
+}

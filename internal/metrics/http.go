@@ -1,0 +1,71 @@
+package metrics
+
+// Exposition: Prometheus text format, an http.Handler for the daemon's
+// -debug-addr listener, and an expvar bridge. All three read the same
+// registry snapshots; none holds the registry lock while writing to the
+// network.
+
+import (
+	"bufio"
+	"expvar"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+)
+
+// WriteProm renders the registry in the Prometheus text exposition format
+// (version 0.0.4): HELP/TYPE headers, plain samples for counters and
+// gauges, and cumulative le-labeled buckets plus _sum and _count series for
+// histograms.
+func (r *Registry) WriteProm(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	for _, e := range r.sorted() {
+		if e.help != "" {
+			fmt.Fprintf(bw, "# HELP %s %s\n", e.name, e.help)
+		}
+		fmt.Fprintf(bw, "# TYPE %s %s\n", e.name, e.kind)
+		switch e.kind {
+		case kindCounter:
+			fmt.Fprintf(bw, "%s %d\n", e.name, e.c.Value())
+		case kindGauge:
+			fmt.Fprintf(bw, "%s %d\n", e.name, e.g.Value())
+		case kindHistogram:
+			s := e.h.Snapshot()
+			cum := uint64(0)
+			for i, b := range s.Bounds {
+				cum += s.Counts[i]
+				fmt.Fprintf(bw, "%s_bucket{le=%q} %d\n", e.name, formatBound(b), cum)
+			}
+			cum += s.Counts[len(s.Counts)-1]
+			fmt.Fprintf(bw, "%s_bucket{le=\"+Inf\"} %d\n", e.name, cum)
+			fmt.Fprintf(bw, "%s_sum %g\n", e.name, s.Sum)
+			fmt.Fprintf(bw, "%s_count %d\n", e.name, s.Count)
+		}
+	}
+	return bw.Flush()
+}
+
+func formatBound(b float64) string {
+	return strconv.FormatFloat(b, 'g', -1, 64)
+}
+
+// Handler returns an http.Handler serving the registry as Prometheus text —
+// mounted at /debug/metrics by the daemon's -debug-addr listener.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = r.WriteProm(w)
+	})
+}
+
+// PublishExpvar publishes the registry as a single expvar variable (a JSON
+// Snapshot), so /debug/vars carries the same series as /debug/metrics.
+// Call at most once per (name, process); expvar panics on duplicates, so
+// the helper guards with Get.
+func (r *Registry) PublishExpvar(name string) {
+	if expvar.Get(name) != nil {
+		return
+	}
+	expvar.Publish(name, expvar.Func(func() any { return r.Snapshot() }))
+}

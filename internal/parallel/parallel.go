@@ -16,6 +16,28 @@ package parallel
 import (
 	"runtime"
 	"sync"
+	"time"
+
+	"repro/internal/metrics"
+)
+
+// Pool observability. All instruments are observation-only: they never
+// influence chunking, scheduling, or results. The inline (workers ≤ 1) path
+// pays exactly two atomic adds; chunk timing and occupancy tracking exist
+// only on the spawning path, where goroutine dispatch already dominates.
+var (
+	mInline = metrics.Default.Counter("asdb_parallel_inline_total",
+		"parallel-for calls executed inline on the calling goroutine")
+	mDispatch = metrics.Default.Counter("asdb_parallel_dispatch_total",
+		"parallel-for calls that spawned worker goroutines")
+	mChunks = metrics.Default.Counter("asdb_parallel_chunks_total",
+		"work chunks executed (inline calls count as one chunk)")
+	mItems = metrics.Default.Counter("asdb_parallel_items_total",
+		"work items processed by parallel-for loops")
+	gActive = metrics.Default.Gauge("asdb_parallel_active_workers",
+		"worker goroutines (including the caller) currently inside a chunk")
+	hChunk = metrics.Default.Histogram("asdb_parallel_chunk_seconds",
+		"wall time of one work chunk on the spawning path", metrics.DefBuckets)
 )
 
 // Pool is a bounded degree of parallelism. It is stateless (no persistent
@@ -75,8 +97,21 @@ func ForChunks(workers, n int, fn func(lo, hi int)) {
 		workers = n
 	}
 	if workers <= 1 {
+		mInline.Inc()
+		mChunks.Inc()
+		mItems.Add(uint64(n))
 		fn(0, n)
 		return
+	}
+	mDispatch.Inc()
+	mChunks.Add(uint64(workers))
+	mItems.Add(uint64(n))
+	timedFn := func(lo, hi int) {
+		gActive.Inc()
+		t0 := time.Now()
+		fn(lo, hi)
+		hChunk.ObserveSince(t0)
+		gActive.Dec()
 	}
 	var wg sync.WaitGroup
 	wg.Add(workers - 1)
@@ -84,11 +119,11 @@ func ForChunks(workers, n int, fn func(lo, hi int)) {
 		lo, hi := chunkBounds(c, workers, n)
 		go func() {
 			defer wg.Done()
-			fn(lo, hi)
+			timedFn(lo, hi)
 		}()
 	}
 	lo, hi := chunkBounds(workers-1, workers, n)
-	fn(lo, hi)
+	timedFn(lo, hi)
 	wg.Wait()
 }
 

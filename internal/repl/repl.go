@@ -26,6 +26,7 @@ import (
 	"repro/internal/checkpoint"
 	"repro/internal/core"
 	"repro/internal/ingest"
+	"repro/internal/metrics"
 	"repro/internal/randvar"
 	"repro/internal/server"
 	"repro/internal/sql"
@@ -167,6 +168,8 @@ const HelpText = `commands:
                                     learn per-key distributions from a CSV and insert them
   EXPLAIN <id>                      show a query's compiled plan
   STATS   <id>                      query counters
+  METRICS [<id>]                    process metrics (Prometheus text), or one
+                                    query's accuracy telemetry as JSON
   CLOSE   <id>                      drop a query
   HELP                              this text
 `
@@ -194,6 +197,8 @@ func (r *REPL) Exec(line string) error {
 		return r.cmdExplain(rest)
 	case "STATS":
 		return r.cmdStats(rest)
+	case "METRICS":
+		return r.cmdMetrics(rest)
 	case "CLOSE":
 		return r.cmdClose(rest)
 	case "HELP":
@@ -483,6 +488,31 @@ func (r *REPL) cmdStats(rest string) error {
 	st := rq.query.Stats()
 	fmt.Fprintf(r.out, "in=%d out=%d dropped=%d unsure=%d joined=%d\n",
 		st.In, st.Out, st.Dropped, st.Unsure, st.Joined)
+	return nil
+}
+
+// cmdMetrics prints the process registry as a Prometheus text page, or —
+// given a query id — that query's counters plus accuracy telemetry (rolling
+// CI half-widths, tuple-probability interval widths, d.f. sample sizes) as
+// indented JSON.
+func (r *REPL) cmdMetrics(rest string) error {
+	id := strings.TrimSpace(rest)
+	if id == "" {
+		return metrics.Default.WriteProm(r.out)
+	}
+	rq, ok := r.queries[id]
+	if !ok {
+		return fmt.Errorf("unknown query %q", id)
+	}
+	payload, err := json.MarshalIndent(struct {
+		ID        string          `json:"id"`
+		Stats     core.QueryStats `json:"stats"`
+		Telemetry core.Telemetry  `json:"telemetry"`
+	}{id, rq.query.Stats(), rq.query.Telemetry()}, "", "  ")
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(r.out, "%s\n", payload)
 	return nil
 }
 

@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/metrics"
 	"repro/internal/randvar"
 	"repro/internal/stream"
 )
@@ -198,6 +199,40 @@ func (cl *Client) Stats(id string) (core.QueryStats, error) {
 		return core.QueryStats{}, err
 	}
 	return st, nil
+}
+
+// Metrics fetches the server's process-wide metrics snapshot.
+func (cl *Client) Metrics() (metrics.Snapshot, error) {
+	payload, err := cl.roundTrip("METRICS")
+	if err != nil {
+		return metrics.Snapshot{}, err
+	}
+	var snap metrics.Snapshot
+	if err := json.Unmarshal([]byte(payload), &snap); err != nil {
+		return metrics.Snapshot{}, err
+	}
+	return snap, nil
+}
+
+// QueryMetrics is one query's counters plus its accuracy telemetry as
+// returned by METRICS <id>.
+type QueryMetrics struct {
+	ID        string          `json:"id"`
+	Stats     core.QueryStats `json:"stats"`
+	Telemetry core.Telemetry  `json:"telemetry"`
+}
+
+// QueryMetrics fetches one query's counters and accuracy telemetry.
+func (cl *Client) QueryMetrics(id string) (QueryMetrics, error) {
+	payload, err := cl.roundTrip("METRICS " + id)
+	if err != nil {
+		return QueryMetrics{}, err
+	}
+	var qm QueryMetrics
+	if err := json.Unmarshal([]byte(payload), &qm); err != nil {
+		return QueryMetrics{}, err
+	}
+	return qm, nil
 }
 
 // Explain fetches a query's compiled plan.

@@ -1,0 +1,93 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/metrics"
+)
+
+// Protocol-layer observability: per-command request counts, a shared
+// command-latency histogram, connection lifecycle, delivered DATA lines,
+// and command errors. Counters are pre-registered per verb so the dispatch
+// hot path only does a map lookup plus an atomic add.
+var (
+	mCmds = func() map[string]*metrics.Counter {
+		verbs := []string{"PING", "QUIT", "STREAM", "QUERY", "INSERT", "STATS",
+			"EXPLAIN", "ATTACH", "CLOSE", "METRICS", "UNKNOWN"}
+		out := make(map[string]*metrics.Counter, len(verbs))
+		for _, v := range verbs {
+			out[v] = metrics.Default.Counter(
+				"asdb_server_cmd_"+strings.ToLower(v)+"_total",
+				"protocol commands dispatched: "+v)
+		}
+		return out
+	}()
+	hCmd = metrics.Default.Histogram("asdb_server_cmd_seconds",
+		"wall time of one protocol command", metrics.DefBuckets)
+	mCmdErrs = metrics.Default.Counter("asdb_server_cmd_errors_total",
+		"protocol commands that returned ERR")
+	mConnsOpened = metrics.Default.Counter("asdb_server_conns_opened_total",
+		"client connections accepted")
+	gConnsActive = metrics.Default.Gauge("asdb_server_conns_active",
+		"client connections currently open")
+	mDataLines = metrics.Default.Counter("asdb_server_data_lines_total",
+		"DATA result lines delivered to clients")
+)
+
+// countCmd resolves the verb's counter, folding unregistered verbs into
+// UNKNOWN.
+func countCmd(verb string) {
+	c, ok := mCmds[verb]
+	if !ok {
+		c = mCmds["UNKNOWN"]
+	}
+	c.Inc()
+}
+
+// queryMetrics is the METRICS <id> response payload.
+type queryMetrics struct {
+	ID        string          `json:"id"`
+	Stats     core.QueryStats `json:"stats"`
+	Telemetry core.Telemetry  `json:"telemetry"`
+}
+
+// cmdMetrics serves the METRICS command. Bare METRICS returns the process
+// registry snapshot (counters, gauges, histogram states) as one JSON
+// object; METRICS <id> returns the named query's counters plus its accuracy
+// telemetry — rolling CI half-widths, tuple-probability interval widths,
+// and the d.f. sample sizes behind them.
+func (s *Server) cmdMetrics(c *conn, rest string) error {
+	id := strings.TrimSpace(rest)
+	if id == "" {
+		payload, err := json.Marshal(metrics.Default.Snapshot())
+		if err != nil {
+			return err
+		}
+		return c.writeLine("OK " + string(payload))
+	}
+	s.mu.Lock()
+	rq, ok := s.queries[id]
+	var qm queryMetrics
+	if ok {
+		// Telemetry shares the Query's single-goroutine contract with Push,
+		// so the snapshot is taken under the same mutex that serializes
+		// inserts.
+		qm = queryMetrics{ID: rq.id, Stats: rq.query.Stats(), Telemetry: rq.query.Telemetry()}
+	}
+	s.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("unknown query %q", id)
+	}
+	payload, err := json.Marshal(qm)
+	if err != nil {
+		return err
+	}
+	return c.writeLine("OK " + string(payload))
+}
+
+// timeCmd observes one command's wall time.
+func timeCmd(t0 time.Time) { hCmd.ObserveSince(t0) }

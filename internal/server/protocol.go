@@ -13,6 +13,8 @@
 //	QUERY  <id> <sql>                   compile a continuous query
 //	INSERT <stream> <field> ...         push one tuple
 //	STATS  <id>                         query counters
+//	METRICS [<id>]                      process metrics, or one query's
+//	                                    accuracy telemetry (JSON)
 //	EXPLAIN <id>                        compiled plan (quoted string)
 //	CLOSE  <id>                         drop a query
 //	ATTACH <id>                         claim delivery of a detached query
@@ -146,6 +148,13 @@ func ParseFieldSpec(spec string) (randvar.Field, error) {
 func FormatFieldSpec(f randvar.Field) string {
 	switch d := f.Dist.(type) {
 	case dist.Point:
+		if f.N > 0 {
+			// A point learned from n observations (e.g. a constant sample)
+			// is not the same as an exact deterministic value: the bare
+			// numeric form would re-parse with n = 0, so it travels as
+			// codec JSON to keep the sample size.
+			break
+		}
 		return strconv.FormatFloat(d.V, 'g', -1, 64)
 	case dist.Normal:
 		return fmt.Sprintf("N(%g,%g,%d)", d.Mu, d.Sigma2, f.N)

@@ -11,6 +11,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"time"
 
 	"repro/internal/checkpoint"
 	"repro/internal/core"
@@ -192,12 +193,15 @@ func (s *Server) handle(nc net.Conn) {
 	c := &conn{id: s.nextConn, c: nc, w: bufio.NewWriter(nc)}
 	s.conns[c.id] = nc
 	s.mu.Unlock()
+	mConnsOpened.Inc()
+	gConnsActive.Inc()
 	s.logf("conn %d: open from %s", c.id, nc.RemoteAddr())
 	defer func() {
 		s.dropConnQueries(c)
 		s.mu.Lock()
 		delete(s.conns, c.id)
 		s.mu.Unlock()
+		gConnsActive.Dec()
 	}()
 	scanner := bufio.NewScanner(nc)
 	scanner.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
@@ -208,6 +212,7 @@ func (s *Server) handle(nc net.Conn) {
 		}
 		quit, err := s.dispatch(c, line)
 		if err != nil {
+			mCmdErrs.Inc()
 			if werr := c.writeLine("ERR " + err.Error()); werr != nil {
 				s.logf("conn %d: write: %v", c.id, werr)
 				return
@@ -228,7 +233,10 @@ func (s *Server) dispatch(c *conn, line string) (bool, error) {
 	if idx := strings.IndexByte(line, ' '); idx >= 0 {
 		cmd, rest = line[:idx], strings.TrimSpace(line[idx+1:])
 	}
-	switch strings.ToUpper(cmd) {
+	verb := strings.ToUpper(cmd)
+	countCmd(verb)
+	defer timeCmd(time.Now())
+	switch verb {
 	case "PING":
 		return false, c.writeLine("OK pong")
 	case "QUIT":
@@ -242,6 +250,8 @@ func (s *Server) dispatch(c *conn, line string) (bool, error) {
 		return false, s.cmdInsert(c, rest)
 	case "STATS":
 		return false, s.cmdStats(c, rest)
+	case "METRICS":
+		return false, s.cmdMetrics(c, rest)
 	case "EXPLAIN":
 		return false, s.cmdExplain(c, rest)
 	case "ATTACH":
@@ -365,11 +375,18 @@ func (s *Server) applyInsertLocked(rest string, wantDeliveries bool) (deliveries
 		return nil, 0, nil, err
 	}
 	want := strings.ToLower(streamName)
-	var pushErrs []string
-	for _, rq := range s.queries {
-		if !rq.streams[want] {
-			continue
+	// Pushes run in query-id order so DATA delivery order (and any partial
+	// effects of a failing push) are deterministic, not map-iteration order.
+	ids := make([]string, 0, len(s.queries))
+	for id, rq := range s.queries {
+		if rq.streams[want] {
+			ids = append(ids, id)
 		}
+	}
+	sort.Strings(ids)
+	var pushErrs []string
+	for _, id := range ids {
+		rq := s.queries[id]
 		results, perr := rq.query.Push(t)
 		if perr != nil {
 			pushErrs = append(pushErrs, fmt.Sprintf("query %s: %v", rq.id, perr))
@@ -414,7 +431,9 @@ func (s *Server) cmdInsert(c *conn, rest string) error {
 	for _, deliver := range deliveries {
 		if derr := deliver(); derr != nil {
 			s.logf("deliver: %v", derr)
+			continue
 		}
+		mDataLines.Inc()
 	}
 	if pushErr != nil {
 		return pushErr

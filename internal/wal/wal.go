@@ -55,6 +55,33 @@ import (
 	"strings"
 	"sync"
 	"time"
+
+	"repro/internal/metrics"
+)
+
+// WAL observability: append volume, fsync pressure, segment churn, and
+// recovery work. All instruments are observation-only and shared across
+// every Log in the process.
+var (
+	mAppends = metrics.Default.Counter("asdb_wal_append_total",
+		"records appended to the write-ahead log")
+	mAppendBytes = metrics.Default.Counter("asdb_wal_append_bytes_total",
+		"framed bytes appended to the write-ahead log")
+	hAppend = metrics.Default.Histogram("asdb_wal_append_seconds",
+		"wall time of one WAL append (including fsync under the always policy)",
+		metrics.DefBuckets)
+	mFsyncs = metrics.Default.Counter("asdb_wal_fsync_total",
+		"fsync calls issued on WAL segments")
+	hFsync = metrics.Default.Histogram("asdb_wal_fsync_seconds",
+		"wall time of one WAL segment fsync", metrics.DefBuckets)
+	mRotations = metrics.Default.Counter("asdb_wal_rotations_total",
+		"WAL segment rotations")
+	mReplayed = metrics.Default.Counter("asdb_wal_replay_records_total",
+		"records delivered by WAL replay")
+	mTornBytes = metrics.Default.Counter("asdb_wal_torn_bytes_total",
+		"torn-tail bytes truncated when opening the WAL")
+	mSegsDropped = metrics.Default.Counter("asdb_wal_segments_dropped_total",
+		"segments removed by post-checkpoint truncation")
 )
 
 const (
@@ -207,6 +234,7 @@ func Open(dir string, opts Options) (*Log, error) {
 		}
 		if fi.Size() > validLen {
 			l.truncated = fi.Size() - validLen
+			mTornBytes.Add(uint64(l.truncated))
 			if err := os.Truncate(last.path, validLen); err != nil {
 				return nil, fmt.Errorf("wal: truncating torn tail: %w", err)
 			}
@@ -254,6 +282,7 @@ func (l *Log) Append(typ RecordType, payload []byte) (uint64, error) {
 	if l.closed {
 		return 0, ErrClosed
 	}
+	defer hAppend.ObserveSince(time.Now())
 	frameLen := int64(headerSize + metaSize + len(payload))
 	if frameLen > MaxRecordBytes {
 		return 0, fmt.Errorf("wal: record of %d bytes exceeds MaxRecordBytes", len(payload))
@@ -283,8 +312,10 @@ func (l *Log) Append(typ RecordType, payload []byte) (uint64, error) {
 	l.size += frameLen
 	l.nextLSN++
 	l.dirty = true
+	mAppends.Inc()
+	mAppendBytes.Add(uint64(frameLen))
 	if l.opts.Policy == FsyncAlways {
-		if err := l.f.Sync(); err != nil {
+		if err := l.fsync(); err != nil {
 			return 0, fmt.Errorf("wal: %w", err)
 		}
 		l.dirty = false
@@ -292,14 +323,24 @@ func (l *Log) Append(typ RecordType, payload []byte) (uint64, error) {
 	return lsn, nil
 }
 
+// fsync syncs the current segment file, recording count and latency.
+func (l *Log) fsync() error {
+	t0 := time.Now()
+	err := l.f.Sync()
+	mFsyncs.Inc()
+	hFsync.ObserveSince(t0)
+	return err
+}
+
 // rotateLocked finalizes the current segment and starts one at nextLSN.
 func (l *Log) rotateLocked() error {
 	if err := l.w.Flush(); err != nil {
 		return fmt.Errorf("wal: %w", err)
 	}
-	if err := l.f.Sync(); err != nil {
+	if err := l.fsync(); err != nil {
 		return fmt.Errorf("wal: %w", err)
 	}
+	mRotations.Inc()
 	if err := l.f.Close(); err != nil {
 		return fmt.Errorf("wal: %w", err)
 	}
@@ -338,7 +379,7 @@ func (l *Log) syncLocked() error {
 	if !l.dirty {
 		return nil
 	}
-	if err := l.f.Sync(); err != nil {
+	if err := l.fsync(); err != nil {
 		return fmt.Errorf("wal: %w", err)
 	}
 	l.dirty = false
@@ -405,7 +446,10 @@ func (l *Log) Replay(from uint64, fn func(Record) error) error {
 			expect = segs[i+1].first
 			continue
 		}
-		last, err := replaySegment(seg.path, seg.first, from, fn)
+		last, err := replaySegment(seg.path, seg.first, from, func(rec Record) error {
+			mReplayed.Inc()
+			return fn(rec)
+		})
 		if err != nil {
 			return err
 		}
@@ -437,6 +481,7 @@ func (l *Log) TruncateThrough(lsn uint64) error {
 		if err := os.Remove(seg.path); err != nil {
 			return fmt.Errorf("wal: %w", err)
 		}
+		mSegsDropped.Inc()
 	}
 	return syncDir(l.dir)
 }
