@@ -89,8 +89,13 @@ func BinHeightInterval(p float64, n int, c float64) (Interval, error) {
 	if err := stat.CheckLevel(c); err != nil {
 		return Interval{}, fmt.Errorf("accuracy: confidence level %v: %w", c, err)
 	}
+	// The threshold comparison tolerates float rounding: n·(1−p) for, say,
+	// p = 0.9, n = 40 evaluates to 3.9999999999999996, and without the
+	// slack the two boundaries of the switch rule would behave
+	// asymmetrically (n·p = 4 → Wald, n·(1−p) = 4 → Wilson).
+	const boundaryTol = 1e-9
 	fn := float64(n)
-	if fn*p >= 4 && fn*(1-p) >= 4 {
+	if fn*p >= 4-boundaryTol && fn*(1-p) >= 4-boundaryTol {
 		return WaldInterval(p, n, c)
 	}
 	return WilsonInterval(p, n, c)

@@ -1,0 +1,97 @@
+package accuracy
+
+import "testing"
+
+// Boundary behavior of the Lemma 1 Wald↔Wilson switch rule: the normal
+// approximation is used exactly when n·p ≥ 4 AND n·(1−p) ≥ 4, with both
+// equalities included. These tests pin the rule at the exact thresholds
+// and just inside them, and check the clamped-extremes cases.
+
+func intervalsEqual(a, b Interval) bool {
+	return a.Lo == b.Lo && a.Hi == b.Hi && a.Level == b.Level
+}
+
+func TestBinHeightSwitchBoundary(t *testing.T) {
+	const c = 0.95
+	cases := []struct {
+		name string
+		p    float64
+		n    int
+		wald bool // expected branch
+	}{
+		{"np exactly 4", 0.1, 40, true},           // n·p = 4, n·(1−p) = 36
+		{"np just below 4", 0.099, 40, false},     // n·p = 3.96
+		{"n(1-p) exactly 4", 0.9, 40, true},       // n·(1−p) = 4
+		{"n(1-p) just below 4", 0.901, 40, false}, // n·(1−p) = 3.96
+		{"both exactly 4", 0.5, 8, true},          // n·p = n·(1−p) = 4
+		{"both just below", 0.5, 7, false},        // n·p = 3.5
+		{"tiny n", 0.5, 1, false},
+		{"extreme p=0", 0, 50, false},             // n·p = 0
+		{"extreme p=1", 1, 50, false},             // n·(1−p) = 0
+		{"large n extreme p", 0.001, 1000, false}, // n·p = 1
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got, err := BinHeightInterval(tc.p, tc.n, c)
+			if err != nil {
+				t.Fatalf("BinHeightInterval(%v, %d, %v): %v", tc.p, tc.n, c, err)
+			}
+			wald, err := WaldInterval(tc.p, tc.n, c)
+			if err != nil {
+				t.Fatal(err)
+			}
+			wilson, err := WilsonInterval(tc.p, tc.n, c)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, branch := wilson, "Wilson"
+			if tc.wald {
+				want, branch = wald, "Wald"
+			}
+			if !intervalsEqual(got, want) {
+				t.Errorf("BinHeightInterval(%v, %d) = [%v,%v], want the %s interval [%v,%v]",
+					tc.p, tc.n, got.Lo, got.Hi, branch, want.Lo, want.Hi)
+			}
+			// Regardless of branch: clamped to [0,1] and containing p.
+			if got.Lo < 0 || got.Hi > 1 {
+				t.Errorf("interval [%v,%v] escapes [0,1]", got.Lo, got.Hi)
+			}
+			if tc.p < got.Lo || tc.p > got.Hi {
+				t.Errorf("interval [%v,%v] does not contain p=%v", got.Lo, got.Hi, tc.p)
+			}
+			if got.Level != c {
+				t.Errorf("Level = %v, want %v", got.Level, c)
+			}
+		})
+	}
+}
+
+// TestBinHeightBoundaryContinuity: at the switch threshold the two
+// intervals disagree (they are different formulas), but both must be
+// usable — in particular the Wald interval at n·p = 4 keeps a strictly
+// positive width and stays inside [0,1] after clamping.
+func TestBinHeightBoundaryContinuity(t *testing.T) {
+	iv, err := BinHeightInterval(0.1, 40, 0.95)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if iv.Hi <= iv.Lo {
+		t.Errorf("degenerate interval [%v,%v] at the Wald boundary", iv.Lo, iv.Hi)
+	}
+	// Wilson never degenerates at the extremes either: p=1 must yield a
+	// non-empty interval with Hi = 1.
+	one, err := BinHeightInterval(1, 3, 0.95)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if one.Hi != 1 || one.Lo >= 1 {
+		t.Errorf("Wilson at p=1, n=3: [%v,%v], want Hi = 1 > Lo", one.Lo, one.Hi)
+	}
+	zero, err := BinHeightInterval(0, 3, 0.95)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if zero.Lo != 0 || zero.Hi <= 0 {
+		t.Errorf("Wilson at p=0, n=3: [%v,%v], want Lo = 0 < Hi", zero.Lo, zero.Hi)
+	}
+}

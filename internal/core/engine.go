@@ -20,7 +20,9 @@ import (
 	"errors"
 	"fmt"
 	"runtime"
+	"sort"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/dist"
 	"repro/internal/learn"
@@ -167,18 +169,52 @@ func DefaultConfig() Config {
 }
 
 // Engine is an accuracy-aware uncertain stream database instance.
-// Stream registration and query compilation are safe for concurrent use;
-// each compiled Query must be driven from a single goroutine.
+// Stream registration and query compilation are safe for concurrent use.
+// Ingest is sharded per stream: IngestBatch serializes against the target
+// stream's shard lock (plus the shards of any join partners), so inserts
+// into unrelated streams proceed in parallel while each compiled Query is
+// still driven from exactly one goroutine at a time. Driving a Query
+// directly via Push remains single-goroutine by contract.
 type Engine struct {
 	cfg Config
 
+	// mu guards the streams map and the bound-query index. Shard-level
+	// state (streamDef.mu, streamDef.queries) has its own locking.
 	mu      sync.RWMutex
 	streams map[string]*streamDef
-	seq     uint64
+	bound   map[string]*boundQuery
+
+	// seqMu guards the engine sequence counter. It is a leaf lock taken
+	// after shard locks; IngestBatch also runs its commit hook under it so
+	// that journal order provably equals sequence order.
+	seqMu sync.Mutex
+	seq   uint64
+
+	// ctlMu serializes Exclusive (control-plane quiesce) so two
+	// checkpoints or registrations cannot interleave shard acquisition.
+	ctlMu sync.Mutex
+
+	// recovering marks WAL replay: steady-state global metrics are
+	// suppressed (segregated into recovery counters) so a recovered
+	// engine's metric snapshot matches a clean run's.
+	recovering atomic.Bool
 }
 
+// streamDef is one stream's shard: its schema, its shard lock, and the
+// queries fed by it (sorted by id so delivery order is deterministic).
 type streamDef struct {
-	schema *stream.Schema
+	name    string // canonical (lower-cased) key
+	schema  *stream.Schema
+	mu      sync.Mutex
+	queries []*boundQuery
+}
+
+// boundQuery ties a registered query id to its compiled query and the
+// shards (input streams) that must be held to push into it.
+type boundQuery struct {
+	id   string
+	q    *Query
+	defs []*streamDef // sorted by name, deduplicated
 }
 
 // NewEngine returns an engine with the given configuration.
@@ -187,7 +223,11 @@ func NewEngine(cfg Config) (*Engine, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Engine{cfg: norm, streams: make(map[string]*streamDef)}, nil
+	return &Engine{
+		cfg:     norm,
+		streams: make(map[string]*streamDef),
+		bound:   make(map[string]*boundQuery),
+	}, nil
 }
 
 // Config returns the engine's normalized configuration.
@@ -200,11 +240,14 @@ func (e *Engine) RegisterStream(schema *stream.Schema) error {
 	}
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	if _, dup := e.streams[keyOf(schema.Name)]; dup {
+	key := keyOf(schema.Name)
+	if _, dup := e.streams[key]; dup {
 		return fmt.Errorf("core: stream %q already registered", schema.Name)
 	}
-	e.streams[keyOf(schema.Name)] = &streamDef{schema: schema}
-	mStreams.Inc()
+	e.streams[key] = &streamDef{name: key, schema: schema}
+	if !e.recovering.Load() {
+		mStreams.Inc()
+	}
 	return nil
 }
 
@@ -219,14 +262,15 @@ func (e *Engine) Schema(name string) (*stream.Schema, error) {
 	return def.schema, nil
 }
 
-// Streams returns the registered stream names.
+// Streams returns the registered stream names, sorted.
 func (e *Engine) Streams() []string {
 	e.mu.RLock()
-	defer e.mu.RUnlock()
 	out := make([]string, 0, len(e.streams))
 	for _, def := range e.streams {
 		out = append(out, def.schema.Name)
 	}
+	e.mu.RUnlock()
+	sort.Strings(out)
 	return out
 }
 
@@ -241,11 +285,13 @@ func (e *Engine) NewTuple(streamName string, fields []randvar.Field) (*stream.Tu
 	if err != nil {
 		return nil, err
 	}
-	e.mu.Lock()
+	e.seqMu.Lock()
 	e.seq++
 	t.Seq = e.seq
-	e.mu.Unlock()
-	mTuples.Inc()
+	e.seqMu.Unlock()
+	if !e.recovering.Load() {
+		mTuples.Inc()
+	}
 	return t, nil
 }
 
@@ -254,8 +300,8 @@ func (e *Engine) NewTuple(streamName string, fields []randvar.Field) (*stream.Tu
 // checkpoints so a recovered engine continues the exact numbering (and thus
 // the exact per-query evaluator seeds) of the pre-crash run.
 func (e *Engine) Seq() uint64 {
-	e.mu.RLock()
-	defer e.mu.RUnlock()
+	e.seqMu.Lock()
+	defer e.seqMu.Unlock()
 	return e.seq
 }
 
@@ -263,10 +309,21 @@ func (e *Engine) Seq() uint64 {
 // after every checkpointed query has been recompiled, so that compilation's
 // own seq consumption is overwritten by the checkpointed value.
 func (e *Engine) RestoreSeq(seq uint64) {
-	e.mu.Lock()
+	e.seqMu.Lock()
 	e.seq = seq
-	e.mu.Unlock()
+	e.seqMu.Unlock()
 }
+
+// SetRecovering flags (or clears) WAL-replay mode. While set, steady-state
+// global metrics are suppressed — replayed pushes count only toward
+// recovery-segregated counters — so a recovered process's metric snapshot
+// reflects post-recovery activity exactly like a freshly booted one.
+// Per-query state (stats, telemetry rings) still updates during replay:
+// that state is being reconstructed, not observed.
+func (e *Engine) SetRecovering(v bool) { e.recovering.Store(v) }
+
+// Recovering reports whether the engine is replaying its WAL.
+func (e *Engine) Recovering() bool { return e.recovering.Load() }
 
 // LearnField turns a raw sample into a probabilistic field using the given
 // learner, retaining the sample size for accuracy tracking — the paper's
@@ -286,10 +343,10 @@ func LearnField(l learn.Learner, s *learn.Sample) (randvar.Field, error) {
 // newEvaluator builds a per-query expression evaluator with an independent
 // RNG stream.
 func (e *Engine) newEvaluator() *randvar.Evaluator {
-	e.mu.Lock()
+	e.seqMu.Lock()
 	e.seq++
 	seed := e.cfg.Seed + e.seq*0x9e3779b97f4a7c15
-	e.mu.Unlock()
+	e.seqMu.Unlock()
 	ev := randvar.NewEvaluator(dist.NewRand(seed))
 	ev.Values = e.cfg.MonteCarloValues
 	ev.Bins = e.cfg.HistogramBins

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"strings"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/accuracy"
@@ -41,6 +42,35 @@ type QueryStats struct {
 	Dropped uint64 // tuples eliminated by WHERE
 	Unsure  uint64 // tuples whose significance predicate was UNSURE
 	Joined  uint64 // join matches produced (join queries only)
+}
+
+// queryCounters is the live, atomically updated form of QueryStats: pushes
+// run under per-shard locks while STATS/METRICS snapshots may race from
+// other connections, so the counters must be safe to read concurrently.
+type queryCounters struct {
+	in      atomic.Uint64
+	out     atomic.Uint64
+	dropped atomic.Uint64
+	unsure  atomic.Uint64
+	joined  atomic.Uint64
+}
+
+func (c *queryCounters) snapshot() QueryStats {
+	return QueryStats{
+		In:      c.in.Load(),
+		Out:     c.out.Load(),
+		Dropped: c.dropped.Load(),
+		Unsure:  c.unsure.Load(),
+		Joined:  c.joined.Load(),
+	}
+}
+
+func (c *queryCounters) restore(s QueryStats) {
+	c.in.Store(s.In)
+	c.out.Store(s.Out)
+	c.dropped.Store(s.Dropped)
+	c.unsure.Store(s.Unsure)
+	c.joined.Store(s.Joined)
 }
 
 // queryMode distinguishes the execution strategies.
@@ -128,7 +158,7 @@ type Query struct {
 
 	join *joinState
 
-	stats QueryStats
+	stats queryCounters
 	telem queryTelemetry
 }
 
@@ -178,7 +208,9 @@ func (e *Engine) CompileStmt(stmt *sql.SelectStmt) (*Query, error) {
 	// sequence number: WAL replay re-runs only the successful statements,
 	// and seq (hence every evaluator seed) must evolve identically.
 	q.ev = e.newEvaluator()
-	mCompiled.Inc()
+	if !e.recovering.Load() {
+		mCompiled.Inc()
+	}
 	return q, nil
 }
 
@@ -442,8 +474,9 @@ func (q *Query) planAggregates() error {
 // OutSchema returns the schema of emitted results.
 func (q *Query) OutSchema() *stream.Schema { return q.out }
 
-// Stats returns a snapshot of the query's counters.
-func (q *Query) Stats() QueryStats { return q.stats }
+// Stats returns a snapshot of the query's counters. Safe to call
+// concurrently with Push.
+func (q *Query) Stats() QueryStats { return q.stats.snapshot() }
 
 // String renders the compiled statement.
 func (q *Query) String() string { return q.stmt.String() }
@@ -454,9 +487,18 @@ func (q *Query) Push(t *stream.Tuple) ([]Result, error) {
 	if t == nil {
 		return nil, errors.New("core: nil tuple")
 	}
-	t0 := time.Now()
-	q.stats.In++
-	mPushes.Inc()
+	// WAL replay must not pollute steady-state latency/throughput metrics:
+	// replayed pushes count toward the segregated recovery counter only,
+	// so a recovered process's snapshot matches a freshly booted one.
+	recovering := q.eng.recovering.Load()
+	var t0 time.Time
+	if recovering {
+		mRecoveryPushes.Inc()
+	} else {
+		t0 = time.Now()
+		mPushes.Inc()
+	}
+	q.stats.in.Add(1)
 	var (
 		out []Result
 		err error
@@ -469,9 +511,11 @@ func (q *Query) Push(t *stream.Tuple) ([]Result, error) {
 	} else {
 		out, err = q.pushFiltered(t)
 	}
-	hPush.ObserveSince(t0)
-	if err == nil {
-		mResults.Add(uint64(len(out)))
+	if !recovering {
+		hPush.ObserveSince(t0)
+		if err == nil {
+			mResults.Add(uint64(len(out)))
+		}
 	}
 	return out, err
 }
@@ -486,9 +530,9 @@ func (q *Query) pushFiltered(t *stream.Tuple) ([]Result, error) {
 			return nil, err
 		}
 		if o.Unsure {
-			q.stats.Unsure++
+			q.stats.unsure.Add(1)
 			if q.eng.cfg.DropUnsure {
-				q.stats.Dropped++
+				q.stats.dropped.Add(1)
 				return nil, nil
 			}
 			unsure = true
@@ -496,7 +540,7 @@ func (q *Query) pushFiltered(t *stream.Tuple) ([]Result, error) {
 		prob *= o.Prob
 		probN = combineN(probN, o.N)
 		if prob == 0 || prob < q.eng.cfg.MinProb {
-			q.stats.Dropped++
+			q.stats.dropped.Add(1)
 			return nil, nil
 		}
 	}
@@ -557,7 +601,7 @@ func (q *Query) pushJoin(t *stream.Tuple) ([]Result, error) {
 			Seq:    t.Seq,
 			Time:   maxInt64(lt.Time, rt.Time),
 		}
-		q.stats.Joined++
+		q.stats.joined.Add(1)
 		results, err := q.pushFiltered(combined)
 		if err != nil {
 			probeErr = err
@@ -616,7 +660,7 @@ func (q *Query) pushScalar(t *stream.Tuple, prob float64, probN int, unsure bool
 	if err != nil {
 		return nil, err
 	}
-	q.stats.Out++
+	q.stats.out.Add(1)
 	return []Result{res}, nil
 }
 
@@ -703,7 +747,7 @@ func (q *Query) pushAggregate(t *stream.Tuple, prob float64, probN int, unsure b
 	if err != nil {
 		return nil, err
 	}
-	q.stats.Out++
+	q.stats.out.Add(1)
 	return []Result{res}, nil
 }
 
@@ -715,6 +759,7 @@ func (q *Query) decorate(t *stream.Tuple, mcValues [][]float64, unsure bool) (Re
 	res := Result{Tuple: t, Unsure: unsure}
 	cfg := q.eng.cfg
 	if cfg.Method != AccuracyNone {
+		recovering := q.eng.recovering.Load()
 		for i, f := range t.Fields {
 			if !t.Schema.Columns[i].Probabilistic || f.N < 2 {
 				continue
@@ -727,7 +772,7 @@ func (q *Query) decorate(t *stream.Tuple, mcValues [][]float64, unsure bool) (Re
 				res.Fields = make(map[string]*accuracy.Info)
 			}
 			res.Fields[t.Schema.Columns[i].Name] = info
-			q.telem.observeField(info)
+			q.telem.observeField(info, recovering)
 		}
 		if t.Prob < 1 && t.ProbN >= 1 {
 			iv, err := accuracy.TupleProbInterval(t.Prob, t.ProbN, cfg.Level)
@@ -735,7 +780,7 @@ func (q *Query) decorate(t *stream.Tuple, mcValues [][]float64, unsure bool) (Re
 				return Result{}, err
 			}
 			res.TupleProb = &iv
-			q.telem.observeTupleProb(iv)
+			q.telem.observeTupleProb(iv, recovering)
 		}
 	}
 	return res, nil

@@ -68,7 +68,7 @@ func (q *Query) State() *QueryState {
 	st := &QueryState{
 		Eval:  q.ev.RNG().State(),
 		Boot:  q.rng.State(),
-		Stats: q.stats,
+		Stats: q.stats.snapshot(),
 	}
 	switch {
 	case q.window != nil:
@@ -126,7 +126,7 @@ func (q *Query) SetState(st *QueryState) error {
 	if err := q.rng.SetState(st.Boot); err != nil {
 		return fmt.Errorf("core: bootstrap RNG: %w", err)
 	}
-	q.stats = st.Stats
+	q.stats.restore(st.Stats)
 	if st.Window != nil {
 		tuples, err := restoreTuples(q.in, st.Window)
 		if err != nil {

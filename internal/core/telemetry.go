@@ -2,6 +2,7 @@ package core
 
 import (
 	"math"
+	"sync"
 
 	"repro/internal/accuracy"
 	"repro/internal/metrics"
@@ -24,6 +25,8 @@ var (
 		"result tuples emitted by continuous queries")
 	hPush = metrics.Default.Histogram("asdb_query_push_seconds",
 		"wall time of one Query.Push call", metrics.DefBuckets)
+	mRecoveryPushes = metrics.Default.Counter("asdb_query_recovery_push_total",
+		"tuples replayed into queries during WAL recovery (segregated from asdb_query_push_total)")
 
 	// Global accuracy telemetry: the live distribution of interval widths
 	// the engine is reporting, the paper's figure of merit ("the smaller an
@@ -44,9 +47,9 @@ var accuracyWidthBuckets = []float64{0.001, 0.005, 0.02, 0.05, 0.1, 0.25, 0.5, 1
 var probWidthBuckets = []float64{0.01, 0.02, 0.05, 0.1, 0.15, 0.25, 0.4, 0.6, 0.8, 1}
 
 // telemetryRing is a fixed-size ring of recent observations plus running
-// aggregates over everything ever observed. Like the rest of a Query it is
-// single-goroutine; snapshots are taken under the owner's serialization
-// (the server's command mutex).
+// aggregates over everything ever observed. Rings are written during Push
+// (under the query's shard lock) and snapshotted by METRICS from arbitrary
+// connections, so queryTelemetry guards them with its own mutex.
 const telemetryRingSize = 64
 
 type telemetryRing struct {
@@ -108,8 +111,11 @@ func (r *telemetryRing) snapshot() RollingStat {
 }
 
 // queryTelemetry accumulates per-query accuracy telemetry as results are
-// decorated.
+// decorated. The per-query rings always update — during WAL replay they are
+// reconstructing pre-crash state — while the process-global instruments are
+// skipped when the engine is recovering.
 type queryTelemetry struct {
+	mu        sync.Mutex
 	fields    uint64 // fields decorated with accuracy info
 	tupleProb uint64 // results carrying a tuple-probability interval
 	meanHW    telemetryRing
@@ -120,7 +126,8 @@ type queryTelemetry struct {
 	maxDF     int
 }
 
-func (qt *queryTelemetry) observeField(info *accuracy.Info) {
+func (qt *queryTelemetry) observeField(info *accuracy.Info, recovering bool) {
+	qt.mu.Lock()
 	qt.fields++
 	qt.meanHW.observe(info.Mean.Length() / 2)
 	qt.varWidth.observe(info.Variance.Length())
@@ -131,14 +138,21 @@ func (qt *queryTelemetry) observeField(info *accuracy.Info) {
 		qt.maxDF = info.N
 	}
 	qt.lastDF = info.N
-	hMeanHW.Observe(info.Mean.Length() / 2)
-	gLastDF.Set(int64(info.N))
+	qt.mu.Unlock()
+	if !recovering {
+		hMeanHW.Observe(info.Mean.Length() / 2)
+		gLastDF.Set(int64(info.N))
+	}
 }
 
-func (qt *queryTelemetry) observeTupleProb(iv accuracy.Interval) {
+func (qt *queryTelemetry) observeTupleProb(iv accuracy.Interval, recovering bool) {
+	qt.mu.Lock()
 	qt.tupleProb++
 	qt.probWidth.observe(iv.Length())
-	hTupleProbW.Observe(iv.Length())
+	qt.mu.Unlock()
+	if !recovering {
+		hTupleProbW.Observe(iv.Length())
+	}
 }
 
 // DFStat summarizes the d.f. sample sizes (Definition 2 / Lemma 3) observed
@@ -167,10 +181,12 @@ type Telemetry struct {
 	DF DFStat `json:"df"`
 }
 
-// Telemetry returns a snapshot of the query's accuracy telemetry. Like every
-// Query method it must be serialized with Push by the caller.
+// Telemetry returns a snapshot of the query's accuracy telemetry. Safe to
+// call concurrently with Push.
 func (q *Query) Telemetry() Telemetry {
 	qt := &q.telem
+	qt.mu.Lock()
+	defer qt.mu.Unlock()
 	return Telemetry{
 		Fields:          qt.fields,
 		TupleProbs:      qt.tupleProb,

@@ -1,7 +1,7 @@
 // Package repl implements the interactive shell over an embedded engine —
 // the logic behind cmd/asdb, factored out so it can be tested. It accepts
-// the same STREAM / QUERY / INSERT / LOAD / STATS / EXPLAIN / CLOSE
-// commands as the network protocol and prints results (with accuracy
+// the same STREAM / QUERY / INSERT / INSERTBATCH / LOAD / STATS / EXPLAIN /
+// CLOSE commands as the network protocol and prints results (with accuracy
 // information) to its output writer.
 //
 // With Config.DataDir set the REPL is durable: state-changing commands are
@@ -9,12 +9,15 @@
 // periodically, exactly like the network daemon. On startup the REPL
 // recovers the latest checkpoint plus the WAL suffix (replay output is
 // suppressed — those results were already printed by the previous run).
-// LOAD is journaled per learned tuple, so replaying a LOAD does not need
-// the source CSV to still exist.
+// LOAD and INSERTBATCH are journaled as one WAL batch of per-tuple insert
+// records (one fsync for the whole batch under fsync=always), so replaying
+// a LOAD does not need the source CSV to still exist, and a crash
+// mid-batch recovers the durable prefix of the batch.
 package repl
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"os"
@@ -29,10 +32,13 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/randvar"
 	"repro/internal/server"
-	"repro/internal/sql"
-	"repro/internal/stream"
 	"repro/internal/wal"
 )
+
+// loadChunk is how many tuples LOAD pushes (and journals) per engine
+// batch: large enough to amortize lock and fsync costs, small enough to
+// keep result output flowing.
+const loadChunk = 128
 
 // REPL owns the embedded engine and registered queries. Not safe for
 // concurrent use.
@@ -53,7 +59,6 @@ type REPL struct {
 type replQuery struct {
 	query   *core.Query
 	sqlText string
-	streams map[string]bool // lower-cased input streams (2 for joins)
 }
 
 // New builds a REPL over a fresh engine, recovering durable state when the
@@ -85,6 +90,11 @@ func New(cfg core.Config, out io.Writer) (*REPL, error) {
 	if err != nil {
 		return nil, err
 	}
+	// Recovery mode reroutes steady-state ingest metrics to a dedicated
+	// counter so the recovered process reports the same values as one
+	// that never crashed.
+	eng.SetRecovering(true)
+	defer eng.SetRecovering(false)
 	from := uint64(1)
 	if snap != nil {
 		restored, err := checkpoint.Restore(eng, snap)
@@ -92,11 +102,10 @@ func New(cfg core.Config, out io.Writer) (*REPL, error) {
 			return nil, fmt.Errorf("repl: restoring checkpoint (lsn %d): %w", snap.LSN, err)
 		}
 		for _, q := range restored {
-			streams, err := sourceStreams(q.SQL)
-			if err != nil {
+			if err := eng.Bind(q.ID, q.Query); err != nil {
 				return nil, fmt.Errorf("repl: restored query %s: %w", q.ID, err)
 			}
-			r.queries[q.ID] = &replQuery{query: q.Query, sqlText: q.SQL, streams: streams}
+			r.queries[q.ID] = &replQuery{query: q.Query, sqlText: q.SQL}
 		}
 		from = snap.LSN + 1
 	}
@@ -122,18 +131,6 @@ func New(cfg core.Config, out io.Writer) (*REPL, error) {
 			len(r.queries), len(eng.Streams()), wlog.LastLSN())
 	}
 	return r, nil
-}
-
-func sourceStreams(sqlText string) (map[string]bool, error) {
-	stmt, err := sql.Parse(sqlText)
-	if err != nil {
-		return nil, err
-	}
-	streams := map[string]bool{strings.ToLower(stmt.From): true}
-	if stmt.Join != nil {
-		streams[strings.ToLower(stmt.Join.Right)] = true
-	}
-	return streams, nil
 }
 
 // Close writes a final checkpoint and closes the WAL. Safe to call on a
@@ -164,6 +161,9 @@ const HelpText = `commands:
   STREAM  <name> <col>[:dist] ...   register a stream
   QUERY   <id> <sql>                compile a continuous query
   INSERT  <stream> <field> ...      push a tuple (fields: 12.5 | N(mu,s2,n) | S(v;v;...) | H(e,e|c,c))
+  INSERTBATCH <stream> <field> ... | <field> ...
+                                    push several tuples in one engine batch
+                                    ("|" separates tuples; one WAL fsync)
   LOAD    <stream> <file> KEY <col> VALUE <col> [TIME <col>]
                                     learn per-key distributions from a CSV and insert them
   EXPLAIN <id>                      show a query's compiled plan
@@ -191,6 +191,8 @@ func (r *REPL) Exec(line string) error {
 		return r.cmdQuery(rest)
 	case "INSERT":
 		return r.cmdInsert(rest)
+	case "INSERTBATCH":
+		return r.cmdInsertBatch(rest)
 	case "LOAD":
 		return r.cmdLoad(rest)
 	case "EXPLAIN":
@@ -208,27 +210,51 @@ func (r *REPL) Exec(line string) error {
 	return fmt.Errorf("unknown command %q (try HELP)", cmd)
 }
 
-// journal appends one record and checkpoints when due. No-op while
-// non-durable (including during replay, before r.wal is set).
+// journal appends one record to the WAL. No-op while non-durable
+// (including during replay, before r.wal is set). Callers follow up with
+// maybeCheckpoint once the command's engine effects are complete —
+// checkpointing re-enters the engine, so it must never run inside an
+// ingest commit hook.
 func (r *REPL) journal(typ wal.RecordType, payload string) error {
 	if r.wal == nil {
 		return nil
 	}
-	lsn, err := r.wal.Append(typ, []byte(payload))
-	if err != nil {
+	if _, err := r.wal.Append(typ, []byte(payload)); err != nil {
 		return fmt.Errorf("wal append failed: %w", err)
 	}
 	r.sinceCk++
-	if r.ckEvery > 0 && r.sinceCk >= r.ckEvery {
-		if err := r.checkpointNow(lsn); err != nil {
-			// Non-fatal: the WAL still covers everything since the last
-			// successful checkpoint.
-			fmt.Fprintf(r.out, "checkpoint at lsn %d failed: %v\n", lsn, err)
-		} else {
-			r.sinceCk = 0
-		}
-	}
 	return nil
+}
+
+// journalBatch appends per-tuple records as one WAL batch: a single flush
+// and (under fsync=always) a single fsync for the whole batch. A crash
+// mid-batch leaves a valid prefix of records, which recovery replays —
+// matching the engine, whose durable state is exactly the committed
+// prefix.
+func (r *REPL) journalBatch(typ wal.RecordType, payloads [][]byte) error {
+	if r.wal == nil || len(payloads) == 0 {
+		return nil
+	}
+	if _, _, err := r.wal.AppendBatch(typ, payloads); err != nil {
+		return fmt.Errorf("wal append failed: %w", err)
+	}
+	r.sinceCk += len(payloads)
+	return nil
+}
+
+// maybeCheckpoint writes a checkpoint when the record cadence is due.
+func (r *REPL) maybeCheckpoint() {
+	if r.wal == nil || r.ckEvery <= 0 || r.sinceCk < r.ckEvery {
+		return
+	}
+	lsn := r.wal.LastLSN()
+	if err := r.checkpointNow(lsn); err != nil {
+		// Non-fatal: the WAL still covers everything since the last
+		// successful checkpoint.
+		fmt.Fprintf(r.out, "checkpoint at lsn %d failed: %v\n", lsn, err)
+		return
+	}
+	r.sinceCk = 0
 }
 
 func (r *REPL) checkpointNow(lsn uint64) error {
@@ -302,7 +328,11 @@ func (r *REPL) cmdStream(rest string) error {
 	if err := r.applyStream(rest); err != nil {
 		return err
 	}
-	return r.journal(wal.RecStream, rest)
+	if err := r.journal(wal.RecStream, rest); err != nil {
+		return err
+	}
+	r.maybeCheckpoint()
+	return nil
 }
 
 func (r *REPL) applyQuery(id, sqlText string) error {
@@ -312,15 +342,14 @@ func (r *REPL) applyQuery(id, sqlText string) error {
 	if _, dup := r.queries[id]; dup {
 		return fmt.Errorf("query id %q already in use", id)
 	}
-	streams, err := sourceStreams(sqlText)
-	if err != nil {
-		return err
-	}
 	q, err := r.eng.Compile(sqlText)
 	if err != nil {
 		return err
 	}
-	r.queries[id] = &replQuery{query: q, sqlText: q.SQL(), streams: streams}
+	if err := r.eng.Bind(id, q); err != nil {
+		return err
+	}
+	r.queries[id] = &replQuery{query: q, sqlText: q.SQL()}
 	fmt.Fprintf(r.out, "query %s: %s\n", id, q)
 	return nil
 }
@@ -336,60 +365,57 @@ func (r *REPL) cmdQuery(rest string) error {
 	}
 	// Journal the normalized statement so replay compiles the exact text
 	// the checkpoint will reference.
-	return r.journal(wal.RecQuery, id+" "+r.queries[id].sqlText)
+	if err := r.journal(wal.RecQuery, id+" "+r.queries[id].sqlText); err != nil {
+		return err
+	}
+	r.maybeCheckpoint()
+	return nil
 }
 
-// deliver pushes a built tuple to every query reading its stream (in
-// query-id order, so partial effects of a failing push are deterministic)
-// and prints results as JSON lines. The first push error is returned after
-// every query has been offered the tuple.
-func (r *REPL) deliver(streamName string, t *stream.Tuple) (int, error) {
-	want := strings.ToLower(streamName)
-	ids := make([]string, 0, len(r.queries))
-	for id, rq := range r.queries {
-		if rq.streams[want] {
-			ids = append(ids, id)
-		}
+// insertRecord is the WAL payload of one tuple: "<stream> <ts> <spec> ...".
+func insertRecord(streamName string, row core.IngestRow) []byte {
+	specs := make([]string, len(row.Fields))
+	for i, f := range row.Fields {
+		specs[i] = server.FormatFieldSpec(f)
 	}
-	sort.Strings(ids)
-	emitted := 0
-	var firstErr error
-	for _, id := range ids {
-		results, err := r.queries[id].query.Push(t)
-		if err != nil && firstErr == nil {
-			firstErr = fmt.Errorf("query %s: %w", id, err)
-		}
-		for _, res := range results {
-			payload, err := json.Marshal(server.EncodeResult(res))
-			if err != nil {
-				return emitted, err
-			}
-			fmt.Fprintf(r.out, "%s => %s\n", id, payload)
-			emitted++
-		}
-	}
-	return emitted, firstErr
+	return []byte(streamName + " " + strconv.FormatInt(row.Time, 10) + " " + strings.Join(specs, " "))
 }
 
-// pushTuple builds a tuple, delivers it, then journals the insert.
-func (r *REPL) pushTuple(streamName string, vals []randvar.Field, ts int64) (int, error) {
-	t, err := r.eng.NewTuple(streamName, vals)
+// ingestRows pushes a batch through the engine's sharded ingest path. The
+// per-tuple WAL records are appended as one batch inside the engine's
+// commit hook (so journal order provably equals engine sequence order),
+// results are printed per query in sorted query-id order, and per-query
+// push errors are aggregated after every query has seen the batch.
+func (r *REPL) ingestRows(streamName string, rows []core.IngestRow) (int, error) {
+	payloads := make([][]byte, len(rows))
+	for i, row := range rows {
+		payloads[i] = insertRecord(streamName, row)
+	}
+	commit := func() error { return r.journalBatch(wal.RecInsert, payloads) }
+	results, err := r.eng.IngestBatch(streamName, rows, commit)
 	if err != nil {
 		return 0, err
 	}
-	t.Time = ts
-	emitted, firstErr := r.deliver(streamName, t)
-	// The tuple consumed engine state (sequence number, query pushes), so
-	// journal even when a query errored — replay must repeat the effects.
-	specs := make([]string, len(vals))
-	for i, f := range vals {
-		specs[i] = server.FormatFieldSpec(f)
+	emitted := 0
+	var pushErrs []string
+	for _, qr := range results {
+		if qr.Err != nil {
+			pushErrs = append(pushErrs, fmt.Sprintf("query %s: %v", qr.ID, qr.Err))
+		}
+		for _, res := range qr.Results {
+			payload, merr := json.Marshal(server.EncodeResult(res))
+			if merr != nil {
+				return emitted, merr
+			}
+			fmt.Fprintf(r.out, "%s => %s\n", qr.ID, payload)
+			emitted++
+		}
 	}
-	payload := streamName + " " + strconv.FormatInt(ts, 10) + " " + strings.Join(specs, " ")
-	if jerr := r.journal(wal.RecInsert, payload); jerr != nil && firstErr == nil {
-		firstErr = jerr
+	r.maybeCheckpoint()
+	if len(pushErrs) > 0 {
+		return emitted, errors.New(strings.Join(pushErrs, "; "))
 	}
-	return emitted, firstErr
+	return emitted, nil
 }
 
 // applyInsertRecord replays one journaled insert ("<stream> <ts> <spec>
@@ -412,13 +438,28 @@ func (r *REPL) applyInsertRecord(payload string) (hard bool, err error) {
 		}
 		vals = append(vals, f)
 	}
-	t, err := r.eng.NewTuple(fields[0], vals)
+	results, err := r.eng.IngestBatch(fields[0], []core.IngestRow{{Fields: vals, Time: ts}}, nil)
 	if err != nil {
 		return true, err
 	}
-	t.Time = ts
-	_, err = r.deliver(fields[0], t)
-	return false, err
+	for _, qr := range results {
+		if qr.Err != nil {
+			return false, fmt.Errorf("query %s: %w", qr.ID, qr.Err)
+		}
+	}
+	return false, nil
+}
+
+func parseFieldSpecs(specs []string) ([]randvar.Field, error) {
+	vals := make([]randvar.Field, 0, len(specs))
+	for _, spec := range specs {
+		f, err := server.ParseFieldSpec(spec)
+		if err != nil {
+			return nil, err
+		}
+		vals = append(vals, f)
+	}
+	return vals, nil
 }
 
 func (r *REPL) cmdInsert(rest string) error {
@@ -426,16 +467,51 @@ func (r *REPL) cmdInsert(rest string) error {
 	if len(fields) < 2 {
 		return fmt.Errorf("usage: INSERT <stream> <field> ...")
 	}
-	vals := make([]randvar.Field, 0, len(fields)-1)
-	for _, spec := range fields[1:] {
-		f, err := server.ParseFieldSpec(spec)
+	vals, err := parseFieldSpecs(fields[1:])
+	if err != nil {
+		return err
+	}
+	_, err = r.ingestRows(fields[0], []core.IngestRow{{Fields: vals}})
+	return err
+}
+
+func (r *REPL) cmdInsertBatch(rest string) error {
+	fields := strings.Fields(rest)
+	if len(fields) < 2 {
+		return fmt.Errorf("usage: INSERTBATCH <stream> <field> ... | <field> ...")
+	}
+	var rows []core.IngestRow
+	var cur []string
+	flush := func() error {
+		if len(cur) == 0 {
+			return fmt.Errorf("empty tuple in batch")
+		}
+		vals, err := parseFieldSpecs(cur)
 		if err != nil {
 			return err
 		}
-		vals = append(vals, f)
+		rows = append(rows, core.IngestRow{Fields: vals})
+		cur = cur[:0]
+		return nil
 	}
-	_, err := r.pushTuple(fields[0], vals, 0)
-	return err
+	for _, tok := range fields[1:] {
+		if tok == "|" {
+			if err := flush(); err != nil {
+				return err
+			}
+			continue
+		}
+		cur = append(cur, tok)
+	}
+	if err := flush(); err != nil {
+		return err
+	}
+	emitted, err := r.ingestRows(fields[0], rows)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(r.out, "inserted %d tuples (%d results)\n", len(rows), emitted)
+	return nil
 }
 
 func (r *REPL) cmdLoad(rest string) error {
@@ -456,16 +532,29 @@ func (r *REPL) cmdLoad(rest string) error {
 	if err != nil {
 		return err
 	}
+	// Chunked batches: each chunk is one engine ingest (shard locks taken
+	// once) and one WAL batch of per-tuple records (journaled so replay
+	// never re-reads the CSV; a crash mid-load recovers the durable
+	// prefix).
 	inserted, emitted := 0, 0
-	for _, lt := range tuples {
-		// pushTuple journals each learned tuple individually, so replay
-		// never re-reads (or depends on) the CSV.
-		n, err := r.pushTuple(fields[0], []randvar.Field{randvar.Det(lt.Key), lt.Field}, lt.Time)
+	for start := 0; start < len(tuples); start += loadChunk {
+		end := start + loadChunk
+		if end > len(tuples) {
+			end = len(tuples)
+		}
+		rows := make([]core.IngestRow, 0, end-start)
+		for _, lt := range tuples[start:end] {
+			rows = append(rows, core.IngestRow{
+				Fields: []randvar.Field{randvar.Det(lt.Key), lt.Field},
+				Time:   lt.Time,
+			})
+		}
+		n, err := r.ingestRows(fields[0], rows)
 		emitted += n
 		if err != nil {
 			return err
 		}
-		inserted++
+		inserted += len(rows)
 	}
 	fmt.Fprintf(r.out, "loaded %d tuples (%d results)\n", inserted, emitted)
 	return nil
@@ -521,6 +610,7 @@ func (r *REPL) applyClose(id string) error {
 		return fmt.Errorf("unknown query %q", id)
 	}
 	delete(r.queries, id)
+	r.eng.Unbind(id)
 	fmt.Fprintf(r.out, "closed %s\n", id)
 	return nil
 }
@@ -529,5 +619,9 @@ func (r *REPL) cmdClose(rest string) error {
 	if err := r.applyClose(rest); err != nil {
 		return err
 	}
-	return r.journal(wal.RecClose, rest)
+	if err := r.journal(wal.RecClose, rest); err != nil {
+		return err
+	}
+	r.maybeCheckpoint()
+	return nil
 }

@@ -188,6 +188,32 @@ func (cl *Client) Insert(streamName string, fields ...randvar.Field) (int, error
 	return n, nil
 }
 
+// InsertBatch pushes several tuples in one round trip (and, with
+// durability on, one WAL record and at most one fsync). Returns the number
+// of query results the batch produced server-side.
+func (cl *Client) InsertBatch(streamName string, rows ...[]randvar.Field) (int, error) {
+	if len(rows) == 0 {
+		return 0, errors.New("server: empty batch")
+	}
+	parts := make([]string, 0, 2+2*len(rows))
+	parts = append(parts, "INSERTBATCH", streamName)
+	for i, fields := range rows {
+		if i > 0 {
+			parts = append(parts, "|")
+		}
+		for _, f := range fields {
+			parts = append(parts, FormatFieldSpec(f))
+		}
+	}
+	payload, err := cl.roundTrip(strings.Join(parts, " "))
+	if err != nil {
+		return 0, err
+	}
+	tuples, results := 0, 0
+	fmt.Sscanf(payload, "inserted tuples=%d results=%d", &tuples, &results)
+	return results, nil
+}
+
 // Stats fetches a query's counters.
 func (cl *Client) Stats(id string) (core.QueryStats, error) {
 	payload, err := cl.roundTrip("STATS " + id)

@@ -64,7 +64,7 @@ func crash(s *Server) {
 	for _, nc := range s.conns {
 		conns = append(conns, nc)
 	}
-	s.wal = nil // journaling (incl. disconnect-driven CLOSE records) stops here
+	s.wal.Store(nil) // journaling (incl. disconnect-driven CLOSE records) stops here
 	s.ck = nil
 	s.mu.Unlock()
 	if ln != nil {

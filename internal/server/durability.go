@@ -8,6 +8,11 @@ package server
 // RNG states) or re-executed (WAL replay), a recovered server is
 // bit-identical to one that never crashed: the same inserts produce the
 // same results at any Workers setting.
+//
+// Replay runs with Engine.SetRecovering(true), which reroutes the
+// steady-state ingest/push metrics to a dedicated recovery counter, so a
+// recovered process reports the same metric values as one that never
+// crashed (asserted by TestRecoveryMetricsParity).
 
 import (
 	"fmt"
@@ -47,6 +52,8 @@ func NewDurable(engine *core.Engine, logger *log.Logger) (*Server, error) {
 	if err != nil {
 		return nil, err
 	}
+	engine.SetRecovering(true)
+	defer engine.SetRecovering(false)
 	from := uint64(1)
 	if snap != nil {
 		restored, err := checkpoint.Restore(engine, snap)
@@ -54,13 +61,10 @@ func NewDurable(engine *core.Engine, logger *log.Logger) (*Server, error) {
 			return nil, fmt.Errorf("server: restoring checkpoint (lsn %d): %w", snap.LSN, err)
 		}
 		for _, r := range restored {
-			streams, err := sourceStreams(r.SQL)
-			if err != nil {
+			if err := engine.Bind(r.ID, r.Query); err != nil {
 				return nil, fmt.Errorf("server: restored query %s: %w", r.ID, err)
 			}
-			s.queries[r.ID] = &registeredQuery{
-				id: r.ID, sqlText: r.SQL, query: r.Query, streams: streams,
-			}
+			s.queries[r.ID] = &registeredQuery{id: r.ID, sqlText: r.SQL, query: r.Query}
 		}
 		from = snap.LSN + 1
 		s.logf("recovery: checkpoint lsn=%d (%d streams, %d queries)",
@@ -82,23 +86,21 @@ func NewDurable(engine *core.Engine, logger *log.Logger) (*Server, error) {
 		return nil, fmt.Errorf("server: wal replay: %w", err)
 	}
 	s.logf("recovery: replayed %d wal records (lsn %d..%d)", replayed, from, wlog.LastLSN())
-	s.mu.Lock()
-	s.wal = wlog
+	s.wal.Store(wlog)
 	s.ck = ckm
 	s.ckEvery = cfg.CheckpointEvery
-	s.mu.Unlock()
 	return s, nil
 }
 
 // applyRecord re-executes one journaled command during recovery, through
-// the same code paths live commands use.
+// the same code paths live commands use. Recovery is single-threaded, so
+// the Exclusive quiesce live commands need is unnecessary here; s.mu is
+// taken only around registry mutations.
 func (s *Server) applyRecord(rec wal.Record) error {
 	payload := string(rec.Payload)
-	s.mu.Lock()
-	defer s.mu.Unlock()
 	switch rec.Type {
 	case wal.RecStream:
-		if _, err := s.applyStreamLocked(payload); err != nil {
+		if _, err := s.applyStream(payload); err != nil {
 			return fmt.Errorf("lsn %d (STREAM): %w", rec.LSN, err)
 		}
 	case wal.RecQuery:
@@ -106,21 +108,33 @@ func (s *Server) applyRecord(rec wal.Record) error {
 		if idx := indexByteSpace(payload); idx >= 0 {
 			id, sqlText = payload[:idx], payload[idx+1:]
 		}
-		if err := s.applyQueryLocked(id, sqlText, nil); err != nil {
+		s.mu.Lock()
+		err := s.applyQueryLocked(id, sqlText, nil)
+		s.mu.Unlock()
+		if err != nil {
 			return fmt.Errorf("lsn %d (QUERY %s): %w", rec.LSN, id, err)
 		}
-	case wal.RecInsert:
-		_, _, pushErr, err := s.applyInsertLocked(payload, false)
+	case wal.RecInsert, wal.RecInsertBatch:
+		streamName, rows, err := parseInsertRows(payload, rec.Type == wal.RecInsertBatch)
 		if err != nil {
 			return fmt.Errorf("lsn %d (INSERT): %w", rec.LSN, err)
 		}
-		if pushErr != nil {
-			// The live run hit (and reported) the same per-query error;
-			// the partial effects are deterministic, so replay continues.
-			s.logf("replay lsn %d: %v", rec.LSN, pushErr)
+		results, err := s.engine.IngestBatch(streamName, rows, nil)
+		if err != nil {
+			return fmt.Errorf("lsn %d (INSERT): %w", rec.LSN, err)
+		}
+		for _, qr := range results {
+			if qr.Err != nil {
+				// The live run hit (and reported) the same per-query error;
+				// the partial effects are deterministic, so replay continues.
+				s.logf("replay lsn %d: query %s: %v", rec.LSN, qr.ID, qr.Err)
+			}
 		}
 	case wal.RecClose:
-		if err := s.applyCloseLocked(payload); err != nil {
+		s.mu.Lock()
+		err := s.applyCloseLocked(payload)
+		s.mu.Unlock()
+		if err != nil {
 			return fmt.Errorf("lsn %d (CLOSE): %w", rec.LSN, err)
 		}
 	default:
@@ -138,33 +152,71 @@ func indexByteSpace(s string) int {
 	return -1
 }
 
-// journalLocked appends one record to the WAL and checkpoints when the
-// cadence is due. No-op without durability. Caller holds s.mu.
-func (s *Server) journalLocked(typ wal.RecordType, payload string) error {
-	if s.wal == nil {
-		return nil
+// journal appends one record to the WAL without waiting for it to become
+// durable; callers pair it with waitDurable(lsn) after releasing whatever
+// locks they hold, so concurrent committers share fsyncs (group commit).
+// No-op (lsn 0) without durability. Safe under any lock, including the
+// engine's sequencing critical section — it touches no server mutex.
+func (s *Server) journal(typ wal.RecordType, payload string) (uint64, error) {
+	w := s.wal.Load()
+	if w == nil {
+		return 0, nil
 	}
-	lsn, err := s.wal.Append(typ, []byte(payload))
+	lsn, err := w.AppendAsync(typ, []byte(payload))
 	if err != nil {
 		s.logf("wal append: %v", err)
-		return fmt.Errorf("wal append failed: %w", err)
+		return 0, fmt.Errorf("wal append failed: %w", err)
 	}
-	s.sinceCk++
-	if s.ckEvery > 0 && s.sinceCk >= s.ckEvery {
-		if err := s.checkpointLocked(lsn); err != nil {
-			// A failed checkpoint is not fatal: the WAL still holds the
-			// full suffix after the previous checkpoint.
-			s.logf("checkpoint at lsn %d: %v", lsn, err)
-		} else {
-			s.sinceCk = 0
-		}
+	s.sinceCk.Add(1)
+	return lsn, nil
+}
+
+// waitDurable blocks until lsn is on stable storage (per the fsync
+// policy). lsn 0 means "nothing journaled".
+func (s *Server) waitDurable(lsn uint64) error {
+	if lsn == 0 {
+		return nil
+	}
+	w := s.wal.Load()
+	if w == nil {
+		return nil
+	}
+	if err := w.WaitDurable(lsn); err != nil {
+		return fmt.Errorf("wal sync failed: %w", err)
 	}
 	return nil
 }
 
+// maybeCheckpoint writes a checkpoint when the record cadence is due. It
+// quiesces the engine (Exclusive) so the snapshot is a consistent cut: any
+// journaled record's pushes complete under the shard locks before
+// Exclusive acquires them, so capturing at LastLSN is always safe.
+func (s *Server) maybeCheckpoint() {
+	if s.ckEvery <= 0 || s.sinceCk.Load() < int64(s.ckEvery) {
+		return
+	}
+	release := s.engine.Exclusive()
+	defer release()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	w := s.wal.Load()
+	if w == nil || s.ck == nil || s.sinceCk.Load() < int64(s.ckEvery) {
+		return
+	}
+	lsn := w.LastLSN()
+	if err := s.checkpointLocked(w, lsn); err != nil {
+		// A failed checkpoint is not fatal: the WAL still holds the full
+		// suffix after the previous checkpoint.
+		s.logf("checkpoint at lsn %d: %v", lsn, err)
+		return
+	}
+	s.sinceCk.Store(0)
+}
+
 // checkpointLocked captures engine + query state as of lsn, persists it,
-// and drops WAL segments the snapshot covers. Caller holds s.mu.
-func (s *Server) checkpointLocked(lsn uint64) error {
+// and drops WAL segments the snapshot covers. Caller holds s.mu and has
+// the engine quiesced (Exclusive, or single-threaded shutdown).
+func (s *Server) checkpointLocked(w *wal.Log, lsn uint64) error {
 	defs := make([]checkpoint.QueryDef, 0, len(s.queries))
 	for _, rq := range s.queries {
 		defs = append(defs, checkpoint.QueryDef{ID: rq.id, SQL: rq.sqlText, Query: rq.query})
@@ -177,7 +229,7 @@ func (s *Server) checkpointLocked(lsn uint64) error {
 	if err := s.ck.Save(snap); err != nil {
 		return err
 	}
-	if err := s.wal.TruncateThrough(lsn); err != nil {
+	if err := w.TruncateThrough(lsn); err != nil {
 		s.logf("wal truncate through %d: %v", lsn, err)
 	}
 	s.logf("checkpoint: lsn=%d queries=%d", lsn, len(defs))
@@ -187,21 +239,23 @@ func (s *Server) checkpointLocked(lsn uint64) error {
 // finalizeDurable writes a shutdown checkpoint and closes the WAL. Safe to
 // call more than once.
 func (s *Server) finalizeDurable() error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.wal == nil {
+	w := s.wal.Swap(nil)
+	if w == nil {
 		return nil
 	}
+	release := s.engine.Exclusive()
+	defer release()
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	var err error
-	if lsn := s.wal.LastLSN(); lsn > 0 {
-		err = s.checkpointLocked(lsn)
+	if lsn := w.LastLSN(); lsn > 0 {
+		err = s.checkpointLocked(w, lsn)
 	}
-	if serr := s.wal.Sync(); err == nil {
+	if serr := w.Sync(); err == nil {
 		err = serr
 	}
-	if cerr := s.wal.Close(); err == nil {
+	if cerr := w.Close(); err == nil {
 		err = cerr
 	}
-	s.wal = nil
 	return err
 }

@@ -16,8 +16,8 @@ import (
 // hot path only does a map lookup plus an atomic add.
 var (
 	mCmds = func() map[string]*metrics.Counter {
-		verbs := []string{"PING", "QUIT", "STREAM", "QUERY", "INSERT", "STATS",
-			"EXPLAIN", "ATTACH", "CLOSE", "METRICS", "UNKNOWN"}
+		verbs := []string{"PING", "QUIT", "STREAM", "QUERY", "INSERT", "INSERTBATCH",
+			"STATS", "EXPLAIN", "ATTACH", "CLOSE", "METRICS", "UNKNOWN"}
 		out := make(map[string]*metrics.Counter, len(verbs))
 		for _, v := range verbs {
 			out[v] = metrics.Default.Counter(
@@ -73,9 +73,9 @@ func (s *Server) cmdMetrics(c *conn, rest string) error {
 	rq, ok := s.queries[id]
 	var qm queryMetrics
 	if ok {
-		// Telemetry shares the Query's single-goroutine contract with Push,
-		// so the snapshot is taken under the same mutex that serializes
-		// inserts.
+		// Stats and Telemetry are safe to snapshot concurrently with Push
+		// (atomic counters, internally locked rings), so holding s.mu here
+		// only protects the registry lookup.
 		qm = queryMetrics{ID: rq.id, Stats: rq.query.Stats(), Telemetry: rq.query.Telemetry()}
 	}
 	s.mu.Unlock()

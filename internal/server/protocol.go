@@ -12,6 +12,10 @@
 //	STREAM <name> <col>[:dist] ...      register a stream schema
 //	QUERY  <id> <sql>                   compile a continuous query
 //	INSERT <stream> <field> ...         push one tuple
+//	INSERTBATCH <stream> <field> ... [| <field> ...]
+//	                                    push several tuples atomically;
+//	                                    "|" separates tuples. One engine
+//	                                    batch, one WAL record, one fsync
 //	STATS  <id>                         query counters
 //	METRICS [<id>]                      process metrics, or one query's
 //	                                    accuracy telemetry (JSON)
@@ -29,7 +33,7 @@
 // another live connection is an error. Attachment is transport state, not
 // database state: it is never journaled and does not survive a restart.
 //
-// Field syntax for INSERT:
+// Field syntax for INSERT and INSERTBATCH:
 //
 //	12.5                 deterministic value
 //	N(mu,sigma2,n)       Gaussian learned from n observations

@@ -11,23 +11,33 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/checkpoint"
 	"repro/internal/core"
 	"repro/internal/randvar"
-	"repro/internal/sql"
 	"repro/internal/wal"
 )
 
-// Server hosts one Engine over TCP. Safe for concurrent connections:
-// stream/query registries are guarded by mu, and tuple pushes are
-// serialized (the single-writer model of a stream engine).
+// Server hosts one Engine over TCP. Safe for concurrent connections.
 //
-// With durability enabled (see NewDurable), every state-changing command —
-// STREAM, QUERY, INSERT, CLOSE, and implicit query drops on disconnect —
-// is applied and journaled to the write-ahead log under the same mutex, so
-// the WAL order equals the apply order and replay is deterministic.
+// Ingest is sharded: INSERT/INSERTBATCH go through core.Engine.IngestBatch,
+// which serializes per stream-shard group rather than globally, so clients
+// feeding different streams push tuples in parallel. Control-plane commands
+// (STREAM, QUERY, CLOSE, disconnect-driven drops, checkpoints) quiesce the
+// engine with Engine.Exclusive and then take s.mu, which guards the query
+// registry and connection table. Lock order is therefore
+// Exclusive (ctl + all shards) → s.mu; no path takes engine locks while
+// holding s.mu.
+//
+// With durability enabled (see NewDurable), every state-changing command is
+// journaled: ingest journals inside the engine's sequencing critical
+// section (the commit hook of IngestBatch), so WAL order provably equals
+// engine sequence order even with concurrent writers, and replay is
+// deterministic. Under fsync=always the WAL uses group commit — the append
+// happens inside the critical section, the fsync wait outside it — so
+// concurrent committers and whole batches share fsyncs.
 type Server struct {
 	engine *core.Engine
 	logger *log.Logger
@@ -40,19 +50,21 @@ type Server struct {
 	connWG   sync.WaitGroup
 	nextConn uint64
 
-	// Durability (nil wal disables). sinceCk counts WAL records since the
-	// last checkpoint; at ckEvery a new checkpoint is captured inline.
-	wal     *wal.Log
+	// Durability (nil wal pointer disables). wal is an atomic pointer so
+	// the ingest commit hook — which runs under engine shard locks, never
+	// s.mu — can journal without inverting the lock order. sinceCk counts
+	// WAL records since the last checkpoint; ck/ckEvery are set once
+	// before Serve and read-only afterwards.
+	wal     atomic.Pointer[wal.Log]
 	ck      *checkpoint.Manager
 	ckEvery int
-	sinceCk int
+	sinceCk atomic.Int64
 }
 
 type registeredQuery struct {
 	id      string
 	sqlText string
 	query   *core.Query
-	streams map[string]bool // lower-cased source stream names (2 for joins)
 	// owner is the connection results are delivered to; nil for detached
 	// queries (recovered after a crash, until a client ATTACHes).
 	owner *conn
@@ -248,6 +260,8 @@ func (s *Server) dispatch(c *conn, line string) (bool, error) {
 		return false, s.cmdQuery(c, rest)
 	case "INSERT":
 		return false, s.cmdInsert(c, rest)
+	case "INSERTBATCH":
+		return false, s.cmdInsertBatch(c, rest)
 	case "STATS":
 		return false, s.cmdStats(c, rest)
 	case "METRICS":
@@ -262,9 +276,9 @@ func (s *Server) dispatch(c *conn, line string) (bool, error) {
 	return false, fmt.Errorf("unknown command %q", cmd)
 }
 
-// applyStreamLocked registers a stream from a STREAM command payload.
-// Caller holds s.mu.
-func (s *Server) applyStreamLocked(rest string) (string, error) {
+// applyStream registers a stream from a STREAM command payload. Caller
+// holds Exclusive (or is the single-threaded replay loop).
+func (s *Server) applyStream(rest string) (string, error) {
 	fields := strings.Fields(rest)
 	if len(fields) < 2 {
 		return "", errors.New("usage: STREAM <name> <col>[:dist] ...")
@@ -281,22 +295,28 @@ func (s *Server) applyStreamLocked(rest string) (string, error) {
 }
 
 func (s *Server) cmdStream(c *conn, rest string) error {
-	s.mu.Lock()
-	name, err := s.applyStreamLocked(rest)
+	release := s.engine.Exclusive()
+	name, err := s.applyStream(rest)
+	var lsn uint64
 	if err == nil {
-		err = s.journalLocked(wal.RecStream, rest)
+		lsn, err = s.journal(wal.RecStream, rest)
 	}
-	s.mu.Unlock()
+	release()
 	if err != nil {
 		return err
 	}
+	if err := s.waitDurable(lsn); err != nil {
+		return err
+	}
+	s.maybeCheckpoint()
 	return c.writeLine("OK stream " + name)
 }
 
-// applyQueryLocked compiles and registers a query. The duplicate-id check
-// runs before compilation so a rejected registration consumes no engine
-// sequence number (WAL replay must see identical seq evolution). Caller
-// holds s.mu.
+// applyQueryLocked compiles, binds, and registers a query. The
+// duplicate-id check runs before compilation so a rejected registration
+// consumes no engine sequence number (WAL replay must see identical seq
+// evolution). Caller holds s.mu plus Exclusive (or is the single-threaded
+// replay loop).
 func (s *Server) applyQueryLocked(id, sqlText string, owner *conn) error {
 	if id == "" || sqlText == "" {
 		return errors.New("usage: QUERY <id> <sql>")
@@ -304,15 +324,14 @@ func (s *Server) applyQueryLocked(id, sqlText string, owner *conn) error {
 	if _, dup := s.queries[id]; dup {
 		return fmt.Errorf("query id %q already in use", id)
 	}
-	streams, err := sourceStreams(sqlText)
-	if err != nil {
-		return err
-	}
 	q, err := s.engine.Compile(sqlText)
 	if err != nil {
 		return err
 	}
-	s.queries[id] = &registeredQuery{id: id, sqlText: sqlText, query: q, streams: streams, owner: owner}
+	if err := s.engine.Bind(id, q); err != nil {
+		return err
+	}
+	s.queries[id] = &registeredQuery{id: id, sqlText: sqlText, query: q, owner: owner}
 	s.logf("query %s registered: %s", id, sqlText)
 	return nil
 }
@@ -323,125 +342,168 @@ func (s *Server) cmdQuery(c *conn, rest string) error {
 		return errors.New("usage: QUERY <id> <sql>")
 	}
 	id, sqlText := rest[:idx], strings.TrimSpace(rest[idx+1:])
+	release := s.engine.Exclusive()
 	s.mu.Lock()
 	err := s.applyQueryLocked(id, sqlText, c)
+	var lsn uint64
 	if err == nil {
-		err = s.journalLocked(wal.RecQuery, id+" "+sqlText)
+		lsn, err = s.journal(wal.RecQuery, id+" "+sqlText)
 	}
 	s.mu.Unlock()
+	release()
 	if err != nil {
 		return err
 	}
+	if err := s.waitDurable(lsn); err != nil {
+		return err
+	}
+	s.maybeCheckpoint()
 	return c.writeLine("OK query " + id)
 }
 
-// sourceStreams returns the lower-cased input stream names of a statement
-// (one for plain queries, two for joins).
-func sourceStreams(sqlText string) (map[string]bool, error) {
-	stmt, err := sql.Parse(sqlText)
-	if err != nil {
-		return nil, err
+// parseInsertRows parses an ingest payload: "<stream> <field> ..." for a
+// single tuple, or — with batch set — "<stream> <field> ... | <field> ..."
+// where "|" separates tuples. Field specs never contain spaces or bare
+// "|", so the framing is unambiguous.
+func parseInsertRows(rest string, batch bool) (string, []core.IngestRow, error) {
+	usage := "usage: INSERT <stream> <field> ..."
+	if batch {
+		usage = "usage: INSERTBATCH <stream> <field> ... [| <field> ...]"
 	}
-	out := map[string]bool{strings.ToLower(stmt.From): true}
-	if stmt.Join != nil {
-		out[strings.ToLower(stmt.Join.Right)] = true
-	}
-	return out, nil
-}
-
-// applyInsertLocked parses and pushes one tuple through every query on the
-// stream. err reports failures before any state changed (bad field spec,
-// unknown stream); pushErr reports per-query push failures after the tuple
-// entered the engine — the push loop continues through the remaining
-// queries so the applied state is independent of map iteration order,
-// which WAL replay determinism requires. Deliveries are built only when
-// wantDeliveries (replay discards results). Caller holds s.mu.
-func (s *Server) applyInsertLocked(rest string, wantDeliveries bool) (deliveries []func() error, emitted int, pushErr, err error) {
 	fields := strings.Fields(rest)
 	if len(fields) < 2 {
-		return nil, 0, nil, errors.New("usage: INSERT <stream> <field> ...")
+		return "", nil, errors.New(usage)
 	}
 	streamName := fields[0]
-	vals := make([]randvar.Field, 0, len(fields)-1)
-	for _, spec := range fields[1:] {
-		f, perr := ParseFieldSpec(spec)
-		if perr != nil {
-			return nil, 0, nil, perr
-		}
-		vals = append(vals, f)
-	}
-	t, err := s.engine.NewTuple(streamName, vals)
-	if err != nil {
-		return nil, 0, nil, err
-	}
-	want := strings.ToLower(streamName)
-	// Pushes run in query-id order so DATA delivery order (and any partial
-	// effects of a failing push) are deterministic, not map-iteration order.
-	ids := make([]string, 0, len(s.queries))
-	for id, rq := range s.queries {
-		if rq.streams[want] {
-			ids = append(ids, id)
-		}
-	}
-	sort.Strings(ids)
-	var pushErrs []string
-	for _, id := range ids {
-		rq := s.queries[id]
-		results, perr := rq.query.Push(t)
-		if perr != nil {
-			pushErrs = append(pushErrs, fmt.Sprintf("query %s: %v", rq.id, perr))
+	var rows []core.IngestRow
+	cur := make([]randvar.Field, 0, len(fields)-1)
+	for _, tok := range fields[1:] {
+		if batch && tok == "|" {
+			if len(cur) == 0 {
+				return "", nil, errors.New("empty tuple in batch")
+			}
+			rows = append(rows, core.IngestRow{Fields: cur})
+			cur = make([]randvar.Field, 0, cap(cur))
 			continue
 		}
-		if !wantDeliveries || rq.owner == nil {
-			emitted += len(results)
-			continue
+		f, err := ParseFieldSpec(tok)
+		if err != nil {
+			return "", nil, err
 		}
-		for _, r := range results {
-			payload, merr := json.Marshal(EncodeResult(r))
-			if merr != nil {
-				pushErrs = append(pushErrs, fmt.Sprintf("query %s: %v", rq.id, merr))
+		cur = append(cur, f)
+	}
+	if len(cur) == 0 {
+		return "", nil, errors.New("empty tuple in batch")
+	}
+	rows = append(rows, core.IngestRow{Fields: cur})
+	return streamName, rows, nil
+}
+
+// ingest applies a parsed batch through the engine, journaling the raw
+// payload inside the engine's sequencing critical section (so WAL order
+// equals engine sequence order). A journal failure aborts the batch with
+// the engine untouched. The returned lsn is 0 when journaling is off.
+func (s *Server) ingest(typ wal.RecordType, payload, streamName string, rows []core.IngestRow) ([]core.QueryResults, uint64, error) {
+	var lsn uint64
+	commit := func() error {
+		var err error
+		lsn, err = s.journal(typ, payload)
+		return err
+	}
+	results, err := s.engine.IngestBatch(streamName, rows, commit)
+	return results, lsn, err
+}
+
+// deliverResults routes engine results to owning connections: delivery
+// closures are built under s.mu (owner lookup) and written outside it.
+// emitted counts results produced (delivered or discarded for detached
+// queries); the error aggregates per-query push failures, sorted for
+// deterministic messages.
+func (s *Server) deliverResults(results []core.QueryResults) (int, error) {
+	type delivery struct {
+		owner *conn
+		line  string
+	}
+	var (
+		items    []delivery
+		pushErrs []string
+		emitted  int
+	)
+	s.mu.Lock()
+	for _, qr := range results {
+		if qr.Err != nil {
+			pushErrs = append(pushErrs, fmt.Sprintf("query %s: %v", qr.ID, qr.Err))
+		}
+		rq := s.queries[qr.ID]
+		for _, r := range qr.Results {
+			if rq == nil || rq.owner == nil {
+				emitted++
 				continue
 			}
-			owner, qid := rq.owner, rq.id
-			deliveries = append(deliveries, func() error {
-				return owner.writeLine("DATA " + qid + " " + string(payload))
-			})
+			payload, merr := json.Marshal(EncodeResult(r))
+			if merr != nil {
+				pushErrs = append(pushErrs, fmt.Sprintf("query %s: %v", qr.ID, merr))
+				continue
+			}
+			items = append(items, delivery{rq.owner, "DATA " + qr.ID + " " + string(payload)})
 			emitted++
 		}
 	}
-	if len(pushErrs) > 0 {
-		sort.Strings(pushErrs)
-		pushErr = errors.New(strings.Join(pushErrs, "; "))
-	}
-	return deliveries, emitted, pushErr, nil
-}
-
-func (s *Server) cmdInsert(c *conn, rest string) error {
-	s.mu.Lock()
-	deliveries, emitted, pushErr, err := s.applyInsertLocked(rest, true)
-	if err != nil {
-		s.mu.Unlock()
-		return err
-	}
-	// The tuple entered the engine (and possibly some windows), so it is
-	// journaled even when a query's push failed: replay reproduces the
-	// same partial effects deterministically.
-	jerr := s.journalLocked(wal.RecInsert, rest)
 	s.mu.Unlock()
-	for _, deliver := range deliveries {
-		if derr := deliver(); derr != nil {
-			s.logf("deliver: %v", derr)
+	for _, it := range items {
+		if err := it.owner.writeLine(it.line); err != nil {
+			s.logf("deliver: %v", err)
 			continue
 		}
 		mDataLines.Inc()
 	}
+	if len(pushErrs) > 0 {
+		sort.Strings(pushErrs)
+		return emitted, errors.New(strings.Join(pushErrs, "; "))
+	}
+	return emitted, nil
+}
+
+func (s *Server) cmdInsert(c *conn, rest string) error {
+	streamName, rows, err := parseInsertRows(rest, false)
+	if err != nil {
+		return err
+	}
+	results, lsn, err := s.ingest(wal.RecInsert, rest, streamName, rows)
+	if err != nil {
+		return err
+	}
+	// Durable before externalized: the fsync wait runs outside the shard
+	// locks (group commit), and DATA lines go out only after it.
+	if err := s.waitDurable(lsn); err != nil {
+		return err
+	}
+	emitted, pushErr := s.deliverResults(results)
+	s.maybeCheckpoint()
 	if pushErr != nil {
 		return pushErr
 	}
-	if jerr != nil {
-		return jerr
-	}
 	return c.writeLine(fmt.Sprintf("OK inserted results=%d", emitted))
+}
+
+func (s *Server) cmdInsertBatch(c *conn, rest string) error {
+	streamName, rows, err := parseInsertRows(rest, true)
+	if err != nil {
+		return err
+	}
+	results, lsn, err := s.ingest(wal.RecInsertBatch, rest, streamName, rows)
+	if err != nil {
+		return err
+	}
+	if err := s.waitDurable(lsn); err != nil {
+		return err
+	}
+	emitted, pushErr := s.deliverResults(results)
+	s.maybeCheckpoint()
+	if pushErr != nil {
+		return pushErr
+	}
+	return c.writeLine(fmt.Sprintf("OK inserted tuples=%d results=%d", len(rows), emitted))
 }
 
 func (s *Server) cmdStats(c *conn, rest string) error {
@@ -492,34 +554,43 @@ func (s *Server) cmdAttach(c *conn, rest string) error {
 	return c.writeLine("OK attached " + id)
 }
 
-// applyCloseLocked drops a query. Caller holds s.mu.
+// applyCloseLocked drops a query from the registry and its engine shards.
+// Caller holds s.mu plus Exclusive (or is the single-threaded replay loop).
 func (s *Server) applyCloseLocked(id string) error {
 	if _, ok := s.queries[id]; !ok {
 		return fmt.Errorf("unknown query %q", id)
 	}
 	delete(s.queries, id)
+	s.engine.Unbind(id)
 	return nil
 }
 
 func (s *Server) cmdClose(c *conn, rest string) error {
 	id := strings.TrimSpace(rest)
+	release := s.engine.Exclusive()
 	s.mu.Lock()
 	err := s.applyCloseLocked(id)
+	var lsn uint64
 	if err == nil {
-		err = s.journalLocked(wal.RecClose, id)
+		lsn, err = s.journal(wal.RecClose, id)
 	}
 	s.mu.Unlock()
+	release()
 	if err != nil {
 		return err
 	}
+	if err := s.waitDurable(lsn); err != nil {
+		return err
+	}
+	s.maybeCheckpoint()
 	return c.writeLine("OK closed " + id)
 }
 
 // dropConnQueries removes queries owned by a departing connection,
 // journaling each removal so WAL replay reproduces the registry exactly.
 func (s *Server) dropConnQueries(c *conn) {
+	release := s.engine.Exclusive()
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	var dropped []string
 	for id, rq := range s.queries {
 		if rq.owner == c {
@@ -527,10 +598,25 @@ func (s *Server) dropConnQueries(c *conn) {
 		}
 	}
 	sort.Strings(dropped)
+	var lastLSN uint64
 	for _, id := range dropped {
 		delete(s.queries, id)
-		if err := s.journalLocked(wal.RecClose, id); err != nil {
+		s.engine.Unbind(id)
+		lsn, err := s.journal(wal.RecClose, id)
+		if err != nil {
 			s.logf("journal close %s: %v", id, err)
+			continue
 		}
+		if lsn > 0 {
+			lastLSN = lsn
+		}
+	}
+	s.mu.Unlock()
+	release()
+	if err := s.waitDurable(lastLSN); err != nil {
+		s.logf("drop queries: %v", err)
+	}
+	if len(dropped) > 0 {
+		s.maybeCheckpoint()
 	}
 }

@@ -54,6 +54,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/metrics"
@@ -82,7 +83,15 @@ var (
 		"torn-tail bytes truncated when opening the WAL")
 	mSegsDropped = metrics.Default.Counter("asdb_wal_segments_dropped_total",
 		"segments removed by post-checkpoint truncation")
+	hBatchRecords = metrics.Default.Histogram("asdb_wal_batch_records",
+		"records per AppendBatch call", batchRecordBuckets)
+	mSyncWaits = metrics.Default.Counter("asdb_wal_sync_wait_total",
+		"WaitDurable calls that had to wait for durability")
+	mSyncCoalesced = metrics.Default.Counter("asdb_wal_sync_coalesced_total",
+		"WaitDurable calls satisfied by an fsync another caller already issued")
 )
+
+var batchRecordBuckets = []float64{1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024}
 
 const (
 	headerSize = 8 // u32 length + u32 crc
@@ -159,6 +168,10 @@ const (
 	RecQuery RecordType = 3
 	// RecClose is a query deregistration ("id").
 	RecClose RecordType = 4
+	// RecInsertBatch is one multi-tuple ingest batch (INSERTBATCH command
+	// payload). The whole batch lives in a single frame, so a crash
+	// mid-append tears the entire batch, never a prefix of it.
+	RecInsertBatch RecordType = 5
 )
 
 // Record is one journaled command.
@@ -187,6 +200,13 @@ func (o Options) normalize() Options {
 }
 
 // Log is an append-only write-ahead log. Safe for concurrent use.
+//
+// Durability under FsyncAlways uses group commit: AppendAsync writes and
+// flushes the frame without syncing, and WaitDurable blocks until the
+// record is on stable storage — the first waiter in becomes the leader and
+// issues one fsync covering every record flushed so far, so concurrent
+// committers (and whole AppendBatch calls) share a single fsync instead of
+// paying one each. Append is the composition of the two.
 type Log struct {
 	dir  string
 	opts Options
@@ -200,6 +220,11 @@ type Log struct {
 	dirty     bool // bytes flushed to the OS but not fsynced
 	closed    bool
 	truncated int64 // torn-tail bytes dropped at Open
+
+	// syncMu serializes group-commit leaders; synced is the highest LSN
+	// known to be on stable storage (monotonic, readable without locks).
+	syncMu sync.Mutex
+	synced atomic.Uint64
 
 	stop chan struct{}
 	done chan struct{}
@@ -275,21 +300,84 @@ func (l *Log) syncLoop() {
 	}
 }
 
-// Append journals one record and returns its LSN.
+// Append journals one record durably (per the fsync policy) and returns
+// its LSN. Equivalent to AppendAsync followed by WaitDurable; independent
+// committers calling Append concurrently share fsyncs via group commit.
 func (l *Log) Append(typ RecordType, payload []byte) (uint64, error) {
+	lsn, err := l.AppendAsync(typ, payload)
+	if err != nil {
+		return 0, err
+	}
+	return lsn, l.WaitDurable(lsn)
+}
+
+// AppendAsync writes and flushes one record without waiting for it to
+// reach stable storage, returning its LSN. Callers needing durability
+// (FsyncAlways) must follow with WaitDurable — typically after releasing
+// whatever critical section ordered the append, so fsyncs coalesce.
+func (l *Log) AppendAsync(typ RecordType, payload []byte) (uint64, error) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	if l.closed {
 		return 0, ErrClosed
 	}
 	defer hAppend.ObserveSince(time.Now())
+	if err := l.writeFrameLocked(typ, payload); err != nil {
+		return 0, err
+	}
+	if err := l.w.Flush(); err != nil {
+		return 0, fmt.Errorf("wal: %w", err)
+	}
+	l.dirty = true
+	return l.nextLSN - 1, nil
+}
+
+// AppendBatch journals payloads as consecutive records of one type with a
+// single buffered-writer flush and — under FsyncAlways — a single fsync
+// for the whole batch. It returns the first and last LSNs assigned.
+func (l *Log) AppendBatch(typ RecordType, payloads [][]byte) (first, last uint64, err error) {
+	if len(payloads) == 0 {
+		return 0, 0, errors.New("wal: empty batch")
+	}
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		return 0, 0, ErrClosed
+	}
+	t0 := time.Now()
+	for _, p := range payloads {
+		if err := l.writeFrameLocked(typ, p); err != nil {
+			// Flush what was written so the LSN space stays consistent
+			// with the file; the failed record consumed no LSN.
+			l.w.Flush()
+			l.mu.Unlock()
+			return 0, 0, err
+		}
+	}
+	if err := l.w.Flush(); err != nil {
+		l.mu.Unlock()
+		return 0, 0, fmt.Errorf("wal: %w", err)
+	}
+	l.dirty = true
+	last = l.nextLSN - 1
+	first = last - uint64(len(payloads)) + 1
+	hAppend.ObserveSince(t0)
+	hBatchRecords.Observe(float64(len(payloads)))
+	l.mu.Unlock()
+	return first, last, l.WaitDurable(last)
+}
+
+// writeFrameLocked frames and writes one record into the buffered writer,
+// rotating segments as needed, and advances size/nextLSN. Caller holds
+// l.mu and flushes afterwards.
+func (l *Log) writeFrameLocked(typ RecordType, payload []byte) error {
 	frameLen := int64(headerSize + metaSize + len(payload))
 	if frameLen > MaxRecordBytes {
-		return 0, fmt.Errorf("wal: record of %d bytes exceeds MaxRecordBytes", len(payload))
+		return fmt.Errorf("wal: record of %d bytes exceeds MaxRecordBytes", len(payload))
 	}
 	if l.size > 0 && l.size+frameLen > l.opts.SegmentBytes {
 		if err := l.rotateLocked(); err != nil {
-			return 0, err
+			return err
 		}
 	}
 	lsn := l.nextLSN
@@ -301,36 +389,81 @@ func (l *Log) Append(typ RecordType, payload []byte) (uint64, error) {
 	crc = crc32.Update(crc, castagnoli, payload)
 	binary.LittleEndian.PutUint32(hdr[4:8], crc)
 	if _, err := l.w.Write(hdr[:]); err != nil {
-		return 0, fmt.Errorf("wal: %w", err)
+		return fmt.Errorf("wal: %w", err)
 	}
 	if _, err := l.w.Write(payload); err != nil {
-		return 0, fmt.Errorf("wal: %w", err)
-	}
-	if err := l.w.Flush(); err != nil {
-		return 0, fmt.Errorf("wal: %w", err)
+		return fmt.Errorf("wal: %w", err)
 	}
 	l.size += frameLen
 	l.nextLSN++
-	l.dirty = true
 	mAppends.Inc()
 	mAppendBytes.Add(uint64(frameLen))
-	if l.opts.Policy == FsyncAlways {
-		if err := l.fsync(); err != nil {
-			return 0, fmt.Errorf("wal: %w", err)
-		}
-		l.dirty = false
-	}
-	return lsn, nil
+	return nil
 }
 
-// fsync syncs the current segment file, recording count and latency.
+// WaitDurable blocks until the record at lsn is on stable storage. Under
+// FsyncInterval and FsyncNone it returns immediately (callers accepted the
+// policy's durability window). Under FsyncAlways the first caller in
+// becomes the group-commit leader: it issues one fsync covering everything
+// flushed so far, and callers that arrive while it runs are satisfied by
+// that same fsync.
+func (l *Log) WaitDurable(lsn uint64) error {
+	if l.opts.Policy != FsyncAlways {
+		return nil
+	}
+	if l.synced.Load() >= lsn {
+		return nil
+	}
+	mSyncWaits.Inc()
+	l.syncMu.Lock()
+	defer l.syncMu.Unlock()
+	if l.synced.Load() >= lsn {
+		mSyncCoalesced.Inc()
+		return nil
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return ErrClosed
+	}
+	if err := l.w.Flush(); err != nil {
+		return fmt.Errorf("wal: %w", err)
+	}
+	if err := l.fsync(); err != nil {
+		return fmt.Errorf("wal: %w", err)
+	}
+	l.dirty = false
+	return nil
+}
+
+// fsync syncs the current segment file, recording count and latency and
+// advancing the durable watermark to cover every record written so far.
+// Caller holds l.mu with the buffered writer flushed.
 func (l *Log) fsync() error {
 	t0 := time.Now()
 	err := l.f.Sync()
 	mFsyncs.Inc()
 	hFsync.ObserveSince(t0)
+	if err == nil {
+		l.markSynced(l.nextLSN - 1)
+	}
 	return err
 }
+
+// markSynced raises the durable watermark monotonically.
+func (l *Log) markSynced(lsn uint64) {
+	for {
+		cur := l.synced.Load()
+		if cur >= lsn || l.synced.CompareAndSwap(cur, lsn) {
+			return
+		}
+	}
+}
+
+// SyncedLSN returns the highest LSN known to be on stable storage (only
+// maintained meaningfully under FsyncAlways; fsyncs from segment rotation
+// and explicit Sync advance it under every policy).
+func (l *Log) SyncedLSN() uint64 { return l.synced.Load() }
 
 // rotateLocked finalizes the current segment and starts one at nextLSN.
 func (l *Log) rotateLocked() error {
