@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: tier1 build test vet race bench bench2 bench3 bench4 fuzz clean
+.PHONY: tier1 build test vet race bench bench2 bench3 bench4 bench5 chaos fuzz clean
 
 # tier1 is the gate every change must pass: vet, build, and the full test
 # suite under the race detector.
@@ -65,6 +65,27 @@ bench4:
 	$(GO) run ./cmd/benchjson -in bench.out -out BENCH_4.json \
 		-notes "Multi-client durable ingest, 4 clients x 4 streams, fsync=always, each stream feeding an AVG WINDOW 8 ROWS query. ns/op is per tuple end-to-end (client write -> engine push -> WAL commit -> fsync -> OK). Measured on this host: serialized single INSERTs 143598 ns/op vs 32-tuple INSERTBATCH 24649 ns/op - 5.8x throughput, from amortizing the round trip, the WAL frame, and the group-commit fsync over 32 tuples. This container exposes a single CPU (GOMAXPROCS=1), so shard-lock parallelism contributes no additional speedup here; cross-worker determinism and shard-contention behavior are asserted by tests instead (internal/core/race_test.go, internal/server/batch_ingest_test.go)."
 	rm -f bench.out
+
+# bench5 measures accuracy-aware load shedding under overload: a bootstrap
+# server with an 800-resample budget is driven flat out, with the shed
+# controller off vs on (5ms interval, 200us p99 target). Records the run in
+# BENCH_5.json.
+bench5:
+	$(GO) test -run '^$$' -bench 'BenchmarkOverloadShed' \
+		-benchmem -count 1 ./internal/server/ | tee bench.out
+	$(GO) run ./cmd/benchjson -in bench.out -out BENCH_5.json \
+		-notes "Accuracy-aware load shedding under sustained overload (bootstrap accuracy, 800 resamples/push, controller target p99=200us). Measured on this host: shed=off 571828 ns/op with push p99 2500us (12x past target); shed=on 84189 ns/op with push p99 bounded at 500us and degrade level 3 reached - 6.8x throughput from halving the resample budget per level. Degraded output stays honest: intervals switch to Method bootstrap-shed and widen monotonically with level (TestShedWidensIntervals), no tuple or query is ever dropped, and the level returns to 0 after load stops (TestShedControllerDegradesAndRecovers). Every transition is WAL-journaled so recovery replays the same budget schedule (TestChaosShedLevelJournaled)."
+	rm -f bench.out
+
+# chaos replays the seeded deterministic fault schedules (injected fsync
+# failures, ENOSPC, torn writes, torn connections, panics) against the full
+# server under the race detector.
+chaos:
+	$(GO) test -race -count 1 -run 'TestChaos|TestMaxConns|TestIdleTimeout|TestConnPanic|TestSlowClient|TestAcceptTransient|TestTornRequest|TestShed|TestSplitReqID|TestDedupWindow|TestClientBackoff' \
+		./internal/server/
+	$(GO) test -race -count 1 ./internal/fault/
+	$(GO) test -race -count 1 -run 'TestFsyncFailureWedges|TestTornWriteRecovers|TestBatchFsyncFailureNoPartialAck' ./internal/wal/
+	$(GO) test -race -count 1 -run 'TestSaveFsyncFailureKeepsPrevious|TestSaveENOSPCTornTemp|TestDegradeRoundTrip' ./internal/checkpoint/
 
 # fuzz smoke-runs every native fuzz target (go test -fuzz accepts a single
 # target per invocation, so the targets loop). FUZZTIME bounds each target.

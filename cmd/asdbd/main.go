@@ -6,7 +6,8 @@
 //
 //	asdbd [-addr 127.0.0.1:7433] [-level 0.9] [-method analytical] [-seed 1]
 //	      [-data-dir DIR] [-fsync always|interval|none] [-checkpoint-every N]
-//	      [-debug-addr 127.0.0.1:7434]
+//	      [-debug-addr 127.0.0.1:7434] [-max-conns N] [-idle-timeout D]
+//	      [-drain-timeout D] [-shed] [-shed-target-p99 D]
 //
 // Methods: none, analytical, bootstrap.
 //
@@ -52,6 +53,11 @@ func main() {
 	fsyncPolicy := flag.String("fsync", "interval", "WAL fsync policy: always | interval | none")
 	ckEvery := flag.Int("checkpoint-every", 1024, "checkpoint after this many journaled commands")
 	debugAddr := flag.String("debug-addr", "", "HTTP observability listener (/debug/metrics, /debug/vars, /debug/pprof); empty disables")
+	maxConns := flag.Int("max-conns", 0, "max concurrent client connections (0 = default 1024, negative = unlimited)")
+	idleTimeout := flag.Duration("idle-timeout", 0, "close connections idle this long (0 = default 5m, negative disables)")
+	drainTimeout := flag.Duration("drain-timeout", 0, "graceful-shutdown drain window (0 = default 5s)")
+	shed := flag.Bool("shed", false, "enable accuracy-aware load shedding (wider CIs under overload, never dropped tuples)")
+	shedTarget := flag.Duration("shed-target-p99", 0, "push-latency p99 the shed controller defends (0 = default 50ms)")
 	flag.Parse()
 
 	var m core.AccuracyMethod
@@ -97,6 +103,15 @@ func main() {
 	if err != nil {
 		log.Fatalf("asdbd: %v", err)
 	}
+	srv.SetOptions(server.Options{
+		MaxConns:     *maxConns,
+		IdleTimeout:  *idleTimeout,
+		DrainTimeout: *drainTimeout,
+		Shed: server.ShedConfig{
+			Enabled:   *shed,
+			TargetP99: *shedTarget,
+		},
+	})
 	bound, err := srv.Listen(*addr)
 	if err != nil {
 		log.Fatalf("asdbd: %v", err)

@@ -42,6 +42,7 @@ import (
 	"repro/internal/learn"
 	"repro/internal/metrics"
 	"repro/internal/parallel"
+	"repro/internal/stat"
 )
 
 // Kernel observability: resample/draw volume and kernel wall time. One
@@ -175,6 +176,22 @@ func AccuracyInfo(v []float64, n int, alpha float64, hist *dist.Histogram) (*acc
 // are independent, and each one writes only its own output slot, so the
 // returned accuracy.Info is bit-identical for every worker count.
 func AccuracyInfoWorkers(v []float64, n int, alpha float64, hist *dist.Histogram, workers int) (*accuracy.Info, error) {
+	return accuracyInfo(v, n, alpha, hist, workers, false)
+}
+
+// AccuracyInfoShed is AccuracyInfoWorkers for a load-shed (reduced) resample
+// budget. Percentile intervals over a handful of resamples undercover — the
+// empirical 5th/95th percentiles of r points collapse toward the min/max, so
+// trimming resamples would silently report narrower intervals. The shed
+// variant instead reports t-based prediction intervals over the resample
+// statistics, mean ± t((1+α)/2, r−1)·s·√(1+1/r): asymptotically the same
+// interval under normality, and honestly wider as r shrinks — degraded
+// accuracy shows up in the output instead of hiding in lost coverage.
+func AccuracyInfoShed(v []float64, n int, alpha float64, hist *dist.Histogram, workers int) (*accuracy.Info, error) {
+	return accuracyInfo(v, n, alpha, hist, workers, true)
+}
+
+func accuracyInfo(v []float64, n int, alpha float64, hist *dist.Histogram, workers int, shed bool) (*accuracy.Info, error) {
 	if n < 2 {
 		return nil, fmt.Errorf("bootstrap: d.f. sample size %d, need ≥ 2", n)
 	}
@@ -226,17 +243,23 @@ func AccuracyInfoWorkers(v []float64, n int, alpha float64, hist *dist.Histogram
 			resampleStats(v, n, r, lo, hi, means, variances, bins, inv, hist)
 		})
 	}
+	interval := percentileIntervalInPlace
+	method := "bootstrap"
+	if shed {
+		interval = tPredictionInterval
+		method = "bootstrap-shed"
+	}
 	info := &accuracy.Info{
 		N:        n,
 		Level:    alpha,
-		Mean:     percentileIntervalInPlace(means, alpha),
-		Variance: percentileIntervalInPlace(variances, alpha),
-		Method:   "bootstrap",
+		Mean:     interval(means, alpha),
+		Variance: interval(variances, alpha),
+		Method:   method,
 	}
 	if hist != nil {
 		info.Bins = make([]accuracy.BinInterval, buckets)
 		for k := range info.Bins {
-			iv := percentileIntervalInPlace(bins[k*r:(k+1)*r], alpha)
+			iv := interval(bins[k*r:(k+1)*r], alpha)
 			lo, hi := hist.Bucket(k)
 			est := hist.BucketProb(k)
 			info.Bins[k] = accuracy.BinInterval{
@@ -249,6 +272,41 @@ func AccuracyInfoWorkers(v []float64, n int, alpha float64, hist *dist.Histogram
 		}
 	}
 	return info, nil
+}
+
+// tPredictionInterval is the shed-path interval: a level-α prediction
+// interval for a fresh draw of the statistic, centered on the resample mean
+// with half-width t((1+α)/2, r−1)·s·√(1+1/r). It needs only the first two
+// moments of the resample statistics, so it stays meaningful at resample
+// counts far too small for empirical percentiles.
+func tPredictionInterval(stats []float64, alpha float64) accuracy.Interval {
+	r := len(stats)
+	if r < 2 {
+		v := 0.0
+		if r == 1 {
+			v = stats[0]
+		}
+		return accuracy.Interval{Lo: v, Hi: v, Level: alpha}
+	}
+	mean := 0.0
+	for _, x := range stats {
+		mean += x
+	}
+	mean /= float64(r)
+	ss := 0.0
+	for _, x := range stats {
+		d := x - mean
+		ss += d * d
+	}
+	sd := math.Sqrt(ss / float64(r-1))
+	t, err := stat.TQuantile((1+alpha)/2, float64(r-1))
+	if err != nil {
+		// Unreachable for r ≥ 2 and α ∈ (0,1); degrade to the percentile
+		// interval rather than fail the query.
+		return percentileIntervalInPlace(stats, alpha)
+	}
+	hw := t * sd * math.Sqrt(1+1/float64(r))
+	return accuracy.Interval{Lo: mean - hw, Hi: mean + hw, Level: alpha}
 }
 
 // resampleStats computes the statistics of resamples [lo, hi) — lines 2–11
@@ -324,6 +382,18 @@ func FromDistribution(d dist.Distribution, n, r int, alpha float64, rng *dist.Ra
 // the value sequence — and hence the returned accuracy.Info — is identical
 // for every worker count and every scheduling of the workers.
 func FromDistributionWorkers(d dist.Distribution, n, r int, alpha float64, rng *dist.Rand, workers int) (*accuracy.Info, error) {
+	return fromDistribution(d, n, r, alpha, rng, workers, false)
+}
+
+// FromDistributionShed is FromDistributionWorkers for a load-shed resample
+// budget: the reduced r draws proportionally fewer variates, and intervals
+// come from the t-based shed path (see AccuracyInfoShed) so they widen
+// honestly instead of undercovering.
+func FromDistributionShed(d dist.Distribution, n, r int, alpha float64, rng *dist.Rand, workers int) (*accuracy.Info, error) {
+	return fromDistribution(d, n, r, alpha, rng, workers, true)
+}
+
+func fromDistribution(d dist.Distribution, n, r int, alpha float64, rng *dist.Rand, workers int, shed bool) (*accuracy.Info, error) {
 	if d == nil {
 		return nil, errors.New("bootstrap: nil distribution")
 	}
@@ -352,7 +422,7 @@ func FromDistributionWorkers(d dist.Distribution, n, r int, alpha float64, rng *
 	}
 	hSample.ObserveSince(t0)
 	hist, _ := d.(*dist.Histogram)
-	return AccuracyInfoWorkers(v, n, alpha, hist, workers)
+	return accuracyInfo(v, n, alpha, hist, workers, shed)
 }
 
 // sampleChunk draws resamples [lo, hi) of the FromDistribution value

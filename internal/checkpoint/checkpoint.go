@@ -30,7 +30,6 @@ import (
 	"errors"
 	"fmt"
 	"hash/crc32"
-	"os"
 	"path/filepath"
 	"sort"
 	"strconv"
@@ -40,6 +39,7 @@ import (
 	"repro/internal/codec"
 	"repro/internal/core"
 	"repro/internal/dist"
+	"repro/internal/fault"
 	"repro/internal/metrics"
 	"repro/internal/randvar"
 	"repro/internal/stream"
@@ -126,7 +126,12 @@ type Snapshot struct {
 	// replays from LSN+1.
 	LSN uint64 `json:"lsn"`
 	// Seq is the engine sequence counter at capture time.
-	Seq     uint64        `json:"seq"`
+	Seq uint64 `json:"seq"`
+	// Degrade is the accuracy-degradation (load-shedding) level at capture
+	// time. Shed transitions change resample counts — and hence RNG
+	// consumption — so recovery must resume at the captured level for replay
+	// to stay bit-identical.
+	Degrade int           `json:"degrade,omitempty"`
 	Streams []StreamState `json:"streams,omitempty"`
 	Queries []QueryState  `json:"queries,omitempty"`
 }
@@ -143,7 +148,7 @@ type QueryDef struct {
 // Pass defs in a deterministic order (e.g. sorted by ID) so checkpoint
 // bytes are reproducible.
 func Capture(eng *core.Engine, lsn uint64, defs []QueryDef) (*Snapshot, error) {
-	snap := &Snapshot{Version: 1, LSN: lsn, Seq: eng.Seq()}
+	snap := &Snapshot{Version: 1, LSN: lsn, Seq: eng.Seq(), Degrade: eng.DegradeLevel()}
 	names := eng.Streams()
 	sort.Strings(names)
 	for _, name := range names {
@@ -298,6 +303,7 @@ func Restore(eng *core.Engine, snap *Snapshot) ([]RestoredQuery, error) {
 		out = append(out, RestoredQuery{ID: qs.ID, SQL: qs.SQL, Query: q})
 	}
 	eng.RestoreSeq(snap.Seq)
+	eng.SetDegradeLevel(snap.Degrade)
 	return out, nil
 }
 
@@ -339,14 +345,24 @@ func Decode(data []byte) (*Snapshot, error) {
 // Manager stores checkpoints in a directory, keeping the newest few.
 type Manager struct {
 	dir string
+	fs  fault.FS
 }
 
 // NewManager opens (creating if needed) a checkpoint directory.
 func NewManager(dir string) (*Manager, error) {
-	if err := os.MkdirAll(dir, 0o755); err != nil {
+	return NewManagerFS(dir, nil)
+}
+
+// NewManagerFS is NewManager over an injectable filesystem (fault injection
+// in the chaos suite); nil fs uses the real one.
+func NewManagerFS(dir string, fs fault.FS) (*Manager, error) {
+	if fs == nil {
+		fs = fault.OS
+	}
+	if err := fs.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("checkpoint: %w", err)
 	}
-	return &Manager{dir: dir}, nil
+	return &Manager{dir: dir, fs: fs}, nil
 }
 
 // Save writes the snapshot atomically (temp file + fsync + rename + dir
@@ -357,31 +373,31 @@ func (m *Manager) Save(s *Snapshot) error {
 	if err != nil {
 		return fmt.Errorf("checkpoint: %w", err)
 	}
-	tmp, err := os.CreateTemp(m.dir, "tmp-*")
+	tmp, err := m.fs.CreateTemp(m.dir, "tmp-*")
 	if err != nil {
 		return fmt.Errorf("checkpoint: %w", err)
 	}
 	tmpName := tmp.Name()
 	if _, err := tmp.Write(data); err != nil {
 		tmp.Close()
-		os.Remove(tmpName)
+		m.fs.Remove(tmpName)
 		return fmt.Errorf("checkpoint: %w", err)
 	}
 	if err := tmp.Sync(); err != nil {
 		tmp.Close()
-		os.Remove(tmpName)
+		m.fs.Remove(tmpName)
 		return fmt.Errorf("checkpoint: %w", err)
 	}
 	if err := tmp.Close(); err != nil {
-		os.Remove(tmpName)
+		m.fs.Remove(tmpName)
 		return fmt.Errorf("checkpoint: %w", err)
 	}
 	final := filepath.Join(m.dir, fmt.Sprintf("%s%016x%s", filePref, s.LSN, fileSuf))
-	if err := os.Rename(tmpName, final); err != nil {
-		os.Remove(tmpName)
+	if err := m.fs.Rename(tmpName, final); err != nil {
+		m.fs.Remove(tmpName)
 		return fmt.Errorf("checkpoint: %w", err)
 	}
-	if err := syncDir(m.dir); err != nil {
+	if err := m.syncDir(); err != nil {
 		return err
 	}
 	m.prune()
@@ -400,7 +416,7 @@ func (m *Manager) LoadLatest() (*Snapshot, error) {
 		return nil, err
 	}
 	for i := len(files) - 1; i >= 0; i-- {
-		data, err := os.ReadFile(files[i])
+		data, err := m.fs.ReadFile(files[i])
 		if err != nil {
 			mLoadSkips.Inc()
 			continue
@@ -419,7 +435,7 @@ func (m *Manager) LoadLatest() (*Snapshot, error) {
 // list returns checkpoint paths sorted oldest-first (names embed the LSN
 // in fixed-width hex, so lexical order is LSN order).
 func (m *Manager) list() ([]string, error) {
-	entries, err := os.ReadDir(m.dir)
+	entries, err := m.fs.ReadDir(m.dir)
 	if err != nil {
 		return nil, fmt.Errorf("checkpoint: %w", err)
 	}
@@ -444,13 +460,13 @@ func (m *Manager) prune() {
 		return
 	}
 	for len(files) > keepFiles {
-		os.Remove(files[0])
+		m.fs.Remove(files[0])
 		files = files[1:]
 	}
 }
 
-func syncDir(dir string) error {
-	d, err := os.Open(dir)
+func (m *Manager) syncDir() error {
+	d, err := m.fs.Open(m.dir)
 	if err != nil {
 		return fmt.Errorf("checkpoint: %w", err)
 	}

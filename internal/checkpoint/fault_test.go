@@ -1,0 +1,127 @@
+package checkpoint
+
+import (
+	"errors"
+	"syscall"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/fault"
+)
+
+// TestSaveFsyncFailureKeepsPrevious injects an fsync failure into the
+// atomic-save path and checks that Save reports it, leaves no half-written
+// checkpoint under a valid name, and LoadLatest still returns the previous
+// snapshot.
+func TestSaveFsyncFailureKeepsPrevious(t *testing.T) {
+	dir := t.TempDir()
+	ifs := fault.NewInjectFS(nil)
+	m, err := NewManagerFS(dir, ifs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := core.NewEngine(core.Config{Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap1, err := Capture(eng, 10, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Save(snap1); err != nil {
+		t.Fatalf("healthy save: %v", err)
+	}
+
+	// Every fsync on the temp file now fails.
+	ifs.AddRule(fault.Rule{Op: fault.OpSync, Path: "tmp-", Err: fault.ErrFsync})
+	snap2, err := Capture(eng, 20, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Save(snap2); !errors.Is(err, syscall.EIO) {
+		t.Fatalf("save over failed fsync: got %v, want EIO", err)
+	}
+
+	got, err := m.LoadLatest()
+	if err != nil {
+		t.Fatalf("LoadLatest: %v", err)
+	}
+	if got == nil || got.LSN != 10 {
+		t.Fatalf("LoadLatest after failed save = %+v, want the LSN-10 snapshot", got)
+	}
+}
+
+// TestSaveENOSPCTornTemp tears the temp-file write (half the bytes land)
+// and checks the failed save never becomes loadable.
+func TestSaveENOSPCTornTemp(t *testing.T) {
+	dir := t.TempDir()
+	ifs := fault.NewInjectFS(nil, fault.Rule{
+		Op: fault.OpWrite, Path: "tmp-", Torn: true, Err: fault.ErrNoSpace,
+	})
+	m, err := NewManagerFS(dir, ifs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := core.NewEngine(core.Config{Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap, err := Capture(eng, 5, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Save(snap); !errors.Is(err, syscall.ENOSPC) {
+		t.Fatalf("save on full disk: got %v, want ENOSPC", err)
+	}
+	got, err := m.LoadLatest()
+	if err != nil {
+		t.Fatalf("LoadLatest: %v", err)
+	}
+	if got != nil {
+		t.Fatalf("LoadLatest after torn save = %+v, want nil", got)
+	}
+
+	// Once the disk heals the manager saves fine.
+	ifs.Clear()
+	if err := m.Save(snap); err != nil {
+		t.Fatalf("save after healing: %v", err)
+	}
+	got, err = m.LoadLatest()
+	if err != nil || got == nil || got.LSN != 5 {
+		t.Fatalf("LoadLatest after healing = %+v, %v", got, err)
+	}
+}
+
+// TestDegradeRoundTrip checks the shed level survives capture → restore.
+func TestDegradeRoundTrip(t *testing.T) {
+	eng, err := core.NewEngine(core.Config{Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng.SetDegradeLevel(2)
+	snap, err := Capture(eng, 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.Degrade != 2 {
+		t.Fatalf("captured degrade = %d, want 2", snap.Degrade)
+	}
+	data, err := snap.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := Decode(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng2, err := core.NewEngine(core.Config{Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Restore(eng2, back); err != nil {
+		t.Fatal(err)
+	}
+	if eng2.DegradeLevel() != 2 {
+		t.Fatalf("restored degrade = %d, want 2", eng2.DegradeLevel())
+	}
+}

@@ -198,6 +198,48 @@ type Engine struct {
 	// suppressed (segregated into recovery counters) so a recovered
 	// engine's metric snapshot matches a clean run's.
 	recovering atomic.Bool
+
+	// degrade is the accuracy-degradation (load-shedding) level: 0 = full
+	// accuracy, higher levels divide resample counts (see shedDivisor).
+	// Transitions are journaled by the server and restored from checkpoints,
+	// so replayed runs evaluate queries with the same resample counts — and
+	// the same RNG consumption — as the live run.
+	degrade atomic.Int32
+}
+
+// MaxDegradeLevel bounds the load-shedding ladder: each level halves the
+// bootstrap/Monte Carlo resample budget relative to the previous one.
+const MaxDegradeLevel = 3
+
+// shedDivisor returns the resample-count divisor for a degrade level
+// (1, 2, 4, 8 for levels 0..3).
+func shedDivisor(level int) int {
+	if level <= 0 {
+		return 1
+	}
+	if level > MaxDegradeLevel {
+		level = MaxDegradeLevel
+	}
+	return 1 << level
+}
+
+// DegradeLevel returns the current accuracy-degradation level (0 = full
+// accuracy).
+func (e *Engine) DegradeLevel() int { return int(e.degrade.Load()) }
+
+// SetDegradeLevel sets the accuracy-degradation level, clamped to
+// [0, MaxDegradeLevel]. Callers that require deterministic recovery must
+// order the transition against ingest (the server journals it under an
+// exclusive engine lock).
+func (e *Engine) SetDegradeLevel(level int) {
+	if level < 0 {
+		level = 0
+	}
+	if level > MaxDegradeLevel {
+		level = MaxDegradeLevel
+	}
+	e.degrade.Store(int32(level))
+	gDegrade.Set(int64(level))
 }
 
 // streamDef is one stream's shard: its schema, its shard lock, and the

@@ -42,6 +42,7 @@ type QueryStats struct {
 	Dropped uint64 // tuples eliminated by WHERE
 	Unsure  uint64 // tuples whose significance predicate was UNSURE
 	Joined  uint64 // join matches produced (join queries only)
+	Shed    uint64 // accuracy computations run with a reduced resample budget
 }
 
 // queryCounters is the live, atomically updated form of QueryStats: pushes
@@ -53,6 +54,7 @@ type queryCounters struct {
 	dropped atomic.Uint64
 	unsure  atomic.Uint64
 	joined  atomic.Uint64
+	shed    atomic.Uint64
 }
 
 func (c *queryCounters) snapshot() QueryStats {
@@ -62,6 +64,7 @@ func (c *queryCounters) snapshot() QueryStats {
 		Dropped: c.dropped.Load(),
 		Unsure:  c.unsure.Load(),
 		Joined:  c.joined.Load(),
+		Shed:    c.shed.Load(),
 	}
 }
 
@@ -71,6 +74,7 @@ func (c *queryCounters) restore(s QueryStats) {
 	c.dropped.Store(s.Dropped)
 	c.unsure.Store(s.Unsure)
 	c.joined.Store(s.Joined)
+	c.shed.Store(s.Shed)
 }
 
 // queryMode distinguishes the execution strategies.
@@ -787,23 +791,72 @@ func (q *Query) decorate(t *stream.Tuple, mcValues [][]float64, unsure bool) (Re
 }
 
 // fieldAccuracy computes one field's accuracy info with the configured
-// backend.
+// backend. Under load shedding (engine degrade level > 0) the bootstrap
+// backend divides its resample budget by shedDivisor(level): intervals stay
+// honest — they widen with the smaller resample count — while each accuracy
+// computation gets proportionally cheaper. Shed levels change how many draws
+// the category-2 path takes from q.rng, which is why the server journals
+// every level transition: replay reproduces the same levels at the same
+// records, hence the same RNG evolution.
+// minShedResamples floors the shed resample budget. The t-based shed
+// interval scales its half-width by the sd of the resample statistics; at
+// r=2 that sd has one degree of freedom and varies over orders of
+// magnitude, so the reported interval can collapse to a sliver that misses
+// the estimate entirely. r=4 (3 d.f.) is the smallest budget whose scale
+// estimate is stable enough to mean anything.
+const minShedResamples = 4
+
 func (q *Query) fieldAccuracy(f randvar.Field, values []float64) (*accuracy.Info, error) {
 	cfg := q.eng.cfg
 	switch cfg.Method {
 	case AccuracyAnalytical:
 		return accuracy.ForDistribution(f.Dist, f.N, cfg.Level)
 	case AccuracyBootstrap:
+		div := shedDivisor(q.eng.DegradeLevel())
 		hist, _ := f.Dist.(*dist.Histogram)
 		if len(values) >= 2*f.N {
-			// §III-B category 1: the Monte Carlo path already produced
-			// a value sequence.
+			// §III-B category 1: the Monte Carlo path already produced a
+			// value sequence of r = len(values)/n resamples. Shedding keeps
+			// a prefix worth max(2, r/div) resamples — no RNG involved, so
+			// the trim is deterministic at any level — and switches to the
+			// t-based interval that widens honestly at small r.
+			if div > 1 {
+				r := len(values) / f.N / div
+				if r < minShedResamples {
+					r = minShedResamples
+				}
+				if max := len(values) / f.N; r > max {
+					r = max
+				}
+				values = values[:r*f.N]
+				q.noteShed()
+				return bootstrap.AccuracyInfoShed(values, f.N, cfg.Level, hist, cfg.Workers)
+			}
 			return bootstrap.AccuracyInfoWorkers(values, f.N, cfg.Level, hist, cfg.Workers)
 		}
 		// Category 2: sample from the result distribution.
+		if div > 1 {
+			resamples := cfg.BootstrapResamples / div
+			if resamples < minShedResamples {
+				resamples = minShedResamples
+			}
+			if resamples > cfg.BootstrapResamples {
+				resamples = cfg.BootstrapResamples
+			}
+			q.noteShed()
+			return bootstrap.FromDistributionShed(f.Dist, f.N, resamples, cfg.Level, q.rng, cfg.Workers)
+		}
 		return bootstrap.FromDistributionWorkers(f.Dist, f.N, cfg.BootstrapResamples, cfg.Level, q.rng, cfg.Workers)
 	}
 	return nil, fmt.Errorf("core: accuracy method %v", cfg.Method)
+}
+
+// noteShed counts one accuracy computation run on a reduced budget.
+func (q *Query) noteShed() {
+	q.stats.shed.Add(1)
+	if !q.eng.recovering.Load() {
+		mShedEvals.Inc()
+	}
 }
 
 // Run pushes a batch of tuples and collects all results — a convenience

@@ -37,6 +37,13 @@ var (
 		"widths of reported tuple-probability intervals", probWidthBuckets)
 	gLastDF = metrics.Default.Gauge("asdb_accuracy_last_df_n",
 		"d.f. sample size of the most recently decorated field")
+
+	// Load-shedding telemetry: the current degradation level and how many
+	// accuracy computations ran with a reduced resample budget.
+	gDegrade = metrics.Default.Gauge("asdb_degrade_level",
+		"current accuracy-degradation (load-shedding) level; 0 = full accuracy")
+	mShedEvals = metrics.Default.Counter("asdb_query_shed_evals_total",
+		"accuracy computations evaluated with a shed (reduced) resample budget")
 )
 
 // accuracyWidthBuckets spans the CI half-widths seen across the paper's

@@ -1,0 +1,215 @@
+package fault
+
+import (
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// ErrConnDropped reports a connection killed by an injected drop.
+var ErrConnDropped = &injectedErr{msg: "fault: injected connection drop", err: io.ErrClosedPipe}
+
+// ConnFaults configures a faulty connection. The zero value injects
+// nothing.
+type ConnFaults struct {
+	// WriteLatency is added before every Write (a slow or congested link).
+	WriteLatency time.Duration
+	// ChunkBytes caps how many bytes one underlying Write carries; larger
+	// buffers are split into several writes (partial-write exercise for
+	// peers that assume one Write per message).
+	ChunkBytes int
+	// DropAfterWriteBytes kills the connection once that many bytes have
+	// been written: the remaining allowance of the current buffer is
+	// delivered — a mid-message tear — then the connection closes and the
+	// write returns ErrConnDropped. 0 disables.
+	DropAfterWriteBytes int64
+	// DropAfterReadBytes kills the connection once that many bytes have
+	// been read. 0 disables.
+	DropAfterReadBytes int64
+}
+
+// Conn wraps a net.Conn with deterministic fault injection. Byte-count
+// triggers are tracked per connection, so a fixed request sequence tears at
+// a fixed protocol offset.
+type Conn struct {
+	net.Conn
+	faults  ConnFaults
+	written atomic.Int64
+	read    atomic.Int64
+	dropped atomic.Bool
+}
+
+// WrapConn decorates c with the given faults.
+func WrapConn(c net.Conn, f ConnFaults) *Conn {
+	return &Conn{Conn: c, faults: f}
+}
+
+// Dropped reports whether an injected drop has killed the connection.
+func (c *Conn) Dropped() bool { return c.dropped.Load() }
+
+func (c *Conn) drop() error {
+	c.dropped.Store(true)
+	c.Conn.Close()
+	return ErrConnDropped
+}
+
+func (c *Conn) Write(p []byte) (int, error) {
+	if c.dropped.Load() {
+		return 0, ErrConnDropped
+	}
+	if c.faults.WriteLatency > 0 {
+		time.Sleep(c.faults.WriteLatency)
+	}
+	total := 0
+	for len(p) > 0 {
+		chunk := p
+		if c.faults.ChunkBytes > 0 && len(chunk) > c.faults.ChunkBytes {
+			chunk = chunk[:c.faults.ChunkBytes]
+		}
+		if lim := c.faults.DropAfterWriteBytes; lim > 0 {
+			remain := lim - c.written.Load()
+			if remain <= 0 {
+				return total, c.drop()
+			}
+			if int64(len(chunk)) > remain {
+				// Deliver exactly the allowance, tearing mid-message.
+				n, _ := c.Conn.Write(chunk[:remain])
+				c.written.Add(int64(n))
+				total += n
+				return total, c.drop()
+			}
+		}
+		n, err := c.Conn.Write(chunk)
+		c.written.Add(int64(n))
+		total += n
+		if err != nil {
+			return total, err
+		}
+		p = p[len(chunk):]
+	}
+	return total, nil
+}
+
+func (c *Conn) Read(p []byte) (int, error) {
+	if c.dropped.Load() {
+		return 0, ErrConnDropped
+	}
+	if lim := c.faults.DropAfterReadBytes; lim > 0 {
+		remain := lim - c.read.Load()
+		if remain <= 0 {
+			return 0, c.drop()
+		}
+		if int64(len(p)) > remain {
+			p = p[:remain]
+		}
+	}
+	n, err := c.Conn.Read(p)
+	c.read.Add(int64(n))
+	return n, err
+}
+
+// Proxy is a TCP relay that applies ConnFaults to each proxied connection,
+// so a real client/server pair can be exercised against injected network
+// faults without modifying either. Faults(i) configures the i-th accepted
+// connection (0-based); nil Faults proxies cleanly.
+type Proxy struct {
+	ln     net.Listener
+	target string
+	faults func(i int) ConnFaults
+
+	mu     sync.Mutex
+	conns  []net.Conn
+	next   int
+	closed bool
+	wg     sync.WaitGroup
+}
+
+// NewProxy starts a relay on a free localhost port toward target.
+func NewProxy(target string, faults func(i int) ConnFaults) (*Proxy, error) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, fmt.Errorf("fault: proxy listen: %w", err)
+	}
+	p := &Proxy{ln: ln, target: target, faults: faults}
+	p.wg.Add(1)
+	go p.acceptLoop()
+	return p, nil
+}
+
+// Addr returns the proxy's listen address for clients to dial.
+func (p *Proxy) Addr() string { return p.ln.Addr().String() }
+
+// Close stops the relay and kills every proxied connection.
+func (p *Proxy) Close() {
+	p.mu.Lock()
+	p.closed = true
+	conns := append([]net.Conn(nil), p.conns...)
+	p.mu.Unlock()
+	p.ln.Close()
+	for _, c := range conns {
+		c.Close()
+	}
+	p.wg.Wait()
+}
+
+func (p *Proxy) acceptLoop() {
+	defer p.wg.Done()
+	for {
+		client, err := p.ln.Accept()
+		if err != nil {
+			return
+		}
+		p.mu.Lock()
+		if p.closed {
+			p.mu.Unlock()
+			client.Close()
+			return
+		}
+		i := p.next
+		p.next++
+		p.mu.Unlock()
+		upstream, err := net.Dial("tcp", p.target)
+		if err != nil {
+			client.Close()
+			continue
+		}
+		var faulty net.Conn = upstream
+		if p.faults != nil {
+			faulty = WrapConn(upstream, p.faults(i))
+		}
+		p.mu.Lock()
+		p.conns = append(p.conns, client, upstream)
+		p.mu.Unlock()
+		p.wg.Add(2)
+		// client → (faulty) upstream: injected faults tear requests.
+		go p.pipe(faulty, client, upstream)
+		// upstream → client: clean, but dies with the pair.
+		go p.pipe(client, faulty, upstream)
+	}
+}
+
+// pipe copies src→dst until error, then kills the pair so the peer sees the
+// drop promptly.
+func (p *Proxy) pipe(dst io.Writer, src net.Conn, other net.Conn) {
+	defer p.wg.Done()
+	buf := make([]byte, 4096)
+	for {
+		n, rerr := src.Read(buf)
+		if n > 0 {
+			if _, werr := dst.Write(buf[:n]); werr != nil {
+				break
+			}
+		}
+		if rerr != nil {
+			break
+		}
+	}
+	src.Close()
+	other.Close()
+	if c, ok := dst.(net.Conn); ok {
+		c.Close()
+	}
+}

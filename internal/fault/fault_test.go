@@ -1,0 +1,244 @@
+package fault
+
+import (
+	"errors"
+	"net"
+	"os"
+	"path/filepath"
+	"syscall"
+	"testing"
+)
+
+func TestInjectFSFsyncRule(t *testing.T) {
+	dir := t.TempDir()
+	fs := NewInjectFS(nil, Rule{Op: OpSync, After: 1, Count: 1, Err: ErrFsync})
+	f, err := fs.OpenFile(filepath.Join(dir, "x"), os.O_CREATE|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if err := f.Sync(); err != nil {
+		t.Fatalf("sync 1 (skipped by After): %v", err)
+	}
+	err = f.Sync()
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("sync 2: got %v, want injected", err)
+	}
+	if !errors.Is(err, syscall.EIO) {
+		t.Fatalf("sync 2: got %v, want EIO", err)
+	}
+	if err := f.Sync(); err != nil {
+		t.Fatalf("sync 3 (Count exhausted): %v", err)
+	}
+	if got := fs.Injected(); got != 1 {
+		t.Fatalf("Injected = %d, want 1", got)
+	}
+}
+
+func TestInjectFSTornWrite(t *testing.T) {
+	dir := t.TempDir()
+	fs := NewInjectFS(nil, Rule{Op: OpWrite, Count: 1, Torn: true, Err: ErrNoSpace})
+	f, err := fs.OpenFile(filepath.Join(dir, "x"), os.O_CREATE|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 100)
+	n, err := f.Write(buf)
+	if n != 50 {
+		t.Fatalf("torn write wrote %d bytes, want 50", n)
+	}
+	if !errors.Is(err, syscall.ENOSPC) {
+		t.Fatalf("torn write: got %v, want ENOSPC", err)
+	}
+	if n, err := f.Write(buf); n != 100 || err != nil {
+		t.Fatalf("healed write: n=%d err=%v", n, err)
+	}
+	f.Close()
+	fi, err := os.Stat(filepath.Join(dir, "x"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fi.Size() != 150 {
+		t.Fatalf("file size %d, want 150 (50 torn + 100 clean)", fi.Size())
+	}
+}
+
+func TestInjectFSAfterBytes(t *testing.T) {
+	dir := t.TempDir()
+	fs := NewInjectFS(nil, Rule{Op: OpWrite, AfterBytes: 64, Err: ErrNoSpace})
+	f, err := fs.OpenFile(filepath.Join(dir, "x"), os.O_CREATE|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	buf := make([]byte, 32)
+	if _, err := f.Write(buf); err != nil {
+		t.Fatalf("write 1 (32 bytes cum): %v", err)
+	}
+	if _, err := f.Write(buf); err != nil {
+		t.Fatalf("write 2 (64 bytes cum, not yet over): %v", err)
+	}
+	if _, err := f.Write(buf); !errors.Is(err, syscall.ENOSPC) {
+		t.Fatalf("write 3 (96 bytes cum): got %v, want ENOSPC", err)
+	}
+	// Permanent once armed (Count 0).
+	if _, err := f.Write(buf); !errors.Is(err, syscall.ENOSPC) {
+		t.Fatalf("write 4: got %v, want ENOSPC", err)
+	}
+}
+
+func TestInjectFSPathFilter(t *testing.T) {
+	dir := t.TempDir()
+	fs := NewInjectFS(nil, Rule{Op: OpSync, Path: ".wal", Err: ErrFsync})
+	w, err := fs.OpenFile(filepath.Join(dir, "0001.wal"), os.O_CREATE|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	c, err := fs.OpenFile(filepath.Join(dir, "ckpt.ck"), os.O_CREATE|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if err := w.Sync(); !errors.Is(err, ErrInjected) {
+		t.Fatalf("wal sync: got %v, want injected", err)
+	}
+	if err := c.Sync(); err != nil {
+		t.Fatalf("checkpoint sync must pass the filter: %v", err)
+	}
+}
+
+func TestConnDropAfterWriteBytes(t *testing.T) {
+	a, b := net.Pipe()
+	defer b.Close()
+	fc := WrapConn(a, ConnFaults{DropAfterWriteBytes: 10})
+	done := make(chan []byte, 1)
+	go func() {
+		buf := make([]byte, 64)
+		total := 0
+		for {
+			n, err := b.Read(buf[total:])
+			total += n
+			if err != nil {
+				break
+			}
+		}
+		done <- buf[:total]
+	}()
+	n, err := fc.Write([]byte("0123456789abcdef"))
+	if n != 10 {
+		t.Fatalf("wrote %d bytes before drop, want 10", n)
+	}
+	if !errors.Is(err, ErrConnDropped) {
+		t.Fatalf("got %v, want ErrConnDropped", err)
+	}
+	if !fc.Dropped() {
+		t.Fatal("Dropped() = false after drop")
+	}
+	if got := string(<-done); got != "0123456789" {
+		t.Fatalf("peer saw %q, want the 10-byte torn prefix", got)
+	}
+	if _, err := fc.Write([]byte("x")); !errors.Is(err, ErrConnDropped) {
+		t.Fatalf("write after drop: got %v", err)
+	}
+}
+
+func TestConnChunking(t *testing.T) {
+	a, b := net.Pipe()
+	defer b.Close()
+	fc := WrapConn(a, ConnFaults{ChunkBytes: 3})
+	got := make(chan string, 1)
+	go func() {
+		buf := make([]byte, 64)
+		total := 0
+		for total < 8 {
+			n, err := b.Read(buf[total:])
+			total += n
+			if err != nil {
+				break
+			}
+		}
+		got <- string(buf[:total])
+	}()
+	if n, err := fc.Write([]byte("12345678")); n != 8 || err != nil {
+		t.Fatalf("chunked write: n=%d err=%v", n, err)
+	}
+	if s := <-got; s != "12345678" {
+		t.Fatalf("peer saw %q", s)
+	}
+	fc.Close()
+}
+
+func TestProxyRelaysAndDrops(t *testing.T) {
+	// Echo server.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go func() {
+		for {
+			c, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go func() {
+				buf := make([]byte, 256)
+				for {
+					n, err := c.Read(buf)
+					if n > 0 {
+						c.Write(buf[:n])
+					}
+					if err != nil {
+						c.Close()
+						return
+					}
+				}
+			}()
+		}
+	}()
+
+	// Connection 0 drops after 4 request bytes; connection 1 is clean.
+	p, err := NewProxy(ln.Addr().String(), func(i int) ConnFaults {
+		if i == 0 {
+			return ConnFaults{DropAfterWriteBytes: 4}
+		}
+		return ConnFaults{}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+
+	c0, err := net.Dial("tcp", p.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c0.Close()
+	c0.Write([]byte("abcdefgh")) // over the 4-byte budget → dropped
+	buf := make([]byte, 16)
+	total := 0
+	for {
+		n, err := c0.Read(buf[total:])
+		total += n
+		if err != nil {
+			break // proxy killed the pair
+		}
+	}
+	if total > 4 {
+		t.Fatalf("dropped conn echoed %d bytes, want ≤ 4", total)
+	}
+
+	c1, err := net.Dial("tcp", p.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c1.Close()
+	if _, err := c1.Write([]byte("ping")); err != nil {
+		t.Fatal(err)
+	}
+	n, err := c1.Read(buf)
+	if err != nil || string(buf[:n]) != "ping" {
+		t.Fatalf("clean conn echo: %q, %v", buf[:n], err)
+	}
+}

@@ -1,0 +1,249 @@
+package fault
+
+import (
+	"os"
+	"strings"
+	"sync"
+)
+
+// Rule is one entry of a fault schedule. A rule matches an operation by Op
+// and (optionally) a path substring, skips the first After matching calls,
+// then fires — returns Err, optionally after a torn partial write — Count
+// times before passing through again (Count 0 fires forever).
+//
+// Matching is by deterministic per-rule call counters, so a given command
+// sequence always hits the same faults at the same operations.
+type Rule struct {
+	// Op selects the operation class the rule intercepts.
+	Op Op
+	// Path, when non-empty, restricts the rule to paths containing it
+	// (e.g. ".wal", "checkpoints/").
+	Path string
+	// After skips that many matching calls before the rule starts firing.
+	After int
+	// Count bounds how many times the rule fires; 0 means every matching
+	// call once triggered (a permanent fault).
+	Count int
+	// AfterBytes arms an OpWrite rule only once the cumulative bytes
+	// written through matching calls exceed it — the idiom for "disk full
+	// after N bytes".
+	AfterBytes int64
+	// Err is the injected error; nil defaults to ErrInjected.
+	Err error
+	// Torn makes an OpWrite rule write the first half of the buffer to the
+	// underlying file before failing — a torn write, as crashes and full
+	// disks produce.
+	Torn bool
+}
+
+func (r *Rule) err() error {
+	if r.Err != nil {
+		return r.Err
+	}
+	return ErrInjected
+}
+
+// ruleState tracks one rule's deterministic trigger counters.
+type ruleState struct {
+	rule  Rule
+	calls int   // matching calls observed
+	fired int   // times the rule has fired
+	bytes int64 // cumulative matched write bytes
+}
+
+// InjectFS wraps an FS with a fault schedule. Safe for concurrent use; the
+// schedule's counters advance under one mutex, so the fault sequence is a
+// deterministic function of the operation sequence.
+type InjectFS struct {
+	base FS
+
+	mu       sync.Mutex
+	rules    []*ruleState
+	injected int
+}
+
+// NewInjectFS wraps base (nil means OS) with the given schedule.
+func NewInjectFS(base FS, rules ...Rule) *InjectFS {
+	if base == nil {
+		base = OS
+	}
+	fs := &InjectFS{base: base}
+	for _, r := range rules {
+		rc := r
+		fs.rules = append(fs.rules, &ruleState{rule: rc})
+	}
+	return fs
+}
+
+// AddRule appends a rule to the schedule at runtime (e.g. "from now on,
+// fsync fails").
+func (fs *InjectFS) AddRule(r Rule) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	fs.rules = append(fs.rules, &ruleState{rule: r})
+}
+
+// Clear removes every rule, healing all faults.
+func (fs *InjectFS) Clear() {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	fs.rules = nil
+}
+
+// Injected reports how many faults have fired so far.
+func (fs *InjectFS) Injected() int {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	return fs.injected
+}
+
+// firing is one matched rule occurrence.
+type firing struct {
+	err  error
+	torn bool
+}
+
+// check advances the schedule for one operation and returns a firing if a
+// rule triggers. n is the byte count for OpWrite (0 otherwise).
+func (fs *InjectFS) check(op Op, path string, n int) *firing {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	for _, st := range fs.rules {
+		r := &st.rule
+		if r.Op != op {
+			continue
+		}
+		if r.Path != "" && !strings.Contains(path, r.Path) {
+			continue
+		}
+		st.calls++
+		st.bytes += int64(n)
+		if st.calls <= r.After {
+			continue
+		}
+		if r.AfterBytes > 0 && st.bytes <= r.AfterBytes {
+			continue
+		}
+		if r.Count > 0 && st.fired >= r.Count {
+			continue
+		}
+		st.fired++
+		fs.injected++
+		return &firing{err: r.err(), torn: r.Torn}
+	}
+	return nil
+}
+
+func (fs *InjectFS) OpenFile(name string, flag int, perm os.FileMode) (File, error) {
+	if f := fs.check(OpOpen, name, 0); f != nil {
+		return nil, f.err
+	}
+	file, err := fs.base.OpenFile(name, flag, perm)
+	if err != nil {
+		return nil, err
+	}
+	return &injectFile{fs: fs, path: name, f: file}, nil
+}
+
+func (fs *InjectFS) Open(name string) (File, error) {
+	if f := fs.check(OpOpen, name, 0); f != nil {
+		return nil, f.err
+	}
+	file, err := fs.base.Open(name)
+	if err != nil {
+		return nil, err
+	}
+	return &injectFile{fs: fs, path: name, f: file}, nil
+}
+
+func (fs *InjectFS) CreateTemp(dir, pattern string) (File, error) {
+	if f := fs.check(OpOpen, dir, 0); f != nil {
+		return nil, f.err
+	}
+	file, err := fs.base.CreateTemp(dir, pattern)
+	if err != nil {
+		return nil, err
+	}
+	return &injectFile{fs: fs, path: file.Name(), f: file}, nil
+}
+
+func (fs *InjectFS) MkdirAll(path string, perm os.FileMode) error {
+	return fs.base.MkdirAll(path, perm)
+}
+
+func (fs *InjectFS) ReadDir(name string) ([]os.DirEntry, error) { return fs.base.ReadDir(name) }
+
+func (fs *InjectFS) ReadFile(name string) ([]byte, error) {
+	if f := fs.check(OpRead, name, 0); f != nil {
+		return nil, f.err
+	}
+	return fs.base.ReadFile(name)
+}
+
+func (fs *InjectFS) Stat(name string) (os.FileInfo, error) { return fs.base.Stat(name) }
+
+func (fs *InjectFS) Truncate(name string, size int64) error {
+	if f := fs.check(OpTruncate, name, 0); f != nil {
+		return f.err
+	}
+	return fs.base.Truncate(name, size)
+}
+
+func (fs *InjectFS) Rename(oldpath, newpath string) error {
+	if f := fs.check(OpRename, newpath, 0); f != nil {
+		return f.err
+	}
+	return fs.base.Rename(oldpath, newpath)
+}
+
+func (fs *InjectFS) Remove(name string) error {
+	if f := fs.check(OpRemove, name, 0); f != nil {
+		return f.err
+	}
+	return fs.base.Remove(name)
+}
+
+// injectFile routes per-handle operations back through the schedule.
+type injectFile struct {
+	fs   *InjectFS
+	path string
+	f    File
+}
+
+func (f *injectFile) Read(p []byte) (int, error) {
+	if fi := f.fs.check(OpRead, f.path, 0); fi != nil {
+		return 0, fi.err
+	}
+	return f.f.Read(p)
+}
+
+func (f *injectFile) Write(p []byte) (int, error) {
+	if fi := f.fs.check(OpWrite, f.path, len(p)); fi != nil {
+		if fi.torn && len(p) > 1 {
+			// A torn write: half the frame reaches the disk, then the
+			// failure. Recovery must cope with the partial tail.
+			n, werr := f.f.Write(p[:len(p)/2])
+			if werr != nil {
+				return n, werr
+			}
+			return n, fi.err
+		}
+		return 0, fi.err
+	}
+	return f.f.Write(p)
+}
+
+func (f *injectFile) Seek(offset int64, whence int) (int64, error) {
+	return f.f.Seek(offset, whence)
+}
+
+func (f *injectFile) Close() error { return f.f.Close() }
+
+func (f *injectFile) Sync() error {
+	if fi := f.fs.check(OpSync, f.path, 0); fi != nil {
+		return fi.err
+	}
+	return f.f.Sync()
+}
+
+func (f *injectFile) Name() string { return f.f.Name() }

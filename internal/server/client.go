@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net"
 	"strconv"
 	"strings"
@@ -23,17 +24,86 @@ type Data struct {
 	Result  ResultJSON
 }
 
+// ServerError is an ERR reply: the request reached the server and was
+// rejected. It is never retried — only transport failures (broken or timed
+// out connections) are, and only for idempotent operations.
+type ServerError string
+
+func (e ServerError) Error() string { return string(e) }
+
+// DialOptions tunes the client's fault handling. The zero value keeps the
+// historical behavior: one connection, one attempt per operation, a 30s
+// per-operation deadline.
+type DialOptions struct {
+	// DialTimeout bounds each TCP dial, including redials (default 5s).
+	DialTimeout time.Duration
+	// OpTimeout bounds one request/reply exchange (default 30s). A timed
+	// out exchange closes the connection — the late reply can never be
+	// matched to a later request.
+	OpTimeout time.Duration
+	// Retries is how many extra attempts idempotent operations get after a
+	// transport failure (default 0 = fail fast). Retried inserts carry a
+	// request id, so a retry whose original was applied — reply lost on the
+	// wire — is answered from the server's dedup window, not re-applied.
+	Retries int
+	// RetryBase and RetryMax shape the exponential backoff between
+	// attempts: base·2^(attempt-1), capped at max, with ±50% jitter
+	// (defaults 50ms and 2s).
+	RetryBase time.Duration
+	RetryMax  time.Duration
+	// Seed makes request ids and backoff jitter deterministic for tests;
+	// 0 derives a per-client seed from the clock.
+	Seed uint64
+}
+
+func (o DialOptions) normalize() DialOptions {
+	if o.DialTimeout <= 0 {
+		o.DialTimeout = 5 * time.Second
+	}
+	if o.OpTimeout <= 0 {
+		o.OpTimeout = 30 * time.Second
+	}
+	if o.Retries < 0 {
+		o.Retries = 0
+	}
+	if o.RetryBase <= 0 {
+		o.RetryBase = 50 * time.Millisecond
+	}
+	if o.RetryMax <= 0 {
+		o.RetryMax = 2 * time.Second
+	}
+	if o.Seed == 0 {
+		o.Seed = uint64(time.Now().UnixNano()) | 1
+	}
+	return o
+}
+
 // Client is a Go client for the line protocol. Safe for concurrent use;
 // requests are serialized and DATA lines are delivered on the Data channel.
+// With Retries > 0 it redials on transport failures and resends idempotent
+// requests (tagged with request ids, so inserts apply exactly once).
 type Client struct {
-	c    net.Conn
-	w    *bufio.Writer
-	data chan Data
+	addr string
+	opts DialOptions
 
-	mu      sync.Mutex // serializes request/response exchanges
+	data     chan Data
+	dataOnce sync.Once
+
+	mu     sync.Mutex // serializes exchanges, redials, and backoff state
+	cc     *clientConn
+	closed bool
+	rng    uint64
+	idPfx  string
+	reqSeq uint64
+}
+
+// clientConn is one live TCP connection; redials replace it wholesale so a
+// stale reader can never feed replies into a new connection's exchange.
+type clientConn struct {
+	c       net.Conn
+	w       *bufio.Writer
 	replies chan reply
-	closed  chan struct{}
-	once    sync.Once
+	done    chan struct{}
 	readErr error
 }
 
@@ -42,51 +112,125 @@ type reply struct {
 	payload string
 }
 
-// Dial connects to a server.
+// Dial connects to a server with defaults (no retries).
 func Dial(addr string, timeout time.Duration) (*Client, error) {
-	nc, err := net.DialTimeout("tcp", addr, timeout)
+	return DialOpts(addr, DialOptions{DialTimeout: timeout})
+}
+
+// DialOpts connects with explicit fault-handling options.
+func DialOpts(addr string, o DialOptions) (*Client, error) {
+	o = o.normalize()
+	cl := &Client{
+		addr: addr,
+		opts: o,
+		data: make(chan Data, 1024),
+		rng:  o.Seed,
+	}
+	cl.idPfx = fmt.Sprintf("c%x", splitmix64(o.Seed)&0xffffffff)
+	cl.mu.Lock()
+	err := cl.redialLocked()
+	cl.mu.Unlock()
 	if err != nil {
 		return nil, err
 	}
-	cl := &Client{
-		c:       nc,
-		w:       bufio.NewWriter(nc),
-		data:    make(chan Data, 1024),
-		replies: make(chan reply, 1),
-		closed:  make(chan struct{}),
-	}
-	go cl.readLoop()
 	return cl, nil
 }
 
-// Data returns the channel of asynchronous query results. It is closed
-// when the connection ends; results are dropped if the channel backs up.
+// Addr returns the server address the client dials.
+func (cl *Client) Addr() string { return cl.addr }
+
+// Data returns the channel of asynchronous query results. It closes when
+// the client is closed or — without retries — when the connection ends;
+// results are dropped if the channel backs up.
 func (cl *Client) Data() <-chan Data { return cl.data }
 
-// Close terminates the connection.
+func (cl *Client) closeData() { cl.dataOnce.Do(func() { close(cl.data) }) }
+
+// Close terminates the connection and stops any retrying.
 func (cl *Client) Close() error {
+	cl.mu.Lock()
+	if cl.closed {
+		cl.mu.Unlock()
+		return nil
+	}
+	cl.closed = true
+	cc := cl.cc
+	cl.cc = nil
+	cl.mu.Unlock()
 	var err error
-	cl.once.Do(func() {
-		err = cl.c.Close()
-	})
+	if cc != nil {
+		err = cc.c.Close()
+		<-cc.done
+	}
+	cl.closeData()
 	return err
 }
 
-// Err returns the terminal read error, if the connection has failed.
+// Err returns the terminal read error, if the current connection has
+// failed.
 func (cl *Client) Err() error {
+	cl.mu.Lock()
+	cc := cl.cc
+	cl.mu.Unlock()
+	if cc == nil {
+		return nil
+	}
 	select {
-	case <-cl.closed:
-		return cl.readErr
+	case <-cc.done:
+		return cc.readErr
 	default:
 		return nil
 	}
 }
 
-func (cl *Client) readLoop() {
-	scanner := bufio.NewScanner(cl.c)
-	scanner.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
-	for scanner.Scan() {
-		line := scanner.Text()
+func (cl *Client) redialLocked() error {
+	nc, err := net.DialTimeout("tcp", cl.addr, cl.opts.DialTimeout)
+	if err != nil {
+		return err
+	}
+	cc := &clientConn{
+		c:       nc,
+		w:       bufio.NewWriter(nc),
+		replies: make(chan reply, 1),
+		done:    make(chan struct{}),
+	}
+	cl.cc = cc
+	go cl.readLoop(cc)
+	return nil
+}
+
+func (cl *Client) ensureConnLocked() error {
+	if cl.closed {
+		return errors.New("server: client closed")
+	}
+	if cl.cc != nil {
+		return nil
+	}
+	return cl.redialLocked()
+}
+
+func (cl *Client) dropConnLocked() {
+	if cl.cc != nil {
+		cl.cc.c.Close()
+		cl.cc = nil
+	}
+}
+
+func (cl *Client) readLoop(cc *clientConn) {
+	r := bufio.NewReaderSize(cc.c, 64*1024)
+	for {
+		line, err := readLine(r, maxLineBytes)
+		if err != nil {
+			// readLine surfaces a torn final line (connection died mid-reply)
+			// as io.ErrUnexpectedEOF instead of the fragment, so a truncated
+			// "OK ..." can never parse as a successful answer — the exchange
+			// fails and, with retries enabled, the request id makes the
+			// resend safe.
+			if err != io.EOF {
+				cc.readErr = err
+			}
+			break
+		}
 		switch {
 		case strings.HasPrefix(line, "DATA "):
 			rest := line[len("DATA "):]
@@ -104,45 +248,123 @@ func (cl *Client) readLoop() {
 			}
 		case strings.HasPrefix(line, "OK"):
 			payload := strings.TrimSpace(strings.TrimPrefix(line, "OK"))
-			cl.replies <- reply{ok: true, payload: payload}
+			cc.replies <- reply{ok: true, payload: payload}
 		case strings.HasPrefix(line, "ERR "):
-			cl.replies <- reply{ok: false, payload: line[len("ERR "):]}
+			cc.replies <- reply{ok: false, payload: line[len("ERR "):]}
 		}
 	}
-	cl.readErr = scanner.Err()
-	close(cl.closed)
-	close(cl.data)
+	close(cc.done)
+	// Without retries a dead connection is terminal, matching the original
+	// client contract; with retries the data channel survives redials.
+	if cl.opts.Retries == 0 {
+		cl.closeData()
+	}
 }
 
-// roundTrip sends one request line and waits for its OK/ERR reply.
-func (cl *Client) roundTrip(line string) (string, error) {
-	cl.mu.Lock()
-	defer cl.mu.Unlock()
-	if _, err := cl.w.WriteString(line + "\n"); err != nil {
+// exchangeLocked performs one request/reply exchange on the current
+// connection. Transport failures (including an OpTimeout) poison the
+// connection — it is closed and dropped so a late reply cannot desync the
+// next exchange.
+func (cl *Client) exchangeLocked(line string) (string, error) {
+	cc := cl.cc
+	if _, err := cc.w.WriteString(line + "\n"); err != nil {
+		cl.dropConnLocked()
 		return "", err
 	}
-	if err := cl.w.Flush(); err != nil {
+	if err := cc.w.Flush(); err != nil {
+		cl.dropConnLocked()
 		return "", err
 	}
+	timer := time.NewTimer(cl.opts.OpTimeout)
+	defer timer.Stop()
 	select {
-	case r := <-cl.replies:
+	case r := <-cc.replies:
 		if !r.ok {
-			return "", errors.New(r.payload)
+			return "", ServerError(r.payload)
 		}
 		return r.payload, nil
-	case <-cl.closed:
-		if cl.readErr != nil {
-			return "", cl.readErr
+	case <-cc.done:
+		cl.dropConnLocked()
+		if cc.readErr != nil {
+			return "", cc.readErr
 		}
 		return "", errors.New("server: connection closed")
-	case <-time.After(30 * time.Second):
+	case <-timer.C:
+		cl.dropConnLocked()
 		return "", errors.New("server: request timed out")
 	}
 }
 
+// roundTrip sends one non-idempotent request: a single attempt, because a
+// lost reply leaves the outcome unknown and re-sending could double-apply.
+func (cl *Client) roundTrip(line string) (string, error) {
+	cl.mu.Lock()
+	defer cl.mu.Unlock()
+	if err := cl.ensureConnLocked(); err != nil {
+		return "", err
+	}
+	return cl.exchangeLocked(line)
+}
+
+// roundTripIdem sends an idempotent request, retrying transport failures
+// with exponential backoff and jitter. ERR replies are returned as-is: the
+// server answered, so retrying cannot help.
+func (cl *Client) roundTripIdem(line string) (string, error) {
+	cl.mu.Lock()
+	defer cl.mu.Unlock()
+	var lastErr error
+	for attempt := 0; attempt <= cl.opts.Retries; attempt++ {
+		if attempt > 0 {
+			time.Sleep(cl.backoffLocked(attempt))
+		}
+		if err := cl.ensureConnLocked(); err != nil {
+			lastErr = err
+			continue
+		}
+		payload, err := cl.exchangeLocked(line)
+		if err == nil {
+			return payload, nil
+		}
+		var se ServerError
+		if errors.As(err, &se) {
+			return "", err
+		}
+		lastErr = err
+	}
+	return "", lastErr
+}
+
+// backoffLocked computes base·2^(attempt-1) capped at RetryMax, jittered to
+// [d/2, d] so synchronized clients fan out.
+func (cl *Client) backoffLocked(attempt int) time.Duration {
+	d := cl.opts.RetryBase << (attempt - 1)
+	if d > cl.opts.RetryMax || d <= 0 {
+		d = cl.opts.RetryMax
+	}
+	cl.rng ^= cl.rng << 13
+	cl.rng ^= cl.rng >> 7
+	cl.rng ^= cl.rng << 17
+	half := d / 2
+	return half + time.Duration(cl.rng%uint64(half+1))
+}
+
+// nextReqIDLocked mints a request id unique within this client; the prefix
+// separates clients sharing a server's dedup window.
+func (cl *Client) nextReqIDLocked() string {
+	cl.reqSeq++
+	return fmt.Sprintf("%s-%d", cl.idPfx, cl.reqSeq)
+}
+
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
 // Ping checks liveness.
 func (cl *Client) Ping() error {
-	_, err := cl.roundTrip("PING")
+	_, err := cl.roundTripIdem("PING")
 	return err
 }
 
@@ -171,6 +393,18 @@ func (cl *Client) Query(id, sqlText string) error {
 	return err
 }
 
+// insertLine finalizes an ingest request: with retries enabled it appends a
+// request id, making the retry loop exactly-once end to end.
+func (cl *Client) ingestRoundTrip(parts []string) (string, error) {
+	if cl.opts.Retries == 0 {
+		return cl.roundTrip(strings.Join(parts, " "))
+	}
+	cl.mu.Lock()
+	id := cl.nextReqIDLocked()
+	cl.mu.Unlock()
+	return cl.roundTripIdem(strings.Join(parts, " ") + " @" + id)
+}
+
 // Insert pushes one tuple; the returned count is the number of query
 // results the insert produced server-side.
 func (cl *Client) Insert(streamName string, fields ...randvar.Field) (int, error) {
@@ -179,7 +413,7 @@ func (cl *Client) Insert(streamName string, fields ...randvar.Field) (int, error
 	for _, f := range fields {
 		parts = append(parts, FormatFieldSpec(f))
 	}
-	payload, err := cl.roundTrip(strings.Join(parts, " "))
+	payload, err := cl.ingestRoundTrip(parts)
 	if err != nil {
 		return 0, err
 	}
@@ -205,7 +439,7 @@ func (cl *Client) InsertBatch(streamName string, rows ...[]randvar.Field) (int, 
 			parts = append(parts, FormatFieldSpec(f))
 		}
 	}
-	payload, err := cl.roundTrip(strings.Join(parts, " "))
+	payload, err := cl.ingestRoundTrip(parts)
 	if err != nil {
 		return 0, err
 	}
@@ -216,7 +450,7 @@ func (cl *Client) InsertBatch(streamName string, rows ...[]randvar.Field) (int, 
 
 // Stats fetches a query's counters.
 func (cl *Client) Stats(id string) (core.QueryStats, error) {
-	payload, err := cl.roundTrip("STATS " + id)
+	payload, err := cl.roundTripIdem("STATS " + id)
 	if err != nil {
 		return core.QueryStats{}, err
 	}
@@ -229,7 +463,7 @@ func (cl *Client) Stats(id string) (core.QueryStats, error) {
 
 // Metrics fetches the server's process-wide metrics snapshot.
 func (cl *Client) Metrics() (metrics.Snapshot, error) {
-	payload, err := cl.roundTrip("METRICS")
+	payload, err := cl.roundTripIdem("METRICS")
 	if err != nil {
 		return metrics.Snapshot{}, err
 	}
@@ -250,7 +484,7 @@ type QueryMetrics struct {
 
 // QueryMetrics fetches one query's counters and accuracy telemetry.
 func (cl *Client) QueryMetrics(id string) (QueryMetrics, error) {
-	payload, err := cl.roundTrip("METRICS " + id)
+	payload, err := cl.roundTripIdem("METRICS " + id)
 	if err != nil {
 		return QueryMetrics{}, err
 	}
@@ -263,7 +497,7 @@ func (cl *Client) QueryMetrics(id string) (QueryMetrics, error) {
 
 // Explain fetches a query's compiled plan.
 func (cl *Client) Explain(id string) (string, error) {
-	payload, err := cl.roundTrip("EXPLAIN " + id)
+	payload, err := cl.roundTripIdem("EXPLAIN " + id)
 	if err != nil {
 		return "", err
 	}
@@ -272,6 +506,22 @@ func (cl *Client) Explain(id string) (string, error) {
 		return "", fmt.Errorf("server: malformed EXPLAIN payload: %w", err)
 	}
 	return plan, nil
+}
+
+// Shed reports the server's current degrade level, or forces one when
+// level >= 0 (journaled server-side, like controller transitions).
+func (cl *Client) Shed(level int) (int, error) {
+	line := "SHED"
+	if level >= 0 {
+		line = "SHED " + strconv.Itoa(level)
+	}
+	payload, err := cl.roundTrip(line)
+	if err != nil {
+		return 0, err
+	}
+	got := 0
+	fmt.Sscanf(payload, "shed level=%d", &got)
+	return got, nil
 }
 
 // CloseQuery drops a continuous query.

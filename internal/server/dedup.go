@@ -1,0 +1,87 @@
+package server
+
+import (
+	"strings"
+	"sync"
+)
+
+// Idempotent ingest (ISSUE 5, tentpole part 2). A client may tag INSERT /
+// INSERTBATCH with a trailing "@<id>" token. The server remembers, per id,
+// the reply it produced and the WAL position that made the ingest durable;
+// a retry of the same id re-waits durability and replays the remembered
+// reply instead of re-applying the tuples. The token is part of the WAL
+// payload, so crash recovery rebuilds the same dedup window from replay and
+// a retry that straddles a crash still applies exactly once.
+//
+// The window is a bounded FIFO: when full, the oldest id is evicted and a
+// retry arriving after eviction re-executes. Clients therefore bound their
+// retry horizon (a handful of attempts over seconds) well inside the window.
+
+// dedupEntry remembers one idempotent request's outcome.
+type dedupEntry struct {
+	// reply is the full protocol reply line ("OK inserted ..." or
+	// "ERR <push errors>") the original attempt computed.
+	reply string
+	// lsn is the WAL position of the journaled record; a retry waits for it
+	// to be durable before answering (the original attempt may have crashed
+	// or failed between append and fsync).
+	lsn uint64
+}
+
+type dedupWindow struct {
+	mu    sync.Mutex
+	max   int
+	order []string // FIFO of ids, oldest first
+	byID  map[string]dedupEntry
+}
+
+func newDedupWindow(max int) *dedupWindow {
+	if max < 0 {
+		max = 0
+	}
+	return &dedupWindow{max: max, byID: make(map[string]dedupEntry, max)}
+}
+
+func (d *dedupWindow) get(id string) (dedupEntry, bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	e, ok := d.byID[id]
+	return e, ok
+}
+
+func (d *dedupWindow) put(id string, e dedupEntry) {
+	if d.max == 0 {
+		return
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if _, dup := d.byID[id]; !dup {
+		for len(d.order) >= d.max {
+			delete(d.byID, d.order[0])
+			d.order = d.order[1:]
+		}
+		d.order = append(d.order, id)
+	}
+	d.byID[id] = e
+}
+
+func (d *dedupWindow) len() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return len(d.byID)
+}
+
+// splitReqID strips a trailing " @<id>" request-id token from an ingest
+// payload. Returns the payload unchanged and "" when no token is present.
+// Field specs never start with '@', so the framing is unambiguous.
+func splitReqID(rest string) (payload, reqID string) {
+	idx := strings.LastIndexByte(rest, ' ')
+	if idx < 0 || idx+2 > len(rest) || rest[idx+1] != '@' {
+		return rest, ""
+	}
+	id := rest[idx+2:]
+	if id == "" {
+		return rest, ""
+	}
+	return strings.TrimSpace(rest[:idx]), id
+}

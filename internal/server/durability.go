@@ -19,9 +19,12 @@ import (
 	"log"
 	"path/filepath"
 	"sort"
+	"strconv"
+	"strings"
 
 	"repro/internal/checkpoint"
 	"repro/internal/core"
+	"repro/internal/fault"
 	"repro/internal/wal"
 )
 
@@ -32,6 +35,14 @@ import (
 // are detached (no owning connection); clients re-acquire result delivery
 // with ATTACH <id>.
 func NewDurable(engine *core.Engine, logger *log.Logger) (*Server, error) {
+	return NewDurableFS(engine, logger, nil)
+}
+
+// NewDurableFS is NewDurable over an injectable filesystem (nil = the real
+// one). The fault-injection harness uses it to drive the whole durability
+// stack — WAL appends, fsyncs, checkpoint renames — through seeded fault
+// schedules without touching the OS.
+func NewDurableFS(engine *core.Engine, logger *log.Logger, fs fault.FS) (*Server, error) {
 	s, err := New(engine, logger)
 	if err != nil {
 		return nil, err
@@ -44,7 +55,7 @@ func NewDurable(engine *core.Engine, logger *log.Logger) (*Server, error) {
 	if err != nil {
 		return nil, err
 	}
-	ckm, err := checkpoint.NewManager(filepath.Join(cfg.DataDir, "checkpoints"))
+	ckm, err := checkpoint.NewManagerFS(filepath.Join(cfg.DataDir, "checkpoints"), fs)
 	if err != nil {
 		return nil, err
 	}
@@ -70,7 +81,7 @@ func NewDurable(engine *core.Engine, logger *log.Logger) (*Server, error) {
 		s.logf("recovery: checkpoint lsn=%d (%d streams, %d queries)",
 			snap.LSN, len(snap.Streams), len(snap.Queries))
 	}
-	wlog, err := wal.Open(filepath.Join(cfg.DataDir, "wal"), wal.Options{Policy: policy})
+	wlog, err := wal.Open(filepath.Join(cfg.DataDir, "wal"), wal.Options{Policy: policy, FS: fs})
 	if err != nil {
 		return nil, err
 	}
@@ -115,7 +126,9 @@ func (s *Server) applyRecord(rec wal.Record) error {
 			return fmt.Errorf("lsn %d (QUERY %s): %w", rec.LSN, id, err)
 		}
 	case wal.RecInsert, wal.RecInsertBatch:
-		streamName, rows, err := parseInsertRows(payload, rec.Type == wal.RecInsertBatch)
+		batch := rec.Type == wal.RecInsertBatch
+		body, reqID := splitReqID(payload)
+		streamName, rows, err := parseInsertRows(body, batch)
 		if err != nil {
 			return fmt.Errorf("lsn %d (INSERT): %w", rec.LSN, err)
 		}
@@ -123,13 +136,41 @@ func (s *Server) applyRecord(rec wal.Record) error {
 		if err != nil {
 			return fmt.Errorf("lsn %d (INSERT): %w", rec.LSN, err)
 		}
+		emitted := 0
+		var pushErrs []string
 		for _, qr := range results {
 			if qr.Err != nil {
 				// The live run hit (and reported) the same per-query error;
 				// the partial effects are deterministic, so replay continues.
 				s.logf("replay lsn %d: query %s: %v", rec.LSN, qr.ID, qr.Err)
+				pushErrs = append(pushErrs, fmt.Sprintf("query %s: %v", qr.ID, qr.Err))
 			}
+			emitted += len(qr.Results)
 		}
+		if reqID != "" {
+			// Rebuild the idempotency window: the deterministic engine makes
+			// the recomputed reply bit-identical to the live one, so a retry
+			// that arrives after a crash gets the same answer without
+			// double-applying.
+			var pushErr error
+			if len(pushErrs) > 0 {
+				sort.Strings(pushErrs)
+				pushErr = fmt.Errorf("%s", strings.Join(pushErrs, "; "))
+			}
+			s.dedup.put(reqID, dedupEntry{
+				reply: ingestReply(batch, len(rows), emitted, pushErr),
+				lsn:   rec.LSN,
+			})
+		}
+	case wal.RecShed:
+		level, err := strconv.Atoi(payload)
+		if err != nil {
+			return fmt.Errorf("lsn %d (SHED): %w", rec.LSN, err)
+		}
+		// Restore the accuracy budget at the same point in the insert
+		// sequence the live run changed it — RNG consumption downstream
+		// depends on it.
+		s.engine.SetDegradeLevel(level)
 	case wal.RecClose:
 		s.mu.Lock()
 		err := s.applyCloseLocked(payload)

@@ -17,7 +17,7 @@ import (
 var (
 	mCmds = func() map[string]*metrics.Counter {
 		verbs := []string{"PING", "QUIT", "STREAM", "QUERY", "INSERT", "INSERTBATCH",
-			"STATS", "EXPLAIN", "ATTACH", "CLOSE", "METRICS", "UNKNOWN"}
+			"STATS", "EXPLAIN", "ATTACH", "CLOSE", "METRICS", "SHED", "UNKNOWN"}
 		out := make(map[string]*metrics.Counter, len(verbs))
 		for _, v := range verbs {
 			out[v] = metrics.Default.Counter(
@@ -36,6 +36,21 @@ var (
 		"client connections currently open")
 	mDataLines = metrics.Default.Counter("asdb_server_data_lines_total",
 		"DATA result lines delivered to clients")
+
+	// Fault-tolerance observability (ISSUE 5): every hardening mechanism
+	// leaves a countable trace so chaos runs can assert it actually fired.
+	mConnPanics = metrics.Default.Counter("asdb_conn_panics_total",
+		"per-connection handler panics recovered (only the offending connection closes)")
+	mConnsRejected = metrics.Default.Counter("asdb_server_conns_rejected_total",
+		"connections refused by MaxConns admission control")
+	mAcceptRetries = metrics.Default.Counter("asdb_server_accept_retries_total",
+		"transient Accept failures retried with backoff")
+	mIdleTimeouts = metrics.Default.Counter("asdb_server_conn_idle_timeouts_total",
+		"connections closed for exceeding the idle timeout")
+	mSlowClientDrops = metrics.Default.Counter("asdb_server_slow_client_drops_total",
+		"connections dropped because their DATA outbox overflowed")
+	mDedupHits = metrics.Default.Counter("asdb_server_dedup_hits_total",
+		"idempotent retries answered from the dedup window without re-applying")
 )
 
 // countCmd resolves the verb's counter, folding unregistered verbs into

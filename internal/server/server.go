@@ -5,8 +5,10 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"log"
 	"net"
+	"runtime/debug"
 	"sort"
 	"strconv"
 	"strings"
@@ -42,6 +44,9 @@ type Server struct {
 	engine *core.Engine
 	logger *log.Logger
 
+	opts  Options      // robustness limits; set before Serve
+	dedup *dedupWindow // idempotent-request window (see dedup.go)
+
 	mu       sync.Mutex
 	ln       net.Listener
 	queries  map[string]*registeredQuery
@@ -49,6 +54,7 @@ type Server struct {
 	closed   bool
 	connWG   sync.WaitGroup
 	nextConn uint64
+	shed     *shedController
 
 	// Durability (nil wal pointer disables). wal is an atomic pointer so
 	// the ingest commit hook — which runs under engine shard locks, never
@@ -76,9 +82,12 @@ func New(engine *core.Engine, logger *log.Logger) (*Server, error) {
 	if engine == nil {
 		return nil, errors.New("server: nil engine")
 	}
+	opts := Options{}.Normalize()
 	return &Server{
 		engine:  engine,
 		logger:  logger,
+		opts:    opts,
+		dedup:   newDedupWindow(opts.DedupWindow),
 		queries: make(map[string]*registeredQuery),
 		conns:   make(map[uint64]net.Conn),
 	}, nil
@@ -97,7 +106,10 @@ func (s *Server) Listen(addr string) (net.Addr, error) {
 	return ln.Addr(), nil
 }
 
-// Serve accepts connections until Close. Call after Listen.
+// Serve accepts connections until Close. Call after Listen. Transient
+// Accept failures (FD exhaustion, ECONNABORTED, ...) are retried with
+// capped exponential backoff instead of killing the accept loop; only a
+// closed listener ends it.
 func (s *Server) Serve() error {
 	s.mu.Lock()
 	ln := s.ln
@@ -105,6 +117,8 @@ func (s *Server) Serve() error {
 	if ln == nil {
 		return errors.New("server: Serve before Listen")
 	}
+	s.startShed()
+	var backoff time.Duration
 	for {
 		c, err := ln.Accept()
 		if err != nil {
@@ -114,8 +128,20 @@ func (s *Server) Serve() error {
 			if closed {
 				return nil
 			}
-			return err
+			if errors.Is(err, net.ErrClosed) {
+				return err
+			}
+			if backoff == 0 {
+				backoff = 5 * time.Millisecond
+			} else if backoff *= 2; backoff > time.Second {
+				backoff = time.Second
+			}
+			mAcceptRetries.Inc()
+			s.logf("accept: %v; retrying in %v", err, backoff)
+			time.Sleep(backoff)
+			continue
 		}
+		backoff = 0
 		s.connWG.Add(1)
 		go func() {
 			defer s.connWG.Done()
@@ -136,6 +162,7 @@ func (s *Server) Close() error {
 		err = ln.Close()
 	}
 	s.connWG.Wait()
+	s.stopShed()
 	if derr := s.finalizeDurable(); err == nil {
 		err = derr
 	}
@@ -143,27 +170,44 @@ func (s *Server) Close() error {
 }
 
 // Shutdown is the graceful-stop used on SIGINT/SIGTERM: it stops
-// accepting, closes every live connection (in-flight commands finish —
-// command dispatch is synchronous — but idle readers unblock), drains the
-// handler goroutines, writes a final checkpoint, and fsyncs and closes the
+// accepting, then drains — existing connections get up to
+// Options.DrainTimeout to finish and disconnect on their own before being
+// force-closed (in-flight commands always finish; command dispatch is
+// synchronous). It then writes a final checkpoint and fsyncs and closes the
 // WAL.
 func (s *Server) Shutdown() error {
 	s.mu.Lock()
 	s.closed = true
 	ln := s.ln
-	conns := make([]net.Conn, 0, len(s.conns))
-	for _, nc := range s.conns {
-		conns = append(conns, nc)
-	}
 	s.mu.Unlock()
 	var err error
 	if ln != nil {
 		err = ln.Close()
 	}
+	drained := make(chan struct{})
+	go func() {
+		s.connWG.Wait()
+		close(drained)
+	}()
+	if s.opts.DrainTimeout > 0 {
+		select {
+		case <-drained:
+		case <-time.After(s.opts.DrainTimeout):
+			s.logf("shutdown: drain timeout after %v, closing %d connections",
+				s.opts.DrainTimeout, len(s.conns))
+		}
+	}
+	s.mu.Lock()
+	conns := make([]net.Conn, 0, len(s.conns))
+	for _, nc := range s.conns {
+		conns = append(conns, nc)
+	}
+	s.mu.Unlock()
 	for _, nc := range conns {
 		nc.Close()
 	}
-	s.connWG.Wait()
+	<-drained
+	s.stopShed()
 	if derr := s.finalizeDurable(); err == nil {
 		err = derr
 	}
@@ -177,18 +221,32 @@ func (s *Server) logf(format string, args ...any) {
 }
 
 // conn is one client connection. Writes are serialized by wmu because the
-// handler goroutine (command responses) and insert paths of other
-// connections (DATA pushes) both write.
+// handler goroutine (command responses), the outbox drainer (cross-conn
+// DATA pushes), and — with the outbox disabled — insert paths of other
+// connections all write.
 type conn struct {
-	id  uint64
-	c   net.Conn
-	wmu sync.Mutex
-	w   *bufio.Writer
+	id           uint64
+	c            net.Conn
+	writeTimeout time.Duration
+	wmu          sync.Mutex
+	w            *bufio.Writer
+
+	// outbox buffers DATA lines produced by OTHER connections' inserts; a
+	// dedicated goroutine drains it so a slow subscriber never blocks the
+	// inserting connection. nil when Options.OutboxLines < 0 (cross-conn
+	// delivery then writes synchronously, pre-hardening behavior).
+	outbox     chan string
+	outboxStop chan struct{}
+	outboxDone chan struct{}
+	dead       atomic.Bool // outbox overflow or write failure; conn is being torn down
 }
 
 func (c *conn) writeLine(line string) error {
 	c.wmu.Lock()
 	defer c.wmu.Unlock()
+	if c.writeTimeout > 0 {
+		c.c.SetWriteDeadline(time.Now().Add(c.writeTimeout))
+	}
 	if _, err := c.w.WriteString(line); err != nil {
 		return err
 	}
@@ -198,11 +256,96 @@ func (c *conn) writeLine(line string) error {
 	return c.w.Flush()
 }
 
+// queueData hands one cross-connection DATA line to the conn. With the
+// outbox enabled the call never blocks: overflow means the subscriber is
+// not keeping up, and the conn is disconnected rather than letting its
+// backlog stall ingest. Reports whether the line was delivered or queued.
+func (c *conn) queueData(line string) bool {
+	if c.outbox == nil {
+		if err := c.writeLine(line); err != nil {
+			return false
+		}
+		mDataLines.Inc()
+		return true
+	}
+	if c.dead.Load() {
+		return false
+	}
+	select {
+	case c.outbox <- line:
+		return true
+	default:
+		if c.dead.CompareAndSwap(false, true) {
+			mSlowClientDrops.Inc()
+			c.c.Close() // unblocks the handler's read loop; cleanup follows
+		}
+		return false
+	}
+}
+
+// outboxLoop drains queued DATA lines until the handler exits. On a write
+// failure the conn is marked dead and closed; the loop keeps consuming (and
+// dropping) so queueData never wedges.
+func (c *conn) outboxLoop() {
+	defer close(c.outboxDone)
+	for {
+		select {
+		case line := <-c.outbox:
+			if c.dead.Load() {
+				continue
+			}
+			if err := c.writeLine(line); err != nil {
+				if c.dead.CompareAndSwap(false, true) {
+					c.c.Close()
+				}
+				continue
+			}
+			mDataLines.Inc()
+		case <-c.outboxStop:
+			return
+		}
+	}
+}
+
+func (c *conn) stopOutbox() {
+	if c.outbox == nil {
+		return
+	}
+	close(c.outboxStop)
+	<-c.outboxDone
+}
+
 func (s *Server) handle(nc net.Conn) {
+	// Registered first so it runs last: the registry/outbox cleanup defers
+	// below still execute while a panic unwinds, and only this connection
+	// dies — the server keeps serving everyone else.
+	defer func() {
+		if r := recover(); r != nil {
+			mConnPanics.Inc()
+			s.logf("conn from %s: panic: %v\n%s", nc.RemoteAddr(), r, debug.Stack())
+		}
+	}()
 	defer nc.Close()
 	s.mu.Lock()
+	if s.opts.MaxConns > 0 && len(s.conns) >= s.opts.MaxConns {
+		limit := s.opts.MaxConns
+		s.mu.Unlock()
+		mConnsRejected.Inc()
+		s.logf("conn from %s: rejected, at connection limit (%d)", nc.RemoteAddr(), limit)
+		if s.opts.WriteTimeout > 0 {
+			nc.SetWriteDeadline(time.Now().Add(s.opts.WriteTimeout))
+		}
+		fmt.Fprintf(nc, "ERR server at connection limit (%d)\n", limit)
+		return
+	}
 	s.nextConn++
-	c := &conn{id: s.nextConn, c: nc, w: bufio.NewWriter(nc)}
+	c := &conn{id: s.nextConn, c: nc, w: bufio.NewWriter(nc), writeTimeout: s.opts.WriteTimeout}
+	if s.opts.OutboxLines > 0 {
+		c.outbox = make(chan string, s.opts.OutboxLines)
+		c.outboxStop = make(chan struct{})
+		c.outboxDone = make(chan struct{})
+		go c.outboxLoop()
+	}
 	s.conns[c.id] = nc
 	s.mu.Unlock()
 	mConnsOpened.Inc()
@@ -213,12 +356,21 @@ func (s *Server) handle(nc net.Conn) {
 		s.mu.Lock()
 		delete(s.conns, c.id)
 		s.mu.Unlock()
+		c.stopOutbox()
 		gConnsActive.Dec()
 	}()
-	scanner := bufio.NewScanner(nc)
-	scanner.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
-	for scanner.Scan() {
-		line := strings.TrimSpace(scanner.Text())
+	r := bufio.NewReaderSize(nc, 64*1024)
+	var readErr error
+	for {
+		if s.opts.IdleTimeout > 0 {
+			nc.SetReadDeadline(time.Now().Add(s.opts.IdleTimeout))
+		}
+		raw, err := readLine(r, maxLineBytes)
+		if err != nil {
+			readErr = err
+			break
+		}
+		line := strings.TrimSpace(raw)
 		if line == "" {
 			continue
 		}
@@ -235,8 +387,22 @@ func (s *Server) handle(nc net.Conn) {
 			return
 		}
 	}
+	if readErr != nil && readErr != io.EOF {
+		var ne net.Error
+		if errors.As(readErr, &ne) && ne.Timeout() {
+			mIdleTimeouts.Inc()
+			s.logf("conn %d: idle timeout", c.id)
+			return
+		}
+		s.logf("conn %d: read: %v", c.id, readErr)
+		return
+	}
 	s.logf("conn %d: closed", c.id)
 }
+
+// testHookDispatch, when non-nil, runs at the top of every dispatch; the
+// chaos suite uses it to inject handler panics.
+var testHookDispatch func(verb string)
 
 // dispatch executes one request line; returns quit=true for QUIT.
 func (s *Server) dispatch(c *conn, line string) (bool, error) {
@@ -246,6 +412,9 @@ func (s *Server) dispatch(c *conn, line string) (bool, error) {
 		cmd, rest = line[:idx], strings.TrimSpace(line[idx+1:])
 	}
 	verb := strings.ToUpper(cmd)
+	if testHookDispatch != nil {
+		testHookDispatch(verb)
+	}
 	countCmd(verb)
 	defer timeCmd(time.Now())
 	switch verb {
@@ -272,6 +441,8 @@ func (s *Server) dispatch(c *conn, line string) (bool, error) {
 		return false, s.cmdAttach(c, rest)
 	case "CLOSE":
 		return false, s.cmdClose(c, rest)
+	case "SHED":
+		return false, s.cmdShed(c, rest)
 	}
 	return false, fmt.Errorf("unknown command %q", cmd)
 }
@@ -414,16 +585,18 @@ func (s *Server) ingest(typ wal.RecordType, payload, streamName string, rows []c
 	return results, lsn, err
 }
 
-// deliverResults routes engine results to owning connections: delivery
-// closures are built under s.mu (owner lookup) and written outside it.
-// emitted counts results produced (delivered or discarded for detached
-// queries); the error aggregates per-query push failures, sorted for
-// deterministic messages.
-func (s *Server) deliverResults(results []core.QueryResults) (int, error) {
-	type delivery struct {
-		owner *conn
-		line  string
-	}
+// delivery is one planned DATA line bound for a connection.
+type delivery struct {
+	owner *conn
+	line  string
+}
+
+// planDeliveries routes engine results to owning connections under s.mu
+// (owner lookup); writing happens later in sendDeliveries, outside the
+// lock and after the WAL fsync. emitted counts results produced (delivered
+// or discarded for detached queries); the error aggregates per-query push
+// failures, sorted for deterministic messages.
+func (s *Server) planDeliveries(results []core.QueryResults) (int, []delivery, error) {
 	var (
 		items    []delivery
 		pushErrs []string
@@ -450,60 +623,133 @@ func (s *Server) deliverResults(results []core.QueryResults) (int, error) {
 		}
 	}
 	s.mu.Unlock()
-	for _, it := range items {
-		if err := it.owner.writeLine(it.line); err != nil {
-			s.logf("deliver: %v", err)
-			continue
-		}
-		mDataLines.Inc()
-	}
 	if len(pushErrs) > 0 {
 		sort.Strings(pushErrs)
-		return emitted, errors.New(strings.Join(pushErrs, "; "))
+		return emitted, items, errors.New(strings.Join(pushErrs, "; "))
 	}
-	return emitted, nil
+	return emitted, items, nil
+}
+
+// sendDeliveries writes planned DATA lines. Lines for the inserting
+// connection itself stay synchronous — same-connection clients observe
+// DATA before the command's OK, a protocol invariant — while lines for
+// other connections go through their bounded outboxes so one slow
+// subscriber cannot stall this insert.
+func (s *Server) sendDeliveries(from *conn, items []delivery) {
+	for _, it := range items {
+		if it.owner == from {
+			if err := it.owner.writeLine(it.line); err != nil {
+				s.logf("deliver: %v", err)
+				continue
+			}
+			mDataLines.Inc()
+			continue
+		}
+		if !it.owner.queueData(it.line) {
+			s.logf("deliver: conn %d dropped (slow or closed)", it.owner.id)
+		}
+	}
+}
+
+// ingestReply formats the reply line both live execution and WAL replay
+// compute for an ingest — replay must reproduce it bit-identically to
+// rebuild the idempotency window (see dedup.go).
+func ingestReply(batch bool, tuples, emitted int, pushErr error) string {
+	if pushErr != nil {
+		return "ERR " + pushErr.Error()
+	}
+	if batch {
+		return fmt.Sprintf("OK inserted tuples=%d results=%d", tuples, emitted)
+	}
+	return fmt.Sprintf("OK inserted results=%d", emitted)
 }
 
 func (s *Server) cmdInsert(c *conn, rest string) error {
-	streamName, rows, err := parseInsertRows(rest, false)
+	return s.cmdIngest(c, rest, false)
+}
+
+func (s *Server) cmdInsertBatch(c *conn, rest string) error {
+	return s.cmdIngest(c, rest, true)
+}
+
+// cmdIngest executes INSERT/INSERTBATCH. A trailing "@<id>" token makes the
+// request idempotent: the dedup window replays the original reply instead
+// of re-applying, and because the token is journaled inside the payload,
+// the window survives crash recovery (a retry that straddles a crash still
+// applies exactly once).
+func (s *Server) cmdIngest(c *conn, rest string, batch bool) error {
+	payload, reqID := splitReqID(rest)
+	if reqID != "" {
+		if e, ok := s.dedup.get(reqID); ok {
+			mDedupHits.Inc()
+			// The original attempt applied and journaled; re-wait its
+			// durability (it may have failed between append and fsync) and
+			// replay its reply without touching the engine.
+			if err := s.waitDurable(e.lsn); err != nil {
+				return err
+			}
+			if msg, ok := strings.CutPrefix(e.reply, "ERR "); ok {
+				return errors.New(msg)
+			}
+			return c.writeLine(e.reply)
+		}
+	}
+	streamName, rows, err := parseInsertRows(payload, batch)
 	if err != nil {
 		return err
 	}
-	results, lsn, err := s.ingest(wal.RecInsert, rest, streamName, rows)
+	typ := wal.RecInsert
+	if batch {
+		typ = wal.RecInsertBatch
+	}
+	// The journaled payload keeps the @<id> token so replay re-registers
+	// the dedup entry at the same LSN.
+	results, lsn, err := s.ingest(typ, rest, streamName, rows)
 	if err != nil {
+		// Pre-apply failure: engine untouched, nothing journaled, so a
+		// retry may (and must) re-execute — no dedup entry.
 		return err
+	}
+	emitted, items, pushErr := s.planDeliveries(results)
+	reply := ingestReply(batch, len(rows), emitted, pushErr)
+	if reqID != "" {
+		// Registered before the fsync wait: if waitDurable fails the record
+		// is still in the log and applied, and the retry must not
+		// double-apply — it hits this entry and re-waits durability.
+		s.dedup.put(reqID, dedupEntry{reply: reply, lsn: lsn})
 	}
 	// Durable before externalized: the fsync wait runs outside the shard
 	// locks (group commit), and DATA lines go out only after it.
 	if err := s.waitDurable(lsn); err != nil {
 		return err
 	}
-	emitted, pushErr := s.deliverResults(results)
+	s.sendDeliveries(c, items)
 	s.maybeCheckpoint()
 	if pushErr != nil {
 		return pushErr
 	}
-	return c.writeLine(fmt.Sprintf("OK inserted results=%d", emitted))
+	return c.writeLine(reply)
 }
 
-func (s *Server) cmdInsertBatch(c *conn, rest string) error {
-	streamName, rows, err := parseInsertRows(rest, true)
+// cmdShed reports (bare SHED) or forces (SHED <level>) the degrade level.
+// Forced transitions go through the same journaled path the controller
+// uses, so operator intervention is as crash-safe as automatic shedding.
+func (s *Server) cmdShed(c *conn, rest string) error {
+	arg := strings.TrimSpace(rest)
+	if arg == "" {
+		return c.writeLine(fmt.Sprintf("OK shed level=%d", s.engine.DegradeLevel()))
+	}
+	level, err := strconv.Atoi(arg)
 	if err != nil {
+		return fmt.Errorf("usage: SHED [level 0..%d]", core.MaxDegradeLevel)
+	}
+	if level < 0 || level > core.MaxDegradeLevel {
+		return fmt.Errorf("shed level %d out of range 0..%d", level, core.MaxDegradeLevel)
+	}
+	if err := s.setShedLevel(level); err != nil {
 		return err
 	}
-	results, lsn, err := s.ingest(wal.RecInsertBatch, rest, streamName, rows)
-	if err != nil {
-		return err
-	}
-	if err := s.waitDurable(lsn); err != nil {
-		return err
-	}
-	emitted, pushErr := s.deliverResults(results)
-	s.maybeCheckpoint()
-	if pushErr != nil {
-		return pushErr
-	}
-	return c.writeLine(fmt.Sprintf("OK inserted tuples=%d results=%d", len(rows), emitted))
+	return c.writeLine(fmt.Sprintf("OK shed level=%d", level))
 }
 
 func (s *Server) cmdStats(c *conn, rest string) error {

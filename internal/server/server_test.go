@@ -384,7 +384,7 @@ func TestConcurrentClients(t *testing.T) {
 	if err := cl.Query("agg", "SELECT AVG(x) FROM cc WINDOW 5 ROWS"); err != nil {
 		t.Fatal(err)
 	}
-	addr := cl.c.RemoteAddr().String()
+	addr := cl.Addr()
 	const workers = 4
 	errs := make(chan error, workers)
 	for w := 0; w < workers; w++ {

@@ -6,6 +6,8 @@ import (
 	"os"
 	"sync"
 	"testing"
+
+	"repro/internal/fault"
 )
 
 func TestAppendBatchRoundTrip(t *testing.T) {
@@ -70,7 +72,7 @@ func TestAppendBatchRotatesMidBatch(t *testing.T) {
 	if err := l.Close(); err != nil {
 		t.Fatalf("Close: %v", err)
 	}
-	segs, err := listSegments(dir)
+	segs, err := listSegments(fault.OS, dir)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -57,6 +57,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/fault"
 	"repro/internal/metrics"
 )
 
@@ -89,6 +90,8 @@ var (
 		"WaitDurable calls that had to wait for durability")
 	mSyncCoalesced = metrics.Default.Counter("asdb_wal_sync_coalesced_total",
 		"WaitDurable calls satisfied by an fsync another caller already issued")
+	mWedges = metrics.Default.Counter("asdb_wal_wedged_total",
+		"WAL logs wedged by an append-path write or fsync failure")
 )
 
 var batchRecordBuckets = []float64{1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024}
@@ -116,6 +119,16 @@ var ErrCorrupt = errors.New("wal: corrupt record")
 
 // ErrClosed reports use of a closed log.
 var ErrClosed = errors.New("wal: log closed")
+
+// ErrWedged reports an append to a log disabled by an earlier write or
+// fsync failure. Once a flush or fsync fails, the segment tail may hold a
+// torn frame (or the kernel may have dropped dirty pages), so continuing to
+// append — and acknowledge — records would risk acknowledged-then-lost
+// writes and mid-file corruption. The log therefore goes append-wedged:
+// every later append or sync fails fast with this error (reads and Replay
+// still work), and the process must restart to recover from the valid
+// prefix.
+var ErrWedged = errors.New("wal: log wedged by earlier write failure")
 
 var castagnoli = crc32.MakeTable(crc32.Castagnoli)
 
@@ -172,6 +185,10 @@ const (
 	// payload). The whole batch lives in a single frame, so a crash
 	// mid-append tears the entire batch, never a prefix of it.
 	RecInsertBatch RecordType = 5
+	// RecShed is an accuracy-degradation level transition (decimal level).
+	// Shed transitions are journaled so WAL replay reproduces the exact
+	// resample counts — and hence RNG evolution — of the live run.
+	RecShed RecordType = 6
 )
 
 // Record is one journaled command.
@@ -187,6 +204,9 @@ type Options struct {
 	Policy       FsyncPolicy
 	SyncInterval time.Duration
 	SegmentBytes int64
+	// FS overrides the filesystem (fault injection in the chaos suite);
+	// nil uses the real one.
+	FS fault.FS
 }
 
 func (o Options) normalize() Options {
@@ -195,6 +215,9 @@ func (o Options) normalize() Options {
 	}
 	if o.SegmentBytes <= 0 {
 		o.SegmentBytes = DefaultSegmentBytes
+	}
+	if o.FS == nil {
+		o.FS = fault.OS
 	}
 	return o
 }
@@ -210,15 +233,17 @@ func (o Options) normalize() Options {
 type Log struct {
 	dir  string
 	opts Options
+	fs   fault.FS
 
 	mu        sync.Mutex
-	f         *os.File
+	f         fault.File
 	w         *bufio.Writer
 	segFirst  uint64 // LSN of the current segment's first record
 	size      int64  // bytes written to the current segment
 	nextLSN   uint64
 	dirty     bool // bytes flushed to the OS but not fsynced
 	closed    bool
+	wedged    error // first append-path write/sync failure; nil = healthy
 	truncated int64 // torn-tail bytes dropped at Open
 
 	// syncMu serializes group-commit leaders; synced is the highest LSN
@@ -234,14 +259,15 @@ type Log struct {
 // tail of the last segment, and positions the log for appending.
 func Open(dir string, opts Options) (*Log, error) {
 	opts = opts.normalize()
-	if err := os.MkdirAll(dir, 0o755); err != nil {
+	fs := opts.FS
+	if err := fs.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("wal: %w", err)
 	}
-	segs, err := listSegments(dir)
+	segs, err := listSegments(fs, dir)
 	if err != nil {
 		return nil, err
 	}
-	l := &Log{dir: dir, opts: opts}
+	l := &Log{dir: dir, opts: opts, fs: fs}
 	if len(segs) == 0 {
 		if err := l.openSegment(1); err != nil {
 			return nil, err
@@ -249,22 +275,22 @@ func Open(dir string, opts Options) (*Log, error) {
 		l.nextLSN = 1
 	} else {
 		last := segs[len(segs)-1]
-		validLen, lastLSN, _, err := scanSegment(last.path, last.first)
+		validLen, lastLSN, _, err := scanSegment(fs, last.path, last.first)
 		if err != nil {
 			return nil, err
 		}
-		fi, err := os.Stat(last.path)
+		fi, err := fs.Stat(last.path)
 		if err != nil {
 			return nil, fmt.Errorf("wal: %w", err)
 		}
 		if fi.Size() > validLen {
 			l.truncated = fi.Size() - validLen
 			mTornBytes.Add(uint64(l.truncated))
-			if err := os.Truncate(last.path, validLen); err != nil {
+			if err := fs.Truncate(last.path, validLen); err != nil {
 				return nil, fmt.Errorf("wal: truncating torn tail: %w", err)
 			}
 		}
-		f, err := os.OpenFile(last.path, os.O_WRONLY, 0)
+		f, err := fs.OpenFile(last.path, os.O_WRONLY, 0)
 		if err != nil {
 			return nil, fmt.Errorf("wal: %w", err)
 		}
@@ -321,15 +347,42 @@ func (l *Log) AppendAsync(typ RecordType, payload []byte) (uint64, error) {
 	if l.closed {
 		return 0, ErrClosed
 	}
+	if l.wedged != nil {
+		return 0, l.wedgedErrLocked()
+	}
 	defer hAppend.ObserveSince(time.Now())
 	if err := l.writeFrameLocked(typ, payload); err != nil {
 		return 0, err
 	}
 	if err := l.w.Flush(); err != nil {
-		return 0, fmt.Errorf("wal: %w", err)
+		return 0, l.wedgeLocked(err)
 	}
 	l.dirty = true
 	return l.nextLSN - 1, nil
+}
+
+// wedgeLocked records the first append-path failure and disables further
+// appends: a failed flush or fsync may have left a torn frame on disk (or
+// dropped dirty pages), and appending past it would corrupt the interior of
+// the log. Caller holds l.mu.
+func (l *Log) wedgeLocked(err error) error {
+	if l.wedged == nil {
+		l.wedged = err
+		mWedges.Inc()
+	}
+	return fmt.Errorf("wal: %w", err)
+}
+
+// wedgedErrLocked reports the standing wedge, wrapping the original cause.
+func (l *Log) wedgedErrLocked() error {
+	return fmt.Errorf("%w: %v", ErrWedged, l.wedged)
+}
+
+// Wedged returns the write/sync failure that wedged the log, or nil.
+func (l *Log) Wedged() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.wedged
 }
 
 // AppendBatch journals payloads as consecutive records of one type with a
@@ -344,6 +397,11 @@ func (l *Log) AppendBatch(typ RecordType, payloads [][]byte) (first, last uint64
 		l.mu.Unlock()
 		return 0, 0, ErrClosed
 	}
+	if l.wedged != nil {
+		err := l.wedgedErrLocked()
+		l.mu.Unlock()
+		return 0, 0, err
+	}
 	t0 := time.Now()
 	for _, p := range payloads {
 		if err := l.writeFrameLocked(typ, p); err != nil {
@@ -355,8 +413,9 @@ func (l *Log) AppendBatch(typ RecordType, payloads [][]byte) (first, last uint64
 		}
 	}
 	if err := l.w.Flush(); err != nil {
+		err = l.wedgeLocked(err)
 		l.mu.Unlock()
-		return 0, 0, fmt.Errorf("wal: %w", err)
+		return 0, 0, err
 	}
 	l.dirty = true
 	last = l.nextLSN - 1
@@ -388,11 +447,13 @@ func (l *Log) writeFrameLocked(typ RecordType, payload []byte) error {
 	crc := crc32.Update(0, castagnoli, hdr[8:])
 	crc = crc32.Update(crc, castagnoli, payload)
 	binary.LittleEndian.PutUint32(hdr[4:8], crc)
+	// A bufio write only fails when it triggered a real flush, so bytes may
+	// have reached the file mid-frame: wedge.
 	if _, err := l.w.Write(hdr[:]); err != nil {
-		return fmt.Errorf("wal: %w", err)
+		return l.wedgeLocked(err)
 	}
 	if _, err := l.w.Write(payload); err != nil {
-		return fmt.Errorf("wal: %w", err)
+		return l.wedgeLocked(err)
 	}
 	l.size += frameLen
 	l.nextLSN++
@@ -426,11 +487,14 @@ func (l *Log) WaitDurable(lsn uint64) error {
 	if l.closed {
 		return ErrClosed
 	}
+	if l.wedged != nil {
+		return l.wedgedErrLocked()
+	}
 	if err := l.w.Flush(); err != nil {
-		return fmt.Errorf("wal: %w", err)
+		return l.wedgeLocked(err)
 	}
 	if err := l.fsync(); err != nil {
-		return fmt.Errorf("wal: %w", err)
+		return l.wedgeLocked(err)
 	}
 	l.dirty = false
 	return nil
@@ -468,14 +532,14 @@ func (l *Log) SyncedLSN() uint64 { return l.synced.Load() }
 // rotateLocked finalizes the current segment and starts one at nextLSN.
 func (l *Log) rotateLocked() error {
 	if err := l.w.Flush(); err != nil {
-		return fmt.Errorf("wal: %w", err)
+		return l.wedgeLocked(err)
 	}
 	if err := l.fsync(); err != nil {
-		return fmt.Errorf("wal: %w", err)
+		return l.wedgeLocked(err)
 	}
 	mRotations.Inc()
 	if err := l.f.Close(); err != nil {
-		return fmt.Errorf("wal: %w", err)
+		return l.wedgeLocked(err)
 	}
 	return l.openSegment(l.nextLSN)
 }
@@ -483,7 +547,7 @@ func (l *Log) rotateLocked() error {
 // openSegment creates the segment whose first record will be first.
 func (l *Log) openSegment(first uint64) error {
 	path := filepath.Join(l.dir, segName(first))
-	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	f, err := l.fs.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
 	if err != nil {
 		return fmt.Errorf("wal: %w", err)
 	}
@@ -492,7 +556,7 @@ func (l *Log) openSegment(first uint64) error {
 	l.segFirst = first
 	l.size = 0
 	l.dirty = false
-	return syncDir(l.dir)
+	return syncDir(l.fs, l.dir)
 }
 
 // Sync flushes buffered appends and fsyncs the current segment.
@@ -506,14 +570,17 @@ func (l *Log) syncLocked() error {
 	if l.closed {
 		return ErrClosed
 	}
+	if l.wedged != nil {
+		return l.wedgedErrLocked()
+	}
 	if err := l.w.Flush(); err != nil {
-		return fmt.Errorf("wal: %w", err)
+		return l.wedgeLocked(err)
 	}
 	if !l.dirty {
 		return nil
 	}
 	if err := l.fsync(); err != nil {
-		return fmt.Errorf("wal: %w", err)
+		return l.wedgeLocked(err)
 	}
 	l.dirty = false
 	return nil
@@ -560,10 +627,14 @@ func (l *Log) Replay(from uint64, fn func(Record) error) error {
 	if l.closed {
 		return ErrClosed
 	}
-	if err := l.w.Flush(); err != nil {
-		return fmt.Errorf("wal: %w", err)
+	// A wedged log already flushed everything up to the failure; the frames
+	// on disk are the valid prefix Replay should read.
+	if l.wedged == nil {
+		if err := l.w.Flush(); err != nil {
+			return l.wedgeLocked(err)
+		}
 	}
-	segs, err := listSegments(l.dir)
+	segs, err := listSegments(l.fs, l.dir)
 	if err != nil {
 		return err
 	}
@@ -579,7 +650,7 @@ func (l *Log) Replay(from uint64, fn func(Record) error) error {
 			expect = segs[i+1].first
 			continue
 		}
-		last, err := replaySegment(seg.path, seg.first, from, func(rec Record) error {
+		last, err := replaySegment(l.fs, seg.path, seg.first, from, func(rec Record) error {
 			mReplayed.Inc()
 			return fn(rec)
 		})
@@ -600,7 +671,7 @@ func (l *Log) TruncateThrough(lsn uint64) error {
 	if l.closed {
 		return ErrClosed
 	}
-	segs, err := listSegments(l.dir)
+	segs, err := listSegments(l.fs, l.dir)
 	if err != nil {
 		return err
 	}
@@ -611,12 +682,12 @@ func (l *Log) TruncateThrough(lsn uint64) error {
 		if segs[i+1].first-1 > lsn {
 			break // segment holds records beyond lsn
 		}
-		if err := os.Remove(seg.path); err != nil {
+		if err := l.fs.Remove(seg.path); err != nil {
 			return fmt.Errorf("wal: %w", err)
 		}
 		mSegsDropped.Inc()
 	}
-	return syncDir(l.dir)
+	return syncDir(l.fs, l.dir)
 }
 
 type segment struct {
@@ -628,8 +699,8 @@ func segName(first uint64) string {
 	return fmt.Sprintf("%016x%s", first, segSuffix)
 }
 
-func listSegments(dir string) ([]segment, error) {
-	entries, err := os.ReadDir(dir)
+func listSegments(fs fault.FS, dir string) ([]segment, error) {
+	entries, err := fs.ReadDir(dir)
 	if err != nil {
 		return nil, fmt.Errorf("wal: %w", err)
 	}
@@ -653,8 +724,8 @@ func listSegments(dir string) ([]segment, error) {
 // valid prefix and the last valid LSN (first-1 when the segment holds no
 // valid record). Invalid tails are expected (torn appends) and simply end
 // the scan; only I/O errors are returned.
-func scanSegment(path string, first uint64) (validLen int64, lastLSN uint64, nrec int, err error) {
-	f, err := os.Open(path)
+func scanSegment(fs fault.FS, path string, first uint64) (validLen int64, lastLSN uint64, nrec int, err error) {
+	f, err := fs.Open(path)
 	if err != nil {
 		return 0, 0, 0, fmt.Errorf("wal: %w", err)
 	}
@@ -675,8 +746,8 @@ func scanSegment(path string, first uint64) (validLen int64, lastLSN uint64, nre
 // replaySegment reads a fully-valid segment, calling fn for records with
 // LSN ≥ from; any invalid frame is ErrCorrupt (Open already truncated the
 // legitimate torn tail).
-func replaySegment(path string, first, from uint64, fn func(Record) error) (lastLSN uint64, err error) {
-	f, err := os.Open(path)
+func replaySegment(fs fault.FS, path string, first, from uint64, fn func(Record) error) (lastLSN uint64, err error) {
+	f, err := fs.Open(path)
 	if err != nil {
 		return 0, fmt.Errorf("wal: %w", err)
 	}
@@ -736,8 +807,8 @@ func readFrame(r *bufio.Reader, wantLSN uint64) (Record, int64, error) {
 }
 
 // syncDir fsyncs a directory so renames/creates/removes are durable.
-func syncDir(dir string) error {
-	d, err := os.Open(dir)
+func syncDir(fs fault.FS, dir string) error {
+	d, err := fs.Open(dir)
 	if err != nil {
 		return fmt.Errorf("wal: %w", err)
 	}

@@ -8,6 +8,8 @@ import (
 	"path/filepath"
 	"testing"
 	"time"
+
+	"repro/internal/fault"
 )
 
 func mustOpen(t *testing.T, dir string, opts Options) *Log {
@@ -87,7 +89,7 @@ func TestRotationAndReopen(t *testing.T) {
 	if err := l.Close(); err != nil {
 		t.Fatalf("Close: %v", err)
 	}
-	segs, err := listSegments(dir)
+	segs, err := listSegments(fault.OS, dir)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -115,7 +117,7 @@ func TestRotationAndReopen(t *testing.T) {
 // lastSegPath returns the path of the newest segment.
 func lastSegPath(t *testing.T, dir string) string {
 	t.Helper()
-	segs, err := listSegments(dir)
+	segs, err := listSegments(fault.OS, dir)
 	if err != nil || len(segs) == 0 {
 		t.Fatalf("listSegments: %v (%d segments)", err, len(segs))
 	}
@@ -215,7 +217,7 @@ func multiSegLog(t *testing.T) (*Log, string, []segment) {
 	dir := t.TempDir()
 	l := mustOpen(t, dir, Options{SegmentBytes: 64})
 	appendN(t, l, 20, "rec")
-	segs, err := listSegments(dir)
+	segs, err := listSegments(fault.OS, dir)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -311,7 +313,7 @@ func TestTruncateThrough(t *testing.T) {
 	if err := l.TruncateThrough(ckLSN); err != nil {
 		t.Fatalf("TruncateThrough: %v", err)
 	}
-	remaining, err := listSegments(dir)
+	remaining, err := listSegments(fault.OS, dir)
 	if err != nil {
 		t.Fatal(err)
 	}
