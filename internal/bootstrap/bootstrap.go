@@ -431,6 +431,30 @@ func fromDistribution(d dist.Distribution, n, r int, alpha float64, rng *dist.Ra
 // (d, root, n) — never on chunking or scheduling.
 func sampleChunk(d dist.Distribution, v []float64, n int, root uint64, lo, hi int) {
 	var sub dist.Rand
+	// Devirtualized fast paths for the two distributions the aggregate hot
+	// path emits. Bit-identical to the generic loop: Normal.Sample computes
+	// Mu + Sqrt(Sigma2)*NormFloat64 (hoisting the sqrt changes no bits),
+	// and Point.Sample returns V without consuming the substream.
+	switch dd := d.(type) {
+	case dist.Normal:
+		mu, sd := dd.Mu, math.Sqrt(dd.Sigma2)
+		for i := lo; i < hi; i++ {
+			sub.Reseed(dist.DeriveSeed(root, uint64(i)))
+			o := v[i*n : (i+1)*n]
+			for j := range o {
+				o[j] = mu + sd*sub.NormFloat64()
+			}
+		}
+		return
+	case dist.Point:
+		for i := lo; i < hi; i++ {
+			o := v[i*n : (i+1)*n]
+			for j := range o {
+				o[j] = dd.V
+			}
+		}
+		return
+	}
 	for i := lo; i < hi; i++ {
 		sub.Reseed(dist.DeriveSeed(root, uint64(i)))
 		o := v[i*n : (i+1)*n]

@@ -99,9 +99,32 @@ type windowState struct {
 	Tuples []tupleState `json:"tuples"`
 }
 
+// colColumnState is one column of a columnar window snapshot. Kind uses
+// ints (not the in-memory uint8s) so the arrays stay human-readable JSON
+// rather than base64. Other maps decimal slot index → codec JSON for the
+// slots whose kind is non-Gaussian.
+type colColumnState struct {
+	Kind  []int                      `json:"kind"`
+	Mean  []float64                  `json:"mean,omitempty"`
+	Var   []float64                  `json:"var,omitempty"`
+	N     []int                      `json:"n,omitempty"`
+	Other map[string]json.RawMessage `json:"other,omitempty"`
+}
+
+// colWindowState is the columnar (struct-of-arrays) window snapshot form:
+// linearized oldest-first, per-tuple columns plus per-schema-column arrays.
+type colWindowState struct {
+	Prob  []float64        `json:"prob,omitempty"`
+	ProbN []int            `json:"prob_n,omitempty"`
+	Seq   []uint64         `json:"seq,omitempty"`
+	Time  []int64          `json:"time,omitempty"`
+	Cols  []colColumnState `json:"cols,omitempty"`
+}
+
 type groupState struct {
-	Key    float64     `json:"key"`
-	Window windowState `json:"window"`
+	Key       float64         `json:"key"`
+	Window    *windowState    `json:"window,omitempty"`
+	ColWindow *colWindowState `json:"col_window,omitempty"`
 }
 
 // QueryState is one registered continuous query: its identity, SQL, and
@@ -113,6 +136,7 @@ type QueryState struct {
 	Boot      dist.RandState  `json:"boot_rng"`
 	Stats     core.QueryStats `json:"stats"`
 	Window    *windowState    `json:"window,omitempty"`
+	ColWindow *colWindowState `json:"col_window,omitempty"`
 	Groups    []groupState    `json:"groups,omitempty"`
 	JoinLeft  *windowState    `json:"join_left,omitempty"`
 	JoinRight *windowState    `json:"join_right,omitempty"`
@@ -175,12 +199,21 @@ func Capture(eng *core.Engine, lsn uint64, defs []QueryDef) (*Snapshot, error) {
 		if qs.Window, err = encodeWindow(st.Window); err != nil {
 			return nil, fmt.Errorf("checkpoint: query %s: %w", def.ID, err)
 		}
+		if qs.ColWindow, err = encodeColWindow(st.ColWindow); err != nil {
+			return nil, fmt.Errorf("checkpoint: query %s: %w", def.ID, err)
+		}
 		for _, g := range st.Groups {
-			gw, err := encodeWindow(&g.Window)
-			if err != nil {
-				return nil, fmt.Errorf("checkpoint: query %s group %g: %w", def.ID, g.Key, err)
+			gs := groupState{Key: g.Key}
+			if g.ColWindow != nil {
+				if gs.ColWindow, err = encodeColWindow(g.ColWindow); err != nil {
+					return nil, fmt.Errorf("checkpoint: query %s group %g: %w", def.ID, g.Key, err)
+				}
+			} else {
+				if gs.Window, err = encodeWindow(&g.Window); err != nil {
+					return nil, fmt.Errorf("checkpoint: query %s group %g: %w", def.ID, g.Key, err)
+				}
 			}
-			qs.Groups = append(qs.Groups, groupState{Key: g.Key, Window: *gw})
+			qs.Groups = append(qs.Groups, gs)
 		}
 		if qs.JoinLeft, err = encodeWindow(st.JoinLeft); err != nil {
 			return nil, fmt.Errorf("checkpoint: query %s: %w", def.ID, err)
@@ -214,6 +247,110 @@ func encodeWindow(ws *core.WindowState) (*windowState, error) {
 			ts.Fields[j] = enc
 		}
 		out.Tuples[i] = ts
+	}
+	return out, nil
+}
+
+func encodeColWindow(cs *stream.ColumnWindowState) (*colWindowState, error) {
+	if cs == nil {
+		return nil, nil
+	}
+	out := &colWindowState{
+		Prob:  cs.Prob,
+		ProbN: cs.ProbN,
+		Seq:   cs.Seq,
+		Time:  cs.Time,
+		Cols:  make([]colColumnState, len(cs.Cols)),
+	}
+	for c, col := range cs.Cols {
+		oc := colColumnState{
+			Kind: make([]int, len(col.Kind)),
+			Mean: col.Mean,
+			Var:  col.Var,
+			N:    col.N,
+		}
+		for i, k := range col.Kind {
+			oc.Kind[i] = int(k)
+		}
+		for slot, d := range col.Other {
+			enc, err := codec.EncodeDistribution(d)
+			if err != nil {
+				return nil, err
+			}
+			if oc.Other == nil {
+				oc.Other = make(map[string]json.RawMessage, len(col.Other))
+			}
+			oc.Other[strconv.Itoa(slot)] = enc
+		}
+		out.Cols[c] = oc
+	}
+	return out, nil
+}
+
+func decodeColWindow(cw *colWindowState) (*stream.ColumnWindowState, error) {
+	if cw == nil {
+		return nil, nil
+	}
+	out := &stream.ColumnWindowState{
+		Prob:  cw.Prob,
+		ProbN: cw.ProbN,
+		Seq:   cw.Seq,
+		Time:  cw.Time,
+		Cols:  make([]stream.ColumnState, len(cw.Cols)),
+	}
+	// JSON omitempty drops empty arrays; rebuild them so an empty window
+	// round-trips to a structurally valid (zero-length) snapshot.
+	if out.Prob == nil {
+		out.Prob = []float64{}
+	}
+	n := len(out.Prob)
+	if out.ProbN == nil {
+		out.ProbN = make([]int, n)
+	}
+	if out.Seq == nil {
+		out.Seq = make([]uint64, n)
+	}
+	if out.Time == nil {
+		out.Time = make([]int64, n)
+	}
+	for c, col := range cw.Cols {
+		oc := stream.ColumnState{
+			Kind: make([]uint8, len(col.Kind)),
+			Mean: col.Mean,
+			Var:  col.Var,
+			N:    col.N,
+		}
+		for i, k := range col.Kind {
+			if k < 0 || k > 255 {
+				return nil, fmt.Errorf("checkpoint: columnar window column %d slot %d kind %d out of range", c, i, k)
+			}
+			oc.Kind[i] = uint8(k)
+		}
+		m := len(oc.Kind)
+		if oc.Mean == nil {
+			oc.Mean = make([]float64, m)
+		}
+		if oc.Var == nil {
+			oc.Var = make([]float64, m)
+		}
+		if oc.N == nil {
+			oc.N = make([]int, m)
+		}
+		for key, raw := range col.Other {
+			slot, err := strconv.Atoi(key)
+			if err != nil {
+				return nil, fmt.Errorf("checkpoint: columnar window column %d bad slot key %q", c, key)
+			}
+			d, err := codec.DecodeDistribution(raw)
+			if err != nil {
+				return nil, err
+			}
+			if oc.Other == nil {
+				oc.Other = make(map[int]dist.Distribution, len(col.Other))
+			}
+			oc.Other[slot] = d
+		}
+		out.Cols[c] = oc
 	}
 	return out, nil
 }
@@ -284,12 +421,28 @@ func Restore(eng *core.Engine, snap *Snapshot) ([]RestoredQuery, error) {
 		if st.Window, err = decodeWindow(qs.Window); err != nil {
 			return nil, fmt.Errorf("checkpoint: query %s: %w", qs.ID, err)
 		}
+		if st.ColWindow, err = decodeColWindow(qs.ColWindow); err != nil {
+			return nil, fmt.Errorf("checkpoint: query %s: %w", qs.ID, err)
+		}
 		for _, g := range qs.Groups {
-			gw, err := decodeWindow(&g.Window)
-			if err != nil {
-				return nil, fmt.Errorf("checkpoint: query %s group %g: %w", qs.ID, g.Key, err)
+			gs := core.GroupWindowState{Key: g.Key}
+			if g.ColWindow != nil {
+				cw, err := decodeColWindow(g.ColWindow)
+				if err != nil {
+					return nil, fmt.Errorf("checkpoint: query %s group %g: %w", qs.ID, g.Key, err)
+				}
+				gs.ColWindow = cw
+			} else {
+				gw, err := decodeWindow(g.Window)
+				if err != nil {
+					return nil, fmt.Errorf("checkpoint: query %s group %g: %w", qs.ID, g.Key, err)
+				}
+				if gw == nil {
+					gw = &core.WindowState{Tuples: []core.TupleState{}}
+				}
+				gs.Window = *gw
 			}
-			st.Groups = append(st.Groups, core.GroupWindowState{Key: g.Key, Window: *gw})
+			st.Groups = append(st.Groups, gs)
 		}
 		if st.JoinLeft, err = decodeWindow(qs.JoinLeft); err != nil {
 			return nil, fmt.Errorf("checkpoint: query %s: %w", qs.ID, err)

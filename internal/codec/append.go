@@ -1,0 +1,207 @@
+package codec
+
+import (
+	"errors"
+	"math"
+	"strconv"
+	"unicode/utf8"
+
+	"repro/internal/dist"
+	"repro/internal/randvar"
+)
+
+// Allocation-free JSON appenders for the server's render-once DATA path.
+// Every function here is byte-identical to encoding/json's output for the
+// same value — the golden-transcript and property tests pin that — so the
+// hot path can build wire lines with strconv.Append* into reused buffers
+// while replay, dedup, and clients observe exactly the bytes json.Marshal
+// would have produced.
+
+const hexDigits = "0123456789abcdef"
+
+// jsonSafe[b] reports whether ASCII byte b needs no escaping under
+// encoding/json's default (HTML-escaping) encoder.
+var jsonSafe = [utf8.RuneSelf]bool{}
+
+func init() {
+	for b := 0x20; b < utf8.RuneSelf; b++ {
+		jsonSafe[b] = true
+	}
+	for _, b := range []byte{'"', '\\', '<', '>', '&'} {
+		jsonSafe[b] = false
+	}
+}
+
+// AppendFloat appends the JSON encoding of f — byte-identical to
+// json.Marshal(f), including the exponent normalization json applies —
+// and errors on non-finite values with json.Marshal's message.
+func AppendFloat(dst []byte, f float64) ([]byte, error) {
+	if math.IsInf(f, 0) || math.IsNaN(f) {
+		return dst, errors.New("json: unsupported value: " + strconv.FormatFloat(f, 'g', -1, 64))
+	}
+	// Like encoding/json: shortest 'f' form, switching to 'e' for very
+	// large/small magnitudes, with a one-digit exponent de-padded.
+	abs := math.Abs(f)
+	format := byte('f')
+	if abs != 0 && (abs < 1e-6 || abs >= 1e21) {
+		format = 'e'
+	}
+	dst = strconv.AppendFloat(dst, f, format, -1, 64)
+	if format == 'e' {
+		if n := len(dst); n >= 4 && dst[n-4] == 'e' && dst[n-3] == '-' && dst[n-2] == '0' {
+			dst[n-2] = dst[n-1]
+			dst = dst[:n-1]
+		}
+	}
+	return dst, nil
+}
+
+// AppendString appends the JSON encoding of s, byte-identical to
+// json.Marshal(s) (HTML escaping included).
+func AppendString(dst []byte, s string) []byte {
+	dst = append(dst, '"')
+	start := 0
+	for i := 0; i < len(s); {
+		if b := s[i]; b < utf8.RuneSelf {
+			if jsonSafe[b] {
+				i++
+				continue
+			}
+			dst = append(dst, s[start:i]...)
+			switch b {
+			case '\\', '"':
+				dst = append(dst, '\\', b)
+			case '\b':
+				dst = append(dst, '\\', 'b')
+			case '\f':
+				dst = append(dst, '\\', 'f')
+			case '\n':
+				dst = append(dst, '\\', 'n')
+			case '\r':
+				dst = append(dst, '\\', 'r')
+			case '\t':
+				dst = append(dst, '\\', 't')
+			default:
+				dst = append(dst, '\\', 'u', '0', '0', hexDigits[b>>4], hexDigits[b&0xF])
+			}
+			i++
+			start = i
+			continue
+		}
+		c, size := utf8.DecodeRuneInString(s[i:])
+		if c == utf8.RuneError && size == 1 {
+			dst = append(dst, s[start:i]...)
+			dst = append(dst, '\\', 'u', 'f', 'f', 'f', 'd')
+			i += size
+			start = i
+			continue
+		}
+		if c == '\u2028' || c == '\u2029' {
+			dst = append(dst, s[start:i]...)
+			dst = append(dst, '\\', 'u', '2', '0', '2', hexDigits[c&0xF])
+			i += size
+			start = i
+			continue
+		}
+		i += size
+	}
+	dst = append(dst, s[start:]...)
+	dst = append(dst, '"')
+	return dst
+}
+
+// appendFloatField appends `,"<name>":<v>` honoring omitempty (v == 0
+// drops the field, matching json's struct-tag behavior for float64).
+func appendFloatField(dst []byte, name string, v float64) ([]byte, error) {
+	if v == 0 {
+		return dst, nil
+	}
+	dst = append(dst, ',', '"')
+	dst = append(dst, name...)
+	dst = append(dst, '"', ':')
+	return AppendFloat(dst, v)
+}
+
+// appendFloats appends `,"<name>":[...]` honoring slice omitempty.
+func appendFloats(dst []byte, name string, vs []float64) ([]byte, error) {
+	if len(vs) == 0 {
+		return dst, nil
+	}
+	dst = append(dst, ',', '"')
+	dst = append(dst, name...)
+	dst = append(dst, '"', ':', '[')
+	var err error
+	for i, v := range vs {
+		if i > 0 {
+			dst = append(dst, ',')
+		}
+		if dst, err = AppendFloat(dst, v); err != nil {
+			return dst, err
+		}
+	}
+	return append(dst, ']'), nil
+}
+
+// AppendDistribution appends codec JSON for d, byte-identical to
+// EncodeDistribution. Point, Normal, and Histogram — the distributions the
+// serving hot path actually emits — are encoded natively with zero
+// allocations; everything else falls back to EncodeDistribution.
+func AppendDistribution(dst []byte, d dist.Distribution) ([]byte, error) {
+	var err error
+	switch v := d.(type) {
+	case dist.Point:
+		dst = append(dst, `{"type":"point"`...)
+		if dst, err = appendFloatField(dst, "a", v.V); err != nil {
+			return dst, err
+		}
+		return append(dst, '}'), nil
+	case dist.Normal:
+		dst = append(dst, `{"type":"normal"`...)
+		if dst, err = appendFloatField(dst, "a", v.Mu); err != nil {
+			return dst, err
+		}
+		if dst, err = appendFloatField(dst, "b", v.Sigma2); err != nil {
+			return dst, err
+		}
+		return append(dst, '}'), nil
+	case *dist.Histogram:
+		dst = append(dst, `{"type":"histogram"`...)
+		if dst, err = appendFloats(dst, "edges", v.Edges); err != nil {
+			return dst, err
+		}
+		if dst, err = appendFloats(dst, "probs", v.Probs); err != nil {
+			return dst, err
+		}
+		if len(v.Counts) > 0 {
+			dst = append(dst, `,"counts":[`...)
+			for i, c := range v.Counts {
+				if i > 0 {
+					dst = append(dst, ',')
+				}
+				dst = strconv.AppendInt(dst, int64(c), 10)
+			}
+			dst = append(dst, ']')
+		}
+		return append(dst, '}'), nil
+	}
+	enc, err := EncodeDistribution(d)
+	if err != nil {
+		return dst, err
+	}
+	return append(dst, enc...), nil
+}
+
+// AppendField appends codec JSON for field f, byte-identical to
+// EncodeField.
+func AppendField(dst []byte, f randvar.Field) ([]byte, error) {
+	dst = append(dst, `{"dist":`...)
+	dst, err := AppendDistribution(dst, f.Dist)
+	if err != nil {
+		return dst, err
+	}
+	if f.N != 0 {
+		dst = append(dst, `,"n":`...)
+		dst = strconv.AppendInt(dst, int64(f.N), 10)
+	}
+	return append(dst, '}'), nil
+}

@@ -1,0 +1,122 @@
+package codec
+
+import (
+	"encoding/json"
+	"math"
+	"testing"
+
+	"repro/internal/dist"
+	"repro/internal/randvar"
+)
+
+func TestAppendFloatMatchesJSON(t *testing.T) {
+	cases := []float64{
+		0, math.Copysign(0, -1), 1, -1, 0.5, 1.0 / 3, 3.25e-7, -3.25e-7,
+		1e-6, 9.999e-7, 1e21, 9.999e20, -2.5e21, 1e-300, 1e300, 123456789.123456789,
+		math.MaxFloat64, math.SmallestNonzeroFloat64, 42, -17.25, 6.02e23, 1.5e-9,
+	}
+	for _, f := range cases {
+		want, err := json.Marshal(f)
+		if err != nil {
+			t.Fatalf("marshal %v: %v", f, err)
+		}
+		got, err := AppendFloat(nil, f)
+		if err != nil {
+			t.Fatalf("AppendFloat(%v): %v", f, err)
+		}
+		if string(got) != string(want) {
+			t.Errorf("AppendFloat(%v) = %s, json.Marshal = %s", f, got, want)
+		}
+	}
+	for _, f := range []float64{math.NaN(), math.Inf(1), math.Inf(-1)} {
+		_, jerr := json.Marshal(f)
+		_, aerr := AppendFloat(nil, f)
+		if jerr == nil || aerr == nil {
+			t.Fatalf("expected errors for %v, got json=%v append=%v", f, jerr, aerr)
+		}
+		if jerr.Error() != aerr.Error() {
+			t.Errorf("error mismatch for %v: json %q vs append %q", f, jerr, aerr)
+		}
+	}
+}
+
+func TestAppendStringMatchesJSON(t *testing.T) {
+	cases := []string{
+		"", "plain", "with space", `quote " and \ backslash`,
+		"tab\tnewline\ncr\rbell\bformfeed\f", "ctrl\x01\x1f",
+		"html <tag> & entity", "unicode μ σ² → λ", "line para sep",
+		"invalid \xff utf8 \xc3\x28", "emoji 🎲 dice",
+	}
+	for _, s := range cases {
+		want, err := json.Marshal(s)
+		if err != nil {
+			t.Fatalf("marshal %q: %v", s, err)
+		}
+		got := AppendString(nil, s)
+		if string(got) != string(want) {
+			t.Errorf("AppendString(%q) = %s, json.Marshal = %s", s, got, want)
+		}
+	}
+}
+
+func TestAppendDistributionMatchesEncode(t *testing.T) {
+	hist, err := dist.NewHistogram(
+		[]float64{-1, 0, 0.5, 2}, []float64{0.25, 0.5, 0.25})
+	if err != nil {
+		t.Fatal(err)
+	}
+	counted, err := dist.HistogramFromCounts([]float64{0, 1, 2}, []int{3, 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	normal, err := dist.NewNormal(1.5, 0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	zeroNormal, err := dist.NewNormal(0, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds := []dist.Distribution{
+		dist.Point{V: 0}, dist.Point{V: -3.5}, normal, zeroNormal,
+		hist, counted, dist.Exponential{Lambda: 2}, dist.Uniform{A: -1, B: 1},
+	}
+	for _, d := range ds {
+		want, err := EncodeDistribution(d)
+		if err != nil {
+			t.Fatalf("encode %v: %v", d, err)
+		}
+		got, err := AppendDistribution(nil, d)
+		if err != nil {
+			t.Fatalf("AppendDistribution(%v): %v", d, err)
+		}
+		if string(got) != string(want) {
+			t.Errorf("AppendDistribution(%v) = %s, EncodeDistribution = %s", d, got, want)
+		}
+	}
+}
+
+func TestAppendFieldMatchesEncode(t *testing.T) {
+	normal, err := dist.NewNormal(2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fields := []randvar.Field{
+		{Dist: dist.Point{V: 7}},
+		{Dist: normal, N: 20},
+		{Dist: dist.Point{V: 0}, N: 5},
+	}
+	for _, f := range fields {
+		want, err := EncodeField(f)
+		if err != nil {
+			t.Fatalf("encode %v: %v", f, err)
+		}
+		got, err := AppendField(nil, f)
+		if err != nil {
+			t.Fatalf("AppendField(%v): %v", f, err)
+		}
+		if string(got) != string(want) {
+			t.Errorf("AppendField(%v) = %s, EncodeField = %s", f, got, want)
+		}
+	}
+}

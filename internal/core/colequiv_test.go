@@ -1,0 +1,121 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/dist"
+	"repro/internal/randvar"
+	"repro/internal/stream"
+)
+
+// pushBoth feeds the same logical tuple to two engines' queries and demands
+// bit-identical results (distribution parameters, accuracy intervals,
+// sample sizes, probabilities — everything a client can observe).
+func pushBoth(t *testing.T, name string, qa, qb *Query, ta, tb *stream.Tuple) {
+	t.Helper()
+	ra, ea := qa.Push(ta)
+	rb, eb := qb.Push(tb)
+	if (ea == nil) != (eb == nil) || (ea != nil && ea.Error() != eb.Error()) {
+		t.Fatalf("%s: error mismatch: %v vs %v", name, ea, eb)
+	}
+	if len(ra) != len(rb) {
+		t.Fatalf("%s: %d vs %d results", name, len(ra), len(rb))
+	}
+	for i := range ra {
+		if !reflect.DeepEqual(ra[i], rb[i]) {
+			t.Fatalf("%s: result %d differs:\nrow: %+v\ncol: %+v", name, i, ra[i], rb[i])
+		}
+	}
+}
+
+// mixedDelay swaps in a histogram delay on a stride so the aggregate has to
+// leave the Gaussian closed form and exercise the Monte Carlo fallback.
+func mixedDelay(t *testing.T, e *Engine, i int) *stream.Tuple {
+	t.Helper()
+	road := float64(i % 3)
+	if i%5 == 4 {
+		h, err := dist.HistogramFromCounts(
+			[]float64{50, 60, 70, 80}, []int{2, 5, 3})
+		if err != nil {
+			t.Fatal(err)
+		}
+		d2, err := dist.NewNormal(40+float64(i%7), 100)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tp, err := e.NewTuple("traffic", []randvar.Field{
+			randvar.Det(road), {Dist: h, N: 10}, {Dist: d2, N: 12},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return tp
+	}
+	return trafficTuple(t, e, road, 55+float64(i%9), 10+i%4, 40+float64(i%7), 12)
+}
+
+// TestColumnarRowEquivalence runs the same windowed-aggregate workloads
+// through a columnar-window engine and a RowWindows engine and demands
+// byte-identical results, for analytical and bootstrap accuracy, for
+// ungrouped and grouped plans, at 1 and 8 workers.
+func TestColumnarRowEquivalence(t *testing.T) {
+	queries := []string{
+		"SELECT AVG(delay) AS a, SUM(delay2) AS s, COUNT(road_id) AS c FROM traffic WINDOW 4 ROWS",
+		"SELECT MIN(delay) AS lo, MAX(delay) AS hi FROM traffic WINDOW 3 ROWS",
+		"SELECT road_id, AVG(delay) FROM traffic GROUP BY road_id WINDOW 2 ROWS",
+	}
+	for _, m := range []AccuracyMethod{AccuracyAnalytical, AccuracyBootstrap} {
+		for _, workers := range []int{1, 8} {
+			cfg := Config{Method: m, Seed: 7, Workers: workers, MonteCarloValues: 64, BootstrapResamples: 40}
+			name := m.String() + "/workers=" + string(rune('0'+workers))
+			t.Run(name, func(t *testing.T) {
+				col := newTestEngine(t, cfg)
+				rowCfg := cfg
+				rowCfg.RowWindows = true
+				row := newTestEngine(t, rowCfg)
+				for qi, sql := range queries {
+					qc, err := col.Compile(sql)
+					if err != nil {
+						t.Fatal(err)
+					}
+					qr, err := row.Compile(sql)
+					if err != nil {
+						t.Fatal(err)
+					}
+					for i := 0; i < 25; i++ {
+						// Engines assign Seq independently; identical inputs
+						// keep them in lockstep.
+						pushBoth(t, sql, qr, qc, mixedDelay(t, row, qi*100+i), mixedDelay(t, col, qi*100+i))
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestColumnarWorkersBitIdentical pins that the columnar path itself is
+// worker-count-invariant: bootstrap accuracy at 1 worker and 8 workers
+// produces identical results (same RNG substream derivation, same
+// summation order).
+func TestColumnarWorkersBitIdentical(t *testing.T) {
+	cfg := Config{Method: AccuracyBootstrap, Seed: 11, MonteCarloValues: 80, BootstrapResamples: 60}
+	one := cfg
+	one.Workers = 1
+	eight := cfg
+	eight.Workers = 8
+	e1 := newTestEngine(t, one)
+	e8 := newTestEngine(t, eight)
+	const sql = "SELECT AVG(delay) AS a, MIN(delay2) AS lo FROM traffic WINDOW 5 ROWS"
+	q1, err := e1.Compile(sql)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q8, err := e8.Compile(sql)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 20; i++ {
+		pushBoth(t, sql, q1, q8, mixedDelay(t, e1, i), mixedDelay(t, e8, i))
+	}
+}

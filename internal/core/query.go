@@ -111,6 +111,7 @@ type aggOutCol struct {
 
 // groupState is the window of one GROUP BY key.
 type groupState struct {
+	col   *stream.ColumnWindow
 	count *stream.CountWindow
 	time  *stream.TimeWindow
 }
@@ -153,9 +154,12 @@ type Query struct {
 	aggInputs []randvar.Field
 	valuesBuf [][]float64
 
-	// Aggregate windows: exactly one of window/timeWindow is set for
-	// ungrouped aggregates; groups is used with GROUP BY.
-	window     *stream.CountWindow
+	// Aggregate windows: exactly one of window/rowWindow/timeWindow is set
+	// for ungrouped aggregates; groups is used with GROUP BY. Count-based
+	// windows are columnar (window) by default; rowWindow is the legacy
+	// layout behind Config.RowWindows.
+	window     *stream.ColumnWindow
+	rowWindow  *stream.CountWindow
 	timeWindow *stream.TimeWindow
 	groupIdx   int // index of the GROUP BY column, -1 when absent
 	groups     map[float64]*groupState
@@ -441,8 +445,14 @@ func (q *Query) planAggregates() error {
 				return err
 			}
 			q.timeWindow = tw
-		default:
+		case q.eng.cfg.RowWindows:
 			w, err := stream.NewCountWindow(stmt.Window.Rows)
+			if err != nil {
+				return err
+			}
+			q.rowWindow = w
+		default:
+			w, err := stream.NewColumnWindow(q.in, stmt.Window.Rows)
 			if err != nil {
 				return err
 			}
@@ -672,17 +682,20 @@ func (q *Query) pushScalar(t *stream.Tuple, prob float64, probN int, unsure bool
 // windows on demand.
 func (q *Query) windowFor(t *stream.Tuple) (*groupState, error) {
 	if q.groupIdx < 0 {
-		return &groupState{count: q.window, time: q.timeWindow}, nil
+		return &groupState{col: q.window, count: q.rowWindow, time: q.timeWindow}, nil
 	}
 	key := t.Fields[q.groupIdx].Dist.Mean()
 	g, ok := q.groups[key]
 	if !ok {
 		g = &groupState{}
 		var err error
-		if q.stmt.Window.Seconds > 0 {
+		switch {
+		case q.stmt.Window.Seconds > 0:
 			g.time, err = stream.NewTimeWindow(q.stmt.Window.Seconds)
-		} else {
+		case q.eng.cfg.RowWindows:
 			g.count, err = stream.NewCountWindow(q.stmt.Window.Rows)
+		default:
+			g.col, err = stream.NewColumnWindow(q.in, q.stmt.Window.Rows)
 		}
 		if err != nil {
 			return nil, err
@@ -699,8 +712,10 @@ func (q *Query) pushAggregate(t *stream.Tuple, prob float64, probN int, unsure b
 	}
 	// The window snapshot and aggregate-input gather reuse Query-owned
 	// buffers: stream.Aggregate consumes its inputs within the call, so
-	// nothing here outlives the push.
+	// nothing here outlives the push. Columnar windows skip the gather
+	// entirely and scan their column arrays in place.
 	q.winBuf = q.winBuf[:0]
+	var colWin *stream.ColumnWindow
 	switch {
 	case g.time != nil:
 		// Time windows emit on every arrival over the live contents.
@@ -708,6 +723,12 @@ func (q *Query) pushAggregate(t *stream.Tuple, prob float64, probN int, unsure b
 			return nil, err
 		}
 		q.winBuf = g.time.AppendTuples(q.winBuf)
+	case g.col != nil:
+		g.col.Push(t)
+		if !g.col.Full() {
+			return nil, nil
+		}
+		colWin = g.col
 	default:
 		g.count.Push(t)
 		if !g.count.Full() {
@@ -726,12 +747,18 @@ func (q *Query) pushAggregate(t *stream.Tuple, prob float64, probN int, unsure b
 			values = append(values, nil)
 			continue
 		}
-		inputs := q.aggInputs[:0]
-		for _, wt := range winTuples {
-			inputs = append(inputs, wt.Fields[oc.agg.colIdx])
+		var res randvar.Result
+		var err error
+		if colWin != nil {
+			res, err = stream.AggregateColumn(q.ev, oc.agg.kind, colWin, oc.agg.colIdx, &q.aggInputs)
+		} else {
+			inputs := q.aggInputs[:0]
+			for _, wt := range winTuples {
+				inputs = append(inputs, wt.Fields[oc.agg.colIdx])
+			}
+			q.aggInputs = inputs
+			res, err = stream.Aggregate(q.ev, oc.agg.kind, inputs)
 		}
-		q.aggInputs = inputs
-		res, err := stream.Aggregate(q.ev, oc.agg.kind, inputs)
 		if err != nil {
 			return nil, fmt.Errorf("core: aggregate %s: %w", oc.agg.label, err)
 		}

@@ -34,10 +34,12 @@ type WindowState struct {
 	Tuples []TupleState
 }
 
-// GroupWindowState is the window of one GROUP BY key.
+// GroupWindowState is the window of one GROUP BY key: exactly one of
+// Window (row form) and ColWindow (columnar form) is populated.
 type GroupWindowState struct {
-	Key    float64
-	Window WindowState
+	Key       float64
+	Window    WindowState
+	ColWindow *stream.ColumnWindowState
 }
 
 // QueryState is the complete mutable state of a compiled Query. Everything
@@ -51,9 +53,14 @@ type QueryState struct {
 	Boot dist.RandState
 	// Stats are the query counters.
 	Stats QueryStats
-	// Window holds the ungrouped aggregate window (count- or time-based),
-	// nil when the query has none.
+	// Window holds the ungrouped aggregate window (row-oriented count- or
+	// time-based), nil when the query has none.
 	Window *WindowState
+	// ColWindow holds the ungrouped aggregate window in columnar form
+	// (the default count-window layout); mutually exclusive with Window.
+	// Either form restores into either window layout, so checkpoints
+	// written by one engine configuration recover under the other.
+	ColWindow *stream.ColumnWindowState
 	// Groups holds per-key windows of GROUP BY queries, sorted by key.
 	Groups []GroupWindowState
 	// JoinLeft and JoinRight hold the symmetric join windows.
@@ -72,7 +79,9 @@ func (q *Query) State() *QueryState {
 	}
 	switch {
 	case q.window != nil:
-		st.Window = windowState(q.window.Tuples())
+		st.ColWindow = q.window.State()
+	case q.rowWindow != nil:
+		st.Window = windowState(q.rowWindow.Tuples())
 	case q.timeWindow != nil:
 		st.Window = windowState(q.timeWindow.Tuples())
 	}
@@ -84,13 +93,16 @@ func (q *Query) State() *QueryState {
 		sort.Float64s(keys)
 		for _, k := range keys {
 			g := q.groups[k]
-			var ws *WindowState
-			if g.count != nil {
-				ws = windowState(g.count.Tuples())
-			} else {
-				ws = windowState(g.time.Tuples())
+			gs := GroupWindowState{Key: k}
+			switch {
+			case g.col != nil:
+				gs.ColWindow = g.col.State()
+			case g.count != nil:
+				gs.Window = *windowState(g.count.Tuples())
+			default:
+				gs.Window = *windowState(g.time.Tuples())
 			}
-			st.Groups = append(st.Groups, GroupWindowState{Key: k, Window: *ws})
+			st.Groups = append(st.Groups, gs)
 		}
 	}
 	if q.join != nil {
@@ -127,14 +139,18 @@ func (q *Query) SetState(st *QueryState) error {
 		return fmt.Errorf("core: bootstrap RNG: %w", err)
 	}
 	q.stats.restore(st.Stats)
-	if st.Window != nil {
-		tuples, err := restoreTuples(q.in, st.Window)
+	if st.Window != nil || st.ColWindow != nil {
+		tuples, err := windowTuples(q.in, st.Window, st.ColWindow)
 		if err != nil {
 			return err
 		}
 		switch {
 		case q.window != nil:
 			if err := q.window.RestoreTuples(tuples); err != nil {
+				return err
+			}
+		case q.rowWindow != nil:
+			if err := q.rowWindow.RestoreTuples(tuples); err != nil {
 				return err
 			}
 		case q.timeWindow != nil:
@@ -150,12 +166,17 @@ func (q *Query) SetState(st *QueryState) error {
 			return errors.New("core: group state for a query without GROUP BY")
 		}
 		for _, gs := range st.Groups {
-			tuples, err := restoreTuples(q.in, &gs.Window)
+			ws := &gs.Window
+			if gs.ColWindow != nil {
+				ws = nil
+			}
+			tuples, err := windowTuples(q.in, ws, gs.ColWindow)
 			if err != nil {
 				return err
 			}
 			g := &groupState{}
-			if q.stmt.Window.Seconds > 0 {
+			switch {
+			case q.stmt.Window.Seconds > 0:
 				tw, err := stream.NewTimeWindow(q.stmt.Window.Seconds)
 				if err != nil {
 					return err
@@ -164,7 +185,7 @@ func (q *Query) SetState(st *QueryState) error {
 					return err
 				}
 				g.time = tw
-			} else {
+			case q.eng.cfg.RowWindows:
 				cw, err := stream.NewCountWindow(q.stmt.Window.Rows)
 				if err != nil {
 					return err
@@ -173,6 +194,15 @@ func (q *Query) SetState(st *QueryState) error {
 					return err
 				}
 				g.count = cw
+			default:
+				cw, err := stream.NewColumnWindow(q.in, q.stmt.Window.Rows)
+				if err != nil {
+					return err
+				}
+				if err := cw.RestoreTuples(tuples); err != nil {
+					return err
+				}
+				g.col = cw
 			}
 			q.groups[gs.Key] = g
 		}
@@ -201,6 +231,20 @@ func (q *Query) SetState(st *QueryState) error {
 		}
 	}
 	return nil
+}
+
+// windowTuples materializes a captured window — whichever form it was
+// stored in — as validated row tuples, the common currency both window
+// layouts restore from.
+func windowTuples(schema *stream.Schema, ws *WindowState, cs *stream.ColumnWindowState) ([]*stream.Tuple, error) {
+	if cs != nil {
+		tuples, err := cs.Tuples(schema)
+		if err != nil {
+			return nil, fmt.Errorf("core: restoring columnar window: %w", err)
+		}
+		return tuples, nil
+	}
+	return restoreTuples(schema, ws)
 }
 
 // restoreTuples rebuilds window tuples against schema, revalidating each.

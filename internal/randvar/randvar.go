@@ -247,15 +247,27 @@ func LinearGaussianUniform(w, c float64, fields ...Field) (Field, bool, error) {
 }
 
 func linearGaussianResult(mu, sigma2 float64, fields []Field) (Field, bool, error) {
-	n := DFSampleSize(fields...)
-	if sigma2 == 0 {
-		return Field{Dist: dist.Point{V: mu}, N: n}, true, nil
-	}
-	nd, err := dist.NewNormal(mu, sigma2)
+	f, err := GaussianResult(mu, sigma2, DFSampleSize(fields...))
 	if err != nil {
 		return Field{}, false, err
 	}
-	return Field{Dist: nd, N: n}, true, nil
+	return f, true, nil
+}
+
+// GaussianResult packages a closed-form Gaussian aggregate (mean mu,
+// variance sigma2, d.f. sample size n) into a Field: a Point when the
+// variance is zero, a Normal otherwise. Columnar scans that compute mu and
+// sigma2 directly from contiguous arrays use this to produce the exact
+// field the row path would.
+func GaussianResult(mu, sigma2 float64, n int) (Field, error) {
+	if sigma2 == 0 {
+		return Field{Dist: dist.Point{V: mu}, N: n}, nil
+	}
+	nd, err := dist.NewNormal(mu, sigma2)
+	if err != nil {
+		return Field{}, err
+	}
+	return Field{Dist: nd, N: n}, nil
 }
 
 // --- The paper's six random-query operators (§V-C) ---

@@ -530,6 +530,13 @@ func (cl *Client) CloseQuery(id string) error {
 	return err
 }
 
+// Subscribe adds this connection as an additional DATA recipient for a
+// query owned by another connection. Results arrive on the Data channel.
+func (cl *Client) Subscribe(id string) error {
+	_, err := cl.roundTrip("SUBSCRIBE " + id)
+	return err
+}
+
 // Quit asks the server to close the connection gracefully.
 func (cl *Client) Quit() error {
 	_, err := cl.roundTrip("QUIT")

@@ -1,0 +1,63 @@
+package server
+
+import (
+	"bufio"
+	"encoding/json"
+	"io"
+	"testing"
+)
+
+// BenchmarkFanout16 measures the serving-path cost of delivering one query
+// result to 16 subscribers. "legacy" is the pre-columnar path: every
+// recipient pays its own json.Marshal(EncodeResult) plus string assembly.
+// "renderonce" is the shipping path: one strconv render into a pooled
+// frame, 16 zero-copy writes of the same bytes. Both write through bufio
+// to io.Discard so only encode + copy cost is measured.
+func BenchmarkFanout16(b *testing.B) {
+	r := renderTestResults(b)[0]
+	const subs = 16
+	sinks := make([]*bufio.Writer, subs)
+	for i := range sinks {
+		sinks[i] = bufio.NewWriter(io.Discard)
+	}
+	b.Run("legacy", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			for _, w := range sinks {
+				payload, err := json.Marshal(EncodeResult(r))
+				if err != nil {
+					b.Fatal(err)
+				}
+				line := "DATA q1 " + string(payload)
+				if _, err := w.WriteString(line); err != nil {
+					b.Fatal(err)
+				}
+				if err := w.WriteByte('\n'); err != nil {
+					b.Fatal(err)
+				}
+				w.Flush()
+			}
+		}
+	})
+	b.Run("renderonce", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			f := newFrame()
+			var err error
+			if f.buf, err = appendDataLine(f.buf, "q1", r); err != nil {
+				b.Fatal(err)
+			}
+			f.refs.Store(subs)
+			for _, w := range sinks {
+				if _, err := w.Write(f.buf); err != nil {
+					b.Fatal(err)
+				}
+				if err := w.WriteByte('\n'); err != nil {
+					b.Fatal(err)
+				}
+				w.Flush()
+				f.release()
+			}
+		}
+	})
+}

@@ -142,12 +142,17 @@ func TestSlowClientOutboxOverflow(t *testing.T) {
 	drops := mSlowClientDrops.Value()
 	p1, p2 := net.Pipe()
 	defer p2.Close()
-	c := &conn{id: 1, c: p1, w: bufio.NewWriter(p1), outbox: make(chan string, 2)}
-	if !c.queueData("DATA q1 {}") || !c.queueData("DATA q1 {}") {
-		t.Fatal("queueData rejected lines below capacity")
+	c := &conn{id: 1, c: p1, w: bufio.NewWriter(p1), outbox: make(chan *frame, 2)}
+	line := func() *frame {
+		f := newFrame()
+		f.buf = append(f.buf, "DATA q1 {}"...)
+		return f
 	}
-	if c.queueData("DATA q1 {}") {
-		t.Fatal("queueData accepted a line beyond capacity")
+	if !c.queueFrame(line()) || !c.queueFrame(line()) {
+		t.Fatal("queueFrame rejected frames below capacity")
+	}
+	if c.queueFrame(line()) {
+		t.Fatal("queueFrame accepted a frame beyond capacity")
 	}
 	if !c.dead.Load() {
 		t.Fatal("overflowing conn not marked dead")
@@ -156,8 +161,8 @@ func TestSlowClientOutboxOverflow(t *testing.T) {
 	if _, err := p1.Write([]byte("x")); err == nil {
 		t.Fatal("overflowing conn not closed")
 	}
-	if c.queueData("DATA q1 {}") {
-		t.Fatal("queueData delivered to a dead conn")
+	if c.queueFrame(line()) {
+		t.Fatal("queueFrame delivered to a dead conn")
 	}
 	if got := mSlowClientDrops.Value() - drops; got != 1 {
 		t.Fatalf("slow_client_drops delta = %d, want 1", got)

@@ -22,6 +22,9 @@
 //	EXPLAIN <id>                        compiled plan (quoted string)
 //	CLOSE  <id>                         drop a query
 //	ATTACH <id>                         claim delivery of a detached query
+//	SUBSCRIBE <id>                      receive a query's DATA lines in
+//	                                    addition to its owner; the rendered
+//	                                    bytes are shared across recipients
 //	PING                                liveness check
 //	QUIT                                close the connection
 //

@@ -74,6 +74,10 @@ type registeredQuery struct {
 	// owner is the connection results are delivered to; nil for detached
 	// queries (recovered after a crash, until a client ATTACHes).
 	owner *conn
+	// subs are additional connections that SUBSCRIBEd to this query's DATA
+	// lines; every recipient shares the single rendered frame. Invariant:
+	// owner never appears in subs (ATTACH and SUBSCRIBE maintain it).
+	subs []*conn
 }
 
 // New returns a server over the given engine. logger may be nil (logging
@@ -231,14 +235,20 @@ type conn struct {
 	wmu          sync.Mutex
 	w            *bufio.Writer
 
-	// outbox buffers DATA lines produced by OTHER connections' inserts; a
-	// dedicated goroutine drains it so a slow subscriber never blocks the
-	// inserting connection. nil when Options.OutboxLines < 0 (cross-conn
-	// delivery then writes synchronously, pre-hardening behavior).
-	outbox     chan string
+	// outbox buffers rendered DATA frames produced by OTHER connections'
+	// inserts; a dedicated goroutine drains it so a slow subscriber never
+	// blocks the inserting connection. nil when Options.OutboxLines < 0
+	// (cross-conn delivery then writes synchronously, pre-hardening
+	// behavior). Every frame handed to the outbox carries one reference
+	// owned by the conn, released after the write (or on drop/drain).
+	outbox     chan *frame
 	outboxStop chan struct{}
 	outboxDone chan struct{}
 	dead       atomic.Bool // outbox overflow or write failure; conn is being torn down
+
+	// deliv is the handler-goroutine-local delivery scratch reused across
+	// ingests, keeping the steady-state push path allocation-free.
+	deliv []delivery
 }
 
 func (c *conn) writeLine(line string) error {
@@ -256,25 +266,47 @@ func (c *conn) writeLine(line string) error {
 	return c.w.Flush()
 }
 
-// queueData hands one cross-connection DATA line to the conn. With the
-// outbox enabled the call never blocks: overflow means the subscriber is
-// not keeping up, and the conn is disconnected rather than letting its
-// backlog stall ingest. Reports whether the line was delivered or queued.
-func (c *conn) queueData(line string) bool {
+// writeFrame writes a rendered frame buffer plus newline. The caller keeps
+// its frame reference across the call and releases afterwards.
+func (c *conn) writeFrame(buf []byte) error {
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
+	if c.writeTimeout > 0 {
+		c.c.SetWriteDeadline(time.Now().Add(c.writeTimeout))
+	}
+	if _, err := c.w.Write(buf); err != nil {
+		return err
+	}
+	if err := c.w.WriteByte('\n'); err != nil {
+		return err
+	}
+	return c.w.Flush()
+}
+
+// queueFrame hands one cross-connection DATA frame to the conn, consuming
+// the caller's reference on every path (written, queued, or dropped). With
+// the outbox enabled the call never blocks: overflow means the subscriber
+// is not keeping up, and the conn is disconnected rather than letting its
+// backlog stall ingest. Reports whether the frame was delivered or queued.
+func (c *conn) queueFrame(f *frame) bool {
 	if c.outbox == nil {
-		if err := c.writeLine(line); err != nil {
+		err := c.writeFrame(f.buf)
+		f.release()
+		if err != nil {
 			return false
 		}
 		mDataLines.Inc()
 		return true
 	}
 	if c.dead.Load() {
+		f.release()
 		return false
 	}
 	select {
-	case c.outbox <- line:
+	case c.outbox <- f:
 		return true
 	default:
+		f.release()
 		if c.dead.CompareAndSwap(false, true) {
 			mSlowClientDrops.Inc()
 			c.c.Close() // unblocks the handler's read loop; cleanup follows
@@ -283,18 +315,21 @@ func (c *conn) queueData(line string) bool {
 	}
 }
 
-// outboxLoop drains queued DATA lines until the handler exits. On a write
+// outboxLoop drains queued DATA frames until the handler exits. On a write
 // failure the conn is marked dead and closed; the loop keeps consuming (and
-// dropping) so queueData never wedges.
+// releasing) so queueFrame never wedges.
 func (c *conn) outboxLoop() {
 	defer close(c.outboxDone)
 	for {
 		select {
-		case line := <-c.outbox:
+		case f := <-c.outbox:
 			if c.dead.Load() {
+				f.release()
 				continue
 			}
-			if err := c.writeLine(line); err != nil {
+			err := c.writeFrame(f.buf)
+			f.release()
+			if err != nil {
 				if c.dead.CompareAndSwap(false, true) {
 					c.c.Close()
 				}
@@ -313,6 +348,18 @@ func (c *conn) stopOutbox() {
 	}
 	close(c.outboxStop)
 	<-c.outboxDone
+	// Release any frames still queued; late queueFrame racers that slip in
+	// after this drain keep their own reference accounting (the frame is
+	// simply never pooled — garbage collected instead), so no frame is
+	// ever double-released.
+	for {
+		select {
+		case f := <-c.outbox:
+			f.release()
+		default:
+			return
+		}
+	}
 }
 
 func (s *Server) handle(nc net.Conn) {
@@ -341,7 +388,7 @@ func (s *Server) handle(nc net.Conn) {
 	s.nextConn++
 	c := &conn{id: s.nextConn, c: nc, w: bufio.NewWriter(nc), writeTimeout: s.opts.WriteTimeout}
 	if s.opts.OutboxLines > 0 {
-		c.outbox = make(chan string, s.opts.OutboxLines)
+		c.outbox = make(chan *frame, s.opts.OutboxLines)
 		c.outboxStop = make(chan struct{})
 		c.outboxDone = make(chan struct{})
 		go c.outboxLoop()
@@ -439,6 +486,8 @@ func (s *Server) dispatch(c *conn, line string) (bool, error) {
 		return false, s.cmdExplain(c, rest)
 	case "ATTACH":
 		return false, s.cmdAttach(c, rest)
+	case "SUBSCRIBE":
+		return false, s.cmdSubscribe(c, rest)
 	case "CLOSE":
 		return false, s.cmdClose(c, rest)
 	case "SHED":
@@ -585,20 +634,24 @@ func (s *Server) ingest(typ wal.RecordType, payload, streamName string, rows []c
 	return results, lsn, err
 }
 
-// delivery is one planned DATA line bound for a connection.
+// delivery is one planned DATA frame bound for a connection. The frame is
+// shared across recipients; each delivery owns one of its references.
 type delivery struct {
-	owner *conn
-	line  string
+	target *conn
+	f      *frame
 }
 
-// planDeliveries routes engine results to owning connections under s.mu
-// (owner lookup); writing happens later in sendDeliveries, outside the
-// lock and after the WAL fsync. emitted counts results produced (delivered
-// or discarded for detached queries); the error aggregates per-query push
-// failures, sorted for deterministic messages.
-func (s *Server) planDeliveries(results []core.QueryResults) (int, []delivery, error) {
+// planDeliveries routes engine results to their recipients under s.mu
+// (owner/subscriber lookup); writing happens later in sendDeliveries,
+// outside the lock and after the WAL fsync. Each DATA line is rendered
+// exactly once into a pooled frame whose reference count equals the number
+// of recipients. emitted counts results produced (delivered or discarded
+// for recipient-less queries); the error aggregates per-query push
+// failures, sorted for deterministic messages. items reuses the inserting
+// conn's scratch slice.
+func (s *Server) planDeliveries(c *conn, results []core.QueryResults) (int, []delivery, error) {
 	var (
-		items    []delivery
+		items    = c.deliv[:0]
 		pushErrs []string
 		emitted  int
 	)
@@ -608,21 +661,37 @@ func (s *Server) planDeliveries(results []core.QueryResults) (int, []delivery, e
 			pushErrs = append(pushErrs, fmt.Sprintf("query %s: %v", qr.ID, qr.Err))
 		}
 		rq := s.queries[qr.ID]
+		var targets int
+		if rq != nil {
+			targets = len(rq.subs)
+			if rq.owner != nil {
+				targets++
+			}
+		}
 		for _, r := range qr.Results {
-			if rq == nil || rq.owner == nil {
+			if targets == 0 {
 				emitted++
 				continue
 			}
-			payload, merr := json.Marshal(EncodeResult(r))
-			if merr != nil {
-				pushErrs = append(pushErrs, fmt.Sprintf("query %s: %v", qr.ID, merr))
+			f := newFrame()
+			var rerr error
+			if f.buf, rerr = appendDataLine(f.buf, qr.ID, r); rerr != nil {
+				pushErrs = append(pushErrs, fmt.Sprintf("query %s: %v", qr.ID, rerr))
+				f.release()
 				continue
 			}
-			items = append(items, delivery{rq.owner, "DATA " + qr.ID + " " + string(payload)})
+			f.refs.Store(int32(targets))
+			if rq.owner != nil {
+				items = append(items, delivery{rq.owner, f})
+			}
+			for _, sub := range rq.subs {
+				items = append(items, delivery{sub, f})
+			}
 			emitted++
 		}
 	}
 	s.mu.Unlock()
+	c.deliv = items
 	if len(pushErrs) > 0 {
 		sort.Strings(pushErrs)
 		return emitted, items, errors.New(strings.Join(pushErrs, "; "))
@@ -630,25 +699,31 @@ func (s *Server) planDeliveries(results []core.QueryResults) (int, []delivery, e
 	return emitted, items, nil
 }
 
-// sendDeliveries writes planned DATA lines. Lines for the inserting
+// sendDeliveries writes planned DATA frames. Frames for the inserting
 // connection itself stay synchronous — same-connection clients observe
-// DATA before the command's OK, a protocol invariant — while lines for
+// DATA before the command's OK, a protocol invariant — while frames for
 // other connections go through their bounded outboxes so one slow
-// subscriber cannot stall this insert.
+// subscriber cannot stall this insert. Every delivery's frame reference is
+// consumed here or inside queueFrame.
 func (s *Server) sendDeliveries(from *conn, items []delivery) {
 	for _, it := range items {
-		if it.owner == from {
-			if err := it.owner.writeLine(it.line); err != nil {
+		if it.target == from {
+			err := from.writeFrame(it.f.buf)
+			it.f.release()
+			if err != nil {
 				s.logf("deliver: %v", err)
 				continue
 			}
 			mDataLines.Inc()
 			continue
 		}
-		if !it.owner.queueData(it.line) {
-			s.logf("deliver: conn %d dropped (slow or closed)", it.owner.id)
+		if !it.target.queueFrame(it.f) {
+			s.logf("deliver: conn %d dropped (slow or closed)", it.target.id)
 		}
 	}
+	// Drop frame pointers so the scratch slice doesn't pin released frames
+	// until the next ingest.
+	clear(items)
 }
 
 // ingestReply formats the reply line both live execution and WAL replay
@@ -658,10 +733,16 @@ func ingestReply(batch bool, tuples, emitted int, pushErr error) string {
 	if pushErr != nil {
 		return "ERR " + pushErr.Error()
 	}
+	buf := make([]byte, 0, 48)
 	if batch {
-		return fmt.Sprintf("OK inserted tuples=%d results=%d", tuples, emitted)
+		buf = append(buf, "OK inserted tuples="...)
+		buf = strconv.AppendInt(buf, int64(tuples), 10)
+		buf = append(buf, " results="...)
+	} else {
+		buf = append(buf, "OK inserted results="...)
 	}
-	return fmt.Sprintf("OK inserted results=%d", emitted)
+	buf = strconv.AppendInt(buf, int64(emitted), 10)
+	return string(buf)
 }
 
 func (s *Server) cmdInsert(c *conn, rest string) error {
@@ -710,7 +791,7 @@ func (s *Server) cmdIngest(c *conn, rest string, batch bool) error {
 		// retry may (and must) re-execute — no dedup entry.
 		return err
 	}
-	emitted, items, pushErr := s.planDeliveries(results)
+	emitted, items, pushErr := s.planDeliveries(c, results)
 	reply := ingestReply(batch, len(rows), emitted, pushErr)
 	if reqID != "" {
 		// Registered before the fsync wait: if waitDurable fails the record
@@ -797,7 +878,40 @@ func (s *Server) cmdAttach(c *conn, rest string) error {
 		return fmt.Errorf("query %q is owned by another connection", id)
 	}
 	rq.owner = c
+	// A connection is either owner or subscriber, never both; promote.
+	for i, sub := range rq.subs {
+		if sub == c {
+			rq.subs = append(rq.subs[:i], rq.subs[i+1:]...)
+			break
+		}
+	}
 	return c.writeLine("OK attached " + id)
+}
+
+// cmdSubscribe adds this connection as an additional DATA recipient for a
+// query it does not own. Like ATTACH, subscription is transport state and
+// is not journaled. Subscribing is idempotent, and a no-op for the owner.
+func (s *Server) cmdSubscribe(c *conn, rest string) error {
+	id := strings.TrimSpace(rest)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	rq, ok := s.queries[id]
+	if !ok {
+		return fmt.Errorf("unknown query %q", id)
+	}
+	if rq.owner != c {
+		found := false
+		for _, sub := range rq.subs {
+			if sub == c {
+				found = true
+				break
+			}
+		}
+		if !found {
+			rq.subs = append(rq.subs, c)
+		}
+	}
+	return c.writeLine("OK subscribed " + id)
 }
 
 // applyCloseLocked drops a query from the registry and its engine shards.
@@ -839,6 +953,12 @@ func (s *Server) dropConnQueries(c *conn) {
 	s.mu.Lock()
 	var dropped []string
 	for id, rq := range s.queries {
+		for i, sub := range rq.subs {
+			if sub == c {
+				rq.subs = append(rq.subs[:i], rq.subs[i+1:]...)
+				break
+			}
+		}
 		if rq.owner == c {
 			dropped = append(dropped, id)
 		}

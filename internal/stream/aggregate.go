@@ -110,6 +110,47 @@ func Aggregate(e *randvar.Evaluator, kind AggKind, fields []randvar.Field) (rand
 	return randvar.Result{}, fmt.Errorf("stream: unknown aggregate %v", kind)
 }
 
+// AggregateColumn computes the aggregate of column c of a columnar window,
+// scanning the column arrays directly when the Gaussian closed form
+// applies. When it does not (a non-Gaussian field is present, or the
+// aggregate is Min/Max), the column is materialized into *scratch and the
+// computation delegates to Aggregate, so errors, RNG consumption, and
+// results are bit-identical to the row path at any worker count.
+//
+// scratch is a caller-owned reusable buffer (may be nil); the materialized
+// fields are consumed within the call.
+func AggregateColumn(e *randvar.Evaluator, kind AggKind, w *ColumnWindow, c int, scratch *[]randvar.Field) (randvar.Result, error) {
+	m := w.Len()
+	if m == 0 {
+		return randvar.Result{}, errors.New("stream: aggregate over zero fields")
+	}
+	switch kind {
+	case Count:
+		return randvar.Result{Field: randvar.Det(float64(m))}, nil
+	case Avg, Sum:
+		if w.ColumnGaussian(c) {
+			wt := 1.0
+			if kind == Avg {
+				wt = 1 / float64(m)
+			}
+			f, err := w.LinearUniform(c, wt)
+			if err != nil {
+				return randvar.Result{}, err
+			}
+			return randvar.Result{Field: f}, nil
+		}
+	}
+	var fields []randvar.Field
+	if scratch != nil {
+		fields = (*scratch)[:0]
+	}
+	fields = w.AppendColumnFields(fields, c)
+	if scratch != nil {
+		*scratch = fields
+	}
+	return Aggregate(e, kind, fields)
+}
+
 // ExpectedCount returns the expected number of existing tuples under the
 // possible-world semantics: Σ Prob over the tuples.
 func ExpectedCount(tuples []*Tuple) float64 {

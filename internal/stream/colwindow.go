@@ -1,0 +1,465 @@
+package stream
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/dist"
+	"repro/internal/randvar"
+)
+
+// Column slot kinds. Point and Normal fields are decomposed into plain
+// float64 columns; anything else keeps its (immutable) Distribution.
+const (
+	slotPoint uint8 = iota
+	slotNormal
+	slotOther
+)
+
+// winColumn is the columnar storage for one schema column: parallel arrays
+// indexed by ring slot.
+type winColumn struct {
+	kind []uint8
+	// mean holds Point.V for point slots and Normal.Mu for normal slots;
+	// it is meaningless (stale) for other slots.
+	mean []float64
+	// varr holds Normal.Sigma2 for normal slots and 0 for point slots;
+	// meaningless for other slots.
+	varr []float64
+	// n is the field's d.f. sample size.
+	n []int
+	// other holds the original Distribution for slots that are neither
+	// Point nor Normal; nil everywhere else. Lazily allocated: windows of
+	// purely Gaussian data never allocate it.
+	other []dist.Distribution
+	// numOther counts live other slots, so the Gaussian fast path is a
+	// single comparison.
+	numOther int
+}
+
+// ColumnWindow is a count-based sliding window with columnar (struct-of-
+// arrays) storage: per schema column, contiguous kind/mean/variance/n
+// arrays, plus per-tuple Prob/ProbN/Seq/Time columns. It is the hot-path
+// replacement for CountWindow in aggregate queries (§V-C throughput
+// experiment): the Gaussian closed form becomes a branch-free scan over
+// two contiguous float64 segments instead of a pointer walk over *Tuple
+// graphs.
+//
+// Push copies field data out of the tuple — the window never retains the
+// *Tuple (see the ownership contract in doc.go). Results are bit-identical
+// to the row path: the closed-form scan visits slots oldest-first with the
+// same summation order as randvar.LinearGaussianUniform, and the fallback
+// path materializes fields in the same order the row engine gathers them.
+type ColumnWindow struct {
+	schema *Schema
+	head   int // slot index of the oldest tuple
+	count  int
+	size   int
+
+	prob  []float64
+	probN []int
+	seq   []uint64
+	time  []int64
+	cols  []winColumn
+}
+
+// NewColumnWindow returns a columnar window over schema holding the most
+// recent size tuples.
+func NewColumnWindow(schema *Schema, size int) (*ColumnWindow, error) {
+	if schema == nil {
+		return nil, fmt.Errorf("stream: column window with nil schema")
+	}
+	if size < 1 {
+		return nil, fmt.Errorf("stream: count window size %d, need ≥ 1", size)
+	}
+	w := &ColumnWindow{
+		schema: schema,
+		size:   size,
+		prob:   make([]float64, size),
+		probN:  make([]int, size),
+		seq:    make([]uint64, size),
+		time:   make([]int64, size),
+		cols:   make([]winColumn, schema.Arity()),
+	}
+	for i := range w.cols {
+		w.cols[i] = winColumn{
+			kind: make([]uint8, size),
+			mean: make([]float64, size),
+			varr: make([]float64, size),
+			n:    make([]int, size),
+		}
+	}
+	return w, nil
+}
+
+// Schema returns the window's schema.
+func (w *ColumnWindow) Schema() *Schema { return w.schema }
+
+// Len returns the number of tuples currently in the window.
+func (w *ColumnWindow) Len() int { return w.count }
+
+// Full reports whether the window has reached capacity.
+func (w *ColumnWindow) Full() bool { return w.count == w.size }
+
+// Cap returns the window capacity.
+func (w *ColumnWindow) Cap() int { return w.size }
+
+// Push adds t, evicting the oldest tuple once the window is full. The
+// tuple's field data is copied into the column arrays; the *Tuple itself
+// is not retained.
+func (w *ColumnWindow) Push(t *Tuple) {
+	var slot int
+	if w.count < w.size {
+		slot = w.head + w.count
+		if slot >= w.size {
+			slot -= w.size
+		}
+		w.count++
+	} else {
+		slot = w.head
+		w.head++
+		if w.head == w.size {
+			w.head = 0
+		}
+	}
+	w.prob[slot] = t.Prob
+	w.probN[slot] = t.ProbN
+	w.seq[slot] = t.Seq
+	w.time[slot] = t.Time
+	for c := range w.cols {
+		w.cols[c].set(slot, t.Fields[c])
+	}
+}
+
+// set stores field f into ring slot i, classifying it with the same type
+// switch as randvar's gaussianOf so the closed-form applicability matches
+// the row path exactly.
+func (col *winColumn) set(i int, f randvar.Field) {
+	if col.other != nil && col.other[i] != nil {
+		col.other[i] = nil
+		col.numOther--
+	}
+	switch d := f.Dist.(type) {
+	case dist.Point:
+		col.kind[i] = slotPoint
+		col.mean[i] = d.V
+		col.varr[i] = 0
+	case dist.Normal:
+		col.kind[i] = slotNormal
+		col.mean[i] = d.Mu
+		col.varr[i] = d.Sigma2
+	default:
+		col.kind[i] = slotOther
+		col.mean[i] = 0
+		col.varr[i] = 0
+		if col.other == nil {
+			col.other = make([]dist.Distribution, len(col.kind))
+		}
+		col.other[i] = f.Dist
+		col.numOther++
+	}
+	col.n[i] = f.N
+}
+
+// field materializes ring slot i back into a randvar.Field, bit-identical
+// to the field that was pushed.
+func (col *winColumn) field(i int) randvar.Field {
+	switch col.kind[i] {
+	case slotPoint:
+		return randvar.Field{Dist: dist.Point{V: col.mean[i]}, N: col.n[i]}
+	case slotNormal:
+		return randvar.Field{Dist: dist.Normal{Mu: col.mean[i], Sigma2: col.varr[i]}, N: col.n[i]}
+	default:
+		return randvar.Field{Dist: col.other[i], N: col.n[i]}
+	}
+}
+
+// gaussian reports whether every live slot of the column is Point or
+// Normal, i.e. the Avg/Sum closed form applies.
+func (col *winColumn) gaussian() bool { return col.numOther == 0 }
+
+// ColumnGaussian reports whether column c currently holds only Gaussian
+// (Point/Normal) fields, making the closed-form scan applicable.
+func (w *ColumnWindow) ColumnGaussian(c int) bool { return w.cols[c].gaussian() }
+
+// LinearUniform computes Σ wt·Xᵢ over column c in the Gaussian closed form
+// (Theorem: a uniform linear combination of independent Gaussians), scanning
+// the mean/variance columns oldest-first in the exact summation order of
+// randvar.LinearGaussianUniform so results are bit-identical to the row
+// path. The caller must have checked ColumnGaussian(c).
+func (w *ColumnWindow) LinearUniform(c int, wt float64) (randvar.Field, error) {
+	col := &w.cols[c]
+	mu, sigma2 := 0.0, 0.0
+	n := 0
+	scan := func(lo, hi int) {
+		mean, varr := col.mean[lo:hi], col.varr[lo:hi]
+		for i := range mean {
+			mu += wt * mean[i]
+			sigma2 += wt * wt * varr[i]
+		}
+		for _, fn := range col.n[lo:hi] {
+			if fn > 0 && (n == 0 || fn < n) {
+				n = fn
+			}
+		}
+	}
+	if end := w.head + w.count; end <= w.size {
+		scan(w.head, end)
+	} else {
+		scan(w.head, w.size)
+		scan(0, end-w.size)
+	}
+	return randvar.GaussianResult(mu, sigma2, n)
+}
+
+// ExpectedProb returns Σ Prob over the live window (expected count under
+// possible-world semantics), oldest-first.
+func (w *ColumnWindow) ExpectedProb() float64 {
+	total := 0.0
+	scan := func(lo, hi int) {
+		for _, p := range w.prob[lo:hi] {
+			total += p
+		}
+	}
+	if end := w.head + w.count; end <= w.size {
+		scan(w.head, end)
+	} else {
+		scan(w.head, w.size)
+		scan(0, end-w.size)
+	}
+	return total
+}
+
+// AppendColumnFields appends column c's fields oldest-first to dst and
+// returns the extended slice — the materialization used when an aggregate
+// must fall back to the generic (Monte Carlo) path.
+func (w *ColumnWindow) AppendColumnFields(dst []randvar.Field, c int) []randvar.Field {
+	col := &w.cols[c]
+	if end := w.head + w.count; end <= w.size {
+		for i := w.head; i < end; i++ {
+			dst = append(dst, col.field(i))
+		}
+	} else {
+		for i := w.head; i < w.size; i++ {
+			dst = append(dst, col.field(i))
+		}
+		for i := 0; i < end-w.size; i++ {
+			dst = append(dst, col.field(i))
+		}
+	}
+	return dst
+}
+
+// Tuples materializes the window contents oldest-first as fresh tuples
+// (the compatibility path for snapshots and tests). The returned tuples
+// are owned by the caller; non-Gaussian Dist pointers are shared with the
+// window but immutable.
+func (w *ColumnWindow) Tuples() []*Tuple {
+	return w.AppendTuples(nil)
+}
+
+// AppendTuples appends materialized window contents oldest-first to dst.
+func (w *ColumnWindow) AppendTuples(dst []*Tuple) []*Tuple {
+	for i := 0; i < w.count; i++ {
+		slot := w.head + i
+		if slot >= w.size {
+			slot -= w.size
+		}
+		fields := make([]randvar.Field, len(w.cols))
+		for c := range w.cols {
+			fields[c] = w.cols[c].field(slot)
+		}
+		dst = append(dst, &Tuple{
+			Schema: w.schema,
+			Fields: fields,
+			Prob:   w.prob[slot],
+			ProbN:  w.probN[slot],
+			Seq:    w.seq[slot],
+			Time:   w.time[slot],
+		})
+	}
+	return dst
+}
+
+// Do calls fn for each materialized tuple oldest-first.
+func (w *ColumnWindow) Do(fn func(*Tuple)) {
+	for _, t := range w.Tuples() {
+		fn(t)
+	}
+}
+
+// RestoreTuples replaces the window contents with tuples (oldest-first),
+// e.g. when a checkpointed window is reloaded during crash recovery. It
+// fails if tuples exceed the window capacity. Like CountWindow, the
+// restored ring is linearized (head 0), which does not affect any
+// observable behavior.
+func (w *ColumnWindow) RestoreTuples(tuples []*Tuple) error {
+	if len(tuples) > w.size {
+		return fmt.Errorf("stream: restoring %d tuples into count window of %d",
+			len(tuples), w.size)
+	}
+	w.reset()
+	for _, t := range tuples {
+		if len(t.Fields) != len(w.cols) {
+			return fmt.Errorf("stream: restoring tuple with %d fields into window of arity %d",
+				len(t.Fields), len(w.cols))
+		}
+		w.Push(t)
+	}
+	return nil
+}
+
+// reset empties the window, releasing retained distributions.
+func (w *ColumnWindow) reset() {
+	for c := range w.cols {
+		col := &w.cols[c]
+		if col.other != nil {
+			for i := range col.other {
+				col.other[i] = nil
+			}
+		}
+		col.numOther = 0
+	}
+	w.head = 0
+	w.count = 0
+}
+
+// ColumnWindowState is the serializable, linearized (oldest-first) form of
+// a ColumnWindow — the columnar snapshot exchanged with the checkpoint
+// layer. All slices have the same length (the live tuple count); Other
+// maps slot index → distribution for slots whose Kind is slotOther.
+type ColumnWindowState struct {
+	Prob  []float64
+	ProbN []int
+	Seq   []uint64
+	Time  []int64
+	Cols  []ColumnState
+}
+
+// ColumnState is one column of a ColumnWindowState.
+type ColumnState struct {
+	Kind  []uint8
+	Mean  []float64
+	Var   []float64
+	N     []int
+	Other map[int]dist.Distribution
+}
+
+// State captures the window contents as a linearized columnar snapshot.
+func (w *ColumnWindow) State() *ColumnWindowState {
+	st := &ColumnWindowState{
+		Prob:  make([]float64, 0, w.count),
+		ProbN: make([]int, 0, w.count),
+		Seq:   make([]uint64, 0, w.count),
+		Time:  make([]int64, 0, w.count),
+		Cols:  make([]ColumnState, len(w.cols)),
+	}
+	for c := range st.Cols {
+		st.Cols[c] = ColumnState{
+			Kind: make([]uint8, 0, w.count),
+			Mean: make([]float64, 0, w.count),
+			Var:  make([]float64, 0, w.count),
+			N:    make([]int, 0, w.count),
+		}
+	}
+	for i := 0; i < w.count; i++ {
+		slot := w.head + i
+		if slot >= w.size {
+			slot -= w.size
+		}
+		st.Prob = append(st.Prob, w.prob[slot])
+		st.ProbN = append(st.ProbN, w.probN[slot])
+		st.Seq = append(st.Seq, w.seq[slot])
+		st.Time = append(st.Time, w.time[slot])
+		for c := range w.cols {
+			col := &w.cols[c]
+			cs := &st.Cols[c]
+			cs.Kind = append(cs.Kind, col.kind[slot])
+			cs.Mean = append(cs.Mean, col.mean[slot])
+			cs.Var = append(cs.Var, col.varr[slot])
+			cs.N = append(cs.N, col.n[slot])
+			if col.kind[slot] == slotOther {
+				if cs.Other == nil {
+					cs.Other = make(map[int]dist.Distribution)
+				}
+				cs.Other[i] = col.other[slot]
+			}
+		}
+	}
+	return st
+}
+
+// Len returns the number of tuples in the snapshot.
+func (st *ColumnWindowState) Len() int { return len(st.Prob) }
+
+// Validate checks structural consistency of the snapshot against a window
+// of the given arity.
+func (st *ColumnWindowState) Validate(arity int) error {
+	n := len(st.Prob)
+	if len(st.ProbN) != n || len(st.Seq) != n || len(st.Time) != n {
+		return fmt.Errorf("stream: columnar snapshot with ragged tuple columns (%d/%d/%d/%d)",
+			len(st.Prob), len(st.ProbN), len(st.Seq), len(st.Time))
+	}
+	if len(st.Cols) != arity {
+		return fmt.Errorf("stream: columnar snapshot arity %d, schema wants %d", len(st.Cols), arity)
+	}
+	for c, cs := range st.Cols {
+		if len(cs.Kind) != n || len(cs.Mean) != n || len(cs.Var) != n || len(cs.N) != n {
+			return fmt.Errorf("stream: columnar snapshot column %d ragged", c)
+		}
+		for i, k := range cs.Kind {
+			switch k {
+			case slotPoint, slotNormal:
+			case slotOther:
+				if cs.Other[i] == nil {
+					return fmt.Errorf("stream: columnar snapshot column %d slot %d missing distribution", c, i)
+				}
+			default:
+				return fmt.Errorf("stream: columnar snapshot column %d slot %d has unknown kind %d", c, i, k)
+			}
+		}
+		for i, p := range st.Prob {
+			if p < 0 || p > 1 || math.IsNaN(p) {
+				return fmt.Errorf("stream: columnar snapshot tuple %d probability %v outside [0,1]", i, p)
+			}
+		}
+	}
+	return nil
+}
+
+// Tuples materializes the snapshot as row tuples over schema, validating
+// each — the cross-form bridge that lets a columnar checkpoint restore
+// into a row-oriented window (and, composed with RestoreTuples, into a
+// columnar one).
+func (st *ColumnWindowState) Tuples(schema *Schema) ([]*Tuple, error) {
+	if err := st.Validate(schema.Arity()); err != nil {
+		return nil, err
+	}
+	out := make([]*Tuple, st.Len())
+	for i := range out {
+		fields := make([]randvar.Field, len(st.Cols))
+		for c, cs := range st.Cols {
+			switch cs.Kind[i] {
+			case slotPoint:
+				fields[c] = randvar.Field{Dist: dist.Point{V: cs.Mean[i]}, N: cs.N[i]}
+			case slotNormal:
+				fields[c] = randvar.Field{Dist: dist.Normal{Mu: cs.Mean[i], Sigma2: cs.Var[i]}, N: cs.N[i]}
+			default:
+				fields[c] = randvar.Field{Dist: cs.Other[i], N: cs.N[i]}
+			}
+		}
+		t := &Tuple{
+			Schema: schema,
+			Fields: fields,
+			Prob:   st.Prob[i],
+			ProbN:  st.ProbN[i],
+			Seq:    st.Seq[i],
+			Time:   st.Time[i],
+		}
+		if err := t.Validate(); err != nil {
+			return nil, err
+		}
+		out[i] = t
+	}
+	return out, nil
+}

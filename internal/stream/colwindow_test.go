@@ -1,0 +1,334 @@
+package stream
+
+import (
+	"fmt"
+	"math"
+	"reflect"
+	"testing"
+
+	"repro/internal/dist"
+	"repro/internal/randvar"
+)
+
+// mixedTuple builds a distinct, fully-identifiable tuple: column 0 carries
+// the index as a Point, column 1 cycles through Point/Normal/Histogram so
+// the "other" slot recycling is exercised through eviction.
+func mixedTuple(t *testing.T, s *Schema, i int) *Tuple {
+	t.Helper()
+	v := float64(i)
+	var f randvar.Field
+	switch i % 3 {
+	case 0:
+		f = randvar.Field{Dist: dist.Point{V: v + 0.5}, N: i % 7}
+	case 1:
+		nd, err := dist.NewNormal(v, 1+float64(i%5))
+		if err != nil {
+			t.Fatal(err)
+		}
+		f = randvar.Field{Dist: nd, N: 10 + i%7}
+	default:
+		h, err := dist.NewHistogram([]float64{v, v + 1, v + 2}, []float64{0.25, 0.75})
+		if err != nil {
+			t.Fatal(err)
+		}
+		f = randvar.Field{Dist: h, N: 0}
+	}
+	return &Tuple{
+		Schema: s,
+		Fields: []randvar.Field{randvar.Det(v), f},
+		Prob:   1 - 1/(v+2),
+		ProbN:  i % 11,
+		Seq:    uint64(i + 1),
+		Time:   int64(1_700_000_000 + i),
+	}
+}
+
+func tuplesEqual(a, b *Tuple) bool {
+	return a.Prob == b.Prob && a.ProbN == b.ProbN && a.Seq == b.Seq &&
+		a.Time == b.Time && reflect.DeepEqual(a.Fields, b.Fields)
+}
+
+// TestColumnWindowAliasing pushes 10k+ distinct tuples through a small ring
+// and verifies — for every value, at every checkpoint — that the window
+// holds exactly the most recent tuples with no aliasing between slots.
+func TestColumnWindowAliasing(t *testing.T) {
+	s := testSchema(t)
+	const size, total = 257, 10_240
+	w, err := NewColumnWindow(s, size)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pushed := make([]*Tuple, 0, total)
+	for i := 0; i < total; i++ {
+		tp := mixedTuple(t, s, i)
+		pushed = append(pushed, tp)
+		w.Push(tp)
+		// Check at a stride plus the interesting boundaries; each check
+		// verifies every live value.
+		if i%997 != 0 && i != size-1 && i != size && i != total-1 {
+			continue
+		}
+		lo := 0
+		if i+1 > size {
+			lo = i + 1 - size
+		}
+		got := w.Tuples()
+		if len(got) != i+1-lo {
+			t.Fatalf("after %d pushes: len = %d, want %d", i+1, len(got), i+1-lo)
+		}
+		for j, g := range got {
+			if want := pushed[lo+j]; !tuplesEqual(g, want) {
+				t.Fatalf("after %d pushes: tuple %d = %+v, want %+v", i+1, j, g, want)
+			}
+		}
+	}
+	if !w.Full() || w.Len() != size || w.Cap() != size {
+		t.Fatalf("Full/Len/Cap = %v/%d/%d", w.Full(), w.Len(), w.Cap())
+	}
+}
+
+// TestColumnWindowAggregateEquivalence checks AggregateColumn against the
+// row path for every aggregate kind, both on the Gaussian fast path and on
+// the Monte Carlo fallback, demanding bit-identical results and identical
+// RNG consumption.
+func TestColumnWindowAggregateEquivalence(t *testing.T) {
+	s := testSchema(t)
+	for _, gaussianOnly := range []bool{true, false} {
+		name := "fallback"
+		if gaussianOnly {
+			name = "gaussian"
+		}
+		t.Run(name, func(t *testing.T) {
+			const size = 64
+			row, err := NewCountWindow(size)
+			if err != nil {
+				t.Fatal(err)
+			}
+			col, err := NewColumnWindow(s, size)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := 0; i < size*2+7; i++ {
+				var tp *Tuple
+				if gaussianOnly {
+					tp = speedTuple(t, s, float64(i), 3+float64(i%9), 0.5+float64(i%4), 10+i%5)
+				} else {
+					tp = mixedTuple(t, s, i)
+				}
+				row.Push(tp.Clone())
+				col.Push(tp)
+			}
+			var scratch []randvar.Field
+			for _, kind := range []AggKind{Avg, Sum, Count, Min, Max} {
+				eRow := randvar.NewEvaluator(dist.NewRand(42))
+				eCol := randvar.NewEvaluator(dist.NewRand(42))
+				fields, err := ColumnFields(row.Tuples(), "speed")
+				if err != nil {
+					t.Fatal(err)
+				}
+				want, werr := Aggregate(eRow, kind, fields)
+				got, gerr := AggregateColumn(eCol, kind, col, 1, &scratch)
+				if (werr == nil) != (gerr == nil) || (werr != nil && werr.Error() != gerr.Error()) {
+					t.Fatalf("%v: error mismatch: row %v, col %v", kind, werr, gerr)
+				}
+				if werr != nil {
+					continue
+				}
+				if !reflect.DeepEqual(want, got) {
+					t.Errorf("%v: row %+v, col %+v", kind, want, got)
+				}
+				if a, b := eRow.RNG().Uint64(), eCol.RNG().Uint64(); a != b {
+					t.Errorf("%v: RNG diverged after aggregate (%d vs %d)", kind, a, b)
+				}
+			}
+			// ExpectedProb matches the row-side expected count.
+			if want, got := ExpectedCount(row.Tuples()), col.ExpectedProb(); want != got {
+				t.Errorf("ExpectedProb = %v, want %v", got, want)
+			}
+		})
+	}
+}
+
+// TestColumnWindowStateRoundTrip snapshots a wrapped ring with Other slots
+// and checks the linearized state restores bit-identically — directly via
+// RestoreTuples and across forms via ColumnWindowState.Tuples — and that
+// pushes after restore behave exactly like pushes into the original.
+func TestColumnWindowStateRoundTrip(t *testing.T) {
+	s := testSchema(t)
+	const size = 19
+	w, err := NewColumnWindow(s, size)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < size*3+5; i++ { // wrapped ring, head != 0
+		w.Push(mixedTuple(t, s, i))
+	}
+	st := w.State()
+	if st.Len() != size {
+		t.Fatalf("state len = %d, want %d", st.Len(), size)
+	}
+	if err := st.Validate(s.Arity()); err != nil {
+		t.Fatal(err)
+	}
+	bridged, err := st.Tuples(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	orig := w.Tuples()
+	if len(bridged) != len(orig) {
+		t.Fatalf("bridged len = %d, want %d", len(bridged), len(orig))
+	}
+	for i := range orig {
+		if !tuplesEqual(bridged[i], orig[i]) {
+			t.Fatalf("bridged tuple %d = %+v, want %+v", i, bridged[i], orig[i])
+		}
+	}
+	w2, err := NewColumnWindow(s, size)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w2.RestoreTuples(bridged); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(w2.State(), st) {
+		t.Fatal("restored state differs from captured state")
+	}
+	// Push-after-restore must evolve identically to the original window.
+	for i := 0; i < size+3; i++ {
+		tp := mixedTuple(t, s, 100_000+i)
+		w.Push(tp)
+		w2.Push(tp)
+	}
+	if !reflect.DeepEqual(w.State(), w2.State()) {
+		t.Fatal("windows diverged after post-restore pushes")
+	}
+	// Empty-window round trip.
+	empty, err := NewColumnWindow(s, size)
+	if err != nil {
+		t.Fatal(err)
+	}
+	est := empty.State()
+	if est.Len() != 0 {
+		t.Fatalf("empty state len = %d", est.Len())
+	}
+	if _, err := est.Tuples(s); err != nil {
+		t.Fatalf("empty state tuples: %v", err)
+	}
+}
+
+func TestColumnWindowValidation(t *testing.T) {
+	s := testSchema(t)
+	if _, err := NewColumnWindow(nil, 4); err == nil {
+		t.Error("nil schema: want error")
+	}
+	if _, err := NewColumnWindow(s, 0); err == nil {
+		t.Error("zero size: want error")
+	}
+	w, err := NewColumnWindow(s, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	over := make([]*Tuple, 3)
+	for i := range over {
+		over[i] = mixedTuple(t, s, i)
+	}
+	if err := w.RestoreTuples(over); err == nil {
+		t.Error("over-capacity restore: want error")
+	}
+	bad := mixedTuple(t, s, 0)
+	bad.Fields = bad.Fields[:1]
+	if err := w.RestoreTuples([]*Tuple{bad}); err == nil {
+		t.Error("arity mismatch restore: want error")
+	}
+	st := &ColumnWindowState{
+		Prob:  []float64{0.5},
+		ProbN: []int{0},
+		Seq:   []uint64{1},
+		Time:  []int64{0},
+		Cols: []ColumnState{
+			{Kind: []uint8{slotPoint}, Mean: []float64{1}, Var: []float64{0}, N: []int{0}},
+			{Kind: []uint8{slotOther}, Mean: []float64{0}, Var: []float64{0}, N: []int{0}},
+		},
+	}
+	if err := st.Validate(2); err == nil {
+		t.Error("missing other distribution: want error")
+	}
+	st.Cols[1].Kind[0] = 99
+	if err := st.Validate(2); err == nil {
+		t.Error("unknown kind: want error")
+	}
+	st.Cols[1].Kind[0] = slotPoint
+	st.Prob[0] = math.NaN()
+	if err := st.Validate(2); err == nil {
+		t.Error("NaN prob: want error")
+	}
+	st.Prob[0] = 0.5
+	st.Cols = st.Cols[:1]
+	if err := st.Validate(2); err == nil {
+		t.Error("arity mismatch: want error")
+	}
+}
+
+// BenchmarkWindowScan measures the closed-form AVG scan over a full window
+// — row gather+LinearGaussianUniform vs the columnar contiguous scan.
+func BenchmarkWindowScan(b *testing.B) {
+	s, err := NewSchema("s", Column{Name: "v", Probabilistic: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, size := range []int{1000, 100_000} {
+		tuples := make([]*Tuple, size)
+		for i := range tuples {
+			nd, err := dist.NewNormal(float64(i%100), 1+float64(i%7))
+			if err != nil {
+				b.Fatal(err)
+			}
+			tuples[i] = &Tuple{
+				Schema: s,
+				Fields: []randvar.Field{{Dist: nd, N: 10 + i%5}},
+				Prob:   1,
+				Seq:    uint64(i + 1),
+			}
+		}
+		b.Run(fmt.Sprintf("row/%d", size), func(b *testing.B) {
+			w, err := NewCountWindow(size)
+			if err != nil {
+				b.Fatal(err)
+			}
+			for _, tp := range tuples {
+				w.Push(tp)
+			}
+			e := randvar.NewEvaluator(dist.NewRand(1))
+			var fields []randvar.Field
+			var scratch []*Tuple
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				scratch = w.AppendTuples(scratch[:0])
+				fields = fields[:0]
+				for _, tp := range scratch {
+					fields = append(fields, tp.Fields[0])
+				}
+				if _, err := Aggregate(e, Avg, fields); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("col/%d", size), func(b *testing.B) {
+			w, err := NewColumnWindow(s, size)
+			if err != nil {
+				b.Fatal(err)
+			}
+			for _, tp := range tuples {
+				w.Push(tp)
+			}
+			e := randvar.NewEvaluator(dist.NewRand(1))
+			var scratch []randvar.Field
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := AggregateColumn(e, Avg, w, 0, &scratch); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

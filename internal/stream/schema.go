@@ -1,12 +1,3 @@
-// Package stream is the uncertain stream database substrate (§II-A): typed
-// schemas, tuples with both tuple uncertainty (a membership probability)
-// and attribute uncertainty (distribution-valued fields), sliding windows,
-// and composable push-based operators.
-//
-// Accuracy information flows with the data: every probabilistic field
-// carries the sample size its distribution was learned from, and every
-// operator derives output sample sizes via Lemma 3, so that the engine
-// (package core) can attach confidence intervals to any query result.
 package stream
 
 import (
