@@ -8,6 +8,14 @@
 //	      [-data-dir DIR] [-fsync always|interval|none] [-checkpoint-every N]
 //	      [-debug-addr 127.0.0.1:7434] [-max-conns N] [-idle-timeout D]
 //	      [-drain-timeout D] [-shed] [-shed-target-p99 D]
+//	      [-repl-addr 127.0.0.1:7443 | -follow PRIMARY:7443]
+//
+// With -repl-addr set (requires -data-dir) the daemon is a replication
+// primary: it ships its WAL to followers over that listener. With -follow
+// set the daemon is a read-only follower: it syncs from the primary's
+// replication listener (snapshot + WAL suffix), applies records through
+// the normal recovery paths, and serves ATTACH/SUBSCRIBE/STATS/METRICS
+// with results byte-identical to the primary's.
 //
 // Methods: none, analytical, bootstrap.
 //
@@ -37,6 +45,7 @@ import (
 	"os/signal"
 	"syscall"
 
+	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/metrics"
 	"repro/internal/server"
@@ -58,7 +67,22 @@ func main() {
 	drainTimeout := flag.Duration("drain-timeout", 0, "graceful-shutdown drain window (0 = default 5s)")
 	shed := flag.Bool("shed", false, "enable accuracy-aware load shedding (wider CIs under overload, never dropped tuples)")
 	shedTarget := flag.Duration("shed-target-p99", 0, "push-latency p99 the shed controller defends (0 = default 50ms)")
+	replAddr := flag.String("repl-addr", "", "WAL-shipping replication listener for followers (requires -data-dir); empty disables")
+	follow := flag.String("follow", "", "run as a read-only follower of this primary's -repl-addr; empty disables")
 	flag.Parse()
+
+	if *replAddr != "" && *dataDir == "" {
+		fmt.Fprintln(os.Stderr, "asdbd: -repl-addr requires -data-dir (replication ships the WAL)")
+		os.Exit(2)
+	}
+	if *follow != "" && *replAddr != "" {
+		fmt.Fprintln(os.Stderr, "asdbd: -follow and -repl-addr are mutually exclusive")
+		os.Exit(2)
+	}
+	if *follow != "" && *dataDir != "" {
+		fmt.Fprintln(os.Stderr, "asdbd: -follow runs in-memory (state arrives from the primary); drop -data-dir")
+		os.Exit(2)
+	}
 
 	var m core.AccuracyMethod
 	switch *method {
@@ -107,6 +131,7 @@ func main() {
 		MaxConns:     *maxConns,
 		IdleTimeout:  *idleTimeout,
 		DrainTimeout: *drainTimeout,
+		ReadOnly:     *follow != "",
 		Shed: server.ShedConfig{
 			Enabled:   *shed,
 			TargetP99: *shedTarget,
@@ -115,6 +140,29 @@ func main() {
 	bound, err := srv.Listen(*addr)
 	if err != nil {
 		log.Fatalf("asdbd: %v", err)
+	}
+	var ship *cluster.ShipServer
+	if *replAddr != "" {
+		ship, err = cluster.NewShipServer(srv.WAL(), srv.Checkpoints(), logger, cluster.ShipOptions{})
+		if err != nil {
+			log.Fatalf("asdbd: %v", err)
+		}
+		raddr, err := ship.Listen(*replAddr)
+		if err != nil {
+			log.Fatalf("asdbd: replication listener: %v", err)
+		}
+		go func() {
+			if err := ship.Serve(); err != nil {
+				logger.Printf("replication listener: %v", err)
+			}
+		}()
+		logger.Printf("shipping wal to followers on %s", raddr)
+	}
+	var follower *cluster.Follower
+	if *follow != "" {
+		follower = cluster.NewFollower(srv, *follow, logger, cluster.FollowOptions{})
+		follower.Start()
+		logger.Printf("following primary %s (read-only)", *follow)
 	}
 	if *dataDir != "" {
 		logger.Printf("listening on %s (method=%s level=%g data-dir=%s fsync=%s)",
@@ -130,6 +178,12 @@ func main() {
 	select {
 	case sig := <-sigc:
 		logger.Printf("%s: shutting down", sig)
+		if ship != nil {
+			ship.Close()
+		}
+		if follower != nil {
+			follower.Close()
+		}
 		if err := srv.Shutdown(); err != nil {
 			log.Fatalf("asdbd: shutdown: %v", err)
 		}

@@ -585,6 +585,32 @@ func (m *Manager) LoadLatest() (*Snapshot, error) {
 	return nil, nil
 }
 
+// LatestRaw returns the newest valid checkpoint still in its framed on-disk
+// encoding, plus the LSN it covers, skipping corrupt files exactly like
+// LoadLatest. The replication handshake ships these bytes verbatim so the
+// follower can verify and decode them itself. (nil, 0, nil) when no valid
+// checkpoint exists.
+func (m *Manager) LatestRaw() ([]byte, uint64, error) {
+	files, err := m.list()
+	if err != nil {
+		return nil, 0, err
+	}
+	for i := len(files) - 1; i >= 0; i-- {
+		data, err := m.fs.ReadFile(files[i])
+		if err != nil {
+			mLoadSkips.Inc()
+			continue
+		}
+		snap, err := Decode(data)
+		if err != nil {
+			mLoadSkips.Inc()
+			continue
+		}
+		return data, snap.LSN, nil
+	}
+	return nil, 0, nil
+}
+
 // list returns checkpoint paths sorted oldest-first (names embed the LSN
 // in fixed-width hex, so lexical order is LSN order).
 func (m *Manager) list() ([]string, error) {

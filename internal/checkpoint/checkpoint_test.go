@@ -280,3 +280,36 @@ func TestLoadLatestSkipsCorrupt(t *testing.T) {
 		t.Fatalf("LoadLatest with stray temp = (%+v, %v), want lsn 5", snap, err)
 	}
 }
+
+func TestLatestRawRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	m, err := NewManager(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if raw, lsn, err := m.LatestRaw(); raw != nil || lsn != 0 || err != nil {
+		t.Fatalf("empty dir: LatestRaw = (%d bytes, %d, %v), want (nil, 0, nil)", len(raw), lsn, err)
+	}
+	if err := m.Save(&Snapshot{Version: 1, LSN: 9, Seq: 4}); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Save(&Snapshot{Version: 1, LSN: 17, Seq: 8}); err != nil {
+		t.Fatal(err)
+	}
+	// A corrupt "newer" file must be skipped, like LoadLatest does.
+	bad := filepath.Join(dir, "ckpt-00000000000000ff.ck")
+	if err := os.WriteFile(bad, []byte("ASDBCKP1 then garbage"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	raw, lsn, err := m.LatestRaw()
+	if err != nil || lsn != 17 {
+		t.Fatalf("LatestRaw = (_, %d, %v), want lsn 17", lsn, err)
+	}
+	snap, err := Decode(raw)
+	if err != nil {
+		t.Fatalf("shipped bytes do not decode: %v", err)
+	}
+	if snap.LSN != 17 || snap.Seq != 8 {
+		t.Fatalf("decoded snapshot = LSN %d Seq %d, want 17/8", snap.LSN, snap.Seq)
+	}
+}

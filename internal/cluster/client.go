@@ -1,0 +1,405 @@
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/randvar"
+	"repro/internal/server"
+	"repro/internal/stream"
+)
+
+// testHookRouteRetry, when set, runs before each ingest retry attempt
+// (attempt numbering starts at 1). Chaos tests use it to promote a
+// follower and kill the primary between the torn first attempt and the
+// retry.
+var testHookRouteRetry func(attempt int)
+
+// ClientOptions tunes the cluster client. Zero values mean defaults.
+type ClientOptions struct {
+	// DialTimeout and OpTimeout are passed to each per-node connection
+	// (defaults 5s, 30s).
+	DialTimeout time.Duration
+	OpTimeout   time.Duration
+	// Retries is how many extra attempts an ingest gets across failover
+	// targets after a transport failure (default 0 = fail fast). Every
+	// ingest carries a request id when Retries > 0, so a retry whose
+	// original applied is answered from the dedup window — on the primary
+	// or on a promoted follower, which replicates the window.
+	Retries int
+	// RetryBase and RetryMax shape backoff between attempts (defaults
+	// 50ms, 2s).
+	RetryBase time.Duration
+	RetryMax  time.Duration
+	// Seed makes request ids and backoff jitter deterministic for tests;
+	// 0 derives a seed from the clock.
+	Seed uint64
+}
+
+func (o ClientOptions) normalize() ClientOptions {
+	if o.DialTimeout <= 0 {
+		o.DialTimeout = 5 * time.Second
+	}
+	if o.OpTimeout <= 0 {
+		o.OpTimeout = 30 * time.Second
+	}
+	if o.RetryBase <= 0 {
+		o.RetryBase = 50 * time.Millisecond
+	}
+	if o.RetryMax <= 0 {
+		o.RetryMax = 2 * time.Second
+	}
+	if o.Seed == 0 {
+		o.Seed = uint64(time.Now().UnixNano()) | 1
+	}
+	return o
+}
+
+// Client routes commands across a cluster: streams shard to primaries by
+// rendezvous hash, join inputs co-locate, reads fan out to replicas, and
+// ingest retries fail over with exactly-once semantics. It multiplexes
+// every node's asynchronous DATA results onto one channel.
+type Client struct {
+	topo *topo
+	opts ClientOptions
+
+	mu       sync.Mutex
+	clients  map[string]*server.Client
+	closed   bool
+	reqSeq   uint64
+	rngState uint64
+
+	data     chan server.Data
+	dataOnce sync.Once
+	pumps    sync.WaitGroup
+}
+
+// NewClient builds a routing client over the given nodes. No connections
+// are opened until the first command needs one.
+func NewClient(nodes []Node, opts ClientOptions) (*Client, error) {
+	t, err := newTopo(nodes)
+	if err != nil {
+		return nil, err
+	}
+	o := opts.normalize()
+	return &Client{
+		topo:     t,
+		opts:     o,
+		clients:  make(map[string]*server.Client),
+		rngState: o.Seed,
+		data:     make(chan server.Data, 1024),
+	}, nil
+}
+
+// Data returns the merged stream of asynchronous query results from every
+// node the client is subscribed on. Closed by Close.
+func (c *Client) Data() <-chan server.Data { return c.data }
+
+// Close closes every node connection and the Data channel.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil
+	}
+	c.closed = true
+	clients := make([]*server.Client, 0, len(c.clients))
+	for _, cl := range c.clients {
+		clients = append(clients, cl)
+	}
+	c.mu.Unlock()
+	var first error
+	for _, cl := range clients {
+		if err := cl.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	c.pumps.Wait()
+	c.dataOnce.Do(func() { close(c.data) })
+	return first
+}
+
+// clientFor returns (dialing if needed) the connection to addr. Each
+// node connection pumps its DATA results into the merged channel.
+func (c *Client) clientFor(addr string) (*server.Client, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return nil, errors.New("cluster: client closed")
+	}
+	if cl, ok := c.clients[addr]; ok {
+		return cl, nil
+	}
+	cl, err := server.DialOpts(addr, server.DialOptions{
+		DialTimeout: c.opts.DialTimeout,
+		OpTimeout:   c.opts.OpTimeout,
+		// Per-node retries stay off: the routing layer owns retry policy
+		// (it must be able to switch nodes between attempts).
+		Retries: 0,
+		Seed:    c.opts.Seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	c.clients[addr] = cl
+	c.pumps.Add(1)
+	go func() {
+		defer c.pumps.Done()
+		for d := range cl.Data() {
+			select {
+			case c.data <- d:
+			default:
+				// A subscriber that stopped draining must not wedge every
+				// node's read loop; dropping mirrors the server's own
+				// slow-subscriber policy.
+			}
+		}
+	}()
+	return cl, nil
+}
+
+// dropClient discards a (likely broken) cached connection so the next
+// attempt redials.
+func (c *Client) dropClient(addr string, cl *server.Client) {
+	c.mu.Lock()
+	if c.clients[addr] == cl {
+		delete(c.clients, addr)
+	}
+	c.mu.Unlock()
+	cl.Close()
+}
+
+func (c *Client) nextReqID() string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.reqSeq++
+	return fmt.Sprintf("c%x-%d", c.opts.Seed&0xffffffff, c.reqSeq)
+}
+
+func (c *Client) backoff(attempt int) time.Duration {
+	d := c.opts.RetryBase << uint(min(attempt-1, 16))
+	if d > c.opts.RetryMax {
+		d = c.opts.RetryMax
+	}
+	c.mu.Lock()
+	c.rngState = c.rngState*6364136223846793005 + 1442695040888963407
+	r := c.rngState >> 33
+	c.mu.Unlock()
+	half := uint64(d) / 2
+	if half == 0 {
+		return d
+	}
+	return time.Duration(half + r%half)
+}
+
+// RegisterStream registers a stream's schema on the node rendezvous
+// hashing assigns it.
+func (c *Client) RegisterStream(schema *stream.Schema) error {
+	parts := make([]string, 0, schema.Arity()+1)
+	parts = append(parts, schema.Name)
+	for _, col := range schema.Columns {
+		if col.Probabilistic {
+			parts = append(parts, col.Name+":dist")
+		} else {
+			parts = append(parts, col.Name)
+		}
+	}
+	ddl := strings.Join(parts, " ")
+	node := c.topo.registerStream(schema.Name, ddl)
+	cl, err := c.clientFor(c.topo.primaryAddr(node))
+	if err != nil {
+		return err
+	}
+	_, err = cl.Do("STREAM " + ddl)
+	return err
+}
+
+// Query registers a continuous query on the node owning its input
+// stream(s), first re-homing clean stream groups so a join's inputs share
+// a node. Results arrive on Data() once subscribed.
+func (c *Client) Query(id, sqlText string) error {
+	if strings.ContainsAny(id, " \n") {
+		return fmt.Errorf("cluster: query id %q contains whitespace", id)
+	}
+	node, moves, err := c.topo.placeQuery(id, sqlText)
+	if err != nil {
+		return err
+	}
+	for _, mv := range moves {
+		cl, err := c.clientFor(c.topo.primaryAddr(mv.node))
+		if err != nil {
+			return err
+		}
+		if _, err := cl.Do("STREAM " + mv.ddl); err != nil {
+			return fmt.Errorf("cluster: re-homing stream %s for query %s: %w", mv.stream, id, err)
+		}
+	}
+	cl, err := c.clientFor(c.topo.primaryAddr(node))
+	if err != nil {
+		return err
+	}
+	_, err = cl.Do("QUERY " + id + " " + sqlText)
+	return err
+}
+
+// Insert pushes one tuple to the stream's node; returns the number of
+// query results it produced.
+func (c *Client) Insert(streamName string, fields ...randvar.Field) (int, error) {
+	parts := make([]string, 0, len(fields)+2)
+	parts = append(parts, "INSERT", streamName)
+	for _, f := range fields {
+		parts = append(parts, server.FormatFieldSpec(f))
+	}
+	payload, err := c.ingest(streamName, strings.Join(parts, " "))
+	if err != nil {
+		return 0, err
+	}
+	n := 0
+	fmt.Sscanf(payload, "inserted results=%d", &n)
+	return n, nil
+}
+
+// InsertBatch pushes several tuples in one round trip to the stream's
+// node; returns the number of query results the batch produced.
+func (c *Client) InsertBatch(streamName string, rows ...[]randvar.Field) (int, error) {
+	if len(rows) == 0 {
+		return 0, errors.New("cluster: empty batch")
+	}
+	parts := make([]string, 0, 2+2*len(rows))
+	parts = append(parts, "INSERTBATCH", streamName)
+	for i, fields := range rows {
+		if i > 0 {
+			parts = append(parts, "|")
+		}
+		for _, f := range fields {
+			parts = append(parts, server.FormatFieldSpec(f))
+		}
+	}
+	payload, err := c.ingest(streamName, strings.Join(parts, " "))
+	if err != nil {
+		return 0, err
+	}
+	tuples, results := 0, 0
+	fmt.Sscanf(payload, "inserted tuples=%d results=%d", &tuples, &results)
+	return results, nil
+}
+
+// ingest routes one INSERT/INSERTBATCH line with failover retries. The
+// line gets a request id whenever retries are enabled; attempt k targets
+// failoverAddrs[k mod n], so the first attempt hits the primary and
+// retries walk the replicas (a promoted one answers — deduplicated — and
+// an unpromoted one refuses, sending the loop onward).
+func (c *Client) ingest(streamName, line string) (string, error) {
+	node, ok := c.topo.streamNode(streamName)
+	if !ok {
+		return "", fmt.Errorf("cluster: stream %s not registered", streamName)
+	}
+	c.topo.markDirty(streamName)
+	if c.opts.Retries > 0 {
+		line += " @" + c.nextReqID()
+	}
+	targets := c.topo.failoverAddrs(node)
+	var lastErr error
+	for attempt := 0; attempt <= c.opts.Retries; attempt++ {
+		if attempt > 0 {
+			mRouteRetries.Inc()
+			if hook := testHookRouteRetry; hook != nil {
+				hook(attempt)
+			}
+			time.Sleep(c.backoff(attempt))
+		}
+		addr := targets[attempt%len(targets)]
+		cl, err := c.clientFor(addr)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		payload, err := cl.Do(line)
+		if err == nil {
+			return payload, nil
+		}
+		var se server.ServerError
+		if errors.As(err, &se) {
+			// The server answered. "read-only replica" means this target
+			// is a follower that has not been promoted (yet) — keep
+			// failing over. Any other ERR is a real rejection.
+			if strings.Contains(string(se), "read-only replica") {
+				lastErr = err
+				continue
+			}
+			return "", err
+		}
+		// Transport failure: the connection is suspect, drop it so the
+		// next attempt (possibly back on this address) redials.
+		c.dropClient(addr, cl)
+		lastErr = err
+	}
+	return "", lastErr
+}
+
+// Stats fetches a query's counters from a replica of its node (bounded
+// staleness; the primary serves it when the node has no replicas).
+func (c *Client) Stats(id string) (core.QueryStats, error) {
+	cl, err := c.readClient(id)
+	if err != nil {
+		return core.QueryStats{}, err
+	}
+	return cl.Stats(id)
+}
+
+// QueryMetrics fetches a query's rolling accuracy metrics from a replica.
+func (c *Client) QueryMetrics(id string) (server.QueryMetrics, error) {
+	cl, err := c.readClient(id)
+	if err != nil {
+		return server.QueryMetrics{}, err
+	}
+	return cl.QueryMetrics(id)
+}
+
+// Explain fetches a query's plan from a replica.
+func (c *Client) Explain(id string) (string, error) {
+	cl, err := c.readClient(id)
+	if err != nil {
+		return "", err
+	}
+	return cl.Explain(id)
+}
+
+// Subscribe attaches to a query's result feed on a replica of its node;
+// results arrive on Data().
+func (c *Client) Subscribe(id string) error {
+	cl, err := c.readClient(id)
+	if err != nil {
+		return err
+	}
+	return cl.Subscribe(id)
+}
+
+// CloseQuery deregisters a query on its primary.
+func (c *Client) CloseQuery(id string) error {
+	node, ok := c.topo.queryNode(id)
+	if !ok {
+		return fmt.Errorf("cluster: unknown query %s", id)
+	}
+	cl, err := c.clientFor(c.topo.primaryAddr(node))
+	if err != nil {
+		return err
+	}
+	if err := cl.CloseQuery(id); err != nil {
+		return err
+	}
+	c.topo.dropQuery(id)
+	return nil
+}
+
+func (c *Client) readClient(queryID string) (*server.Client, error) {
+	node, ok := c.topo.queryNode(queryID)
+	if !ok {
+		return nil, fmt.Errorf("cluster: unknown query %s", queryID)
+	}
+	return c.clientFor(c.topo.readAddr(node))
+}

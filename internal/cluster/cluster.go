@@ -1,0 +1,81 @@
+// Package cluster layers deterministic replication and stream-sharded
+// routing on top of the single-node asdb server.
+//
+// Replication is WAL shipping: the primary's write-ahead log already
+// totally orders every state change (WAL order == engine sequence order,
+// and the engine is bit-identical at any worker count), so a follower that
+// replays the shipped records through the server's normal apply paths is
+// byte-identical to the primary at every LSN — DATA frames, STATS replies
+// and per-query METRICS all match. ShipServer is the primary side (serves
+// sealed and live segments, tracks follower lag); Follower is the replica
+// side (applies records, serves read-only traffic, can be promoted).
+//
+// Routing is rendezvous hashing of streams across N independent primaries,
+// with join-aware co-location: both inputs of a JOIN must live on one node,
+// so streams are grouped with union-find and a group is re-homed (by
+// replaying its DDL) only while it has never taken routed ingest. Client is
+// the embedded routing client; Router is the same policy as a thin proxy
+// for protocol-level clients. Both reuse the server's @reqid dedup window
+// for exactly-once ingest retries across failover — the dedup window is
+// replicated, so a promoted follower answers a retried batch from the
+// window instead of double-applying it.
+package cluster
+
+import (
+	"bufio"
+	"errors"
+	"io"
+
+	"repro/internal/metrics"
+)
+
+// Follower-side lag gauges, primary-side follower count, router retry
+// counter. Registered here — not in internal/server — so a single-node
+// server's METRICS key set (pinned by the golden transcript) is unchanged.
+var (
+	gLagRecords = metrics.Default.Gauge("asdb_repl_lag_records",
+		"replication lag in records: primary's last known LSN minus last applied (follower side)")
+	gLagSeconds = metrics.Default.FloatGauge("asdb_repl_lag_seconds",
+		"replication lag in seconds: age of the newest applied record, 0 when caught up (follower side)")
+	gFollowers = metrics.Default.Gauge("asdb_repl_followers",
+		"connected WAL-shipping followers (primary side)")
+	mRouteRetries = metrics.Default.Counter("asdb_route_retries_total",
+		"routed ingest attempts retried against a failover target")
+)
+
+// maxShipLine bounds one shipped protocol line. WAL payloads are command
+// lines capped at 16MiB by the server; the REC framing adds a few tens of
+// bytes, so one extra MiB of slack is plenty.
+const maxShipLine = 17 << 20
+
+var errLineTooLong = errors.New("cluster: protocol line exceeds cap")
+
+// readLine mirrors the server's line reader: one newline-terminated line,
+// terminator (and trailing \r) stripped, torn fragment at EOF surfaced as
+// io.ErrUnexpectedEOF so a half-shipped record or reply never parses.
+func readLine(r *bufio.Reader, max int) (string, error) {
+	var buf []byte
+	for {
+		frag, err := r.ReadSlice('\n')
+		buf = append(buf, frag...)
+		switch err {
+		case nil:
+			line := buf[:len(buf)-1]
+			if n := len(line); n > 0 && line[n-1] == '\r' {
+				line = line[:n-1]
+			}
+			return string(line), nil
+		case bufio.ErrBufferFull:
+			if max > 0 && len(buf) > max {
+				return "", errLineTooLong
+			}
+		case io.EOF:
+			if len(buf) > 0 {
+				return "", io.ErrUnexpectedEOF
+			}
+			return "", io.EOF
+		default:
+			return "", err
+		}
+	}
+}

@@ -1,0 +1,410 @@
+package cluster
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/server"
+	"repro/internal/wal"
+)
+
+// ErrResyncRequired is the terminal follower error: the primary offered a
+// snapshot but this follower already holds state, so applying it would
+// merge divergent histories. The operator restarts the follower with a
+// fresh engine (it then accepts the snapshot and catches up).
+var ErrResyncRequired = errors.New("cluster: follower has diverged past the primary's wal horizon; restart with a fresh engine to resync")
+
+// FollowOptions tunes the replica-side replication loop. Zero values mean
+// defaults.
+type FollowOptions struct {
+	// DialTimeout bounds each connect to the primary (default 5s).
+	DialTimeout time.Duration
+	// RetryBase and RetryMax shape reconnect backoff (defaults 50ms, 2s).
+	RetryBase time.Duration
+	RetryMax  time.Duration
+	// ReadTimeout is the max silence tolerated from the primary before
+	// reconnecting (default 5s; heartbeats arrive every ~100ms).
+	ReadTimeout time.Duration
+}
+
+func (o FollowOptions) normalize() FollowOptions {
+	if o.DialTimeout <= 0 {
+		o.DialTimeout = 5 * time.Second
+	}
+	if o.RetryBase <= 0 {
+		o.RetryBase = 50 * time.Millisecond
+	}
+	if o.RetryMax <= 0 {
+		o.RetryMax = 2 * time.Second
+	}
+	if o.ReadTimeout <= 0 {
+		o.ReadTimeout = 5 * time.Second
+	}
+	return o
+}
+
+// Follower connects a read-only server to a primary's ShipServer and
+// applies the shipped WAL stream through Server.ApplyReplicated. The
+// server keeps serving ATTACH/SUBSCRIBE/STATS/METRICS traffic while
+// records apply; Promote flips it writable after the stream stops.
+type Follower struct {
+	srv     *server.Server
+	primary string
+	logger  *log.Logger
+	opts    FollowOptions
+
+	lastApplied atomic.Uint64
+	primaryLSN  atomic.Uint64
+
+	mu       sync.Mutex
+	nc       net.Conn
+	closed   bool
+	promoted bool
+	termErr  error
+	done     chan struct{}
+	started  bool
+}
+
+// NewFollower wires a follower for a server running with Options.ReadOnly.
+// The server must be fresh (no streams, no queries) unless it recovered
+// from its own data dir at the LSN the primary still retains.
+func NewFollower(srv *server.Server, primaryAddr string, logger *log.Logger, opts FollowOptions) *Follower {
+	return &Follower{
+		srv:     srv,
+		primary: primaryAddr,
+		logger:  logger,
+		opts:    opts.normalize(),
+		done:    make(chan struct{}),
+	}
+}
+
+// SetLastApplied seeds the replication cursor, for a follower that
+// recovered state locally before connecting. Call before Start.
+func (f *Follower) SetLastApplied(lsn uint64) { f.lastApplied.Store(lsn) }
+
+// LastApplied returns the LSN of the last record applied locally.
+func (f *Follower) LastApplied() uint64 { return f.lastApplied.Load() }
+
+// PrimaryLSN returns the primary's last known shippable LSN (from records
+// and heartbeats); 0 before the first contact.
+func (f *Follower) PrimaryLSN() uint64 { return f.primaryLSN.Load() }
+
+// Err returns the terminal replication error, if the loop stopped on one.
+func (f *Follower) Err() error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.termErr
+}
+
+// Start launches the replication loop: connect, sync, apply, reconnect on
+// transport errors, stop on terminal ones (divergence, apply failure).
+func (f *Follower) Start() {
+	f.mu.Lock()
+	if f.started || f.closed {
+		f.mu.Unlock()
+		return
+	}
+	f.started = true
+	f.mu.Unlock()
+	go f.run()
+}
+
+// WaitCaughtUp blocks until the follower has applied through at least lsn,
+// or the timeout passes. Used by tests and read-your-writes callers.
+func (f *Follower) WaitCaughtUp(lsn uint64, timeout time.Duration) bool {
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		if f.lastApplied.Load() >= lsn {
+			return true
+		}
+		select {
+		case <-f.done:
+			return f.lastApplied.Load() >= lsn
+		case <-time.After(time.Millisecond):
+		}
+	}
+	return f.lastApplied.Load() >= lsn
+}
+
+// Promote stops replication and flips the server writable: the failover
+// path. It waits for the apply loop to finish its in-flight record, so no
+// replicated apply can race a newly accepted write. The promoted server
+// has no WAL of its own unless it was started durable; its dedup window is
+// failover-warm because @reqid entries were replicated with the records.
+func (f *Follower) Promote() {
+	f.stop(true)
+	f.srv.SetReadOnly(false)
+	f.logf("follower: promoted at lsn %d", f.lastApplied.Load())
+}
+
+// Close stops replication, leaving the server read-only.
+func (f *Follower) Close() { f.stop(false) }
+
+func (f *Follower) stop(promote bool) {
+	f.mu.Lock()
+	if f.closed {
+		f.mu.Unlock()
+		<-f.done
+		return
+	}
+	f.closed = true
+	f.promoted = promote
+	nc := f.nc
+	started := f.started
+	if !started {
+		close(f.done)
+	}
+	f.mu.Unlock()
+	if nc != nil {
+		nc.Close()
+	}
+	if started {
+		<-f.done
+	}
+}
+
+func (f *Follower) logf(format string, args ...any) {
+	if f.logger != nil {
+		f.logger.Printf(format, args...)
+	}
+}
+
+func (f *Follower) run() {
+	defer close(f.done)
+	attempt := 0
+	for {
+		f.mu.Lock()
+		stopped := f.closed
+		f.mu.Unlock()
+		if stopped {
+			return
+		}
+		progressed, err := f.followOnce()
+		if err != nil {
+			if errors.Is(err, ErrResyncRequired) || isApplyError(err) {
+				f.mu.Lock()
+				f.termErr = err
+				f.mu.Unlock()
+				f.logf("follower: terminal: %v", err)
+				return
+			}
+			f.mu.Lock()
+			stopped = f.closed
+			f.mu.Unlock()
+			if stopped {
+				return
+			}
+			f.logf("follower: %v (reconnecting)", err)
+		}
+		if progressed {
+			attempt = 0
+		}
+		attempt++
+		d := f.opts.RetryBase << uint(min(attempt-1, 10))
+		if d > f.opts.RetryMax {
+			d = f.opts.RetryMax
+		}
+		time.Sleep(d)
+	}
+}
+
+// applyError marks a failure inside ApplyReplicated or RestoreSnapshot:
+// state may have partially changed, so reconnect-and-replay is unsafe.
+type applyError struct{ err error }
+
+func (e *applyError) Error() string { return e.err.Error() }
+func (e *applyError) Unwrap() error { return e.err }
+
+func isApplyError(err error) bool {
+	var ae *applyError
+	return errors.As(err, &ae)
+}
+
+// followOnce runs one connection's lifetime: handshake, then apply
+// messages until the link breaks. Returns whether any record was applied
+// (resets reconnect backoff).
+func (f *Follower) followOnce() (progressed bool, err error) {
+	nc, err := net.DialTimeout("tcp", f.primary, f.opts.DialTimeout)
+	if err != nil {
+		return false, err
+	}
+	f.mu.Lock()
+	if f.closed {
+		f.mu.Unlock()
+		nc.Close()
+		return false, nil
+	}
+	f.nc = nc
+	f.mu.Unlock()
+	defer func() {
+		f.mu.Lock()
+		if f.nc == nc {
+			f.nc = nil
+		}
+		f.mu.Unlock()
+		nc.Close()
+	}()
+
+	nc.SetWriteDeadline(time.Now().Add(f.opts.DialTimeout))
+	if _, err := fmt.Fprintf(nc, "SYNC %d\n", f.lastApplied.Load()); err != nil {
+		return false, err
+	}
+	br := bufio.NewReaderSize(nc, 64<<10)
+	for {
+		nc.SetReadDeadline(time.Now().Add(f.opts.ReadTimeout))
+		line, err := readLine(br, maxShipLine)
+		if err != nil {
+			return progressed, err
+		}
+		switch {
+		case strings.HasPrefix(line, "REC "):
+			if err := f.handleRec(line[len("REC "):]); err != nil {
+				return progressed, err
+			}
+			progressed = true
+		case strings.HasPrefix(line, "HB "):
+			if err := f.handleHB(line[len("HB "):]); err != nil {
+				return progressed, err
+			}
+		case strings.HasPrefix(line, "SNAP "):
+			if err := f.handleSnap(br, line[len("SNAP "):]); err != nil {
+				return progressed, err
+			}
+			progressed = true
+		default:
+			return progressed, fmt.Errorf("cluster: unexpected ship line %.40q", line)
+		}
+	}
+}
+
+func (f *Follower) handleSnap(br *bufio.Reader, args string) error {
+	var lsn uint64
+	var n int
+	if _, err := fmt.Sscanf(args, "%d %d", &lsn, &n); err != nil {
+		return fmt.Errorf("cluster: bad SNAP header %q: %w", args, err)
+	}
+	if n < 0 || n > maxShipLine {
+		return fmt.Errorf("cluster: SNAP size %d out of range", n)
+	}
+	raw := make([]byte, n)
+	if _, err := io.ReadFull(br, raw); err != nil {
+		return fmt.Errorf("cluster: reading snapshot body: %w", err)
+	}
+	if b, err := br.ReadByte(); err != nil || b != '\n' {
+		return fmt.Errorf("cluster: snapshot body not newline-terminated")
+	}
+	if f.lastApplied.Load() != 0 {
+		// The primary no longer retains our suffix and we already hold
+		// state — installing the snapshot would silently drop the records
+		// between our LSN and its LSN. Operator decision, not automatic.
+		return ErrResyncRequired
+	}
+	snap, err := decodeSnapshot(raw)
+	if err != nil {
+		return &applyError{fmt.Errorf("cluster: decoding shipped snapshot: %w", err)}
+	}
+	if err := f.srv.RestoreSnapshot(snap); err != nil {
+		return &applyError{err}
+	}
+	f.lastApplied.Store(lsn)
+	f.observeFrontier(lsn, time.Now().UnixNano())
+	f.logf("follower: installed snapshot lsn=%d (%d bytes)", lsn, n)
+	return nil
+}
+
+func (f *Follower) handleRec(args string) error {
+	// REC args: <lsn> <type> <shipUnixNano> <payload>; payload may be
+	// empty and may contain spaces.
+	p1 := strings.IndexByte(args, ' ')
+	if p1 < 0 {
+		return fmt.Errorf("cluster: bad REC %q", args)
+	}
+	p2 := strings.IndexByte(args[p1+1:], ' ')
+	if p2 < 0 {
+		return fmt.Errorf("cluster: bad REC %q", args)
+	}
+	p2 += p1 + 1
+	p3 := strings.IndexByte(args[p2+1:], ' ')
+	rest := ""
+	tsStr := args[p2+1:]
+	if p3 >= 0 {
+		p3 += p2 + 1
+		tsStr, rest = args[p2+1:p3], args[p3+1:]
+	}
+	lsn, err := strconv.ParseUint(args[:p1], 10, 64)
+	if err != nil {
+		return fmt.Errorf("cluster: bad REC lsn in %q", args)
+	}
+	typ, err := strconv.ParseUint(args[p1+1:p2], 10, 8)
+	if err != nil {
+		return fmt.Errorf("cluster: bad REC type in %q", args)
+	}
+	ts, err := strconv.ParseInt(tsStr, 10, 64)
+	if err != nil {
+		return fmt.Errorf("cluster: bad REC timestamp in %q", args)
+	}
+	last := f.lastApplied.Load()
+	if lsn <= last {
+		// Possible after a reconnect that re-ships the tail; applying
+		// twice would diverge, skipping is always safe (same stream).
+		return nil
+	}
+	if lsn != last+1 {
+		return fmt.Errorf("cluster: lsn gap: applied %d, received %d", last, lsn)
+	}
+	if err := f.srv.ApplyReplicated(wal.Record{LSN: lsn, Type: wal.RecordType(typ), Payload: []byte(rest)}); err != nil {
+		return &applyError{err}
+	}
+	f.lastApplied.Store(lsn)
+	f.observeFrontier(lsn, ts)
+	return nil
+}
+
+func (f *Follower) handleHB(args string) error {
+	var lastLSN uint64
+	var ts int64
+	if _, err := fmt.Sscanf(args, "%d %d", &lastLSN, &ts); err != nil {
+		return fmt.Errorf("cluster: bad HB %q: %w", args, err)
+	}
+	f.observeFrontier(lastLSN, ts)
+	return nil
+}
+
+// observeFrontier folds one observation of the primary's shippable
+// frontier into the lag gauges. lag_records is the primary's frontier
+// minus what we applied; lag_seconds is 0 when caught up, else the age of
+// that observation (the clocks are the primary's send time vs our receive
+// time, so cross-host skew shifts it — it is a gauge for dashboards, not
+// an ordering primitive).
+func (f *Follower) observeFrontier(frontier uint64, shipNano int64) {
+	for {
+		cur := f.primaryLSN.Load()
+		if frontier <= cur {
+			frontier = cur
+			break
+		}
+		if f.primaryLSN.CompareAndSwap(cur, frontier) {
+			break
+		}
+	}
+	applied := f.lastApplied.Load()
+	var lagRec int64
+	if frontier > applied {
+		lagRec = int64(frontier - applied)
+	}
+	gLagRecords.Set(lagRec)
+	if lagRec == 0 {
+		gLagSeconds.Set(0)
+	} else {
+		gLagSeconds.Set(time.Since(time.Unix(0, shipNano)).Seconds())
+	}
+}

@@ -1,0 +1,469 @@
+package cluster
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"log"
+	"net"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Router is the same routing policy as Client, packaged as a thin proxy
+// for protocol-level clients: one listener speaking the asdb line
+// protocol, forwarding each command to the node that owns it. DATA lines
+// from backends are relayed to the client byte-for-byte — the router
+// never re-renders results, so replica frames stay identical to primary
+// frames end to end. Ingest lines carrying a client-minted @reqid are
+// retried across failover targets; bare ingest lines get one attempt
+// (the router must not invent idempotency the client didn't ask for).
+type Router struct {
+	topo   *topo
+	logger *log.Logger
+	opts   RouterOptions
+
+	mu     sync.Mutex
+	ln     net.Listener
+	conns  map[net.Conn]struct{}
+	closed bool
+	wg     sync.WaitGroup
+}
+
+// RouterOptions tunes the proxy. Zero values mean defaults.
+type RouterOptions struct {
+	// OpTimeout bounds one backend exchange (default 30s).
+	OpTimeout time.Duration
+	// Retries is how many failover attempts an @reqid-tagged ingest gets
+	// after a transport failure (default 3).
+	Retries int
+	// RetryBase and RetryMax shape backoff between attempts (defaults
+	// 50ms, 2s).
+	RetryBase time.Duration
+	RetryMax  time.Duration
+}
+
+func (o RouterOptions) normalize() RouterOptions {
+	if o.OpTimeout <= 0 {
+		o.OpTimeout = 30 * time.Second
+	}
+	if o.Retries == 0 {
+		o.Retries = 3
+	}
+	if o.Retries < 0 {
+		o.Retries = 0
+	}
+	if o.RetryBase <= 0 {
+		o.RetryBase = 50 * time.Millisecond
+	}
+	if o.RetryMax <= 0 {
+		o.RetryMax = 2 * time.Second
+	}
+	return o
+}
+
+// NewRouter builds a proxy over the given nodes.
+func NewRouter(nodes []Node, logger *log.Logger, opts RouterOptions) (*Router, error) {
+	t, err := newTopo(nodes)
+	if err != nil {
+		return nil, err
+	}
+	return &Router{
+		topo:   t,
+		logger: logger,
+		opts:   opts.normalize(),
+		conns:  make(map[net.Conn]struct{}),
+	}, nil
+}
+
+// Listen binds the client-facing listener.
+func (rt *Router) Listen(addr string) (net.Addr, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	rt.mu.Lock()
+	rt.ln = ln
+	rt.mu.Unlock()
+	return ln.Addr(), nil
+}
+
+// Serve accepts client connections until Close.
+func (rt *Router) Serve() error {
+	rt.mu.Lock()
+	ln := rt.ln
+	rt.mu.Unlock()
+	if ln == nil {
+		return errors.New("cluster: Serve before Listen")
+	}
+	for {
+		nc, err := ln.Accept()
+		if err != nil {
+			rt.mu.Lock()
+			closed := rt.closed
+			rt.mu.Unlock()
+			if closed {
+				return nil
+			}
+			return err
+		}
+		rt.mu.Lock()
+		if rt.closed {
+			rt.mu.Unlock()
+			nc.Close()
+			return nil
+		}
+		rt.conns[nc] = struct{}{}
+		rt.wg.Add(1)
+		rt.mu.Unlock()
+		go func() {
+			defer rt.wg.Done()
+			rt.serveConn(nc)
+			rt.mu.Lock()
+			delete(rt.conns, nc)
+			rt.mu.Unlock()
+		}()
+	}
+}
+
+// Close stops the listener and disconnects every client (and their
+// backends).
+func (rt *Router) Close() error {
+	rt.mu.Lock()
+	if rt.closed {
+		rt.mu.Unlock()
+		return nil
+	}
+	rt.closed = true
+	ln := rt.ln
+	for nc := range rt.conns {
+		nc.Close()
+	}
+	rt.mu.Unlock()
+	var err error
+	if ln != nil {
+		err = ln.Close()
+	}
+	rt.wg.Wait()
+	return err
+}
+
+func (rt *Router) logf(format string, args ...any) {
+	if rt.logger != nil {
+		rt.logger.Printf(format, args...)
+	}
+}
+
+// backend is one upstream connection owned by one client session. Its
+// reader goroutine splits the upstream byte stream: DATA lines go
+// straight to the client (preserving bytes), reply lines resolve the
+// in-flight exchange.
+type backend struct {
+	addr    string
+	nc      net.Conn
+	bw      *bufio.Writer
+	replies chan string
+	done    chan struct{}
+	readErr error
+}
+
+// rsession is one proxied client connection plus its cached backends.
+type rsession struct {
+	rt       *Router
+	nc       net.Conn
+	cmu      sync.Mutex // serializes all writes to the client
+	cw       *bufio.Writer
+	backends map[string]*backend
+}
+
+func (rt *Router) serveConn(nc net.Conn) {
+	s := &rsession{
+		rt:       rt,
+		nc:       nc,
+		cw:       bufio.NewWriterSize(nc, 64<<10),
+		backends: make(map[string]*backend),
+	}
+	defer func() {
+		for _, b := range s.backends {
+			b.nc.Close()
+		}
+		nc.Close()
+	}()
+	br := bufio.NewReaderSize(nc, 64<<10)
+	for {
+		nc.SetReadDeadline(time.Now().Add(5 * time.Minute))
+		line, err := readLine(br, maxShipLine)
+		if err != nil {
+			return
+		}
+		if line == "" {
+			continue
+		}
+		if verbOf(line) == "QUIT" {
+			s.writeClient("OK bye")
+			return
+		}
+		reply, err := s.dispatch(line)
+		if err != nil {
+			reply = "ERR " + err.Error()
+		}
+		if !s.writeClient(reply) {
+			return
+		}
+	}
+}
+
+func verbOf(line string) string {
+	verb := line
+	if i := strings.IndexByte(line, ' '); i >= 0 {
+		verb = line[:i]
+	}
+	return strings.ToUpper(verb)
+}
+
+func firstField(rest string) string {
+	if i := strings.IndexByte(rest, ' '); i >= 0 {
+		return rest[:i]
+	}
+	return rest
+}
+
+// writeClient sends one line to the client; false means the client is
+// gone.
+func (s *rsession) writeClient(line string) bool {
+	s.cmu.Lock()
+	defer s.cmu.Unlock()
+	s.nc.SetWriteDeadline(time.Now().Add(30 * time.Second))
+	if _, err := s.cw.WriteString(line); err != nil {
+		return false
+	}
+	if err := s.cw.WriteByte('\n'); err != nil {
+		return false
+	}
+	return s.cw.Flush() == nil
+}
+
+// dispatch routes one command line and returns the upstream reply line.
+func (s *rsession) dispatch(line string) (string, error) {
+	verb := verbOf(line)
+	rest := ""
+	if i := strings.IndexByte(line, ' '); i >= 0 {
+		rest = strings.TrimSpace(line[i+1:])
+	}
+	t := s.rt.topo
+	switch verb {
+	case "PING":
+		return "OK pong", nil
+	case "STREAM":
+		if rest == "" {
+			return "", errors.New("usage: STREAM <name> <col>[:dist] ...")
+		}
+		node := t.registerStream(firstField(rest), rest)
+		return s.backendDo(t.primaryAddr(node), line)
+	case "QUERY":
+		id := firstField(rest)
+		sqlText := strings.TrimSpace(strings.TrimPrefix(rest, id))
+		node, moves, err := t.placeQuery(id, sqlText)
+		if err != nil {
+			return "", err
+		}
+		for _, mv := range moves {
+			if rep, err := s.backendDo(t.primaryAddr(mv.node), "STREAM "+mv.ddl); err != nil {
+				return "", fmt.Errorf("re-homing stream %s: %w", mv.stream, err)
+			} else if strings.HasPrefix(rep, "ERR ") {
+				return "", fmt.Errorf("re-homing stream %s: %s", mv.stream, rep[4:])
+			}
+		}
+		return s.backendDo(t.primaryAddr(node), line)
+	case "INSERT", "INSERTBATCH":
+		node, ok := t.streamNode(firstField(rest))
+		if !ok {
+			return "", fmt.Errorf("unknown stream %q (register through this router first)", firstField(rest))
+		}
+		t.markDirty(firstField(rest))
+		return s.ingestDispatch(node, line)
+	case "STATS", "EXPLAIN", "ATTACH", "SUBSCRIBE":
+		return s.backendDo(s.readAddrFor(rest), line)
+	case "METRICS":
+		if rest == "" {
+			// Global metrics are per-process; node 0's stand in. Per-node
+			// metrics are reachable by connecting to the node directly.
+			return s.backendDo(t.readAddr(0), line)
+		}
+		return s.backendDo(s.readAddrFor(rest), line)
+	case "CLOSE":
+		node, ok := t.queryNode(firstField(rest))
+		if !ok {
+			return "", fmt.Errorf("unknown query %q", firstField(rest))
+		}
+		rep, err := s.backendDo(t.primaryAddr(node), line)
+		if err == nil && strings.HasPrefix(rep, "OK") {
+			t.dropQuery(firstField(rest))
+		}
+		return rep, err
+	case "SHED":
+		// Shedding is per-node; the router applies the command to every
+		// primary so the cluster degrades uniformly.
+		var last string
+		for i := range t.nodes {
+			rep, err := s.backendDo(t.primaryAddr(i), line)
+			if err != nil {
+				return "", err
+			}
+			if strings.HasPrefix(rep, "ERR ") {
+				return rep, nil
+			}
+			last = rep
+		}
+		return last, nil
+	default:
+		return s.backendDo(t.primaryAddr(0), line)
+	}
+}
+
+// readAddrFor picks the read address for a query-scoped command, falling
+// back to node 0 for unknown ids (the backend's ERR is the real answer).
+func (s *rsession) readAddrFor(rest string) string {
+	t := s.rt.topo
+	if node, ok := t.queryNode(firstField(rest)); ok {
+		return t.readAddr(node)
+	}
+	return t.readAddr(0)
+}
+
+// hasReqID reports whether an ingest line carries a client request id
+// (trailing " @id" token) — the marker that makes failover retries safe.
+func hasReqID(line string) bool {
+	i := strings.LastIndexByte(line, ' ')
+	return i >= 0 && i+1 < len(line) && line[i+1] == '@' && len(line)-i > 2
+}
+
+// ingestDispatch forwards an ingest line, failing over across the node's
+// targets only when the line is idempotent (@reqid present).
+func (s *rsession) ingestDispatch(node int, line string) (string, error) {
+	t := s.rt.topo
+	attempts := 1
+	if hasReqID(line) {
+		attempts = s.rt.opts.Retries + 1
+	}
+	targets := t.failoverAddrs(node)
+	var lastErr error
+	for attempt := 0; attempt < attempts; attempt++ {
+		if attempt > 0 {
+			mRouteRetries.Inc()
+			if hook := testHookRouteRetry; hook != nil {
+				hook(attempt)
+			}
+			d := s.rt.opts.RetryBase << uint(min(attempt-1, 10))
+			if d > s.rt.opts.RetryMax {
+				d = s.rt.opts.RetryMax
+			}
+			time.Sleep(d)
+		}
+		rep, err := s.backendDo(targets[attempt%len(targets)], line)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		if attempt+1 < attempts && strings.HasPrefix(rep, "ERR ") && strings.Contains(rep, "read-only replica") {
+			lastErr = errors.New(rep[4:])
+			continue
+		}
+		return rep, nil
+	}
+	return "", lastErr
+}
+
+// backendDo sends one line upstream and waits for its reply. DATA lines
+// arriving first are forwarded to the client by the backend's reader, so
+// the client still sees DATA before OK, exactly like a direct connection.
+func (s *rsession) backendDo(addr string, line string) (string, error) {
+	b, err := s.backend(addr)
+	if err != nil {
+		return "", err
+	}
+	b.nc.SetWriteDeadline(time.Now().Add(s.rt.opts.OpTimeout))
+	if _, err := b.bw.WriteString(line); err == nil {
+		err = b.bw.WriteByte('\n')
+		if err == nil {
+			err = b.bw.Flush()
+		}
+	} else {
+		b.nc.Close()
+		delete(s.backends, addr)
+		return "", err
+	}
+	select {
+	case rep := <-b.replies:
+		return rep, nil
+	case <-b.done:
+		delete(s.backends, addr)
+		return "", b.readErr
+	case <-time.After(s.rt.opts.OpTimeout):
+		// A late reply could otherwise match a later request; kill the
+		// connection so it never does.
+		b.nc.Close()
+		delete(s.backends, addr)
+		return "", fmt.Errorf("cluster: backend %s timed out", addr)
+	}
+}
+
+// backend returns (dialing if needed) this session's connection to addr.
+func (s *rsession) backend(addr string) (*backend, error) {
+	if b, ok := s.backends[addr]; ok {
+		select {
+		case <-b.done:
+			delete(s.backends, addr)
+		default:
+			return b, nil
+		}
+	}
+	nc, err := net.DialTimeout("tcp", addr, 5*time.Second)
+	if err != nil {
+		return nil, err
+	}
+	b := &backend{
+		addr:    addr,
+		nc:      nc,
+		bw:      bufio.NewWriterSize(nc, 64<<10),
+		replies: make(chan string, 1),
+		done:    make(chan struct{}),
+	}
+	s.backends[addr] = b
+	go b.readLoop(s)
+	return b, nil
+}
+
+func (b *backend) readLoop(s *rsession) {
+	br := bufio.NewReaderSize(b.nc, 64<<10)
+	for {
+		line, err := readLine(br, maxShipLine)
+		if err != nil {
+			b.readErr = err
+			close(b.done)
+			b.nc.Close()
+			return
+		}
+		if strings.HasPrefix(line, "DATA ") {
+			// Relay verbatim; bytes rendered upstream are the bytes the
+			// client sees.
+			if !s.writeClient(line) {
+				b.readErr = errors.New("cluster: client gone")
+				close(b.done)
+				b.nc.Close()
+				return
+			}
+			continue
+		}
+		select {
+		case b.replies <- line:
+		case <-time.After(time.Minute):
+			// No exchange claimed this reply — protocol desync; bail.
+			b.readErr = errors.New("cluster: unclaimed backend reply")
+			close(b.done)
+			b.nc.Close()
+			return
+		}
+	}
+}

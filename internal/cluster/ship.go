@@ -1,0 +1,341 @@
+package cluster
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"log"
+	"net"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/checkpoint"
+	"repro/internal/wal"
+)
+
+// Ship protocol, one conversation per follower connection:
+//
+//	follower → primary:  SYNC <lastAppliedLSN>
+//	primary  → follower: SNAP <lsn> <nbytes>\n<raw checkpoint bytes>\n   (only when the WAL suffix alone cannot catch the follower up)
+//	primary  → follower: REC <lsn> <type> <shipUnixNano> <payload>      (one per WAL record, in LSN order)
+//	primary  → follower: HB <lastLSN> <shipUnixNano>                    (idle heartbeat; carries the primary's durable frontier)
+//
+// The handshake pins the shipped suffix in the primary's WAL before
+// checking whether it still exists, so a checkpoint+truncate running
+// concurrently can never open a gap between the snapshot the follower gets
+// and the first record shipped after it (see position).
+
+// testHookShipSnapshot, when set, runs after a snapshot has been selected
+// for shipping but before the WAL suffix is re-pinned — the window a
+// concurrent checkpoint+truncate would race into.
+var testHookShipSnapshot func()
+
+// ShipOptions tunes the primary-side replication server. Zero values mean
+// defaults.
+type ShipOptions struct {
+	// Heartbeat is the idle HB interval (default 100ms). Heartbeats carry
+	// the primary's last durable LSN so followers measure lag while idle.
+	Heartbeat time.Duration
+	// Poll is how often the tail is re-checked when caught up (default 2ms).
+	Poll time.Duration
+	// WriteTimeout bounds one flush to a follower (default 10s). A stalled
+	// follower is disconnected, never allowed to pin WAL retention forever.
+	WriteTimeout time.Duration
+}
+
+func (o ShipOptions) normalize() ShipOptions {
+	if o.Heartbeat <= 0 {
+		o.Heartbeat = 100 * time.Millisecond
+	}
+	if o.Poll <= 0 {
+		o.Poll = 2 * time.Millisecond
+	}
+	if o.WriteTimeout <= 0 {
+		o.WriteTimeout = 10 * time.Second
+	}
+	return o
+}
+
+// ShipServer streams a primary's WAL to followers. It reads the same
+// CRC-framed segment files the server writes — shipping is a pure observer
+// of the durability layer and never blocks the ingest path.
+type ShipServer struct {
+	log    *wal.Log
+	ck     *checkpoint.Manager
+	logger *log.Logger
+	opts   ShipOptions
+
+	mu     sync.Mutex
+	ln     net.Listener
+	conns  map[net.Conn]struct{}
+	closed bool
+	wg     sync.WaitGroup
+}
+
+// NewShipServer wires a replication server to a durable server's WAL and
+// checkpoint manager (srv.WAL() and srv.Checkpoints()).
+func NewShipServer(w *wal.Log, ck *checkpoint.Manager, logger *log.Logger, opts ShipOptions) (*ShipServer, error) {
+	if w == nil {
+		return nil, errors.New("cluster: replication requires a durable server (nil WAL)")
+	}
+	return &ShipServer{
+		log:    w,
+		ck:     ck,
+		logger: logger,
+		opts:   opts.normalize(),
+		conns:  make(map[net.Conn]struct{}),
+	}, nil
+}
+
+// Listen binds the replication listener and returns the bound address.
+func (ss *ShipServer) Listen(addr string) (net.Addr, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	ss.mu.Lock()
+	ss.ln = ln
+	ss.mu.Unlock()
+	return ln.Addr(), nil
+}
+
+// Serve accepts follower connections until Close. Each follower gets its
+// own shipping goroutine and WAL reader.
+func (ss *ShipServer) Serve() error {
+	ss.mu.Lock()
+	ln := ss.ln
+	ss.mu.Unlock()
+	if ln == nil {
+		return errors.New("cluster: Serve before Listen")
+	}
+	for {
+		nc, err := ln.Accept()
+		if err != nil {
+			ss.mu.Lock()
+			closed := ss.closed
+			ss.mu.Unlock()
+			if closed {
+				return nil
+			}
+			return err
+		}
+		ss.mu.Lock()
+		if ss.closed {
+			ss.mu.Unlock()
+			nc.Close()
+			return nil
+		}
+		ss.conns[nc] = struct{}{}
+		ss.wg.Add(1)
+		ss.mu.Unlock()
+		go func() {
+			defer ss.wg.Done()
+			ss.serveConn(nc)
+			ss.mu.Lock()
+			delete(ss.conns, nc)
+			ss.mu.Unlock()
+		}()
+	}
+}
+
+// Close stops the listener and disconnects every follower.
+func (ss *ShipServer) Close() error {
+	ss.mu.Lock()
+	if ss.closed {
+		ss.mu.Unlock()
+		return nil
+	}
+	ss.closed = true
+	ln := ss.ln
+	for nc := range ss.conns {
+		nc.Close()
+	}
+	ss.mu.Unlock()
+	var err error
+	if ln != nil {
+		err = ln.Close()
+	}
+	ss.wg.Wait()
+	return err
+}
+
+func (ss *ShipServer) isClosed() bool {
+	ss.mu.Lock()
+	defer ss.mu.Unlock()
+	return ss.closed
+}
+
+func (ss *ShipServer) logf(format string, args ...any) {
+	if ss.logger != nil {
+		ss.logger.Printf(format, args...)
+	}
+}
+
+// shipLimit is the highest LSN safe to ship. Under FsyncAlways a follower
+// must never hold a record the primary could lose in a crash, so shipping
+// waits for the group-commit frontier; laxer policies accept that the
+// whole suffix is volatile and ship the appended frontier.
+func (ss *ShipServer) shipLimit() uint64 {
+	if ss.log.Policy() == wal.FsyncAlways {
+		return ss.log.SyncedLSN()
+	}
+	return ss.log.LastLSN()
+}
+
+// position resolves where to start shipping for a follower that has
+// applied lastApplied: either the WAL still holds lastApplied+1 (ship the
+// suffix directly) or the follower is behind the truncation horizon and
+// needs the latest complete checkpoint plus the suffix after it.
+//
+// The pin-then-verify loop closes the race with a concurrent checkpoint:
+// the suffix is pinned BEFORE checking it still exists. If the check fails
+// the pin moved nothing (TruncateThrough had already won), so the pin is
+// dropped, the latest complete snapshot is picked, and the loop re-pins at
+// snapshotLSN+1 — a checkpoint that lands between those two steps just
+// sends the loop around again with a newer snapshot. The returned pin is
+// held (and advanced) for the life of the shipping connection, bounding
+// WAL retention to the follower's unshipped suffix.
+func (ss *ShipServer) position(lastApplied uint64) (snapRaw []byte, from uint64, pin *wal.Pin, err error) {
+	from = lastApplied + 1
+	for attempt := 0; attempt < 16; attempt++ {
+		pin = ss.log.Pin(from)
+		oldest, err := ss.log.OldestLSN()
+		if err != nil {
+			pin.Release()
+			return nil, 0, nil, err
+		}
+		if from >= oldest {
+			return snapRaw, from, pin, nil
+		}
+		pin.Release()
+		if ss.ck == nil {
+			return nil, 0, nil, fmt.Errorf("cluster: follower at lsn %d predates wal (oldest %d) and no checkpoints exist", lastApplied, oldest)
+		}
+		raw, snapLSN, err := ss.ck.LatestRaw()
+		if err != nil {
+			return nil, 0, nil, err
+		}
+		if raw == nil {
+			return nil, 0, nil, fmt.Errorf("cluster: follower at lsn %d predates wal (oldest %d) and no checkpoint is available", lastApplied, oldest)
+		}
+		if testHookShipSnapshot != nil {
+			testHookShipSnapshot()
+		}
+		snapRaw, from = raw, snapLSN+1
+	}
+	return nil, 0, nil, errors.New("cluster: could not pin a consistent snapshot+suffix (checkpoints outpacing handshake)")
+}
+
+func (ss *ShipServer) serveConn(nc net.Conn) {
+	defer nc.Close()
+	br := bufio.NewReaderSize(nc, 4<<10)
+	nc.SetReadDeadline(time.Now().Add(30 * time.Second))
+	line, err := readLine(br, 256)
+	if err != nil {
+		ss.logf("repl: handshake read: %v", err)
+		return
+	}
+	rest, ok := strings.CutPrefix(line, "SYNC ")
+	if !ok {
+		ss.logf("repl: bad handshake %q", line)
+		return
+	}
+	lastApplied, err := strconv.ParseUint(rest, 10, 64)
+	if err != nil {
+		ss.logf("repl: bad SYNC lsn %q", rest)
+		return
+	}
+	snapRaw, from, pin, err := ss.position(lastApplied)
+	if err != nil {
+		ss.logf("repl: position follower@%d: %v", lastApplied, err)
+		return
+	}
+	defer pin.Release()
+
+	gFollowers.Inc()
+	defer gFollowers.Dec()
+
+	// After the handshake the follower sends nothing; a read returning
+	// means it hung up (or the link died) — close so blocked writes fail
+	// fast instead of waiting out TCP buffers.
+	nc.SetReadDeadline(time.Time{})
+	go func() {
+		var b [1]byte
+		nc.Read(b[:])
+		nc.Close()
+	}()
+
+	bw := bufio.NewWriterSize(nc, 64<<10)
+	flush := func() error {
+		nc.SetWriteDeadline(time.Now().Add(ss.opts.WriteTimeout))
+		return bw.Flush()
+	}
+	if snapRaw != nil {
+		fmt.Fprintf(bw, "SNAP %d %d\n", from-1, len(snapRaw))
+		bw.Write(snapRaw)
+		bw.WriteByte('\n')
+		if err := flush(); err != nil {
+			ss.logf("repl: follower@%d: snapshot send: %v", lastApplied, err)
+			return
+		}
+	}
+
+	rd := ss.log.NewReader(from)
+	defer rd.Close()
+	lastHB := time.Time{}
+	pending := 0
+	for {
+		if ss.isClosed() {
+			flush()
+			return
+		}
+		if rd.NextLSN() <= ss.shipLimit() {
+			rec, ok, err := rd.Next()
+			if err != nil {
+				// Includes wal.ErrTruncated: retention raced past this
+				// reader (possible only if the pin was released by Close).
+				// The follower reconnects and re-handshakes.
+				ss.logf("repl: follower stream: %v", err)
+				flush()
+				return
+			}
+			if ok {
+				fmt.Fprintf(bw, "REC %d %d %d %s\n", rec.LSN, rec.Type, time.Now().UnixNano(), rec.Payload)
+				pin.Advance(rec.LSN + 1)
+				pending++
+				if pending >= 64 {
+					if err := flush(); err != nil {
+						ss.logf("repl: follower write: %v", err)
+						return
+					}
+					pending = 0
+				}
+				continue
+			}
+		}
+		// Caught up to the shippable frontier (or gated on durability):
+		// drain the buffer, heartbeat if due, then poll.
+		if err := flush(); err != nil {
+			ss.logf("repl: follower write: %v", err)
+			return
+		}
+		pending = 0
+		if time.Since(lastHB) >= ss.opts.Heartbeat {
+			fmt.Fprintf(bw, "HB %d %d\n", ss.shipLimit(), time.Now().UnixNano())
+			if err := flush(); err != nil {
+				ss.logf("repl: follower write: %v", err)
+				return
+			}
+			lastHB = time.Now()
+		}
+		time.Sleep(ss.opts.Poll)
+	}
+}
+
+// Decode a shipped checkpoint payload; kept here so follower code does not
+// import the checkpoint wire format directly.
+func decodeSnapshot(raw []byte) (*checkpoint.Snapshot, error) {
+	return checkpoint.Decode(raw)
+}

@@ -109,6 +109,12 @@ type Config struct {
 	// records (default 1024), bounding recovery replay time. Only
 	// meaningful with DataDir set.
 	CheckpointEvery int
+	// WALSegmentBytes overrides the WAL segment rotation threshold
+	// (default 4MiB; see wal.DefaultSegmentBytes). Smaller segments bound
+	// how much history a checkpoint retains — replication catch-up tests
+	// use tiny segments to force the snapshot path. Only meaningful with
+	// DataDir set.
+	WALSegmentBytes int64
 }
 
 // Normalize fills defaults and validates ranges.

@@ -24,12 +24,19 @@ func (r *Registry) WriteProm(w io.Writer) error {
 		if e.help != "" {
 			fmt.Fprintf(bw, "# HELP %s %s\n", e.name, e.help)
 		}
-		fmt.Fprintf(bw, "# TYPE %s %s\n", e.name, e.kind)
+		// Prometheus has no separate float-gauge type; both expose as gauge.
+		typ := e.kind.String()
+		if e.kind == kindFloatGauge {
+			typ = "gauge"
+		}
+		fmt.Fprintf(bw, "# TYPE %s %s\n", e.name, typ)
 		switch e.kind {
 		case kindCounter:
 			fmt.Fprintf(bw, "%s %d\n", e.name, e.c.Value())
 		case kindGauge:
 			fmt.Fprintf(bw, "%s %d\n", e.name, e.g.Value())
+		case kindFloatGauge:
+			fmt.Fprintf(bw, "%s %g\n", e.name, e.fg.Value())
 		case kindHistogram:
 			s := e.h.Snapshot()
 			cum := uint64(0)

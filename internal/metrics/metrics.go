@@ -64,6 +64,19 @@ func (g *Gauge) Dec() { g.v.Add(-1) }
 // Value returns the current value.
 func (g *Gauge) Value() int64 { return g.v.Load() }
 
+// FloatGauge is a float64-valued gauge stored as atomic bits — for
+// quantities like replication lag seconds where integer resolution is too
+// coarse. Same 0-alloc hot path as Gauge.
+type FloatGauge struct {
+	v atomic.Uint64
+}
+
+// Set replaces the value.
+func (g *FloatGauge) Set(v float64) { g.v.Store(math.Float64bits(v)) }
+
+// Value returns the current value.
+func (g *FloatGauge) Value() float64 { return math.Float64frombits(g.v.Load()) }
+
 // Histogram is a fixed-bucket cumulative histogram of float64 observations
 // (latencies in seconds, interval widths, byte counts). Bucket bounds are
 // immutable after construction; an implicit +Inf bucket catches the tail.
@@ -181,6 +194,7 @@ const (
 	kindCounter kind = iota
 	kindGauge
 	kindHistogram
+	kindFloatGauge
 )
 
 func (k kind) String() string {
@@ -191,6 +205,8 @@ func (k kind) String() string {
 		return "gauge"
 	case kindHistogram:
 		return "histogram"
+	case kindFloatGauge:
+		return "float gauge"
 	}
 	return fmt.Sprintf("kind(%d)", int(k))
 }
@@ -202,6 +218,7 @@ type entry struct {
 	c    *Counter
 	g    *Gauge
 	h    *Histogram
+	fg   *FloatGauge
 }
 
 // Registry holds named metrics. Registration is idempotent by name; a name
@@ -271,6 +288,25 @@ func (r *Registry) Gauge(name, help string) *Gauge {
 	return g
 }
 
+// FloatGauge returns the float gauge registered under name, creating it
+// if new.
+func (r *Registry) FloatGauge(name, help string) *FloatGauge {
+	if e := r.lookup(name, kindFloatGauge); e != nil {
+		return e.fg
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if e := r.entries[name]; e != nil {
+		if e.kind != kindFloatGauge {
+			panic(fmt.Sprintf("metrics: %q registered as %s, requested as float gauge", name, e.kind))
+		}
+		return e.fg
+	}
+	fg := &FloatGauge{}
+	r.entries[name] = &entry{name: name, help: help, kind: kindFloatGauge, fg: fg}
+	return fg
+}
+
 // Histogram returns the histogram registered under name, creating it with
 // the given bucket bounds if new (bounds of an existing histogram win).
 func (r *Registry) Histogram(name, help string, bounds []float64) *Histogram {
@@ -313,6 +349,9 @@ type Snapshot struct {
 	Counters   map[string]uint64            `json:"counters"`
 	Gauges     map[string]int64             `json:"gauges"`
 	Histograms map[string]HistogramSnapshot `json:"histograms"`
+	// FloatGauges is omitted while empty so snapshots from processes without
+	// float gauges keep their pre-existing wire shape.
+	FloatGauges map[string]float64 `json:"float_gauges,omitempty"`
 }
 
 // Snapshot captures every registered metric.
@@ -330,6 +369,11 @@ func (r *Registry) Snapshot() Snapshot {
 			out.Gauges[e.name] = e.g.Value()
 		case kindHistogram:
 			out.Histograms[e.name] = e.h.Snapshot()
+		case kindFloatGauge:
+			if out.FloatGauges == nil {
+				out.FloatGauges = make(map[string]float64)
+			}
+			out.FloatGauges[e.name] = e.fg.Value()
 		}
 	}
 	return out

@@ -1,6 +1,7 @@
 package metrics
 
 import (
+	"bytes"
 	"encoding/json"
 	"io"
 	"math"
@@ -201,4 +202,44 @@ func TestPublishExpvarIdempotent(t *testing.T) {
 	r.Counter("y_total", "").Inc()
 	r.PublishExpvar("metrics_test_registry")
 	r.PublishExpvar("metrics_test_registry") // second call must not panic
+}
+
+func TestFloatGauge(t *testing.T) {
+	r := NewRegistry()
+	fg := r.FloatGauge("test_lag_seconds", "replication lag")
+	if v := fg.Value(); v != 0 {
+		t.Fatalf("zero value = %g", v)
+	}
+	fg.Set(0.25)
+	if v := fg.Value(); v != 0.25 {
+		t.Fatalf("Value = %g, want 0.25", v)
+	}
+	if again := r.FloatGauge("test_lag_seconds", ""); again != fg {
+		t.Fatal("re-registration returned a different gauge")
+	}
+	snap := r.Snapshot()
+	if snap.FloatGauges["test_lag_seconds"] != 0.25 {
+		t.Fatalf("snapshot float gauges = %v", snap.FloatGauges)
+	}
+	var buf bytes.Buffer
+	if err := r.WriteProm(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "# TYPE test_lag_seconds gauge\n") ||
+		!strings.Contains(out, "test_lag_seconds 0.25\n") {
+		t.Fatalf("prometheus exposition missing float gauge:\n%s", out)
+	}
+}
+
+func TestSnapshotOmitsEmptyFloatGauges(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("c", "").Inc()
+	b, err := json.Marshal(r.Snapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(string(b), "float_gauges") {
+		t.Fatalf("empty float gauge map must be omitted: %s", b)
+	}
 }

@@ -362,6 +362,14 @@ func splitmix64(x uint64) uint64 {
 	return x ^ (x >> 31)
 }
 
+// Do sends one raw protocol line and returns the OK payload: a single
+// attempt, no request-id minting. The cluster routing layer uses it to
+// relay commands whose retry policy it manages itself (it decides which
+// node — primary or promoted replica — each attempt targets).
+func (cl *Client) Do(line string) (string, error) {
+	return cl.roundTrip(line)
+}
+
 // Ping checks liveness.
 func (cl *Client) Ping() error {
 	_, err := cl.roundTripIdem("PING")

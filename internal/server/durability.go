@@ -81,7 +81,7 @@ func NewDurableFS(engine *core.Engine, logger *log.Logger, fs fault.FS) (*Server
 		s.logf("recovery: checkpoint lsn=%d (%d streams, %d queries)",
 			snap.LSN, len(snap.Streams), len(snap.Queries))
 	}
-	wlog, err := wal.Open(filepath.Join(cfg.DataDir, "wal"), wal.Options{Policy: policy, FS: fs})
+	wlog, err := wal.Open(filepath.Join(cfg.DataDir, "wal"), wal.Options{Policy: policy, FS: fs, SegmentBytes: cfg.WALSegmentBytes})
 	if err != nil {
 		return nil, err
 	}

@@ -33,6 +33,12 @@ type Options struct {
 	// Oldest entries are evicted first; a retry arriving after eviction
 	// re-executes, so clients should bound retry horizons accordingly.
 	DedupWindow int
+	// ReadOnly rejects state-changing commands (STREAM, QUERY, INSERT,
+	// INSERTBATCH, CLOSE, SHED <level>) so the server can serve as a
+	// replication follower: its state mutates only through ApplyReplicated.
+	// Read traffic (STATS, METRICS, EXPLAIN, ATTACH, SUBSCRIBE) still
+	// works. Flip at runtime with SetReadOnly (failover promotion).
+	ReadOnly bool
 	// Shed enables the accuracy-aware overload controller (see shed.go).
 	Shed ShedConfig
 }
@@ -74,4 +80,5 @@ func (o Options) Normalize() Options {
 // SetOptions replaces the server's robustness options. Call before Serve.
 func (s *Server) SetOptions(o Options) {
 	s.opts = o.Normalize()
+	s.readOnly.Store(o.ReadOnly)
 }

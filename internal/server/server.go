@@ -47,6 +47,13 @@ type Server struct {
 	opts  Options      // robustness limits; set before Serve
 	dedup *dedupWindow // idempotent-request window (see dedup.go)
 
+	// readOnly rejects state-changing commands (replication follower mode);
+	// atomic so failover promotion can flip it while connections are live.
+	readOnly atomic.Bool
+	// repl is a connection-less *conn lending its delivery scratch to
+	// ApplyReplicated, which runs on the single follower apply goroutine.
+	repl conn
+
 	mu       sync.Mutex
 	ln       net.Listener
 	queries  map[string]*registeredQuery
@@ -464,6 +471,12 @@ func (s *Server) dispatch(c *conn, line string) (bool, error) {
 	}
 	countCmd(verb)
 	defer timeCmd(time.Now())
+	if s.readOnly.Load() {
+		switch verb {
+		case "STREAM", "QUERY", "INSERT", "INSERTBATCH", "CLOSE":
+			return false, errReadOnlyReplica
+		}
+	}
 	switch verb {
 	case "PING":
 		return false, c.writeLine("OK pong")
@@ -819,6 +832,9 @@ func (s *Server) cmdShed(c *conn, rest string) error {
 	arg := strings.TrimSpace(rest)
 	if arg == "" {
 		return c.writeLine(fmt.Sprintf("OK shed level=%d", s.engine.DegradeLevel()))
+	}
+	if s.readOnly.Load() {
+		return errReadOnlyReplica
 	}
 	level, err := strconv.Atoi(arg)
 	if err != nil {

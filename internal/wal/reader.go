@@ -1,0 +1,196 @@
+package wal
+
+import (
+	"bufio"
+	"errors"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"repro/internal/fault"
+)
+
+// ErrTruncated reports that the record a Reader needs was removed by
+// post-checkpoint truncation; the consumer must restart from a newer
+// snapshot instead of tailing the log.
+var ErrTruncated = errors.New("wal: reader position truncated")
+
+// readerBufBytes sizes the Reader's buffered reads.
+const readerBufBytes = 64 << 10
+
+// Reader tails a log directory, delivering records in LSN order. It follows
+// the live tail across segment rotations: Next returns ok=false when it has
+// caught up (or when the next frame is only partially flushed), and a later
+// call resumes from the same position once more bytes land. The Reader
+// opens its own file handles, so it is safe to use concurrently with the
+// appending Log; a single Reader is not safe for concurrent use.
+type Reader struct {
+	fs  fault.FS
+	dir string
+
+	next uint64 // LSN the next successful Next will deliver
+
+	// Validated position: in the segment starting at segFirst, the frame at
+	// byte offset off (if fully written) carries LSN pos. pos trails next
+	// only while re-seeking after a reopen.
+	segFirst uint64
+	off      int64
+	pos      uint64
+
+	f      fault.File
+	br     *bufio.Reader
+	closed bool
+}
+
+// NewReader returns a Reader positioned at the record with LSN from
+// (0 is treated as 1) over the log directory dir. A nil fs uses the real
+// filesystem. Construction is lazy: missing or truncated positions are
+// reported by Next.
+func NewReader(dir string, fs fault.FS, from uint64) *Reader {
+	if fs == nil {
+		fs = fault.OS
+	}
+	if from == 0 {
+		from = 1
+	}
+	return &Reader{fs: fs, dir: dir, next: from}
+}
+
+// NewReader returns a tailing Reader over this log's directory, positioned
+// at the record with LSN from. See the package-level NewReader.
+func (l *Log) NewReader(from uint64) *Reader {
+	return NewReader(l.dir, l.fs, from)
+}
+
+// NextLSN returns the LSN the next successful Next call will deliver.
+func (r *Reader) NextLSN() uint64 { return r.next }
+
+// Next returns the next record in LSN order. ok=false with a nil error
+// means the reader has caught up with the live tail (including a frame
+// that is only partially flushed) — call again later. ErrTruncated means
+// the wanted record was removed by checkpoint truncation and tailing
+// cannot continue.
+func (r *Reader) Next() (rec Record, ok bool, err error) {
+	if r.closed {
+		return Record{}, false, ErrClosed
+	}
+	for {
+		if r.f == nil {
+			ready, err := r.open()
+			if err != nil || !ready {
+				return Record{}, false, err
+			}
+		}
+		rec, n, ferr := readFrame(r.br, r.pos)
+		if ferr == nil {
+			r.off += n
+			r.pos++
+			if rec.LSN >= r.next {
+				r.next = rec.LSN + 1
+				return rec, true, nil
+			}
+			continue // still seeking forward to r.next after a reopen
+		}
+		// EOF or a torn/partial frame: the bufio may have consumed part of
+		// it, so drop the handle — the saved (segFirst, off, pos) position
+		// lets the next attempt reopen cleanly — and check for a rotation.
+		r.dropFile()
+		rotated, rerr := r.rotate()
+		if rerr != nil {
+			return Record{}, false, rerr
+		}
+		if !rotated {
+			return Record{}, false, nil
+		}
+	}
+}
+
+// Close releases the reader's file handle.
+func (r *Reader) Close() error {
+	r.dropFile()
+	r.closed = true
+	return nil
+}
+
+func (r *Reader) dropFile() {
+	if r.f != nil {
+		r.f.Close()
+		r.f = nil
+		r.br = nil
+	}
+}
+
+// open (re)opens the segment for the current position. It returns
+// ready=false when there is nothing to read yet, and ErrTruncated when the
+// position has been truncated away.
+func (r *Reader) open() (ready bool, err error) {
+	// Fast path: resume exactly where the last attempt left off.
+	if r.segFirst != 0 {
+		f, err := r.fs.Open(segPath(r.dir, r.segFirst))
+		if err == nil {
+			if _, serr := f.Seek(r.off, io.SeekStart); serr != nil {
+				f.Close()
+				return false, serr
+			}
+			r.f = f
+			r.br = bufio.NewReaderSize(f, readerBufBytes)
+			return true, nil
+		}
+		if !os.IsNotExist(err) {
+			return false, err
+		}
+		// Segment vanished (truncation): fall through and re-derive.
+		r.segFirst, r.off, r.pos = 0, 0, 0
+	}
+	segs, err := listSegments(r.fs, r.dir)
+	if err != nil {
+		return false, err
+	}
+	if len(segs) == 0 {
+		return false, nil
+	}
+	if r.next < segs[0].first {
+		return false, ErrTruncated
+	}
+	// The segment that holds (or will hold) r.next is the last one whose
+	// first LSN is ≤ r.next.
+	i := sort.Search(len(segs), func(i int) bool { return segs[i].first > r.next }) - 1
+	f, err := r.fs.Open(segs[i].path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return false, nil // raced a truncation; retry later
+		}
+		return false, err
+	}
+	r.f = f
+	r.br = bufio.NewReaderSize(f, readerBufBytes)
+	r.segFirst = segs[i].first
+	r.off = 0
+	r.pos = segs[i].first
+	return true, nil
+}
+
+// rotate switches to the successor segment when the current one has been
+// sealed (a segment starting at exactly the next position exists).
+func (r *Reader) rotate() (bool, error) {
+	if r.pos == 0 {
+		return false, nil
+	}
+	segs, err := listSegments(r.fs, r.dir)
+	if err != nil {
+		return false, err
+	}
+	for _, seg := range segs {
+		if seg.first == r.pos && seg.first != r.segFirst {
+			r.segFirst = r.pos
+			r.off = 0
+			return true, nil
+		}
+	}
+	return false, nil
+}
+
+func segPath(dir string, first uint64) string {
+	return filepath.Join(dir, segName(first))
+}

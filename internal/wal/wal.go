@@ -246,6 +246,11 @@ type Log struct {
 	wedged    error // first append-path write/sync failure; nil = healthy
 	truncated int64 // torn-tail bytes dropped at Open
 
+	// pins holds the lowest LSN each registered Pin still needs;
+	// TruncateThrough never removes a segment holding a pinned record.
+	pins   map[int]uint64
+	pinSeq int
+
 	// syncMu serializes group-commit leaders; synced is the highest LSN
 	// known to be on stable storage (monotonic, readable without locks).
 	syncMu sync.Mutex
@@ -662,15 +667,94 @@ func (l *Log) Replay(from uint64, fn func(Record) error) error {
 	return nil
 }
 
+// Pin protects the log suffix starting at from against TruncateThrough:
+// while any pin at p is held, segments holding records with LSN ≥ p stay
+// on disk. The replication handshake pins the suffix it is about to ship
+// so a concurrent checkpoint cannot open a gap between the snapshot it
+// handed out and the WAL records that follow it; the shipping loop then
+// advances the pin as records go out so retention stays bounded.
+type Pin struct {
+	l  *Log
+	id int
+}
+
+// Pin registers a truncation pin at from and returns it. Release it when
+// the protected suffix is no longer needed.
+func (l *Log) Pin(from uint64) *Pin {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.pins == nil {
+		l.pins = make(map[int]uint64)
+	}
+	l.pinSeq++
+	p := &Pin{l: l, id: l.pinSeq}
+	l.pins[p.id] = from
+	return p
+}
+
+// Advance raises the pin point monotonically (lower values are ignored).
+func (p *Pin) Advance(from uint64) {
+	p.l.mu.Lock()
+	if cur, ok := p.l.pins[p.id]; ok && from > cur {
+		p.l.pins[p.id] = from
+	}
+	p.l.mu.Unlock()
+}
+
+// Release drops the pin. Safe to call more than once.
+func (p *Pin) Release() {
+	p.l.mu.Lock()
+	delete(p.l.pins, p.id)
+	p.l.mu.Unlock()
+}
+
+// pinnedFloorLocked clamps a truncation target so every pinned record
+// survives. Caller holds l.mu.
+func (l *Log) pinnedFloorLocked(lsn uint64) uint64 {
+	for _, from := range l.pins {
+		if from == 0 {
+			return 0
+		}
+		if from-1 < lsn {
+			lsn = from - 1
+		}
+	}
+	return lsn
+}
+
+// OldestLSN returns the LSN of the first record still on disk (the first
+// segment's first record). With no truncation that is 1 even while the log
+// is empty: the initial segment is named for the record it will receive.
+func (l *Log) OldestLSN() (uint64, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return 0, ErrClosed
+	}
+	segs, err := listSegments(l.fs, l.dir)
+	if err != nil {
+		return 0, err
+	}
+	if len(segs) == 0 {
+		return l.segFirst, nil
+	}
+	return segs[0].first, nil
+}
+
+// Policy reports the fsync policy the log was opened with.
+func (l *Log) Policy() FsyncPolicy { return l.opts.Policy }
+
 // TruncateThrough removes segments whose records all have LSN ≤ lsn. The
-// current segment is never removed. Call after a checkpoint at lsn: the
-// remaining suffix is exactly what recovery must replay.
+// current segment is never removed, and segments protected by a Pin are
+// kept. Call after a checkpoint at lsn: the remaining suffix is exactly
+// what recovery must replay.
 func (l *Log) TruncateThrough(lsn uint64) error {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	if l.closed {
 		return ErrClosed
 	}
+	lsn = l.pinnedFloorLocked(lsn)
 	segs, err := listSegments(l.fs, l.dir)
 	if err != nil {
 		return err
