@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: tier1 build test vet race bench bench2 bench3 bench4 bench5 bench6 bench7 chaos fuzz clean
+.PHONY: tier1 build test vet race bench bench2 bench3 bench4 bench5 bench6 bench7 bench8 chaos fuzz sketch-conformance clean
 
 # tier1 is the gate every change must pass: vet, build, and the full test
 # suite under the race detector.
@@ -103,6 +103,28 @@ bench7:
 		-notes "Replication read fan-out + stream-sharded routed ingest. ReadFanout: 8 concurrent connections doing STATS round-trips against a durable primary vs round-robined across two caught-up in-memory replicas - measured on this host: primary 10455 ns/op vs replicas 9820 ns/op (6% faster), i.e. a replica serves engine reads at parity with the primary (replication adds no read-path overhead), which is the per-node basis for linear read scaling: each added replica contributes one full node of read capacity. RoutedIngest: 4-row INSERTBATCH frames against 1 primary (all writers on one stream/lock) vs 4 rendezvous-sharded primaries (one stream each) - 14187 ns/op vs 16130 ns/op, parity within run-to-run noise. This container exposes a single CPU (GOMAXPROCS=1) and all nodes are processes on the same host, so cross-node parallelism cannot show as wall-clock speedup here; the benchmark pins per-op parity of the replicated/sharded paths, and cross-node correctness (byte-identical DATA at workers 1 vs 8 under chaos, exactly-once routed retries across failover) is asserted by internal/cluster tests instead."
 	rm -f bench.out
 
+# bench8 measures the sketch accuracy backend against the exact backends
+# through the engine push path: steady-state per-tuple cost on a full,
+# emitting window at 1k/100k/1M rows, and the live heap a 1M-tuple window
+# pins (retained_bytes/op). Records the run in BENCH_8.json.
+bench8:
+	$(GO) test -run '^$$' -bench 'BenchmarkSketchPushSteady|BenchmarkExactPushSteady|BenchmarkBootstrapPushSteady' \
+		-benchmem -count 1 ./internal/core/ | tee bench.out
+	$(GO) test -run '^$$' -bench 'BenchmarkWindowAbsorb1M' \
+		-benchmem -benchtime 2x -count 1 ./internal/core/ | tee -a bench.out
+	$(GO) run ./cmd/benchjson -in bench.out -out BENCH_8.json \
+		-notes "Sketch accuracy backend (BACKEND SKETCH) vs exact backends through the engine push path. PushSteady is the per-tuple cost on a full, emitting window - measured on this host: the exact closed-form backend rescans O(window) per emission (11939 ns/op at window 1000, 548383 at 100k; bootstrap 27107 at 1000 with the default resample budget), while the sketch backend merges 16 block summaries only on block-seal pushes, so per-tuple cost falls as blocks grow (4757 ns/op at 1000, 767 at 100k, 653 at 1M - a window size the exact backends cannot serve at streaming rates). WindowAbsorb1M ingests 1M tuples from cold: retained_bytes/op (printed in the bench output; the parser keeps ns/op and B/op) is the live heap pinned by the full window after GC - exact columnar 82.1 MB (every row materialized, already past the 64 MiB budget), sketch 0.92 MB (16 Welford/Chan block moment summaries + one K=256 deterministic quantile sketch), an 89x reduction; B/op is dominated by per-tuple construction in both backends. The accuracy side of the trade is pinned by conformance tests rather than benchmarked: sketch mean/variance interval coverage at 90/95/99% matches nominal within binomial 3-sigma over 4000 trials (the moment sketch tracks the exact sample moments), quantile intervals stay conservative under the deterministic rank-error widening, and shard-merged sketches calibrate identically (internal/accuracy/calibration_sketch_test.go, internal/sketch). This container exposes a single CPU (GOMAXPROCS=1); worker-count independence of sketch emission is asserted by tests instead (internal/core/sketch_backend_test.go, internal/server/sketch_crash_test.go, internal/cluster/sketch_replica_test.go)."
+	rm -f bench.out
+
+# sketch-conformance runs the statistical conformance suites for the sketch
+# backend under the race detector: interval-coverage calibration, merge
+# property tests, quantile edge cases, and the end-to-end backend tests.
+sketch-conformance:
+	$(GO) test -race -count 1 ./internal/sketch/
+	$(GO) test -race -count 1 -run 'TestSketch|TestQuantile' ./internal/accuracy/
+	$(GO) test -race -count 1 -run 'Sketch' ./internal/core/ ./internal/checkpoint/ ./internal/cluster/
+	$(GO) test -race -count 1 -run 'TestSketchCrash|TestGoldenSketch|TestParseBackend' ./internal/server/ ./internal/sql/
+
 # chaos replays the seeded deterministic fault schedules (injected fsync
 # failures, ENOSPC, torn writes, torn connections, panics) against the full
 # server under the race detector.
@@ -122,6 +144,8 @@ fuzz:
 	$(GO) test -run '^$$' -fuzz '^FuzzParseFieldSpec$$' -fuzztime $(FUZZTIME) ./internal/server/
 	$(GO) test -run '^$$' -fuzz '^FuzzParseStreamDef$$' -fuzztime $(FUZZTIME) ./internal/server/
 	$(GO) test -run '^$$' -fuzz '^FuzzProtocolDispatch$$' -fuzztime $(FUZZTIME) ./internal/server/
+	$(GO) test -run '^$$' -fuzz '^FuzzSketchRoundTrip$$' -fuzztime $(FUZZTIME) ./internal/sketch/
+	$(GO) test -run '^$$' -fuzz '^FuzzSketchMerge$$' -fuzztime $(FUZZTIME) ./internal/sketch/
 
 clean:
 	rm -f bench.out

@@ -316,8 +316,12 @@ type Info struct {
 	// Bins holds the Lemma 1 intervals when the distribution is a
 	// histogram; nil otherwise.
 	Bins []BinInterval
-	// Method records how the info was obtained ("analytical" or
-	// "bootstrap").
+	// WindowMedian is a distribution-free interval for the median of the
+	// window's per-tuple means, populated only by backends that track order
+	// statistics (the sketch backend); nil otherwise.
+	WindowMedian *Interval
+	// Method records how the info was obtained ("analytical", "bootstrap",
+	// or "sketch").
 	Method string
 }
 

@@ -33,33 +33,9 @@ func QuantileInterval(obs []float64, p, c float64) (Interval, error) {
 	}
 	sorted := append([]float64(nil), obs...)
 	sort.Float64s(sorted)
-	// Choose l as the largest index with P(K < l) ≤ (1−c)/2 and u as the
-	// smallest index with P(K ≥ u) ≤ (1−c)/2, K ~ Binomial(n, p) counting
-	// observations below the true quantile.
-	alpha := (1 - c) / 2
-	l := 0
-	for k := 1; k <= n; k++ {
-		cdf, err := binomialCDF(k-1, n, p)
-		if err != nil {
-			return Interval{}, err
-		}
-		if cdf <= alpha {
-			l = k
-		} else {
-			break
-		}
-	}
-	u := n + 1
-	for k := n; k >= 1; k-- {
-		cdf, err := binomialCDF(k-1, n, p)
-		if err != nil {
-			return Interval{}, err
-		}
-		if 1-cdf <= alpha {
-			u = k
-		} else {
-			break
-		}
+	l, u, achieved, err := QuantileRanks(n, p, c)
+	if err != nil {
+		return Interval{}, err
 	}
 	// Convert order-statistic ranks (1-based) to slice indices, clamping
 	// to the sample range when the requested coverage cannot be met in a
@@ -78,28 +54,109 @@ func QuantileInterval(obs []float64, p, c float64) (Interval, error) {
 	if hiIdx < loIdx {
 		hiIdx = loIdx
 	}
+	return Interval{Lo: sorted[loIdx], Hi: sorted[hiIdx], Level: achieved}, nil
+}
+
+// quantileRanksExactMax bounds the n for which QuantileRanks evaluates the
+// exact binomial CDF; above it the normal approximation (with continuity
+// correction and a one-rank conservative margin per side) is used — at
+// n > 4096 the binomial σ is large enough that the approximation's rank
+// error is far below one, and the exact incomplete-beta evaluation becomes
+// the cost center for million-row sketch windows.
+const quantileRanksExactMax = 4096
+
+// QuantileRanks chooses the order-statistic ranks (l, u) of the classic
+// distribution-free quantile interval: the largest l with P(K < l) ≤ (1−c)/2
+// and the smallest u with P(K ≥ u) ≤ (1−c)/2, K ~ Binomial(n, p) counting
+// observations below the true p-quantile, so that [x₍l₎, x₍u₎] covers the
+// quantile with probability ≥ c. l = 0 or u = n+1 mark a tail where the
+// requested coverage cannot be met. The achieved confidence P(l ≤ K < u) is
+// returned alongside; it is the value QuantileInterval reports as the
+// interval's Level. Exposed so sketch-backed quantile intervals can reuse
+// exactly this rank rule and then widen the ranks by their sketch's rank
+// error bound.
+func QuantileRanks(n int, p, c float64) (l, u int, achieved float64, err error) {
+	if n < 2 {
+		return 0, 0, 0, fmt.Errorf("%w: quantile ranks need n ≥ 2, have %d", ErrSampleSize, n)
+	}
+	if p <= 0 || p >= 1 || math.IsNaN(p) {
+		return 0, 0, 0, fmt.Errorf("accuracy: quantile p=%v outside (0,1)", p)
+	}
+	if err := stat.CheckLevel(c); err != nil {
+		return 0, 0, 0, fmt.Errorf("accuracy: confidence level %v: %w", c, err)
+	}
+	alpha := (1 - c) / 2
+	if n > quantileRanksExactMax {
+		// Normal approximation: P(K ≤ m) ≈ Φ((m + ½ − np)/σ).
+		z := stat.ZUpper(alpha)
+		mean := float64(n) * p
+		sd := math.Sqrt(float64(n) * p * (1 - p))
+		l = int(math.Floor(mean-0.5-z*sd)) + 1 - 1 // one-rank margin
+		u = int(math.Ceil(mean-0.5+z*sd)) + 1 + 1  // one-rank margin
+		if l < 0 {
+			l = 0
+		}
+		if u > n+1 {
+			u = n + 1
+		}
+		return l, u, c, nil
+	}
+	// Exact path: binomialCDF(k−1, n, p) is strictly increasing in k, so
+	// both boundary ranks are found by binary search — identical results to
+	// a linear scan, O(log n) CDF evaluations.
+	cdfAt := func(k int) (float64, error) { return binomialCDF(k-1, n, p) }
+	// l = max{k ∈ [1, n] : cdf(k−1) ≤ alpha}, or 0 when none qualifies.
+	lo, hi := 0, n
+	for lo < hi {
+		mid := (lo + hi + 1) / 2
+		v, cerr := cdfAt(mid)
+		if cerr != nil {
+			return 0, 0, 0, cerr
+		}
+		if v <= alpha {
+			lo = mid
+		} else {
+			hi = mid - 1
+		}
+	}
+	l = lo
+	// u = min{k ∈ [1, n] : 1 − cdf(k−1) ≤ alpha}, or n+1 when none.
+	lo, hi = 1, n+1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		v, cerr := cdfAt(mid)
+		if cerr != nil {
+			return 0, 0, 0, cerr
+		}
+		if 1-v <= alpha {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	u = lo
 	// Achieved confidence: P(l ≤ K < u).
 	lowCDF := 0.0
 	if l >= 1 {
-		v, err := binomialCDF(l-1, n, p)
-		if err != nil {
-			return Interval{}, err
+		v, cerr := cdfAt(l)
+		if cerr != nil {
+			return 0, 0, 0, cerr
 		}
 		lowCDF = v
 	}
 	highCDF := 1.0
 	if u <= n {
-		v, err := binomialCDF(u-1, n, p)
-		if err != nil {
-			return Interval{}, err
+		v, cerr := cdfAt(u)
+		if cerr != nil {
+			return 0, 0, 0, cerr
 		}
 		highCDF = v
 	}
-	achieved := highCDF - lowCDF
+	achieved = highCDF - lowCDF
 	if achieved > 1 {
 		achieved = 1
 	}
-	return Interval{Lo: sorted[loIdx], Hi: sorted[hiIdx], Level: achieved}, nil
+	return l, u, achieved, nil
 }
 
 // MedianInterval is QuantileInterval at p = 0.5.

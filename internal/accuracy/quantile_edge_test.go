@@ -1,0 +1,187 @@
+package accuracy
+
+import (
+	"errors"
+	"math"
+	"testing"
+)
+
+// Edge-case pinning for the distribution-free quantile machinery: degenerate
+// sample sizes, degenerate data, extreme quantiles, and the exact-vs-normal
+// rank paths that back the sketch windows.
+
+func TestQuantileIntervalDegenerateN(t *testing.T) {
+	for _, obs := range [][]float64{nil, {}, {42}} {
+		_, err := QuantileInterval(obs, 0.5, 0.9)
+		if err == nil {
+			t.Fatalf("n=%d: want error", len(obs))
+		}
+		if !errors.Is(err, ErrSampleSize) {
+			t.Errorf("n=%d: error %v is not ErrSampleSize", len(obs), err)
+		}
+	}
+	for _, n := range []int{-1, 0, 1} {
+		if _, _, _, err := QuantileRanks(n, 0.5, 0.9); !errors.Is(err, ErrSampleSize) {
+			t.Errorf("QuantileRanks(n=%d): error %v is not ErrSampleSize", n, err)
+		}
+	}
+}
+
+// TestQuantileIntervalAllEqual: constant data collapses every quantile
+// interval to the single observed point — width zero, still a valid interval
+// that trivially covers.
+func TestQuantileIntervalAllEqual(t *testing.T) {
+	for _, n := range []int{2, 5, 100} {
+		obs := make([]float64, n)
+		for i := range obs {
+			obs[i] = 7.25
+		}
+		for _, p := range []float64{0.05, 0.5, 0.95} {
+			iv, err := QuantileInterval(obs, p, 0.95)
+			if err != nil {
+				t.Fatalf("n=%d p=%g: %v", n, p, err)
+			}
+			if iv.Lo != 7.25 || iv.Hi != 7.25 {
+				t.Errorf("n=%d p=%g: interval %v, want the degenerate point 7.25", n, p, iv)
+			}
+			if !iv.Contains(7.25) || iv.Length() != 0 {
+				t.Errorf("n=%d p=%g: degenerate interval misbehaves: %v", n, p, iv)
+			}
+		}
+	}
+}
+
+// TestQuantileExtremeP: p = 0 and p = 1 are not population quantiles an
+// order-statistic interval can bound (the binomial degenerates), so both are
+// rejected — callers wanting extremes use the exact sample min/max.
+func TestQuantileExtremeP(t *testing.T) {
+	obs := []float64{1, 2, 3, 4, 5}
+	for _, p := range []float64{0, 1, -0.01, 1.01} {
+		if _, err := QuantileInterval(obs, p, 0.9); err == nil {
+			t.Errorf("p=%v: want error", p)
+		}
+		if _, _, _, err := QuantileRanks(5, p, 0.9); err == nil {
+			t.Errorf("QuantileRanks p=%v: want error", p)
+		}
+	}
+}
+
+// TestQuantileRanksExactContract: on the exact path, the chosen ranks are the
+// tightest with tail mass ≤ (1−c)/2 per side, the achieved confidence is
+// P(l ≤ K < u) ≥ c whenever neither side is clamped, and l/u are ordered.
+func TestQuantileRanksExactContract(t *testing.T) {
+	for _, tc := range []struct {
+		n int
+		p float64
+		c float64
+	}{
+		{2, 0.5, 0.9}, {10, 0.5, 0.95}, {100, 0.5, 0.99},
+		{100, 0.9, 0.95}, {4096, 0.05, 0.9}, {1000, 0.5, 0.95},
+	} {
+		l, u, achieved, err := QuantileRanks(tc.n, tc.p, tc.c)
+		if err != nil {
+			t.Fatalf("QuantileRanks(%d, %g, %g): %v", tc.n, tc.p, tc.c, err)
+		}
+		if l < 0 || u > tc.n+1 || l >= u {
+			t.Fatalf("QuantileRanks(%d, %g, %g) = (%d, %d): malformed ranks", tc.n, tc.p, tc.c, l, u)
+		}
+		alpha := (1 - tc.c) / 2
+		cdf := func(k int) float64 {
+			v, err := binomialCDF(k, tc.n, tc.p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return v
+		}
+		if l >= 1 && cdf(l-1) > alpha {
+			t.Errorf("n=%d p=%g c=%g: P(K < l=%d) = %g exceeds α=%g", tc.n, tc.p, tc.c, l, cdf(l-1), alpha)
+		}
+		if l+1 <= tc.n && cdf(l) <= alpha {
+			t.Errorf("n=%d p=%g c=%g: l=%d is not maximal", tc.n, tc.p, tc.c, l)
+		}
+		if u <= tc.n && 1-cdf(u-1) > alpha {
+			t.Errorf("n=%d p=%g c=%g: P(K ≥ u=%d) = %g exceeds α=%g", tc.n, tc.p, tc.c, u, 1-cdf(u-1), alpha)
+		}
+		if u-1 >= 1 && 1-cdf(u-2) <= alpha {
+			t.Errorf("n=%d p=%g c=%g: u=%d is not minimal", tc.n, tc.p, tc.c, u)
+		}
+		if l >= 1 && u <= tc.n {
+			if achieved < tc.c {
+				t.Errorf("n=%d p=%g c=%g: achieved %g below requested", tc.n, tc.p, tc.c, achieved)
+			}
+			if want := cdf(u-1) - cdf(l-1); math.Abs(achieved-want) > 1e-9 {
+				t.Errorf("n=%d p=%g c=%g: achieved %g, want P(l ≤ K < u) = %g", tc.n, tc.p, tc.c, achieved, want)
+			}
+		}
+	}
+}
+
+// TestQuantileRanksApproxCoverage: above the exact-path cutoff the normal
+// approximation takes over; its ranks, checked against the exact binomial
+// CDF, must still deliver at least the requested coverage — the continuity
+// correction plus one-rank margin keep it conservative.
+func TestQuantileRanksApproxCoverage(t *testing.T) {
+	for _, tc := range []struct {
+		n int
+		p float64
+	}{
+		{4097, 0.5}, {10000, 0.5}, {10000, 0.05}, {100000, 0.9}, {1000000, 0.5},
+	} {
+		for _, c := range []float64{0.90, 0.95, 0.99} {
+			l, u, achieved, err := QuantileRanks(tc.n, tc.p, c)
+			if err != nil {
+				t.Fatalf("QuantileRanks(%d, %g, %g): %v", tc.n, tc.p, c, err)
+			}
+			if achieved != c {
+				t.Errorf("approx path must report the nominal level, got %g", achieved)
+			}
+			cov := 1.0
+			if l >= 1 {
+				v, err := binomialCDF(l-1, tc.n, tc.p)
+				if err != nil {
+					t.Fatal(err)
+				}
+				cov -= v
+			}
+			if u <= tc.n {
+				v, err := binomialCDF(u-1, tc.n, tc.p)
+				if err != nil {
+					t.Fatal(err)
+				}
+				cov -= 1 - v
+			}
+			if cov < c {
+				t.Errorf("n=%d p=%g c=%g: approx ranks (%d, %d) cover only %g", tc.n, tc.p, c, l, u, cov)
+			}
+			// Conservative, but not absurdly so: the rank width must stay
+			// within a few σ of the exact construction's.
+			sd := math.Sqrt(float64(tc.n) * tc.p * (1 - tc.p))
+			if width := float64(u - l); width > 2*3.5*sd+4 {
+				t.Errorf("n=%d p=%g c=%g: rank width %g too loose (σ=%g)", tc.n, tc.p, c, width, sd)
+			}
+		}
+	}
+}
+
+// TestQuantileRanksPathsAgree: just below and above the cutoff the two paths
+// must pick nearly identical ranks (the approximation drifts by at most a
+// couple of ranks, on top of its deliberate one-rank margins).
+func TestQuantileRanksPathsAgree(t *testing.T) {
+	const below, above = quantileRanksExactMax, quantileRanksExactMax + 1
+	for _, p := range []float64{0.25, 0.5, 0.9} {
+		le, ue, _, err := QuantileRanks(below, p, 0.95)
+		if err != nil {
+			t.Fatal(err)
+		}
+		la, ua, _, err := QuantileRanks(above, p, 0.95)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d := math.Abs(float64(la - le)); d > 4 {
+			t.Errorf("p=%g: lower rank jumps %g across the path cutoff (%d vs %d)", p, d, le, la)
+		}
+		if d := math.Abs(float64(ua - ue)); d > 4 {
+			t.Errorf("p=%g: upper rank jumps %g across the path cutoff (%d vs %d)", p, d, ue, ua)
+		}
+	}
+}

@@ -42,6 +42,7 @@ import (
 	"repro/internal/fault"
 	"repro/internal/metrics"
 	"repro/internal/randvar"
+	"repro/internal/sketch"
 	"repro/internal/stream"
 )
 
@@ -140,6 +141,10 @@ type QueryState struct {
 	Groups    []groupState    `json:"groups,omitempty"`
 	JoinLeft  *windowState    `json:"join_left,omitempty"`
 	JoinRight *windowState    `json:"join_right,omitempty"`
+	// Sketch is the sketch-backend window, serialized directly: its state
+	// is plain floats and integers (JSON float64 round-trips are exact), so
+	// no codec translation layer is needed.
+	Sketch *sketch.Window `json:"sketch,omitempty"`
 }
 
 // Snapshot is a complete engine checkpoint.
@@ -189,11 +194,12 @@ func Capture(eng *core.Engine, lsn uint64, defs []QueryDef) (*Snapshot, error) {
 	for _, def := range defs {
 		st := def.Query.State()
 		qs := QueryState{
-			ID:    def.ID,
-			SQL:   def.SQL,
-			Eval:  st.Eval,
-			Boot:  st.Boot,
-			Stats: st.Stats,
+			ID:     def.ID,
+			SQL:    def.SQL,
+			Eval:   st.Eval,
+			Boot:   st.Boot,
+			Stats:  st.Stats,
+			Sketch: st.Sketch,
 		}
 		var err error
 		if qs.Window, err = encodeWindow(st.Window); err != nil {
@@ -417,7 +423,7 @@ func Restore(eng *core.Engine, snap *Snapshot) ([]RestoredQuery, error) {
 		if err != nil {
 			return nil, fmt.Errorf("checkpoint: recompiling query %s: %w", qs.ID, err)
 		}
-		st := &core.QueryState{Eval: qs.Eval, Boot: qs.Boot, Stats: qs.Stats}
+		st := &core.QueryState{Eval: qs.Eval, Boot: qs.Boot, Stats: qs.Stats, Sketch: qs.Sketch}
 		if st.Window, err = decodeWindow(qs.Window); err != nil {
 			return nil, fmt.Errorf("checkpoint: query %s: %w", qs.ID, err)
 		}

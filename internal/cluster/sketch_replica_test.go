@@ -1,0 +1,64 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+)
+
+// TestSketchReplicaDataByteIdentical: a BACKEND SKETCH query replicates
+// through the WAL as ordinary records — followers rebuild the sketch window
+// (block ring, moment sums, quantile compaction state) from the shipped
+// stream and must emit DATA frames byte-identical to the primary's, at any
+// worker count on either side. STATS/EXPLAIN/METRICS for the sketch query
+// must also render identically, including the sketch-specific EXPLAIN lines.
+func TestSketchReplicaDataByteIdentical(t *testing.T) {
+	for _, workers := range []int{1, 8} {
+		t.Run(fmt.Sprintf("workers=%d", workers), func(t *testing.T) {
+			p := startPrimary(t, workers, 1<<20, 0)
+			f1 := startFollower(t, 1, p.shipAddr)
+			f8 := startFollower(t, 8, p.shipAddr)
+
+			pc := dialRaw(t, p.addr)
+			pc.mustOK("STREAM readings sensor temp:dist")
+			pc.mustOK("QUERY qs SELECT COUNT(temp) AS c, AVG(temp) AS a, SUM(temp) AS s " +
+				"FROM readings WINDOW 4 ROWS BACKEND SKETCH")
+			waitCaughtUp(t, p, f1)
+			waitCaughtUp(t, p, f8)
+			fc1 := dialRaw(t, f1.addr)
+			fc8 := dialRaw(t, f8.addr)
+			fc1.mustOK("ATTACH qs")
+			fc8.mustOK("ATTACH qs")
+
+			// Mix of single inserts, a probabilistic tuple, and a batch: the
+			// sketch window crosses several block seals and evictions.
+			var primaryData []string
+			for i := 0; i < 16; i++ {
+				rep := pc.mustOK(fmt.Sprintf("INSERT readings %d N(%d,9,%d)", i+1, 40+3*i, 20+i))
+				primaryData = append(primaryData, rep[:len(rep)-1]...)
+			}
+			rep := pc.mustOK("INSERTBATCH readings 100 N(75,16,9) | 101 S(55;52;58;61) | 102 N(66,9,12)")
+			primaryData = append(primaryData, rep[:len(rep)-1]...)
+			if len(primaryData) == 0 {
+				t.Fatal("primary emitted no DATA frames for the sketch query")
+			}
+
+			waitCaughtUp(t, p, f1)
+			waitCaughtUp(t, p, f8)
+			got1 := collectData(t, fc1, len(primaryData))
+			got8 := collectData(t, fc8, len(primaryData))
+			for i := range primaryData {
+				if got1[i] != primaryData[i] {
+					t.Fatalf("workers=1 follower frame %d diverged:\nprimary:  %s\nfollower: %s", i, primaryData[i], got1[i])
+				}
+				if got8[i] != primaryData[i] {
+					t.Fatalf("workers=8 follower frame %d diverged:\nprimary:  %s\nfollower: %s", i, primaryData[i], got8[i])
+				}
+			}
+
+			pr := dialRaw(t, p.addr)
+			compareReplies(t, pr, fc1, "STATS qs", "EXPLAIN qs", "METRICS qs")
+			pr2 := dialRaw(t, p.addr)
+			compareReplies(t, pr2, fc8, "STATS qs", "EXPLAIN qs", "METRICS qs")
+		})
+	}
+}

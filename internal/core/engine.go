@@ -27,6 +27,7 @@ import (
 	"repro/internal/dist"
 	"repro/internal/learn"
 	"repro/internal/randvar"
+	"repro/internal/sketch"
 	"repro/internal/stream"
 )
 
@@ -42,6 +43,13 @@ const (
 	AccuracyAnalytical
 	// AccuracyBootstrap uses algorithm BOOTSTRAP-ACCURACY-INFO.
 	AccuracyBootstrap
+	// AccuracySketch replaces the materialized window with bounded-memory
+	// mergeable sketches (package sketch): O(polylog) memory per window,
+	// block-granular slide, and honest — wider, but calibrated — intervals
+	// derived from the sketch error bounds. Only ungrouped count-windowed
+	// aggregates support it; it is usually selected per query via the SQL
+	// BACKEND SKETCH clause rather than engine-wide.
+	AccuracySketch
 )
 
 func (m AccuracyMethod) String() string {
@@ -52,6 +60,8 @@ func (m AccuracyMethod) String() string {
 		return "analytical"
 	case AccuracyBootstrap:
 		return "bootstrap"
+	case AccuracySketch:
+		return "sketch"
 	}
 	return fmt.Sprintf("AccuracyMethod(%d)", int(m))
 }
@@ -115,6 +125,14 @@ type Config struct {
 	// use tiny segments to force the snapshot path. Only meaningful with
 	// DataDir set.
 	WALSegmentBytes int64
+	// SketchBlocks is the block count of sketch-backend windows (default
+	// sketch.DefaultBlocks): the window slides and emits at block
+	// granularity, over-covering by at most one block of rows.
+	SketchBlocks int
+	// SketchK is the per-level quantile-sketch capacity of sketch-backend
+	// windows (default sketch.DefaultQuantileK); larger K tightens the
+	// deterministic rank error bound at proportional memory cost.
+	SketchK int
 }
 
 // Normalize fills defaults and validates ranges.
@@ -168,6 +186,18 @@ func (c Config) Normalize() (Config, error) {
 	}
 	if c.CheckpointEvery < 1 {
 		return c, fmt.Errorf("core: CheckpointEvery %d, need ≥ 1", c.CheckpointEvery)
+	}
+	if c.SketchBlocks == 0 {
+		c.SketchBlocks = sketch.DefaultBlocks
+	}
+	if c.SketchBlocks < 1 {
+		return c, fmt.Errorf("core: SketchBlocks %d, need ≥ 1", c.SketchBlocks)
+	}
+	if c.SketchK == 0 {
+		c.SketchK = sketch.DefaultQuantileK
+	}
+	if c.SketchK < 8 {
+		return c, fmt.Errorf("core: SketchK %d, need ≥ 8", c.SketchK)
 	}
 	return c, nil
 }

@@ -30,6 +30,9 @@ func (q *Query) Explain() string {
 	case modeAggregate:
 		var windowDesc string
 		switch {
+		case q.sketchWin != nil:
+			windowDesc = fmt.Sprintf("sketch count window of %d rows (%d blocks of %d rows, quantile K=%d; block-granular slide, one emission per sealed block)",
+				q.sketchWin.W, q.sketchWin.B, q.sketchWin.BlockRows, q.sketchWin.K)
 		case q.stmt.Window.Seconds > 0:
 			windowDesc = fmt.Sprintf("time window of %d seconds", q.stmt.Window.Seconds)
 		default:
@@ -43,7 +46,12 @@ func (q *Query) Explain() string {
 		}
 		for _, a := range q.aggs {
 			fmt.Fprintf(&b, "    %s(%s) AS %s", a.kind, q.in.Columns[a.colIdx].Name, a.label)
-			if a.kind == stream.Avg || a.kind == stream.Sum {
+			switch {
+			case q.sketchWin != nil && (a.kind == stream.Avg || a.kind == stream.Sum):
+				b.WriteString("  [Gaussian closed form from merged moment sketches]")
+			case q.sketchWin != nil && (a.kind == stream.Min || a.kind == stream.Max):
+				b.WriteString("  [exact extreme of per-tuple means]")
+			case a.kind == stream.Avg || a.kind == stream.Sum:
 				b.WriteString("  [Gaussian closed form when inputs allow]")
 			}
 			b.WriteByte('\n')
@@ -62,12 +70,15 @@ func (q *Query) Explain() string {
 			fmt.Fprintf(&b, "    %s = %s  [%s]\n", s.label, s.expr.label, path)
 		}
 	}
-	fmt.Fprintf(&b, "  accuracy: %s", q.eng.cfg.Method)
-	if q.eng.cfg.Method != AccuracyNone {
+	fmt.Fprintf(&b, "  accuracy: %s", q.method)
+	if q.method != AccuracyNone {
 		fmt.Fprintf(&b, " at %g%% confidence", q.eng.cfg.Level*100)
-		if q.eng.cfg.Method == AccuracyBootstrap {
+		if q.method == AccuracyBootstrap {
 			fmt.Fprintf(&b, " (value sequences when Monte Carlo ran, else %d d.f. resamples; up to %d workers, deterministic)",
 				q.eng.cfg.BootstrapResamples, q.eng.cfg.Workers)
+		}
+		if q.method == AccuracySketch {
+			b.WriteString(" (mergeable bounded-memory summaries; median ranks widened by the deterministic sketch rank-error bound, mean intervals by membership uncertainty)")
 		}
 	}
 	b.WriteByte('\n')

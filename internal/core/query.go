@@ -11,6 +11,7 @@ import (
 	"repro/internal/bootstrap"
 	"repro/internal/dist"
 	"repro/internal/randvar"
+	"repro/internal/sketch"
 	"repro/internal/sql"
 	"repro/internal/stream"
 )
@@ -141,6 +142,10 @@ type Query struct {
 	ev    *randvar.Evaluator
 	rng   *dist.Rand // bootstrap accuracy sampling
 
+	// method is the accuracy backend this query runs with: the engine
+	// default, or the statement's BACKEND override.
+	method AccuracyMethod
+
 	mode    queryMode
 	scalars []scalarItem
 	aggs    []aggItem
@@ -163,6 +168,12 @@ type Query struct {
 	timeWindow *stream.TimeWindow
 	groupIdx   int // index of the GROUP BY column, -1 when absent
 	groups     map[float64]*groupState
+
+	// sketchWin replaces the materialized window under the sketch backend:
+	// bounded memory, block-granular slide, one tracked column per
+	// aggregate item (q.aggs order). sketchObs is per-push scratch.
+	sketchWin *sketch.Window
+	sketchObs []sketch.Obs
 
 	join *joinState
 
@@ -190,6 +201,18 @@ func (e *Engine) CompileStmt(stmt *sql.SelectStmt) (*Query, error) {
 		stmt:     stmt,
 		rng:      dist.NewRand(e.cfg.Seed ^ 0xabcdef123456789),
 		groupIdx: -1,
+		method:   e.cfg.Method,
+	}
+	switch stmt.Backend {
+	case "":
+	case "ANALYTICAL":
+		q.method = AccuracyAnalytical
+	case "BOOTSTRAP":
+		q.method = AccuracyBootstrap
+	case "SKETCH":
+		q.method = AccuracySketch
+	default:
+		return nil, fmt.Errorf("core: unknown accuracy backend %q", stmt.Backend)
 	}
 	if stmt.Join != nil {
 		if err := q.planJoin(); err != nil {
@@ -211,6 +234,9 @@ func (e *Engine) CompileStmt(stmt *sql.SelectStmt) (*Query, error) {
 	}
 	if err := q.planSelect(); err != nil {
 		return nil, err
+	}
+	if q.method == AccuracySketch && q.sketchWin == nil {
+		return nil, errors.New("core: BACKEND SKETCH requires an ungrouped count-windowed aggregate query")
 	}
 	// The evaluator is created last so a failed compile consumes no engine
 	// sequence number: WAL replay re-runs only the successful statements,
@@ -424,6 +450,19 @@ func (q *Query) planAggregates() error {
 		cols = append(cols, stream.Column{Name: label, Probabilistic: q.in.Columns[idx].Probabilistic})
 	}
 
+	if q.method == AccuracySketch {
+		switch {
+		case stmt.GroupBy != "":
+			return errors.New("core: BACKEND SKETCH does not support GROUP BY")
+		case stmt.Window.Seconds > 0:
+			return errors.New("core: BACKEND SKETCH requires a count window (WINDOW n ROWS)")
+		}
+		w, err := sketch.NewWindow(stmt.Window.Rows, q.eng.cfg.SketchBlocks, q.eng.cfg.SketchK, len(q.aggs))
+		if err != nil {
+			return err
+		}
+		q.sketchWin = w
+	}
 	if stmt.GroupBy != "" {
 		idx, ok := q.in.Index(stmt.GroupBy)
 		if !ok {
@@ -434,7 +473,7 @@ func (q *Query) planAggregates() error {
 		}
 		q.groupIdx = idx
 		q.groups = make(map[float64]*groupState)
-	} else {
+	} else if q.sketchWin == nil {
 		if len(q.scalars) > 0 {
 			return errors.New("core: scalar select items require GROUP BY")
 		}
@@ -706,6 +745,9 @@ func (q *Query) windowFor(t *stream.Tuple) (*groupState, error) {
 }
 
 func (q *Query) pushAggregate(t *stream.Tuple, prob float64, probN int, unsure bool) ([]Result, error) {
+	if q.sketchWin != nil {
+		return q.pushSketch(t, prob, probN, unsure)
+	}
 	g, err := q.windowFor(t)
 	if err != nil {
 		return nil, err
@@ -782,6 +824,134 @@ func (q *Query) pushAggregate(t *stream.Tuple, prob float64, probN int, unsure b
 	return []Result{res}, nil
 }
 
+// pushSketch is the aggregate push path of the sketch backend: the tuple's
+// per-column (mean, variance, N) observations feed the blocked window, and
+// sealing a full window's block emits one result whose fields come from the
+// merged sketches. The path consumes no RNG, so it is deterministic at any
+// worker count and across WAL replays and replicas by construction.
+//
+// Semantics vs the exact backends, documented in DESIGN.md §13: AVG and SUM
+// reproduce the Gaussian closed form over the per-tuple means and variances
+// (equal to the analytical backend up to float summation order); COUNT is
+// the exact window row count; MIN and MAX are the exact extremes of the
+// per-tuple means (value-based, not distribution-based — no Monte Carlo);
+// results are emitted once per sealed block rather than once per push.
+func (q *Query) pushSketch(t *stream.Tuple, prob float64, probN int, unsure bool) ([]Result, error) {
+	obs := q.sketchObs
+	if cap(obs) < len(q.aggs) {
+		obs = make([]sketch.Obs, 0, len(q.aggs))
+	}
+	obs = obs[:0]
+	for _, a := range q.aggs {
+		f := t.Fields[a.colIdx]
+		obs = append(obs, sketch.Obs{Mean: f.Dist.Mean(), Variance: f.Dist.Variance(), N: f.N})
+	}
+	q.sketchObs = obs
+	sealed, err := q.sketchWin.Push(obs, prob)
+	if err != nil {
+		return nil, err
+	}
+	if !sealed || !q.sketchWin.Full() {
+		return nil, nil
+	}
+	cfg := q.eng.cfg
+	recovering := q.eng.recovering.Load()
+	m := q.sketchWin.Rows()
+	res := Result{Unsure: unsure}
+	fields := make([]randvar.Field, 0, len(q.aggs))
+	for i, a := range q.aggs {
+		s, err := q.sketchWin.MergedCol(i)
+		if err != nil {
+			return nil, fmt.Errorf("core: sketch aggregate %s: %w", a.label, err)
+		}
+		var f randvar.Field
+		var info *accuracy.Info
+		switch a.kind {
+		case stream.Count:
+			f = randvar.Det(float64(m))
+		case stream.Min:
+			f = randvar.Det(s.Quant.Min)
+		case stream.Max:
+			f = randvar.Det(s.Quant.Max)
+		case stream.Avg, stream.Sum:
+			w := 1.0
+			mu := s.Mom.Sum()
+			if a.kind == stream.Avg {
+				w = 1 / float64(m)
+				mu = s.Mom.Mean
+			}
+			f, err = randvar.GaussianResult(mu, s.SumVar*w*w, s.MinN)
+			if err != nil {
+				return nil, fmt.Errorf("core: sketch aggregate %s: %w", a.label, err)
+			}
+			if s.MinN >= 2 {
+				info, err = q.sketchInfo(&s, f.Dist, w, m)
+				if err != nil {
+					return nil, fmt.Errorf("core: sketch accuracy %s: %w", a.label, err)
+				}
+			}
+		default:
+			return nil, fmt.Errorf("core: sketch aggregate %v not supported", a.kind)
+		}
+		fields = append(fields, f)
+		if info != nil {
+			if res.Fields == nil {
+				res.Fields = make(map[string]*accuracy.Info)
+			}
+			res.Fields[a.label] = info
+			q.telem.observeField(info, recovering)
+		}
+	}
+	res.Tuple = &stream.Tuple{
+		Schema: q.out,
+		Fields: fields,
+		Prob:   prob,
+		ProbN:  probN,
+		Seq:    t.Seq,
+		Time:   t.Time,
+	}
+	if prob < 1 && probN >= 1 {
+		iv, err := accuracy.TupleProbInterval(prob, probN, cfg.Level)
+		if err != nil {
+			return nil, err
+		}
+		res.TupleProb = &iv
+		q.telem.observeTupleProb(iv, recovering)
+	}
+	q.stats.out.Add(1)
+	return []Result{res}, nil
+}
+
+// sketchInfo derives one AVG/SUM field's accuracy information from its
+// merged column summary: the Theorem 1 analytical intervals on the sketch's
+// Gaussian result, with the mean interval widened by the membership
+// uncertainty the McGregor–Muthukrishnan moments track (Σp(1−p)x̄² — zero
+// when every tuple exists with certainty), plus a distribution-free interval
+// for the window median from the quantile sketch, its order-statistic ranks
+// widened by the sketch's deterministic rank error bound.
+func (q *Query) sketchInfo(s *sketch.ColSummary, d dist.Distribution, w float64, m int) (*accuracy.Info, error) {
+	cfg := q.eng.cfg
+	info, err := accuracy.ForDistribution(d, s.MinN, cfg.Level)
+	if err != nil {
+		return nil, err
+	}
+	half, err := s.Prob.MembershipHalfWidth(w, cfg.Level)
+	if err != nil {
+		return nil, err
+	}
+	info.Mean.Lo -= half
+	info.Mean.Hi += half
+	if m >= 2 {
+		med, err := s.Quant.Interval(0.5, cfg.Level)
+		if err != nil {
+			return nil, err
+		}
+		info.WindowMedian = &med
+	}
+	info.Method = "sketch"
+	return info, nil
+}
+
 // decorate attaches accuracy information per the engine configuration.
 // mcValues holds per-field Monte Carlo value sequences when expression
 // evaluation produced them (the preferred bootstrap input, §III-B category
@@ -789,7 +959,7 @@ func (q *Query) pushAggregate(t *stream.Tuple, prob float64, probN int, unsure b
 func (q *Query) decorate(t *stream.Tuple, mcValues [][]float64, unsure bool) (Result, error) {
 	res := Result{Tuple: t, Unsure: unsure}
 	cfg := q.eng.cfg
-	if cfg.Method != AccuracyNone {
+	if q.method != AccuracyNone {
 		recovering := q.eng.recovering.Load()
 		for i, f := range t.Fields {
 			if !t.Schema.Columns[i].Probabilistic || f.N < 2 {
@@ -835,7 +1005,7 @@ const minShedResamples = 4
 
 func (q *Query) fieldAccuracy(f randvar.Field, values []float64) (*accuracy.Info, error) {
 	cfg := q.eng.cfg
-	switch cfg.Method {
+	switch q.method {
 	case AccuracyAnalytical:
 		return accuracy.ForDistribution(f.Dist, f.N, cfg.Level)
 	case AccuracyBootstrap:
@@ -875,7 +1045,7 @@ func (q *Query) fieldAccuracy(f randvar.Field, values []float64) (*accuracy.Info
 		}
 		return bootstrap.FromDistributionWorkers(f.Dist, f.N, cfg.BootstrapResamples, cfg.Level, q.rng, cfg.Workers)
 	}
-	return nil, fmt.Errorf("core: accuracy method %v", cfg.Method)
+	return nil, fmt.Errorf("core: accuracy method %v", q.method)
 }
 
 // noteShed counts one accuracy computation run on a reduced budget.

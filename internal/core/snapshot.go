@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/dist"
 	"repro/internal/randvar"
+	"repro/internal/sketch"
 	"repro/internal/stream"
 )
 
@@ -66,6 +67,9 @@ type QueryState struct {
 	// JoinLeft and JoinRight hold the symmetric join windows.
 	JoinLeft  *WindowState
 	JoinRight *WindowState
+	// Sketch holds the sketch-backend window (BACKEND SKETCH queries);
+	// mutually exclusive with the materialized window forms.
+	Sketch *sketch.Window
 }
 
 // State captures the query's complete mutable state. The returned structs
@@ -78,6 +82,8 @@ func (q *Query) State() *QueryState {
 		Stats: q.stats.snapshot(),
 	}
 	switch {
+	case q.sketchWin != nil:
+		st.Sketch = q.sketchWin.Clone()
 	case q.window != nil:
 		st.ColWindow = q.window.State()
 	case q.rowWindow != nil:
@@ -139,6 +145,21 @@ func (q *Query) SetState(st *QueryState) error {
 		return fmt.Errorf("core: bootstrap RNG: %w", err)
 	}
 	q.stats.restore(st.Stats)
+	if st.Sketch != nil {
+		if q.sketchWin == nil {
+			return errors.New("core: sketch state for a non-sketch query")
+		}
+		if err := st.Sketch.Validate(); err != nil {
+			return fmt.Errorf("core: restoring sketch window: %w", err)
+		}
+		if st.Sketch.W != q.sketchWin.W || st.Sketch.NCols != q.sketchWin.NCols ||
+			st.Sketch.B != q.sketchWin.B || st.Sketch.K != q.sketchWin.K {
+			return fmt.Errorf("core: sketch window geometry (w=%d b=%d k=%d cols=%d) does not match plan (w=%d b=%d k=%d cols=%d)",
+				st.Sketch.W, st.Sketch.B, st.Sketch.K, st.Sketch.NCols,
+				q.sketchWin.W, q.sketchWin.B, q.sketchWin.K, q.sketchWin.NCols)
+		}
+		q.sketchWin = st.Sketch.Clone()
+	}
 	if st.Window != nil || st.ColWindow != nil {
 		tuples, err := windowTuples(q.in, st.Window, st.ColWindow)
 		if err != nil {

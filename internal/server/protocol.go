@@ -211,6 +211,7 @@ type FieldJSON struct {
 	Repr     json.RawMessage `json:"repr,omitempty"`
 	MeanIv   *IntervalJSON   `json:"mean_interval,omitempty"`
 	VarIv    *IntervalJSON   `json:"variance_interval,omitempty"`
+	MedianIv *IntervalJSON   `json:"window_median,omitempty"`
 	Bins     []BinJSON       `json:"bins,omitempty"`
 }
 
@@ -259,6 +260,10 @@ func EncodeResult(r core.Result) ResultJSON {
 			viv := intervalJSON(info.Variance)
 			fj.MeanIv = &miv
 			fj.VarIv = &viv
+			if info.WindowMedian != nil {
+				med := intervalJSON(*info.WindowMedian)
+				fj.MedianIv = &med
+			}
 			for _, b := range info.Bins {
 				fj.Bins = append(fj.Bins, BinJSON{
 					Lo: b.Lo, Hi: b.Hi, Estimate: b.Estimate,

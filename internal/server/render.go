@@ -160,6 +160,12 @@ func appendFieldJSON(dst []byte, d dist.Distribution, n int, info *accuracy.Info
 		if dst, err = appendInterval(dst, info.Variance); err != nil {
 			return dst, err
 		}
+		if info.WindowMedian != nil {
+			dst = append(dst, `,"window_median":`...)
+			if dst, err = appendInterval(dst, *info.WindowMedian); err != nil {
+				return dst, err
+			}
+		}
 		if len(info.Bins) > 0 {
 			dst = append(dst, `,"bins":[`...)
 			for i, b := range info.Bins {

@@ -1,0 +1,141 @@
+package sketch
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"math"
+	"reflect"
+	"testing"
+)
+
+// fuzzValues decodes a fuzz payload as little-endian float64 observations,
+// dropping the non-finite ones Add rejects. The cap bounds fuzz-run cost.
+func fuzzValues(data []byte, max int) []float64 {
+	var out []float64
+	for len(data) >= 8 && len(out) < max {
+		x := math.Float64frombits(binary.LittleEndian.Uint64(data))
+		data = data[8:]
+		if math.IsNaN(x) || math.IsInf(x, 0) {
+			continue
+		}
+		out = append(out, x)
+	}
+	return out
+}
+
+// FuzzSketchRoundTrip feeds arbitrary observations into a quantile sketch and
+// asserts the serialization contract: the JSON round trip validates, preserves
+// the logical state exactly, and re-marshals to the identical bytes — the
+// property checkpoint recovery and WAL-shipped replica state rely on.
+func FuzzSketchRoundTrip(f *testing.F) {
+	f.Add([]byte{}, uint8(0))
+	seed := make([]byte, 0, 32*8)
+	for i := 0; i < 32; i++ {
+		seed = binary.LittleEndian.AppendUint64(seed, math.Float64bits(float64(i)*1.5-7))
+	}
+	f.Add(seed, uint8(16))
+	f.Add(seed[:64], uint8(255))
+	f.Fuzz(func(t *testing.T, data []byte, kRaw uint8) {
+		q := NewQuantile(int(kRaw)) // NewQuantile clamps and evens out k
+		for _, x := range fuzzValues(data, 4096) {
+			if err := q.Add(x); err != nil {
+				t.Fatalf("Add(%v) rejected a finite value: %v", x, err)
+			}
+		}
+		if err := q.Validate(); err != nil {
+			t.Fatalf("freshly built sketch invalid: %v", err)
+		}
+		raw, err := json.Marshal(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var back Quantile
+		if err := json.Unmarshal(raw, &back); err != nil {
+			t.Fatalf("round trip failed to decode: %v", err)
+		}
+		if err := back.Validate(); err != nil {
+			t.Fatalf("deserialized sketch invalid: %v", err)
+		}
+		raw2, err := json.Marshal(&back)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(raw) != string(raw2) {
+			t.Fatal("re-marshaled bytes differ — serialization is not canonical")
+		}
+		if back.N != q.N || back.ErrW != q.ErrW ||
+			!reflect.DeepEqual(back.Levels, q.Levels) || !reflect.DeepEqual(back.Parity, q.Parity) {
+			t.Fatal("round trip changed the logical sketch state")
+		}
+	})
+}
+
+// FuzzSketchMerge splits arbitrary observations at an arbitrary point,
+// sketches the halves separately, merges, and asserts the mergeability
+// contract: the result validates, conserves the observation count and
+// extremes, accumulates at least the parts' error bounds, and answers every
+// retained-value rank query within its tracked bound of the truth.
+func FuzzSketchMerge(f *testing.F) {
+	f.Add([]byte{}, uint16(0))
+	seed := make([]byte, 0, 64*8)
+	for i := 0; i < 64; i++ {
+		seed = binary.LittleEndian.AppendUint64(seed, math.Float64bits(float64(i%13)))
+	}
+	f.Add(seed, uint16(20))
+	f.Fuzz(func(t *testing.T, data []byte, cutRaw uint16) {
+		xs := fuzzValues(data, 2048)
+		cut := 0
+		if len(xs) > 0 {
+			cut = int(cutRaw) % (len(xs) + 1)
+		}
+		a, b := NewQuantile(16), NewQuantile(16)
+		for _, x := range xs[:cut] {
+			if err := a.Add(x); err != nil {
+				t.Fatal(err)
+			}
+		}
+		for _, x := range xs[cut:] {
+			if err := b.Add(x); err != nil {
+				t.Fatal(err)
+			}
+		}
+		boundA, boundB := a.ErrorBound(), b.ErrorBound()
+		a.Merge(b)
+		if err := a.Validate(); err != nil {
+			t.Fatalf("merged sketch invalid: %v", err)
+		}
+		if a.N != uint64(len(xs)) {
+			t.Fatalf("merged count %d, want %d", a.N, len(xs))
+		}
+		if a.ErrorBound() < boundA+boundB {
+			t.Fatalf("merged bound %d below parts %d+%d", a.ErrorBound(), boundA, boundB)
+		}
+		if len(xs) == 0 {
+			return
+		}
+		lo, hi := xs[0], xs[0]
+		for _, x := range xs {
+			lo, hi = math.Min(lo, x), math.Max(hi, x)
+		}
+		if a.Min != lo || a.Max != hi {
+			t.Fatalf("merged extremes [%v, %v], want [%v, %v]", a.Min, a.Max, lo, hi)
+		}
+		// Rank guarantee against the exact multiset.
+		for _, x := range []float64{lo, hi, xs[len(xs)/2]} {
+			truth := uint64(0)
+			for _, v := range xs {
+				if v <= x {
+					truth++
+				}
+			}
+			est := a.EstRank(x)
+			d := est - truth
+			if truth > est {
+				d = truth - est
+			}
+			if d > a.ErrorBound() {
+				t.Fatalf("rank(%v): estimate %d vs truth %d exceeds bound %d", x, est, truth, d)
+			}
+		}
+	})
+}

@@ -1,0 +1,229 @@
+package sketch
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/accuracy"
+)
+
+// Moments is a single-pass, mergeable mean/variance summary: Welford's
+// update for Add, Chan et al.'s pairwise combination for Merge. The three
+// fields are exported (and JSON-tagged) so the summary serializes losslessly
+// through checkpoints and the replication stream.
+type Moments struct {
+	// N is the number of observations.
+	N uint64 `json:"n"`
+	// Mean is the running mean.
+	Mean float64 `json:"mean,omitempty"`
+	// M2 is the sum of squared deviations from the running mean, Σ(x−x̄)².
+	M2 float64 `json:"m2,omitempty"`
+}
+
+// Add absorbs one observation.
+func (m *Moments) Add(x float64) {
+	m.N++
+	delta := x - m.Mean
+	m.Mean += delta / float64(m.N)
+	m.M2 += delta * (x - m.Mean)
+}
+
+// Merge combines o into m (Chan et al. parallel variance). Merging is
+// algebraically exact; float rounding depends only on the merge order,
+// which callers keep deterministic (oldest block first).
+func (m *Moments) Merge(o Moments) {
+	if o.N == 0 {
+		return
+	}
+	if m.N == 0 {
+		*m = o
+		return
+	}
+	n1, n2 := float64(m.N), float64(o.N)
+	delta := o.Mean - m.Mean
+	total := n1 + n2
+	m.Mean += delta * n2 / total
+	m.M2 += o.M2 + delta*delta*n1*n2/total
+	m.N += o.N
+}
+
+// Count returns the number of observations.
+func (m Moments) Count() uint64 { return m.N }
+
+// Sum returns the observation total (Mean·N — exact up to float rounding).
+func (m Moments) Sum() float64 { return m.Mean * float64(m.N) }
+
+// Variance returns the population variance M2/N (0 when N == 0).
+func (m Moments) Variance() float64 {
+	if m.N == 0 {
+		return 0
+	}
+	v := m.M2 / float64(m.N)
+	if v < 0 { // float rounding can push M2 a hair below zero
+		return 0
+	}
+	return v
+}
+
+// SampleVariance returns the unbiased sample variance M2/(N−1) (0 when
+// N < 2).
+func (m Moments) SampleVariance() float64 {
+	if m.N < 2 {
+		return 0
+	}
+	v := m.M2 / float64(m.N-1)
+	if v < 0 {
+		return 0
+	}
+	return v
+}
+
+// MeanInterval returns the Lemma 2 confidence interval for the population
+// mean computed from the sketch's running statistics.
+func (m Moments) MeanInterval(c float64) (accuracy.Interval, error) {
+	if m.N > math.MaxInt32 {
+		return accuracy.Interval{}, fmt.Errorf("sketch: moment count %d too large for an interval", m.N)
+	}
+	return accuracy.MeanInterval(m.Mean, math.Sqrt(m.SampleVariance()), int(m.N), c)
+}
+
+// VarianceInterval returns the Lemma 2 chi-square interval for the
+// population variance computed from the sketch's running statistics.
+func (m Moments) VarianceInterval(c float64) (accuracy.Interval, error) {
+	if m.N > math.MaxInt32 {
+		return accuracy.Interval{}, fmt.Errorf("sketch: moment count %d too large for an interval", m.N)
+	}
+	return accuracy.VarianceInterval(m.SampleVariance(), int(m.N), c)
+}
+
+// validate rejects non-finite or inconsistent serialized state.
+func (m Moments) validate() error {
+	if math.IsNaN(m.Mean) || math.IsInf(m.Mean, 0) || math.IsNaN(m.M2) || math.IsInf(m.M2, 0) {
+		return fmt.Errorf("sketch: non-finite moment state mean=%v m2=%v", m.Mean, m.M2)
+	}
+	if m.M2 < 0 {
+		return fmt.Errorf("sketch: negative M2 %v", m.M2)
+	}
+	if m.N == 0 && (m.Mean != 0 || m.M2 != 0) {
+		return fmt.Errorf("sketch: empty moments with nonzero statistics")
+	}
+	return nil
+}
+
+// ProbMoments accumulates the McGregor–Muthukrishnan one-pass estimator
+// moments for a probabilistic stream: tuple i contributes its field mean
+// x̄ᵢ, field variance vᵢ, and membership probability pᵢ. All fields merge
+// by addition, so the summary is mergeable across blocks, shards, and
+// cluster nodes.
+type ProbMoments struct {
+	// N is the number of tuples observed (including p = 1 tuples).
+	N uint64 `json:"n"`
+	// SumP is Σpᵢ — the expected number of existing tuples.
+	SumP float64 `json:"sum_p,omitempty"`
+	// SumP1P is Σpᵢ(1−pᵢ) — the variance of the realized tuple count.
+	SumP1P float64 `json:"sum_p1p,omitempty"`
+	// SumPX is Σpᵢ·x̄ᵢ — the expected sum.
+	SumPX float64 `json:"sum_px,omitempty"`
+	// SumPV is Σpᵢ·vᵢ — the value-uncertainty component of the sum
+	// estimator's variance.
+	SumPV float64 `json:"sum_pv,omitempty"`
+	// SumP1PX2 is Σpᵢ(1−pᵢ)·x̄ᵢ² — the membership-uncertainty component of
+	// the sum estimator's variance.
+	SumP1PX2 float64 `json:"sum_p1px2,omitempty"`
+}
+
+// Add absorbs one tuple with field mean x, field variance v ≥ 0, and
+// membership probability p ∈ [0, 1].
+func (pm *ProbMoments) Add(x, v, p float64) {
+	pm.N++
+	pm.SumP += p
+	pm.SumP1P += p * (1 - p)
+	pm.SumPX += p * x
+	pm.SumPV += p * v
+	pm.SumP1PX2 += p * (1 - p) * x * x
+}
+
+// Merge combines o into pm by field-wise addition.
+func (pm *ProbMoments) Merge(o ProbMoments) {
+	pm.N += o.N
+	pm.SumP += o.SumP
+	pm.SumP1P += o.SumP1P
+	pm.SumPX += o.SumPX
+	pm.SumPV += o.SumPV
+	pm.SumP1PX2 += o.SumP1PX2
+}
+
+// ExpectedCount returns Σpᵢ, the expected number of existing tuples under
+// possible-world semantics.
+func (pm ProbMoments) ExpectedCount() float64 { return pm.SumP }
+
+// ExpectedSum returns Σpᵢ·x̄ᵢ, the expectation of the possible-world sum.
+func (pm ProbMoments) ExpectedSum() float64 { return pm.SumPX }
+
+// SumVariance returns the variance of the possible-world sum: value
+// uncertainty Σpᵢvᵢ plus membership uncertainty Σpᵢ(1−pᵢ)x̄ᵢ².
+func (pm ProbMoments) SumVariance() float64 {
+	v := pm.SumPV + pm.SumP1PX2
+	if v < 0 {
+		return 0
+	}
+	return v
+}
+
+// CountInterval returns a level-c normal-approximation predictive interval
+// for the realized tuple count C = ΣBᵢ, Bᵢ ~ Bernoulli(pᵢ): the realized
+// count lands inside it with probability ≈ c (Lindeberg CLT over the
+// independent Bernoullis). Degenerate streams (every p ∈ {0, 1}) collapse
+// to the exact point.
+func (pm ProbMoments) CountInterval(c float64) (accuracy.Interval, error) {
+	return pm.normalPredictive(pm.SumP, pm.SumP1P, c)
+}
+
+// SumInterval returns a level-c normal-approximation predictive interval
+// for the possible-world sum ΣBᵢXᵢ.
+func (pm ProbMoments) SumInterval(c float64) (accuracy.Interval, error) {
+	return pm.normalPredictive(pm.SumPX, pm.SumVariance(), c)
+}
+
+// MembershipHalfWidth returns z(c)·scale·√(Σpᵢ(1−pᵢ)x̄ᵢ²) — the level-c
+// half-width of the membership-uncertainty component of a scaled sum of the
+// tuples' values (scale = 1 for SUM, 1/m for AVG). Zero when every tuple
+// exists with certainty, so certain streams pay no interval widening.
+func (pm ProbMoments) MembershipHalfWidth(scale, c float64) (float64, error) {
+	z, err := zUpperLevel(c)
+	if err != nil {
+		return 0, err
+	}
+	return z * scale * math.Sqrt(pm.SumP1PX2), nil
+}
+
+func (pm ProbMoments) normalPredictive(center, variance, c float64) (accuracy.Interval, error) {
+	if pm.N == 0 {
+		return accuracy.Interval{}, fmt.Errorf("%w: probabilistic interval over zero tuples", accuracy.ErrSampleSize)
+	}
+	if variance < 0 || math.IsNaN(variance) || math.IsNaN(center) {
+		return accuracy.Interval{}, fmt.Errorf("sketch: invalid estimator moments center=%v var=%v", center, variance)
+	}
+	z, err := zUpperLevel(c)
+	if err != nil {
+		return accuracy.Interval{}, err
+	}
+	half := z * math.Sqrt(variance)
+	return accuracy.Interval{Lo: center - half, Hi: center + half, Level: c}, nil
+}
+
+// validate rejects non-finite or inconsistent serialized state.
+func (pm ProbMoments) validate() error {
+	for _, v := range []float64{pm.SumP, pm.SumP1P, pm.SumPX, pm.SumPV, pm.SumP1PX2} {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return fmt.Errorf("sketch: non-finite probabilistic moment state")
+		}
+	}
+	if pm.SumP < 0 || pm.SumP1P < 0 || pm.SumPV < 0 || pm.SumP1PX2 < 0 {
+		return fmt.Errorf("sketch: negative probabilistic moment accumulator")
+	}
+	if pm.SumP > float64(pm.N) {
+		return fmt.Errorf("sketch: Σp %v exceeds tuple count %d", pm.SumP, pm.N)
+	}
+	return nil
+}

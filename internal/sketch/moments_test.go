@@ -1,0 +1,329 @@
+package sketch
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/accuracy"
+	"repro/internal/dist"
+)
+
+func approx(t *testing.T, what string, got, want, tol float64) {
+	t.Helper()
+	if math.IsNaN(got) || math.Abs(got-want) > tol {
+		t.Errorf("%s = %v, want %v (tol %v)", what, got, want, tol)
+	}
+}
+
+// exactMoments computes mean and Σ(x−x̄)² directly (two-pass) as the
+// reference the streaming updates must match.
+func exactMoments(xs []float64) (mean, m2 float64) {
+	if len(xs) == 0 {
+		return 0, 0
+	}
+	for _, x := range xs {
+		mean += x
+	}
+	mean /= float64(len(xs))
+	for _, x := range xs {
+		d := x - mean
+		m2 += d * d
+	}
+	return mean, m2
+}
+
+func sampleUniform(rng *dist.Rand, n int, lo, hi float64) []float64 {
+	xs := make([]float64, n)
+	for i := range xs {
+		xs[i] = lo + (hi-lo)*rng.Float64()
+	}
+	return xs
+}
+
+func TestMomentsMatchesExact(t *testing.T) {
+	rng := dist.NewRand(11)
+	for _, n := range []int{1, 2, 17, 1000} {
+		xs := sampleUniform(rng, n, -50, 150)
+		var m Moments
+		for _, x := range xs {
+			m.Add(x)
+		}
+		wantMean, wantM2 := exactMoments(xs)
+		if m.N != uint64(n) {
+			t.Fatalf("n=%d: count %d", n, m.N)
+		}
+		approx(t, "mean", m.Mean, wantMean, 1e-9*math.Max(1, math.Abs(wantMean)))
+		approx(t, "m2", m.M2, wantM2, 1e-7*math.Max(1, wantM2))
+		approx(t, "sum", m.Sum(), wantMean*float64(n), 1e-7*math.Max(1, math.Abs(wantMean*float64(n))))
+		approx(t, "variance", m.Variance(), wantM2/float64(n), 1e-7*math.Max(1, wantM2))
+		if n >= 2 {
+			approx(t, "sample variance", m.SampleVariance(), wantM2/float64(n-1), 1e-7*math.Max(1, wantM2))
+		}
+	}
+}
+
+// TestMomentsMergeEquivalence: merging the summaries of any split of a
+// sequence agrees with summarizing the whole sequence (Chan's combination is
+// algebraically exact; only float rounding differs).
+func TestMomentsMergeEquivalence(t *testing.T) {
+	rng := dist.NewRand(12)
+	xs := sampleUniform(rng, 500, -10, 10)
+	var whole Moments
+	for _, x := range xs {
+		whole.Add(x)
+	}
+	for _, cut := range []int{0, 1, 250, 499, 500} {
+		var a, b Moments
+		for _, x := range xs[:cut] {
+			a.Add(x)
+		}
+		for _, x := range xs[cut:] {
+			b.Add(x)
+		}
+		a.Merge(b)
+		if a.N != whole.N {
+			t.Fatalf("cut %d: count %d vs %d", cut, a.N, whole.N)
+		}
+		approx(t, "merged mean", a.Mean, whole.Mean, 1e-10)
+		approx(t, "merged m2", a.M2, whole.M2, 1e-7*math.Max(1, whole.M2))
+	}
+}
+
+// TestMomentsMergeAssociative: ((A+B)+C) and (A+(B+C)) agree within float
+// tolerance, and merging empties is the identity.
+func TestMomentsMergeAssociative(t *testing.T) {
+	rng := dist.NewRand(13)
+	parts := [][]float64{
+		sampleUniform(rng, 100, 0, 1),
+		sampleUniform(rng, 37, 100, 200),
+		sampleUniform(rng, 211, -5, 5),
+	}
+	summ := func(xs []float64) Moments {
+		var m Moments
+		for _, x := range xs {
+			m.Add(x)
+		}
+		return m
+	}
+	a, b, c := summ(parts[0]), summ(parts[1]), summ(parts[2])
+	left := a
+	left.Merge(b)
+	left.Merge(c)
+	bc := b
+	bc.Merge(c)
+	right := a
+	right.Merge(bc)
+	approx(t, "assoc mean", left.Mean, right.Mean, 1e-10)
+	approx(t, "assoc m2", left.M2, right.M2, 1e-6*math.Max(1, left.M2))
+
+	var empty Moments
+	before := a
+	a.Merge(empty)
+	if a != before {
+		t.Error("merging an empty summary changed state")
+	}
+	empty.Merge(a)
+	if empty != a {
+		t.Error("merging into an empty summary did not copy")
+	}
+}
+
+// TestMomentsIntervalsMatchAccuracy: the sketch's interval constructors are
+// exactly the Lemma 2 intervals over the sketch's running statistics.
+func TestMomentsIntervalsMatchAccuracy(t *testing.T) {
+	rng := dist.NewRand(14)
+	xs := sampleUniform(rng, 40, 0, 100)
+	var m Moments
+	for _, x := range xs {
+		m.Add(x)
+	}
+	sd := math.Sqrt(m.SampleVariance())
+	wantMean, err := accuracy.MeanInterval(m.Mean, sd, 40, 0.95)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotMean, err := m.MeanInterval(0.95)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotMean != wantMean {
+		t.Errorf("MeanInterval %v, want %v", gotMean, wantMean)
+	}
+	wantVar, err := accuracy.VarianceInterval(m.SampleVariance(), 40, 0.95)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotVar, err := m.VarianceInterval(0.95)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotVar != wantVar {
+		t.Errorf("VarianceInterval %v, want %v", gotVar, wantVar)
+	}
+}
+
+func TestMomentsValidate(t *testing.T) {
+	good := Moments{N: 3, Mean: 1, M2: 2}
+	if err := good.validate(); err != nil {
+		t.Errorf("valid moments rejected: %v", err)
+	}
+	bad := []Moments{
+		{N: 1, Mean: math.NaN()},
+		{N: 1, M2: math.Inf(1)},
+		{N: 2, Mean: 0, M2: -1},
+		{N: 0, Mean: 5},
+	}
+	for i, m := range bad {
+		if err := m.validate(); err == nil {
+			t.Errorf("bad moments %d accepted", i)
+		}
+	}
+}
+
+// TestProbMomentsEstimators pins the McGregor–Muthukrishnan identities: the
+// accumulators are exactly the partial sums of the per-tuple contributions.
+func TestProbMomentsEstimators(t *testing.T) {
+	type tuple struct{ x, v, p float64 }
+	tuples := []tuple{
+		{10, 4, 1}, {20, 0, 0.5}, {-3, 1, 0.25}, {7, 9, 0.9}, {0, 0, 0},
+	}
+	var pm ProbMoments
+	var sumP, sumP1P, sumPX, sumPV, sumP1PX2 float64
+	for _, tp := range tuples {
+		pm.Add(tp.x, tp.v, tp.p)
+		sumP += tp.p
+		sumP1P += tp.p * (1 - tp.p)
+		sumPX += tp.p * tp.x
+		sumPV += tp.p * tp.v
+		sumP1PX2 += tp.p * (1 - tp.p) * tp.x * tp.x
+	}
+	if pm.N != uint64(len(tuples)) {
+		t.Fatalf("count %d", pm.N)
+	}
+	// Same accumulation order, so the sums are bit-identical.
+	if pm.SumP != sumP || pm.SumP1P != sumP1P || pm.SumPX != sumPX ||
+		pm.SumPV != sumPV || pm.SumP1PX2 != sumP1PX2 {
+		t.Errorf("accumulators diverge from direct sums: %+v", pm)
+	}
+	approx(t, "expected count", pm.ExpectedCount(), sumP, 0)
+	approx(t, "expected sum", pm.ExpectedSum(), sumPX, 0)
+	approx(t, "sum variance", pm.SumVariance(), sumPV+sumP1PX2, 0)
+}
+
+// TestProbMomentsMergeIsAddition: merge is field-wise addition, so any
+// split-merge agrees with the sequential accumulation within rounding.
+func TestProbMomentsMergeIsAddition(t *testing.T) {
+	rng := dist.NewRand(15)
+	var whole, a, b ProbMoments
+	for i := 0; i < 400; i++ {
+		x, v, p := rng.Float64()*100-50, rng.Float64()*10, rng.Float64()
+		whole.Add(x, v, p)
+		if i < 123 {
+			a.Add(x, v, p)
+		} else {
+			b.Add(x, v, p)
+		}
+	}
+	a.Merge(b)
+	if a.N != whole.N {
+		t.Fatalf("count %d vs %d", a.N, whole.N)
+	}
+	approx(t, "SumP", a.SumP, whole.SumP, 1e-9)
+	approx(t, "SumP1P", a.SumP1P, whole.SumP1P, 1e-9)
+	approx(t, "SumPX", a.SumPX, whole.SumPX, 1e-7)
+	approx(t, "SumPV", a.SumPV, whole.SumPV, 1e-8)
+	approx(t, "SumP1PX2", a.SumP1PX2, whole.SumP1PX2, 1e-6)
+}
+
+// TestProbMomentsCertainStream: with every p = 1 the membership variance
+// vanishes — intervals collapse to the exact point and the AVG/SUM widening
+// term is zero, so certain streams pay nothing for the probabilistic model.
+func TestProbMomentsCertainStream(t *testing.T) {
+	var pm ProbMoments
+	for i := 0; i < 10; i++ {
+		pm.Add(float64(i), 2, 1)
+	}
+	if pm.SumP1P != 0 || pm.SumP1PX2 != 0 {
+		t.Fatalf("certain stream accumulated membership variance: %+v", pm)
+	}
+	iv, err := pm.CountInterval(0.95)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if iv.Lo != 10 || iv.Hi != 10 {
+		t.Errorf("certain count interval %v, want the exact point 10", iv)
+	}
+	half, err := pm.MembershipHalfWidth(1, 0.95)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if half != 0 {
+		t.Errorf("certain membership half-width %v, want 0", half)
+	}
+}
+
+// TestProbMomentsCountIntervalCoverage: the CLT predictive interval for the
+// realized count covers the simulated count at its nominal rate.
+func TestProbMomentsCountIntervalCoverage(t *testing.T) {
+	rng := dist.NewRand(16)
+	const n, level, trials = 200, 0.95, 2000
+	ps := make([]float64, n)
+	var pm ProbMoments
+	for i := range ps {
+		ps[i] = 0.1 + 0.8*rng.Float64()
+		pm.Add(1, 0, ps[i])
+	}
+	iv, err := pm.CountInterval(level)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hits := 0
+	for trial := 0; trial < trials; trial++ {
+		count := 0.0
+		for _, p := range ps {
+			if rng.Float64() < p {
+				count++
+			}
+		}
+		if iv.Contains(count) {
+			hits++
+		}
+	}
+	cov := float64(hits) / trials
+	if d := math.Abs(cov - level); d > 3*math.Sqrt(level*(1-level)/trials)+0.01 {
+		t.Errorf("count interval coverage %.4f, want ≈ %.2f", cov, level)
+	}
+}
+
+func TestProbMomentsErrors(t *testing.T) {
+	var pm ProbMoments
+	if _, err := pm.CountInterval(0.95); err == nil {
+		t.Error("empty summary: want error")
+	}
+	pm.Add(1, 0, 0.5)
+	if _, err := pm.SumInterval(1.5); err == nil {
+		t.Error("bad level: want error")
+	}
+	if _, err := pm.MembershipHalfWidth(1, -1); err == nil {
+		t.Error("bad level: want error")
+	}
+}
+
+func TestProbMomentsValidate(t *testing.T) {
+	var pm ProbMoments
+	pm.Add(3, 1, 0.5)
+	if err := pm.validate(); err != nil {
+		t.Errorf("valid state rejected: %v", err)
+	}
+	bad := []ProbMoments{
+		{N: 1, SumP: math.NaN()},
+		{N: 1, SumP: -0.5},
+		{N: 1, SumP: 2}, // Σp > N
+		{N: 1, SumPV: -1},
+	}
+	for i, b := range bad {
+		if err := b.validate(); err == nil {
+			t.Errorf("bad state %d accepted", i)
+		}
+	}
+}

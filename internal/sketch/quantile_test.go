@@ -1,0 +1,373 @@
+package sketch
+
+import (
+	"encoding/json"
+	"math"
+	"reflect"
+	"sort"
+	"testing"
+
+	"repro/internal/dist"
+)
+
+// trueRank returns the number of observations ≤ x.
+func trueRank(sorted []float64, x float64) uint64 {
+	return uint64(sort.SearchFloat64s(sorted, math.Nextafter(x, math.Inf(1))))
+}
+
+func addAll(t *testing.T, q *Quantile, xs []float64) {
+	t.Helper()
+	for _, x := range xs {
+		if err := q.Add(x); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// checkRankError asserts the sketch's central guarantee on a data set: for
+// every probe value, |EstRank(x) − true rank| ≤ ErrorBound().
+func checkRankError(t *testing.T, q *Quantile, xs []float64, label string) {
+	t.Helper()
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	bound := q.ErrorBound()
+	worst := uint64(0)
+	for i := 0; i < len(sorted); i += 1 + len(sorted)/512 {
+		x := sorted[i]
+		est, truth := q.EstRank(x), trueRank(sorted, x)
+		var d uint64
+		if est > truth {
+			d = est - truth
+		} else {
+			d = truth - est
+		}
+		if d > worst {
+			worst = d
+		}
+	}
+	if worst > bound {
+		t.Errorf("%s: worst rank error %d exceeds tracked bound %d (n=%d)", label, worst, bound, len(xs))
+	}
+}
+
+func TestQuantileSmallExact(t *testing.T) {
+	// Fewer than K observations: nothing compacts, every rank is exact.
+	q := NewQuantile(64)
+	xs := []float64{5, 1, 9, 3, 7}
+	addAll(t, q, xs)
+	if q.ErrorBound() != 0 {
+		t.Fatalf("uncompacted sketch has error bound %d", q.ErrorBound())
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	for i, v := range sorted {
+		if got := q.ValueAtRank(int64(i + 1)); got != v {
+			t.Errorf("ValueAtRank(%d) = %v, want %v", i+1, got, v)
+		}
+		if got := q.EstRank(v); got != uint64(i+1) {
+			t.Errorf("EstRank(%v) = %d, want %d", v, got, i+1)
+		}
+	}
+	if q.Query(0.5) != 5 {
+		t.Errorf("median %v, want 5", q.Query(0.5))
+	}
+	if q.Min != 1 || q.Max != 9 {
+		t.Errorf("extremes [%v, %v]", q.Min, q.Max)
+	}
+}
+
+func TestQuantileRankErrorProperty(t *testing.T) {
+	rng := dist.NewRand(21)
+	for _, n := range []int{100, 5000, 60000} {
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = rng.NormFloat64() * 100
+		}
+		q := NewQuantile(DefaultQuantileK)
+		addAll(t, q, xs)
+		if err := q.Validate(); err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		checkRankError(t, q, xs, "gaussian")
+		// The tracked bound itself must stay sublinear: each pass over the
+		// data triggers ~n/(K/2) compactions per level across ~log₂(n/K)+2
+		// levels, each contributing its item weight.
+		if n > q.K {
+			levels := math.Log2(float64(n)/float64(q.K)) + 2
+			cap := uint64(float64(2*n) / float64(q.K) * levels * 2)
+			if q.ErrorBound() > cap {
+				t.Errorf("n=%d: error bound %d exceeds O((n/K)·log(n/K)) cap %d", n, q.ErrorBound(), cap)
+			}
+		}
+		// Memory must stay polylogarithmic: ~K items per level.
+		maxItems := q.K * (int(math.Log2(math.Max(float64(n)/float64(q.K), 1))) + 3)
+		if q.ItemCount() > maxItems {
+			t.Errorf("n=%d: %d retained items exceed budget %d", n, q.ItemCount(), maxItems)
+		}
+	}
+}
+
+// TestQuantileSortedAndAdversarial: sorted, reverse-sorted, and all-equal
+// inputs (the classic compactor stress patterns) all respect the bound.
+func TestQuantileSortedAndAdversarial(t *testing.T) {
+	const n = 20000
+	patterns := map[string]func(i int) float64{
+		"ascending":  func(i int) float64 { return float64(i) },
+		"descending": func(i int) float64 { return float64(n - i) },
+		"constant":   func(i int) float64 { return 42 },
+		"sawtooth":   func(i int) float64 { return float64(i % 97) },
+	}
+	for name, gen := range patterns {
+		q := NewQuantile(128)
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = gen(i)
+		}
+		addAll(t, q, xs)
+		if err := q.Validate(); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		checkRankError(t, q, xs, name)
+	}
+}
+
+func TestQuantileDeterminism(t *testing.T) {
+	rng := dist.NewRand(22)
+	xs := make([]float64, 30000)
+	for i := range xs {
+		xs[i] = rng.Float64()
+	}
+	a, b := NewQuantile(64), NewQuantile(64)
+	addAll(t, a, xs)
+	addAll(t, b, xs)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("identical Add sequences produced different sketch states")
+	}
+}
+
+func TestQuantileMergeWithinBound(t *testing.T) {
+	rng := dist.NewRand(23)
+	mk := func(n int, scale float64) ([]float64, *Quantile) {
+		xs := make([]float64, n)
+		q := NewQuantile(DefaultQuantileK)
+		for i := range xs {
+			xs[i] = rng.NormFloat64() * scale
+		}
+		addAll(t, q, xs)
+		return xs, q
+	}
+	xsA, qa := mk(12000, 1)
+	xsB, qb := mk(7000, 10)
+	all := append(append([]float64(nil), xsA...), xsB...)
+
+	merged := qa.clone()
+	merged.Merge(qb)
+	if err := merged.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if merged.N != uint64(len(all)) {
+		t.Fatalf("merged count %d, want %d", merged.N, len(all))
+	}
+	if merged.ErrorBound() < qa.ErrorBound()+qb.ErrorBound() {
+		t.Errorf("merged bound %d below the sum of parts %d + %d",
+			merged.ErrorBound(), qa.ErrorBound(), qb.ErrorBound())
+	}
+	checkRankError(t, merged, all, "A+B")
+
+	// Commutativity in the bound sense: B+A is a different (still valid)
+	// state whose estimates obey its own tracked bound on the same data.
+	flipped := qb.clone()
+	flipped.Merge(qa)
+	if err := flipped.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	checkRankError(t, flipped, all, "B+A")
+
+	// Merging an empty or nil sketch is the identity.
+	before := qa.clone()
+	qa.Merge(NewQuantile(DefaultQuantileK))
+	qa.Merge(nil)
+	if !reflect.DeepEqual(before, qa) {
+		t.Error("merging empty changed state")
+	}
+}
+
+func TestQuantileMergeAssociativeWithinBound(t *testing.T) {
+	rng := dist.NewRand(24)
+	var all []float64
+	sketches := make([]*Quantile, 3)
+	for s := range sketches {
+		sketches[s] = NewQuantile(128)
+		for i := 0; i < 4000+s*1000; i++ {
+			x := rng.Float64()*float64(s+1)*100 - 50
+			all = append(all, x)
+			if err := sketches[s].Add(x); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	left := sketches[0].clone()
+	left.Merge(sketches[1])
+	left.Merge(sketches[2])
+	bc := sketches[1].clone()
+	bc.Merge(sketches[2])
+	right := sketches[0].clone()
+	right.Merge(bc)
+	for name, q := range map[string]*Quantile{"(A+B)+C": left, "A+(B+C)": right} {
+		if err := q.Validate(); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if q.N != uint64(len(all)) {
+			t.Fatalf("%s: count %d, want %d", name, q.N, len(all))
+		}
+		checkRankError(t, q, all, name)
+	}
+}
+
+func TestQuantileJSONRoundTrip(t *testing.T) {
+	rng := dist.NewRand(25)
+	q := NewQuantile(32)
+	for i := 0; i < 5000; i++ {
+		if err := q.Add(rng.NormFloat64()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	raw, err := json.Marshal(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Quantile
+	if err := json.Unmarshal(raw, &back); err != nil {
+		t.Fatal(err)
+	}
+	if err := back.Validate(); err != nil {
+		t.Fatalf("deserialized sketch invalid: %v", err)
+	}
+	// Buffer capacities differ but the logical state must be identical…
+	if back.N != q.N || back.ErrW != q.ErrW || back.Min != q.Min || back.Max != q.Max ||
+		!reflect.DeepEqual(back.Levels, q.Levels) || !reflect.DeepEqual(back.Parity, q.Parity) {
+		t.Fatal("JSON round trip changed sketch state")
+	}
+	// …and future behavior bit-identical: the same continuation produces the
+	// same states.
+	cont := make([]float64, 3000)
+	for i := range cont {
+		cont[i] = rng.Float64() * 4
+	}
+	addAll(t, q, cont)
+	addAll(t, &back, cont)
+	if back.N != q.N || back.ErrW != q.ErrW ||
+		!reflect.DeepEqual(back.Levels, q.Levels) || !reflect.DeepEqual(back.Parity, q.Parity) {
+		t.Fatal("restored sketch diverged from original after identical pushes")
+	}
+}
+
+func TestQuantileRejectsNonFinite(t *testing.T) {
+	q := NewQuantile(8)
+	for _, x := range []float64{math.NaN(), math.Inf(1), math.Inf(-1)} {
+		if err := q.Add(x); err == nil {
+			t.Errorf("Add(%v) accepted", x)
+		}
+	}
+	if q.N != 0 {
+		t.Error("rejected values mutated the sketch")
+	}
+}
+
+func TestQuantileClamps(t *testing.T) {
+	q := NewQuantile(16)
+	for i := 1; i <= 100; i++ {
+		if err := q.Add(float64(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if q.ValueAtRank(0) != 1 || q.ValueAtRank(-5) != 1 || q.ValueAtRank(1) != 1 {
+		t.Error("low ranks must clamp to the exact minimum")
+	}
+	if q.ValueAtRank(100) != 100 || q.ValueAtRank(1000) != 100 {
+		t.Error("high ranks must clamp to the exact maximum")
+	}
+	if q.Query(0) != 1 || q.Query(1) != 100 {
+		t.Errorf("Query extremes: q0=%v q1=%v", q.Query(0), q.Query(1))
+	}
+	empty := NewQuantile(16)
+	if !math.IsNaN(empty.Query(0.5)) || !math.IsNaN(empty.ValueAtRank(1)) {
+		t.Error("empty sketch queries must be NaN")
+	}
+}
+
+func TestQuantileIntervalBracketsTruth(t *testing.T) {
+	rng := dist.NewRand(26)
+	nd, _ := dist.NewNormal(10, 3)
+	q := NewQuantile(DefaultQuantileK)
+	const n = 50000
+	for i := 0; i < n; i++ {
+		if err := q.Add(nd.Sample(rng)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, p := range []float64{0.1, 0.5, 0.9} {
+		iv, err := q.Interval(p, 0.95)
+		if err != nil {
+			t.Fatal(err)
+		}
+		truth := nd.Quantile(p)
+		if !iv.Contains(truth) {
+			t.Errorf("p=%g: interval %v misses the true quantile %v", p, iv, truth)
+		}
+		if iv.Lo < q.Min || iv.Hi > q.Max {
+			t.Errorf("p=%g: interval %v escapes the observed range [%v, %v]", p, iv, q.Min, q.Max)
+		}
+		if iv.Level <= 0 || iv.Level > 1 {
+			t.Errorf("p=%g: achieved level %v", p, iv.Level)
+		}
+	}
+}
+
+func TestQuantileIntervalErrors(t *testing.T) {
+	q := NewQuantile(16)
+	if _, err := q.Interval(0.5, 0.95); err == nil {
+		t.Error("n=0: want error")
+	}
+	if err := q.Add(1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := q.Interval(0.5, 0.95); err == nil {
+		t.Error("n=1: want error")
+	}
+}
+
+func TestQuantileValidateRejectsCorruption(t *testing.T) {
+	mk := func() *Quantile {
+		q := NewQuantile(16)
+		for i := 0; i < 200; i++ {
+			_ = q.Add(float64(i))
+		}
+		return q
+	}
+	if err := mk().Validate(); err != nil {
+		t.Fatalf("valid sketch rejected: %v", err)
+	}
+	corrupt := []func(*Quantile){
+		func(q *Quantile) { q.K = 7 },                               // under minimum
+		func(q *Quantile) { q.K = 17 },                              // odd
+		func(q *Quantile) { q.N++ },                                 // weight mismatch
+		func(q *Quantile) { q.Parity = q.Parity[:len(q.Parity)-1] }, // parity/level mismatch
+		func(q *Quantile) { q.Levels[0][0] = math.NaN() },           // non-finite item
+		func(q *Quantile) { q.Min = q.Max + 1 },                     // inverted extremes
+		func(q *Quantile) { q.Levels[0][0] = q.Max + 100 },          // item outside range
+		func(q *Quantile) { // level index out of range
+			for len(q.Levels) < 64 {
+				q.Levels = append(q.Levels, []float64{})
+				q.Parity = append(q.Parity, 0)
+			}
+		},
+	}
+	for i, mut := range corrupt {
+		q := mk()
+		mut(q)
+		if err := q.Validate(); err == nil {
+			t.Errorf("corruption %d accepted", i)
+		}
+	}
+}

@@ -1,0 +1,316 @@
+package sketch
+
+import (
+	"encoding/json"
+	"math"
+	"reflect"
+	"runtime"
+	"testing"
+
+	"repro/internal/dist"
+)
+
+func push(t *testing.T, w *Window, mean, variance, p float64) bool {
+	t.Helper()
+	sealed, err := w.Push([]Obs{{Mean: mean, Variance: variance, N: 10}}, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sealed
+}
+
+func TestWindowGeometry(t *testing.T) {
+	w, err := NewWindow(100, 16, 32, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.BlockRows != 7 { // ⌈100/16⌉
+		t.Fatalf("block rows %d, want 7", w.BlockRows)
+	}
+	seals := 0
+	for i := 0; i < 300; i++ {
+		if push(t, w, float64(i), 0, 1) {
+			seals++
+			if w.Active.Rows != 0 {
+				t.Fatal("sealing did not reset the active block")
+			}
+		}
+		if err := w.Validate(); err != nil {
+			t.Fatalf("push %d: %v", i, err)
+		}
+		if w.Full() {
+			// The eviction invariant: sealed rows cover at least W but less
+			// than W plus one block.
+			if w.LiveRows < 100 || w.LiveRows >= 100+w.BlockRows {
+				t.Fatalf("push %d: live rows %d outside [100, %d)", i, w.LiveRows, 100+w.BlockRows)
+			}
+		}
+	}
+	if want := 300 / 7; seals != want {
+		t.Errorf("%d seals over 300 pushes, want %d", seals, want)
+	}
+	if uint64(seals) != w.Seals {
+		t.Errorf("Seals counter %d, want %d", w.Seals, seals)
+	}
+}
+
+// TestWindowMergedColCoversSuffix: the merged summary is exactly the summary
+// of the rows the sealed blocks cover — the most recent LiveRows pushes that
+// have been sealed.
+func TestWindowMergedColCoversSuffix(t *testing.T) {
+	w, err := NewWindow(60, 6, 64, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := dist.NewRand(31)
+	var history []float64
+	for i := 0; i < 500; i++ {
+		x := rng.Float64() * 100
+		history = append(history, x)
+		sealed := push(t, w, x, 1, 1)
+		if !sealed || !w.Full() {
+			continue
+		}
+		s, err := w.MergedCol(0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Validate(); err != nil {
+			t.Fatalf("push %d: merged summary invalid: %v", i, err)
+		}
+		// The sealed blocks cover the last LiveRows pushes, excluding any
+		// rows sitting in the (empty, just reset) active block.
+		covered := history[len(history)-w.LiveRows:]
+		wantMean, wantM2 := exactMoments(covered)
+		if s.Mom.N != uint64(len(covered)) {
+			t.Fatalf("push %d: merged count %d, want %d", i, s.Mom.N, len(covered))
+		}
+		approx(t, "merged mean", s.Mom.Mean, wantMean, 1e-9*math.Max(1, math.Abs(wantMean)))
+		approx(t, "merged m2", s.Mom.M2, wantM2, 1e-6*math.Max(1, wantM2))
+		approx(t, "merged sumvar", s.SumVar, float64(len(covered)), 1e-9*float64(len(covered)))
+		if s.MinN != 10 {
+			t.Fatalf("merged MinN %d", s.MinN)
+		}
+		if s.Quant.N != uint64(len(covered)) {
+			t.Fatalf("quantile count %d", s.Quant.N)
+		}
+	}
+}
+
+// TestWindowDeterminism: identical push sequences yield deeply equal windows
+// (the bit-identity the replication and recovery paths rely on).
+func TestWindowDeterminism(t *testing.T) {
+	build := func() *Window {
+		w, err := NewWindow(200, 16, 64, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rng := dist.NewRand(32)
+		for i := 0; i < 2000; i++ {
+			obs := []Obs{
+				{Mean: rng.NormFloat64(), Variance: rng.Float64(), N: 5},
+				{Mean: rng.Float64() * 10, Variance: 0, N: 3},
+			}
+			if _, err := w.Push(obs, rng.Float64()); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return w
+	}
+	if !reflect.DeepEqual(build(), build()) {
+		t.Fatal("identical push sequences produced different window states")
+	}
+}
+
+func TestWindowCloneIsolation(t *testing.T) {
+	w, err := NewWindow(50, 5, 32, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 120; i++ {
+		push(t, w, float64(i), 0.5, 0.9)
+	}
+	snap := w.Clone()
+	frozen := w.Clone()
+	for i := 0; i < 75; i++ {
+		push(t, w, float64(-i), 2, 0.5)
+	}
+	if !reflect.DeepEqual(snap, frozen) {
+		t.Fatal("pushes into the original mutated a clone")
+	}
+	if err := snap.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWindowJSONRoundTrip(t *testing.T) {
+	w, err := NewWindow(90, 9, 16, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := dist.NewRand(33)
+	pushRand := func(dst *Window, n int, r *dist.Rand) {
+		for i := 0; i < n; i++ {
+			obs := []Obs{
+				{Mean: r.NormFloat64() * 5, Variance: r.Float64(), N: 7},
+				{Mean: r.Float64(), Variance: 0, N: 2},
+			}
+			if _, err := dst.Push(obs, 1); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	pushRand(w, 400, rng)
+
+	raw, err := json.Marshal(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Window
+	if err := json.Unmarshal(raw, &back); err != nil {
+		t.Fatal(err)
+	}
+	if err := back.Validate(); err != nil {
+		t.Fatalf("deserialized window invalid: %v", err)
+	}
+	// Go's float64 JSON encoding round-trips exactly, so the restored window
+	// must continue bit-identically to the original.
+	contA, contB := dist.NewRand(34), dist.NewRand(34)
+	pushRand(w, 300, contA)
+	pushRand(&back, 300, contB)
+	rawA, _ := json.Marshal(w)
+	rawB, _ := json.Marshal(&back)
+	if string(rawA) != string(rawB) {
+		t.Fatal("restored window diverged from original after identical pushes")
+	}
+}
+
+func TestWindowPushErrors(t *testing.T) {
+	w, err := NewWindow(10, 2, 16, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.Push([]Obs{{}}, 1); err == nil {
+		t.Error("column count mismatch accepted")
+	}
+	for _, p := range []float64{-0.1, 1.5, math.NaN()} {
+		if _, err := w.Push([]Obs{{}, {}}, p); err == nil {
+			t.Errorf("probability %v accepted", p)
+		}
+	}
+	if _, err := w.Push([]Obs{{Mean: math.Inf(1)}, {}}, 1); err == nil {
+		t.Error("non-finite observation accepted")
+	}
+	if _, err := w.MergedCol(5); err == nil {
+		t.Error("out-of-range column accepted")
+	}
+	if _, err := w.MergedCol(0); err == nil {
+		t.Error("merged summary of an empty window accepted")
+	}
+}
+
+func TestWindowConstruction(t *testing.T) {
+	if _, err := NewWindow(0, 4, 16, 1); err == nil {
+		t.Error("zero-row window accepted")
+	}
+	if _, err := NewWindow(10, 0, 16, 1); err == nil {
+		t.Error("zero-block window accepted")
+	}
+	if _, err := NewWindow(10, 4, 16, -1); err == nil {
+		t.Error("negative column count accepted")
+	}
+	// More blocks than rows clamps: every push seals.
+	w, err := NewWindow(3, 16, 16, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.B != 3 || w.BlockRows != 1 {
+		t.Fatalf("clamped geometry b=%d rows=%d", w.B, w.BlockRows)
+	}
+	for i := 0; i < 5; i++ {
+		if !push(t, w, float64(i), 0, 1) {
+			t.Fatal("single-row blocks must seal on every push")
+		}
+	}
+}
+
+// TestWindowBoundedMemory pins the tentpole resource claim: a 1M-row sketch
+// window stays under 64 MiB resident where the exact backends would hold a
+// million tuples. The retained quantile items are the dominant term —
+// O(B·K·log(W/(B·K))) values — a few thousand floats, not a million.
+func TestWindowBoundedMemory(t *testing.T) {
+	if testing.Short() {
+		t.Skip("1M-row window push in -short mode")
+	}
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+
+	const n = 1_200_000
+	w, err := NewWindow(1_000_000, DefaultBlocks, DefaultQuantileK, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := dist.NewRand(35)
+	obs := make([]Obs, 1)
+	for i := 0; i < n; i++ {
+		obs[0] = Obs{Mean: rng.NormFloat64(), Variance: 1, N: 4}
+		if _, err := w.Push(obs, 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	runtime.GC()
+	runtime.ReadMemStats(&after)
+	resident := int64(after.HeapAlloc) - int64(before.HeapAlloc)
+	if resident > 64<<20 {
+		t.Errorf("1M-row sketch window holds %d bytes live, budget 64 MiB", resident)
+	}
+	if items := w.ItemCount(); items > 200_000 {
+		t.Errorf("%d retained quantile items — not polylogarithmic", items)
+	}
+	if !w.Full() {
+		t.Fatal("window should be full after 1.2M pushes")
+	}
+	s, err := w.MergedCol(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Mom.N < 1_000_000 {
+		t.Fatalf("merged summary covers %d rows", s.Mom.N)
+	}
+	// Sanity on the estimates at scale: mean near 0, median interval tight.
+	if math.Abs(s.Mom.Mean) > 0.01 {
+		t.Errorf("merged mean %v far from 0", s.Mom.Mean)
+	}
+	med, err := s.Quant.Interval(0.5, 0.95)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !med.Contains(0) {
+		t.Errorf("median interval %v misses the true median 0", med)
+	}
+	if med.Length() > 0.2 {
+		t.Errorf("median interval %v too wide at n=1M", med)
+	}
+	runtime.KeepAlive(w)
+}
+
+func TestColSummaryMergeNilQuantile(t *testing.T) {
+	// A zero-value ColSummary (no quantile sketch yet) adopts the other
+	// side's sketch on merge — the path MergedCol exercises via Clone.
+	var s ColSummary
+	o := newColSummary(16)
+	if err := o.Add(Obs{Mean: 3, Variance: 1, N: 2}, 0.5); err != nil {
+		t.Fatal(err)
+	}
+	s.Merge(&o)
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if s.Quant == o.Quant {
+		t.Fatal("merge aliased the source quantile sketch")
+	}
+	if s.Mom.N != 1 || s.Quant.N != 1 {
+		t.Fatalf("merged counts %d/%d", s.Mom.N, s.Quant.N)
+	}
+}

@@ -150,6 +150,10 @@ type SelectStmt struct {
 	Where   Expr      // nil when absent
 	GroupBy string    // empty when absent
 	Window  *WindowSpec
+	// Backend overrides the engine's accuracy backend for this query:
+	// "ANALYTICAL", "BOOTSTRAP", or "SKETCH" (upper-cased at parse time);
+	// empty uses the engine default.
+	Backend string
 }
 
 func (s *SelectStmt) String() string {
@@ -180,6 +184,10 @@ func (s *SelectStmt) String() string {
 		} else {
 			fmt.Fprintf(&b, " WINDOW %d ROWS", s.Window.Rows)
 		}
+	}
+	if s.Backend != "" {
+		b.WriteString(" BACKEND ")
+		b.WriteString(s.Backend)
 	}
 	return b.String()
 }

@@ -91,6 +91,7 @@ var reserved = map[string]bool{
 	"select": true, "from": true, "where": true, "window": true,
 	"rows": true, "seconds": true, "as": true, "and": true, "or": true,
 	"not": true, "join": true, "on": true, "group": true, "by": true,
+	"backend": true,
 }
 
 func (p *parser) parseSelect() (*SelectStmt, error) {
@@ -196,6 +197,20 @@ func (p *parser) parseSelect() (*SelectStmt, error) {
 			stmt.Window = &WindowSpec{Seconds: int64(n)}
 		default:
 			return nil, p.errorf("expected ROWS or SECONDS, got %s", p.peek())
+		}
+	}
+	if p.isKeyword("BACKEND") {
+		p.next()
+		t := p.peek()
+		if t.Kind != TokIdent {
+			return nil, p.errorf("expected backend name, got %s", t)
+		}
+		name := strings.ToUpper(p.next().Text)
+		switch name {
+		case "ANALYTICAL", "BOOTSTRAP", "SKETCH":
+			stmt.Backend = name
+		default:
+			return nil, p.errorf("unknown backend %q, want ANALYTICAL, BOOTSTRAP, or SKETCH", name)
 		}
 	}
 	return stmt, nil
