@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: tier1 build test vet race bench bench2 bench3 bench4 bench5 bench6 bench7 bench8 chaos fuzz sketch-conformance clean
+.PHONY: tier1 build test vet race bench bench2 bench3 bench4 bench5 bench6 bench7 bench8 bench9 chaos fuzz sketch-conformance clean
 
 # tier1 is the gate every change must pass: vet, build, and the full test
 # suite under the race detector.
@@ -114,6 +114,23 @@ bench8:
 		-benchmem -benchtime 2x -count 1 ./internal/core/ | tee -a bench.out
 	$(GO) run ./cmd/benchjson -in bench.out -out BENCH_8.json \
 		-notes "Sketch accuracy backend (BACKEND SKETCH) vs exact backends through the engine push path. PushSteady is the per-tuple cost on a full, emitting window - measured on this host: the exact closed-form backend rescans O(window) per emission (11939 ns/op at window 1000, 548383 at 100k; bootstrap 27107 at 1000 with the default resample budget), while the sketch backend merges 16 block summaries only on block-seal pushes, so per-tuple cost falls as blocks grow (4757 ns/op at 1000, 767 at 100k, 653 at 1M - a window size the exact backends cannot serve at streaming rates). WindowAbsorb1M ingests 1M tuples from cold: retained_bytes/op (printed in the bench output; the parser keeps ns/op and B/op) is the live heap pinned by the full window after GC - exact columnar 82.1 MB (every row materialized, already past the 64 MiB budget), sketch 0.92 MB (16 Welford/Chan block moment summaries + one K=256 deterministic quantile sketch), an 89x reduction; B/op is dominated by per-tuple construction in both backends. The accuracy side of the trade is pinned by conformance tests rather than benchmarked: sketch mean/variance interval coverage at 90/95/99% matches nominal within binomial 3-sigma over 4000 trials (the moment sketch tracks the exact sample moments), quantile intervals stay conservative under the deterministic rank-error widening, and shard-merged sketches calibrate identically (internal/accuracy/calibration_sketch_test.go, internal/sketch). This container exposes a single CPU (GOMAXPROCS=1); worker-count independence of sketch emission is asserted by tests instead (internal/core/sketch_backend_test.go, internal/server/sketch_crash_test.go, internal/cluster/sketch_replica_test.go)."
+	rm -f bench.out
+
+# bench9 measures the multi-query planner: 1000 identical windowed queries
+# with shared per-(stream, field, window) state vs the same fleet evaluated
+# independently, vs the single-query floor, plus the Fig 5(c) single-query
+# parity check. Records the run in BENCH_9.json. The independent baseline
+# pays a full O(window) scan per query per tuple (~0.5 s/op at window
+# 131072), so it runs a small fixed iteration count.
+bench9:
+	$(GO) test -run '^$$' -bench 'BenchmarkPlanner(1kShared|SingleQuery)$$' \
+		-benchmem -benchtime 50x -count 1 ./internal/core/ | tee bench.out
+	$(GO) test -run '^$$' -bench 'BenchmarkPlanner1kIndependent$$' \
+		-benchmem -benchtime 3x -count 1 ./internal/core/ | tee -a bench.out
+	$(GO) test -run '^$$' -bench 'BenchmarkFig5c(QPOnly|Analytical|Bootstrap)$$' \
+		-benchmem -count 1 . | tee -a bench.out
+	$(GO) run ./cmd/benchjson -in bench.out -out BENCH_9.json \
+		-notes "Multi-query planner: 1000 identical 'SELECT AVG(val) WINDOW 131072 ROWS' queries through the engine push path, steady state on a full, emitting window. Measured on this host: shared planner state 858620 ns/op per tuple for the whole 1000-query fleet vs 436468 ns/op for a single query - the fleet costs 1.97x one query's learning work (the window push and the closed-form moment scan run once per tuple; each extra member pays only an emission replay of ~420 ns), meeting the within-~2x target. The same fleet with the planner disabled (NoSharedState) pays the full O(window) scan per query per tuple: 546468956 ns/op, so shared state is a 636x speedup at this fan-out. Fig5c re-run confirms no single-query regression from the planner pass: QPOnly 2892 ns/op, Analytical 6894, Bootstrap 12096 vs the BENCH_4 baselines 2852/6977/12293 - parity within ~2% run-to-run noise. Byte-identity of shared-state DATA vs unshared, at workers 1 vs 8, across checkpoint+WAL crash recovery, and on replicas is asserted by tests (internal/core/plan_shared_test.go, internal/server/plan_crash_test.go, internal/cluster/plan_replica_test.go) rather than benchmarked. This container exposes a single CPU (GOMAXPROCS=1)."
 	rm -f bench.out
 
 # sketch-conformance runs the statistical conformance suites for the sketch

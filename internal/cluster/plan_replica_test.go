@@ -1,0 +1,46 @@
+package cluster
+
+import (
+	"strings"
+	"testing"
+)
+
+// A follower replaying a primary whose queries share planner state serves
+// byte-identical reads: shared groups form from the same replayed QUERY
+// records in the same order on both nodes, so STATS, EXPLAIN (including
+// the shared-state plan annotation and sharer counts), and subsequent
+// DATA-producing state are indistinguishable.
+func TestReplicaSharedStateByteIdentical(t *testing.T) {
+	p := startPrimary(t, 1, 1<<20, 0)
+	f := startFollower(t, 4, p.shipAddr)
+
+	pc := dialRaw(t, p.addr)
+	pc.mustOK("STREAM readings sensor temp:dist")
+	for _, q := range []string{
+		"QUERY s1 SELECT AVG(temp) AS a FROM readings WINDOW 3 ROWS",
+		"QUERY s2 SELECT AVG(temp) AS a FROM readings WINDOW 3 ROWS",
+		"QUERY s3 SELECT AVG(temp) AS a FROM readings WINDOW 3 ROWS",
+		"QUERY s4 SELECT MIN(temp) AS lo FROM readings WHERE temp > 45 WINDOW 2 ROWS",
+	} {
+		pc.mustOK(q)
+	}
+	insertN(t, pc, 12, 1)
+	waitCaughtUp(t, p, f)
+
+	pr := dialRaw(t, p.addr)
+	fc := dialRaw(t, f.addr)
+	compareReplies(t, pr, fc,
+		"STATS s1", "STATS s2", "STATS s3", "STATS s4",
+		"EXPLAIN s1", "EXPLAIN s2", "EXPLAIN s3", "EXPLAIN s4")
+
+	// Both nodes must report the same shared group, not merely agree.
+	rep := strings.Join(fc.cmd("EXPLAIN s1"), "\n")
+	if !strings.Contains(rep, "3 sharer(s)") {
+		t.Fatalf("follower EXPLAIN s1 lost the shared group: %q", rep)
+	}
+
+	// The tail keeps flowing through shared state on both nodes.
+	insertN(t, pc, 6, 100)
+	waitCaughtUp(t, p, f)
+	compareReplies(t, pr, fc, "STATS s1", "STATS s2", "STATS s3", "STATS s4")
+}

@@ -26,6 +26,7 @@ import (
 
 	"repro/internal/dist"
 	"repro/internal/learn"
+	"repro/internal/plan"
 	"repro/internal/randvar"
 	"repro/internal/sketch"
 	"repro/internal/stream"
@@ -133,6 +134,13 @@ type Config struct {
 	// windows (default sketch.DefaultQuantileK); larger K tightens the
 	// deterministic rank error bound at proportional memory cost.
 	SketchK int
+	// NoSharedState disables the multi-query planner's shared-state
+	// registry: every query keeps private window buffers and computes its
+	// own aggregates and accuracy information, as if it were the only
+	// query on its stream. Output is bit-identical either way — the flag
+	// exists for equivalence tests and for benchmarking shared against
+	// independent evaluation.
+	NoSharedState bool
 }
 
 // Normalize fills defaults and validates ranges.
@@ -246,6 +254,11 @@ type Engine struct {
 	// so replayed runs evaluate queries with the same resample counts — and
 	// the same RNG consumption — as the live run.
 	degrade atomic.Int32
+
+	// plans is the multi-query planner's shared-state registry (nil when
+	// Config.NoSharedState). Group membership mutates only under the
+	// Bind/Unbind registration contract; see plan_shared.go.
+	plans *plan.Registry
 }
 
 // MaxDegradeLevel bounds the load-shedding ladder: each level halves the
@@ -306,15 +319,24 @@ func NewEngine(cfg Config) (*Engine, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Engine{
+	eng := &Engine{
 		cfg:     norm,
 		streams: make(map[string]*streamDef),
 		bound:   make(map[string]*boundQuery),
-	}, nil
+	}
+	if !norm.NoSharedState {
+		eng.plans = plan.NewRegistry()
+	}
+	return eng, nil
 }
 
 // Config returns the engine's normalized configuration.
 func (e *Engine) Config() Config { return e.cfg }
+
+// Planner returns the multi-query planner's shared-state registry, nil
+// when Config.NoSharedState disabled it. Exposed for EXPLAIN-style
+// introspection and tests; group membership is engine-internal.
+func (e *Engine) Planner() *plan.Registry { return e.plans }
 
 // RegisterStream declares a stream with the given schema.
 func (e *Engine) RegisterStream(schema *stream.Schema) error {

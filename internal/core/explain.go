@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"strings"
 
+	"repro/internal/plan"
 	"repro/internal/stream"
 )
 
@@ -28,6 +29,23 @@ func (q *Query) Explain() string {
 	}
 	switch q.mode {
 	case modeAggregate:
+		if q.join == nil {
+			switch {
+			case q.shared != nil:
+				// Only structural facts here: lead/follow counters depend on
+				// how much history this node replayed (a replica caught up
+				// from a snapshot skips earlier pushes), so they live in
+				// ExplainTiming, keeping Explain byte-identical across
+				// replicas and crash recovery.
+				g := q.shared
+				fmt.Fprintf(&b, "  plan: shared state [%s] — %d sharer(s), window+filter+closed-form aggregates computed once per tuple\n",
+					g.key, g.sharers.Load())
+			case q.prof.Shareable:
+				fmt.Fprintf(&b, "  plan: shareable [%s] — not yet bound to a shared-state group\n", q.prof.Key)
+			default:
+				fmt.Fprintf(&b, "  plan: per-query state — %s\n", q.prof.Reason)
+			}
+		}
 		var windowDesc string
 		switch {
 		case q.sketchWin != nil:
@@ -83,5 +101,29 @@ func (q *Query) Explain() string {
 	}
 	b.WriteByte('\n')
 	fmt.Fprintf(&b, "  output: %s\n", q.out)
+	return b.String()
+}
+
+// ExplainTiming renders the query's per-stage wall-clock timing, enabling
+// collection on first call (so steady-state pushes pay nothing until
+// someone asks). Unlike Explain, the output contains wall times and is
+// inherently non-deterministic — it is an operator tool, never part of the
+// byte-identical DATA/EXPLAIN surface.
+func (q *Query) ExplainTiming() string {
+	first := !q.timing.Enabled()
+	q.timing.Enable()
+	var b strings.Builder
+	fmt.Fprintf(&b, "Timing: %s\n", q.stmt)
+	if first {
+		b.WriteString("  collection enabled by this call; counters accumulate from now\n")
+	}
+	snap := q.timing.Snapshot()
+	for s, st := range snap {
+		fmt.Fprintf(&b, "  stage %-9s %d timed runs, %d ns total\n", plan.Stage(s), st.Count, st.Nanos)
+	}
+	if g := q.shared; g != nil {
+		fmt.Fprintf(&b, "  shared group [%s]: %d sharers, %d emissions computed, %d replayed from the group cache\n",
+			g.key, g.sharers.Load(), g.leads.Load(), g.follows.Load())
+	}
 	return b.String()
 }

@@ -94,6 +94,11 @@ func (e *Engine) Bind(id string, q *Query) error {
 		def.queries[i] = bq
 	}
 	e.bound[id] = bq
+	// Planner pass at registration: join (or found) the query's
+	// shared-state group. Content-equality admission means recovered
+	// queries re-merge into shared groups only when their restored windows
+	// hold identical contents.
+	e.attachShared(q)
 	return nil
 }
 
@@ -115,6 +120,7 @@ func (e *Engine) Unbind(id string) bool {
 			}
 		}
 	}
+	e.detachShared(bq.q)
 	return true
 }
 
@@ -313,5 +319,9 @@ func (e *Engine) IngestBatch(streamName string, rows []IngestRow, commit func() 
 		}
 		out = append(out, qr)
 	}
+	// Batch boundary: the query-major loop above has replayed every shared
+	// emission into every group member, so group caches are empty again;
+	// sweep any straggler so the next batch starts from a clean slate.
+	e.sweepShared(sd)
 	return out, nil
 }

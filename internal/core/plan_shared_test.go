@@ -1,0 +1,393 @@
+package core
+
+import (
+	"fmt"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/dist"
+	"repro/internal/randvar"
+)
+
+// sharedRow builds one ingest row of the traffic stream, swapping in a
+// histogram delay on a stride so aggregates exercise both the Gaussian
+// closed form and the Monte Carlo fallback while shared.
+func sharedRow(t *testing.T, i int) IngestRow {
+	t.Helper()
+	road := randvar.Det(float64(i % 3))
+	var d1 randvar.Field
+	if i%5 == 4 {
+		h, err := dist.HistogramFromCounts([]float64{50, 60, 70, 80}, []int{2, 5, 3})
+		if err != nil {
+			t.Fatal(err)
+		}
+		d1 = randvar.Field{Dist: h, N: 10}
+	} else {
+		nd, err := dist.NewNormal(55+float64(i%9), 100)
+		if err != nil {
+			t.Fatal(err)
+		}
+		d1 = randvar.Field{Dist: nd, N: 10 + i%4}
+	}
+	nd2, err := dist.NewNormal(40+float64(i%7), 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return IngestRow{Fields: []randvar.Field{road, d1, {Dist: nd2, N: 12}}, Time: int64(i)}
+}
+
+// bindAll compiles and binds the same statements, in the same order, on an
+// engine. Query ids are zero-padded so IngestBatch result order is the
+// statement order.
+func bindAll(t *testing.T, e *Engine, stmts []string) []*Query {
+	t.Helper()
+	qs := make([]*Query, len(stmts))
+	for i, s := range stmts {
+		q, err := e.Compile(s)
+		if err != nil {
+			t.Fatalf("compile %q: %v", s, err)
+		}
+		if err := e.Bind(fmt.Sprintf("q%03d", i), q); err != nil {
+			t.Fatal(err)
+		}
+		qs[i] = q
+	}
+	return qs
+}
+
+// ingestBoth pushes the identical batch through two engines and demands
+// bit-identical per-query results and errors.
+func ingestBoth(t *testing.T, label string, ea, eb *Engine, rows []IngestRow) {
+	t.Helper()
+	ra, erra := ea.IngestBatch("traffic", rows, nil)
+	rb, errb := eb.IngestBatch("traffic", rows, nil)
+	if (erra == nil) != (errb == nil) {
+		t.Fatalf("%s: batch error mismatch: %v vs %v", label, erra, errb)
+	}
+	if len(ra) != len(rb) {
+		t.Fatalf("%s: %d vs %d query results", label, len(ra), len(rb))
+	}
+	for i := range ra {
+		if ra[i].ID != rb[i].ID {
+			t.Fatalf("%s: result order diverged: %s vs %s", label, ra[i].ID, rb[i].ID)
+		}
+		ae, be := "", ""
+		if ra[i].Err != nil {
+			ae = ra[i].Err.Error()
+		}
+		if rb[i].Err != nil {
+			be = rb[i].Err.Error()
+		}
+		if ae != be {
+			t.Fatalf("%s: query %s error mismatch:\n  a: %s\n  b: %s", label, ra[i].ID, ae, be)
+		}
+		if !reflect.DeepEqual(ra[i].Results, rb[i].Results) {
+			t.Fatalf("%s: query %s results diverged:\n  a: %+v\n  b: %+v",
+				label, ra[i].ID, ra[i].Results, rb[i].Results)
+		}
+	}
+}
+
+// sharedWorkload mixes identical queries (one big shared group), a group
+// that shares window state but not output plans, Monte Carlo aggregates,
+// filtered classes, and an unshareable query.
+var sharedWorkload = []string{
+	"SELECT AVG(delay) AS a FROM traffic WINDOW 4 ROWS",
+	"SELECT AVG(delay) AS a FROM traffic WINDOW 4 ROWS",
+	"SELECT AVG(delay) AS a FROM traffic WINDOW 4 ROWS",
+	"SELECT AVG(delay) AS a FROM traffic WINDOW 4 ROWS",
+	// Same key, different output plan: window shared, emissions per-member.
+	"SELECT AVG(delay) AS b, COUNT(road_id) AS c FROM traffic WINDOW 4 ROWS",
+	"SELECT SUM(delay2) AS s FROM traffic WINDOW 4 ROWS",
+	// Monte Carlo aggregates over the shared materialized columns.
+	"SELECT MIN(delay) AS lo, MAX(delay2) AS hi FROM traffic WINDOW 4 ROWS",
+	// Filtered equivalence class (closed-form filter, shareable).
+	"SELECT AVG(delay) AS a FROM traffic WHERE delay > 50 WINDOW 3 ROWS",
+	"SELECT AVG(delay) AS a FROM traffic WHERE delay > 50 WINDOW 3 ROWS",
+	// Unshareable: expression comparison may consume per-query randomness.
+	"SELECT AVG(delay) AS a FROM traffic WHERE delay > delay2 WINDOW 4 ROWS",
+}
+
+// TestSharedStateEquivalence pins the planner's core promise: enabling
+// shared per-(stream, filter, window, backend) state changes no output bit
+// relative to fully independent queries, across accuracy methods.
+func TestSharedStateEquivalence(t *testing.T) {
+	for _, m := range []AccuracyMethod{AccuracyNone, AccuracyAnalytical, AccuracyBootstrap} {
+		t.Run(m.String(), func(t *testing.T) {
+			cfg := Config{Method: m, Seed: 7, MonteCarloValues: 64, BootstrapResamples: 40}
+			shared := newTestEngine(t, cfg)
+			indep := newTestEngine(t, func() Config { c := cfg; c.NoSharedState = true; return c }())
+			bindAll(t, shared, sharedWorkload)
+			bindAll(t, indep, sharedWorkload)
+			if g := shared.Planner().Groups(); g == 0 {
+				t.Fatal("no shared groups formed")
+			}
+			if indep.Planner() != nil {
+				t.Fatal("NoSharedState engine built a planner registry")
+			}
+			for i := 0; i < 30; i += 3 {
+				rows := []IngestRow{sharedRow(t, i), sharedRow(t, i+1), sharedRow(t, i+2)}
+				ingestBoth(t, fmt.Sprintf("batch@%d", i), shared, indep, rows)
+			}
+		})
+	}
+}
+
+// TestSharedStateWorkersBitIdentical pins worker-count invariance with the
+// planner enabled and the RNG-dependent bootstrap backend.
+func TestSharedStateWorkersBitIdentical(t *testing.T) {
+	cfg := Config{Method: AccuracyBootstrap, Seed: 11, MonteCarloValues: 80, BootstrapResamples: 60}
+	one := newTestEngine(t, func() Config { c := cfg; c.Workers = 1; return c }())
+	eight := newTestEngine(t, func() Config { c := cfg; c.Workers = 8; return c }())
+	bindAll(t, one, sharedWorkload)
+	bindAll(t, eight, sharedWorkload)
+	for i := 0; i < 24; i += 2 {
+		rows := []IngestRow{sharedRow(t, i), sharedRow(t, i+1)}
+		ingestBoth(t, fmt.Sprintf("batch@%d", i), one, eight, rows)
+	}
+}
+
+// TestSharedStatsEquivalence demands STATS counters (in/out/dropped/unsure)
+// are indistinguishable between shared and independent runs — the shared
+// path replays per-member counters rather than counting once per group.
+func TestSharedStatsEquivalence(t *testing.T) {
+	cfg := Config{Method: AccuracyAnalytical, Seed: 3, MinProb: 0.05}
+	shared := newTestEngine(t, cfg)
+	indep := newTestEngine(t, func() Config { c := cfg; c.NoSharedState = true; return c }())
+	qa := bindAll(t, shared, sharedWorkload)
+	qb := bindAll(t, indep, sharedWorkload)
+	for i := 0; i < 20; i++ {
+		ingestBoth(t, fmt.Sprintf("row@%d", i), shared, indep, []IngestRow{sharedRow(t, i)})
+	}
+	for i := range qa {
+		if sa, sb := qa[i].Stats(), qb[i].Stats(); sa != sb {
+			t.Errorf("query %d stats diverged: shared %+v, independent %+v", i, sa, sb)
+		}
+	}
+}
+
+// TestSharedGroupLifecycle walks registration, group accounting, EXPLAIN
+// annotations, and unbind-driven teardown.
+func TestSharedGroupLifecycle(t *testing.T) {
+	e := newTestEngine(t, Config{Method: AccuracyAnalytical, Seed: 1})
+	qs := bindAll(t, e, sharedWorkload)
+
+	// Expected classes: AVG/SUM/COUNT family at window 4 (one group of 6,
+	// incl. MIN/MAX member), the filtered pair at window 3, and the
+	// unshareable query outside any group.
+	if g := e.Planner().Groups(); g != 2 {
+		t.Fatalf("Groups() = %d, want 2", g)
+	}
+	if h, m := e.Planner().Hits(), e.Planner().Misses(); h != 7 || m != 2 {
+		t.Fatalf("hits=%d misses=%d, want 7/2", h, m)
+	}
+	if ex := qs[0].Explain(); !strings.Contains(ex, "plan: shared state [stream=traffic rows=4 backend=analytical] — 7 sharer(s)") {
+		t.Errorf("sharer Explain missing plan line:\n%s", ex)
+	}
+	if ex := qs[7].Explain(); !strings.Contains(ex, `filter="delay > 50"`) || !strings.Contains(ex, "2 sharer(s)") {
+		t.Errorf("filtered sharer Explain missing filter key:\n%s", ex)
+	}
+	if ex := qs[9].Explain(); !strings.Contains(ex, "plan: per-query state — filter may consume per-query randomness") {
+		t.Errorf("unshareable Explain missing reason:\n%s", ex)
+	}
+
+	// Members of one class alias one window buffer.
+	if qs[0].window != qs[1].window || qs[0].window != qs[6].window {
+		t.Error("same-class members do not alias one window")
+	}
+	if qs[0].window == qs[7].window {
+		t.Error("different classes alias one window")
+	}
+
+	// Unbinding all but one member keeps the (solo) group; the last
+	// departure releases it.
+	for i := 1; i <= 6; i++ {
+		if !e.Unbind(fmt.Sprintf("q%03d", i)) {
+			t.Fatalf("unbind q%03d failed", i)
+		}
+	}
+	if g := e.Planner().Groups(); g != 2 {
+		t.Fatalf("Groups() after partial unbind = %d, want 2", g)
+	}
+	if !e.Unbind("q000") {
+		t.Fatal("unbind q000 failed")
+	}
+	if g := e.Planner().Groups(); g != 1 {
+		t.Fatalf("Groups() after class teardown = %d, want 1", g)
+	}
+}
+
+// TestSharedCacheInvalidation pins the emission-cache lifecycle invariant:
+// within a batch every entry is consumed by every member (window-advance
+// invalidation), so caches are empty at every batch boundary — the
+// registration points where membership may change.
+func TestSharedCacheInvalidation(t *testing.T) {
+	e := newTestEngine(t, Config{Method: AccuracyAnalytical, Seed: 2})
+	qs := bindAll(t, e, sharedWorkload)
+	for i := 0; i < 12; i += 4 {
+		rows := make([]IngestRow, 4)
+		for j := range rows {
+			rows[j] = sharedRow(t, i+j)
+		}
+		if _, err := e.IngestBatch("traffic", rows, nil); err != nil {
+			t.Fatal(err)
+		}
+		for qi, q := range qs {
+			if q.shared != nil && len(q.shared.cache) != 0 {
+				t.Fatalf("after batch@%d query %d group cache holds %d entries, want 0",
+					i, qi, len(q.shared.cache))
+			}
+		}
+	}
+	// Lead/follow accounting: the 7-member group must have computed each
+	// sequence once and replayed it 6 times.
+	g := qs[0].shared
+	if g == nil {
+		t.Fatal("query 0 not shared")
+	}
+	leads, follows := g.leads.Load(), g.follows.Load()
+	if leads != 12 || follows != 12*6 {
+		t.Fatalf("leads=%d follows=%d, want 12/72", leads, follows)
+	}
+}
+
+// TestSharedSketchEquivalence covers sketch-backend groups: identical
+// aggregate signatures share one sketch ring and fully built emissions.
+func TestSharedSketchEquivalence(t *testing.T) {
+	stmts := []string{
+		"SELECT COUNT(delay) AS c, AVG(delay) AS a FROM traffic WINDOW 64 ROWS BACKEND SKETCH",
+		"SELECT COUNT(delay) AS c, AVG(delay) AS a FROM traffic WINDOW 64 ROWS BACKEND SKETCH",
+		"SELECT COUNT(delay) AS c, AVG(delay) AS a FROM traffic WINDOW 64 ROWS BACKEND SKETCH",
+		// Different signature: separate sketch group under a distinct key.
+		"SELECT MIN(delay) AS lo FROM traffic WINDOW 64 ROWS BACKEND SKETCH",
+	}
+	cfg := Config{Method: AccuracyAnalytical, Seed: 9}
+	shared := newTestEngine(t, cfg)
+	indep := newTestEngine(t, func() Config { c := cfg; c.NoSharedState = true; return c }())
+	qs := bindAll(t, shared, stmts)
+	bindAll(t, indep, stmts)
+	if qs[0].sketchWin == nil || qs[0].sketchWin != qs[2].sketchWin {
+		t.Fatal("sketch members do not alias one ring")
+	}
+	if qs[0].sketchWin == qs[3].sketchWin {
+		t.Fatal("different sketch signatures share a ring")
+	}
+	for i := 0; i < 160; i += 8 {
+		rows := make([]IngestRow, 8)
+		for j := range rows {
+			rows[j] = sharedRow(t, i+j)
+		}
+		ingestBoth(t, fmt.Sprintf("batch@%d", i), shared, indep, rows)
+	}
+}
+
+// TestSharedUnbindMidStream detaches a sharer between batches and checks
+// the survivors continue bit-identically to independent queries driven
+// through the same unbind.
+func TestSharedUnbindMidStream(t *testing.T) {
+	cfg := Config{Method: AccuracyAnalytical, Seed: 5}
+	shared := newTestEngine(t, cfg)
+	indep := newTestEngine(t, func() Config { c := cfg; c.NoSharedState = true; return c }())
+	bindAll(t, shared, sharedWorkload)
+	bindAll(t, indep, sharedWorkload)
+	for i := 0; i < 10; i++ {
+		ingestBoth(t, fmt.Sprintf("pre@%d", i), shared, indep, []IngestRow{sharedRow(t, i)})
+	}
+	shared.Unbind("q001")
+	indep.Unbind("q001")
+	for i := 10; i < 20; i++ {
+		ingestBoth(t, fmt.Sprintf("post@%d", i), shared, indep, []IngestRow{sharedRow(t, i)})
+	}
+}
+
+// TestSharedThousandQueries is the scale acceptance test: one thousand
+// identical-window queries form a single shared-state group and stay
+// byte-identical to both an unshared engine and a different worker count.
+func TestSharedThousandQueries(t *testing.T) {
+	const nq = 1000
+	stmts := make([]string, nq)
+	for i := range stmts {
+		stmts[i] = "SELECT AVG(delay) AS a FROM traffic WINDOW 8 ROWS"
+	}
+	cfg := Config{Method: AccuracyAnalytical, Seed: 21}
+	shared := newTestEngine(t, cfg)
+	indep := newTestEngine(t, func() Config { c := cfg; c.NoSharedState = true; return c }())
+	w8 := newTestEngine(t, func() Config { c := cfg; c.Workers = 8; return c }())
+	bindAll(t, shared, stmts)
+	bindAll(t, indep, stmts)
+	bindAll(t, w8, stmts)
+	if g := shared.Planner().Groups(); g != 1 {
+		t.Fatalf("Groups() = %d, want 1", g)
+	}
+	// All-Gaussian rows keep every engine on the closed form (the Monte
+	// Carlo fallback's equivalence is pinned by the smaller tests above;
+	// at 1000 independent queries it would dominate the suite's runtime).
+	gaussianRow := func(i int) IngestRow {
+		nd, err := dist.NewNormal(55+float64(i%9), 100)
+		if err != nil {
+			t.Fatal(err)
+		}
+		nd2, err := dist.NewNormal(40+float64(i%7), 100)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return IngestRow{Fields: []randvar.Field{
+			randvar.Det(float64(i % 3)), {Dist: nd, N: 10 + i%4}, {Dist: nd2, N: 12},
+		}, Time: int64(i)}
+	}
+	for i := 0; i < 24; i += 8 {
+		rows := make([]IngestRow, 8)
+		for j := range rows {
+			rows[j] = gaussianRow(i + j)
+		}
+		ra, err := shared.IngestBatch("traffic", rows, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for name, other := range map[string]*Engine{"independent": indep, "workers=8": w8} {
+			rb, err := other.IngestBatch("traffic", rows, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(ra, rb) {
+				t.Fatalf("batch@%d: shared vs %s diverged", i, name)
+			}
+		}
+	}
+}
+
+// TestExplainTiming smoke-tests the operator timing surface: enabling via
+// the first call, per-stage counters accumulating on subsequent pushes.
+func TestExplainTiming(t *testing.T) {
+	e := newTestEngine(t, Config{Method: AccuracyAnalytical, Seed: 4})
+	qs := bindAll(t, e, []string{
+		"SELECT AVG(delay) AS a FROM traffic WHERE delay > 40 WINDOW 2 ROWS",
+		"SELECT AVG(delay) AS a FROM traffic WHERE delay > 40 WINDOW 2 ROWS",
+	})
+	first := qs[0].ExplainTiming()
+	if !strings.Contains(first, "collection enabled") {
+		t.Errorf("first ExplainTiming missing enablement note:\n%s", first)
+	}
+	for i := 0; i < 6; i++ {
+		if _, err := e.IngestBatch("traffic", []IngestRow{sharedRow(t, i)}, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	out := qs[0].ExplainTiming()
+	if strings.Contains(out, "collection enabled") {
+		t.Errorf("second ExplainTiming repeats enablement note:\n%s", out)
+	}
+	for _, stage := range []string{"filter", "window", "aggregate", "accuracy"} {
+		if !strings.Contains(out, "stage "+stage) {
+			t.Errorf("ExplainTiming missing stage %s:\n%s", stage, out)
+		}
+	}
+	if !strings.Contains(out, "shared group [stream=traffic rows=2 backend=analytical") {
+		t.Errorf("ExplainTiming missing shared-group line:\n%s", out)
+	}
+	snap := qs[0].timing.Snapshot()
+	if snap[0].Count == 0 {
+		t.Error("filter stage never timed after enablement")
+	}
+}

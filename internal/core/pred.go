@@ -306,7 +306,7 @@ func compilePredicateCall(schema *stream.Schema, call *sql.CallExpr, cfg Config)
 		if len(call.Args) != 4 && len(call.Args) != 5 {
 			return nil, fmt.Errorf("core: MTEST takes 4 or 5 arguments, got %d", len(call.Args))
 		}
-		colIdx, err := columnArg(schema, call.Args[0], "MTEST field")
+		colIdx, err := probColumnArg(schema, call.Args[0], "MTEST field")
 		if err != nil {
 			return nil, err
 		}
@@ -340,11 +340,11 @@ func compilePredicateCall(schema *stream.Schema, call *sql.CallExpr, cfg Config)
 		if len(call.Args) != 5 && len(call.Args) != 6 {
 			return nil, fmt.Errorf("core: MDTEST takes 5 or 6 arguments, got %d", len(call.Args))
 		}
-		xIdx, err := columnArg(schema, call.Args[0], "MDTEST field X")
+		xIdx, err := probColumnArg(schema, call.Args[0], "MDTEST field X")
 		if err != nil {
 			return nil, err
 		}
-		yIdx, err := columnArg(schema, call.Args[1], "MDTEST field Y")
+		yIdx, err := probColumnArg(schema, call.Args[1], "MDTEST field Y")
 		if err != nil {
 			return nil, err
 		}
@@ -382,11 +382,11 @@ func compilePredicateCall(schema *stream.Schema, call *sql.CallExpr, cfg Config)
 		if len(call.Args) != 3 && len(call.Args) != 5 {
 			return nil, fmt.Errorf("core: KSTEST takes 3 or 5 arguments, got %d", len(call.Args))
 		}
-		xIdx, err := columnArg(schema, call.Args[0], "KSTEST field X")
+		xIdx, err := probColumnArg(schema, call.Args[0], "KSTEST field X")
 		if err != nil {
 			return nil, err
 		}
-		yIdx, err := columnArg(schema, call.Args[1], "KSTEST field Y")
+		yIdx, err := probColumnArg(schema, call.Args[1], "KSTEST field Y")
 		if err != nil {
 			return nil, err
 		}
@@ -431,6 +431,21 @@ func compilePredicateCall(schema *stream.Schema, call *sql.CallExpr, cfg Config)
 		inner, ok := call.Args[0].(*sql.CmpExpr)
 		if !ok {
 			return nil, fmt.Errorf("core: PTEST predicate must be a comparison, got %s", call.Args[0])
+		}
+		// PTEST consumes the inner predicate's d.f. sample size. A
+		// probability-threshold comparison yields an exact boolean (N = 0)
+		// and a comparison over only deterministic columns yields a point
+		// mass (N = 0); either shape would fail on every tuple at emission,
+		// so reject both at plan time.
+		isProb := func(e sql.Expr) bool {
+			c, ok := e.(*sql.CallExpr)
+			return ok && c.Func == "PROB"
+		}
+		if isProb(inner.L) || isProb(inner.R) {
+			return nil, fmt.Errorf("core: PTEST predicate %s is a probability-threshold comparison, which carries no sample size; test the comparison directly", inner)
+		}
+		if !refsProbColumn(schema, inner) {
+			return nil, fmt.Errorf("core: PTEST predicate %s references no probabilistic column, so no sample size is available", inner)
 		}
 		innerPred, err := compileCmpAtom(schema, inner)
 		if err != nil {
@@ -487,6 +502,52 @@ func fieldStats(f randvar.Field) (hypothesis.Stats, error) {
 }
 
 // columnArg resolves an argument that must be a column reference.
+// probColumnArg resolves a column argument that must be probabilistic. The
+// significance tests consume per-field sample statistics (mean, variance,
+// sample size) which deterministic columns never carry, so such predicates
+// fail on every tuple; rejecting them here moves that deterministic failure
+// from first emission to REGISTER time.
+func probColumnArg(schema *stream.Schema, e sql.Expr, what string) (int, error) {
+	idx, err := columnArg(schema, e, what)
+	if err != nil {
+		return 0, err
+	}
+	if !schema.Columns[idx].Probabilistic {
+		return 0, fmt.Errorf("core: %s must be a probabilistic column; %q is deterministic",
+			what, schema.Columns[idx].Name)
+	}
+	return idx, nil
+}
+
+// refsProbColumn reports whether any column referenced by e is
+// probabilistic. Expressions over only deterministic columns evaluate to
+// point masses with no sample size, so sample-size-hungry predicates over
+// them fail on every tuple — callers reject such shapes at plan time.
+func refsProbColumn(schema *stream.Schema, e sql.Expr) bool {
+	switch x := e.(type) {
+	case *sql.ColumnRef:
+		idx, ok := schema.Index(x.Name)
+		return ok && schema.Columns[idx].Probabilistic
+	case *sql.CmpExpr:
+		return refsProbColumn(schema, x.L) || refsProbColumn(schema, x.R)
+	case *sql.BinaryExpr:
+		return refsProbColumn(schema, x.L) || refsProbColumn(schema, x.R)
+	case *sql.LogicalExpr:
+		return refsProbColumn(schema, x.L) || refsProbColumn(schema, x.R)
+	case *sql.UnaryExpr:
+		return refsProbColumn(schema, x.X)
+	case *sql.NotExpr:
+		return refsProbColumn(schema, x.X)
+	case *sql.CallExpr:
+		for _, a := range x.Args {
+			if refsProbColumn(schema, a) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
 func columnArg(schema *stream.Schema, e sql.Expr, what string) (int, error) {
 	col, ok := e.(*sql.ColumnRef)
 	if !ok {

@@ -10,6 +10,7 @@ import (
 	"repro/internal/accuracy"
 	"repro/internal/bootstrap"
 	"repro/internal/dist"
+	"repro/internal/plan"
 	"repro/internal/randvar"
 	"repro/internal/sketch"
 	"repro/internal/sql"
@@ -177,6 +178,13 @@ type Query struct {
 
 	join *joinState
 
+	// prof is the compile-time shareability profile; shared is the live
+	// shared-state group this query is attached to (nil when unshared).
+	// timing collects per-stage wall time once EXPLAIN … TIMING enables it.
+	prof   planProfile
+	shared *sharedGroup
+	timing plan.StageTimer
+
 	stats queryCounters
 	telem queryTelemetry
 }
@@ -238,6 +246,7 @@ func (e *Engine) CompileStmt(stmt *sql.SelectStmt) (*Query, error) {
 	if q.method == AccuracySketch && q.sketchWin == nil {
 		return nil, errors.New("core: BACKEND SKETCH requires an ungrouped count-windowed aggregate query")
 	}
+	q.prof = q.planProfileOf()
 	// The evaluator is created last so a failed compile consumes no engine
 	// sequence number: WAL replay re-runs only the successful statements,
 	// and seq (hence every evaluator seed) must evolve identically.
@@ -276,13 +285,17 @@ func (q *Query) planJoin() error {
 	if left.Columns[lk].Probabilistic || right.Columns[rk].Probabilistic {
 		return errors.New("core: join keys must be deterministic columns")
 	}
-	winSize := 128 // default symmetric window per side
-	if stmt.Window != nil {
-		if stmt.Window.Seconds > 0 {
-			return errors.New("core: time-windowed joins are not supported; use WINDOW n ROWS")
-		}
-		winSize = stmt.Window.Rows
+	if stmt.Window == nil {
+		// Normalize the implicit default into the statement so the
+		// effective window survives round trips: EXPLAIN, statement
+		// printing, checkpointed SQL, and replicated registrations all
+		// show WINDOW n ROWS explicitly instead of an invisible fallback.
+		stmt.Window = &sql.WindowSpec{Rows: sql.DefaultJoinWindowRows}
 	}
+	if stmt.Window.Seconds > 0 {
+		return errors.New("core: time-windowed joins are not supported; use WINDOW n ROWS")
+	}
+	winSize := stmt.Window.Rows
 	lw, err := stream.NewCountWindow(winSize)
 	if err != nil {
 		return err
@@ -457,6 +470,18 @@ func (q *Query) planAggregates() error {
 		case stmt.Window.Seconds > 0:
 			return errors.New("core: BACKEND SKETCH requires a count window (WINDOW n ROWS)")
 		}
+		// Validate the aggregate set at plan time, fail-closed: a sketch
+		// query whose aggregates the emission path cannot serve must be
+		// rejected at REGISTER — before the statement is WAL-journaled —
+		// never at first emission, where replay and replicas would re-hit
+		// the same runtime error.
+		for _, a := range q.aggs {
+			switch a.kind {
+			case stream.Avg, stream.Sum, stream.Count, stream.Min, stream.Max:
+			default:
+				return fmt.Errorf("core: BACKEND SKETCH does not support aggregate %v (supported: AVG, SUM, COUNT, MIN, MAX)", a.kind)
+			}
+		}
 		w, err := sketch.NewWindow(stmt.Window.Rows, q.eng.cfg.SketchBlocks, q.eng.cfg.SketchK, len(q.aggs))
 		if err != nil {
 			return err
@@ -574,11 +599,24 @@ func (q *Query) Push(t *stream.Tuple) ([]Result, error) {
 }
 
 // pushFiltered applies WHERE and routes to the scalar or aggregate path.
+// Members of a shared-state group divert to the planner's shared pipeline,
+// which runs filter/window/aggregate once per tuple for the whole group.
 func (q *Query) pushFiltered(t *stream.Tuple) ([]Result, error) {
+	if q.shared != nil {
+		return q.pushShared(t)
+	}
 	prob, probN := t.Prob, t.ProbN
 	unsure := false
 	if q.where != nil {
+		timed := q.timing.Enabled()
+		var t0 time.Time
+		if timed {
+			t0 = time.Now()
+		}
 		o, err := q.where(q.ev, t)
+		if timed {
+			q.timing.Observe(plan.StageFilter, time.Since(t0))
+		}
 		if err != nil {
 			return nil, err
 		}
@@ -756,6 +794,11 @@ func (q *Query) pushAggregate(t *stream.Tuple, prob float64, probN int, unsure b
 	// buffers: stream.Aggregate consumes its inputs within the call, so
 	// nothing here outlives the push. Columnar windows skip the gather
 	// entirely and scan their column arrays in place.
+	timed := q.timing.Enabled()
+	var t0 time.Time
+	if timed {
+		t0 = time.Now()
+	}
 	q.winBuf = q.winBuf[:0]
 	var colWin *stream.ColumnWindow
 	switch {
@@ -777,6 +820,10 @@ func (q *Query) pushAggregate(t *stream.Tuple, prob float64, probN int, unsure b
 			return nil, nil
 		}
 		q.winBuf = g.count.AppendTuples(q.winBuf)
+	}
+	if timed {
+		q.timing.Observe(plan.StageWindow, time.Since(t0))
+		t0 = time.Now()
 	}
 	winTuples := q.winBuf
 	fields := make([]randvar.Field, 0, len(q.outPlan))
@@ -808,6 +855,9 @@ func (q *Query) pushAggregate(t *stream.Tuple, prob float64, probN int, unsure b
 		values = append(values, res.Values)
 	}
 	q.valuesBuf = values
+	if timed {
+		q.timing.Observe(plan.StageAggregate, time.Since(t0))
+	}
 	out := &stream.Tuple{
 		Schema: q.out,
 		Fields: fields,
@@ -816,7 +866,13 @@ func (q *Query) pushAggregate(t *stream.Tuple, prob float64, probN int, unsure b
 		Seq:    t.Seq,
 		Time:   t.Time,
 	}
+	if timed {
+		t0 = time.Now()
+	}
 	res, err := q.decorate(out, values, unsure)
+	if timed {
+		q.timing.Observe(plan.StageAccuracy, time.Since(t0))
+	}
 	if err != nil {
 		return nil, err
 	}

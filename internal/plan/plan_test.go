@@ -1,0 +1,178 @@
+package plan
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/sql"
+)
+
+func parse(t *testing.T, query string) *sql.SelectStmt {
+	t.Helper()
+	stmt, err := sql.Parse(query)
+	if err != nil {
+		t.Fatalf("parse %q: %v", query, err)
+	}
+	return stmt
+}
+
+func TestAnalyzeVerdicts(t *testing.T) {
+	cases := []struct {
+		sql       string
+		shareable bool
+		reason    string // substring of Reason when not shareable
+	}{
+		{"SELECT AVG(delay) FROM traffic WINDOW 4 ROWS", true, ""},
+		{"SELECT AVG(delay) AS a, MAX(delay2) AS m FROM traffic WINDOW 4 ROWS", true, ""},
+		{"SELECT AVG(delay) FROM traffic WHERE delay > 50 WINDOW 4 ROWS", true, ""},
+		{"SELECT AVG(delay) FROM traffic WHERE PROB(delay > 50) >= 0.8 WINDOW 4 ROWS", true, ""},
+		{"SELECT AVG(delay) FROM traffic WHERE MTEST(delay, '>', 50, 0.05) WINDOW 4 ROWS", true, ""},
+		{"SELECT AVG(delay) FROM traffic WHERE PTEST(delay > 50, 0.5, 0.05) WINDOW 4 ROWS", true, ""},
+		{"SELECT AVG(delay) FROM traffic WHERE delay > 50 AND road_id = 1 WINDOW 4 ROWS", true, ""},
+
+		{"SELECT delay FROM traffic", false, "no window state"},
+		{"SELECT delay FROM traffic WHERE delay > 50", false, "no window state"},
+		{"SELECT AVG(delay) FROM traffic", false, "no WINDOW clause"},
+		{"SELECT AVG(delay) FROM traffic WINDOW 10 SECONDS", false, "time windows"},
+		{"SELECT road_id, AVG(delay) FROM traffic GROUP BY road_id WINDOW 4 ROWS", false, "per-key"},
+		{"SELECT AVG(d) FROM a JOIN b ON x = y WINDOW 4 ROWS", false, "join"},
+		// delay > delay2 falls back to Monte Carlo over the per-query RNG.
+		{"SELECT AVG(delay) FROM traffic WHERE delay > delay2 WINDOW 4 ROWS", false, "randomness"},
+		{"SELECT AVG(delay) FROM traffic WHERE delay + 1 > 50 WINDOW 4 ROWS", false, "randomness"},
+	}
+	for _, c := range cases {
+		d := Analyze(parse(t, c.sql), "analytical")
+		if d.Shareable != c.shareable {
+			t.Errorf("Analyze(%q).Shareable = %v, want %v (reason %q)", c.sql, d.Shareable, c.shareable, d.Reason)
+			continue
+		}
+		if !c.shareable && !strings.Contains(d.Reason, c.reason) {
+			t.Errorf("Analyze(%q).Reason = %q, want substring %q", c.sql, d.Reason, c.reason)
+		}
+	}
+	if d := Analyze(nil, "analytical"); d.Shareable || !strings.Contains(d.Reason, "nil") {
+		t.Errorf("Analyze(nil) = %+v", d)
+	}
+}
+
+func TestFilterShareable(t *testing.T) {
+	cases := []struct {
+		expr string
+		want bool
+	}{
+		{"delay > 50", true},
+		{"50 > delay", true},
+		{"delay = -3", true},
+		{"NOT delay > 50", true},
+		{"delay > 50 OR delay < 10", true},
+		{"PROB(delay > 50) >= 0.8", true},
+		{"0.8 <= PROB(delay > 50)", true},
+		{"MTEST(delay, '>', 50, 0.05)", true},
+		{"MDTEST(delay, delay2, '>', 0, 0.05)", true},
+		{"KSTEST(delay, delay2, 0.05)", true},
+		{"PTEST(delay > 50, 0.5, 0.05)", true},
+
+		{"delay > delay2", false},
+		{"delay + 1 > 50", false},
+		{"PROB(delay > delay2) >= 0.8", false},
+		{"PTEST(PROB(delay > 50) >= 0.5, 0.5, 0.05)", false},
+		{"delay > 50 AND delay > delay2", false},
+	}
+	for _, c := range cases {
+		e, err := sql.ParseExpr(c.expr)
+		if err != nil {
+			t.Fatalf("parse %q: %v", c.expr, err)
+		}
+		if got := FilterShareable(e); got != c.want {
+			t.Errorf("FilterShareable(%q) = %v, want %v", c.expr, got, c.want)
+		}
+	}
+	if !FilterShareable(nil) {
+		t.Error("FilterShareable(nil) = false, want true (no filter)")
+	}
+}
+
+func TestKeyString(t *testing.T) {
+	k := Key{Stream: "traffic", Rows: 4, Backend: "analytical"}
+	if got := k.String(); got != "stream=traffic rows=4 backend=analytical" {
+		t.Errorf("Key.String() = %q", got)
+	}
+	k.Filter = "(delay > 50)"
+	k.Sig = "a:1:AVG"
+	s := k.String()
+	for _, want := range []string{`filter="(delay > 50)"`, "aggs=a:1:AVG"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("Key.String() = %q, missing %q", s, want)
+		}
+	}
+}
+
+func TestRegistryAcquireRelease(t *testing.T) {
+	r := NewRegistry()
+	k := Key{Stream: "s", Rows: 4, Backend: "analytical"}
+	type group struct{ id int }
+
+	accept := func(any) bool { return true }
+	g1, joined := r.Acquire(k, accept, func() any { return &group{1} })
+	if joined || g1.(*group).id != 1 {
+		t.Fatalf("first Acquire: joined=%v g=%+v", joined, g1)
+	}
+	g2, joined := r.Acquire(k, accept, func() any { return &group{2} })
+	if !joined || g2 != g1 {
+		t.Fatalf("second Acquire should join the first group")
+	}
+	// A rejecting join predicate (content mismatch after recovery) forks a
+	// second group under the same key.
+	g3, joined := r.Acquire(k, func(any) bool { return false }, func() any { return &group{3} })
+	if joined || g3.(*group).id != 3 {
+		t.Fatalf("rejected join should create: joined=%v g=%+v", joined, g3)
+	}
+	if r.Groups() != 2 {
+		t.Fatalf("Groups() = %d, want 2", r.Groups())
+	}
+	if r.Hits() != 1 || r.Misses() != 2 {
+		t.Fatalf("hits=%d misses=%d, want 1/2", r.Hits(), r.Misses())
+	}
+	r.Release(k, g3)
+	r.Release(k, g1)
+	if r.Groups() != 0 {
+		t.Fatalf("Groups() after releases = %d, want 0", r.Groups())
+	}
+	// Releasing an unknown group is a no-op.
+	r.Release(k, g1)
+}
+
+func TestStageTimer(t *testing.T) {
+	var st StageTimer
+	if st.Enabled() {
+		t.Fatal("timer enabled before Enable")
+	}
+	// Observations before Enable are still recorded (callers gate on
+	// Enabled themselves); what matters is the snapshot shape.
+	st.Enable()
+	if !st.Enabled() {
+		t.Fatal("timer not enabled after Enable")
+	}
+	st.Observe(StageFilter, 5*time.Nanosecond)
+	st.Observe(StageFilter, 7*time.Nanosecond)
+	st.Observe(StageAccuracy, time.Microsecond)
+	snap := st.Snapshot()
+	if len(snap) != int(NumStages) {
+		t.Fatalf("snapshot has %d stages, want %d", len(snap), NumStages)
+	}
+	if snap[StageFilter].Count != 2 || snap[StageFilter].Nanos != 12 {
+		t.Errorf("filter stage = %+v, want 2 runs / 12 ns", snap[StageFilter])
+	}
+	if snap[StageWindow].Count != 0 {
+		t.Errorf("window stage = %+v, want empty", snap[StageWindow])
+	}
+	if snap[StageAccuracy].Nanos != 1000 {
+		t.Errorf("accuracy stage = %+v, want 1000 ns", snap[StageAccuracy])
+	}
+	for s := StageFilter; s < NumStages; s++ {
+		if strings.HasPrefix(s.String(), "Stage(") {
+			t.Errorf("stage %d has no name", s)
+		}
+	}
+}

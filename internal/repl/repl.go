@@ -166,7 +166,8 @@ const HelpText = `commands:
                                     ("|" separates tuples; one WAL fsync)
   LOAD    <stream> <file> KEY <col> VALUE <col> [TIME <col>]
                                     learn per-key distributions from a CSV and insert them
-  EXPLAIN <id>                      show a query's compiled plan
+  EXPLAIN <id> [TIMING]             show a query's compiled plan (TIMING
+                                    adds per-stage counters; node-local)
   STATS   <id>                      query counters
   METRICS [<id>]                    process metrics (Prometheus text), or one
                                     query's accuracy telemetry as JSON
@@ -561,9 +562,17 @@ func (r *REPL) cmdLoad(rest string) error {
 }
 
 func (r *REPL) cmdExplain(rest string) error {
-	rq, ok := r.queries[strings.TrimSpace(rest)]
+	fields := strings.Fields(rest)
+	if len(fields) == 0 || len(fields) > 2 || (len(fields) == 2 && !strings.EqualFold(fields[1], "TIMING")) {
+		return errors.New("usage: EXPLAIN <id> [TIMING]")
+	}
+	rq, ok := r.queries[fields[0]]
 	if !ok {
-		return fmt.Errorf("unknown query %q", rest)
+		return fmt.Errorf("unknown query %q", fields[0])
+	}
+	if len(fields) == 2 {
+		fmt.Fprint(r.out, rq.query.ExplainTiming())
+		return nil
 	}
 	fmt.Fprint(r.out, rq.query.Explain())
 	return nil

@@ -19,7 +19,8 @@
 //	STATS  <id>                         query counters
 //	METRICS [<id>]                      process metrics, or one query's
 //	                                    accuracy telemetry (JSON)
-//	EXPLAIN <id>                        compiled plan (quoted string)
+//	EXPLAIN <id> [TIMING]               compiled plan (quoted string); TIMING
+//	                                    adds per-stage counters (node-local)
 //	CLOSE  <id>                         drop a query
 //	ATTACH <id>                         claim delivery of a detached query
 //	SUBSCRIBE <id>                      receive a query's DATA lines in

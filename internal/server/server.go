@@ -866,14 +866,24 @@ func (s *Server) cmdStats(c *conn, rest string) error {
 }
 
 // cmdExplain returns the compiled plan as a quoted string (the protocol is
-// line-based; clients unquote to recover the multi-line plan).
+// line-based; clients unquote to recover the multi-line plan). The plan text
+// is deterministic; `EXPLAIN <id> TIMING` instead returns per-stage
+// wall-clock counters (enabling collection on first use), which are an
+// operator tool and inherently non-deterministic.
 func (s *Server) cmdExplain(c *conn, rest string) error {
-	id := strings.TrimSpace(rest)
+	fields := strings.Fields(rest)
+	if len(fields) == 0 || len(fields) > 2 || (len(fields) == 2 && !strings.EqualFold(fields[1], "TIMING")) {
+		return errors.New("usage: EXPLAIN <id> [TIMING]")
+	}
+	id := fields[0]
 	s.mu.Lock()
 	rq, ok := s.queries[id]
 	s.mu.Unlock()
 	if !ok {
 		return fmt.Errorf("unknown query %q", id)
+	}
+	if len(fields) == 2 {
+		return c.writeLine("OK " + strconv.Quote(rq.query.ExplainTiming()))
 	}
 	return c.writeLine("OK " + strconv.Quote(rq.query.Explain()))
 }

@@ -206,6 +206,16 @@ func (w *Window) Full() bool { return w.LiveRows >= w.W }
 // merged summary summarizes).
 func (w *Window) Rows() int { return w.LiveRows }
 
+// Pushes returns the total number of observations the window has absorbed
+// over its lifetime (evicted blocks included). Two windows with the same
+// geometry fed the same deterministic observation sequence hold identical
+// state exactly when their push counts agree — the content-equality
+// admission test the multi-query planner uses before sharing a sketch
+// window across queries.
+func (w *Window) Pushes() uint64 {
+	return w.Seals*uint64(w.BlockRows) + uint64(w.Active.Rows)
+}
+
 // MergedCol returns the summary of column i merged across the sealed
 // blocks, oldest first — the fixed merge order that keeps float rounding
 // deterministic at any worker count. The result is detached from window

@@ -134,6 +134,13 @@ type WindowSpec struct {
 	Seconds int64
 }
 
+// DefaultJoinWindowRows is the symmetric per-side count window applied to
+// join queries that omit a WINDOW clause. The planner normalizes the
+// default into the statement at compile time, so EXPLAIN output, statement
+// round-trip printing, and checkpointed SQL all show the effective window
+// explicitly instead of an invisible fallback.
+const DefaultJoinWindowRows = 128
+
 // JoinSpec is the window equi-join clause:
 // FROM left JOIN right ON left.key = right.key.
 type JoinSpec struct {

@@ -212,6 +212,69 @@ func (w *ColumnWindow) LinearUniform(c int, wt float64) (randvar.Field, error) {
 	return randvar.GaussianResult(mu, sigma2, n)
 }
 
+// LinearUniformMoments is the fused form of LinearUniform: one pass over
+// the live window accumulates the closed-form Gaussian moments of
+// Σ wts[j]·X over column cols[j] for every requested aggregate at once.
+// Each accumulator sees exactly the slot sequence (and therefore the
+// floating-point summation order) of a standalone LinearUniform over its
+// column, so the fused scan is bit-identical per aggregate — it only
+// shares the walk. Callers must have checked ColumnGaussian for each
+// requested column and must turn the moments into fields via
+// randvar.GaussianResult(mu[j], sigma2[j], n[j]).
+func (w *ColumnWindow) LinearUniformMoments(cols []int, wts []float64) (mu, sigma2 []float64, n []int) {
+	mu = make([]float64, len(cols))
+	sigma2 = make([]float64, len(cols))
+	n = make([]int, len(cols))
+	scan := func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			for j, c := range cols {
+				col := &w.cols[c]
+				mu[j] += wts[j] * col.mean[i]
+				sigma2[j] += wts[j] * wts[j] * col.varr[i]
+				if fn := col.n[i]; fn > 0 && (n[j] == 0 || fn < n[j]) {
+					n[j] = fn
+				}
+			}
+		}
+	}
+	if end := w.head + w.count; end <= w.size {
+		scan(w.head, end)
+	} else {
+		scan(w.head, w.size)
+		scan(0, end-w.size)
+	}
+	return mu, sigma2, n
+}
+
+// SameContents reports whether w and o hold the same tuple sequence: equal
+// capacity, equal length, and the same tuple sequence numbers oldest-first.
+// Engine sequence numbers identify ingested tuples uniquely, so equal
+// sequences imply bit-identical window contents for windows fed from the
+// same deterministic engine — the admission test the multi-query planner
+// uses before aliasing two queries onto one shared window.
+func (w *ColumnWindow) SameContents(o *ColumnWindow) bool {
+	if w == nil || o == nil {
+		return w == o
+	}
+	if w.size != o.size || w.count != o.count {
+		return false
+	}
+	for k := 0; k < w.count; k++ {
+		i := w.head + k
+		if i >= w.size {
+			i -= w.size
+		}
+		j := o.head + k
+		if j >= o.size {
+			j -= o.size
+		}
+		if w.seq[i] != o.seq[j] {
+			return false
+		}
+	}
+	return true
+}
+
 // ExpectedProb returns Σ Prob over the live window (expected count under
 // possible-world semantics), oldest-first.
 func (w *ColumnWindow) ExpectedProb() float64 {
