@@ -8,7 +8,12 @@
 // Usage:
 //
 //	asdb-router [-addr 127.0.0.1:7432] -node primary1[,replica1,replica2] [-node primary2...]
-//	            [-retries N] [-op-timeout D]
+//	            [-retries N] [-retry-base D] [-retry-max D] [-seed N] [-op-timeout D]
+//
+// During a failover the router follows the epoch automatically: a target
+// answering "read-only replica" (not yet promoted) or "fenced: stale
+// epoch" (an ex-primary that lost the failover) sends the ingest retry to
+// the next failover target after a capped, seeded-jitter backoff.
 //
 // Each -node names one shard: a primary address followed by optional
 // comma-separated replica addresses. Protocol clients connect to the
@@ -53,6 +58,9 @@ func (n *nodeFlags) Set(v string) error {
 func main() {
 	addr := flag.String("addr", "127.0.0.1:7432", "listen address for protocol clients")
 	retries := flag.Int("retries", 0, "failover retries for @reqid-tagged ingest (0 = default 3, negative disables)")
+	retryBase := flag.Duration("retry-base", 0, "base backoff between ingest retries (0 = default 50ms)")
+	retryMax := flag.Duration("retry-max", 0, "backoff cap between ingest retries (0 = default 2s)")
+	seed := flag.Uint64("seed", 0, "backoff jitter seed (0 = from the clock)")
 	opTimeout := flag.Duration("op-timeout", 0, "per-backend exchange timeout (0 = default 30s)")
 	var nodes nodeFlags
 	flag.Var(&nodes, "node", "one shard: primary[,replica...]; repeat for more shards")
@@ -65,6 +73,9 @@ func main() {
 	logger := log.New(os.Stderr, "asdb-router: ", log.LstdFlags)
 	rt, err := cluster.NewRouter(nodes, logger, cluster.RouterOptions{
 		Retries:   *retries,
+		RetryBase: *retryBase,
+		RetryMax:  *retryMax,
+		Seed:      *seed,
 		OpTimeout: *opTimeout,
 	})
 	if err != nil {

@@ -9,13 +9,30 @@
 //	      [-debug-addr 127.0.0.1:7434] [-max-conns N] [-idle-timeout D]
 //	      [-drain-timeout D] [-shed] [-shed-target-p99 D]
 //	      [-repl-addr 127.0.0.1:7443 | -follow PRIMARY:7443]
+//	      [-failover -failover-peers A,B -failover-self A]
+//	      [-failover-suspect D] [-failover-probe D]
+//	      [-promote-repl-addr ADDR] [-auto-rejoin]
 //
 // With -repl-addr set (requires -data-dir) the daemon is a replication
 // primary: it ships its WAL to followers over that listener. With -follow
 // set the daemon is a read-only follower: it syncs from the primary's
 // replication listener (snapshot + WAL suffix), applies records through
 // the normal recovery paths, and serves ATTACH/SUBSCRIBE/STATS/METRICS
-// with results byte-identical to the primary's.
+// with results byte-identical to the primary's. A follower with -data-dir
+// is durable: it journals the replicated records into its own WAL
+// (write-through) and, after a restart, resumes from its recovered LSN
+// instead of re-shipping history.
+//
+// Automatic failover (-failover, follower mode): the daemon probes the
+// primary's heartbeat silence and, after its graded suspect window
+// (rank 0 on the deterministic successor ladder waits -failover-suspect,
+// rank k waits (1+k)×), promotes itself — journal an epoch bump, accept
+// writes, and (with -promote-repl-addr) start shipping its own WAL.
+// Writes reaching the fenced ex-primary are rejected with the
+// "fenced: stale epoch" sentinel that routing clients fail over on.
+// With -auto-rejoin, a follower told by the primary that its WAL suffix
+// diverged past an epoch change (a revived ex-primary) truncates the
+// suffix, re-recovers, and re-follows automatically.
 //
 // Methods: none, analytical, bootstrap.
 //
@@ -36,6 +53,7 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"log"
@@ -43,13 +61,26 @@ import (
 	_ "net/http/pprof" // registers /debug/pprof on the default mux
 	"os"
 	"os/signal"
+	"strings"
+	"sync"
 	"syscall"
+	"time"
 
 	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/metrics"
 	"repro/internal/server"
 )
+
+// liveNode holds the pieces the signal handler and the rejoin supervisor
+// both touch; rejoin swaps in a freshly recovered server.
+type liveNode struct {
+	mu       sync.Mutex
+	srv      *server.Server
+	ship     *cluster.ShipServer
+	follower *cluster.Follower
+	fm       *cluster.FailoverManager
+}
 
 func main() {
 	addr := flag.String("addr", "127.0.0.1:7433", "listen address")
@@ -69,6 +100,13 @@ func main() {
 	shedTarget := flag.Duration("shed-target-p99", 0, "push-latency p99 the shed controller defends (0 = default 50ms)")
 	replAddr := flag.String("repl-addr", "", "WAL-shipping replication listener for followers (requires -data-dir); empty disables")
 	follow := flag.String("follow", "", "run as a read-only follower of this primary's -repl-addr; empty disables")
+	failover := flag.Bool("failover", false, "follower mode: promote automatically when the primary goes silent")
+	failoverSelf := flag.String("failover-self", "", "this replica's identity on the successor ladder (default -addr)")
+	failoverPeers := flag.String("failover-peers", "", "comma-separated replica identities of this shard (including self)")
+	failoverSuspect := flag.Duration("failover-suspect", time.Second, "primary silence before the rank-0 successor promotes")
+	failoverProbe := flag.Duration("failover-probe", 100*time.Millisecond, "failure-detector probe interval")
+	promoteRepl := flag.String("promote-repl-addr", "", "start shipping the WAL on this listener after an automatic promotion (requires -data-dir)")
+	autoRejoin := flag.Bool("auto-rejoin", false, "follower mode with -data-dir: on a diverged-suffix verdict, truncate, re-recover and re-follow automatically")
 	flag.Parse()
 
 	if *replAddr != "" && *dataDir == "" {
@@ -79,8 +117,16 @@ func main() {
 		fmt.Fprintln(os.Stderr, "asdbd: -follow and -repl-addr are mutually exclusive")
 		os.Exit(2)
 	}
-	if *follow != "" && *dataDir != "" {
-		fmt.Fprintln(os.Stderr, "asdbd: -follow runs in-memory (state arrives from the primary); drop -data-dir")
+	if *failover && *follow == "" {
+		fmt.Fprintln(os.Stderr, "asdbd: -failover requires -follow (only a follower can promote)")
+		os.Exit(2)
+	}
+	if *promoteRepl != "" && *dataDir == "" {
+		fmt.Fprintln(os.Stderr, "asdbd: -promote-repl-addr requires -data-dir (shipping needs a WAL)")
+		os.Exit(2)
+	}
+	if *autoRejoin && (*follow == "" || *dataDir == "") {
+		fmt.Fprintln(os.Stderr, "asdbd: -auto-rejoin requires -follow and -data-dir")
 		os.Exit(2)
 	}
 
@@ -96,7 +142,7 @@ func main() {
 		fmt.Fprintf(os.Stderr, "asdbd: unknown method %q\n", *method)
 		os.Exit(2)
 	}
-	eng, err := core.NewEngine(core.Config{
+	cfg := core.Config{
 		Level:           *level,
 		Method:          m,
 		Seed:            *seed,
@@ -105,7 +151,8 @@ func main() {
 		DataDir:         *dataDir,
 		FsyncPolicy:     *fsyncPolicy,
 		CheckpointEvery: *ckEvery,
-	})
+	}
+	eng, err := core.NewEngine(cfg)
 	if err != nil {
 		log.Fatalf("asdbd: %v", err)
 	}
@@ -127,7 +174,7 @@ func main() {
 	if err != nil {
 		log.Fatalf("asdbd: %v", err)
 	}
-	srv.SetOptions(server.Options{
+	srvOpts := server.Options{
 		MaxConns:     *maxConns,
 		IdleTimeout:  *idleTimeout,
 		DrainTimeout: *drainTimeout,
@@ -136,14 +183,15 @@ func main() {
 			Enabled:   *shed,
 			TargetP99: *shedTarget,
 		},
-	})
+	}
+	srv.SetOptions(srvOpts)
 	bound, err := srv.Listen(*addr)
 	if err != nil {
 		log.Fatalf("asdbd: %v", err)
 	}
-	var ship *cluster.ShipServer
+	node := &liveNode{srv: srv}
 	if *replAddr != "" {
-		ship, err = cluster.NewShipServer(srv.WAL(), srv.Checkpoints(), logger, cluster.ShipOptions{})
+		ship, err := cluster.NewShipServer(srv, logger, cluster.ShipOptions{})
 		if err != nil {
 			log.Fatalf("asdbd: %v", err)
 		}
@@ -156,13 +204,78 @@ func main() {
 				logger.Printf("replication listener: %v", err)
 			}
 		}()
+		node.ship = ship
 		logger.Printf("shipping wal to followers on %s", raddr)
 	}
-	var follower *cluster.Follower
+	// startShip boots a ship listener for a just-promoted (or rejoined+
+	// promoted) server; promotion makes this node the shard's new primary.
+	startShip := func(srv *server.Server) {
+		if *promoteRepl == "" {
+			return
+		}
+		ship, err := cluster.NewShipServer(srv, logger, cluster.ShipOptions{})
+		if err != nil {
+			logger.Printf("promotion: ship server: %v", err)
+			return
+		}
+		raddr, err := ship.Listen(*promoteRepl)
+		if err != nil {
+			logger.Printf("promotion: replication listener: %v", err)
+			return
+		}
+		go func() {
+			if err := ship.Serve(); err != nil {
+				logger.Printf("replication listener: %v", err)
+			}
+		}()
+		node.mu.Lock()
+		node.ship = ship
+		node.mu.Unlock()
+		logger.Printf("promotion: shipping wal to followers on %s", raddr)
+	}
+	startFailover := func(srv *server.Server, f *cluster.Follower) *cluster.FailoverManager {
+		if !*failover {
+			return nil
+		}
+		self := *failoverSelf
+		if self == "" {
+			self = *addr
+		}
+		var peers []string
+		for _, p := range strings.Split(*failoverPeers, ",") {
+			if p = strings.TrimSpace(p); p != "" {
+				peers = append(peers, p)
+			}
+		}
+		if len(peers) == 0 {
+			peers = []string{self}
+		}
+		fm := cluster.NewFailoverManager(srv, f, logger, cluster.FailoverOptions{
+			Self:         self,
+			Primary:      *follow,
+			Peers:        peers,
+			SuspectAfter: *failoverSuspect,
+			ProbeEvery:   *failoverProbe,
+			OnPromote:    func(epoch uint64) { startShip(srv) },
+		})
+		fm.Start()
+		logger.Printf("failover: watching %s (rank %d of %d, suspect after %v)",
+			*follow, fm.Rank(), len(peers), *failoverSuspect)
+		return fm
+	}
+	swapped := make(chan *server.Server, 1)
 	if *follow != "" {
-		follower = cluster.NewFollower(srv, *follow, logger, cluster.FollowOptions{})
+		follower := cluster.NewFollower(srv, *follow, logger, cluster.FollowOptions{})
+		if w := srv.WAL(); w != nil {
+			follower.SetLastApplied(w.LastLSN()) // durable follower resumes where recovery left it
+		}
 		follower.Start()
+		node.follower = follower
+		node.fm = startFailover(srv, follower)
 		logger.Printf("following primary %s (read-only)", *follow)
+		if *autoRejoin {
+			go superviseRejoin(node, cfg, logger, *follow, *addr, srvOpts, startFailover, swapped)
+		}
 	}
 	if *dataDir != "" {
 		logger.Printf("listening on %s (method=%s level=%g data-dir=%s fsync=%s)",
@@ -174,23 +287,96 @@ func main() {
 	sigc := make(chan os.Signal, 1)
 	signal.Notify(sigc, syscall.SIGINT, syscall.SIGTERM)
 	done := make(chan error, 1)
-	go func() { done <- srv.Serve() }()
-	select {
-	case sig := <-sigc:
-		logger.Printf("%s: shutting down", sig)
-		if ship != nil {
-			ship.Close()
+	serving := srv
+	go func(s *server.Server) { done <- s.Serve() }(serving)
+	for {
+		select {
+		case sig := <-sigc:
+			logger.Printf("%s: shutting down", sig)
+			node.mu.Lock()
+			ship, follower, fm, cur := node.ship, node.follower, node.fm, node.srv
+			node.mu.Unlock()
+			if fm != nil {
+				fm.Stop()
+			}
+			if ship != nil {
+				ship.Close()
+			}
+			if follower != nil {
+				follower.Close()
+			}
+			if err := cur.Shutdown(); err != nil {
+				log.Fatalf("asdbd: shutdown: %v", err)
+			}
+			<-done // Serve returns once the listener closes under s.closed.
+			return
+		case err := <-done:
+			if err != nil {
+				log.Fatalf("asdbd: %v", err)
+			}
+			if !*autoRejoin {
+				return
+			}
+			// A nil Serve return with auto-rejoin on means the old server was
+			// detached mid-rejoin: wait for the supervisor to hand over the
+			// recovered server (nil = rejoin failed; exit).
+			next := <-swapped
+			if next == nil {
+				return
+			}
+			serving = next
+			go func(s *server.Server) { done <- s.Serve() }(serving)
 		}
-		if follower != nil {
-			follower.Close()
+	}
+}
+
+// superviseRejoin watches the follower for the diverged-suffix verdict and
+// drives the automatic rejoin: truncate the WAL after the last
+// epoch-consistent LSN, drop newer checkpoints, re-recover, re-listen, and
+// follow again. Other terminal errors are left for the operator.
+func superviseRejoin(node *liveNode, cfg core.Config, logger *log.Logger, primaryShip, addr string,
+	srvOpts server.Options, startFailover func(*server.Server, *cluster.Follower) *cluster.FailoverManager,
+	swapped chan<- *server.Server) {
+	for {
+		time.Sleep(200 * time.Millisecond)
+		node.mu.Lock()
+		f, old, fm := node.follower, node.srv, node.fm
+		node.mu.Unlock()
+		if f == nil {
+			return
 		}
-		if err := srv.Shutdown(); err != nil {
-			log.Fatalf("asdbd: shutdown: %v", err)
+		err := f.Err()
+		if err == nil {
+			continue
 		}
-		<-done // Serve returns nil once the listener closes under s.closed.
-	case err := <-done:
-		if err != nil {
-			log.Fatalf("asdbd: %v", err)
+		var re *cluster.RejoinError
+		if !errors.As(err, &re) {
+			logger.Printf("rejoin: follower stopped on a non-rejoin error, operator action needed: %v", err)
+			return
 		}
+		logger.Printf("rejoin: %v", re)
+		if fm != nil {
+			fm.Stop()
+		}
+		srv, nf, rerr := cluster.Rejoin(old, cfg, re, logger, primaryShip, cluster.FollowOptions{})
+		if rerr != nil {
+			logger.Printf("rejoin: %v", rerr)
+			swapped <- nil
+			return
+		}
+		srvOpts.ReadOnly = true
+		srv.SetOptions(srvOpts)
+		if _, lerr := srv.Listen(addr); lerr != nil {
+			logger.Printf("rejoin: relisten: %v", lerr)
+			swapped <- nil
+			return
+		}
+		nf.Start()
+		node.mu.Lock()
+		node.srv, node.follower = srv, nf
+		node.fm = startFailover(srv, nf)
+		node.mu.Unlock()
+		swapped <- srv
+		logger.Printf("rejoin: re-following %s from lsn %d", primaryShip, nf.LastApplied())
 	}
 }

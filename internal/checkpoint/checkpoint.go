@@ -163,6 +163,21 @@ type Snapshot struct {
 	Degrade int           `json:"degrade,omitempty"`
 	Streams []StreamState `json:"streams,omitempty"`
 	Queries []QueryState  `json:"queries,omitempty"`
+	// Epoch is the replication epoch (term) at capture time and EpochHist
+	// the known epoch transitions (epoch 1 starts at LSN 0 implicitly, so
+	// only bumps are recorded). Post-checkpoint WAL truncation can drop
+	// RecEpoch records, so the boundaries a primary needs to fence stale
+	// rejoiners must also ride the snapshot. Absent in pre-failover
+	// checkpoints; readers treat that as epoch 1.
+	Epoch     uint64       `json:"epoch,omitempty"`
+	EpochHist []EpochBound `json:"epoch_hist,omitempty"`
+}
+
+// EpochBound records one replication-epoch transition: Epoch's history
+// begins at WAL record Start (the LSN of its RecEpoch record).
+type EpochBound struct {
+	Epoch uint64 `json:"epoch"`
+	Start uint64 `json:"start"`
 }
 
 // QueryDef names one live query for Capture.
@@ -648,6 +663,37 @@ func (m *Manager) prune() {
 		m.fs.Remove(files[0])
 		files = files[1:]
 	}
+}
+
+// DropAfter removes every checkpoint covering an LSN greater than lsn. A
+// fenced old primary calls it alongside wal.TruncateSuffix when rejoining:
+// checkpoints taken past the epoch boundary capture diverged state and must
+// not be offered to recovery. File names embed the covered LSN, so no file
+// needs to be decoded.
+func (m *Manager) DropAfter(lsn uint64) error {
+	files, err := m.list()
+	if err != nil {
+		return err
+	}
+	dropped := false
+	for _, path := range files {
+		name := filepath.Base(path)
+		at, err := strconv.ParseUint(strings.TrimSuffix(strings.TrimPrefix(name, filePref), fileSuf), 16, 64)
+		if err != nil {
+			continue
+		}
+		if at <= lsn {
+			continue
+		}
+		if err := m.fs.Remove(path); err != nil {
+			return fmt.Errorf("checkpoint: %w", err)
+		}
+		dropped = true
+	}
+	if !dropped {
+		return nil
+	}
+	return m.syncDir()
 }
 
 func (m *Manager) syncDir() error {

@@ -251,6 +251,46 @@ func TestManagerSaveLoadPrune(t *testing.T) {
 	}
 }
 
+// TestManagerDropAfter covers the rejoin path: checkpoints taken past the
+// epoch boundary capture diverged state and must be removed so recovery
+// falls back to the last epoch-consistent one.
+func TestManagerDropAfter(t *testing.T) {
+	dir := t.TempDir()
+	m, err := NewManager(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, lsn := range []uint64{8, 25} {
+		if err := m.Save(&Snapshot{Version: 1, LSN: lsn, Seq: lsn}); err != nil {
+			t.Fatalf("Save(%d): %v", lsn, err)
+		}
+	}
+	if err := m.DropAfter(10); err != nil {
+		t.Fatalf("DropAfter: %v", err)
+	}
+	snap, err := m.LoadLatest()
+	if err != nil || snap == nil || snap.LSN != 8 {
+		t.Fatalf("LoadLatest after DropAfter = (%+v, %v), want lsn 8", snap, err)
+	}
+	// Boundary is inclusive-keep; dropping everything leaves a loadable nil.
+	if err := m.DropAfter(7); err != nil {
+		t.Fatalf("DropAfter(7): %v", err)
+	}
+	if snap, err := m.LoadLatest(); err != nil || snap != nil {
+		t.Fatalf("LoadLatest after dropping all = (%+v, %v), want (nil, nil)", snap, err)
+	}
+	// Epoch fields round-trip through the on-disk encoding.
+	save := &Snapshot{Version: 1, LSN: 30, Seq: 30, Epoch: 3,
+		EpochHist: []EpochBound{{Epoch: 2, Start: 12}, {Epoch: 3, Start: 21}}}
+	if err := m.Save(save); err != nil {
+		t.Fatal(err)
+	}
+	got, err := m.LoadLatest()
+	if err != nil || got == nil || got.Epoch != 3 || len(got.EpochHist) != 2 || got.EpochHist[1].Start != 21 {
+		t.Fatalf("epoch round-trip = (%+v, %v)", got, err)
+	}
+}
+
 // TestLoadLatestSkipsCorrupt simulates a crash mid-snapshot: the newest
 // checkpoint file is garbage, and recovery must fall back to the previous
 // valid one.

@@ -324,10 +324,11 @@ func (c *Client) ingest(streamName, line string) (string, error) {
 		}
 		var se server.ServerError
 		if errors.As(err, &se) {
-			// The server answered. "read-only replica" means this target
-			// is a follower that has not been promoted (yet) — keep
-			// failing over. Any other ERR is a real rejection.
-			if strings.Contains(string(se), "read-only replica") {
+			// The server answered. "read-only replica" means this target is
+			// a follower that has not been promoted (yet); "fenced: stale
+			// epoch" means it is an ex-primary that lost a failover — keep
+			// failing over either way. Any other ERR is a real rejection.
+			if retryableIngestReject(string(se)) {
 				lastErr = err
 				continue
 			}

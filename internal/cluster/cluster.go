@@ -25,8 +25,10 @@ import (
 	"bufio"
 	"errors"
 	"io"
+	"strings"
 
 	"repro/internal/metrics"
+	"repro/internal/server"
 )
 
 // Follower-side lag gauges, primary-side follower count, router retry
@@ -41,7 +43,32 @@ var (
 		"connected WAL-shipping followers (primary side)")
 	mRouteRetries = metrics.Default.Counter("asdb_route_retries_total",
 		"routed ingest attempts retried against a failover target")
+
+	// Failover observability (ISSUE 10).
+	gEpoch = metrics.Default.Gauge("asdb_cluster_epoch",
+		"this node's current epoch (bumped by each promotion)")
+	mFailovers = metrics.Default.Counter("asdb_failover_total",
+		"automatic promotions performed by the failover manager on this node")
+	mFencedRejects = metrics.Default.Counter("asdb_fenced_rejects_total",
+		"writes rejected because this node is fenced at a stale epoch")
+	mHeartbeatMisses = metrics.Default.Counter("asdb_heartbeat_misses_total",
+		"failure-detector probe ticks that found the primary silent past a heartbeat window")
 )
+
+// The server's dispatch counts fenced rejections but must not register
+// cluster metrics itself (single-node METRICS key set is pinned by the
+// golden transcript), so it calls back through this hook.
+func init() { server.FencedRejectHook = mFencedRejects.Inc }
+
+// retryableIngestReject reports whether a server's ERR text means "this
+// node cannot take writes right now, but another one can": an unpromoted
+// follower ("read-only replica") or an ex-primary fenced at a stale epoch.
+// Both are failover signals the routing layer retries through, not command
+// rejections to surface.
+func retryableIngestReject(msg string) bool {
+	return strings.Contains(msg, "read-only replica") ||
+		strings.Contains(msg, "fenced: stale epoch")
+}
 
 // maxShipLine bounds one shipped protocol line. WAL payloads are command
 // lines capped at 16MiB by the server; the REC framing adds a few tens of

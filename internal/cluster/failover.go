@@ -1,0 +1,285 @@
+package cluster
+
+// Automatic failover without an external coordinator (ISSUE 10). Each
+// replica runs a FailoverManager: a failure detector over its Follower's
+// last-contact clock plus a deterministic promotion ladder. Safety comes
+// from epoch fencing, not from perfect detection — a false-positive
+// promotion bumps the epoch, and the epoch'd ship protocol then fences the
+// surviving old primary the moment anything carrying the newer epoch
+// reaches it, so two writable nodes cannot both keep accepting writes that
+// anyone will replicate. Liveness comes from the graded ladder: the
+// designated successor (rank 0) promotes after one SuspectAfter window of
+// silence, rank k waits k extra windows, so a dead successor only delays
+// failover, never wedges it.
+
+import (
+	"errors"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/server"
+)
+
+// successorRank orders a shard's replicas into a deterministic promotion
+// ladder with no coordination: every replica ranks the peer set by
+// mix64(hash64(peer) ^ hash64(primary)) descending — the same
+// highest-random-weight math rendezvous placement uses, so any two nodes
+// computing the ladder agree — with lexicographic tie-break, and returns
+// self's position. Rank 0 is the designated successor. A peer not in the
+// list ranks after everyone (len(peers)).
+func successorRank(primary, self string, peers []string) int {
+	type pw struct {
+		addr string
+		w    uint64
+	}
+	ph := hash64(primary)
+	ranked := make([]pw, 0, len(peers))
+	for _, p := range peers {
+		ranked = append(ranked, pw{p, mix64(hash64(p) ^ ph)})
+	}
+	sort.Slice(ranked, func(i, j int) bool {
+		if ranked[i].w != ranked[j].w {
+			return ranked[i].w > ranked[j].w
+		}
+		return ranked[i].addr < ranked[j].addr
+	})
+	for i, p := range ranked {
+		if p.addr == self {
+			return i
+		}
+	}
+	return len(ranked)
+}
+
+// FailoverOptions configures one replica's failure detector. Zero values
+// mean defaults.
+type FailoverOptions struct {
+	// Self is this replica's identity (its replica address as listed in the
+	// topology); Primary the watched primary's; Peers every replica of the
+	// shard, including Self. They only feed the deterministic ladder.
+	Self    string
+	Primary string
+	Peers   []string
+	// SuspectAfter is the silence threshold: rank 0 promotes after one
+	// window, rank k after (1+k) windows (default 1s).
+	SuspectAfter time.Duration
+	// ProbeEvery is the detector tick (default 100ms).
+	ProbeEvery time.Duration
+	// Now is the detector's clock; injectable so chaos tests drive the
+	// state machine deterministically (default time.Now).
+	Now func() time.Time
+	// OnPromote runs after a successful promotion (e.g. to start a ship
+	// listener on the new primary).
+	OnPromote func(epoch uint64)
+}
+
+func (o FailoverOptions) normalize() FailoverOptions {
+	if o.SuspectAfter <= 0 {
+		o.SuspectAfter = time.Second
+	}
+	if o.ProbeEvery <= 0 {
+		o.ProbeEvery = 100 * time.Millisecond
+	}
+	if o.Now == nil {
+		o.Now = time.Now
+	}
+	return o
+}
+
+// FailoverManager turns a follower into a primary when the primary goes
+// silent. Detection is purely local: the follower's LastContact clock
+// (every shipped frame and successful dial refreshes it) measured against
+// the graded threshold.
+type FailoverManager struct {
+	srv    *server.Server
+	f      *Follower
+	logger *log.Logger
+	opts   FailoverOptions
+	rank   int
+	grace  time.Time // stands in for LastContact until the first real contact
+
+	promoted atomic.Bool
+	stopCh   chan struct{}
+	done     chan struct{}
+	once     sync.Once
+	stopOnce sync.Once
+}
+
+// NewFailoverManager wires a detector for a follower of srv's shard. Call
+// Start to begin probing.
+func NewFailoverManager(srv *server.Server, f *Follower, logger *log.Logger, opts FailoverOptions) *FailoverManager {
+	opts = opts.normalize()
+	m := &FailoverManager{
+		srv:    srv,
+		f:      f,
+		logger: logger,
+		opts:   opts,
+		rank:   successorRank(opts.Primary, opts.Self, opts.Peers),
+		grace:  opts.Now(),
+		stopCh: make(chan struct{}),
+		done:   make(chan struct{}),
+	}
+	gEpoch.Set(int64(srv.Epoch()))
+	return m
+}
+
+// Rank returns this replica's position on the promotion ladder (0 = the
+// designated successor).
+func (m *FailoverManager) Rank() int { return m.rank }
+
+// Promoted reports whether this manager has promoted its server.
+func (m *FailoverManager) Promoted() bool { return m.promoted.Load() }
+
+// threshold is the silence that triggers promotion at this node's rank.
+func (m *FailoverManager) threshold() time.Duration {
+	return m.opts.SuspectAfter * time.Duration(1+m.rank)
+}
+
+// Start launches the probe loop; it exits on Stop or after promoting.
+func (m *FailoverManager) Start() {
+	m.once.Do(func() { go m.run() })
+}
+
+// Stop halts probing (idempotent; no-op after a promotion already ended
+// the loop).
+func (m *FailoverManager) Stop() {
+	m.stopOnce.Do(func() { close(m.stopCh) })
+	<-m.done
+}
+
+func (m *FailoverManager) run() {
+	defer close(m.done)
+	t := time.NewTicker(m.opts.ProbeEvery)
+	defer t.Stop()
+	for {
+		select {
+		case <-m.stopCh:
+			return
+		case <-t.C:
+			if m.tick(m.opts.Now()) {
+				return
+			}
+		}
+	}
+}
+
+// tick advances the detector: one probe at time now. Returns true when the
+// probe ended in a promotion. Split out (with the injectable clock) so
+// tests can drive kill→detect→promote sequences without real sleeps.
+func (m *FailoverManager) tick(now time.Time) bool {
+	if m.promoted.Load() {
+		return false
+	}
+	last := m.f.LastContact()
+	if last.IsZero() {
+		last = m.grace
+	}
+	silence := now.Sub(last)
+	if silence < m.opts.SuspectAfter {
+		return false
+	}
+	mHeartbeatMisses.Inc()
+	if silence < m.threshold() {
+		return false
+	}
+	m.promote()
+	return m.promoted.Load()
+}
+
+// promote executes the safe promotion sequence: stop the apply loop first
+// (no replicated apply may race the new history), journal the epoch bump
+// durably (the RecEpoch record is both the fence token's birth certificate
+// and the LSN where the new history starts), and only then accept writes.
+// If journaling fails the node stays a read-only follower and the next
+// tick retries.
+func (m *FailoverManager) promote() {
+	m.f.Close()
+	epoch, err := m.srv.BumpEpoch()
+	if err != nil {
+		m.logf("failover: epoch bump failed, staying read-only: %v", err)
+		return
+	}
+	m.srv.SetReadOnly(false)
+	m.promoted.Store(true)
+	mFailovers.Inc()
+	gEpoch.Set(int64(epoch))
+	m.logf("failover: promoted at lsn %d, epoch %d (rank %d, primary %s silent)",
+		m.f.LastApplied(), epoch, m.rank, m.opts.Primary)
+	if m.opts.OnPromote != nil {
+		m.opts.OnPromote(epoch)
+	}
+}
+
+func (m *FailoverManager) logf(format string, args ...any) {
+	if m.logger != nil {
+		m.logger.Printf(format, args...)
+	}
+}
+
+// Rejoin turns a fenced ex-primary back into a follower of the new one.
+// Preconditions: old's follower loop returned re (so the primary told us
+// exactly where the histories fork), old's own ship listener is closed (a
+// live ship pin would block the truncation), and old is fenced (no writes
+// are landing). The driver cuts the diverged WAL suffix after re.SafeLSN,
+// drops checkpoints past it, detaches the old server WITHOUT a shutdown
+// checkpoint (which would re-capture the diverged state), and re-recovers
+// from the surviving prefix — or, when the dropped checkpoints were the
+// only cover for already-pruned WAL records, wipes and lets the snapshot
+// bootstrap rebuild from the new primary. The returned follower is wired
+// but not started: callers Listen/Serve the new server, then f.Start().
+func Rejoin(old *server.Server, cfg core.Config, re *RejoinError, logger *log.Logger, primaryShipAddr string, fopts FollowOptions) (*server.Server, *Follower, error) {
+	w := old.WAL()
+	if w == nil || cfg.DataDir == "" {
+		return nil, nil, errors.New("cluster: rejoin requires a durable server")
+	}
+	if err := w.TruncateSuffix(re.SafeLSN); err != nil {
+		return nil, nil, fmt.Errorf("cluster: truncating diverged wal suffix after %d: %w", re.SafeLSN, err)
+	}
+	ck := old.Checkpoints()
+	if ck != nil {
+		if err := ck.DropAfter(re.SafeLSN); err != nil {
+			return nil, nil, fmt.Errorf("cluster: dropping diverged checkpoints: %w", err)
+		}
+	}
+	// Local recovery reaches re.SafeLSN only if the surviving checkpoint
+	// still covers the WAL's truncation horizon; the diverged checkpoints
+	// just dropped may have been the only cover for records their saves
+	// pruned.
+	ckLSN := uint64(0)
+	if ck != nil {
+		if snap, err := ck.LoadLatest(); err == nil && snap != nil {
+			ckLSN = snap.LSN
+		}
+	}
+	oldest, oerr := w.OldestLSN()
+	contiguous := oerr == nil && oldest <= ckLSN+1
+	if err := old.Detach(); err != nil && logger != nil {
+		logger.Printf("rejoin: detaching old server: %v", err)
+	}
+	if !contiguous {
+		if logger != nil {
+			logger.Printf("rejoin: local prefix has a gap (checkpoint %d, wal oldest %d); resyncing from scratch", ckLSN, oldest)
+		}
+		os.RemoveAll(filepath.Join(cfg.DataDir, "wal"))
+		os.RemoveAll(filepath.Join(cfg.DataDir, "checkpoints"))
+	}
+	eng, err := core.NewEngine(cfg)
+	if err != nil {
+		return nil, nil, fmt.Errorf("cluster: rejoin engine: %w", err)
+	}
+	srv, err := server.NewDurable(eng, logger)
+	if err != nil {
+		return nil, nil, fmt.Errorf("cluster: rejoin recovery: %w", err)
+	}
+	srv.SetOptions(server.Options{ReadOnly: true})
+	f := NewFollower(srv, primaryShipAddr, logger, fopts)
+	f.SetLastApplied(srv.WAL().LastLSN())
+	return srv, f, nil
+}

@@ -18,10 +18,30 @@ import (
 )
 
 // ErrResyncRequired is the terminal follower error: the primary offered a
-// snapshot but this follower already holds state, so applying it would
-// merge divergent histories. The operator restarts the follower with a
-// fresh engine (it then accepts the snapshot and catches up).
+// snapshot OLDER than this follower's state, so neither fast-forwarding
+// onto it nor replaying forward from it can reconcile the histories. The
+// operator restarts the follower with a fresh engine (it then accepts the
+// snapshot and catches up).
 var ErrResyncRequired = errors.New("cluster: follower has diverged past the primary's wal horizon; restart with a fresh engine to resync")
+
+// ErrStalePrimary is the terminal follower error for epoch fencing: the
+// node being followed announced (or implied) an epoch below ours, so it
+// lost a failover it has not caught up with. Following it would re-apply
+// superseded history.
+var ErrStalePrimary = errors.New("cluster: primary is at a stale epoch")
+
+// RejoinError is the terminal follower error a fenced rejoiner receives:
+// the primary found our WAL suffix diverged past an epoch change. The
+// rejoin driver truncates the local WAL after SafeLSN, drops newer
+// checkpoints, re-recovers, and follows again (see Rejoin).
+type RejoinError struct {
+	SafeLSN uint64 // last epoch-consistent LSN; everything after it is diverged
+	Epoch   uint64 // the primary's current epoch
+}
+
+func (e *RejoinError) Error() string {
+	return fmt.Sprintf("cluster: wal suffix diverged past epoch change: truncate after lsn %d and rejoin at epoch %d", e.SafeLSN, e.Epoch)
+}
 
 // FollowOptions tunes the replica-side replication loop. Zero values mean
 // defaults.
@@ -64,6 +84,8 @@ type Follower struct {
 
 	lastApplied atomic.Uint64
 	primaryLSN  atomic.Uint64
+	lastContact atomic.Int64 // unix nanos of the last frame (or dial) from the primary
+	dialFails   atomic.Int64 // consecutive failed dials; reset on success
 
 	mu       sync.Mutex
 	nc       net.Conn
@@ -78,13 +100,21 @@ type Follower struct {
 // The server must be fresh (no streams, no queries) unless it recovered
 // from its own data dir at the LSN the primary still retains.
 func NewFollower(srv *server.Server, primaryAddr string, logger *log.Logger, opts FollowOptions) *Follower {
-	return &Follower{
+	f := &Follower{
 		srv:     srv,
 		primary: primaryAddr,
 		logger:  logger,
 		opts:    opts.normalize(),
 		done:    make(chan struct{}),
 	}
+	srv.SetReplLagFn(func() int64 {
+		frontier, applied := f.primaryLSN.Load(), f.lastApplied.Load()
+		if frontier > applied {
+			return int64(frontier - applied)
+		}
+		return 0
+	})
+	return f
 }
 
 // SetLastApplied seeds the replication cursor, for a follower that
@@ -98,6 +128,23 @@ func (f *Follower) LastApplied() uint64 { return f.lastApplied.Load() }
 // and heartbeats); 0 before the first contact.
 func (f *Follower) PrimaryLSN() uint64 { return f.primaryLSN.Load() }
 
+// LastContact returns when the primary was last heard from (a frame
+// arrived or a dial succeeded); zero time before the first contact. The
+// failure detector reads this to count missed heartbeat windows.
+func (f *Follower) LastContact() time.Time {
+	n := f.lastContact.Load()
+	if n == 0 {
+		return time.Time{}
+	}
+	return time.Unix(0, n)
+}
+
+// DialFailures returns the number of consecutive failed dials to the
+// primary; 0 after any successful connect.
+func (f *Follower) DialFailures() int64 { return f.dialFails.Load() }
+
+func (f *Follower) touchContact() { f.lastContact.Store(time.Now().UnixNano()) }
+
 // Err returns the terminal replication error, if the loop stopped on one.
 func (f *Follower) Err() error {
 	f.mu.Lock()
@@ -106,7 +153,8 @@ func (f *Follower) Err() error {
 }
 
 // Start launches the replication loop: connect, sync, apply, reconnect on
-// transport errors, stop on terminal ones (divergence, apply failure).
+// transport errors, stop on terminal ones (divergence, fencing, apply
+// failure).
 func (f *Follower) Start() {
 	f.mu.Lock()
 	if f.started || f.closed {
@@ -135,11 +183,10 @@ func (f *Follower) WaitCaughtUp(lsn uint64, timeout time.Duration) bool {
 	return f.lastApplied.Load() >= lsn
 }
 
-// Promote stops replication and flips the server writable: the failover
-// path. It waits for the apply loop to finish its in-flight record, so no
-// replicated apply can race a newly accepted write. The promoted server
-// has no WAL of its own unless it was started durable; its dedup window is
-// failover-warm because @reqid entries were replicated with the records.
+// Promote stops replication and flips the server writable: the MANUAL
+// failover path, kept for operators driving promotion by hand. It does not
+// bump the epoch; the automatic path (FailoverManager.promote) journals a
+// RecEpoch first so the new history is fenced against the old primary.
 func (f *Follower) Promote() {
 	f.stop(true)
 	f.srv.SetReadOnly(false)
@@ -178,6 +225,14 @@ func (f *Follower) logf(format string, args ...any) {
 	}
 }
 
+// isTerminal reports whether the replication loop must stop rather than
+// reconnect: divergence, epoch fencing, or a partial local apply.
+func isTerminal(err error) bool {
+	var re *RejoinError
+	return errors.Is(err, ErrResyncRequired) || errors.Is(err, ErrStalePrimary) ||
+		errors.As(err, &re) || isApplyError(err)
+}
+
 func (f *Follower) run() {
 	defer close(f.done)
 	attempt := 0
@@ -190,7 +245,7 @@ func (f *Follower) run() {
 		}
 		progressed, err := f.followOnce()
 		if err != nil {
-			if errors.Is(err, ErrResyncRequired) || isApplyError(err) {
+			if isTerminal(err) {
 				f.mu.Lock()
 				f.termErr = err
 				f.mu.Unlock()
@@ -235,8 +290,11 @@ func isApplyError(err error) bool {
 func (f *Follower) followOnce() (progressed bool, err error) {
 	nc, err := net.DialTimeout("tcp", f.primary, f.opts.DialTimeout)
 	if err != nil {
+		f.dialFails.Add(1)
 		return false, err
 	}
+	f.dialFails.Store(0)
+	f.touchContact()
 	f.mu.Lock()
 	if f.closed {
 		f.mu.Unlock()
@@ -255,7 +313,7 @@ func (f *Follower) followOnce() (progressed bool, err error) {
 	}()
 
 	nc.SetWriteDeadline(time.Now().Add(f.opts.DialTimeout))
-	if _, err := fmt.Fprintf(nc, "SYNC %d\n", f.lastApplied.Load()); err != nil {
+	if _, err := fmt.Fprintf(nc, "SYNC %d %d\n", f.lastApplied.Load(), f.srv.Epoch()); err != nil {
 		return false, err
 	}
 	br := bufio.NewReaderSize(nc, 64<<10)
@@ -265,6 +323,7 @@ func (f *Follower) followOnce() (progressed bool, err error) {
 		if err != nil {
 			return progressed, err
 		}
+		f.touchContact()
 		switch {
 		case strings.HasPrefix(line, "REC "):
 			if err := f.handleRec(line[len("REC "):]); err != nil {
@@ -280,16 +339,48 @@ func (f *Follower) followOnce() (progressed bool, err error) {
 				return progressed, err
 			}
 			progressed = true
+		case strings.HasPrefix(line, "FENCE "):
+			// The node we synced to fenced ITSELF because our epoch is
+			// higher: it is a stale ex-primary. Stop following it.
+			return progressed, fmt.Errorf("%w: it fenced itself on our epoch (%s)", ErrStalePrimary, line[len("FENCE "):])
+		case strings.HasPrefix(line, "TRUNC "):
+			return progressed, f.handleTrunc(line[len("TRUNC "):])
 		default:
 			return progressed, fmt.Errorf("cluster: unexpected ship line %.40q", line)
 		}
 	}
 }
 
+// checkFrameEpoch rejects frames from a primary whose announced epoch is
+// below ours: it lost a failover and has not rejoined yet, so its stream
+// is superseded history. Frames at our epoch or above are fine — during a
+// rejoin the new primary streams at a higher epoch and the journaled
+// RecEpoch record advances ours at exactly the right LSN.
+func (f *Follower) checkFrameEpoch(frameEpoch uint64) error {
+	if cur := f.srv.Epoch(); frameEpoch < cur {
+		return fmt.Errorf("%w: frame epoch %d below local %d", ErrStalePrimary, frameEpoch, cur)
+	}
+	return nil
+}
+
+// handleTrunc processes the primary's divergence verdict: everything we
+// applied after SafeLSN belongs to a fenced-off history. The server is
+// fenced immediately (writes start failing with the stale-epoch sentinel)
+// and the terminal RejoinError tells the rejoin driver where to cut.
+func (f *Follower) handleTrunc(args string) error {
+	var safe, epoch uint64
+	if _, err := fmt.Sscanf(args, "%d %d", &safe, &epoch); err != nil {
+		return fmt.Errorf("cluster: bad TRUNC %q: %w", args, err)
+	}
+	f.srv.Fence(epoch)
+	f.logf("follower: diverged at lsn %d; primary epoch %d keeps only ..%d", f.lastApplied.Load(), epoch, safe)
+	return &RejoinError{SafeLSN: safe, Epoch: epoch}
+}
+
 func (f *Follower) handleSnap(br *bufio.Reader, args string) error {
-	var lsn uint64
+	var lsn, epoch uint64
 	var n int
-	if _, err := fmt.Sscanf(args, "%d %d", &lsn, &n); err != nil {
+	if _, err := fmt.Sscanf(args, "%d %d %d", &lsn, &epoch, &n); err != nil {
 		return fmt.Errorf("cluster: bad SNAP header %q: %w", args, err)
 	}
 	if n < 0 || n > maxShipLine {
@@ -302,55 +393,70 @@ func (f *Follower) handleSnap(br *bufio.Reader, args string) error {
 	if b, err := br.ReadByte(); err != nil || b != '\n' {
 		return fmt.Errorf("cluster: snapshot body not newline-terminated")
 	}
-	if f.lastApplied.Load() != 0 {
-		// The primary no longer retains our suffix and we already hold
-		// state — installing the snapshot would silently drop the records
-		// between our LSN and its LSN. Operator decision, not automatic.
+	if err := f.checkFrameEpoch(epoch); err != nil {
+		return err
+	}
+	last := f.lastApplied.Load()
+	if last != 0 && lsn < last {
+		// The offered snapshot is OLDER than our state: the primary lost a
+		// suffix we hold (lax fsync + crash). Installing it would roll us
+		// back and re-applying the stream would diverge. Operator decision.
 		return ErrResyncRequired
 	}
 	snap, err := decodeSnapshot(raw)
 	if err != nil {
 		return &applyError{fmt.Errorf("cluster: decoding shipped snapshot: %w", err)}
 	}
-	if err := f.srv.RestoreSnapshot(snap); err != nil {
+	if last == 0 {
+		err = f.srv.RestoreSnapshot(snap)
+	} else {
+		// Fast-forward: the primary truncated its WAL past our position (it
+		// may do this repeatedly while crash-looping), so the records between
+		// last and lsn are gone — but the snapshot at lsn ⊇ our state at
+		// last by the determinism invariant, so replacing wholesale skips
+		// nothing.
+		err = f.srv.ReinstallSnapshot(snap)
+	}
+	if err != nil {
 		return &applyError{err}
 	}
 	f.lastApplied.Store(lsn)
 	f.observeFrontier(lsn, time.Now().UnixNano())
-	f.logf("follower: installed snapshot lsn=%d (%d bytes)", lsn, n)
+	f.logf("follower: installed snapshot lsn=%d epoch=%d (%d bytes, fast-forward=%v)", lsn, epoch, n, last != 0)
 	return nil
 }
 
 func (f *Follower) handleRec(args string) error {
-	// REC args: <lsn> <type> <shipUnixNano> <payload>; payload may be
-	// empty and may contain spaces.
-	p1 := strings.IndexByte(args, ' ')
-	if p1 < 0 {
-		return fmt.Errorf("cluster: bad REC %q", args)
+	// REC args: <lsn> <epoch> <type> <shipUnixNano> <payload>; payload may
+	// be empty and may contain spaces.
+	cut := func(s string) (tok, rest string) {
+		if i := strings.IndexByte(s, ' '); i >= 0 {
+			return s[:i], s[i+1:]
+		}
+		return s, ""
 	}
-	p2 := strings.IndexByte(args[p1+1:], ' ')
-	if p2 < 0 {
-		return fmt.Errorf("cluster: bad REC %q", args)
-	}
-	p2 += p1 + 1
-	p3 := strings.IndexByte(args[p2+1:], ' ')
-	rest := ""
-	tsStr := args[p2+1:]
-	if p3 >= 0 {
-		p3 += p2 + 1
-		tsStr, rest = args[p2+1:p3], args[p3+1:]
-	}
-	lsn, err := strconv.ParseUint(args[:p1], 10, 64)
+	lsnStr, rest := cut(args)
+	epochStr, rest := cut(rest)
+	typStr, rest := cut(rest)
+	tsStr, payload := cut(rest)
+	lsn, err := strconv.ParseUint(lsnStr, 10, 64)
 	if err != nil {
 		return fmt.Errorf("cluster: bad REC lsn in %q", args)
 	}
-	typ, err := strconv.ParseUint(args[p1+1:p2], 10, 8)
+	epoch, err := strconv.ParseUint(epochStr, 10, 64)
+	if err != nil {
+		return fmt.Errorf("cluster: bad REC epoch in %q", args)
+	}
+	typ, err := strconv.ParseUint(typStr, 10, 8)
 	if err != nil {
 		return fmt.Errorf("cluster: bad REC type in %q", args)
 	}
 	ts, err := strconv.ParseInt(tsStr, 10, 64)
 	if err != nil {
 		return fmt.Errorf("cluster: bad REC timestamp in %q", args)
+	}
+	if err := f.checkFrameEpoch(epoch); err != nil {
+		return err
 	}
 	last := f.lastApplied.Load()
 	if lsn <= last {
@@ -361,7 +467,7 @@ func (f *Follower) handleRec(args string) error {
 	if lsn != last+1 {
 		return fmt.Errorf("cluster: lsn gap: applied %d, received %d", last, lsn)
 	}
-	if err := f.srv.ApplyReplicated(wal.Record{LSN: lsn, Type: wal.RecordType(typ), Payload: []byte(rest)}); err != nil {
+	if err := f.srv.ApplyReplicated(wal.Record{LSN: lsn, Type: wal.RecordType(typ), Payload: []byte(payload)}); err != nil {
 		return &applyError{err}
 	}
 	f.lastApplied.Store(lsn)
@@ -370,10 +476,13 @@ func (f *Follower) handleRec(args string) error {
 }
 
 func (f *Follower) handleHB(args string) error {
-	var lastLSN uint64
+	var lastLSN, epoch uint64
 	var ts int64
-	if _, err := fmt.Sscanf(args, "%d %d", &lastLSN, &ts); err != nil {
+	if _, err := fmt.Sscanf(args, "%d %d %d", &lastLSN, &epoch, &ts); err != nil {
 		return fmt.Errorf("cluster: bad HB %q: %w", args, err)
+	}
+	if err := f.checkFrameEpoch(epoch); err != nil {
+		return err
 	}
 	f.observeFrontier(lastLSN, ts)
 	return nil

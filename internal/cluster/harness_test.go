@@ -26,6 +26,7 @@ type tnode struct {
 	ship     *ShipServer
 	shipAddr string
 	f        *Follower
+	cfg      core.Config // durable nodes: the config (incl. DataDir) to revive with
 }
 
 // engineConfig is the shared deterministic engine setup: replication
@@ -62,7 +63,7 @@ func startPrimary(t testing.TB, workers, ckEvery int, segBytes int64) *tnode {
 		t.Fatal(err)
 	}
 	go srv.Serve()
-	ship, err := NewShipServer(srv.WAL(), srv.Checkpoints(), quiet, ShipOptions{
+	ship, err := NewShipServer(srv, quiet, ShipOptions{
 		Heartbeat: 10 * time.Millisecond,
 		Poll:      time.Millisecond,
 	})
@@ -74,9 +75,47 @@ func startPrimary(t testing.TB, workers, ckEvery int, segBytes int64) *tnode {
 		t.Fatal(err)
 	}
 	go ship.Serve()
-	n := &tnode{srv: srv, addr: addr.String(), ship: ship, shipAddr: shipAddr.String()}
+	n := &tnode{srv: srv, addr: addr.String(), ship: ship, shipAddr: shipAddr.String(), cfg: cfg}
 	t.Cleanup(func() {
 		ship.Close()
+		srv.Close()
+	})
+	return n
+}
+
+// startDurableFollower boots a read-only durable server (own data dir,
+// write-through journaling of replicated records) syncing from shipAddr —
+// the kind of follower a FailoverManager can promote into a primary that
+// ships from the shared LSN space.
+func startDurableFollower(t testing.TB, workers int, shipAddr string) *tnode {
+	t.Helper()
+	cfg := engineConfig(workers)
+	cfg.DataDir = t.TempDir()
+	cfg.FsyncPolicy = "none"
+	eng, err := core.NewEngine(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := server.NewDurable(eng, quiet)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv.SetOptions(server.Options{ReadOnly: true})
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve()
+	f := NewFollower(srv, shipAddr, quiet, FollowOptions{
+		RetryBase:   2 * time.Millisecond,
+		RetryMax:    50 * time.Millisecond,
+		ReadTimeout: 2 * time.Second,
+	})
+	f.SetLastApplied(srv.WAL().LastLSN())
+	f.Start()
+	n := &tnode{srv: srv, addr: addr.String(), f: f, cfg: cfg}
+	t.Cleanup(func() {
+		f.Close()
 		srv.Close()
 	})
 	return n

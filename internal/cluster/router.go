@@ -24,11 +24,12 @@ type Router struct {
 	logger *log.Logger
 	opts   RouterOptions
 
-	mu     sync.Mutex
-	ln     net.Listener
-	conns  map[net.Conn]struct{}
-	closed bool
-	wg     sync.WaitGroup
+	mu       sync.Mutex
+	ln       net.Listener
+	conns    map[net.Conn]struct{}
+	closed   bool
+	wg       sync.WaitGroup
+	rngState uint64 // LCG state for backoff jitter, guarded by mu
 }
 
 // RouterOptions tunes the proxy. Zero values mean defaults.
@@ -39,9 +40,13 @@ type RouterOptions struct {
 	// after a transport failure (default 3).
 	Retries int
 	// RetryBase and RetryMax shape backoff between attempts (defaults
-	// 50ms, 2s).
+	// 50ms, 2s). Backoff is jittered so the retry storms of many sessions
+	// chasing one failover spread out instead of synchronizing.
 	RetryBase time.Duration
 	RetryMax  time.Duration
+	// Seed makes backoff jitter deterministic for tests; 0 derives a seed
+	// from the clock.
+	Seed uint64
 }
 
 func (o RouterOptions) normalize() RouterOptions {
@@ -60,6 +65,9 @@ func (o RouterOptions) normalize() RouterOptions {
 	if o.RetryMax <= 0 {
 		o.RetryMax = 2 * time.Second
 	}
+	if o.Seed == 0 {
+		o.Seed = uint64(time.Now().UnixNano()) | 1
+	}
 	return o
 }
 
@@ -69,12 +77,33 @@ func NewRouter(nodes []Node, logger *log.Logger, opts RouterOptions) (*Router, e
 	if err != nil {
 		return nil, err
 	}
+	o := opts.normalize()
 	return &Router{
-		topo:   t,
-		logger: logger,
-		opts:   opts.normalize(),
-		conns:  make(map[net.Conn]struct{}),
+		topo:     t,
+		logger:   logger,
+		opts:     o,
+		conns:    make(map[net.Conn]struct{}),
+		rngState: o.Seed,
 	}, nil
+}
+
+// backoff returns the jittered delay before retry attempt (1-based):
+// capped exponential, then uniform in [d/2, d) from a seeded LCG — the
+// same scheme the embedded Client uses.
+func (rt *Router) backoff(attempt int) time.Duration {
+	d := rt.opts.RetryBase << uint(min(attempt-1, 16))
+	if d > rt.opts.RetryMax {
+		d = rt.opts.RetryMax
+	}
+	rt.mu.Lock()
+	rt.rngState = rt.rngState*6364136223846793005 + 1442695040888963407
+	r := rt.rngState >> 33
+	rt.mu.Unlock()
+	half := uint64(d) / 2
+	if half == 0 {
+		return d
+	}
+	return time.Duration(half + r%half)
 }
 
 // Listen binds the client-facing listener.
@@ -355,18 +384,14 @@ func (s *rsession) ingestDispatch(node int, line string) (string, error) {
 			if hook := testHookRouteRetry; hook != nil {
 				hook(attempt)
 			}
-			d := s.rt.opts.RetryBase << uint(min(attempt-1, 10))
-			if d > s.rt.opts.RetryMax {
-				d = s.rt.opts.RetryMax
-			}
-			time.Sleep(d)
+			time.Sleep(s.rt.backoff(attempt))
 		}
 		rep, err := s.backendDo(targets[attempt%len(targets)], line)
 		if err != nil {
 			lastErr = err
 			continue
 		}
-		if attempt+1 < attempts && strings.HasPrefix(rep, "ERR ") && strings.Contains(rep, "read-only replica") {
+		if attempt+1 < attempts && strings.HasPrefix(rep, "ERR ") && retryableIngestReject(rep) {
 			lastErr = errors.New(rep[4:])
 			continue
 		}

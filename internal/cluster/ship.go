@@ -12,15 +12,24 @@ import (
 	"time"
 
 	"repro/internal/checkpoint"
+	"repro/internal/server"
 	"repro/internal/wal"
 )
 
-// Ship protocol, one conversation per follower connection:
+// Ship protocol, one conversation per follower connection. Every frame
+// carries the sender's current epoch — a fencing token in the style of a
+// Raft term, NOT a per-record attribute (the authoritative epoch history
+// lives in journaled RecEpoch records that ship like any other record):
 //
-//	follower → primary:  SYNC <lastAppliedLSN>
-//	primary  → follower: SNAP <lsn> <nbytes>\n<raw checkpoint bytes>\n   (only when the WAL suffix alone cannot catch the follower up)
-//	primary  → follower: REC <lsn> <type> <shipUnixNano> <payload>      (one per WAL record, in LSN order)
-//	primary  → follower: HB <lastLSN> <shipUnixNano>                    (idle heartbeat; carries the primary's durable frontier)
+//	follower → primary:  SYNC <lastAppliedLSN> <epoch>
+//	primary  → follower: FENCE <epoch>                                           (the follower announced a higher epoch; this node fences itself and closes)
+//	primary  → follower: TRUNC <safeLSN> <epoch>                                 (stale-epoch rejoiner holds a diverged suffix; truncate to safeLSN and re-SYNC)
+//	primary  → follower: SNAP <lsn> <epoch> <nbytes>\n<raw checkpoint bytes>\n   (only when the WAL suffix alone cannot catch the follower up)
+//	primary  → follower: REC <lsn> <epoch> <type> <shipUnixNano> <payload>       (one per WAL record, in LSN order)
+//	primary  → follower: HB <lastLSN> <epoch> <shipUnixNano>                     (idle heartbeat; carries the primary's durable frontier)
+//
+// A SYNC with no epoch field (legacy/raw probes) is treated as "no claim":
+// it is never fenced and never truncated, and simply receives the stream.
 //
 // The handshake pins the shipped suffix in the primary's WAL before
 // checking whether it still exists, so a checkpoint+truncate running
@@ -60,8 +69,10 @@ func (o ShipOptions) normalize() ShipOptions {
 
 // ShipServer streams a primary's WAL to followers. It reads the same
 // CRC-framed segment files the server writes — shipping is a pure observer
-// of the durability layer and never blocks the ingest path.
+// of the durability layer and never blocks the ingest path. The server
+// handle supplies the epoch used to stamp and fence frames.
 type ShipServer struct {
+	srv    *server.Server
 	log    *wal.Log
 	ck     *checkpoint.Manager
 	logger *log.Logger
@@ -74,19 +85,24 @@ type ShipServer struct {
 	wg     sync.WaitGroup
 }
 
-// NewShipServer wires a replication server to a durable server's WAL and
-// checkpoint manager (srv.WAL() and srv.Checkpoints()).
-func NewShipServer(w *wal.Log, ck *checkpoint.Manager, logger *log.Logger, opts ShipOptions) (*ShipServer, error) {
-	if w == nil {
+// NewShipServer wires a replication server to a durable server: it ships
+// the server's WAL and checkpoints, stamps frames with the server's
+// current epoch, and registers itself as the server's follower-count
+// source for ROLE.
+func NewShipServer(srv *server.Server, logger *log.Logger, opts ShipOptions) (*ShipServer, error) {
+	if srv == nil || srv.WAL() == nil {
 		return nil, errors.New("cluster: replication requires a durable server (nil WAL)")
 	}
-	return &ShipServer{
-		log:    w,
-		ck:     ck,
+	ss := &ShipServer{
+		srv:    srv,
+		log:    srv.WAL(),
+		ck:     srv.Checkpoints(),
 		logger: logger,
 		opts:   opts.normalize(),
 		conns:  make(map[net.Conn]struct{}),
-	}, nil
+	}
+	srv.SetFollowerCountFn(ss.followerCount)
+	return ss, nil
 }
 
 // Listen binds the replication listener and returns the bound address.
@@ -167,6 +183,12 @@ func (ss *ShipServer) isClosed() bool {
 	return ss.closed
 }
 
+func (ss *ShipServer) followerCount() int {
+	ss.mu.Lock()
+	defer ss.mu.Unlock()
+	return len(ss.conns)
+}
+
 func (ss *ShipServer) logf(format string, args ...any) {
 	if ss.logger != nil {
 		ss.logger.Printf(format, args...)
@@ -242,11 +264,61 @@ func (ss *ShipServer) serveConn(nc net.Conn) {
 		ss.logf("repl: bad handshake %q", line)
 		return
 	}
-	lastApplied, err := strconv.ParseUint(rest, 10, 64)
-	if err != nil {
-		ss.logf("repl: bad SYNC lsn %q", rest)
+	fields := strings.Fields(rest)
+	if len(fields) < 1 || len(fields) > 2 {
+		ss.logf("repl: bad SYNC %q", rest)
 		return
 	}
+	lastApplied, err := strconv.ParseUint(fields[0], 10, 64)
+	if err != nil {
+		ss.logf("repl: bad SYNC lsn %q", fields[0])
+		return
+	}
+	reqEpoch := uint64(0) // 0 = no epoch claim (legacy/raw probe): never fenced
+	if len(fields) == 2 {
+		if reqEpoch, err = strconv.ParseUint(fields[1], 10, 64); err != nil {
+			ss.logf("repl: bad SYNC epoch %q", fields[1])
+			return
+		}
+	}
+	reply := func(format string, args ...any) {
+		nc.SetWriteDeadline(time.Now().Add(ss.opts.WriteTimeout))
+		fmt.Fprintf(nc, format, args...)
+	}
+	cur := ss.srv.Epoch()
+	if reqEpoch > cur {
+		// The connector has seen a higher epoch than ours: a newer primary
+		// was promoted while this node thought it was current. Fence this
+		// node (its dispatch starts rejecting writes with the stale-epoch
+		// sentinel) and tell the connector why it gets no stream.
+		ss.srv.Fence(reqEpoch)
+		ss.logf("repl: fenced by follower@%d at epoch %d (local %d)", lastApplied, reqEpoch, cur)
+		reply("FENCE %d\n", reqEpoch)
+		return
+	}
+	if reqEpoch > 0 && reqEpoch < cur {
+		// Stale-epoch rejoiner. Anything it applied past the first LSN of a
+		// newer epoch is diverged history that never happened here; it must
+		// truncate that suffix before it can follow.
+		if safe := ss.srv.SafeJoinLSN(reqEpoch, lastApplied); lastApplied > safe {
+			ss.logf("repl: rejoiner@%d epoch %d diverged; truncate to %d (epoch %d)", lastApplied, reqEpoch, safe, cur)
+			reply("TRUNC %d %d\n", safe, cur)
+			return
+		}
+	}
+
+	// After the handshake the follower sends nothing; a read returning
+	// means it hung up (or the link died) — close so blocked writes fail
+	// fast instead of waiting out TCP buffers. Started BEFORE position()
+	// and the snapshot send: a peer that dies mid-snapshot must unblock
+	// the write below, or this goroutine would hold its WAL pin forever.
+	nc.SetReadDeadline(time.Time{})
+	go func() {
+		var b [1]byte
+		nc.Read(b[:])
+		nc.Close()
+	}()
+
 	snapRaw, from, pin, err := ss.position(lastApplied)
 	if err != nil {
 		ss.logf("repl: position follower@%d: %v", lastApplied, err)
@@ -257,23 +329,17 @@ func (ss *ShipServer) serveConn(nc net.Conn) {
 	gFollowers.Inc()
 	defer gFollowers.Dec()
 
-	// After the handshake the follower sends nothing; a read returning
-	// means it hung up (or the link died) — close so blocked writes fail
-	// fast instead of waiting out TCP buffers.
-	nc.SetReadDeadline(time.Time{})
-	go func() {
-		var b [1]byte
-		nc.Read(b[:])
-		nc.Close()
-	}()
-
 	bw := bufio.NewWriterSize(nc, 64<<10)
 	flush := func() error {
 		nc.SetWriteDeadline(time.Now().Add(ss.opts.WriteTimeout))
 		return bw.Flush()
 	}
 	if snapRaw != nil {
-		fmt.Fprintf(bw, "SNAP %d %d\n", from-1, len(snapRaw))
+		fmt.Fprintf(bw, "SNAP %d %d %d\n", from-1, ss.srv.Epoch(), len(snapRaw))
+		// The snapshot body can exceed the buffer, so this Write flushes to
+		// the socket internally — it needs the same deadline as flush() or a
+		// dead peer pins WAL retention until the TCP stack gives up.
+		nc.SetWriteDeadline(time.Now().Add(ss.opts.WriteTimeout))
 		bw.Write(snapRaw)
 		bw.WriteByte('\n')
 		if err := flush(); err != nil {
@@ -302,7 +368,7 @@ func (ss *ShipServer) serveConn(nc net.Conn) {
 				return
 			}
 			if ok {
-				fmt.Fprintf(bw, "REC %d %d %d %s\n", rec.LSN, rec.Type, time.Now().UnixNano(), rec.Payload)
+				fmt.Fprintf(bw, "REC %d %d %d %d %s\n", rec.LSN, ss.srv.Epoch(), rec.Type, time.Now().UnixNano(), rec.Payload)
 				pin.Advance(rec.LSN + 1)
 				pending++
 				if pending >= 64 {
@@ -323,7 +389,7 @@ func (ss *ShipServer) serveConn(nc net.Conn) {
 		}
 		pending = 0
 		if time.Since(lastHB) >= ss.opts.Heartbeat {
-			fmt.Fprintf(bw, "HB %d %d\n", ss.shipLimit(), time.Now().UnixNano())
+			fmt.Fprintf(bw, "HB %d %d %d\n", ss.shipLimit(), ss.srv.Epoch(), time.Now().UnixNano())
 			if err := flush(); err != nil {
 				ss.logf("repl: follower write: %v", err)
 				return

@@ -419,6 +419,33 @@ func (e *Engine) RestoreSeq(seq uint64) {
 	e.seqMu.Unlock()
 }
 
+// Clear removes every bound query and registered stream and resets the
+// sequence counter and degrade level, returning the engine to its
+// just-constructed state. The replication layer uses it when a follower
+// must fast-forward onto a newer primary snapshot: its current state is a
+// strict prefix of the snapshot's, so it is discarded wholesale and
+// replaced. Callers must hold Exclusive (no ingest may run) and must
+// rebuild any state they still need — Clear keeps nothing.
+func (e *Engine) Clear() {
+	e.mu.RLock()
+	ids := make([]string, 0, len(e.bound))
+	for id := range e.bound {
+		ids = append(ids, id)
+	}
+	e.mu.RUnlock()
+	sort.Strings(ids)
+	for _, id := range ids {
+		e.Unbind(id) // detaches shared-state groups properly
+	}
+	e.mu.Lock()
+	e.streams = make(map[string]*streamDef)
+	e.mu.Unlock()
+	e.seqMu.Lock()
+	e.seq = 0
+	e.seqMu.Unlock()
+	e.degrade.Store(0)
+}
+
 // SetRecovering flags (or clears) WAL-replay mode. While set, steady-state
 // global metrics are suppressed — replayed pushes count only toward
 // recovery-segregated counters — so a recovered process's metric snapshot

@@ -172,6 +172,7 @@ const HelpText = `commands:
   METRICS [<id>]                    process metrics (Prometheus text), or one
                                     query's accuracy telemetry as JSON
   CLOSE   <id>                      drop a query
+  ROLE                              replication role, epoch, and lag
   HELP                              this text
 `
 
@@ -204,11 +205,26 @@ func (r *REPL) Exec(line string) error {
 		return r.cmdMetrics(rest)
 	case "CLOSE":
 		return r.cmdClose(rest)
+	case "ROLE":
+		return r.cmdRole()
 	case "HELP":
 		fmt.Fprint(r.out, HelpText)
 		return nil
 	}
 	return fmt.Errorf("unknown command %q (try HELP)", cmd)
+}
+
+// cmdRole reports the node's replication role in the same shape the
+// server's ROLE verb uses. The standalone REPL is always its own primary
+// at epoch 1; the verb exists so scripts written against a cluster node
+// also run here.
+func (r *REPL) cmdRole() error {
+	lsn := uint64(0)
+	if r.wal != nil {
+		lsn = r.wal.LastLSN()
+	}
+	fmt.Fprintf(r.out, "role=primary epoch=1 followers=0 last_lsn=%d lag_records=0\n", lsn)
+	return nil
 }
 
 // journal appends one record to the WAL. No-op while non-durable

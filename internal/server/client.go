@@ -538,6 +538,39 @@ func (cl *Client) CloseQuery(id string) error {
 	return err
 }
 
+// RoleInfo is the parsed reply of the ROLE command: the node's failover
+// state as one consistent observation.
+type RoleInfo struct {
+	// Role is "primary", "follower", or "fenced" (a deposed primary
+	// rejecting writes until it rejoins).
+	Role string
+	// Epoch is the replication term the node believes is current.
+	Epoch uint64
+	// Followers is the number of live replication connections the node is
+	// serving (0 on pure followers).
+	Followers int
+	// LastLSN is the newest record in the node's local WAL (0 without
+	// durability).
+	LastLSN uint64
+	// LagRecords is the node's replication lag behind its primary in
+	// records (0 on primaries).
+	LagRecords int64
+}
+
+// Role reports the node's failover state (idempotent; safe to retry).
+func (cl *Client) Role() (RoleInfo, error) {
+	payload, err := cl.roundTripIdem("ROLE")
+	if err != nil {
+		return RoleInfo{}, err
+	}
+	var info RoleInfo
+	if _, err := fmt.Sscanf(payload, "role=%s epoch=%d followers=%d last_lsn=%d lag_records=%d",
+		&info.Role, &info.Epoch, &info.Followers, &info.LastLSN, &info.LagRecords); err != nil {
+		return RoleInfo{}, fmt.Errorf("server: malformed ROLE reply %q: %w", payload, err)
+	}
+	return info, nil
+}
+
 // Subscribe adds this connection as an additional DATA recipient for a
 // query owned by another connection. Results arrive on the Data channel.
 func (cl *Client) Subscribe(id string) error {

@@ -78,6 +78,7 @@ func NewDurableFS(engine *core.Engine, logger *log.Logger, fs fault.FS) (*Server
 			s.queries[r.ID] = &registeredQuery{id: r.ID, sqlText: r.SQL, query: r.Query}
 		}
 		from = snap.LSN + 1
+		s.restoreEpoch(snap.Epoch, snap.EpochHist)
 		s.logf("recovery: checkpoint lsn=%d (%d streams, %d queries)",
 			snap.LSN, len(snap.Streams), len(snap.Queries))
 	}
@@ -171,6 +172,8 @@ func (s *Server) applyRecord(rec wal.Record) error {
 		// sequence the live run changed it — RNG consumption downstream
 		// depends on it.
 		s.engine.SetDegradeLevel(level)
+	case wal.RecEpoch:
+		return s.applyEpochRecord(rec)
 	case wal.RecClose:
 		s.mu.Lock()
 		err := s.applyCloseLocked(payload)
@@ -266,6 +269,13 @@ func (s *Server) checkpointLocked(w *wal.Log, lsn uint64) error {
 	snap, err := checkpoint.Capture(s.engine, lsn, defs)
 	if err != nil {
 		return err
+	}
+	// Post-failover, the snapshot must carry the epoch state: truncation
+	// below may drop the RecEpoch records a recovered primary needs to
+	// fence stale rejoiners. Pre-failover (epoch 1) the fields stay absent,
+	// keeping checkpoint bytes identical to earlier releases.
+	if e, hist := s.epochSnapshot(); e > 1 {
+		snap.Epoch, snap.EpochHist = e, hist
 	}
 	if err := s.ck.Save(snap); err != nil {
 		return err

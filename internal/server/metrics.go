@@ -17,7 +17,7 @@ import (
 var (
 	mCmds = func() map[string]*metrics.Counter {
 		verbs := []string{"PING", "QUIT", "STREAM", "QUERY", "INSERT", "INSERTBATCH",
-			"STATS", "EXPLAIN", "ATTACH", "CLOSE", "METRICS", "SHED", "UNKNOWN"}
+			"STATS", "EXPLAIN", "ATTACH", "CLOSE", "METRICS", "SHED", "ROLE", "UNKNOWN"}
 		out := make(map[string]*metrics.Counter, len(verbs))
 		for _, v := range verbs {
 			out[v] = metrics.Default.Counter(

@@ -43,8 +43,8 @@ func (s *Server) ReadOnly() bool { return s.readOnly.Load() }
 // RestoreSnapshot initializes a fresh follower from a shipped checkpoint:
 // engine state (streams, windows, RNGs, seq) plus the query registry, with
 // every query detached exactly like crash recovery leaves them. It refuses
-// to run on a server that already holds state — a follower that has
-// diverged must restart rather than merge.
+// to run on a server that already holds state — a follower with state must
+// use ReinstallSnapshot (fast-forward) or restart.
 func (s *Server) RestoreSnapshot(snap *checkpoint.Snapshot) error {
 	release := s.engine.Exclusive()
 	defer release()
@@ -53,6 +53,39 @@ func (s *Server) RestoreSnapshot(snap *checkpoint.Snapshot) error {
 	if len(s.queries) > 0 || s.engine.Seq() != 0 || len(s.engine.Streams()) > 0 {
 		return errors.New("server: RestoreSnapshot on a non-fresh server")
 	}
+	return s.installSnapshotLocked(snap)
+}
+
+// ReinstallSnapshot fast-forwards a follower that already holds state onto
+// a newer primary snapshot. The follower's state at lastApplied ≤ snap.LSN
+// is — by the determinism invariant — a strict prefix of the snapshot's,
+// so it is discarded wholesale and replaced, never merged. Queries come
+// back detached (clients re-ATTACH), exactly like crash recovery. The
+// engine runs in recovering mode during the swap so global metrics are not
+// double-counted. Used when a crash-looping primary truncated its WAL past
+// the follower's position repeatedly: each reconnect lands a newer
+// snapshot instead of a terminal resync error.
+func (s *Server) ReinstallSnapshot(snap *checkpoint.Snapshot) error {
+	release := s.engine.Exclusive()
+	defer release()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.engine.SetRecovering(true)
+	defer s.engine.SetRecovering(false)
+	s.engine.Clear()
+	for id := range s.queries {
+		delete(s.queries, id)
+	}
+	return s.installSnapshotLocked(snap)
+}
+
+// installSnapshotLocked restores snapshot state into the (fresh or
+// just-cleared) engine and, on a durable follower, re-bases the local WAL
+// and checkpoint set so the node's own recovery starts from this snapshot:
+// the records below snap.LSN live in the snapshot, not in the local WAL,
+// and the replicated suffix about to be journaled must line up with the
+// primary's LSN space. Caller holds Exclusive and s.mu.
+func (s *Server) installSnapshotLocked(snap *checkpoint.Snapshot) error {
 	restored, err := checkpoint.Restore(s.engine, snap)
 	if err != nil {
 		return fmt.Errorf("server: restoring shipped checkpoint (lsn %d): %w", snap.LSN, err)
@@ -62,6 +95,18 @@ func (s *Server) RestoreSnapshot(snap *checkpoint.Snapshot) error {
 			return fmt.Errorf("server: restored query %s: %w", r.ID, err)
 		}
 		s.queries[r.ID] = &registeredQuery{id: r.ID, sqlText: r.SQL, query: r.Query}
+	}
+	s.restoreEpoch(snap.Epoch, snap.EpochHist)
+	if w := s.wal.Load(); w != nil {
+		if err := w.Reset(snap.LSN + 1); err != nil {
+			return fmt.Errorf("server: re-basing wal at snapshot lsn %d: %w", snap.LSN, err)
+		}
+		if s.ck != nil {
+			if err := s.ck.Save(snap); err != nil {
+				return fmt.Errorf("server: saving shipped checkpoint locally: %w", err)
+			}
+		}
+		s.sinceCk.Store(0)
 	}
 	s.logf("replica: restored snapshot lsn=%d (%d streams, %d queries)",
 		snap.LSN, len(snap.Streams), len(snap.Queries))
@@ -76,6 +121,26 @@ func (s *Server) RestoreSnapshot(snap *checkpoint.Snapshot) error {
 // goroutine in LSN order.
 func (s *Server) ApplyReplicated(rec wal.Record) error {
 	payload := string(rec.Payload)
+	// Write-through: a durable follower journals every replicated record
+	// into its own WAL at the primary's LSN before applying it, so it can
+	// recover as a follower without re-shipping history — and, after a
+	// promotion, serve as a ship source itself from the shared LSN space.
+	// The apply loop is a single goroutine, so journal order trivially
+	// equals apply order; an LSN mismatch means the local log diverged and
+	// applying further would corrupt it.
+	if s.wal.Load() != nil {
+		lsn, err := s.journal(rec.Type, payload)
+		if err != nil {
+			return fmt.Errorf("replicated lsn %d: %w", rec.LSN, err)
+		}
+		if lsn != rec.LSN {
+			return fmt.Errorf("replicated lsn %d: local wal assigned lsn %d (diverged)", rec.LSN, lsn)
+		}
+		if err := s.waitDurable(lsn); err != nil {
+			return fmt.Errorf("replicated lsn %d: %w", rec.LSN, err)
+		}
+		defer s.maybeCheckpoint()
+	}
 	switch rec.Type {
 	case wal.RecStream:
 		release := s.engine.Exclusive()
@@ -129,6 +194,13 @@ func (s *Server) ApplyReplicated(rec wal.Record) error {
 			return fmt.Errorf("replicated lsn %d (SHED): %w", rec.LSN, err)
 		}
 		s.engine.SetDegradeLevel(level)
+	case wal.RecEpoch:
+		// The primary's promotion record: adopt the new epoch at the exact
+		// LSN the new history begins (also clears a standing fence — the
+		// node has caught up with the history that superseded it).
+		if err := s.applyEpochRecord(rec); err != nil {
+			return fmt.Errorf("replicated %w", err)
+		}
 	case wal.RecClose:
 		release := s.engine.Exclusive()
 		s.mu.Lock()

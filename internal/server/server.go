@@ -72,6 +72,21 @@ type Server struct {
 	ck      *checkpoint.Manager
 	ckEvery int
 	sinceCk atomic.Int64
+
+	// Replication-epoch (fencing) state; see epoch.go. epoch is the
+	// current term (1 until a failover bumps it); fenced marks a deposed
+	// primary that must reject writes with the stale-epoch sentinel.
+	// epochMu guards epochHist, the known term transitions.
+	epoch     atomic.Uint64
+	fenced    atomic.Bool
+	epochMu   sync.Mutex
+	epochHist []checkpoint.EpochBound
+
+	// roleFollowers/roleLag are injected by the cluster layer so ROLE can
+	// report follower count and replication lag without the server package
+	// importing cluster state.
+	roleFollowers atomic.Pointer[func() int]
+	roleLag       atomic.Pointer[func() int64]
 }
 
 type registeredQuery struct {
@@ -94,14 +109,16 @@ func New(engine *core.Engine, logger *log.Logger) (*Server, error) {
 		return nil, errors.New("server: nil engine")
 	}
 	opts := Options{}.Normalize()
-	return &Server{
+	srv := &Server{
 		engine:  engine,
 		logger:  logger,
 		opts:    opts,
 		dedup:   newDedupWindow(opts.DedupWindow),
 		queries: make(map[string]*registeredQuery),
 		conns:   make(map[uint64]net.Conn),
-	}, nil
+	}
+	srv.epoch.Store(1)
+	return srv, nil
 }
 
 // Listen binds addr (e.g. "127.0.0.1:7433"; port 0 picks a free port) and
@@ -221,6 +238,43 @@ func (s *Server) Shutdown() error {
 	s.stopShed()
 	if derr := s.finalizeDurable(); err == nil {
 		err = derr
+	}
+	return err
+}
+
+// Detach stops the server WITHOUT the shutdown checkpoint: listener and
+// connections close immediately, then the WAL is synced and closed as-is.
+// The fenced-rejoin path needs this — a shutdown checkpoint here would
+// capture the diverged suffix at the WAL tail and prune the records below
+// it that re-recovery at the truncation point depends on. On-disk state is
+// left exactly as the last durable append and checkpoint wrote it.
+func (s *Server) Detach() error {
+	s.mu.Lock()
+	s.closed = true
+	ln := s.ln
+	conns := make([]net.Conn, 0, len(s.conns))
+	for _, nc := range s.conns {
+		conns = append(conns, nc)
+	}
+	s.mu.Unlock()
+	var err error
+	if ln != nil {
+		err = ln.Close()
+	}
+	for _, nc := range conns {
+		nc.Close()
+	}
+	s.connWG.Wait()
+	s.stopShed()
+	w := s.wal.Swap(nil)
+	if w == nil {
+		return err
+	}
+	if serr := w.Sync(); err == nil {
+		err = serr
+	}
+	if cerr := w.Close(); err == nil {
+		err = cerr
 	}
 	return err
 }
@@ -471,6 +525,19 @@ func (s *Server) dispatch(c *conn, line string) (bool, error) {
 	}
 	countCmd(verb)
 	defer timeCmd(time.Now())
+	// A fenced node is a deposed primary: a newer epoch exists, so any
+	// write accepted here would diverge from the cluster's history. The
+	// sentinel is distinct from the read-only one — clients retry both, but
+	// operators must be able to tell "replica by design" from "superseded".
+	if s.fenced.Load() {
+		switch verb {
+		case "STREAM", "QUERY", "INSERT", "INSERTBATCH", "CLOSE":
+			if FencedRejectHook != nil {
+				FencedRejectHook()
+			}
+			return false, errFencedStaleEpoch
+		}
+	}
 	if s.readOnly.Load() {
 		switch verb {
 		case "STREAM", "QUERY", "INSERT", "INSERTBATCH", "CLOSE":
@@ -505,6 +572,8 @@ func (s *Server) dispatch(c *conn, line string) (bool, error) {
 		return false, s.cmdClose(c, rest)
 	case "SHED":
 		return false, s.cmdShed(c, rest)
+	case "ROLE":
+		return false, s.cmdRole(c, rest)
 	}
 	return false, fmt.Errorf("unknown command %q", cmd)
 }
@@ -832,6 +901,12 @@ func (s *Server) cmdShed(c *conn, rest string) error {
 	arg := strings.TrimSpace(rest)
 	if arg == "" {
 		return c.writeLine(fmt.Sprintf("OK shed level=%d", s.engine.DegradeLevel()))
+	}
+	if s.fenced.Load() {
+		if FencedRejectHook != nil {
+			FencedRejectHook()
+		}
+		return errFencedStaleEpoch
 	}
 	if s.readOnly.Load() {
 		return errReadOnlyReplica

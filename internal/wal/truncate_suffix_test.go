@@ -1,0 +1,176 @@
+package wal
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// smallSeg forces frequent rotation so suffix truncation exercises both
+// whole-segment removal and mid-segment byte truncation.
+const smallSeg = 256
+
+func lastLSNs(recs []Record) string {
+	var b strings.Builder
+	for i, r := range recs {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		fmt.Fprintf(&b, "%d", r.LSN)
+	}
+	return b.String()
+}
+
+func TestTruncateSuffixMidSegment(t *testing.T) {
+	dir := t.TempDir()
+	l := mustOpen(t, dir, Options{})
+	defer l.Close()
+	appendN(t, l, 10, "rec")
+
+	if err := l.TruncateSuffix(7); err != nil {
+		t.Fatalf("TruncateSuffix: %v", err)
+	}
+	if got := l.LastLSN(); got != 7 {
+		t.Fatalf("LastLSN = %d, want 7", got)
+	}
+	recs := collect(t, l, 1)
+	if len(recs) != 7 || recs[len(recs)-1].LSN != 7 {
+		t.Fatalf("after truncate: lsns = %s, want 1..7", lastLSNs(recs))
+	}
+
+	// Appends continue seamlessly at 8 and the log stays replayable.
+	lsn, err := l.Append(RecInsert, []byte("after"))
+	if err != nil {
+		t.Fatalf("Append after truncate: %v", err)
+	}
+	if lsn != 8 {
+		t.Fatalf("post-truncate lsn = %d, want 8", lsn)
+	}
+	recs = collect(t, l, 1)
+	if len(recs) != 8 || string(recs[7].Payload) != "after" {
+		t.Fatalf("after re-append: %d records, payload %q", len(recs), recs[len(recs)-1].Payload)
+	}
+}
+
+func TestTruncateSuffixAcrossSegments(t *testing.T) {
+	dir := t.TempDir()
+	l := mustOpen(t, dir, Options{SegmentBytes: smallSeg})
+	defer l.Close()
+	appendN(t, l, 40, "seg") // several rotations
+
+	if err := l.TruncateSuffix(5); err != nil {
+		t.Fatalf("TruncateSuffix: %v", err)
+	}
+	if got := l.LastLSN(); got != 5 {
+		t.Fatalf("LastLSN = %d, want 5", got)
+	}
+	recs := collect(t, l, 1)
+	if len(recs) != 5 {
+		t.Fatalf("after truncate: lsns = %s, want 1..5", lastLSNs(recs))
+	}
+	// Reopen from disk: the truncation must be durable and the tail clean.
+	if err := l.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	l2 := mustOpen(t, dir, Options{SegmentBytes: smallSeg})
+	defer l2.Close()
+	if got := l2.LastLSN(); got != 5 {
+		t.Fatalf("reopened LastLSN = %d, want 5", got)
+	}
+	appendN(t, l2, 3, "again")
+	recs = collect(t, l2, 1)
+	if len(recs) != 8 || recs[7].LSN != 8 {
+		t.Fatalf("after reopen+append: lsns = %s, want 1..8", lastLSNs(recs))
+	}
+}
+
+func TestTruncateSuffixWholeLogAndNoop(t *testing.T) {
+	dir := t.TempDir()
+	l := mustOpen(t, dir, Options{SegmentBytes: smallSeg})
+	defer l.Close()
+	appendN(t, l, 12, "all")
+
+	// Boundary at or past the tail is a no-op.
+	if err := l.TruncateSuffix(12); err != nil {
+		t.Fatalf("TruncateSuffix(12): %v", err)
+	}
+	if err := l.TruncateSuffix(99); err != nil {
+		t.Fatalf("TruncateSuffix(99): %v", err)
+	}
+	if got := l.LastLSN(); got != 12 {
+		t.Fatalf("LastLSN = %d, want 12", got)
+	}
+
+	// Truncating everything restarts the log at after+1.
+	if err := l.TruncateSuffix(0); err != nil {
+		t.Fatalf("TruncateSuffix(0): %v", err)
+	}
+	if got := l.LastLSN(); got != 0 {
+		t.Fatalf("LastLSN = %d, want 0", got)
+	}
+	if recs := collect(t, l, 1); len(recs) != 0 {
+		t.Fatalf("after full truncate: %d records", len(recs))
+	}
+	lsn, err := l.Append(RecInsert, []byte("fresh"))
+	if err != nil || lsn != 1 {
+		t.Fatalf("Append after full truncate: lsn=%d err=%v", lsn, err)
+	}
+}
+
+func TestTruncateSuffixRefusedWhilePinned(t *testing.T) {
+	dir := t.TempDir()
+	l := mustOpen(t, dir, Options{})
+	defer l.Close()
+	appendN(t, l, 4, "pin")
+	p := l.Pin(2)
+	if err := l.TruncateSuffix(1); err == nil {
+		t.Fatal("TruncateSuffix succeeded with an active pin")
+	}
+	if got := l.Pins(); got != 1 {
+		t.Fatalf("Pins = %d, want 1", got)
+	}
+	p.Release()
+	if got := l.Pins(); got != 0 {
+		t.Fatalf("Pins after release = %d, want 0", got)
+	}
+	if err := l.TruncateSuffix(1); err != nil {
+		t.Fatalf("TruncateSuffix after release: %v", err)
+	}
+}
+
+func TestResetJumpsLSNSpace(t *testing.T) {
+	dir := t.TempDir()
+	l := mustOpen(t, dir, Options{Policy: FsyncAlways, SegmentBytes: smallSeg})
+	defer l.Close()
+	appendN(t, l, 9, "old")
+
+	// A follower restoring a snapshot at LSN 100 resets to 101.
+	if err := l.Reset(101); err != nil {
+		t.Fatalf("Reset: %v", err)
+	}
+	if got := l.LastLSN(); got != 100 {
+		t.Fatalf("LastLSN = %d, want 100", got)
+	}
+	// Everything below the reset point counts as durable (it lives in the
+	// snapshot), so WaitDurable on it returns immediately.
+	if err := l.WaitDurable(100); err != nil {
+		t.Fatalf("WaitDurable(100): %v", err)
+	}
+	lsn, err := l.Append(RecInsert, []byte("replicated"))
+	if err != nil || lsn != 101 {
+		t.Fatalf("Append after reset: lsn=%d err=%v", lsn, err)
+	}
+	recs := collect(t, l, 1)
+	if len(recs) != 1 || recs[0].LSN != 101 {
+		t.Fatalf("after reset: lsns = %s, want exactly 101", lastLSNs(recs))
+	}
+	// Survives reopen.
+	if err := l.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	l2 := mustOpen(t, dir, Options{SegmentBytes: smallSeg})
+	defer l2.Close()
+	if got := l2.LastLSN(); got != 101 {
+		t.Fatalf("reopened LastLSN = %d, want 101", got)
+	}
+}

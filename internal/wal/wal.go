@@ -189,6 +189,13 @@ const (
 	// Shed transitions are journaled so WAL replay reproduces the exact
 	// resample counts — and hence RNG evolution — of the live run.
 	RecShed RecordType = 6
+	// RecEpoch is a replication-epoch (term) bump, journaled by a promoted
+	// follower at the instant it becomes primary (decimal epoch). Because
+	// the epoch rides the ordinary WAL it survives crashes, ships to
+	// followers through the ordinary replication stream, and marks the
+	// exact LSN at which the new epoch's history begins — the boundary a
+	// fenced old primary truncates back to when it rejoins.
+	RecEpoch RecordType = 7
 )
 
 // Record is one journaled command.
@@ -708,6 +715,15 @@ func (p *Pin) Release() {
 	p.l.mu.Unlock()
 }
 
+// Pins reports how many truncation pins are currently registered. The
+// replication tests use it to assert that abandoned ship handshakes do not
+// leak pins (a leaked pin blocks checkpoint pruning forever).
+func (l *Log) Pins() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.pins)
+}
+
 // pinnedFloorLocked clamps a truncation target so every pinned record
 // survives. Caller holds l.mu.
 func (l *Log) pinnedFloorLocked(lsn uint64) uint64 {
@@ -774,6 +790,140 @@ func (l *Log) TruncateThrough(lsn uint64) error {
 	return syncDir(l.fs, l.dir)
 }
 
+// TruncateSuffix discards every record with LSN > after, so the next
+// append receives LSN after+1. It is the fencing primitive of primary
+// rejoin: a deposed primary that diverged past the epoch boundary cuts its
+// WAL back to the last epoch-consistent LSN before re-attaching as a
+// follower. Whole segments past the boundary are removed and the segment
+// containing it is byte-truncated to the frame ending at after. The log
+// must have no active pins or tailing readers (the caller shut replication
+// down first); truncating with pins held is refused.
+func (l *Log) TruncateSuffix(after uint64) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return ErrClosed
+	}
+	if l.wedged != nil {
+		return l.wedgedErrLocked()
+	}
+	if len(l.pins) > 0 {
+		return fmt.Errorf("wal: truncate suffix with %d active pins", len(l.pins))
+	}
+	if after >= l.nextLSN-1 {
+		return nil // nothing beyond after
+	}
+	if err := l.w.Flush(); err != nil {
+		return l.wedgeLocked(err)
+	}
+	if err := l.f.Close(); err != nil {
+		return fmt.Errorf("wal: %w", err)
+	}
+	segs, err := listSegments(l.fs, l.dir)
+	if err != nil {
+		return err
+	}
+	var keep []segment
+	for _, seg := range segs {
+		if seg.first > after {
+			if err := l.fs.Remove(seg.path); err != nil {
+				return fmt.Errorf("wal: %w", err)
+			}
+			mSegsDropped.Inc()
+			continue
+		}
+		keep = append(keep, seg)
+	}
+	if len(keep) == 0 {
+		// The entire history was past the boundary (or the log held nothing
+		// below it): restart with a fresh segment at after+1.
+		l.nextLSN = after + 1
+		if l.synced.Load() > after {
+			l.synced.Store(after)
+		}
+		return l.openSegment(after + 1)
+	}
+	last := keep[len(keep)-1]
+	validLen, lastLSN, err := scanThrough(l.fs, last.path, last.first, after)
+	if err != nil {
+		return err
+	}
+	fi, err := l.fs.Stat(last.path)
+	if err != nil {
+		return fmt.Errorf("wal: %w", err)
+	}
+	if fi.Size() > validLen {
+		if err := l.fs.Truncate(last.path, validLen); err != nil {
+			return fmt.Errorf("wal: truncating suffix: %w", err)
+		}
+	}
+	f, err := l.fs.OpenFile(last.path, os.O_WRONLY, 0)
+	if err != nil {
+		return fmt.Errorf("wal: %w", err)
+	}
+	if _, err := f.Seek(validLen, io.SeekStart); err != nil {
+		f.Close()
+		return fmt.Errorf("wal: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return fmt.Errorf("wal: %w", err)
+	}
+	l.f = f
+	l.w = bufio.NewWriter(f)
+	l.segFirst = last.first
+	l.size = validLen
+	l.nextLSN = lastLSN + 1
+	l.dirty = false
+	if l.synced.Load() > lastLSN {
+		l.synced.Store(lastLSN)
+	}
+	return syncDir(l.fs, l.dir)
+}
+
+// Reset discards the entire log and positions it so the next append
+// receives LSN next. A durable follower bootstrapped from a primary
+// snapshot at LSN s calls Reset(s+1): the records below s+1 live in the
+// snapshot, not in this log, and the replicated suffix it is about to
+// journal must line up with the primary's LSN space. Records below next
+// are marked durable (they are — in the snapshot). Refused while pins are
+// held.
+func (l *Log) Reset(next uint64) error {
+	if next == 0 {
+		return errors.New("wal: reset to lsn 0")
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return ErrClosed
+	}
+	if l.wedged != nil {
+		return l.wedgedErrLocked()
+	}
+	if len(l.pins) > 0 {
+		return fmt.Errorf("wal: reset with %d active pins", len(l.pins))
+	}
+	if err := l.w.Flush(); err != nil {
+		return l.wedgeLocked(err)
+	}
+	if err := l.f.Close(); err != nil {
+		return fmt.Errorf("wal: %w", err)
+	}
+	segs, err := listSegments(l.fs, l.dir)
+	if err != nil {
+		return err
+	}
+	for _, seg := range segs {
+		if err := l.fs.Remove(seg.path); err != nil {
+			return fmt.Errorf("wal: %w", err)
+		}
+		mSegsDropped.Inc()
+	}
+	l.nextLSN = next
+	l.synced.Store(next - 1)
+	return l.openSegment(next)
+}
+
 type segment struct {
 	first uint64
 	path  string
@@ -825,6 +975,29 @@ func scanSegment(fs fault.FS, path string, first uint64) (validLen int64, lastLS
 		lastLSN++
 		nrec++
 	}
+}
+
+// scanThrough walks a segment's frames up to and including LSN through,
+// returning the byte length of that prefix and its last LSN. A torn or
+// corrupt frame before through ends the walk early (like scanSegment): the
+// prefix that validated is all the history the segment can vouch for.
+func scanThrough(fs fault.FS, path string, first, through uint64) (validLen int64, lastLSN uint64, err error) {
+	f, err := fs.Open(path)
+	if err != nil {
+		return 0, 0, fmt.Errorf("wal: %w", err)
+	}
+	defer f.Close()
+	r := bufio.NewReader(f)
+	lastLSN = first - 1
+	for lastLSN < through {
+		_, frameLen, ferr := readFrame(r, lastLSN+1)
+		if ferr != nil {
+			break
+		}
+		validLen += frameLen
+		lastLSN++
+	}
+	return validLen, lastLSN, nil
 }
 
 // replaySegment reads a fully-valid segment, calling fn for records with
