@@ -28,6 +28,12 @@
 // (rank 0 on the deterministic successor ladder waits -failover-suspect,
 // rank k waits (1+k)×), promotes itself — journal an epoch bump, accept
 // writes, and (with -promote-repl-addr) start shipping its own WAL.
+// -failover-peers must list every replica's CLIENT address (the same
+// value each gives as -failover-self; default -addr), identically on all
+// of them: the addresses feed the ladder, are ROLE-probed before a
+// lower rank may promote (a higher rank that already won makes this node
+// stand down and follow the winner), and partition the promotion epochs
+// so concurrent promotions can never journal the same epoch.
 // Writes reaching the fenced ex-primary are rejected with the
 // "fenced: stale epoch" sentinel that routing clients fail over on.
 // With -auto-rejoin, a follower told by the primary that its WAL suffix
@@ -101,8 +107,8 @@ func main() {
 	replAddr := flag.String("repl-addr", "", "WAL-shipping replication listener for followers (requires -data-dir); empty disables")
 	follow := flag.String("follow", "", "run as a read-only follower of this primary's -repl-addr; empty disables")
 	failover := flag.Bool("failover", false, "follower mode: promote automatically when the primary goes silent")
-	failoverSelf := flag.String("failover-self", "", "this replica's identity on the successor ladder (default -addr)")
-	failoverPeers := flag.String("failover-peers", "", "comma-separated replica identities of this shard (including self)")
+	failoverSelf := flag.String("failover-self", "", "this replica's client address as listed in -failover-peers (default -addr)")
+	failoverPeers := flag.String("failover-peers", "", "comma-separated client addresses of every replica of this shard (including self); must be identical on all replicas")
 	failoverSuspect := flag.Duration("failover-suspect", time.Second, "primary silence before the rank-0 successor promotes")
 	failoverProbe := flag.Duration("failover-probe", 100*time.Millisecond, "failure-detector probe interval")
 	promoteRepl := flag.String("promote-repl-addr", "", "start shipping the WAL on this listener after an automatic promotion (requires -data-dir)")

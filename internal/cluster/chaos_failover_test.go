@@ -268,6 +268,131 @@ func runAutoFailoverRejoin(t *testing.T, workers int) string {
 	return strings.Join(s1.cmd("STATS q1"), "\n") + "\n" + strings.Join(s1.cmd("STATS q2"), "\n")
 }
 
+// The multi-replica promotion race, end to end with real probes: a primary
+// with TWO durable failover-enabled followers dies, and exactly one of them
+// may end up writable. The ladder's designated successor promotes; the
+// other follower's survey finds the promoted winner, stands down, and
+// re-points its replication loop at the winner's advertised ship address —
+// so the shard converges on one primary, one epoch, byte-identical state.
+// Regression for the multi-promotion split-brain: without the survey both
+// followers promoted to the SAME epoch, which fencing can never repair.
+func TestChaosTwoFollowerSinglePromotion(t *testing.T) {
+	p := startPrimary(t, 1, 0, 0)
+	df1 := startDurableFollower(t, 1, p.shipAddr)
+	df2 := startDurableFollower(t, 1, p.shipAddr)
+	peers := []string{df1.addr, df2.addr}
+
+	pc := dialRaw(t, p.addr)
+	seedGolden(t, pc)
+	insertN(t, pc, 6, 1)
+	waitCaughtUp(t, p, df1)
+	waitCaughtUp(t, p, df2)
+
+	// Both replicas run the full detector with the REAL prober: the loser
+	// must discover the winner through an actual ROLE round trip on the
+	// winner's client address.
+	startFM := func(n *tnode) (*FailoverManager, chan string) {
+		shipCh := make(chan string, 1)
+		fm := NewFailoverManager(n.srv, n.f, quiet, FailoverOptions{
+			Self:         n.addr,
+			Primary:      p.shipAddr,
+			Peers:        peers,
+			SuspectAfter: 120 * time.Millisecond,
+			ProbeEvery:   5 * time.Millisecond,
+			OnPromote: func(epoch uint64) {
+				ship, err := NewShipServer(n.srv, quiet, ShipOptions{Heartbeat: 10 * time.Millisecond, Poll: time.Millisecond})
+				if err != nil {
+					t.Errorf("promoted ship server: %v", err)
+					shipCh <- ""
+					return
+				}
+				addr, err := ship.Listen("127.0.0.1:0")
+				if err != nil {
+					t.Errorf("promoted ship listen: %v", err)
+					shipCh <- ""
+					return
+				}
+				go ship.Serve()
+				t.Cleanup(func() { ship.Close() })
+				shipCh <- addr.String()
+			},
+		})
+		fm.Start()
+		t.Cleanup(fm.Stop)
+		return fm, shipCh
+	}
+	fm1, ship1 := startFM(df1)
+	fm2, ship2 := startFM(df2)
+	failoversBefore := mFailovers.Value()
+
+	// Kill the primary outright; nothing tells the followers.
+	p.ship.Close()
+	pc.nc.Close()
+	p.srv.Close()
+
+	// One of the two detectors promotes.
+	deadline := time.Now().Add(10 * time.Second)
+	for !fm1.Promoted() && !fm2.Promoted() {
+		if time.Now().After(deadline) {
+			t.Fatal("no follower promoted after the primary died")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	winner, loser := df1, df2
+	loserFM, winnerShipCh := fm2, ship1
+	if fm2.Promoted() {
+		winner, loser = df2, df1
+		loserFM, winnerShipCh = fm1, ship2
+	}
+	winnerShip := <-winnerShipCh
+	if winnerShip == "" {
+		t.Fatal("promotion did not start a ship listener")
+	}
+
+	// The loser stands down and re-points its follower at the winner.
+	deadline = time.Now().Add(10 * time.Second)
+	for loser.f.Target() != winnerShip {
+		if loserFM.Promoted() {
+			t.Fatal("both followers promoted: multi-promotion split-brain")
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("loser still follows %q, want the winner's ship addr %q", loser.f.Target(), winnerShip)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	// The winner owns its congruence class: its epoch is distinct from
+	// anything the loser COULD ever journal.
+	wantEpoch := nextCongruentEpoch(1, winner.addr, peers)
+	if got := winner.srv.Epoch(); got != wantEpoch {
+		t.Fatalf("winner epoch = %d, want %d", got, wantEpoch)
+	}
+
+	// The shard works again: writes land on the winner and replicate to the
+	// stood-down loser, which adopts the winner's epoch from the shipped
+	// RecEpoch record.
+	wc := dialRaw(t, winner.addr)
+	insertN(t, wc, 4, 100)
+	waitCaughtUp(t, winner, loser)
+	if got := loser.srv.Epoch(); got != wantEpoch {
+		t.Fatalf("loser epoch = %d, want %d (RecEpoch must have shipped)", got, wantEpoch)
+	}
+	if loserFM.Promoted() {
+		t.Fatal("loser promoted after standing down")
+	}
+	if !loser.srv.ReadOnly() {
+		t.Fatal("stood-down loser is writable")
+	}
+	if got := mFailovers.Value() - failoversBefore; got != 1 {
+		t.Fatalf("asdb_failover_total delta = %d, want exactly 1", got)
+	}
+
+	// Byte-identical state across the new primary and the survivor.
+	lc := dialRaw(t, loser.addr)
+	wc2 := dialRaw(t, winner.addr)
+	compareReplies(t, wc2, lc, "STATS q1", "STATS q2")
+}
+
 // syncBuf is a goroutine-safe log sink for asserting a mechanism engaged.
 type syncBuf struct {
 	mu sync.Mutex

@@ -46,19 +46,22 @@ var (
 
 	// Failover observability (ISSUE 10).
 	gEpoch = metrics.Default.Gauge("asdb_cluster_epoch",
-		"this node's current epoch (bumped by each promotion)")
+		"this node's current epoch (advanced by its own promotion or by adopting a newer primary's)")
 	mFailovers = metrics.Default.Counter("asdb_failover_total",
 		"automatic promotions performed by the failover manager on this node")
 	mFencedRejects = metrics.Default.Counter("asdb_fenced_rejects_total",
 		"writes rejected because this node is fenced at a stale epoch")
 	mHeartbeatMisses = metrics.Default.Counter("asdb_heartbeat_misses_total",
-		"failure-detector probe ticks that found the primary silent past a heartbeat window")
+		"SuspectAfter windows the primary stayed silent through (each window counted once per suspicion episode)")
 )
 
 // The server's dispatch counts fenced rejections but must not register
 // cluster metrics itself (single-node METRICS key set is pinned by the
 // golden transcript), so it calls back through this hook.
-func init() { server.FencedRejectHook = mFencedRejects.Inc }
+func init() {
+	server.FencedRejectHook = mFencedRejects.Inc
+	server.EpochAdoptHook = func(epoch uint64) { gEpoch.Set(int64(epoch)) }
+}
 
 // retryableIngestReject reports whether a server's ERR text means "this
 // node cannot take writes right now, but another one can": an unpromoted

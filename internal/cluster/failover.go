@@ -11,19 +11,39 @@ package cluster
 // designated successor (rank 0) promotes after one SuspectAfter window of
 // silence, rank k waits k extra windows, so a dead successor only delays
 // failover, never wedges it.
+//
+// Two mechanisms keep concurrent promotions from producing equal epochs
+// (equal epochs can never fence each other, so they are the one shape of
+// split-brain fencing cannot repair):
+//
+//   - Before acting, a non-zero rank surveys the ladder above it with ROLE
+//     probes: if a higher rank already promoted, this node stands down and
+//     re-points its follower at the winner; if a higher rank is alive but
+//     undecided, this node keeps waiting; only an all-dead ladder above
+//     clears it to promote.
+//   - The promotion epoch itself is congruence-partitioned: each replica
+//     may only journal epochs congruent to its index in the sorted peer
+//     list (mod the peer count), so even promotions racing through a fully
+//     partitioned ladder pick DISTINCT epochs — when the histories meet,
+//     the lower epoch is fenced and rejoins, exactly like any deposed
+//     primary.
 
 import (
+	"bufio"
 	"errors"
 	"fmt"
 	"log"
+	"net"
 	"os"
 	"path/filepath"
 	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/fault"
 	"repro/internal/server"
 )
 
@@ -58,12 +78,61 @@ func successorRank(primary, self string, peers []string) int {
 	return len(ranked)
 }
 
+// RoleProbe is one peer's answer to a ladder survey: the ROLE fields that
+// matter for promotion arbitration.
+type RoleProbe struct {
+	// Role is "primary", "follower", or "fenced".
+	Role string
+	// Epoch is the replication term the peer believes is current.
+	Epoch uint64
+	// ReplAddr is the peer's WAL-ship listener address, when it runs one
+	// (a freshly promoted primary advertises it so survivors can follow).
+	ReplAddr string
+}
+
+// probeRole is the default ladder prober: one ROLE round trip on the
+// peer's client address.
+func probeRole(addr string, timeout time.Duration) (RoleProbe, error) {
+	nc, err := net.DialTimeout("tcp", addr, timeout)
+	if err != nil {
+		return RoleProbe{}, err
+	}
+	defer nc.Close()
+	nc.SetDeadline(time.Now().Add(timeout))
+	if _, err := fmt.Fprintf(nc, "ROLE\n"); err != nil {
+		return RoleProbe{}, err
+	}
+	line, err := readLine(bufio.NewReaderSize(nc, 4<<10), maxShipLine)
+	if err != nil {
+		return RoleProbe{}, err
+	}
+	payload, ok := strings.CutPrefix(line, "OK ")
+	if !ok {
+		return RoleProbe{}, fmt.Errorf("cluster: ROLE probe of %s answered %q", addr, line)
+	}
+	var rp RoleProbe
+	var followers int
+	var lastLSN uint64
+	var lag int64
+	if _, err := fmt.Sscanf(payload, "role=%s epoch=%d followers=%d last_lsn=%d lag_records=%d",
+		&rp.Role, &rp.Epoch, &followers, &lastLSN, &lag); err != nil {
+		return RoleProbe{}, fmt.Errorf("cluster: malformed ROLE reply %q: %w", payload, err)
+	}
+	if i := strings.Index(payload, " repl="); i >= 0 {
+		rp.ReplAddr = strings.TrimSpace(payload[i+len(" repl="):])
+	}
+	return rp, nil
+}
+
 // FailoverOptions configures one replica's failure detector. Zero values
 // mean defaults.
 type FailoverOptions struct {
-	// Self is this replica's identity (its replica address as listed in the
+	// Self is this replica's identity (its client address as listed in the
 	// topology); Primary the watched primary's; Peers every replica of the
-	// shard, including Self. They only feed the deterministic ladder.
+	// shard, including Self. They feed the deterministic ladder, the
+	// pre-promotion survey (peer addresses are ROLE-probed), and the
+	// congruence classes that keep concurrent promotion epochs distinct —
+	// so every replica must be configured with the SAME peer set.
 	Self    string
 	Primary string
 	Peers   []string
@@ -78,6 +147,9 @@ type FailoverOptions struct {
 	// OnPromote runs after a successful promotion (e.g. to start a ship
 	// listener on the new primary).
 	OnPromote func(epoch uint64)
+	// ProbeRole surveys one higher-ranked peer before promoting;
+	// injectable for tests (default: a real ROLE round trip).
+	ProbeRole func(addr string, timeout time.Duration) (RoleProbe, error)
 }
 
 func (o FailoverOptions) normalize() FailoverOptions {
@@ -90,7 +162,24 @@ func (o FailoverOptions) normalize() FailoverOptions {
 	if o.Now == nil {
 		o.Now = time.Now
 	}
+	if o.ProbeRole == nil {
+		o.ProbeRole = probeRole
+	}
+	// The congruence scheme requires Self to occupy one of the classes;
+	// tolerate configs that list only the OTHER replicas in Peers.
+	if o.Self != "" && !contains(o.Peers, o.Self) {
+		o.Peers = append(append([]string(nil), o.Peers...), o.Self)
+	}
 	return o
+}
+
+func contains(ss []string, s string) bool {
+	for _, v := range ss {
+		if v == s {
+			return true
+		}
+	}
+	return false
 }
 
 // FailoverManager turns a follower into a primary when the primary goes
@@ -103,7 +192,10 @@ type FailoverManager struct {
 	logger *log.Logger
 	opts   FailoverOptions
 	rank   int
-	grace  time.Time // stands in for LastContact until the first real contact
+	higher []string  // peers ranked above self, surveyed before promoting
+	grace  time.Time // floor for LastContact; reset on construction and stand-down
+
+	missWindows int // SuspectAfter windows already counted this suspicion episode
 
 	promoted atomic.Bool
 	stopCh   chan struct{}
@@ -126,6 +218,15 @@ func NewFailoverManager(srv *server.Server, f *Follower, logger *log.Logger, opt
 		stopCh: make(chan struct{}),
 		done:   make(chan struct{}),
 	}
+	for _, p := range opts.Peers {
+		if p != opts.Self && successorRank(opts.Primary, p, opts.Peers) < m.rank {
+			m.higher = append(m.higher, p)
+		}
+	}
+	sort.Slice(m.higher, func(i, j int) bool {
+		return successorRank(opts.Primary, m.higher[i], opts.Peers) <
+			successorRank(opts.Primary, m.higher[j], opts.Peers)
+	})
 	gEpoch.Set(int64(srv.Epoch()))
 	return m
 }
@@ -178,19 +279,120 @@ func (m *FailoverManager) tick(now time.Time) bool {
 		return false
 	}
 	last := m.f.LastContact()
-	if last.IsZero() {
+	if last.Before(m.grace) {
 		last = m.grace
 	}
 	silence := now.Sub(last)
 	if silence < m.opts.SuspectAfter {
+		m.missWindows = 0
 		return false
 	}
-	mHeartbeatMisses.Inc()
+	// Count each fully crossed SuspectAfter window exactly once, so the
+	// counter measures missed heartbeat windows — independent of how often
+	// the detector ticks during one suspicion episode.
+	if w := int(silence / m.opts.SuspectAfter); w > m.missWindows {
+		mHeartbeatMisses.Add(uint64(w - m.missWindows))
+		m.missWindows = w
+	}
 	if silence < m.threshold() {
+		return false
+	}
+	switch verdict, winner := m.surveyLadder(); verdict {
+	case ladderPromoted:
+		m.standDown(now, winner)
+		return false
+	case ladderAlive:
+		// A better-ranked peer is alive but has not promoted. Either it
+		// will (its threshold fires before ours), or it still hears the
+		// primary (we are partitioned from the primary, not the cluster) —
+		// in both cases promoting here would be the wrong node acting.
 		return false
 	}
 	m.promote()
 	return m.promoted.Load()
+}
+
+// ladderVerdict is the outcome of surveying the ladder above this node.
+type ladderVerdict int
+
+const (
+	ladderDead     ladderVerdict = iota // every higher-ranked peer unreachable
+	ladderAlive                         // a higher rank is alive but undecided
+	ladderPromoted                      // a higher rank already promoted
+)
+
+// surveyLadder probes every peer ranked above self. Rank 0 has an empty
+// ladder and is always clear to act.
+func (m *FailoverManager) surveyLadder() (ladderVerdict, RoleProbe) {
+	verdict := ladderDead
+	for _, addr := range m.higher {
+		rp, err := m.opts.ProbeRole(addr, m.probeTimeout())
+		if err != nil {
+			continue
+		}
+		if rp.Role == "primary" && rp.Epoch > m.srv.Epoch() {
+			return ladderPromoted, rp
+		}
+		verdict = ladderAlive
+	}
+	return verdict, RoleProbe{}
+}
+
+// probeTimeout bounds one survey probe: half a suspicion window, clamped
+// so the default 100ms test configs still get a usable dial timeout.
+func (m *FailoverManager) probeTimeout() time.Duration {
+	d := m.opts.SuspectAfter / 2
+	if d < 50*time.Millisecond {
+		d = 50 * time.Millisecond
+	}
+	if d > 2*time.Second {
+		d = 2 * time.Second
+	}
+	return d
+}
+
+// standDown records that a higher-ranked peer won the promotion race: the
+// suspicion episode ends (grace resets so the detector starts a fresh
+// silence measurement) and the follower is re-pointed at the winner's ship
+// listener, whose stream will refresh LastContact from here on.
+func (m *FailoverManager) standDown(now time.Time, winner RoleProbe) {
+	m.grace = now
+	m.missWindows = 0
+	if winner.ReplAddr != "" && m.f.Target() != winner.ReplAddr {
+		m.logf("failover: rank %d standing down; following promoted peer at %s (epoch %d)",
+			m.rank, winner.ReplAddr, winner.Epoch)
+		m.f.Retarget(winner.ReplAddr)
+	}
+}
+
+// nextCongruentEpoch picks the promotion epoch: the smallest epoch above
+// cur congruent to self's index in the sorted, deduplicated peer list
+// (modulo the peer count). Each replica owns a disjoint residue class, so
+// two replicas can NEVER journal the same epoch no matter how their
+// promotions interleave — and distinct epochs fence: when two self-promoted
+// histories meet, the lower epoch is deposed and rejoins. A single-replica
+// shard degenerates to cur+1.
+func nextCongruentEpoch(cur uint64, self string, peers []string) uint64 {
+	uniq := append([]string(nil), peers...)
+	sort.Strings(uniq)
+	n, idx := 0, -1
+	for i, p := range uniq {
+		if i > 0 && p == uniq[i-1] {
+			continue
+		}
+		if p == self {
+			idx = n
+		}
+		n++
+	}
+	if n <= 1 || idx < 0 {
+		return cur + 1
+	}
+	next := cur + 1
+	for next%uint64(n) != uint64(idx) {
+		next++
+	}
+	return next
 }
 
 // promote executes the safe promotion sequence: stop the apply loop first
@@ -201,7 +403,8 @@ func (m *FailoverManager) tick(now time.Time) bool {
 // tick retries.
 func (m *FailoverManager) promote() {
 	m.f.Close()
-	epoch, err := m.srv.BumpEpoch()
+	next := nextCongruentEpoch(m.srv.Epoch(), m.opts.Self, m.opts.Peers)
+	epoch, err := m.srv.BumpEpochTo(next)
 	if err != nil {
 		m.logf("failover: epoch bump failed, staying read-only: %v", err)
 		return
@@ -209,7 +412,6 @@ func (m *FailoverManager) promote() {
 	m.srv.SetReadOnly(false)
 	m.promoted.Store(true)
 	mFailovers.Inc()
-	gEpoch.Set(int64(epoch))
 	m.logf("failover: promoted at lsn %d, epoch %d (rank %d, primary %s silent)",
 		m.f.LastApplied(), epoch, m.rank, m.opts.Primary)
 	if m.opts.OnPromote != nil {
@@ -267,14 +469,21 @@ func Rejoin(old *server.Server, cfg core.Config, re *RejoinError, logger *log.Lo
 		if logger != nil {
 			logger.Printf("rejoin: local prefix has a gap (checkpoint %d, wal oldest %d); resyncing from scratch", ckLSN, oldest)
 		}
-		os.RemoveAll(filepath.Join(cfg.DataDir, "wal"))
-		os.RemoveAll(filepath.Join(cfg.DataDir, "checkpoints"))
+		// The wipe goes through the WAL's filesystem (the injected fault.FS
+		// when one is in play) and every error is fatal: recovering over a
+		// partially wiped data dir could resurrect the diverged state the
+		// wipe was meant to discard.
+		for _, sub := range []string{"wal", "checkpoints"} {
+			if err := removeTree(w.FS(), filepath.Join(cfg.DataDir, sub)); err != nil {
+				return nil, nil, fmt.Errorf("cluster: rejoin wipe of %s: %w", sub, err)
+			}
+		}
 	}
 	eng, err := core.NewEngine(cfg)
 	if err != nil {
 		return nil, nil, fmt.Errorf("cluster: rejoin engine: %w", err)
 	}
-	srv, err := server.NewDurable(eng, logger)
+	srv, err := server.NewDurableFS(eng, logger, w.FS())
 	if err != nil {
 		return nil, nil, fmt.Errorf("cluster: rejoin recovery: %w", err)
 	}
@@ -282,4 +491,31 @@ func Rejoin(old *server.Server, cfg core.Config, re *RejoinError, logger *log.Lo
 	f := NewFollower(srv, primaryShipAddr, logger, fopts)
 	f.SetLastApplied(srv.WAL().LastLSN())
 	return srv, f, nil
+}
+
+// removeTree deletes dir recursively through the injected filesystem, so
+// fault-injection schedules cover the rejoin wipe. A missing dir is
+// success; any failed removal is an error for the caller to treat as
+// fatal.
+func removeTree(fs fault.FS, dir string) error {
+	entries, err := fs.ReadDir(dir)
+	if err != nil {
+		if errors.Is(err, os.ErrNotExist) {
+			return nil
+		}
+		return err
+	}
+	for _, e := range entries {
+		p := filepath.Join(dir, e.Name())
+		if e.IsDir() {
+			if err := removeTree(fs, p); err != nil {
+				return err
+			}
+			continue
+		}
+		if err := fs.Remove(p); err != nil {
+			return err
+		}
+	}
+	return fs.Remove(dir)
 }

@@ -3,9 +3,12 @@ package cluster
 import (
 	"fmt"
 	"net"
+	"os"
+	"path/filepath"
 	"testing"
 	"time"
 
+	"repro/internal/fault"
 	"repro/internal/metrics"
 )
 
@@ -80,10 +83,15 @@ func TestFailoverManagerTickPromotesOnce(t *testing.T) {
 		Peers:        peers,
 		SuspectAfter: 100 * time.Millisecond,
 		Now:          func() time.Time { return now },
+		// The whole ladder above is dead: probes fail, clearing promotion.
+		ProbeRole: func(string, time.Duration) (RoleProbe, error) {
+			return RoleProbe{}, fmt.Errorf("connection refused")
+		},
 	})
 	if m.Rank() != 1 {
 		t.Fatalf("rank = %d, want 1", m.Rank())
 	}
+	wantEpoch := nextCongruentEpoch(1, self, peers)
 
 	missesBefore := mHeartbeatMisses.Value()
 	failoversBefore := mFailovers.Value()
@@ -114,8 +122,8 @@ func TestFailoverManagerTickPromotesOnce(t *testing.T) {
 	if !m.Promoted() {
 		t.Fatal("Promoted() = false after promotion")
 	}
-	if got := p.srv.Epoch(); got != 2 {
-		t.Fatalf("epoch after promotion = %d, want 2", got)
+	if got := p.srv.Epoch(); got != wantEpoch {
+		t.Fatalf("epoch after promotion = %d, want %d", got, wantEpoch)
 	}
 	if p.srv.ReadOnly() {
 		t.Fatal("server still read-only after promotion")
@@ -128,7 +136,7 @@ func TestFailoverManagerTickPromotesOnce(t *testing.T) {
 	if m.tick(t0.Add(10 * time.Second)) {
 		t.Fatal("tick reported a second promotion")
 	}
-	if got := p.srv.Epoch(); got != 2 {
+	if got := p.srv.Epoch(); got != wantEpoch {
 		t.Fatalf("epoch re-bumped to %d", got)
 	}
 	if got := mFailovers.Value() - failoversBefore; got != 1 {
@@ -157,8 +165,145 @@ func TestFailoverManagerRankZeroThreshold(t *testing.T) {
 	if !m.tick(t0.Add(101 * time.Millisecond)) {
 		t.Fatal("rank 0 did not promote after one window")
 	}
-	if got := p.srv.Epoch(); got != 2 {
-		t.Fatalf("epoch = %d, want 2", got)
+	if want := nextCongruentEpoch(1, self, peers); p.srv.Epoch() != want {
+		t.Fatalf("epoch = %d, want %d", p.srv.Epoch(), want)
+	}
+}
+
+// A lower-ranked node whose survey finds an already promoted higher rank
+// must stand down instead of promoting: no second epoch bump, the follower
+// re-points at the winner's ship address, and the suspicion episode resets
+// so the node does not immediately re-survey.
+func TestFailoverStandsDownForPromotedPeer(t *testing.T) {
+	p := startPrimary(t, 1, 0, 0)
+	f := NewFollower(p.srv, "127.0.0.1:1", quiet, FollowOptions{})
+	peers := []string{"a:1", "b:1", "c:1"}
+	self := rankedPeer(t, "pri:1", peers, 1)
+	t0 := time.Unix(3000, 0)
+	probes := 0
+	m := NewFailoverManager(p.srv, f, quiet, FailoverOptions{
+		Self: self, Primary: "pri:1", Peers: peers,
+		SuspectAfter: 100 * time.Millisecond,
+		Now:          func() time.Time { return t0 },
+		ProbeRole: func(addr string, _ time.Duration) (RoleProbe, error) {
+			probes++
+			return RoleProbe{Role: "primary", Epoch: 7, ReplAddr: "127.0.0.1:9"}, nil
+		},
+	})
+	failoversBefore := mFailovers.Value()
+
+	if m.tick(t0.Add(250 * time.Millisecond)) {
+		t.Fatal("promoted despite a live promoted peer above")
+	}
+	if m.Promoted() {
+		t.Fatal("Promoted() = true after stand-down")
+	}
+	if probes != 1 {
+		t.Fatalf("survey probes = %d, want 1", probes)
+	}
+	if got := p.srv.Epoch(); got != 1 {
+		t.Fatalf("epoch moved to %d on the stood-down node", got)
+	}
+	if got := f.Target(); got != "127.0.0.1:9" {
+		t.Fatalf("follower target = %q, want the winner's ship addr", got)
+	}
+	if got := mFailovers.Value() - failoversBefore; got != 0 {
+		t.Fatalf("asdb_failover_total delta = %d, want 0", got)
+	}
+
+	// The stand-down reset the silence measurement: a tick shortly after
+	// must not survey again.
+	if m.tick(t0.Add(300 * time.Millisecond)) {
+		t.Fatal("promoted right after standing down")
+	}
+	if probes != 1 {
+		t.Fatalf("probes after grace reset = %d, want 1 (no new survey)", probes)
+	}
+
+	// If the winner then goes silent too, a fresh suspicion episode starts
+	// from the stand-down time and surveys again.
+	if m.tick(t0.Add(600 * time.Millisecond)) {
+		t.Fatal("promoted while the new primary answers probes")
+	}
+	if probes != 2 {
+		t.Fatalf("probes after a fresh episode = %d, want 2", probes)
+	}
+}
+
+// A lower-ranked node defers while a higher rank is alive but undecided,
+// and proceeds only once the ladder above is fully unreachable.
+func TestFailoverDefersToLivePeer(t *testing.T) {
+	p := startPrimary(t, 1, 0, 0)
+	f := NewFollower(p.srv, "127.0.0.1:1", quiet, FollowOptions{})
+	peers := []string{"a:1", "b:1", "c:1"}
+	self := rankedPeer(t, "pri:1", peers, 1)
+	t0 := time.Unix(4000, 0)
+	alive := true
+	m := NewFailoverManager(p.srv, f, quiet, FailoverOptions{
+		Self: self, Primary: "pri:1", Peers: peers,
+		SuspectAfter: 100 * time.Millisecond,
+		Now:          func() time.Time { return t0 },
+		ProbeRole: func(addr string, _ time.Duration) (RoleProbe, error) {
+			if alive {
+				return RoleProbe{Role: "follower", Epoch: 1}, nil
+			}
+			return RoleProbe{}, fmt.Errorf("connection refused")
+		},
+	})
+	for _, dt := range []time.Duration{250, 350, 450} {
+		if m.tick(t0.Add(dt * time.Millisecond)) {
+			t.Fatalf("promoted at +%dms despite a live higher rank", dt)
+		}
+	}
+	// The higher rank dies without ever promoting: now it is this node's
+	// turn.
+	alive = false
+	if !m.tick(t0.Add(550 * time.Millisecond)) {
+		t.Fatal("did not promote once the ladder above was dead")
+	}
+	if want := nextCongruentEpoch(1, self, peers); p.srv.Epoch() != want {
+		t.Fatalf("epoch = %d, want %d", p.srv.Epoch(), want)
+	}
+}
+
+// The congruence scheme is what makes concurrent promotions safe: any two
+// replicas of a shard pick distinct epochs from any pair of starting
+// epochs, so their histories can always fence each other.
+func TestCongruentEpochsDistinct(t *testing.T) {
+	peerSets := [][]string{
+		{"a:1", "b:1"},
+		{"a:1", "b:1", "c:1"},
+		{"c:1", "a:1", "b:1", "d:1", "e:1"}, // unsorted on purpose
+	}
+	for _, peers := range peerSets {
+		for _, curA := range []uint64{1, 2, 5} {
+			for _, curB := range []uint64{1, 2, 5} {
+				for i, selfA := range peers {
+					for j, selfB := range peers {
+						if i == j {
+							continue
+						}
+						ea := nextCongruentEpoch(curA, selfA, peers)
+						eb := nextCongruentEpoch(curB, selfB, peers)
+						if ea <= curA || eb <= curB {
+							t.Fatalf("epoch not above current: %s@%d->%d, %s@%d->%d", selfA, curA, ea, selfB, curB, eb)
+						}
+						if ea == eb {
+							t.Fatalf("peers %v: %s@%d and %s@%d both picked epoch %d", peers, selfA, curA, selfB, curB, ea)
+						}
+					}
+				}
+			}
+		}
+	}
+	// Duplicate entries collapse into one residue class.
+	if a, b := nextCongruentEpoch(1, "a:1", []string{"a:1", "a:1", "b:1"}),
+		nextCongruentEpoch(1, "b:1", []string{"a:1", "a:1", "b:1"}); a == b {
+		t.Fatalf("duplicate peers broke distinctness: both picked %d", a)
+	}
+	// A single-replica shard keeps the simple +1 epoch.
+	if got := nextCongruentEpoch(1, "a:1", []string{"a:1"}); got != 2 {
+		t.Fatalf("single-replica epoch = %d, want 2", got)
 	}
 }
 
@@ -182,6 +327,49 @@ func TestFailoverManagerContactSuppresses(t *testing.T) {
 	}
 	if f.srv.Epoch() != 1 {
 		t.Fatalf("follower epoch = %d, want 1", f.srv.Epoch())
+	}
+}
+
+// removeTree (the rejoin wipe) goes through the injected filesystem and
+// surfaces every failure: a partial wipe must abort the rejoin, never
+// proceed into recovery over inconsistent state.
+func TestRemoveTreeSurfacesInjectedFailure(t *testing.T) {
+	build := func() string {
+		dir := t.TempDir()
+		sub := filepath.Join(dir, "tree", "nested")
+		if err := os.MkdirAll(sub, 0o755); err != nil {
+			t.Fatal(err)
+		}
+		for _, p := range []string{
+			filepath.Join(dir, "tree", "a.dat"),
+			filepath.Join(sub, "b.dat"),
+		} {
+			if err := os.WriteFile(p, []byte("x"), 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return filepath.Join(dir, "tree")
+	}
+
+	// Injected removal failure: the wipe reports it.
+	tree := build()
+	ifs := fault.NewInjectFS(nil, fault.Rule{Op: fault.OpRemove, Path: ".dat", Count: 1, Err: fault.ErrFsync})
+	if err := removeTree(ifs, tree); err == nil {
+		t.Fatal("removeTree swallowed an injected removal failure")
+	}
+
+	// Healthy filesystem: the whole tree goes, and a second wipe of the
+	// now-missing dir is success (idempotent).
+	tree = build()
+	fs := fault.NewInjectFS(nil)
+	if err := removeTree(fs, tree); err != nil {
+		t.Fatalf("removeTree on healthy fs: %v", err)
+	}
+	if _, err := os.Stat(tree); !os.IsNotExist(err) {
+		t.Fatalf("tree still present after removeTree (stat err %v)", err)
+	}
+	if err := removeTree(fs, tree); err != nil {
+		t.Fatalf("removeTree of a missing dir: %v", err)
 	}
 }
 
@@ -226,7 +414,7 @@ func TestShipPinReleasedOnDeadFollower(t *testing.T) {
 		}
 		switch i % 3 {
 		case 0:
-			fmt.Fprintf(nc, "SYNC 0\n") // epochless probe: valid, never fenced
+			fmt.Fprintf(nc, "SYNC 0 1\n") // dies without reading the reply
 		case 1:
 			fmt.Fprintf(nc, "SYNC 0 1\n")
 			b := make([]byte, 64)

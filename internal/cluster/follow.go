@@ -121,6 +121,32 @@ func NewFollower(srv *server.Server, primaryAddr string, logger *log.Logger, opt
 // recovered state locally before connecting. Call before Start.
 func (f *Follower) SetLastApplied(lsn uint64) { f.lastApplied.Store(lsn) }
 
+// Target returns the address the replication loop currently dials.
+func (f *Follower) Target() string {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.primary
+}
+
+// Retarget points the replication loop at a different primary (the failover
+// manager calls it when a higher-ranked peer won the promotion race). The
+// live connection, if any, is closed so the next dial goes to the new
+// address; the replication cursor carries over — both nodes share the LSN
+// space, so the handshake resumes exactly where the old stream stopped.
+func (f *Follower) Retarget(addr string) {
+	f.mu.Lock()
+	if f.primary == addr {
+		f.mu.Unlock()
+		return
+	}
+	f.primary = addr
+	nc := f.nc
+	f.mu.Unlock()
+	if nc != nil {
+		nc.Close()
+	}
+}
+
 // LastApplied returns the LSN of the last record applied locally.
 func (f *Follower) LastApplied() uint64 { return f.lastApplied.Load() }
 
@@ -288,7 +314,7 @@ func isApplyError(err error) bool {
 // messages until the link breaks. Returns whether any record was applied
 // (resets reconnect backoff).
 func (f *Follower) followOnce() (progressed bool, err error) {
-	nc, err := net.DialTimeout("tcp", f.primary, f.opts.DialTimeout)
+	nc, err := net.DialTimeout("tcp", f.Target(), f.opts.DialTimeout)
 	if err != nil {
 		f.dialFails.Add(1)
 		return false, err

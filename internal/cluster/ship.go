@@ -28,8 +28,10 @@ import (
 //	primary  → follower: REC <lsn> <epoch> <type> <shipUnixNano> <payload>       (one per WAL record, in LSN order)
 //	primary  → follower: HB <lastLSN> <epoch> <shipUnixNano>                     (idle heartbeat; carries the primary's durable frontier)
 //
-// A SYNC with no epoch field (legacy/raw probes) is treated as "no claim":
-// it is never fenced and never truncated, and simply receives the stream.
+// A SYNC without an epoch field is rejected with an ERR line. Accepting it
+// would be a rolling-upgrade trap: a pre-epoch follower would parse the
+// epoch field of REC frames as the record type and silently apply garbage.
+// Rejecting the handshake makes the version skew loud instead.
 //
 // The handshake pins the shipped suffix in the primary's WAL before
 // checking whether it still exists, so a checkpoint+truncate running
@@ -105,7 +107,9 @@ func NewShipServer(srv *server.Server, logger *log.Logger, opts ShipOptions) (*S
 	return ss, nil
 }
 
-// Listen binds the replication listener and returns the bound address.
+// Listen binds the replication listener and returns the bound address. The
+// address is also advertised through the server's ROLE reply (repl= field)
+// so peers probing this node can learn where to follow it.
 func (ss *ShipServer) Listen(addr string) (net.Addr, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
@@ -114,6 +118,8 @@ func (ss *ShipServer) Listen(addr string) (net.Addr, error) {
 	ss.mu.Lock()
 	ss.ln = ln
 	ss.mu.Unlock()
+	bound := ln.Addr().String()
+	ss.srv.SetReplAddrFn(func() string { return bound })
 	return ln.Addr(), nil
 }
 
@@ -264,26 +270,31 @@ func (ss *ShipServer) serveConn(nc net.Conn) {
 		ss.logf("repl: bad handshake %q", line)
 		return
 	}
+	reply := func(format string, args ...any) {
+		nc.SetWriteDeadline(time.Now().Add(ss.opts.WriteTimeout))
+		fmt.Fprintf(nc, format, args...)
+	}
 	fields := strings.Fields(rest)
-	if len(fields) < 1 || len(fields) > 2 {
-		ss.logf("repl: bad SYNC %q", rest)
+	if len(fields) != 2 {
+		// An epochless SYNC is a pre-epoch connector that cannot parse the
+		// current frame formats; streaming to it would have it misread the
+		// epoch field of REC frames as the record type. Fail the handshake
+		// loudly instead.
+		ss.logf("repl: rejecting epochless SYNC %q", rest)
+		reply("ERR SYNC requires <lastAppliedLSN> <epoch>; upgrade the follower\n")
 		return
 	}
 	lastApplied, err := strconv.ParseUint(fields[0], 10, 64)
 	if err != nil {
 		ss.logf("repl: bad SYNC lsn %q", fields[0])
+		reply("ERR bad SYNC lsn\n")
 		return
 	}
-	reqEpoch := uint64(0) // 0 = no epoch claim (legacy/raw probe): never fenced
-	if len(fields) == 2 {
-		if reqEpoch, err = strconv.ParseUint(fields[1], 10, 64); err != nil {
-			ss.logf("repl: bad SYNC epoch %q", fields[1])
-			return
-		}
-	}
-	reply := func(format string, args ...any) {
-		nc.SetWriteDeadline(time.Now().Add(ss.opts.WriteTimeout))
-		fmt.Fprintf(nc, format, args...)
+	reqEpoch, err := strconv.ParseUint(fields[1], 10, 64)
+	if err != nil || reqEpoch == 0 {
+		ss.logf("repl: bad SYNC epoch %q", fields[1])
+		reply("ERR bad SYNC epoch\n")
+		return
 	}
 	cur := ss.srv.Epoch()
 	if reqEpoch > cur {
@@ -296,7 +307,7 @@ func (ss *ShipServer) serveConn(nc net.Conn) {
 		reply("FENCE %d\n", reqEpoch)
 		return
 	}
-	if reqEpoch > 0 && reqEpoch < cur {
+	if reqEpoch < cur {
 		// Stale-epoch rejoiner. Anything it applied past the first LSN of a
 		// newer epoch is diverged history that never happened here; it must
 		// truncate that suffix before it can follow.

@@ -161,6 +161,27 @@ func TestAttachDuringCheckpointPinsExactSuffix(t *testing.T) {
 	compareReplies(t, pr, fc, "STATS q1", "STATS q2", "EXPLAIN q2")
 }
 
+// An epochless SYNC (pre-epoch connector) must be rejected at the
+// handshake: such a follower cannot parse the current REC frame format, and
+// streaming to it would have it silently apply garbage. The rejection is a
+// loud ERR line, not a silent close.
+func TestEpochlessSyncRejected(t *testing.T) {
+	p := startPrimary(t, 1, 0, 0)
+	for _, handshake := range []string{"SYNC 0", "SYNC 5", "SYNC 0 0", "SYNC 0 x"} {
+		r := dialRaw(t, p.shipAddr)
+		r.send(handshake)
+		if line := r.line(); !strings.HasPrefix(line, "ERR") {
+			t.Fatalf("%q: got %q, want ERR rejection", handshake, line)
+		}
+	}
+	// A well-formed SYNC still gets the stream (heartbeat, not ERR).
+	r := dialRaw(t, p.shipAddr)
+	r.send("SYNC 0 1")
+	if line := r.line(); !strings.HasPrefix(line, "HB ") {
+		t.Fatalf("valid SYNC: got %q, want HB frame", line)
+	}
+}
+
 // Promotion flips a caught-up follower writable; it then computes the
 // exact continuation the primary would have (same RNG evolution).
 func TestPromoteContinuesDeterministically(t *testing.T) {

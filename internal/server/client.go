@@ -555,6 +555,10 @@ type RoleInfo struct {
 	// LagRecords is the node's replication lag behind its primary in
 	// records (0 on primaries).
 	LagRecords int64
+	// ReplAddr is the node's replication (WAL-ship) listener address, when
+	// it runs one; empty otherwise. Survivors of a failover follow the
+	// promoted node at this address.
+	ReplAddr string
 }
 
 // Role reports the node's failover state (idempotent; safe to retry).
@@ -567,6 +571,11 @@ func (cl *Client) Role() (RoleInfo, error) {
 	if _, err := fmt.Sscanf(payload, "role=%s epoch=%d followers=%d last_lsn=%d lag_records=%d",
 		&info.Role, &info.Epoch, &info.Followers, &info.LastLSN, &info.LagRecords); err != nil {
 		return RoleInfo{}, fmt.Errorf("server: malformed ROLE reply %q: %w", payload, err)
+	}
+	// repl= is optional (only nodes running a ship listener report it) and
+	// deliberately trailing, past what Sscanf consumes.
+	if i := strings.Index(payload, " repl="); i >= 0 {
+		info.ReplAddr = strings.TrimSpace(payload[i+len(" repl="):])
 	}
 	return info, nil
 }

@@ -38,6 +38,15 @@ var errFencedStaleEpoch = errors.New("fenced: stale epoch: a newer primary was p
 // set unchanged. Set it before any server serves traffic.
 var FencedRejectHook func()
 
+// EpochAdoptHook, when non-nil, observes every epoch transition this node
+// adopts — its own promotion, a replayed or replicated RecEpoch record, or
+// checkpointed state restored at recovery. The cluster package points it
+// at its asdb_cluster_epoch gauge from an init function, for the same
+// reason as FencedRejectHook: a follower that stands down and adopts the
+// winner's epoch through the shipped WAL must move the gauge too, not
+// just nodes that promote.
+var EpochAdoptHook func(epoch uint64)
+
 // Epoch returns the current replication epoch (term); 1 until a failover
 // bumps it.
 func (s *Server) Epoch() uint64 { return s.epoch.Load() }
@@ -57,11 +66,21 @@ func (s *Server) Fence(higher uint64) {
 }
 
 // BumpEpoch advances the epoch by one and journals the transition durably.
-// Promotion calls it after the follower apply loop has stopped and before
-// the server starts accepting writes, so the RecEpoch record is the exact
-// boundary between the old history and the new. Returns the new epoch.
 func (s *Server) BumpEpoch() (uint64, error) {
-	next := s.epoch.Load() + 1
+	return s.BumpEpochTo(s.epoch.Load() + 1)
+}
+
+// BumpEpochTo journals a transition to an explicit higher epoch. Promotion
+// calls it after the follower apply loop has stopped and before the server
+// starts accepting writes, so the RecEpoch record is the exact boundary
+// between the old history and the new. The cluster layer picks epochs so
+// that no two replicas of a shard can ever journal the same one — equal
+// epochs can never fence each other, so distinctness is what makes
+// concurrent promotions safe. Returns the new epoch.
+func (s *Server) BumpEpochTo(next uint64) (uint64, error) {
+	if cur := s.epoch.Load(); next <= cur {
+		return 0, fmt.Errorf("server: epoch bump to %d not above current %d", next, cur)
+	}
 	lsn, err := s.journal(wal.RecEpoch, strconv.FormatUint(next, 10))
 	if err != nil {
 		return 0, err
@@ -88,6 +107,9 @@ func (s *Server) adoptEpoch(epoch, startLSN uint64) {
 	s.epochHist = append(s.epochHist, checkpoint.EpochBound{Epoch: epoch, Start: startLSN})
 	s.epoch.Store(epoch)
 	s.fenced.Store(false)
+	if EpochAdoptHook != nil {
+		EpochAdoptHook(epoch)
+	}
 }
 
 // restoreEpoch installs checkpointed epoch state during recovery; RecEpoch
@@ -100,6 +122,9 @@ func (s *Server) restoreEpoch(epoch uint64, hist []checkpoint.EpochBound) {
 	defer s.epochMu.Unlock()
 	s.epochHist = append([]checkpoint.EpochBound(nil), hist...)
 	s.epoch.Store(epoch)
+	if EpochAdoptHook != nil {
+		EpochAdoptHook(epoch)
+	}
 }
 
 // epochSnapshot returns the current epoch and a copy of the transition
@@ -147,6 +172,12 @@ func (s *Server) SetFollowerCountFn(fn func() int) { s.roleFollowers.Store(&fn) 
 // maintains (primary frontier minus last applied LSN), surfaced by ROLE.
 func (s *Server) SetReplLagFn(fn func() int64) { s.roleLag.Store(&fn) }
 
+// SetReplAddrFn injects the address of this node's replication (WAL-ship)
+// listener, surfaced by ROLE as the optional repl= field. Failover managers
+// on surviving followers use it to re-point their replication loops at a
+// freshly promoted primary.
+func (s *Server) SetReplAddrFn(fn func() string) { s.roleRepl.Store(&fn) }
+
 // cmdRole reports failover-relevant state on one line: role
 // (primary | follower | fenced), current epoch, live follower count,
 // newest local LSN, and replication lag in records. Allowed on every node
@@ -175,6 +206,14 @@ func (s *Server) cmdRole(c *conn, rest string) error {
 	if fn := s.roleLag.Load(); fn != nil {
 		lag = (*fn)()
 	}
-	return c.writeLine(fmt.Sprintf("OK role=%s epoch=%d followers=%d last_lsn=%d lag_records=%d",
-		role, s.Epoch(), followers, lastLSN, lag))
+	reply := fmt.Sprintf("OK role=%s epoch=%d followers=%d last_lsn=%d lag_records=%d",
+		role, s.Epoch(), followers, lastLSN, lag)
+	// The repl= field is appended (not inserted) so pre-existing parsers
+	// keyed on the first five fields keep working.
+	if fn := s.roleRepl.Load(); fn != nil {
+		if addr := (*fn)(); addr != "" {
+			reply += " repl=" + addr
+		}
+	}
+	return c.writeLine(reply)
 }

@@ -87,6 +87,7 @@ type Server struct {
 	// importing cluster state.
 	roleFollowers atomic.Pointer[func() int]
 	roleLag       atomic.Pointer[func() int64]
+	roleRepl      atomic.Pointer[func() string]
 }
 
 type registeredQuery struct {

@@ -106,6 +106,64 @@ func TestTornWriteRecovers(t *testing.T) {
 	}
 }
 
+// TestTruncateSuffixFailureWedges injects a truncate failure into the
+// mid-segment path of TruncateSuffix. The surgery has already closed the
+// active segment by then, so the only safe outcome is a wedged log: the next
+// append must fail fast with ErrWedged instead of being buffered over a
+// closed fd and surfacing a confusing error at flush time.
+func TestTruncateSuffixFailureWedges(t *testing.T) {
+	dir := t.TempDir()
+	ifs := fault.NewInjectFS(nil, fault.Rule{
+		Op: fault.OpTruncate, Path: segSuffix, Count: 1, Err: fault.ErrFsync,
+	})
+	l := mustOpen(t, dir, Options{FS: ifs})
+	defer l.Close()
+	appendN(t, l, 5, "t")
+
+	// Records 1..5 share one segment, so keeping LSN 2 truncates bytes off
+	// the active segment — the injected failure fires there.
+	if err := l.TruncateSuffix(2); err == nil {
+		t.Fatal("TruncateSuffix over injected truncate failure succeeded")
+	}
+	if _, err := l.Append(RecInsert, []byte("x")); !errors.Is(err, ErrWedged) {
+		t.Fatalf("append after failed TruncateSuffix: got %v, want ErrWedged", err)
+	}
+	if l.Wedged() == nil {
+		t.Fatal("Wedged() = nil after failed TruncateSuffix")
+	}
+
+	// A reopen on the pristine filesystem recovers the untouched log: the
+	// failed surgery never acknowledged a shorter history.
+	l.Close()
+	l2 := mustOpen(t, dir, Options{})
+	defer l2.Close()
+	if got := len(collect(t, l2, 1)); got != 5 {
+		t.Fatalf("recovered %d records after failed truncate, want 5", got)
+	}
+}
+
+// TestResetFailureWedges does the same for Reset: an injected segment-removal
+// failure after the active segment is closed must wedge the log.
+func TestResetFailureWedges(t *testing.T) {
+	dir := t.TempDir()
+	ifs := fault.NewInjectFS(nil, fault.Rule{
+		Op: fault.OpRemove, Path: segSuffix, Count: 1, Err: fault.ErrFsync,
+	})
+	l := mustOpen(t, dir, Options{FS: ifs})
+	defer l.Close()
+	appendN(t, l, 3, "r")
+
+	if err := l.Reset(10); err == nil {
+		t.Fatal("Reset over injected remove failure succeeded")
+	}
+	if _, err := l.Append(RecInsert, []byte("x")); !errors.Is(err, ErrWedged) {
+		t.Fatalf("append after failed Reset: got %v, want ErrWedged", err)
+	}
+	if l.Wedged() == nil {
+		t.Fatal("Wedged() = nil after failed Reset")
+	}
+}
+
 // TestBatchFsyncFailureNoPartialAck checks AppendBatch against an injected
 // fsync failure: the whole batch is unacknowledged, and no later batch can
 // sneak past the wedge.

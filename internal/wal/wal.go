@@ -390,6 +390,20 @@ func (l *Log) wedgedErrLocked() error {
 	return fmt.Errorf("%w: %v", ErrWedged, l.wedged)
 }
 
+// wedgeSurgeryLocked wedges the log after a failure mid-surgery:
+// TruncateSuffix and Reset close the active segment before rebuilding the
+// tail, so any error past that point leaves the log without a usable file
+// handle. Without the wedge, a later append would buffer over the closed
+// fd and be acknowledged, only to fail at flush time with a confusing
+// error. Unlike wedgeLocked it does not re-wrap (callers already did).
+func (l *Log) wedgeSurgeryLocked(err error) error {
+	if l.wedged == nil {
+		l.wedged = err
+		mWedges.Inc()
+	}
+	return err
+}
+
 // Wedged returns the write/sync failure that wedged the log, or nil.
 func (l *Log) Wedged() error {
 	l.mu.Lock()
@@ -760,6 +774,11 @@ func (l *Log) OldestLSN() (uint64, error) {
 // Policy reports the fsync policy the log was opened with.
 func (l *Log) Policy() FsyncPolicy { return l.opts.Policy }
 
+// FS returns the filesystem the log operates on (the injected fault.FS or
+// the passthrough one). The cluster rejoin path reuses it for data-dir
+// surgery, so fault-injection schedules cover that path too.
+func (l *Log) FS() fault.FS { return l.fs }
+
 // TruncateThrough removes segments whose records all have LSN ≤ lsn. The
 // current segment is never removed, and segments protected by a Pin are
 // kept. Call after a checkpoint at lsn: the remaining suffix is exactly
@@ -816,18 +835,21 @@ func (l *Log) TruncateSuffix(after uint64) error {
 	if err := l.w.Flush(); err != nil {
 		return l.wedgeLocked(err)
 	}
+	// From here the active segment handle is closed; every error return
+	// below must wedge the log (wedgeSurgeryLocked) so subsequent appends
+	// fail fast instead of writing into a buffer over a closed fd.
 	if err := l.f.Close(); err != nil {
-		return fmt.Errorf("wal: %w", err)
+		return l.wedgeSurgeryLocked(fmt.Errorf("wal: %w", err))
 	}
 	segs, err := listSegments(l.fs, l.dir)
 	if err != nil {
-		return err
+		return l.wedgeSurgeryLocked(err)
 	}
 	var keep []segment
 	for _, seg := range segs {
 		if seg.first > after {
 			if err := l.fs.Remove(seg.path); err != nil {
-				return fmt.Errorf("wal: %w", err)
+				return l.wedgeSurgeryLocked(fmt.Errorf("wal: %w", err))
 			}
 			mSegsDropped.Inc()
 			continue
@@ -841,33 +863,36 @@ func (l *Log) TruncateSuffix(after uint64) error {
 		if l.synced.Load() > after {
 			l.synced.Store(after)
 		}
-		return l.openSegment(after + 1)
+		if err := l.openSegment(after + 1); err != nil {
+			return l.wedgeSurgeryLocked(err)
+		}
+		return nil
 	}
 	last := keep[len(keep)-1]
 	validLen, lastLSN, err := scanThrough(l.fs, last.path, last.first, after)
 	if err != nil {
-		return err
+		return l.wedgeSurgeryLocked(err)
 	}
 	fi, err := l.fs.Stat(last.path)
 	if err != nil {
-		return fmt.Errorf("wal: %w", err)
+		return l.wedgeSurgeryLocked(fmt.Errorf("wal: %w", err))
 	}
 	if fi.Size() > validLen {
 		if err := l.fs.Truncate(last.path, validLen); err != nil {
-			return fmt.Errorf("wal: truncating suffix: %w", err)
+			return l.wedgeSurgeryLocked(fmt.Errorf("wal: truncating suffix: %w", err))
 		}
 	}
 	f, err := l.fs.OpenFile(last.path, os.O_WRONLY, 0)
 	if err != nil {
-		return fmt.Errorf("wal: %w", err)
+		return l.wedgeSurgeryLocked(fmt.Errorf("wal: %w", err))
 	}
 	if _, err := f.Seek(validLen, io.SeekStart); err != nil {
 		f.Close()
-		return fmt.Errorf("wal: %w", err)
+		return l.wedgeSurgeryLocked(fmt.Errorf("wal: %w", err))
 	}
 	if err := f.Sync(); err != nil {
 		f.Close()
-		return fmt.Errorf("wal: %w", err)
+		return l.wedgeSurgeryLocked(fmt.Errorf("wal: %w", err))
 	}
 	l.f = f
 	l.w = bufio.NewWriter(f)
@@ -878,7 +903,12 @@ func (l *Log) TruncateSuffix(after uint64) error {
 	if l.synced.Load() > lastLSN {
 		l.synced.Store(lastLSN)
 	}
-	return syncDir(l.fs, l.dir)
+	// A syncDir failure also wedges: the removals above may not be durable,
+	// and a crash could resurrect a diverged segment in front of recovery.
+	if err := syncDir(l.fs, l.dir); err != nil {
+		return l.wedgeSurgeryLocked(err)
+	}
+	return nil
 }
 
 // Reset discards the entire log and positions it so the next append
@@ -906,22 +936,26 @@ func (l *Log) Reset(next uint64) error {
 	if err := l.w.Flush(); err != nil {
 		return l.wedgeLocked(err)
 	}
+	// As in TruncateSuffix: past this close, every error must wedge.
 	if err := l.f.Close(); err != nil {
-		return fmt.Errorf("wal: %w", err)
+		return l.wedgeSurgeryLocked(fmt.Errorf("wal: %w", err))
 	}
 	segs, err := listSegments(l.fs, l.dir)
 	if err != nil {
-		return err
+		return l.wedgeSurgeryLocked(err)
 	}
 	for _, seg := range segs {
 		if err := l.fs.Remove(seg.path); err != nil {
-			return fmt.Errorf("wal: %w", err)
+			return l.wedgeSurgeryLocked(fmt.Errorf("wal: %w", err))
 		}
 		mSegsDropped.Inc()
 	}
 	l.nextLSN = next
 	l.synced.Store(next - 1)
-	return l.openSegment(next)
+	if err := l.openSegment(next); err != nil {
+		return l.wedgeSurgeryLocked(err)
+	}
+	return nil
 }
 
 type segment struct {
